@@ -1,0 +1,672 @@
+//! Deterministic finite automata.
+//!
+//! DFAs here are always *complete*: every state has a transition on every
+//! symbol of a fixed alphabet size (a dead sink is added by the subset
+//! construction when needed). Completeness makes complementation a flag flip
+//! and keeps the product constructions simple. The paper notes that building
+//! the deterministic (quotient) automaton "may be exponential in p"
+//! (Section 2.2) — the benches in `rpq-bench` measure exactly that effect.
+
+use std::collections::HashMap;
+
+use crate::alphabet::Symbol;
+use crate::nfa::{strongly_connected_components, Nfa, StateId};
+
+/// A complete DFA over symbols `0..sigma`.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    sigma: usize,
+    start: StateId,
+    accept: Vec<bool>,
+    /// Row-major transition table: `trans[state * sigma + symbol]`.
+    trans: Vec<StateId>,
+}
+
+impl Dfa {
+    /// Subset construction from an NFA. `sigma` must be at least
+    /// `max symbol index + 1` over the NFA's transitions.
+    pub fn from_nfa(nfa: &Nfa, sigma: usize) -> Dfa {
+        let mut states: Vec<Vec<StateId>> = Vec::new();
+        let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut trans: Vec<StateId> = Vec::new();
+
+        let start_set = nfa.start_set();
+        states.push(start_set.clone());
+        index.insert(start_set, 0);
+        accept.push(nfa.set_accepts(&states[0]));
+
+        let mut i = 0usize;
+        while i < states.len() {
+            let set = states[i].clone();
+            for sym in 0..sigma {
+                let stepped = nfa.step(&set, Symbol::from_index(sym));
+                let id = match index.get(&stepped) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len() as StateId;
+                        index.insert(stepped.clone(), id);
+                        accept.push(nfa.set_accepts(&stepped));
+                        states.push(stepped);
+                        id
+                    }
+                };
+                trans.push(id);
+            }
+            i += 1;
+        }
+        Dfa {
+            sigma,
+            start: 0,
+            accept,
+            trans,
+        }
+    }
+
+    /// Number of states (including any dead sink).
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Alphabet size this DFA is complete over.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `s` is accepting.
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accept[s as usize]
+    }
+
+    /// The successor of `s` on `sym`.
+    #[inline]
+    pub fn next(&self, s: StateId, sym: Symbol) -> StateId {
+        self.trans[s as usize * self.sigma + sym.index()]
+    }
+
+    /// Membership test.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut s = self.start;
+        for &sym in word {
+            s = self.next(s, sym);
+        }
+        self.accept[s as usize]
+    }
+
+    /// Complement (flip accepting); valid because the DFA is complete.
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            sigma: self.sigma,
+            start: self.start,
+            accept: self.accept.iter().map(|&a| !a).collect(),
+            trans: self.trans.clone(),
+        }
+    }
+
+    /// True iff no accepting state is reachable from the start.
+    pub fn is_empty_lang(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// A shortest accepted word, if any (plain BFS).
+    pub fn shortest_accepted(&self) -> Option<Vec<Symbol>> {
+        let n = self.num_states();
+        let mut back: Vec<Option<(StateId, Symbol)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.start as usize] = true;
+        queue.push_back(self.start);
+        while let Some(s) = queue.pop_front() {
+            if self.accept[s as usize] {
+                let mut word = Vec::new();
+                let mut cur = s;
+                while let Some((prev, sym)) = back[cur as usize] {
+                    word.push(sym);
+                    cur = prev;
+                }
+                word.reverse();
+                return Some(word);
+            }
+            for sym in 0..self.sigma {
+                let t = self.next(s, Symbol::from_index(sym));
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    back[t as usize] = Some((s, Symbol::from_index(sym)));
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// True iff the accepted language is finite: no reachable-and-coreachable
+    /// state lies on a cycle.
+    pub fn is_finite_lang(&self) -> bool {
+        let n = self.num_states();
+        let reach = self.reachable();
+        // co-reachable
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for sym in 0..self.sigma {
+                let t = self.trans[s * self.sigma + sym];
+                rev[t as usize].push(s as StateId);
+            }
+        }
+        let mut co = vec![false; n];
+        let mut stack: Vec<StateId> = (0..n)
+            .filter(|&s| self.accept[s])
+            .map(|s| s as StateId)
+            .collect();
+        for &s in &stack {
+            co[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s as usize] {
+                if !co[p as usize] {
+                    co[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let live: Vec<bool> = (0..n).map(|s| reach[s] && co[s]).collect();
+        let comp = strongly_connected_components(n, |s, f| {
+            if live[s] {
+                for sym in 0..self.sigma {
+                    let t = self.trans[s * self.sigma + sym] as usize;
+                    if live[t] {
+                        f(t);
+                    }
+                }
+            }
+        });
+        for s in 0..n {
+            if !live[s] {
+                continue;
+            }
+            for sym in 0..self.sigma {
+                let t = self.trans[s * self.sigma + sym] as usize;
+                if live[t] && comp[s] == comp[t] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            for sym in 0..self.sigma {
+                let t = self.next(s, Symbol::from_index(sym));
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Moore partition-refinement minimization (restricted to reachable
+    /// states). O(n²·σ) worst case; robust and plenty fast for our sizes.
+    pub fn minimize(&self) -> Dfa {
+        let n = self.num_states();
+        let reach = self.reachable();
+        // initial partition: {accepting, rejecting} over reachable states
+        let mut class: Vec<u32> = (0..n)
+            .map(|s| if self.accept[s] { 1 } else { 0 })
+            .collect();
+        let mut num_classes = 2u32;
+        loop {
+            // signature: (class, class of successor per symbol)
+            let mut sig_index: HashMap<Vec<u32>, u32> = HashMap::new();
+            let mut next_class: Vec<u32> = vec![0; n];
+            let mut next_num = 0u32;
+            for s in 0..n {
+                if !reach[s] {
+                    continue;
+                }
+                let mut sig = Vec::with_capacity(self.sigma + 1);
+                sig.push(class[s]);
+                for sym in 0..self.sigma {
+                    sig.push(class[self.trans[s * self.sigma + sym] as usize]);
+                }
+                let id = *sig_index.entry(sig).or_insert_with(|| {
+                    let id = next_num;
+                    next_num += 1;
+                    id
+                });
+                next_class[s] = id;
+            }
+            if next_num == num_classes {
+                class = next_class;
+                break;
+            }
+            num_classes = next_num;
+            class = next_class;
+        }
+        // build quotient automaton
+        let m = num_classes as usize;
+        let mut accept = vec![false; m];
+        let mut trans = vec![0 as StateId; m * self.sigma];
+        let mut done = vec![false; m];
+        for s in 0..n {
+            if !reach[s] {
+                continue;
+            }
+            let c = class[s] as usize;
+            if done[c] {
+                continue;
+            }
+            done[c] = true;
+            accept[c] = self.accept[s];
+            for sym in 0..self.sigma {
+                trans[c * self.sigma + sym] = class[self.trans[s * self.sigma + sym] as usize];
+            }
+        }
+        Dfa {
+            sigma: self.sigma,
+            start: class[self.start as usize],
+            accept,
+            trans,
+        }
+    }
+
+    /// Hopcroft's partition-refinement minimization — `O(n·σ·log n)` against
+    /// [`Dfa::minimize`]'s `O(n²·σ)` Moore refinement. Both produce the
+    /// (unique) minimal DFA; the ablation in bench
+    /// `t11_det_axioms_simplify` compares them on subset-blowup families,
+    /// and the property suite asserts they agree state-for-state in count.
+    pub fn minimize_hopcroft(&self) -> Dfa {
+        let n = self.num_states();
+        let sigma = self.sigma;
+        let reach = self.reachable();
+        // Compact the reachable subautomaton to indices 0..m.
+        let mut idx = vec![usize::MAX; n];
+        let mut states: Vec<usize> = Vec::new();
+        for s in 0..n {
+            if reach[s] {
+                idx[s] = states.len();
+                states.push(s);
+            }
+        }
+        let m = states.len();
+        // Inverse transition lists per symbol (successors of reachable
+        // states are reachable, so idx is total here).
+        let mut inv: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); m]; sigma];
+        for (i, &s) in states.iter().enumerate() {
+            for sym in 0..sigma {
+                let t = idx[self.trans[s * sigma + sym] as usize];
+                inv[sym][t].push(i as u32);
+            }
+        }
+
+        // Initial partition {accepting, rejecting}, empties dropped.
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        let mut block_of: Vec<usize> = vec![0; m];
+        {
+            let (mut acc, mut rej) = (Vec::new(), Vec::new());
+            for (i, &s) in states.iter().enumerate() {
+                if self.accept[s] {
+                    acc.push(i as u32);
+                } else {
+                    rej.push(i as u32);
+                }
+            }
+            for part in [acc, rej] {
+                if !part.is_empty() {
+                    let b = blocks.len();
+                    for &s in &part {
+                        block_of[s as usize] = b;
+                    }
+                    blocks.push(part);
+                }
+            }
+        }
+
+        use std::collections::VecDeque;
+        let mut work: VecDeque<(usize, usize)> = VecDeque::new();
+        let mut in_work: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        // Seed with the smaller initial block on every symbol (both is also
+        // correct; the smaller one is the classic optimization).
+        let seed = (0..blocks.len()).min_by_key(|&b| blocks[b].len()).into_iter();
+        for b in seed {
+            for sym in 0..sigma {
+                work.push_back((b, sym));
+                in_work.insert((b, sym));
+            }
+        }
+
+        let mut marked: Vec<bool> = vec![false; m];
+        while let Some((a_idx, sym)) = work.pop_front() {
+            in_work.remove(&(a_idx, sym));
+            // X = sym-preimage of the splitter block (current contents).
+            let mut touched: Vec<usize> = Vec::new();
+            let mut x: Vec<u32> = Vec::new();
+            for &t in &blocks[a_idx] {
+                for &s in &inv[sym][t as usize] {
+                    if !marked[s as usize] {
+                        marked[s as usize] = true;
+                        x.push(s);
+                        let b = block_of[s as usize];
+                        if !touched.contains(&b) {
+                            touched.push(b);
+                        }
+                    }
+                }
+            }
+            for b in touched {
+                let total = blocks[b].len();
+                let hits = blocks[b].iter().filter(|&&s| marked[s as usize]).count();
+                if hits == 0 || hits == total {
+                    continue; // no split
+                }
+                // Split: keep unmarked in b, move marked to a new block.
+                let (stay, move_out): (Vec<u32>, Vec<u32>) = blocks[b]
+                    .iter()
+                    .partition(|&&s| !marked[s as usize]);
+                let nb = blocks.len();
+                for &s in &move_out {
+                    block_of[s as usize] = nb;
+                }
+                blocks[b] = stay;
+                blocks.push(move_out);
+                for sym2 in 0..sigma {
+                    if in_work.contains(&(b, sym2)) {
+                        // the splitter must cover both halves
+                        work.push_back((nb, sym2));
+                        in_work.insert((nb, sym2));
+                    } else {
+                        let smaller = if blocks[b].len() <= blocks[nb].len() { b } else { nb };
+                        work.push_back((smaller, sym2));
+                        in_work.insert((smaller, sym2));
+                    }
+                }
+            }
+            for &s in &x {
+                marked[s as usize] = false;
+            }
+        }
+
+        // Quotient automaton.
+        let k = blocks.len();
+        let mut accept = vec![false; k];
+        let mut trans = vec![0 as StateId; k * sigma];
+        for (b, members) in blocks.iter().enumerate() {
+            let rep = members[0] as usize;
+            accept[b] = self.accept[states[rep]];
+            for sym in 0..sigma {
+                let t = idx[self.trans[states[rep] * sigma + sym] as usize];
+                trans[b * sigma + sym] = block_of[t] as StateId;
+            }
+        }
+        Dfa {
+            sigma,
+            start: block_of[idx[self.start as usize]] as StateId,
+            accept,
+            trans,
+        }
+    }
+
+    /// Product DFA combining acceptance with `op(a_accepts, b_accepts)`.
+    /// Both inputs must share `sigma`.
+    pub fn product<F>(a: &Dfa, b: &Dfa, op: F) -> Dfa
+    where
+        F: Fn(bool, bool) -> bool,
+    {
+        assert_eq!(a.sigma, b.sigma, "product requires equal alphabets");
+        let sigma = a.sigma;
+        let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+        let mut order: Vec<(StateId, StateId)> = Vec::new();
+        let mut accept = Vec::new();
+        let mut trans: Vec<StateId> = Vec::new();
+        let start = (a.start, b.start);
+        index.insert(start, 0);
+        order.push(start);
+        accept.push(op(
+            a.accept[a.start as usize],
+            b.accept[b.start as usize],
+        ));
+        let mut i = 0;
+        while i < order.len() {
+            let (sa, sb) = order[i];
+            for sym in 0..sigma {
+                let ta = a.trans[sa as usize * sigma + sym];
+                let tb = b.trans[sb as usize * sigma + sym];
+                let id = *index.entry((ta, tb)).or_insert_with(|| {
+                    let id = order.len() as StateId;
+                    order.push((ta, tb));
+                    accept.push(op(a.accept[ta as usize], b.accept[tb as usize]));
+                    id
+                });
+                trans.push(id);
+            }
+            i += 1;
+        }
+        Dfa {
+            sigma,
+            start: 0,
+            accept,
+            trans,
+        }
+    }
+
+    /// Convert back to an NFA (for uniform downstream APIs).
+    pub fn to_nfa(&self) -> Nfa {
+        let mut n = Nfa::empty();
+        // state 0 of the NFA is its start; map DFA state s -> s (+1 if start ≠ 0)
+        // Simplest: add all states fresh and set start afterwards.
+        let mut ids = Vec::with_capacity(self.num_states());
+        ids.push(n.start());
+        n.set_accepting(n.start(), self.accept[0]);
+        for s in 1..self.num_states() {
+            ids.push(n.add_state(self.accept[s]));
+        }
+        for s in 0..self.num_states() {
+            for sym in 0..self.sigma {
+                let t = self.trans[s * self.sigma + sym];
+                n.add_transition(ids[s], Symbol::from_index(sym), ids[t as usize]);
+            }
+        }
+        n.set_start(ids[self.start as usize]);
+        n
+    }
+
+    /// Count accepted words of each length `0..=max_len` (dynamic program).
+    /// Useful for comparing language sizes in tests and benches.
+    pub fn count_words_by_length(&self, max_len: usize) -> Vec<u64> {
+        let n = self.num_states();
+        let mut cur = vec![0u64; n];
+        cur[self.start as usize] = 1;
+        let mut out = Vec::with_capacity(max_len + 1);
+        for _ in 0..=max_len {
+            let total: u64 = (0..n).filter(|&s| self.accept[s]).map(|s| cur[s]).sum();
+            out.push(total);
+            let mut next = vec![0u64; n];
+            for (s, &c) in cur.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                for sym in 0..self.sigma {
+                    let t = self.trans[s * self.sigma + sym] as usize;
+                    next[t] = next[t].saturating_add(c);
+                }
+            }
+            cur = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::parser::parse_regex;
+
+    fn dfa(ab: &mut Alphabet, s: &str) -> Dfa {
+        let r = parse_regex(ab, s).unwrap();
+        let n = Nfa::thompson(&r);
+        Dfa::from_nfa(&n, ab.len())
+    }
+
+    fn word(ab: &mut Alphabet, s: &str) -> Vec<Symbol> {
+        s.chars().map(|c| ab.intern(&c.to_string())).collect()
+    }
+
+    #[test]
+    fn subset_construction_preserves_language() {
+        let mut ab = Alphabet::new();
+        // pre-intern so sigma covers everything
+        ab.intern("a");
+        ab.intern("b");
+        ab.intern("c");
+        let d = dfa(&mut ab, "a.(b+c)*");
+        assert!(d.accepts(&word(&mut ab, "a")));
+        assert!(d.accepts(&word(&mut ab, "abcb")));
+        assert!(!d.accepts(&word(&mut ab, "b")));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let d = dfa(&mut ab, "a.b");
+        let c = d.complement();
+        assert!(!c.accepts(&word(&mut ab, "ab")));
+        assert!(c.accepts(&word(&mut ab, "a")));
+        assert!(c.accepts(&[]));
+    }
+
+    #[test]
+    fn minimize_collapses_equivalent_states() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        // (a + a.a.a*) ≡ a.a*  — wait, a + a.a.a* = a(ε + a.a*) = a.a*
+        let d1 = dfa(&mut ab, "a + a.a.a*");
+        let d2 = dfa(&mut ab, "a.a*");
+        let m1 = d1.minimize();
+        let m2 = d2.minimize();
+        assert_eq!(m1.num_states(), m2.num_states());
+        for len in d1.count_words_by_length(6) {
+            let _ = len;
+        }
+        assert_eq!(m1.count_words_by_length(8), m2.count_words_by_length(8));
+    }
+
+    #[test]
+    fn product_difference_emptiness_checks_inclusion() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let sub = dfa(&mut ab, "a.b");
+        let sup = dfa(&mut ab, "a.b*");
+        let diff = Dfa::product(&sub, &sup, |x, y| x && !y);
+        assert!(diff.is_empty_lang());
+        let diff2 = Dfa::product(&sup, &sub, |x, y| x && !y);
+        assert!(!diff2.is_empty_lang());
+        let cex = diff2.shortest_accepted().unwrap();
+        assert!(sup.accepts(&cex) && !sub.accepts(&cex));
+    }
+
+    #[test]
+    fn finiteness() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        assert!(dfa(&mut ab, "a.b + b").is_finite_lang());
+        assert!(!dfa(&mut ab, "a*.b").is_finite_lang());
+        assert!(dfa(&mut ab, "[]").is_finite_lang());
+    }
+
+    #[test]
+    fn count_words_by_length_counts() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let d = dfa(&mut ab, "(a+b)*");
+        assert_eq!(d.count_words_by_length(4), vec![1, 2, 4, 8, 16]);
+        let e = dfa(&mut ab, "a.b");
+        assert_eq!(e.count_words_by_length(3), vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn to_nfa_round_trip() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let d = dfa(&mut ab, "a.(a+b)*.b");
+        let n = d.to_nfa();
+        assert!(n.accepts(&word(&mut ab, "ab")));
+        assert!(n.accepts(&word(&mut ab, "aabab")));
+        assert!(!n.accepts(&word(&mut ab, "ba")));
+    }
+
+    #[test]
+    fn shortest_accepted_empty_language() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        let d = dfa(&mut ab, "[]");
+        assert!(d.shortest_accepted().is_none());
+        assert!(d.is_empty_lang());
+    }
+    #[test]
+    fn hopcroft_agrees_with_moore_on_basics() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        for src in ["a.(b+a)*", "(a+b)*.a", "a.b + a.c", "()", "[]", "a*.b*"] {
+            let mut ab2 = ab.clone();
+            ab2.intern("c");
+            let d = dfa(&mut ab2, src);
+            let moore = d.minimize();
+            let hop = d.minimize_hopcroft();
+            assert_eq!(
+                moore.num_states(),
+                hop.num_states(),
+                "state counts differ on {src}"
+            );
+            assert!(crate::ops::equivalent(&moore.to_nfa(), &hop.to_nfa()).is_ok());
+            assert!(crate::ops::equivalent(&d.to_nfa(), &hop.to_nfa()).is_ok());
+        }
+    }
+
+    #[test]
+    fn hopcroft_agrees_with_moore_on_random_regexes() {
+        use crate::random::{random_regex, RegexGenConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut ab = Alphabet::new();
+        let syms = vec![ab.intern("a"), ab.intern("b"), ab.intern("c")];
+        let cfg = RegexGenConfig::new(syms);
+        let mut rng = StdRng::seed_from_u64(0x40B);
+        for _ in 0..120 {
+            let r = random_regex(&mut rng, &cfg);
+            let d = Dfa::from_nfa(&Nfa::thompson(&r), 3);
+            let moore = d.minimize();
+            let hop = d.minimize_hopcroft();
+            assert_eq!(moore.num_states(), hop.num_states(), "{r:?}");
+            assert!(crate::ops::equivalent(&d.to_nfa(), &hop.to_nfa()).is_ok(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn hopcroft_is_idempotent() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let d = dfa(&mut ab, "(a+b)*.a.(a+b).(a+b)");
+        let once = d.minimize_hopcroft();
+        let twice = once.minimize_hopcroft();
+        assert_eq!(once.num_states(), twice.num_states());
+    }
+}

@@ -1,0 +1,232 @@
+//! The Glushkov (position) automaton — an ε-free alternative to Thompson.
+//!
+//! States are the symbol *positions* of the expression plus one initial
+//! state; transitions follow the classical `first`/`last`/`follow` sets.
+//! The result has exactly `positions + 1` states and no ε-transitions,
+//! which makes the product-automaton evaluation of Section 2.2 tighter
+//! (every (state, node) pair corresponds to real progress through the
+//! query). Bench `t1_eval_scaling` compares the two constructions.
+
+use std::collections::HashMap;
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+
+/// Position index within the linearized expression.
+type Pos = usize;
+
+struct Sets {
+    nullable: bool,
+    first: Vec<Pos>,
+    last: Vec<Pos>,
+}
+
+fn union(a: &[Pos], b: &[Pos]) -> Vec<Pos> {
+    let mut out = a.to_vec();
+    for &x in b {
+        if !out.contains(&x) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Build the Glushkov automaton for `r`. The language equals
+/// [`Nfa::thompson`]'s (property-tested); the automaton is ε-free.
+pub fn glushkov(r: &Regex) -> Nfa {
+    // Linearize: assign positions to symbol occurrences left to right.
+    let mut symbols_at: Vec<crate::alphabet::Symbol> = Vec::new();
+    let mut follow: HashMap<Pos, Vec<Pos>> = HashMap::new();
+
+    fn go(
+        r: &Regex,
+        symbols_at: &mut Vec<crate::alphabet::Symbol>,
+        follow: &mut HashMap<Pos, Vec<Pos>>,
+    ) -> Sets {
+        match r {
+            Regex::Empty => Sets {
+                nullable: false,
+                first: vec![],
+                last: vec![],
+            },
+            Regex::Epsilon => Sets {
+                nullable: true,
+                first: vec![],
+                last: vec![],
+            },
+            Regex::Symbol(s) => {
+                let p = symbols_at.len();
+                symbols_at.push(*s);
+                Sets {
+                    nullable: false,
+                    first: vec![p],
+                    last: vec![p],
+                }
+            }
+            Regex::Concat(parts) => {
+                let mut acc = Sets {
+                    nullable: true,
+                    first: vec![],
+                    last: vec![],
+                };
+                for part in parts {
+                    let s = go(part, symbols_at, follow);
+                    // follow: every last of acc links to every first of s
+                    for &l in &acc.last {
+                        let entry = follow.entry(l).or_default();
+                        for &f in &s.first {
+                            if !entry.contains(&f) {
+                                entry.push(f);
+                            }
+                        }
+                    }
+                    acc = Sets {
+                        first: if acc.nullable {
+                            union(&acc.first, &s.first)
+                        } else {
+                            acc.first
+                        },
+                        last: if s.nullable {
+                            union(&acc.last, &s.last)
+                        } else {
+                            s.last
+                        },
+                        nullable: acc.nullable && s.nullable,
+                    };
+                }
+                acc
+            }
+            Regex::Union(parts) => {
+                let mut acc = Sets {
+                    nullable: false,
+                    first: vec![],
+                    last: vec![],
+                };
+                for part in parts {
+                    let s = go(part, symbols_at, follow);
+                    acc = Sets {
+                        nullable: acc.nullable || s.nullable,
+                        first: union(&acc.first, &s.first),
+                        last: union(&acc.last, &s.last),
+                    };
+                }
+                acc
+            }
+            Regex::Star(inner) => {
+                let s = go(inner, symbols_at, follow);
+                // follow: last(inner) → first(inner)
+                for &l in &s.last {
+                    let entry = follow.entry(l).or_default();
+                    for &f in &s.first {
+                        if !entry.contains(&f) {
+                            entry.push(f);
+                        }
+                    }
+                }
+                Sets {
+                    nullable: true,
+                    first: s.first,
+                    last: s.last,
+                }
+            }
+        }
+    }
+
+    let sets = go(r, &mut symbols_at, &mut follow);
+
+    // Build: state 0 = initial; state p+1 per position p.
+    let mut nfa = Nfa::empty();
+    nfa.set_accepting(nfa.start(), sets.nullable);
+    for p in 0..symbols_at.len() {
+        let is_last = sets.last.contains(&p);
+        let s = nfa.add_state(is_last);
+        debug_assert_eq!(s as usize, p + 1);
+    }
+    for &f in &sets.first {
+        nfa.add_transition(nfa.start(), symbols_at[f], f as u32 + 1);
+    }
+    for (p, succs) in &follow {
+        for &q in succs {
+            nfa.add_transition(*p as u32 + 1, symbols_at[q], q as u32 + 1);
+        }
+    }
+    nfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, Symbol};
+    use crate::parser::parse_regex;
+
+    fn words_up_to(syms: &[Symbol], n: usize) -> Vec<Vec<Symbol>> {
+        let mut all: Vec<Vec<Symbol>> = vec![vec![]];
+        let mut layer: Vec<Vec<Symbol>> = vec![vec![]];
+        for _ in 0..n {
+            let mut next = Vec::new();
+            for w in &layer {
+                for &s in syms {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            all.extend(next.iter().cloned());
+            layer = next;
+        }
+        all
+    }
+
+    #[test]
+    fn agrees_with_thompson_on_suite() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        ab.intern("c");
+        let syms: Vec<Symbol> = ab.symbols().collect();
+        for src in [
+            "a",
+            "a.b.c",
+            "a+b",
+            "a*",
+            "(a+b)*.c",
+            "a.(b.a)*.c",
+            "(a.b)* + c.c*",
+            "()",
+            "[]",
+            "(a+b+c)*",
+            "a?.b*.c?",
+            "(a*.b*)*",
+        ] {
+            let r = parse_regex(&mut ab, src).unwrap();
+            let g = glushkov(&r);
+            let t = Nfa::thompson(&r);
+            for w in words_up_to(&syms, 4) {
+                assert_eq!(g.accepts(&w), t.accepts(&w), "{src} on {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_epsilon_free_and_small() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "a.(b+c)*.d").unwrap();
+        let g = glushkov(&r);
+        for s in 0..g.num_states() as u32 {
+            assert!(g.eps_transitions(s).is_empty(), "ε edge at {s}");
+        }
+        // 4 positions + initial
+        assert_eq!(g.num_states(), 5);
+        let t = Nfa::thompson(&r);
+        assert!(g.num_states() <= t.num_states());
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        let g = glushkov(&Regex::Empty);
+        assert!(g.is_empty_lang());
+        let e = glushkov(&Regex::Epsilon);
+        assert!(e.accepts(&[]));
+        assert_eq!(e.num_states(), 1);
+    }
+}

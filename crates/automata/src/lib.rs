@@ -1,0 +1,68 @@
+//! # rpq-automata
+//!
+//! Regular expressions and finite automata — the language-theory substrate
+//! for the reproduction of *Abiteboul & Vianu, "Regular Path Queries with
+//! Constraints"* (PODS'97 / JCSS'99).
+//!
+//! The paper assumes "familiarity with basic notions of formal language
+//! theory" (Section 2.2) and leans on: regular expressions and their
+//! quotients, NFAs and products of NFAs, determinization, finiteness of
+//! regular languages, and (for Theorem 4.3(ii)) the PSPACE procedure for
+//! regular-language inclusion. This crate provides all of it:
+//!
+//! * [`Alphabet`] / [`Symbol`] — interned labels shared by queries, graphs
+//!   and constraints.
+//! * [`Regex`] — normalized regular expressions with the paper's syntax
+//!   (union `+`, concatenation, Kleene `*`), parser ([`parse_regex`]) and
+//!   pretty-printer.
+//! * [`mod@derivative`] — Brzozowski derivatives (the paper's quotients `p/l`)
+//!   and the finite closure of repeated quotients ([`DerivativeClosure`]).
+//! * [`Nfa`] / [`Dfa`] — Thompson construction, subset construction,
+//!   minimization, products, reversal, trimming, finiteness.
+//! * [`ops`] — inclusion and equivalence (naive, antichain, Hopcroft–Karp).
+//! * [`charpat`] — character-level label patterns for general path queries
+//!   (Section 2.4).
+//! * [`random`] — seeded generators for reproducible workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use rpq_automata::{parse_regex, Alphabet, Nfa, ops};
+//!
+//! let mut ab = Alphabet::new();
+//! let p = parse_regex(&mut ab, "a.(b.a)*.c").unwrap();
+//! let q = parse_regex(&mut ab, "(a.b)*.a.c").unwrap();
+//! assert!(ops::regex_equivalent(&p, &q)); // a(ba)*c = (ab)*ac
+//!
+//! let nfa = Nfa::thompson(&p);
+//! let a = ab.get("a").unwrap();
+//! let c = ab.get("c").unwrap();
+//! assert!(nfa.accepts(&[a, c]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod charpat;
+pub mod derivative;
+pub mod dfa;
+pub mod elim;
+pub mod glushkov;
+pub mod growth;
+pub mod nfa;
+pub mod ops;
+pub mod parser;
+pub mod random;
+pub mod regex;
+pub mod simplify;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use derivative::{derivative, word_derivative, DerivativeClosure};
+pub use dfa::Dfa;
+pub use elim::nfa_to_regex;
+pub use glushkov::glushkov;
+pub use growth::{classify_regex, Growth};
+pub use nfa::{Nfa, StateId};
+pub use parser::{parse_regex, parse_word, ParseError};
+pub use regex::Regex;
+pub use simplify::{simplify, simplify_deep, simplify_with, SimplifyConfig};

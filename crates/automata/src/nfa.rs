@@ -1,0 +1,926 @@
+//! Nondeterministic finite automata with ε-transitions.
+//!
+//! The paper's evaluation algorithm "constructs the nfsa for p and carries
+//! along the set of states of the nfsa corresponding to the path traveled so
+//! far" (Section 2.2); [`Nfa::start_set`] / [`Nfa::step`] are exactly that
+//! operation. The builder API ([`Nfa::add_state`], [`Nfa::add_transition`],
+//! [`Nfa::add_eps`], [`Nfa::add_nfa`]) is public because the constraint crate
+//! constructs saturation automata (Lemmas 4.5/4.7) directly.
+
+use std::collections::VecDeque;
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::regex::Regex;
+
+/// Dense automaton state identifier.
+pub type StateId = u32;
+
+/// An NFA over [`Symbol`]s with a single start state and ε-transitions.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    start: StateId,
+    accept: Vec<bool>,
+    trans: Vec<Vec<(Symbol, StateId)>>,
+    eps: Vec<Vec<StateId>>,
+}
+
+impl Nfa {
+    /// An automaton with a single, non-accepting start state (language ∅).
+    pub fn empty() -> Nfa {
+        Nfa {
+            start: 0,
+            accept: vec![false],
+            trans: vec![Vec::new()],
+            eps: vec![Vec::new()],
+        }
+    }
+
+    /// The automaton for {ε}.
+    pub fn epsilon() -> Nfa {
+        let mut n = Nfa::empty();
+        n.accept[0] = true;
+        n
+    }
+
+    /// The automaton accepting exactly `word`.
+    pub fn from_word(word: &[Symbol]) -> Nfa {
+        let mut n = Nfa::empty();
+        let mut cur = n.start;
+        for &s in word {
+            let next = n.add_state(false);
+            n.add_transition(cur, s, next);
+            cur = next;
+        }
+        n.accept[cur as usize] = true;
+        n
+    }
+
+    /// Thompson construction from a regular expression.
+    pub fn thompson(r: &Regex) -> Nfa {
+        let mut n = Nfa::empty();
+        let exit = n.add_state(true);
+        n.build_fragment(r, n.start, exit);
+        n
+    }
+
+    fn build_fragment(&mut self, r: &Regex, from: StateId, to: StateId) {
+        match r {
+            Regex::Empty => {}
+            Regex::Epsilon => {
+                self.add_eps(from, to);
+            }
+            Regex::Symbol(s) => {
+                self.add_transition(from, *s, to);
+            }
+            Regex::Concat(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.add_state(false)
+                    };
+                    self.build_fragment(p, cur, next);
+                    cur = next;
+                }
+            }
+            Regex::Union(parts) => {
+                for p in parts {
+                    self.build_fragment(p, from, to);
+                }
+            }
+            Regex::Star(inner) => {
+                let hub = self.add_state(false);
+                self.add_eps(from, hub);
+                self.add_eps(hub, to);
+                let back = self.add_state(false);
+                self.build_fragment(inner, hub, back);
+                self.add_eps(back, hub);
+            }
+        }
+    }
+
+    // ----- builder API -----
+
+    /// Add a fresh state; returns its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        let id = self.accept.len() as StateId;
+        self.accept.push(accepting);
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        id
+    }
+
+    /// Add a labeled transition. Duplicate edges are ignored.
+    pub fn add_transition(&mut self, from: StateId, sym: Symbol, to: StateId) -> bool {
+        let row = &mut self.trans[from as usize];
+        if row.contains(&(sym, to)) {
+            return false;
+        }
+        row.push((sym, to));
+        true
+    }
+
+    /// Add an ε-transition. Duplicate edges are ignored.
+    pub fn add_eps(&mut self, from: StateId, to: StateId) -> bool {
+        if from == to {
+            return false;
+        }
+        let row = &mut self.eps[from as usize];
+        if row.contains(&to) {
+            return false;
+        }
+        row.push(to);
+        true
+    }
+
+    /// Copy all of `other`'s states into `self`, returning the offset that
+    /// maps `other`'s ids into `self`'s. Accepting flags are preserved;
+    /// `other`'s start is *not* linked — callers glue it explicitly.
+    pub fn add_nfa(&mut self, other: &Nfa) -> StateId {
+        let off = self.accept.len() as StateId;
+        for s in 0..other.num_states() {
+            self.accept.push(other.accept[s]);
+            self.trans.push(
+                other.trans[s]
+                    .iter()
+                    .map(|&(sym, t)| (sym, t + off))
+                    .collect(),
+            );
+            self.eps.push(other.eps[s].iter().map(|&t| t + off).collect());
+        }
+        off
+    }
+
+    /// Mark or unmark a state as accepting.
+    pub fn set_accepting(&mut self, s: StateId, accepting: bool) {
+        self.accept[s as usize] = accepting;
+    }
+
+    /// Change the start state.
+    pub fn set_start(&mut self, s: StateId) {
+        assert!((s as usize) < self.accept.len());
+        self.start = s;
+    }
+
+    // ----- accessors -----
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Total number of transitions (labeled + ε).
+    pub fn num_transitions(&self) -> usize {
+        self.trans.iter().map(Vec::len).sum::<usize>() + self.eps.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether `s` is accepting.
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accept[s as usize]
+    }
+
+    /// Labeled transitions out of `s`.
+    pub fn transitions(&self, s: StateId) -> &[(Symbol, StateId)] {
+        &self.trans[s as usize]
+    }
+
+    /// ε-transitions out of `s`.
+    pub fn eps_transitions(&self, s: StateId) -> &[StateId] {
+        &self.eps[s as usize]
+    }
+
+    /// All accepting states.
+    pub fn accepting_states(&self) -> Vec<StateId> {
+        (0..self.num_states() as StateId)
+            .filter(|&s| self.accept[s as usize])
+            .collect()
+    }
+
+    // ----- state-set simulation -----
+
+    /// ε-closure of a set of states; input need not be sorted, output is a
+    /// sorted, deduplicated canonical set.
+    pub fn eps_closure(&self, states: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack: Vec<StateId> = Vec::with_capacity(states.len());
+        for &s in states {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        let mut out: Vec<StateId> = Vec::with_capacity(states.len());
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            for &t in &self.eps[s as usize] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The canonical start set (ε-closure of the start state). This is the
+    /// state-set representation of the *whole query*; quotients of the query
+    /// are exactly the sets reachable from it via [`Nfa::step`].
+    pub fn start_set(&self) -> Vec<StateId> {
+        self.eps_closure(&[self.start])
+    }
+
+    /// One symbol step of the subset simulation (with ε-closure).
+    pub fn step(&self, set: &[StateId], sym: Symbol) -> Vec<StateId> {
+        let mut moved: Vec<StateId> = Vec::new();
+        for &s in set {
+            for &(sy, t) in &self.trans[s as usize] {
+                if sy == sym {
+                    moved.push(t);
+                }
+            }
+        }
+        if moved.is_empty() {
+            return Vec::new();
+        }
+        self.eps_closure(&moved)
+    }
+
+    /// Does the set contain an accepting state? (i.e. ε ∈ quotient.)
+    pub fn set_accepts(&self, set: &[StateId]) -> bool {
+        set.iter().any(|&s| self.accept[s as usize])
+    }
+
+    /// Membership test for a word.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut set = self.start_set();
+        for &s in word {
+            set = self.step(&set, s);
+            if set.is_empty() {
+                return false;
+            }
+        }
+        self.set_accepts(&set)
+    }
+
+    // ----- language queries -----
+
+    /// True iff the language is empty (no accepting state reachable).
+    pub fn is_empty_lang(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// A shortest accepted word, if any (0–1 BFS over states, ε edges free).
+    pub fn shortest_accepted(&self) -> Option<Vec<Symbol>> {
+        #[derive(Clone)]
+        struct Back {
+            prev: StateId,
+            sym: Option<Symbol>,
+        }
+        let n = self.num_states();
+        let mut dist = vec![usize::MAX; n];
+        let mut back: Vec<Option<Back>> = vec![None; n];
+        let mut dq: VecDeque<StateId> = VecDeque::new();
+        dist[self.start as usize] = 0;
+        dq.push_back(self.start);
+        while let Some(s) = dq.pop_front() {
+            let d = dist[s as usize];
+            if self.accept[s as usize] {
+                // reconstruct
+                let mut word = Vec::new();
+                let mut cur = s;
+                while cur != self.start || back[cur as usize].is_some() {
+                    let Some(b) = back[cur as usize].clone() else {
+                        break;
+                    };
+                    if let Some(sym) = b.sym {
+                        word.push(sym);
+                    }
+                    cur = b.prev;
+                }
+                word.reverse();
+                return Some(word);
+            }
+            for &t in &self.eps[s as usize] {
+                if d < dist[t as usize] {
+                    dist[t as usize] = d;
+                    back[t as usize] = Some(Back { prev: s, sym: None });
+                    dq.push_front(t);
+                }
+            }
+            for &(sym, t) in &self.trans[s as usize] {
+                if d + 1 < dist[t as usize] {
+                    dist[t as usize] = d + 1;
+                    back[t as usize] = Some(Back {
+                        prev: s,
+                        sym: Some(sym),
+                    });
+                    dq.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Keep only states that are both reachable from the start and
+    /// co-reachable to an accepting state. Returns the trimmed automaton
+    /// (canonical ∅ automaton when the language is empty).
+    pub fn trim(&self) -> Nfa {
+        let n = self.num_states();
+        // forward reachability
+        let mut fwd = vec![false; n];
+        let mut stack = vec![self.start];
+        fwd[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s as usize] {
+                if !fwd[t as usize] {
+                    fwd[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+            for &(_, t) in &self.trans[s as usize] {
+                if !fwd[t as usize] {
+                    fwd[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        // backward from accepting, over reversed edges
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for &t in &self.eps[s] {
+                rev[t as usize].push(s as StateId);
+            }
+            for &(_, t) in &self.trans[s] {
+                rev[t as usize].push(s as StateId);
+            }
+        }
+        let mut bwd = vec![false; n];
+        let mut stack: Vec<StateId> = (0..n as StateId).filter(|&s| self.accept[s as usize]).collect();
+        for &s in &stack {
+            bwd[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s as usize] {
+                if !bwd[p as usize] {
+                    bwd[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let keep: Vec<bool> = (0..n).map(|s| fwd[s] && bwd[s]).collect();
+        if !keep[self.start as usize] {
+            return Nfa::empty();
+        }
+        let mut map = vec![StateId::MAX; n];
+        let mut out = Nfa {
+            start: 0,
+            accept: Vec::new(),
+            trans: Vec::new(),
+            eps: Vec::new(),
+        };
+        for s in 0..n {
+            if keep[s] {
+                map[s] = out.accept.len() as StateId;
+                out.accept.push(self.accept[s]);
+                out.trans.push(Vec::new());
+                out.eps.push(Vec::new());
+            }
+        }
+        for s in 0..n {
+            if !keep[s] {
+                continue;
+            }
+            let ms = map[s] as usize;
+            for &(sym, t) in &self.trans[s] {
+                if keep[t as usize] {
+                    out.trans[ms].push((sym, map[t as usize]));
+                }
+            }
+            for &t in &self.eps[s] {
+                if keep[t as usize] {
+                    out.eps[ms].push(map[t as usize]);
+                }
+            }
+        }
+        out.start = map[self.start as usize];
+        out
+    }
+
+    /// The reversed-language automaton.
+    pub fn reverse(&self) -> Nfa {
+        let n = self.num_states();
+        let mut out = Nfa {
+            start: 0,
+            accept: vec![false; n + 1],
+            trans: vec![Vec::new(); n + 1],
+            eps: vec![Vec::new(); n + 1],
+        };
+        // state i of self becomes state i+1 of out; state 0 is the new start
+        for s in 0..n {
+            for &(sym, t) in &self.trans[s] {
+                out.trans[t as usize + 1].push((sym, s as StateId + 1));
+            }
+            for &t in &self.eps[s] {
+                out.eps[t as usize + 1].push(s as StateId + 1);
+            }
+            if self.accept[s] {
+                out.eps[0].push(s as StateId + 1);
+            }
+        }
+        out.accept[self.start as usize + 1] = true;
+        out
+    }
+
+    /// Union of two automata (fresh start with ε-edges to both).
+    pub fn union(a: &Nfa, b: &Nfa) -> Nfa {
+        let mut out = Nfa::empty();
+        let oa = out.add_nfa(a);
+        let ob = out.add_nfa(b);
+        out.add_eps(out.start, a.start + oa);
+        out.add_eps(out.start, b.start + ob);
+        out
+    }
+
+    /// Concatenation `a·b`.
+    pub fn concat(a: &Nfa, b: &Nfa) -> Nfa {
+        let mut out = Nfa::empty();
+        let oa = out.add_nfa(a);
+        let ob = out.add_nfa(b);
+        out.add_eps(out.start, a.start + oa);
+        for s in 0..a.num_states() {
+            if a.accept[s] {
+                out.accept[s + oa as usize] = false;
+                out.add_eps(s as StateId + oa, b.start + ob);
+            }
+        }
+        out
+    }
+
+    /// Kleene closure of `a`.
+    pub fn star(a: &Nfa) -> Nfa {
+        let mut out = Nfa::empty();
+        out.accept[0] = true;
+        let oa = out.add_nfa(a);
+        out.add_eps(out.start, a.start + oa);
+        for s in 0..a.num_states() {
+            if a.accept[s] {
+                out.add_eps(s as StateId + oa, out.start);
+            }
+        }
+        out
+    }
+
+    /// Product automaton for intersection: accepts L(a) ∩ L(b). Only pairs
+    /// reachable from (start, start) are materialized.
+    pub fn intersection(a: &Nfa, b: &Nfa) -> Nfa {
+        let mut out = Nfa::empty();
+        let mut map: std::collections::HashMap<(StateId, StateId), StateId> =
+            std::collections::HashMap::new();
+        let start_pair = (a.start, b.start);
+        map.insert(start_pair, out.start);
+        out.accept[0] = a.accept[a.start as usize] && b.accept[b.start as usize];
+        let mut queue = vec![start_pair];
+        while let Some((sa, sb)) = queue.pop() {
+            let from = map[&(sa, sb)];
+            let push = |out: &mut Nfa,
+                            map: &mut std::collections::HashMap<(StateId, StateId), StateId>,
+                            queue: &mut Vec<(StateId, StateId)>,
+                            pair: (StateId, StateId)|
+             -> StateId {
+                *map.entry(pair).or_insert_with(|| {
+                    queue.push(pair);
+                    out.add_state(
+                        a.accept[pair.0 as usize] && b.accept[pair.1 as usize],
+                    )
+                })
+            };
+            for &t in &a.eps[sa as usize] {
+                let to = push(&mut out, &mut map, &mut queue, (t, sb));
+                out.add_eps(from, to);
+            }
+            for &t in &b.eps[sb as usize] {
+                let to = push(&mut out, &mut map, &mut queue, (sa, t));
+                out.add_eps(from, to);
+            }
+            for &(sym, ta) in &a.trans[sa as usize] {
+                for &(sym2, tb) in &b.trans[sb as usize] {
+                    if sym == sym2 {
+                        let to = push(&mut out, &mut map, &mut queue, (ta, tb));
+                        out.add_transition(from, sym, to);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// States of `self` reachable from its start by some word in `L(filter)`.
+    /// Used by the constraint saturation procedures: "the set of states q
+    /// such that some y ∈ L(Q) leads from the start to q".
+    pub fn reachable_via(&self, filter: &Nfa) -> Vec<StateId> {
+        let mut seen: std::collections::HashSet<(StateId, StateId)> =
+            std::collections::HashSet::new();
+        let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+        let start = (self.start, filter.start);
+        seen.insert(start);
+        queue.push_back(start);
+        let mut hits = vec![false; self.num_states()];
+        while let Some((s, f)) = queue.pop_front() {
+            if filter.accept[f as usize] {
+                hits[s as usize] = true;
+            }
+            for &t in &self.eps[s as usize] {
+                if seen.insert((t, f)) {
+                    queue.push_back((t, f));
+                }
+            }
+            for &t in &filter.eps[f as usize] {
+                if seen.insert((s, t)) {
+                    queue.push_back((s, t));
+                }
+            }
+            for &(sym, ts) in &self.trans[s as usize] {
+                for &(sym2, tf) in &filter.trans[f as usize] {
+                    if sym == sym2 && seen.insert((ts, tf)) {
+                        queue.push_back((ts, tf));
+                    }
+                }
+            }
+        }
+        (0..self.num_states() as StateId)
+            .filter(|&s| hits[s as usize])
+            .collect()
+    }
+
+    /// True iff the language is finite: the trimmed automaton has no cycle
+    /// (ε edges included).
+    pub fn is_finite_lang(&self) -> bool {
+        let t = self.trim();
+        // DFS cycle detection, but cycles of pure ε edges do not pump words.
+        // We still treat ε-cycles as harmless only if no symbol edge lies on
+        // a cycle; detect cycles on the graph where symbol edges count and
+        // ε edges are contracted via SCC: a language is infinite iff some
+        // SCC (over all edges) contains a symbol-labeled edge.
+        let n = t.num_states();
+        let scc = strongly_connected_components(n, |s, f| {
+            for &e in &t.eps[s] {
+                f(e as usize);
+            }
+            for &(_, e) in &t.trans[s] {
+                f(e as usize);
+            }
+        });
+        for s in 0..n {
+            for &(_, e) in &t.trans[s] {
+                if scc[s] == scc[e as usize] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerate accepted words in nondecreasing length order, up to
+    /// `max_len`, returning at most `cap` words. Deterministic order (length,
+    /// then symbol indices). Mostly a testing and boundedness-construction
+    /// aid; cost is exponential in `max_len` in the worst case.
+    pub fn enumerate_words(&self, max_len: usize, cap: usize) -> Vec<Vec<Symbol>> {
+        let mut out = Vec::new();
+        let start = self.start_set();
+        if start.is_empty() {
+            return out;
+        }
+        let mut layer: Vec<(Vec<Symbol>, Vec<StateId>)> = vec![(Vec::new(), start)];
+        let mut seen_sets: std::collections::HashMap<Vec<StateId>, usize> =
+            std::collections::HashMap::new();
+        for len in 0..=max_len {
+            for (word, set) in &layer {
+                if self.set_accepts(set) {
+                    out.push(word.clone());
+                    if out.len() >= cap {
+                        return out;
+                    }
+                }
+            }
+            if len == max_len {
+                break;
+            }
+            let mut next: Vec<(Vec<Symbol>, Vec<StateId>)> = Vec::new();
+            let mut next_syms: std::collections::BTreeSet<Symbol> = std::collections::BTreeSet::new();
+            for (word, set) in &layer {
+                next_syms.clear();
+                for &s in set {
+                    for &(sym, _) in &self.trans[s as usize] {
+                        next_syms.insert(sym);
+                    }
+                }
+                for &sym in &next_syms {
+                    let stepped = self.step(set, sym);
+                    if stepped.is_empty() {
+                        continue;
+                    }
+                    // Avoid re-expanding a set we have already expanded at
+                    // the same or smaller depth unless it can still yield new
+                    // words (different prefix). Words differ, so keep; but
+                    // bound blow-up by capping the frontier.
+                    let mut w = word.clone();
+                    w.push(sym);
+                    next.push((w, stepped));
+                }
+            }
+            // Frontier safety valve.
+            let frontier_cap = cap.saturating_mul(8).max(4096);
+            if next.len() > frontier_cap {
+                next.truncate(frontier_cap);
+            }
+            seen_sets.clear();
+            layer = next;
+            if layer.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Graphviz rendering (for docs/examples).
+    pub fn dot(&self, alphabet: &Alphabet) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph nfa {\n  rankdir=LR;\n");
+        let _ = writeln!(s, "  start [shape=point];");
+        let _ = writeln!(s, "  start -> q{};", self.start);
+        for q in 0..self.num_states() {
+            let shape = if self.accept[q] { "doublecircle" } else { "circle" };
+            let _ = writeln!(s, "  q{q} [shape={shape}];");
+            for &(sym, t) in &self.trans[q] {
+                let _ = writeln!(s, "  q{q} -> q{t} [label=\"{}\"];", alphabet.name(sym));
+            }
+            for &t in &self.eps[q] {
+                let _ = writeln!(s, "  q{q} -> q{t} [label=\"ε\"];");
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Tarjan SCC over a graph given by a successor callback. Returns the
+/// component index of each node (components are numbered arbitrarily).
+pub fn strongly_connected_components<F>(n: usize, succ: F) -> Vec<usize>
+where
+    F: Fn(usize, &mut dyn FnMut(usize)),
+{
+    // Iterative Tarjan to avoid recursion limits on large automata.
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![UNSET; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        // call stack: (node, iterator position over successors)
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            // collect successors each visit (cheap for our small degrees)
+            let mut succs = Vec::new();
+            succ(v, &mut |w| succs.push(w));
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w] == UNSET {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("scc stack non-empty");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                call.pop();
+                if let Some(&mut (u, _)) = call.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+
+    fn re(ab: &mut Alphabet, s: &str) -> Regex {
+        parse_regex(ab, s).unwrap()
+    }
+
+    fn w(ab: &mut Alphabet, s: &str) -> Vec<Symbol> {
+        if s.is_empty() {
+            vec![]
+        } else {
+            s.chars().map(|c| ab.intern(&c.to_string())).collect()
+        }
+    }
+
+    #[test]
+    fn thompson_accepts_expected_words() {
+        let mut ab = Alphabet::new();
+        let r = re(&mut ab, "a.(b+c)*.d");
+        let n = Nfa::thompson(&r);
+        assert!(n.accepts(&w(&mut ab, "ad")));
+        assert!(n.accepts(&w(&mut ab, "abd")));
+        assert!(n.accepts(&w(&mut ab, "abcbcd")));
+        assert!(!n.accepts(&w(&mut ab, "a")));
+        assert!(!n.accepts(&w(&mut ab, "d")));
+        assert!(!n.accepts(&w(&mut ab, "abdd")));
+    }
+
+    #[test]
+    fn epsilon_and_empty_languages() {
+        let mut ab = Alphabet::new();
+        let e = Nfa::thompson(&re(&mut ab, "()"));
+        assert!(e.accepts(&[]));
+        assert!(!e.accepts(&w(&mut ab, "a")));
+        let v = Nfa::thompson(&re(&mut ab, "[]"));
+        assert!(!v.accepts(&[]));
+        assert!(v.is_empty_lang());
+        assert!(!e.is_empty_lang());
+    }
+
+    #[test]
+    fn shortest_accepted_finds_minimum() {
+        let mut ab = Alphabet::new();
+        let r = re(&mut ab, "a.a.a + b.b");
+        let n = Nfa::thompson(&r);
+        assert_eq!(n.shortest_accepted().unwrap().len(), 2);
+        let r2 = re(&mut ab, "c* ");
+        assert_eq!(Nfa::thompson(&r2).shortest_accepted().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn step_tracks_quotients() {
+        let mut ab = Alphabet::new();
+        let r = re(&mut ab, "a.b*");
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let n = Nfa::thompson(&r);
+        let s0 = n.start_set();
+        assert!(!n.set_accepts(&s0));
+        let s1 = n.step(&s0, a);
+        assert!(n.set_accepts(&s1)); // ε ∈ b*
+        let s2 = n.step(&s1, b);
+        assert!(n.set_accepts(&s2));
+        let dead = n.step(&s1, a);
+        assert!(dead.is_empty());
+    }
+
+    #[test]
+    fn union_concat_star_combinators() {
+        let mut ab = Alphabet::new();
+        let na = Nfa::thompson(&re(&mut ab, "a"));
+        let nb = Nfa::thompson(&re(&mut ab, "b"));
+        let u = Nfa::union(&na, &nb);
+        assert!(u.accepts(&w(&mut ab, "a")));
+        assert!(u.accepts(&w(&mut ab, "b")));
+        assert!(!u.accepts(&w(&mut ab, "ab")));
+        let c = Nfa::concat(&na, &nb);
+        assert!(c.accepts(&w(&mut ab, "ab")));
+        assert!(!c.accepts(&w(&mut ab, "a")));
+        let s = Nfa::star(&c);
+        assert!(s.accepts(&[]));
+        assert!(s.accepts(&w(&mut ab, "abab")));
+        assert!(!s.accepts(&w(&mut ab, "aba")));
+    }
+
+    #[test]
+    fn reverse_language() {
+        let mut ab = Alphabet::new();
+        let n = Nfa::thompson(&re(&mut ab, "a.b.c"));
+        let r = n.reverse();
+        assert!(r.accepts(&w(&mut ab, "cba")));
+        assert!(!r.accepts(&w(&mut ab, "abc")));
+    }
+
+    #[test]
+    fn intersection_products() {
+        let mut ab = Alphabet::new();
+        let n1 = Nfa::thompson(&re(&mut ab, "a*.b"));
+        let n2 = Nfa::thompson(&re(&mut ab, "a.a*.b + b"));
+        let i = Nfa::intersection(&n1, &n2);
+        assert!(i.accepts(&w(&mut ab, "ab")));
+        assert!(i.accepts(&w(&mut ab, "b")));
+        assert!(i.accepts(&w(&mut ab, "aab")));
+        assert!(!i.accepts(&w(&mut ab, "a")));
+        let n3 = Nfa::thompson(&re(&mut ab, "c"));
+        assert!(Nfa::intersection(&n1, &n3).is_empty_lang());
+    }
+
+    #[test]
+    fn trim_removes_dead_states() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let mut n = Nfa::empty();
+        let acc = n.add_state(true);
+        let dead = n.add_state(false);
+        n.add_transition(n.start(), a, acc);
+        n.add_transition(n.start(), a, dead); // dead end
+        let t = n.trim();
+        assert_eq!(t.num_states(), 2);
+        assert!(t.accepts(&[a]));
+    }
+
+    #[test]
+    fn finiteness_detection() {
+        let mut ab = Alphabet::new();
+        assert!(Nfa::thompson(&re(&mut ab, "a.b + c")).is_finite_lang());
+        assert!(!Nfa::thompson(&re(&mut ab, "a.b*")).is_finite_lang());
+        assert!(Nfa::thompson(&re(&mut ab, "[]")).is_finite_lang());
+        // star of epsilon is finite
+        assert!(Nfa::thompson(&re(&mut ab, "()*")).is_finite_lang());
+        // unreachable cycles don't count
+        let a = ab.get("a").unwrap();
+        let mut n = Nfa::thompson(&re(&mut ab, "a"));
+        let s1 = n.add_state(false);
+        n.add_transition(s1, a, s1); // disconnected loop
+        assert!(n.is_finite_lang());
+    }
+
+    #[test]
+    fn enumerate_words_in_order() {
+        let mut ab = Alphabet::new();
+        let n = Nfa::thompson(&re(&mut ab, "a.b* + b"));
+        let words = n.enumerate_words(3, 100);
+        let rendered: Vec<String> = words.iter().map(|w| ab.render_word(w)).collect();
+        assert_eq!(rendered, vec!["a", "b", "a.b", "a.b.b"]);
+    }
+
+    #[test]
+    fn reachable_via_filters_by_language() {
+        let mut ab = Alphabet::new();
+        // self: chain a b c; filter: a.b
+        let n = Nfa::thompson(&re(&mut ab, "a.b.c"));
+        let f = Nfa::thompson(&re(&mut ab, "a.b"));
+        let hits = n.reachable_via(&f);
+        // Exactly the states at "distance a.b" from start should be hit.
+        assert!(!hits.is_empty());
+        // From each hit state, reading c must reach acceptance.
+        let c = ab.get("c").unwrap();
+        let set = n.eps_closure(&hits);
+        let after = n.step(&set, c);
+        assert!(n.set_accepts(&after));
+    }
+
+    #[test]
+    fn add_nfa_glues_with_offset() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let base = Nfa::from_word(&[a]);
+        let mut big = Nfa::empty();
+        let off = big.add_nfa(&base);
+        big.add_eps(big.start(), base.start() + off);
+        big.set_accepting(off + 1, true);
+        assert!(big.accepts(&[a]));
+    }
+
+    #[test]
+    fn scc_helper_identifies_components() {
+        // 0 -> 1 -> 2 -> 0 cycle, 3 isolated
+        let edges = [vec![1], vec![2], vec![0], vec![]];
+        let comp = strongly_connected_components(4, |v, f| {
+            for &w in &edges[v] {
+                f(w);
+            }
+        });
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+    }
+}

@@ -1,0 +1,390 @@
+//! Language-level decision procedures: inclusion and equivalence.
+//!
+//! Regular-expression equivalence is PSPACE-complete (the paper cites this
+//! via \[15\] when bounding Theorem 4.3(ii)), so every algorithm here is
+//! worst-case exponential; they differ enormously in practice:
+//!
+//! * [`included_naive`] — determinize both sides, test `A ∩ ¬B = ∅`.
+//! * [`included_antichain`] — on-the-fly product of NFA states of `A` with
+//!   subset-states of `B`, pruned by the antichain subsumption order.
+//! * [`equivalent_hopcroft_karp`] — union-find bisimulation over lazily
+//!   determinized subset pairs.
+//!
+//! Bench `t7_regex_ops` compares them (an ablation the paper's complexity
+//! remarks predict: the antichain/HK methods win as expressions grow).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateId};
+use crate::regex::Regex;
+
+/// Outcome of an inclusion check: either it holds, or a counterexample word
+/// in `L(a) \ L(b)` is produced.
+pub type InclusionResult = Result<(), Vec<Symbol>>;
+
+/// Naive inclusion via full determinization: `L(a) ⊆ L(b)`.
+pub fn included_naive(a: &Nfa, b: &Nfa, sigma: usize) -> InclusionResult {
+    let da = Dfa::from_nfa(a, sigma);
+    let db = Dfa::from_nfa(b, sigma);
+    let diff = Dfa::product(&da, &db, |x, y| x && !y);
+    match diff.shortest_accepted() {
+        None => Ok(()),
+        Some(w) => Err(w),
+    }
+}
+
+/// Antichain-based inclusion check: `L(a) ⊆ L(b)`.
+///
+/// Explores pairs `(q, S)` where `q` is an `a`-state and `S` a subset-state
+/// of `b`; a pair is a counterexample witness when `q` accepts and `S` does
+/// not. A pair `(q, S)` is *subsumed* by a visited `(q, S')` with `S' ⊆ S`:
+/// any word rejected from `S` is also rejected from `S'`, so exploring the
+/// superset cannot find new counterexamples.
+pub fn included_antichain(a: &Nfa, b: &Nfa) -> InclusionResult {
+    // Work on ε-closed representations.
+    #[derive(Clone)]
+    struct Node {
+        q: StateId,
+        set: Vec<StateId>,
+        parent: usize,
+        sym: Option<Symbol>,
+    }
+
+    let a_start = a.start_set();
+    let b_start = b.start_set();
+
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    // visited minimal sets per a-state
+    let mut antichain: HashMap<StateId, Vec<Vec<StateId>>> = HashMap::new();
+
+    let push = |nodes: &mut Vec<Node>,
+                    queue: &mut VecDeque<usize>,
+                    antichain: &mut HashMap<StateId, Vec<Vec<StateId>>>,
+                    node: Node|
+     -> Option<usize> {
+        let chain = antichain.entry(node.q).or_default();
+        // subsumed if an existing set is a subset of node.set
+        if chain.iter().any(|s| is_subset(s, &node.set)) {
+            return None;
+        }
+        chain.retain(|s| !is_subset(&node.set, s));
+        chain.push(node.set.clone());
+        nodes.push(node);
+        let id = nodes.len() - 1;
+        queue.push_back(id);
+        Some(id)
+    };
+
+    for &q in &a_start {
+        let node = Node {
+            q,
+            set: b_start.clone(),
+            parent: usize::MAX,
+            sym: None,
+        };
+        push(&mut nodes, &mut queue, &mut antichain, node);
+    }
+
+    while let Some(i) = queue.pop_front() {
+        let (q, set) = (nodes[i].q, nodes[i].set.clone());
+        if a.is_accepting(q) && !b.set_accepts(&set) {
+            // reconstruct counterexample
+            let mut word = Vec::new();
+            let mut cur = i;
+            loop {
+                let n = &nodes[cur];
+                if let Some(sym) = n.sym {
+                    word.push(sym);
+                }
+                if n.parent == usize::MAX {
+                    break;
+                }
+                cur = n.parent;
+            }
+            word.reverse();
+            return Err(word);
+        }
+        // expand: labeled successors of q (ε-moves of a folded by closure)
+        for &qe in a.eps_transitions(q) {
+            let node = Node {
+                q: qe,
+                set: set.clone(),
+                parent: i,
+                sym: None,
+            };
+            push(&mut nodes, &mut queue, &mut antichain, node);
+        }
+        for &(sym, qt) in a.transitions(q) {
+            let next_set = b.step(&set, sym);
+            let node = Node {
+                q: qt,
+                set: next_set,
+                parent: i,
+                sym: Some(sym),
+            };
+            push(&mut nodes, &mut queue, &mut antichain, node);
+        }
+    }
+    Ok(())
+}
+
+fn is_subset(small: &[StateId], big: &[StateId]) -> bool {
+    // both sorted
+    let mut i = 0;
+    for &x in small {
+        while i < big.len() && big[i] < x {
+            i += 1;
+        }
+        if i == big.len() || big[i] != x {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Hopcroft–Karp style equivalence on two NFAs, via lazily determinized
+/// subset states and a union-find "merge and verify" loop.
+pub fn equivalent_hopcroft_karp(a: &Nfa, b: &Nfa, sigma: usize) -> Result<(), Vec<Symbol>> {
+    // Union-find over interned subset states from both sides.
+    #[derive(Default)]
+    struct Interner {
+        map: HashMap<(bool, Vec<StateId>), usize>,
+        accept: Vec<bool>,
+    }
+    impl Interner {
+        fn get(&mut self, side_b: bool, set: Vec<StateId>, accepts: bool) -> usize {
+            let key = (side_b, set);
+            if let Some(&i) = self.map.get(&key) {
+                return i;
+            }
+            let i = self.accept.len();
+            self.accept.push(accepts);
+            self.map.insert(key, i);
+            i
+        }
+    }
+    struct Uf {
+        parent: Vec<usize>,
+    }
+    impl Uf {
+        fn find(&mut self, mut x: usize) -> usize {
+            while self.parent[x] != x {
+                self.parent[x] = self.parent[self.parent[x]];
+                x = self.parent[x];
+            }
+            x
+        }
+        fn union(&mut self, x: usize, y: usize) -> bool {
+            let (rx, ry) = (self.find(x), self.find(y));
+            if rx == ry {
+                return false;
+            }
+            self.parent[rx] = ry;
+            true
+        }
+        fn ensure(&mut self, n: usize) {
+            while self.parent.len() < n {
+                self.parent.push(self.parent.len());
+            }
+        }
+    }
+
+    let mut interner = Interner::default();
+    let mut uf = Uf { parent: Vec::new() };
+
+    let sa = a.start_set();
+    let sb = b.start_set();
+    let ia = interner.get(false, sa.clone(), a.set_accepts(&sa));
+    let ib = interner.get(true, sb.clone(), b.set_accepts(&sb));
+    uf.ensure(interner.accept.len());
+
+    let mut queue: VecDeque<(Vec<StateId>, Vec<StateId>, Vec<Symbol>)> = VecDeque::new();
+    if interner.accept[ia] != interner.accept[ib] {
+        return Err(Vec::new());
+    }
+    uf.union(ia, ib);
+    queue.push_back((sa, sb, Vec::new()));
+
+    while let Some((xa, xb, word)) = queue.pop_front() {
+        for sym in 0..sigma {
+            let sym = Symbol::from_index(sym);
+            let na = a.step(&xa, sym);
+            let nb = b.step(&xb, sym);
+            let acc_a = a.set_accepts(&na);
+            let acc_b = b.set_accepts(&nb);
+            let ja = interner.get(false, na.clone(), acc_a);
+            let jb = interner.get(true, nb.clone(), acc_b);
+            uf.ensure(interner.accept.len());
+            if acc_a != acc_b {
+                let mut w = word.clone();
+                w.push(sym);
+                return Err(w);
+            }
+            let (ra, rb) = (uf.find(ja), uf.find(jb));
+            if ra != rb {
+                uf.union(ra, rb);
+                let mut w = word.clone();
+                w.push(sym);
+                queue.push_back((na, nb, w));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Language equivalence via two antichain inclusion checks; returns a word in
+/// the symmetric difference on failure.
+pub fn equivalent(a: &Nfa, b: &Nfa) -> Result<(), Vec<Symbol>> {
+    included_antichain(a, b)?;
+    included_antichain(b, a)
+}
+
+/// Regex-level convenience: `L(p) ⊆ L(q)`?
+pub fn regex_included(p: &Regex, q: &Regex) -> bool {
+    included_antichain(&Nfa::thompson(p), &Nfa::thompson(q)).is_ok()
+}
+
+/// Regex-level convenience: `L(p) = L(q)`?
+pub fn regex_equivalent(p: &Regex, q: &Regex) -> bool {
+    equivalent(&Nfa::thompson(p), &Nfa::thompson(q)).is_ok()
+}
+
+/// Regex-level counterexample: a word in `L(p) Δ L(q)` if the languages
+/// differ, rendered against `alphabet`.
+pub fn regex_difference_witness(p: &Regex, q: &Regex, alphabet: &Alphabet) -> Option<String> {
+    match equivalent(&Nfa::thompson(p), &Nfa::thompson(q)) {
+        Ok(()) => None,
+        Err(w) => Some(alphabet.render_word(&w)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::parser::parse_regex;
+
+    fn pair(ab: &mut Alphabet, p: &str, q: &str) -> (Nfa, Nfa) {
+        let rp = parse_regex(ab, p).unwrap();
+        let rq = parse_regex(ab, q).unwrap();
+        (Nfa::thompson(&rp), Nfa::thompson(&rq))
+    }
+
+    #[test]
+    fn inclusion_positive_cases() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let cases = [
+            ("a.b", "a.b*"),
+            ("a.(b.a)*", "(a.b)*.a"), // classic identity: a(ba)* = (ab)*a
+            ("[]", "a"),
+            ("()", "a*"),
+            ("a.a + a.b", "a.(a+b)"),
+        ];
+        for (p, q) in cases {
+            let (np, nq) = pair(&mut ab, p, q);
+            assert!(included_naive(&np, &nq, ab.len()).is_ok(), "{p} ⊆ {q}");
+            assert!(included_antichain(&np, &nq).is_ok(), "{p} ⊆ {q}");
+        }
+    }
+
+    #[test]
+    fn inclusion_counterexamples_verified() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let cases = [("a.b*", "a.b"), ("a*", "a.a*"), ("(a+b)*", "a*.b*")];
+        for (p, q) in cases {
+            let (np, nq) = pair(&mut ab, p, q);
+            let w1 = included_naive(&np, &nq, ab.len()).unwrap_err();
+            assert!(np.accepts(&w1) && !nq.accepts(&w1), "{p} vs {q}");
+            let w2 = included_antichain(&np, &nq).unwrap_err();
+            assert!(np.accepts(&w2) && !nq.accepts(&w2), "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn equivalence_identities() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let identities = [
+            ("a.(b.a)*", "(a.b)*.a"),
+            ("(a+b)*", "(a*.b*)*"),
+            ("a* ", "() + a.a*"),
+            ("(a.b)* ", "() + a.(b.a)*.b"),
+        ];
+        for (p, q) in identities {
+            let (np, nq) = pair(&mut ab, p, q);
+            assert!(equivalent(&np, &nq).is_ok(), "{p} = {q}");
+            assert!(
+                equivalent_hopcroft_karp(&np, &nq, ab.len()).is_ok(),
+                "{p} = {q} (HK)"
+            );
+        }
+    }
+
+    #[test]
+    fn equivalence_rejects_different_languages() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let (np, nq) = pair(&mut ab, "a*", "b*");
+        let w = equivalent(&np, &nq).unwrap_err();
+        assert!(np.accepts(&w) != nq.accepts(&w));
+        let w2 = equivalent_hopcroft_karp(&np, &nq, ab.len()).unwrap_err();
+        assert!(np.accepts(&w2) != nq.accepts(&w2));
+    }
+
+    #[test]
+    fn hk_counterexample_on_subtle_pair() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        // differ only on the word b.a.b
+        let (np, nq) = pair(&mut ab, "(a+b)*", "(a+b)* "); // identical
+        assert!(equivalent_hopcroft_karp(&np, &nq, ab.len()).is_ok());
+        let (np, nq) = pair(&mut ab, "(a+b)*.a.(a+b)", "(a+b)*.a.(a+b).(a+b)");
+        let w = equivalent_hopcroft_karp(&np, &nq, ab.len()).unwrap_err();
+        assert!(np.accepts(&w) != nq.accepts(&w));
+    }
+
+    #[test]
+    fn regex_level_helpers() {
+        let mut ab = Alphabet::new();
+        let p = parse_regex(&mut ab, "a.(b.a)*.c").unwrap();
+        let q = parse_regex(&mut ab, "(a.b)*.a.c").unwrap();
+        assert!(regex_equivalent(&p, &q));
+        assert!(regex_included(&p, &q));
+        let r = parse_regex(&mut ab, "a.c").unwrap();
+        assert!(regex_included(&r, &p));
+        assert!(!regex_included(&p, &r));
+        let witness = regex_difference_witness(&p, &r, &ab).unwrap();
+        assert!(witness.contains('b'));
+    }
+
+    #[test]
+    fn antichain_agrees_with_naive_on_family() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        ab.intern("c");
+        let exprs = [
+            "a", "b", "a.b", "a+b", "a*", "(a+b)*", "a.(b+c)*", "a*.b*", "(a.b)*", "a.b.c",
+            "()", "[]", "(a+b+c)*.a",
+        ];
+        for p in exprs {
+            for q in exprs {
+                let (np, nq) = pair(&mut ab, p, q);
+                let naive = included_naive(&np, &nq, ab.len()).is_ok();
+                let anti = included_antichain(&np, &nq).is_ok();
+                assert_eq!(naive, anti, "{p} ⊆ {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! A parser for the paper's path-query syntax.
+//!
+//! Grammar (whitespace between tokens is insignificant except that it
+//! separates adjacent identifiers):
+//!
+//! ```text
+//! expr    := term ('+' term)*                 union  ('|' also accepted)
+//! term    := factor (('.')? factor)*          concatenation
+//! factor  := atom ('*' | '?')*                postfix star / optional
+//! atom    := IDENT | STRING | '(' expr ')' | '()' | '[]'
+//! IDENT   := [A-Za-z0-9_] [A-Za-z0-9_-]*
+//! STRING  := '"' (escaped chars) '"'
+//! ```
+//!
+//! `()` denotes ε and `[]` denotes the empty language, so every regex prints
+//! (via [`crate::regex::RegexDisplay`]) to a string this parser accepts.
+//! Following the paper, `+` is *union* (never one-or-more); write `p.p*` or
+//! use [`crate::regex::Regex::plus`] programmatically.
+
+use std::fmt;
+
+use crate::alphabet::Alphabet;
+use crate::regex::Regex;
+
+/// Error with byte position produced by [`parse_regex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Plus,
+    Dot,
+    Star,
+    Question,
+    LParen,
+    RParen,
+    Epsilon,
+    EmptyLang,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    toks: Vec<(usize, Tok)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(src: &'a str) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut lx = Lexer {
+            src,
+            pos: 0,
+            toks: Vec::new(),
+        };
+        lx.lex()?;
+        Ok(lx.toks)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn lex(&mut self) -> Result<(), ParseError> {
+        while self.pos < self.src.len() {
+            let rest = self.rest();
+            let c = rest.chars().next().expect("non-empty rest");
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += c.len_utf8();
+                }
+                '+' | '|' => {
+                    self.toks.push((start, Tok::Plus));
+                    self.pos += 1;
+                }
+                '.' => {
+                    self.toks.push((start, Tok::Dot));
+                    self.pos += 1;
+                }
+                '*' => {
+                    self.toks.push((start, Tok::Star));
+                    self.pos += 1;
+                }
+                '?' => {
+                    self.toks.push((start, Tok::Question));
+                    self.pos += 1;
+                }
+                '(' => {
+                    // Lookahead for "()" = epsilon (possibly with inner spaces).
+                    let mut j = self.pos + 1;
+                    while j < self.src.len() && self.src.as_bytes()[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < self.src.len() && self.src.as_bytes()[j] == b')' {
+                        self.toks.push((start, Tok::Epsilon));
+                        self.pos = j + 1;
+                    } else {
+                        self.toks.push((start, Tok::LParen));
+                        self.pos += 1;
+                    }
+                }
+                ')' => {
+                    self.toks.push((start, Tok::RParen));
+                    self.pos += 1;
+                }
+                '[' => {
+                    let mut j = self.pos + 1;
+                    while j < self.src.len() && self.src.as_bytes()[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < self.src.len() && self.src.as_bytes()[j] == b']' {
+                        self.toks.push((start, Tok::EmptyLang));
+                        self.pos = j + 1;
+                    } else {
+                        return Err(self.err("expected ']' to close empty-language '[]'"));
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    let mut name = String::new();
+                    loop {
+                        let Some(c) = self.rest().chars().next() else {
+                            return Err(self.err("unterminated string literal"));
+                        };
+                        self.pos += c.len_utf8();
+                        match c {
+                            '"' => break,
+                            '\\' => {
+                                let Some(e) = self.rest().chars().next() else {
+                                    return Err(self.err("dangling escape in string"));
+                                };
+                                self.pos += e.len_utf8();
+                                name.push(e);
+                            }
+                            other => name.push(other),
+                        }
+                    }
+                    self.toks.push((start, Tok::Ident(name)));
+                }
+                'ε' => {
+                    self.toks.push((start, Tok::Epsilon));
+                    self.pos += c.len_utf8();
+                }
+                '∅' => {
+                    self.toks.push((start, Tok::EmptyLang));
+                    self.pos += c.len_utf8();
+                }
+                c if c.is_ascii_alphanumeric() || c == '_' => {
+                    let mut end = self.pos;
+                    for ch in rest.chars() {
+                        if ch.is_ascii_alphanumeric() || ch == '_' || ch == '-' {
+                            end += ch.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    let name = &self.src[self.pos..end];
+                    self.toks.push((start, Tok::Ident(name.to_owned())));
+                    self.pos = end;
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character {other:?}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+    alphabet: &'a mut Alphabet,
+    input_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.i)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Regex, ParseError> {
+        let mut arms = vec![self.term()?];
+        while matches!(self.peek(), Some(Tok::Plus)) {
+            self.bump();
+            arms.push(self.term()?);
+        }
+        Ok(Regex::union(arms))
+    }
+
+    fn term(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.factor()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Dot) => {
+                    self.bump();
+                    parts.push(self.factor()?);
+                }
+                Some(Tok::Ident(_) | Tok::LParen | Tok::Epsilon | Tok::EmptyLang) => {
+                    parts.push(self.factor()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn factor(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.bump();
+                    r = r.star();
+                }
+                Some(Tok::Question) => {
+                    self.bump();
+                    r = r.opt();
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(Regex::sym(self.alphabet.intern(&name))),
+            Some(Tok::Epsilon) => Ok(Regex::Epsilon),
+            Some(Tok::EmptyLang) => Ok(Regex::Empty),
+            Some(Tok::LParen) => {
+                let inner = self.expr()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(inner),
+                    _ => Err(self.err("expected ')'")),
+                }
+            }
+            Some(t) => Err(self.err(format!("unexpected token {t:?}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+/// Parse a path query, interning labels into `alphabet`.
+pub fn parse_regex(alphabet: &mut Alphabet, src: &str) -> Result<Regex, ParseError> {
+    let toks = Lexer::run(src)?;
+    let input_len = src.len();
+    let mut p = Parser {
+        toks,
+        i: 0,
+        alphabet,
+        input_len,
+    };
+    let r = p.expr()?;
+    if p.i != p.toks.len() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(r)
+}
+
+/// Parse a *word* (a label sequence such as `a.b.c` or `a b c`; `()` for ε).
+/// Errors if the expression denotes anything other than a single word.
+pub fn parse_word(alphabet: &mut Alphabet, src: &str) -> Result<Vec<crate::Symbol>, ParseError> {
+    let r = parse_regex(alphabet, src)?;
+    r.as_word().ok_or(ParseError {
+        position: 0,
+        message: format!("expression {src:?} is not a single word"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_operators() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "a.(b+c)*.d").unwrap();
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let c = ab.get("c").unwrap();
+        let d = ab.get("d").unwrap();
+        let expect = Regex::sym(a)
+            .then(Regex::sym(b).or(Regex::sym(c)).star())
+            .then(Regex::sym(d));
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn juxtaposition_is_concat() {
+        let mut ab = Alphabet::new();
+        let r1 = parse_regex(&mut ab, "section (paragraph + figure) caption").unwrap();
+        let r2 = parse_regex(&mut ab, "section.(paragraph+figure).caption").unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn epsilon_and_empty() {
+        let mut ab = Alphabet::new();
+        assert_eq!(parse_regex(&mut ab, "()").unwrap(), Regex::Epsilon);
+        assert_eq!(parse_regex(&mut ab, "( )").unwrap(), Regex::Epsilon);
+        assert_eq!(parse_regex(&mut ab, "[]").unwrap(), Regex::Empty);
+        assert_eq!(parse_regex(&mut ab, "ε").unwrap(), Regex::Epsilon);
+        let r = parse_regex(&mut ab, "a + ()").unwrap();
+        assert!(r.nullable());
+    }
+
+    #[test]
+    fn postfix_operators() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "a*?").unwrap();
+        let a = ab.get("a").unwrap();
+        assert_eq!(r, Regex::sym(a).star().opt());
+        // a* is already nullable so a*? == ... union dedups to the same set
+        assert!(r.nullable());
+    }
+
+    #[test]
+    fn quoted_labels() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, r#""CS Department"."DB group""#).unwrap();
+        assert!(ab.get("CS Department").is_some());
+        assert_eq!(r.as_word().map(|w| w.len()), Some(2));
+    }
+
+    #[test]
+    fn error_positions() {
+        let mut ab = Alphabet::new();
+        let e = parse_regex(&mut ab, "a..b").unwrap_err();
+        assert!(e.position >= 2, "{e}");
+        assert!(parse_regex(&mut ab, "a)").is_err());
+        assert!(parse_regex(&mut ab, "(a").is_err());
+        assert!(parse_regex(&mut ab, "*a").is_err());
+        assert!(parse_regex(&mut ab, "\"abc").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "engine.(subpart)*.name + ()").unwrap();
+        let printed = format!("{}", r.display(&ab));
+        let reparsed = parse_regex(&mut ab, &printed).unwrap();
+        assert_eq!(r, reparsed);
+    }
+
+    #[test]
+    fn parse_word_accepts_only_words() {
+        let mut ab = Alphabet::new();
+        let w = parse_word(&mut ab, "a.b.c").unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(parse_word(&mut ab, "a*").is_err());
+        assert_eq!(parse_word(&mut ab, "()").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn plus_is_union_not_repetition() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "a+b").unwrap();
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        assert_eq!(r, Regex::sym(a).or(Regex::sym(b)));
+    }
+
+    #[test]
+    fn identifiers_can_contain_digits_and_dashes() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "cs345.CS-Department._tmp1").unwrap();
+        assert_eq!(r.as_word().map(|w| w.len()), Some(3));
+        assert!(ab.get("CS-Department").is_some());
+    }
+}

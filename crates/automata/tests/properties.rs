@@ -1,0 +1,251 @@
+//! Property tests for the language-theory substrate: the algebraic laws and
+//! cross-representation agreements everything downstream relies on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rpq_automata::derivative::{accepts as re_accepts, derivative};
+use rpq_automata::elim::nfa_to_regex;
+use rpq_automata::ops::{
+    equivalent, equivalent_hopcroft_karp, included_antichain, included_naive,
+};
+use rpq_automata::random::{random_regex, sample_word, RegexGenConfig};
+use rpq_automata::{Alphabet, DerivativeClosure, Dfa, Nfa, Regex, Symbol};
+
+fn syms() -> (Alphabet, Vec<Symbol>) {
+    let ab = Alphabet::from_names(["a", "b", "c"]);
+    let s = ab.symbols().collect();
+    (ab, s)
+}
+
+fn gen(seed: u64) -> (Alphabet, Vec<Symbol>, Regex) {
+    let (ab, s) = syms();
+    let cfg = RegexGenConfig::new(s.clone());
+    let r = random_regex(&mut StdRng::seed_from_u64(seed), &cfg);
+    (ab, s, r)
+}
+
+fn words_up_to(syms: &[Symbol], n: usize) -> Vec<Vec<Symbol>> {
+    let mut all: Vec<Vec<Symbol>> = vec![vec![]];
+    let mut layer: Vec<Vec<Symbol>> = vec![vec![]];
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for w in &layer {
+            for &s in syms {
+                let mut w2 = w.clone();
+                w2.push(s);
+                next.push(w2);
+            }
+        }
+        all.extend(next.iter().cloned());
+        layer = next;
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ∂_a then membership = membership of a·w (the defining law).
+    #[test]
+    fn derivative_law(seed in 0u64..100_000) {
+        let (_, s, r) = gen(seed);
+        for &a in &s {
+            let d = derivative(&r, a);
+            for w in words_up_to(&s, 3) {
+                let mut aw = vec![a];
+                aw.extend(w.iter().copied());
+                prop_assert_eq!(re_accepts(&d, &w), re_accepts(&r, &aw));
+            }
+        }
+    }
+
+    /// Thompson NFA, Glushkov NFA, subset DFA, minimized DFA, and the
+    /// derivative closure DFA all accept the same words.
+    #[test]
+    fn five_representations_agree(seed in 0u64..100_000) {
+        let (ab, s, r) = gen(seed);
+        let nfa = Nfa::thompson(&r);
+        let glu = rpq_automata::glushkov(&r);
+        let dfa = Dfa::from_nfa(&nfa, ab.len());
+        let min = dfa.minimize();
+        let closure = DerivativeClosure::compute(&r, &s, 10_000).unwrap();
+        let cdfa = closure.to_dfa(ab.len());
+        for w in words_up_to(&s, 4) {
+            let expect = nfa.accepts(&w);
+            prop_assert_eq!(glu.accepts(&w), expect);
+            prop_assert_eq!(dfa.accepts(&w), expect);
+            prop_assert_eq!(min.accepts(&w), expect);
+            prop_assert_eq!(cdfa.accepts(&w), expect);
+        }
+        // Glushkov is ε-free with positions+1 states
+        for st in 0..glu.num_states() as u32 {
+            prop_assert!(glu.eps_transitions(st).is_empty());
+        }
+    }
+
+    /// Minimization does not change word counts by length.
+    #[test]
+    fn minimize_preserves_census(seed in 0u64..100_000) {
+        let (ab, _, r) = gen(seed);
+        let dfa = Dfa::from_nfa(&Nfa::thompson(&r), ab.len());
+        let min = dfa.minimize();
+        prop_assert!(min.num_states() <= dfa.num_states());
+        prop_assert_eq!(dfa.count_words_by_length(6), min.count_words_by_length(6));
+    }
+
+    /// The three inclusion/equivalence algorithms agree pairwise.
+    #[test]
+    fn decision_procedures_agree(seed in 0u64..100_000) {
+        let (ab, s, _) = gen(seed);
+        let cfg = RegexGenConfig::new(s);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(17));
+        let p = random_regex(&mut rng, &cfg);
+        let q = random_regex(&mut rng, &cfg);
+        let (np, nq) = (Nfa::thompson(&p), Nfa::thompson(&q));
+        let inc_naive = included_naive(&np, &nq, ab.len()).is_ok();
+        let inc_anti = included_antichain(&np, &nq).is_ok();
+        prop_assert_eq!(inc_naive, inc_anti);
+        let eq_anti = equivalent(&np, &nq).is_ok();
+        let eq_hk = equivalent_hopcroft_karp(&np, &nq, ab.len()).is_ok();
+        prop_assert_eq!(eq_anti, eq_hk);
+        // consistency: equal ⇒ included both ways
+        if eq_anti {
+            prop_assert!(inc_anti);
+        }
+    }
+
+    /// State elimination round-trips the language.
+    #[test]
+    fn elimination_round_trip(seed in 0u64..100_000) {
+        let (_, _, r) = gen(seed);
+        let back = nfa_to_regex(&Nfa::thompson(&r));
+        prop_assert!(
+            equivalent(&Nfa::thompson(&r), &Nfa::thompson(&back)).is_ok(),
+            "elimination changed the language"
+        );
+    }
+
+    /// Reversal is a language anti-isomorphism and an involution.
+    #[test]
+    fn reversal_laws(seed in 0u64..100_000) {
+        let (_, s, r) = gen(seed);
+        let rev = r.reverse();
+        let nfa = Nfa::thompson(&r);
+        let nrev = Nfa::thompson(&rev);
+        for w in words_up_to(&s, 4) {
+            let mut back = w.clone();
+            back.reverse();
+            prop_assert_eq!(nfa.accepts(&w), nrev.accepts(&back));
+        }
+        prop_assert_eq!(rev.reverse(), r);
+    }
+
+    /// NFA reversal agrees with regex reversal.
+    #[test]
+    fn nfa_reverse_agrees(seed in 0u64..100_000) {
+        let (_, s, r) = gen(seed);
+        let via_regex = Nfa::thompson(&r.reverse());
+        let via_nfa = Nfa::thompson(&r).reverse();
+        for w in words_up_to(&s, 4) {
+            prop_assert_eq!(via_regex.accepts(&w), via_nfa.accepts(&w));
+        }
+    }
+
+    /// Finiteness decisions agree between NFA and DFA, and with the
+    /// syntactic finite-language extraction when it succeeds.
+    #[test]
+    fn finiteness_agrees(seed in 0u64..100_000) {
+        let (ab, _, r) = gen(seed);
+        let nfa = Nfa::thompson(&r);
+        let dfa = Dfa::from_nfa(&nfa, ab.len());
+        prop_assert_eq!(nfa.is_finite_lang(), dfa.is_finite_lang());
+        if let Some(words) = r.finite_language(4096) {
+            prop_assert!(nfa.is_finite_lang());
+            for w in &words {
+                prop_assert!(nfa.accepts(w));
+            }
+        }
+    }
+
+    /// Sampled words are members; shortest-accepted is minimal and a member.
+    #[test]
+    fn sampling_and_shortest(seed in 0u64..100_000) {
+        let (_, _, r) = gen(seed);
+        let nfa = Nfa::thompson(&r);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(w) = sample_word(&mut rng, &r, 12) {
+            prop_assert!(nfa.accepts(&w));
+        }
+        match nfa.shortest_accepted() {
+            None => prop_assert!(nfa.is_empty_lang()),
+            Some(w) => {
+                prop_assert!(nfa.accepts(&w));
+                // nothing shorter is accepted
+                for shorter in nfa.enumerate_words(w.len().saturating_sub(1), 1) {
+                    prop_assert!(shorter.len() >= w.len());
+                }
+            }
+        }
+    }
+
+    /// Intersection product accepts exactly the conjunction.
+    #[test]
+    fn intersection_is_conjunction(seed in 0u64..100_000) {
+        let (_, s, _) = gen(seed);
+        let cfg = RegexGenConfig::new(s.clone());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(99));
+        let p = random_regex(&mut rng, &cfg);
+        let q = random_regex(&mut rng, &cfg);
+        let (np, nq) = (Nfa::thompson(&p), Nfa::thompson(&q));
+        let both = Nfa::intersection(&np, &nq);
+        for w in words_up_to(&s, 4) {
+            prop_assert_eq!(both.accepts(&w), np.accepts(&w) && nq.accepts(&w));
+        }
+    }
+
+    /// Union/concat/star smart constructors respect the algebra semantically.
+    #[test]
+    fn constructor_semantics(seed in 0u64..100_000) {
+        let (_, s, _) = gen(seed);
+        let cfg = RegexGenConfig::new(s.clone());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7));
+        let p = random_regex(&mut rng, &cfg);
+        let q = random_regex(&mut rng, &cfg);
+        let u = p.clone().or(q.clone());
+        let cat = p.clone().then(q.clone());
+        let st = p.clone().star();
+        let (np, nq) = (Nfa::thompson(&p), Nfa::thompson(&q));
+        let (nu, ncat, nst) = (Nfa::thompson(&u), Nfa::thompson(&cat), Nfa::thompson(&st));
+        for w in words_up_to(&s, 3) {
+            prop_assert_eq!(nu.accepts(&w), np.accepts(&w) || nq.accepts(&w));
+            // concat: check via split
+            let mut concat_expect = false;
+            for i in 0..=w.len() {
+                if np.accepts(&w[..i]) && nq.accepts(&w[i..]) {
+                    concat_expect = true;
+                    break;
+                }
+            }
+            prop_assert_eq!(ncat.accepts(&w), concat_expect);
+            let _ = &nst;
+        }
+        // star sanity
+        prop_assert!(nst.accepts(&[]));
+    }
+}
+
+#[test]
+fn parser_printer_round_trip_on_random_regexes() {
+    let (ab, s) = syms();
+    let cfg = RegexGenConfig::new(s);
+    for seed in 0..200u64 {
+        let r = random_regex(&mut StdRng::seed_from_u64(seed), &cfg);
+        let printed = format!("{}", r.display(&ab));
+        let mut ab2 = ab.clone();
+        let reparsed = rpq_automata::parse_regex(&mut ab2, &printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(r, reparsed, "round trip changed {printed}");
+    }
+}

@@ -1,0 +1,65 @@
+//! T1 — RPQ evaluation scaling (paper claims: PTIME combined complexity,
+//! NLOGSPACE/NC data complexity — Section 2.2; Datalog connection —
+//! Section 2.3). Expected shape: all engines scale near-linearly in graph
+//! size; the product-NFA engine wins; the Datalog engines pay a constant
+//! factor; semi-naive beats naive.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::Nfa;
+use rpq_bench::eval_workload;
+use rpq_core::{eval_derivative, eval_product, eval_quotient_dfa};
+use rpq_datalog::engine::{eval_naive, eval_seminaive};
+use rpq_datalog::translate::{load_instance, translate_quotient};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_eval_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+
+    for &nodes in &[500usize, 2_000, 8_000] {
+        let w = eval_workload(7, nodes);
+        // the "broad" query (l0+l1+l2)* reaches every node, so the work
+        // scales with the data — the data-complexity claim under test
+        let (_, query) = &w.queries[3];
+        let nfa = Nfa::thompson(query);
+
+        group.bench_with_input(BenchmarkId::new("product_nfa", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(eval_product(&nfa, &w.instance, w.source).answers.len()))
+        });
+        let glu = rpq_automata::glushkov(query);
+        group.bench_with_input(BenchmarkId::new("product_glushkov", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(eval_product(&glu, &w.instance, w.source).answers.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("quotient_dfa", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(eval_quotient_dfa(&nfa, &w.instance, w.source).answers.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("derivative", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(eval_derivative(query, &w.instance, w.source).answers.len()))
+        });
+        if nodes <= 2_000 {
+            let tq = translate_quotient(query, &w.alphabet).unwrap();
+            group.bench_with_input(BenchmarkId::new("datalog_seminaive", nodes), &nodes, |b, _| {
+                b.iter(|| {
+                    let mut db = load_instance(&tq, &w.instance, w.source);
+                    black_box(eval_seminaive(&tq.program, &mut db).idb_tuples)
+                })
+            });
+            if nodes <= 500 {
+                group.bench_with_input(BenchmarkId::new("datalog_naive", nodes), &nodes, |b, _| {
+                    b.iter(|| {
+                        let mut db = load_instance(&tq, &w.instance, w.source);
+                        black_box(eval_naive(&tq.program, &mut db).idb_tuples)
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

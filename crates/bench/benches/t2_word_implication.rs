@@ -1,0 +1,48 @@
+//! T2 — word-constraint implication (Theorem 4.3(i): PTIME). Expected
+//! shape: polynomial growth in both the number of rules and word length —
+//! no exponential blow-up anywhere.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::random::random_word;
+use rpq_bench::word_system;
+use rpq_constraints::word_implies_word;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_word_implication");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(700));
+    group.warm_up_time(Duration::from_millis(150));
+
+    // sweep the number of rules
+    for &rules in &[4usize, 16, 64, 256] {
+        let (ab, set) = word_system(11, 3, rules, 4);
+        let syms: Vec<_> = ab.symbols().collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = random_word(&mut rng, &syms, 6);
+        let v = random_word(&mut rng, &syms, 3);
+        group.bench_with_input(BenchmarkId::new("rules", rules), &rules, |b, _| {
+            b.iter(|| black_box(word_implies_word(&set, &u, &v)))
+        });
+    }
+
+    // sweep the query word length
+    for &len in &[4usize, 16, 64] {
+        let (ab, set) = word_system(11, 3, 16, 4);
+        let syms: Vec<_> = ab.symbols().collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = random_word(&mut rng, &syms, len);
+        let v = random_word(&mut rng, &syms, len / 2);
+        group.bench_with_input(BenchmarkId::new("word_len", len), &len, |b, _| {
+            b.iter(|| black_box(word_implies_word(&set, &u, &v)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

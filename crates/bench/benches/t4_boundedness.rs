@@ -1,0 +1,47 @@
+//! T4 — boundedness under word equalities (Theorem 4.10: decidable,
+//! EXPTIME construction; Lemma 4.9: all structure within the K-sphere).
+//! Expected shape: cost tracks the K-sphere size, which grows with the
+//! alphabet and the equality system's reach — the `commute` system's sphere
+//! is exponentially larger than `idempotent`'s.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::{parse_regex, Alphabet, Symbol};
+use rpq_bench::boundedness_systems;
+use rpq_constraints::{decide_boundedness, suggested_radius, ArmstrongSphere, ConstraintSet};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_boundedness");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(150));
+
+    for (name, lines, query) in boundedness_systems() {
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, lines.iter().copied()).unwrap();
+        let p = parse_regex(&mut ab, query).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("decide", name), &name, |b, _| {
+            b.iter(|| black_box(decide_boundedness(&set, &p, &ab).is_ok()))
+        });
+
+        // sphere construction alone (the dominant phase)
+        let syms: Vec<Symbol> = ab.symbols().collect();
+        let k = suggested_radius(&set).min(8);
+        group.bench_with_input(BenchmarkId::new("sphere", name), &name, |b, _| {
+            b.iter(|| {
+                black_box(
+                    ArmstrongSphere::build(&set, &syms, k, 500_000)
+                        .map(|s| s.num_nodes())
+                        .unwrap_or(0),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! T7 — the regular-expression decision substrate (equivalence is
+//! PSPACE-complete; the paper leans on this for Theorem 4.3(ii)'s lower
+//! bound). Ablation of the three equivalence algorithms. Expected shape:
+//! naive full determinization blows up on the (a+b)*a(a+b)^k family
+//! (2^k DFA states); antichain and Hopcroft–Karp stay tame.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::ops::{equivalent, equivalent_hopcroft_karp, included_naive};
+use rpq_automata::{parse_regex, Alphabet, Nfa};
+
+fn exp_family(ab: &mut Alphabet, k: usize) -> (Nfa, Nfa) {
+    // (a+b)*.a.(a+b)^k vs (a+b)*.a.(a+b)^k.(a+b)? — close but different
+    let mut suffix = String::new();
+    for _ in 0..k {
+        suffix.push_str(".(a+b)");
+    }
+    let p = parse_regex(ab, &format!("(a+b)*.a{suffix}")).unwrap();
+    let q = parse_regex(ab, &format!("(a+b)*.a{suffix}.(a+b) + (a+b)*.a{suffix}")).unwrap();
+    (Nfa::thompson(&p), Nfa::thompson(&q))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t7_regex_ops");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(150));
+
+    for &k in &[4usize, 8, 12] {
+        let mut ab = Alphabet::new();
+        let (np, nq) = exp_family(&mut ab, k);
+        let sigma = ab.len();
+
+        group.bench_with_input(BenchmarkId::new("antichain", k), &k, |b, _| {
+            b.iter(|| black_box(equivalent(&np, &nq).is_ok()))
+        });
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", k), &k, |b, _| {
+            b.iter(|| black_box(equivalent_hopcroft_karp(&np, &nq, sigma).is_ok()))
+        });
+        if k <= 8 {
+            group.bench_with_input(BenchmarkId::new("naive_product", k), &k, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        included_naive(&np, &nq, sigma).is_ok()
+                            && included_naive(&nq, &np, sigma).is_ok(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Shared workloads for the experiment harness.
+//!
+//! Every experiment in `EXPERIMENTS.md` (T1–T7) draws its inputs from here
+//! so that `cargo bench` and the `paper-figures` binary agree on what is
+//! being measured. All generation is seeded — rerunning reproduces the same
+//! graphs, queries, and constraint systems.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rpq_automata::{parse_regex, Alphabet, Regex, Symbol};
+use rpq_constraints::{ConstraintKind, ConstraintSet, PathConstraint};
+use rpq_graph::generators::web_graph;
+use rpq_graph::{Instance, Oid};
+
+/// A web-like evaluation workload: graph, source, and a query suite over
+/// labels `l0..l2`.
+pub struct EvalWorkload {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// The instance.
+    pub instance: Instance,
+    /// Evaluation source.
+    pub source: Oid,
+    /// Named queries.
+    pub queries: Vec<(&'static str, Regex)>,
+}
+
+/// Build the T1 workload with roughly `nodes` nodes.
+pub fn eval_workload(seed: u64, nodes: usize) -> EvalWorkload {
+    let mut alphabet = Alphabet::new();
+    let labels: Vec<Symbol> = (0..3).map(|i| alphabet.intern(&format!("l{i}"))).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (instance, source) = web_graph(&mut rng, nodes, 3, &labels);
+    let queries = [
+        ("chain", "l0.l1.l2"),
+        ("star", "l0.(l1+l2)*"),
+        ("nested", "(l0.l1)*.l2"),
+        ("broad", "(l0+l1+l2)*"),
+    ]
+    .into_iter()
+    .map(|(name, src)| (name, parse_regex(&mut alphabet, src).unwrap()))
+    .collect();
+    EvalWorkload {
+        alphabet,
+        instance,
+        source,
+        queries,
+    }
+}
+
+/// A word-constraint system of `n_rules` rules over `sigma` letters with
+/// words of length ≤ `max_len` (T2): deterministic from the seed, always
+/// free of derived-emptiness degeneracies (right-hand sides are non-empty).
+pub fn word_system(seed: u64, sigma: usize, n_rules: usize, max_len: usize) -> (Alphabet, ConstraintSet) {
+    use rand::Rng as _;
+    let mut alphabet = Alphabet::new();
+    let syms: Vec<Symbol> = (0..sigma).map(|i| alphabet.intern(&format!("w{i}"))).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut constraints = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        let lu = rng.random_range(1..=max_len);
+        let lv = rng.random_range(1..=max_len);
+        let u: Vec<Symbol> = (0..lu).map(|_| syms[rng.random_range(0..sigma)]).collect();
+        let v: Vec<Symbol> = (0..lv).map(|_| syms[rng.random_range(0..sigma)]).collect();
+        constraints.push(PathConstraint {
+            lhs: Regex::word(&u),
+            rhs: Regex::word(&v),
+            kind: if rng.random_range(0..2) == 0 {
+                ConstraintKind::Inclusion
+            } else {
+                ConstraintKind::Equality
+            },
+        });
+    }
+    (alphabet, ConstraintSet::from_constraints(constraints))
+}
+
+/// The T3 regex family: nested alternation/star towers of the given depth
+/// whose inclusion checks exercise determinization.
+pub fn regex_pair(alphabet: &mut Alphabet, depth: usize) -> (Regex, Regex) {
+    // p_d = (a.b)^d . (a+b)*   and   q_d = (a.(b+()))^d . (a+b)*
+    let mut p = String::new();
+    let mut q = String::new();
+    for _ in 0..depth {
+        p.push_str("a.b.");
+        q.push_str("a.(b+()).");
+    }
+    p.push_str("(a+b)*");
+    q.push_str("(a+b)*");
+    (
+        parse_regex(alphabet, &p).unwrap(),
+        parse_regex(alphabet, &q).unwrap(),
+    )
+}
+
+/// The T4 equality systems, ordered by expected sphere size.
+pub fn boundedness_systems() -> Vec<(&'static str, Vec<&'static str>, &'static str)> {
+    vec![
+        ("idempotent", vec!["a.a = a"], "a*"),
+        ("cycle3", vec!["a.a.a = ()"], "a*"),
+        ("commute", vec!["a.b = b.a"], "(a.b)*"),
+        ("absorb", vec!["b.a = a", "b.b = b"], "b*.a"),
+        ("mixed", vec!["a.b.a = b", "b.b = a.a"], "(a+b).(a+b)"),
+    ]
+}
+
+/// T5: a cached-site distributed workload: the query `(a.b)*` cached as `l`
+/// on a deep alternating backbone with trap branches; returns everything a
+/// bench needs to run plain vs optimized.
+pub struct DistributedWorkload {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// The site graph.
+    pub instance: Instance,
+    /// Query source (where the cache constraint holds).
+    pub source: Oid,
+    /// The recursive query.
+    pub query: Regex,
+    /// The constraints holding at the source.
+    pub constraints: ConstraintSet,
+}
+
+/// Build the T5 workload with a backbone of `depth` a·b segments.
+pub fn distributed_workload(depth: usize) -> DistributedWorkload {
+    let mut alphabet = Alphabet::new();
+    let a = alphabet.intern("a");
+    let b = alphabet.intern("b");
+    let l = alphabet.intern("l");
+    let mut instance = Instance::new();
+    let v0 = instance.add_named_node("v0");
+    let mut prev = v0;
+    let mut evens = vec![v0];
+    for i in 1..=2 * depth {
+        let v = instance.add_named_node(&format!("v{i}"));
+        instance.add_edge(prev, if i % 2 == 1 { a } else { b }, v);
+        if i % 2 == 0 {
+            evens.push(v);
+            let trap = instance.add_node();
+            instance.add_edge(v, a, trap);
+        }
+        prev = v;
+    }
+    for &e in &evens {
+        instance.add_edge(v0, l, e);
+    }
+    let query = parse_regex(&mut alphabet, "(a.b)*").unwrap();
+    let constraints = ConstraintSet::parse(&mut alphabet, ["l = (a.b)*"]).unwrap();
+    DistributedWorkload {
+        alphabet,
+        instance,
+        source: v0,
+        query,
+        constraints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let w1 = eval_workload(3, 50);
+        let w2 = eval_workload(3, 50);
+        assert_eq!(w1.instance.num_edges(), w2.instance.num_edges());
+        assert_eq!(w1.queries.len(), 4);
+    }
+
+    #[test]
+    fn word_system_shape() {
+        let (_, set) = word_system(1, 3, 8, 4);
+        assert!(set.all_word_constraints());
+        assert!(set.len() >= 8);
+    }
+
+    #[test]
+    fn regex_pair_inclusion_direction() {
+        let mut ab = Alphabet::new();
+        let (p, q) = regex_pair(&mut ab, 3);
+        // p ⊆ q by construction (b vs b+ε)
+        assert!(rpq_automata::ops::regex_included(&p, &q));
+        assert!(!rpq_automata::ops::regex_included(&q, &p));
+    }
+
+    #[test]
+    fn distributed_workload_constraint_holds() {
+        let w = distributed_workload(8);
+        assert!(w.constraints.holds_at(&w.instance, w.source));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests for the Section 4 machinery: the rewrite system, the
+//! saturated `RewriteTo` automata, Armstrong spheres, and the boundedness
+//! decision, cross-checked against each other and against brute force.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rpq_automata::{Alphabet, Nfa, Regex, Symbol};
+use rpq_constraints::armstrong::shortest_lex_accepted;
+use rpq_constraints::rewrite::{rewrite_to_word_nfa, rewrites_to, RewriteSystem};
+use rpq_constraints::{
+    suggested_radius, ArmstrongSphere, ConstraintKind, ConstraintSet, PathConstraint,
+};
+
+fn syms2() -> (Alphabet, Vec<Symbol>) {
+    let ab = Alphabet::from_names(["a", "b"]);
+    let s = ab.symbols().collect();
+    (ab, s)
+}
+
+fn rand_word(rng: &mut StdRng, syms: &[Symbol], max_len: usize) -> Vec<Symbol> {
+    let len = rng.random_range(0..=max_len);
+    (0..len).map(|_| syms[rng.random_range(0..syms.len())]).collect()
+}
+
+fn rand_set(rng: &mut StdRng, syms: &[Symbol], rules: usize, equalities: bool) -> ConstraintSet {
+    let mut cs = Vec::new();
+    for _ in 0..rules {
+        let mut u = rand_word(rng, syms, 3);
+        if u.is_empty() {
+            u.push(syms[0]);
+        }
+        let v = rand_word(rng, syms, 3);
+        cs.push(PathConstraint {
+            lhs: Regex::word(&u),
+            rhs: Regex::word(&v),
+            kind: if equalities {
+                ConstraintKind::Equality
+            } else if rng.random_range(0..2) == 0 {
+                ConstraintKind::Inclusion
+            } else {
+                ConstraintKind::Equality
+            },
+        });
+    }
+    ConstraintSet::from_constraints(cs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The saturated automaton decision agrees with explicit BFS rewriting
+    /// (bounded): if BFS derives u →* v, the automaton accepts u; if the
+    /// automaton accepts u, BFS (with a generous budget) finds a chain.
+    #[test]
+    fn saturation_agrees_with_bfs(seed in 0u64..100_000) {
+        let (_, syms) = syms2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = rand_set(&mut rng, &syms, 2, false);
+        let rs = RewriteSystem::from_constraints(&set);
+        let u = rand_word(&mut rng, &syms, 4);
+        let v = rand_word(&mut rng, &syms, 3);
+        let by_auto = rewrites_to(&rs, &u, &v);
+        let by_bfs = rs.derive(&u, &v, 20_000).is_some();
+        if by_bfs {
+            prop_assert!(by_auto, "BFS derived but automaton rejected");
+        }
+        // The converse (automaton accepts ⇒ a derivation exists) cannot be
+        // certified with a bounded BFS when rules grow words (frontiers
+        // explode); it is covered by the semantic soundness tests instead
+        // (`derived_implications_hold_semantically` in the workspace suite
+        // and the canonical-instance exactness test).
+    }
+
+    /// →* is reflexive and transitive (sampled).
+    #[test]
+    fn rewriting_is_a_preorder(seed in 0u64..100_000) {
+        let (_, syms) = syms2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = rand_set(&mut rng, &syms, 2, false);
+        let rs = RewriteSystem::from_constraints(&set);
+        let u = rand_word(&mut rng, &syms, 3);
+        prop_assert!(rewrites_to(&rs, &u, &u), "reflexivity");
+        // transitivity via one-step successors
+        for mid in rs.step(&u).into_iter().take(3) {
+            for w in rs.step(&mid).into_iter().take(3) {
+                prop_assert!(rewrites_to(&rs, &u, &w), "transitivity");
+            }
+        }
+    }
+
+    /// Right congruence: u →* v implies u·w →* v·w.
+    #[test]
+    fn rewriting_is_right_congruent(seed in 0u64..100_000) {
+        let (_, syms) = syms2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = rand_set(&mut rng, &syms, 2, false);
+        let rs = RewriteSystem::from_constraints(&set);
+        let u = rand_word(&mut rng, &syms, 3);
+        let suffix = rand_word(&mut rng, &syms, 2);
+        for v in rs.step(&u).into_iter().take(4) {
+            let mut uw = u.clone();
+            uw.extend(suffix.iter().copied());
+            let mut vw = v.clone();
+            vw.extend(suffix.iter().copied());
+            prop_assert!(rewrites_to(&rs, &uw, &vw));
+        }
+    }
+
+    /// For equality systems, →* is symmetric, and the Armstrong sphere's
+    /// class function is exactly its equivalence (within the sphere).
+    #[test]
+    fn armstrong_classes_are_congruence_classes(seed in 0u64..100_000) {
+        let (_, syms) = syms2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = rand_set(&mut rng, &syms, 2, true);
+        let rs = RewriteSystem::from_constraints(&set);
+        let radius = suggested_radius(&set).min(6);
+        let Ok(sphere) = ArmstrongSphere::build(&set, &syms, radius, 20_000) else {
+            return Ok(()); // budget — skip
+        };
+        let u = rand_word(&mut rng, &syms, radius.min(3));
+        let v = rand_word(&mut rng, &syms, radius.min(3));
+        let (Some(cu), Some(cv)) = (sphere.class_of_word(&u), sphere.class_of_word(&v)) else {
+            return Ok(());
+        };
+        prop_assert_eq!(cu == cv, rewrites_to(&rs, &u, &v), "u={:?} v={:?}", u, v);
+        // symmetry of →* for equalities
+        if rewrites_to(&rs, &u, &v) {
+            prop_assert!(rewrites_to(&rs, &v, &u));
+        }
+    }
+
+    /// Sphere representatives are canonical: shortest-lex members of their
+    /// own pre* class, and rep length equals BFS depth.
+    #[test]
+    fn sphere_reps_are_canonical(seed in 0u64..100_000) {
+        let (_, syms) = syms2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = rand_set(&mut rng, &syms, 2, true);
+        let rs = RewriteSystem::from_constraints(&set);
+        let Ok(sphere) = ArmstrongSphere::build(&set, &syms, 4, 20_000) else {
+            return Ok(());
+        };
+        for n in 0..sphere.num_nodes().min(12) {
+            let rep = &sphere.reps[n];
+            prop_assert_eq!(rep.len(), sphere.depth[n]);
+            let auto = rewrite_to_word_nfa(rep, &rs).nfa;
+            let canon = shortest_lex_accepted(&auto, &syms).unwrap();
+            prop_assert_eq!(&canon, rep, "rep not canonical");
+        }
+    }
+
+    /// `RewriteTo(p)` for regular targets: membership of u iff u rewrites
+    /// into *some* word of L(p) (cross-checked by sampling L(p)).
+    #[test]
+    fn rewrite_to_regular_target_sound(seed in 0u64..100_000) {
+        let (_, syms) = syms2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = rand_set(&mut rng, &syms, 2, false);
+        let rs = RewriteSystem::from_constraints(&set);
+        // small target language
+        let w1 = rand_word(&mut rng, &syms, 2);
+        let w2 = rand_word(&mut rng, &syms, 2);
+        let target = Regex::word(&w1).or(Regex::word(&w2));
+        let auto = rpq_constraints::rewrite_to_nfa(&Nfa::thompson(&target), &rs);
+        let u = rand_word(&mut rng, &syms, 3);
+        let direct = rewrites_to(&rs, &u, &w1) || rewrites_to(&rs, &u, &w2);
+        prop_assert_eq!(auto.nfa.accepts(&u), direct);
+    }
+}
+
+#[test]
+fn shortest_lex_is_really_lex_least() {
+    let mut ab = Alphabet::new();
+    let a = ab.intern("a");
+    let b = ab.intern("b");
+    // language {bb, ba, ab, aa}: shortest-lex = aa
+    let words = [[b, b], [b, a], [a, b], [a, a]];
+    let r = Regex::union(words.iter().map(|w| Regex::word(w)).collect());
+    let canon = shortest_lex_accepted(&Nfa::thompson(&r), &[a, b]).unwrap();
+    assert_eq!(canon, vec![a, a]);
+    // mixed lengths: shortest wins over lex
+    let r2 = Regex::word(&[b]).or(Regex::word(&[a, a]));
+    let canon2 = shortest_lex_accepted(&Nfa::thompson(&r2), &[a, b]).unwrap();
+    assert_eq!(canon2, vec![b]);
+}
+
+#[test]
+fn epsilon_completion_keeps_systems_well_formed() {
+    // u ⊆ ε inclusion sets auto-complete, so the Armstrong/Lemma-4.4 edge
+    // cases around ε stay consistent with the paper's convention.
+    let mut ab = Alphabet::new();
+    let set = ConstraintSet::parse(&mut ab, ["a.b <= ()", "b <= a"]).unwrap();
+    let rs = RewriteSystem::from_constraints(&set);
+    let a = ab.get("a").unwrap();
+    let b = ab.get("b").unwrap();
+    // ab →* ε and ε →* ab (completion)
+    assert!(rewrites_to(&rs, &[a, b], &[]));
+    assert!(rewrites_to(&rs, &[], &[a, b]));
+    // b →* a (rule), so b·x →* a·x
+    let x = ab.intern("x");
+    assert!(rewrites_to(&rs, &[b, x], &[a, x]));
+}

@@ -1,0 +1,109 @@
+//! Content-based selection (end of Section 2.4).
+//!
+//! "A vertex o with 'content' w can be modeled by having an edge labeled
+//! `content=w` outgoing from o and pointing to o itself. Content-based
+//! selections can then be specified using general path expressions", e.g.
+//! retrieving all reachable vertices containing the word SGML with
+//!
+//! ```text
+//! ("(.)*")* "content=(.)*SGML(.)*"
+//! ```
+
+use rpq_automata::{Alphabet, Symbol};
+use rpq_graph::{Instance, Oid};
+
+use crate::general::{eval_general, GeneralPathQuery};
+
+/// Attach textual content to a node as a `content=<text>` self-loop.
+pub fn set_content(
+    instance: &mut Instance,
+    alphabet: &mut Alphabet,
+    node: Oid,
+    text: &str,
+) -> Symbol {
+    let label = alphabet.intern(&format!("content={text}"));
+    instance.add_edge(node, label, node);
+    label
+}
+
+/// Escape a literal string for embedding in a character pattern.
+pub fn escape_pattern_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if "()[]|*+?.\\^\"".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Escape a char-pattern source for embedding inside a double-quoted atom
+/// of a path query (the path lexer itself processes `\` escapes).
+pub fn quote_for_path(pattern_source: &str) -> String {
+    pattern_source.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// All vertices reachable from `source` whose content contains `needle`
+/// as a substring — the paper's SGML example, parameterized.
+pub fn find_by_content(
+    instance: &Instance,
+    source: Oid,
+    alphabet: &Alphabet,
+    needle: &str,
+) -> Vec<Oid> {
+    let pat = format!(
+        r#"("(.)*")* "content=(.)*{}(.)*""#,
+        quote_for_path(&escape_pattern_literal(needle))
+    );
+    let q = GeneralPathQuery::parse(&pat).expect("generated query parses");
+    eval_general(&q, instance, source, alphabet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::InstanceBuilder;
+
+    #[test]
+    fn content_selection_finds_sgml_pages() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("home", "link", "p1");
+        b.edge("home", "link", "p2");
+        b.edge("p1", "link", "p3");
+        let (mut inst, names) = b.finish();
+        let home = names["home"];
+        set_content(&mut inst, &mut ab, names["p1"], "an intro to SGML parsing");
+        set_content(&mut inst, &mut ab, names["p2"], "all about XML");
+        set_content(&mut inst, &mut ab, names["p3"], "SGML again");
+        let hits = find_by_content(&inst, home, &ab, "SGML");
+        let mut hit_names: Vec<String> = hits.iter().map(|&o| inst.node_name(o)).collect();
+        hit_names.sort();
+        assert_eq!(hit_names, ["p1", "p3"]);
+    }
+
+    #[test]
+    fn content_with_metacharacters_is_escaped() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("home", "link", "p1");
+        let (mut inst, names) = b.finish();
+        let home = names["home"];
+        set_content(&mut inst, &mut ab, names["p1"], "price (USD) 4.99");
+        let hits = find_by_content(&inst, home, &ab, "(USD) 4.99");
+        assert_eq!(hits.len(), 1);
+        let misses = find_by_content(&inst, home, &ab, "(EUR)");
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn source_itself_can_match() {
+        let mut ab = Alphabet::new();
+        let mut inst = Instance::new();
+        let o = inst.add_named_node("o");
+        set_content(&mut inst, &mut ab, o, "contains SGML");
+        let hits = find_by_content(&inst, o, &ab, "SGML");
+        assert_eq!(hits, vec![o]);
+    }
+}

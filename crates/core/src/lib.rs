@@ -1,0 +1,59 @@
+//! # rpq-core
+//!
+//! Regular path query evaluation — Section 2 of *Abiteboul & Vianu,
+//! "Regular Path Queries with Constraints"*.
+//!
+//! A path query `p` is a regular expression over edge labels; its answer
+//! `p(o, I)` is the set of objects reachable from `o` by a path spelling a
+//! word of `L(p)`. This crate implements every evaluation strategy the
+//! paper discusses, plus the Section 2.4 extensions:
+//!
+//! * [`eval_product`] — the "more economical" product-automaton BFS
+//!   (PTIME combined complexity, NLOGSPACE data complexity);
+//! * [`eval_quotient_dfa`] — explicit quotients as lazily determinized
+//!   state sets (the possibly-exponential construction the paper warns
+//!   about);
+//! * [`eval_derivative`] — syntactic quotients via Brzozowski derivatives,
+//!   the faithful rendering of recursion (✳);
+//! * [`eval_oracle`] — definitional word-enumeration oracle for testing;
+//! * [`StreamingEval`] — pull-based, budgeted evaluation over possibly
+//!   infinite [`rpq_graph::GraphSource`]s ("eventually computable" queries,
+//!   Remark 2.1);
+//! * [`general`] — general path queries with character-level label patterns
+//!   and the `μ` translation (Proposition 2.2, Example 2.1 / Figure 1);
+//! * [`content`] — content-based selection via `content=w` self-loops.
+//!
+//! ## Example
+//!
+//! ```
+//! use rpq_automata::{parse_regex, Alphabet, Nfa};
+//! use rpq_graph::InstanceBuilder;
+//! use rpq_core::eval_product;
+//!
+//! let mut ab = Alphabet::new();
+//! let mut b = InstanceBuilder::new(&mut ab);
+//! b.edge("o1", "a", "o2");
+//! b.edge("o2", "b", "o3");
+//! b.edge("o3", "b", "o2");
+//! let (inst, names) = b.finish();
+//!
+//! let p = parse_regex(&mut ab, "a.b*").unwrap();
+//! let res = eval_product(&Nfa::thompson(&p), &inst, names["o1"]);
+//! assert_eq!(res.answers.len(), 2); // {o2, o3}
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod content;
+pub mod general;
+pub mod oracle;
+pub mod product;
+pub mod quotient;
+pub mod stats;
+pub mod streaming;
+
+pub use oracle::eval_oracle;
+pub use product::{eval_product, EvalResult};
+pub use quotient::{eval_derivative, eval_quotient_dfa};
+pub use stats::EvalStats;
+pub use streaming::{StreamStatus, StreamingEval};

@@ -1,0 +1,173 @@
+//! The product-automaton evaluation algorithm (Section 2.2).
+//!
+//! "A more economical approach is to construct the nfsa for p and carry
+//! along the set of states of the nfsa corresponding to the path traveled so
+//! far (basically, this constructs a portion of the product of the nfsa for
+//! p and the instance I). The resulting algorithm has polynomial-time
+//! combined data and query complexity and nlogspace data complexity."
+//!
+//! We track individual NFA states rather than state *sets*: a BFS over
+//! reachable pairs `(q, v)` of automaton state × graph node. A node `v` is
+//! an answer as soon as some reachable pair `(q, v)` has `q` accepting.
+//! The pair space is `O(|Q| · |V|)` — the NLOGSPACE/NC bound's certificate.
+
+use rpq_automata::{Nfa, StateId};
+use rpq_graph::{Instance, Oid};
+
+use crate::stats::EvalStats;
+
+/// Result of an evaluation: sorted answers plus work counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalResult {
+    /// The set `p(o, I)`, sorted by oid.
+    pub answers: Vec<Oid>,
+    /// Work counters.
+    pub stats: EvalStats,
+}
+
+/// Evaluate `L(nfa)` from `source` over `instance` by product-automaton BFS.
+pub fn eval_product(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalResult {
+    let nq = nfa.num_states();
+    let nv = instance.num_nodes();
+    let mut seen = vec![false; nq * nv];
+    let mut answer = vec![false; nv];
+    let mut state_touched = vec![false; nq];
+    let mut stats = EvalStats::default();
+
+    let mut queue: Vec<(StateId, Oid)> = Vec::new();
+    let push = |q: StateId, v: Oid, seen: &mut Vec<bool>, queue: &mut Vec<(StateId, Oid)>| {
+        let idx = q as usize * nv + v.index();
+        if !seen[idx] {
+            seen[idx] = true;
+            queue.push((q, v));
+        }
+    };
+
+    push(nfa.start(), source, &mut seen, &mut queue);
+    while let Some((q, v)) = queue.pop() {
+        stats.pairs_visited += 1;
+        if !state_touched[q as usize] {
+            state_touched[q as usize] = true;
+        }
+        if nfa.is_accepting(q) {
+            answer[v.index()] = true;
+        }
+        // ε-moves advance the automaton without consuming an edge.
+        for &q2 in nfa.eps_transitions(q) {
+            push(q2, v, &mut seen, &mut queue);
+        }
+        for &(sym, q2) in nfa.transitions(q) {
+            for &(label, v2) in instance.out_edges(v) {
+                stats.edges_scanned += 1;
+                if label == sym {
+                    push(q2, v2, &mut seen, &mut queue);
+                }
+            }
+        }
+    }
+
+    let answers: Vec<Oid> = instance.nodes().filter(|o| answer[o.index()]).collect();
+    stats.answers = answers.len();
+    stats.classes_materialized = state_touched.iter().filter(|&&t| t).count();
+    EvalResult { answers, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::{parse_regex, Alphabet};
+    use rpq_graph::InstanceBuilder;
+
+    fn eval(query: &str, edges: &[(&str, &str, &str)], src: &str) -> (Vec<String>, EvalStats) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for &(f, l, t) in edges {
+            b.edge(f, l, t);
+        }
+        let (inst, names) = b.finish();
+        let r = parse_regex(&mut ab, query).unwrap();
+        let res = eval_product(&Nfa::thompson(&r), &inst, names[src]);
+        let mut out: Vec<String> = res.answers.iter().map(|&o| inst.node_name(o)).collect();
+        out.sort();
+        (out, res.stats)
+    }
+
+    #[test]
+    fn fig2_query_ab_star() {
+        let edges = [("o1", "a", "o2"), ("o2", "b", "o3"), ("o3", "b", "o2")];
+        let (ans, stats) = eval("a.b*", &edges, "o1");
+        assert_eq!(ans, vec!["o2", "o3"]);
+        assert_eq!(stats.answers, 2);
+    }
+
+    #[test]
+    fn epsilon_query_returns_source() {
+        let edges = [("s", "a", "x")];
+        let (ans, _) = eval("()", &edges, "s");
+        assert_eq!(ans, vec!["s"]);
+        let (ans, _) = eval("a*", &edges, "s");
+        assert_eq!(ans, vec!["s", "x"]);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let edges = [("s", "a", "x")];
+        let (ans, _) = eval("[]", &edges, "s");
+        assert!(ans.is_empty());
+    }
+
+    #[test]
+    fn union_and_concat() {
+        let edges = [
+            ("s", "a", "x"),
+            ("s", "b", "y"),
+            ("x", "c", "z"),
+            ("y", "c", "w"),
+        ];
+        let (ans, _) = eval("(a+b).c", &edges, "s");
+        assert_eq!(ans, vec!["w", "z"]);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let edges = [("s", "a", "s")];
+        let (ans, stats) = eval("a*", &edges, "s");
+        assert_eq!(ans, vec!["s"]);
+        // pair space is finite even though the language is infinite
+        assert!(stats.pairs_visited < 20);
+    }
+
+    #[test]
+    fn unreachable_labels_are_ignored() {
+        let edges = [("s", "a", "x"), ("q", "b", "r")];
+        let (ans, _) = eval("a.b", &edges, "s");
+        assert!(ans.is_empty());
+        let (ans, _) = eval("a", &edges, "s");
+        assert_eq!(ans, vec!["x"]);
+    }
+
+    #[test]
+    fn diamond_dedups_answers() {
+        let edges = [
+            ("s", "a", "x"),
+            ("s", "a", "y"),
+            ("x", "b", "t"),
+            ("y", "b", "t"),
+        ];
+        let (ans, _) = eval("a.b", &edges, "s");
+        assert_eq!(ans, vec!["t"]);
+    }
+
+    #[test]
+    fn nested_stars() {
+        let edges = [
+            ("s", "a", "x"),
+            ("x", "b", "s"),
+            ("x", "c", "t"),
+        ];
+        let (ans, _) = eval("(a.b)*.a.c", &edges, "s");
+        assert_eq!(ans, vec!["t"]);
+        let (ans, _) = eval("(a.b)*", &edges, "s");
+        assert_eq!(ans, vec!["s"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Evaluation statistics shared by all engines.
+
+use serde::{Deserialize, Serialize};
+
+/// Work counters reported by every evaluation engine, used by the Section 2
+/// complexity experiments (bench `t1_eval_scaling`) to compare engines on
+/// the same inputs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Distinct (automaton-state, node) or (quotient-class, node) pairs
+    /// materialized — the data-complexity driver.
+    pub pairs_visited: usize,
+    /// Graph edges scanned (with multiplicity).
+    pub edges_scanned: usize,
+    /// Distinct quotient classes / DFA states materialized (1 for engines
+    /// that track NFA states individually is *not* meaningful; product
+    /// engines report the number of distinct automaton states touched).
+    pub classes_materialized: usize,
+    /// Number of answers produced.
+    pub answers: usize,
+}
+
+impl EvalStats {
+    /// Sum of the work counters — a crude single-number cost.
+    pub fn total_work(&self) -> usize {
+        self.pairs_visited + self.edges_scanned
+    }
+}

@@ -1,0 +1,336 @@
+//! Naive and semi-naive bottom-up evaluation.
+//!
+//! Both compute the least fixpoint of a positive program over a database.
+//! Semi-naive evaluation restricts one IDB body atom per rule to the
+//! *delta* (tuples new in the previous round) — the standard optimization
+//! that the paper's Datalog connection (Section 2.3) inherits from the
+//! deductive-database literature; bench `t1_eval_scaling` compares the two
+//! against the direct product-automaton algorithm.
+
+use crate::ir::{Atom, Const, PredId, Program, Rule, Term};
+use crate::storage::{Database, Relation};
+
+/// Evaluation statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Number of fixpoint rounds until saturation.
+    pub rounds: usize,
+    /// Head tuples derived, counting duplicates (work measure).
+    pub derivations: usize,
+    /// Distinct IDB tuples at the fixpoint.
+    pub idb_tuples: usize,
+}
+
+/// Bind `terms` against `tuple`, extending `bindings`; undo on mismatch is
+/// the caller's responsibility (we clone per candidate for simplicity —
+/// bodies here are short).
+fn try_bind(
+    terms: &[Term],
+    tuple: &[Const],
+    bindings: &mut [Option<Const>],
+) -> bool {
+    for (t, &v) in terms.iter().zip(tuple.iter()) {
+        match t {
+            Term::Const(c) => {
+                if *c != v {
+                    return false;
+                }
+            }
+            Term::Var(x) => {
+                let slot = &mut bindings[*x as usize];
+                match slot {
+                    Some(bound) if *bound != v => return false,
+                    Some(_) => {}
+                    None => *slot = Some(v),
+                }
+            }
+        }
+    }
+    true
+}
+
+fn atom_pattern(atom: &Atom, bindings: &[Option<Const>]) -> Vec<Option<Const>> {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(*c),
+            Term::Var(x) => bindings[*x as usize],
+        })
+        .collect()
+}
+
+/// Evaluate one rule; `delta_override` optionally replaces the relation used
+/// for one body-atom index (the semi-naive delta). New head tuples are
+/// appended to `out`.
+fn eval_rule(
+    db: &Database,
+    rule: &Rule,
+    delta_override: Option<(usize, &Relation)>,
+    out: &mut Vec<(PredId, Vec<Const>)>,
+) {
+    let nvars = rule.var_names.len();
+    // Depth-first join over body atoms.
+    fn go(
+        db: &Database,
+        rule: &Rule,
+        delta_override: Option<(usize, &Relation)>,
+        i: usize,
+        bindings: &mut [Option<Const>],
+        out: &mut Vec<(PredId, Vec<Const>)>,
+    ) {
+        if i == rule.body.len() {
+            let head: Vec<Const> = rule
+                .head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(x) => bindings[*x as usize].expect("range-restricted rule"),
+                })
+                .collect();
+            out.push((rule.head.pred, head));
+            return;
+        }
+        let atom = &rule.body[i];
+        let rel = match delta_override {
+            Some((idx, delta)) if idx == i => delta,
+            _ => db.relation(atom.pred),
+        };
+        let pattern = atom_pattern(atom, bindings);
+        for tuple in rel.select(&pattern) {
+            let mut next = bindings.to_vec();
+            if try_bind(&atom.terms, tuple, &mut next) {
+                go(db, rule, delta_override, i + 1, &mut next, out);
+            }
+        }
+    }
+    let mut bindings = vec![None; nvars];
+    go(db, rule, delta_override, 0, &mut bindings, out);
+}
+
+/// Naive evaluation: re-derive everything each round until no new tuples.
+pub fn eval_naive(program: &Program, db: &mut Database) -> FixpointStats {
+    let mut stats = FixpointStats::default();
+    loop {
+        stats.rounds += 1;
+        let mut new_tuples: Vec<(PredId, Vec<Const>)> = Vec::new();
+        for rule in &program.rules {
+            eval_rule(db, rule, None, &mut new_tuples);
+        }
+        stats.derivations += new_tuples.len();
+        let mut changed = false;
+        for (p, t) in new_tuples {
+            if db.insert(p, t) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats.idb_tuples = program
+        .idb_predicates()
+        .iter()
+        .map(|&p| db.relation(p).len())
+        .sum();
+    stats
+}
+
+/// Semi-naive evaluation with per-predicate deltas.
+pub fn eval_seminaive(program: &Program, db: &mut Database) -> FixpointStats {
+    let mut stats = FixpointStats::default();
+    let npreds = program.predicates.len();
+
+    // Round 0: rules whose bodies contain no IDB atom (initialization).
+    let mut delta: Vec<Relation> = program
+        .predicates
+        .iter()
+        .map(|p| Relation::new(p.arity))
+        .collect();
+    {
+        let mut new_tuples = Vec::new();
+        for rule in &program.rules {
+            let has_idb = rule
+                .body
+                .iter()
+                .any(|a| !program.predicates[a.pred].is_edb);
+            if !has_idb {
+                eval_rule(db, rule, None, &mut new_tuples);
+            }
+        }
+        stats.rounds += 1;
+        stats.derivations += new_tuples.len();
+        for (p, t) in new_tuples {
+            if db.insert(p, t.clone()) {
+                delta[p].insert(t);
+            }
+        }
+    }
+
+    // Iterate: each rule fires once per IDB body-atom position, with that
+    // position restricted to the delta.
+    loop {
+        let mut new_tuples: Vec<(PredId, Vec<Const>)> = Vec::new();
+        for rule in &program.rules {
+            for (i, atom) in rule.body.iter().enumerate() {
+                if program.predicates[atom.pred].is_edb {
+                    continue;
+                }
+                if delta[atom.pred].is_empty() {
+                    continue;
+                }
+                eval_rule(db, rule, Some((i, &delta[atom.pred])), &mut new_tuples);
+            }
+        }
+        if new_tuples.is_empty() {
+            break;
+        }
+        stats.rounds += 1;
+        stats.derivations += new_tuples.len();
+        let mut next_delta: Vec<Relation> = (0..npreds)
+            .map(|p| Relation::new(program.predicates[p].arity))
+            .collect();
+        let mut changed = false;
+        for (p, t) in new_tuples {
+            if db.insert(p, t.clone()) {
+                next_delta[p].insert(t);
+                changed = true;
+            }
+        }
+        delta = next_delta;
+        if !changed {
+            break;
+        }
+    }
+    stats.idb_tuples = program
+        .idb_predicates()
+        .iter()
+        .map(|&p| db.relation(p).len())
+        .sum();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Atom, Program, RuleBuilder, Term};
+
+    /// edge facts + transitive closure
+    fn tc_setup(edges: &[(u64, u64)]) -> (Program, Database, PredId) {
+        let mut p = Program::default();
+        let edge = p.declare("edge", 2, true);
+        let tc = p.declare("tc", 2, false);
+        let mut b = RuleBuilder::new();
+        let (x, y) = (b.var("x"), b.var("y"));
+        p.add_rule(b.rule(
+            Atom { pred: tc, terms: vec![x, y] },
+            vec![Atom { pred: edge, terms: vec![x, y] }],
+        ));
+        let mut b = RuleBuilder::new();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        p.add_rule(b.rule(
+            Atom { pred: tc, terms: vec![x, z] },
+            vec![
+                Atom { pred: tc, terms: vec![x, y] },
+                Atom { pred: edge, terms: vec![y, z] },
+            ],
+        ));
+        let mut db = Database::for_program(&p);
+        for &(a, bb) in edges {
+            db.insert(edge, vec![a, bb]);
+        }
+        (p, db, tc)
+    }
+
+    #[test]
+    fn naive_computes_transitive_closure() {
+        let (p, mut db, tc) = tc_setup(&[(1, 2), (2, 3), (3, 4)]);
+        eval_naive(&p, &mut db);
+        assert_eq!(db.relation(tc).len(), 6); // all ordered pairs i<j
+        assert!(db.relation(tc).contains(&[1, 4]));
+        assert!(!db.relation(tc).contains(&[4, 1]));
+    }
+
+    #[test]
+    fn seminaive_agrees_with_naive() {
+        let edges = [(1, 2), (2, 3), (3, 1), (3, 4), (4, 5)];
+        let (p, mut db1, tc) = tc_setup(&edges);
+        let (_, mut db2, _) = tc_setup(&edges);
+        eval_naive(&p, &mut db1);
+        eval_seminaive(&p, &mut db2);
+        let mut t1: Vec<_> = db1.relation(tc).iter().cloned().collect();
+        let mut t2: Vec<_> = db2.relation(tc).iter().cloned().collect();
+        t1.sort();
+        t2.sort();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn seminaive_does_less_rederivation() {
+        // long chain: naive re-derives everything each round
+        let edges: Vec<(u64, u64)> = (0..30).map(|i| (i, i + 1)).collect();
+        let (p, mut db1, _) = tc_setup(&edges);
+        let (_, mut db2, _) = tc_setup(&edges);
+        let naive = eval_naive(&p, &mut db1);
+        let semi = eval_seminaive(&p, &mut db2);
+        assert!(
+            semi.derivations < naive.derivations / 2,
+            "semi-naive {} vs naive {}",
+            semi.derivations,
+            naive.derivations
+        );
+        assert_eq!(semi.idb_tuples, naive.idb_tuples);
+    }
+
+    #[test]
+    fn constants_in_bodies_filter() {
+        let mut p = Program::default();
+        let e = p.declare("e", 2, true);
+        let q = p.declare("q", 1, false);
+        let mut b = RuleBuilder::new();
+        let x = b.var("x");
+        p.add_rule(b.rule(
+            Atom { pred: q, terms: vec![x] },
+            vec![Atom {
+                pred: e,
+                terms: vec![Term::Const(7), x],
+            }],
+        ));
+        let mut db = Database::for_program(&p);
+        db.insert(e, vec![7, 1]);
+        db.insert(e, vec![8, 2]);
+        eval_seminaive(&p, &mut db);
+        assert!(db.relation(q).contains(&[1]));
+        assert!(!db.relation(q).contains(&[2]));
+    }
+
+    #[test]
+    fn repeated_variable_join() {
+        // q(x) :- e(x, x)
+        let mut p = Program::default();
+        let e = p.declare("e", 2, true);
+        let q = p.declare("q", 1, false);
+        let mut b = RuleBuilder::new();
+        let x = b.var("x");
+        p.add_rule(b.rule(
+            Atom { pred: q, terms: vec![x] },
+            vec![Atom { pred: e, terms: vec![x, x] }],
+        ));
+        let mut db = Database::for_program(&p);
+        db.insert(e, vec![1, 1]);
+        db.insert(e, vec![1, 2]);
+        eval_naive(&p, &mut db);
+        assert_eq!(db.relation(q).len(), 1);
+        assert!(db.relation(q).contains(&[1]));
+    }
+
+    #[test]
+    fn empty_program_terminates() {
+        let p = Program::default();
+        let mut db = Database::for_program(&p);
+        let s1 = eval_naive(&p, &mut db);
+        let s2 = eval_seminaive(&p, &mut db);
+        assert_eq!(s1.idb_tuples, 0);
+        assert_eq!(s2.idb_tuples, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # rpq-datalog
+//!
+//! A positive Datalog engine and the Section 2.3 translations of regular
+//! path queries into *linear monadic* Datalog.
+//!
+//! The paper places path queries "in the broader framework of recursive
+//! queries": a path query compiles to a Datalog program whose IDB
+//! predicates are unary (`still-left_q` per quotient, or `state_h` per
+//! automaton state) and whose rules are linear chain rules over the EDB
+//! `ref(source, label, destination)`. Linearity yields the NC upper bound
+//! the paper cites from \[19\].
+//!
+//! * [`ir`] — programs, rules, and the linearity/monadicity/chain analyses;
+//! * [`storage`] — indexed relations and databases;
+//! * [`engine`] — naive and semi-naive bottom-up fixpoints;
+//! * [`qsq`] — top-down query–subquery evaluation (the paper's stated
+//!   analogy with the distributed algorithm: subgoals = subqueries);
+//! * [`translate`] — the two RPQ translations plus instance loading.
+//!
+//! ## Example
+//!
+//! ```
+//! use rpq_automata::{parse_regex, Alphabet};
+//! use rpq_graph::InstanceBuilder;
+//! use rpq_datalog::translate::{translate_quotient, run};
+//!
+//! let mut ab = Alphabet::new();
+//! let mut b = InstanceBuilder::new(&mut ab);
+//! b.edge("o1", "a", "o2");
+//! b.edge("o2", "b", "o3");
+//! let (inst, names) = b.finish();
+//! let p = parse_regex(&mut ab, "a.b*").unwrap();
+//!
+//! let tq = translate_quotient(&p, &ab).unwrap();
+//! assert!(tq.program.is_linear() && tq.program.is_monadic());
+//! let (answers, _) = run(&tq, &inst, names["o1"]);
+//! assert_eq!(answers.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod ir;
+pub mod magic;
+pub mod qsq;
+pub mod storage;
+pub mod translate;
+
+pub use engine::{eval_naive, eval_seminaive, FixpointStats};
+pub use magic::{eval_magic, magic_transform, MagicProgram, MagicQuery, MagicStats};
+pub use qsq::{eval_qsq, QsqStats};
+pub use ir::{Atom, Const, PredId, Program, Rule, RuleBuilder, Term};
+pub use storage::{Database, Relation};
+pub use translate::{translate_quotient, translate_states, TranslatedQuery};

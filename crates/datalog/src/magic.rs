@@ -1,0 +1,517 @@
+//! The magic-sets transformation.
+//!
+//! Section 1 of the paper: "we also point to an analogy between our
+//! evaluation technique and the magic-set \[9\] or query–subquery \[31\]
+//! evaluation of a datalog program." [`crate::qsq`] realizes the top-down
+//! side of that analogy; this module supplies the bottom-up side — the
+//! classical magic-sets rewriting of Bancilhon, Maier, Sagiv & Ullman \[9\]
+//! — so the three strategies (plain semi-naive, QSQ, magic + semi-naive)
+//! can be run and measured against each other on the same programs
+//! (bench `t8_datalog_strategies`).
+//!
+//! The transformation is the textbook one with left-to-right sideways
+//! information passing:
+//!
+//! 1. **Adorn** predicates starting from the query's binding pattern
+//!    (`b` = bound, `f` = free); a body variable is bound if it occurs in
+//!    a bound head position or in any earlier body atom.
+//! 2. For every adorned rule and every IDB body atom `qᵝ`, emit a **magic
+//!    rule** `m_qᵝ(bound args) :- m_pᵅ(bound head args), prefix…` that
+//!    derives the subgoals demanded by the computation so far.
+//! 3. **Guard** each original rule with its head's magic atom.
+//! 4. Seed with the query's magic fact and evaluate semi-naive.
+//!
+//! On the paper's RPQ programs the query is `answer(X)` with `X` free, and
+//! the program is already source-seeded, so magic degenerates gracefully
+//! (the guards demand everything — same fixpoint). On bound-argument
+//! queries over binary IDBs (e.g. transitive closure `tc(c, X)`, or the
+//! same-generation program) the transformation prunes the classic way;
+//! the tests assert both behaviors.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::engine::{eval_seminaive, FixpointStats};
+use crate::ir::{Atom, Const, PredId, Program, Rule, Term};
+use crate::storage::Database;
+
+/// A query: a goal predicate and a binding pattern (`Some(c)` = bound to
+/// `c`, `None` = free).
+#[derive(Clone, Debug)]
+pub struct MagicQuery {
+    /// The goal predicate (IDB) in the *original* program.
+    pub pred: PredId,
+    /// One entry per argument position.
+    pub pattern: Vec<Option<Const>>,
+}
+
+impl MagicQuery {
+    /// The adornment string, e.g. `"bf"`.
+    pub fn adornment(&self) -> String {
+        self.pattern
+            .iter()
+            .map(|p| if p.is_some() { 'b' } else { 'f' })
+            .collect()
+    }
+}
+
+/// Result of [`magic_transform`].
+#[derive(Clone, Debug)]
+pub struct MagicProgram {
+    /// The rewritten program (EDB predicates re-declared, adorned IDB and
+    /// magic predicates added).
+    pub program: Program,
+    /// The adorned query predicate in [`Self::program`].
+    pub query_pred: PredId,
+    /// Map original-EDB → rewritten-EDB predicate ids.
+    pub edb_map: HashMap<PredId, PredId>,
+    /// The magic predicates, for statistics (their cardinality counts the
+    /// demanded subgoals).
+    pub magic_preds: Vec<PredId>,
+}
+
+/// Statistics from [`eval_magic`].
+#[derive(Clone, Debug, Default)]
+pub struct MagicStats {
+    /// The semi-naive fixpoint statistics on the rewritten program.
+    pub fixpoint: FixpointStats,
+    /// Total demanded subgoals (tuples across magic predicates).
+    pub demanded: usize,
+    /// IDB tuples excluding magic predicates (comparable to a plain
+    /// semi-naive run's `idb_tuples`).
+    pub idb_tuples: usize,
+}
+
+/// Apply the magic-sets transformation for `query`.
+///
+/// Panics if `query.pred` is an EDB predicate or the pattern arity is
+/// wrong — caller errors, not data errors.
+pub fn magic_transform(program: &Program, query: &MagicQuery) -> MagicProgram {
+    assert!(
+        !program.predicates[query.pred].is_edb,
+        "magic query goal must be an IDB predicate"
+    );
+    assert_eq!(
+        query.pattern.len(),
+        program.predicates[query.pred].arity,
+        "query pattern arity mismatch"
+    );
+
+    let mut out = Program::default();
+    let mut edb_map: HashMap<PredId, PredId> = HashMap::new();
+    for (p, decl) in program.predicates.iter().enumerate() {
+        if decl.is_edb {
+            edb_map.insert(p, out.declare(&decl.name, decl.arity, true));
+        }
+    }
+
+    // (original pred, adornment) → (adorned id, magic id)
+    let mut adorned: HashMap<(PredId, String), (PredId, PredId)> = HashMap::new();
+    let mut magic_preds: Vec<PredId> = Vec::new();
+    let mut queue: VecDeque<(PredId, String)> = VecDeque::new();
+
+    let declare_adorned =
+        |out: &mut Program,
+         adorned: &mut HashMap<(PredId, String), (PredId, PredId)>,
+         magic_preds: &mut Vec<PredId>,
+         queue: &mut VecDeque<(PredId, String)>,
+         p: PredId,
+         ad: &str|
+         -> (PredId, PredId) {
+            if let Some(&ids) = adorned.get(&(p, ad.to_owned())) {
+                return ids;
+            }
+            let name = &program.predicates[p].name;
+            let arity = program.predicates[p].arity;
+            let bound = ad.chars().filter(|&c| c == 'b').count();
+            let a_id = out.declare(&format!("{name}#{ad}"), arity, false);
+            let m_id = out.declare(&format!("m_{name}#{ad}"), bound, false);
+            magic_preds.push(m_id);
+            adorned.insert((p, ad.to_owned()), (a_id, m_id));
+            queue.push_back((p, ad.to_owned()));
+            (a_id, m_id)
+        };
+
+    let q_ad = query.adornment();
+    let (query_pred, query_magic) = declare_adorned(
+        &mut out,
+        &mut adorned,
+        &mut magic_preds,
+        &mut queue,
+        query.pred,
+        &q_ad,
+    );
+
+    let mut processed: HashMap<(PredId, String), bool> = HashMap::new();
+    while let Some((p, ad)) = queue.pop_front() {
+        if processed.insert((p, ad.clone()), true).is_some() {
+            continue;
+        }
+        let (p_adorned, p_magic) = adorned[&(p, ad.clone())];
+        for rule in program.rules.iter().filter(|r| r.head.pred == p) {
+            // Bound variables so far: head variables at 'b' positions.
+            let mut bound: Vec<bool> = vec![false; rule.var_names.len()];
+            for (term, a) in rule.head.terms.iter().zip(ad.chars()) {
+                if a == 'b' {
+                    if let Term::Var(v) = term {
+                        bound[*v as usize] = true;
+                    }
+                }
+            }
+            let head_bound_terms: Vec<Term> = rule
+                .head
+                .terms
+                .iter()
+                .zip(ad.chars())
+                .filter(|(_, a)| *a == 'b')
+                .map(|(t, _)| *t)
+                .collect();
+            let magic_head_atom = Atom {
+                pred: p_magic,
+                terms: head_bound_terms.clone(),
+            };
+
+            let mut new_body: Vec<Atom> = vec![magic_head_atom.clone()];
+            for atom in &rule.body {
+                if program.predicates[atom.pred].is_edb {
+                    new_body.push(Atom {
+                        pred: edb_map[&atom.pred],
+                        terms: atom.terms.clone(),
+                    });
+                } else {
+                    // Adorn by current boundness.
+                    let sub_ad: String = atom
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(_) => 'b',
+                            Term::Var(v) => {
+                                if bound[*v as usize] {
+                                    'b'
+                                } else {
+                                    'f'
+                                }
+                            }
+                        })
+                        .collect();
+                    let (a_id, m_id) = declare_adorned(
+                        &mut out,
+                        &mut adorned,
+                        &mut magic_preds,
+                        &mut queue,
+                        atom.pred,
+                        &sub_ad,
+                    );
+                    // Magic rule: demand this subgoal from the prefix.
+                    let magic_terms: Vec<Term> = atom
+                        .terms
+                        .iter()
+                        .zip(sub_ad.chars())
+                        .filter(|(_, a)| *a == 'b')
+                        .map(|(t, _)| *t)
+                        .collect();
+                    out.add_rule(Rule {
+                        head: Atom {
+                            pred: m_id,
+                            terms: magic_terms,
+                        },
+                        body: new_body.clone(),
+                        var_names: rule.var_names.clone(),
+                    });
+                    new_body.push(Atom {
+                        pred: a_id,
+                        terms: atom.terms.clone(),
+                    });
+                }
+                // After evaluating this atom, all its variables are bound.
+                for t in &atom.terms {
+                    if let Term::Var(v) = t {
+                        bound[*v as usize] = true;
+                    }
+                }
+            }
+
+            // Guarded original rule.
+            out.add_rule(Rule {
+                head: Atom {
+                    pred: p_adorned,
+                    terms: rule.head.terms.clone(),
+                },
+                body: new_body,
+                var_names: rule.var_names.clone(),
+            });
+        }
+    }
+
+    // Seed: the query's magic fact.
+    out.add_rule(Rule {
+        head: Atom {
+            pred: query_magic,
+            terms: query
+                .pattern
+                .iter()
+                .filter_map(|p| p.map(Term::Const))
+                .collect(),
+        },
+        body: Vec::new(),
+        var_names: Vec::new(),
+    });
+
+    MagicProgram {
+        program: out,
+        query_pred,
+        edb_map,
+        magic_preds,
+    }
+}
+
+/// Transform, load the EDB, evaluate semi-naive, and extract the query
+/// answers (full tuples of the goal predicate matching the bound
+/// constants).
+pub fn eval_magic(
+    program: &Program,
+    db: &Database,
+    query: &MagicQuery,
+) -> (Vec<Vec<Const>>, MagicStats) {
+    let magic = magic_transform(program, query);
+    let mut mdb = Database::for_program(&magic.program);
+    for (&old, &new) in &magic.edb_map {
+        for t in db.relation(old).iter() {
+            mdb.insert(new, t.clone());
+        }
+    }
+    let fixpoint = eval_seminaive(&magic.program, &mut mdb);
+    let mut answers: Vec<Vec<Const>> = mdb
+        .relation(magic.query_pred)
+        .iter()
+        .filter(|t| {
+            query
+                .pattern
+                .iter()
+                .zip(t.iter())
+                .all(|(p, &v)| p.is_none_or(|c| c == v))
+        })
+        .cloned()
+        .collect();
+    answers.sort();
+    answers.dedup();
+
+    let demanded: usize = magic
+        .magic_preds
+        .iter()
+        .map(|&m| mdb.relation(m).len())
+        .sum();
+    let idb_tuples = magic
+        .program
+        .idb_predicates()
+        .iter()
+        .filter(|p| !magic.magic_preds.contains(p))
+        .map(|&p| mdb.relation(p).len())
+        .sum();
+    (
+        answers,
+        MagicStats {
+            fixpoint,
+            demanded,
+            idb_tuples,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::eval_naive;
+    use crate::ir::RuleBuilder;
+
+    /// edge EDB + transitive closure.
+    fn tc_program() -> (Program, PredId, PredId) {
+        let mut p = Program::default();
+        let edge = p.declare("edge", 2, true);
+        let tc = p.declare("tc", 2, false);
+        let mut b = RuleBuilder::new();
+        let (x, y) = (b.var("x"), b.var("y"));
+        p.add_rule(b.rule(
+            Atom { pred: tc, terms: vec![x, y] },
+            vec![Atom { pred: edge, terms: vec![x, y] }],
+        ));
+        let mut b = RuleBuilder::new();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        p.add_rule(b.rule(
+            Atom { pred: tc, terms: vec![x, z] },
+            vec![
+                Atom { pred: edge, terms: vec![x, y] },
+                Atom { pred: tc, terms: vec![y, z] },
+            ],
+        ));
+        (p, edge, tc)
+    }
+
+    /// Two disjoint chains: 0→1→2→3 and 10→11→12.
+    fn two_chains(p: &Program, edge: PredId) -> Database {
+        let mut db = Database::for_program(p);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (10, 11), (11, 12)] {
+            db.insert(edge, vec![a, b]);
+        }
+        db
+    }
+
+    #[test]
+    fn magic_tc_bound_first_argument() {
+        let (p, edge, tc) = tc_program();
+        let db = two_chains(&p, edge);
+        let query = MagicQuery {
+            pred: tc,
+            pattern: vec![Some(0), None],
+        };
+        let (answers, stats) = eval_magic(&p, &db, &query);
+        assert_eq!(
+            answers,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3]],
+            "tc(0, X) = chain from 0 only"
+        );
+        // Pruning: the full fixpoint has tc-tuples from BOTH chains.
+        let mut full_db = two_chains(&p, edge);
+        let full = eval_seminaive(&p, &mut full_db);
+        assert!(
+            stats.idb_tuples < full.idb_tuples,
+            "magic ({}) must derive fewer tuples than full evaluation ({})",
+            stats.idb_tuples,
+            full.idb_tuples
+        );
+    }
+
+    #[test]
+    fn magic_agrees_with_naive_on_all_sources() {
+        let (p, edge, tc) = tc_program();
+        let mut db = two_chains(&p, edge);
+        eval_naive(&p, &mut db);
+        for source in [0u64, 1, 2, 3, 10, 11, 12, 99] {
+            let query = MagicQuery {
+                pred: tc,
+                pattern: vec![Some(source), None],
+            };
+            let fresh = two_chains(&p, edge);
+            let (answers, _) = eval_magic(&p, &fresh, &query);
+            let mut expected: Vec<Vec<Const>> = db
+                .relation(tc)
+                .iter()
+                .filter(|t| t[0] == source)
+                .cloned()
+                .collect();
+            expected.sort();
+            assert_eq!(answers, expected, "source {source}");
+        }
+    }
+
+    #[test]
+    fn all_free_query_degenerates_to_full_fixpoint() {
+        let (p, edge, tc) = tc_program();
+        let db = two_chains(&p, edge);
+        let query = MagicQuery {
+            pred: tc,
+            pattern: vec![None, None],
+        };
+        let (answers, _) = eval_magic(&p, &db, &query);
+        let mut full_db = two_chains(&p, edge);
+        eval_naive(&p, &mut full_db);
+        let mut expected: Vec<Vec<Const>> = full_db.relation(tc).iter().cloned().collect();
+        expected.sort();
+        assert_eq!(answers, expected);
+    }
+
+    /// The classic same-generation program.
+    fn sg_program() -> (Program, [PredId; 3], PredId) {
+        let mut p = Program::default();
+        let up = p.declare("up", 2, true);
+        let flat = p.declare("flat", 2, true);
+        let down = p.declare("down", 2, true);
+        let sg = p.declare("sg", 2, false);
+        let mut b = RuleBuilder::new();
+        let (x, y) = (b.var("x"), b.var("y"));
+        p.add_rule(b.rule(
+            Atom { pred: sg, terms: vec![x, y] },
+            vec![Atom { pred: flat, terms: vec![x, y] }],
+        ));
+        let mut b = RuleBuilder::new();
+        let (x, x1, y1, y) = (b.var("x"), b.var("x1"), b.var("y1"), b.var("y"));
+        p.add_rule(b.rule(
+            Atom { pred: sg, terms: vec![x, y] },
+            vec![
+                Atom { pred: up, terms: vec![x, x1] },
+                Atom { pred: sg, terms: vec![x1, y1] },
+                Atom { pred: down, terms: vec![y1, y] },
+            ],
+        ));
+        (p, [up, flat, down], sg)
+    }
+
+    #[test]
+    fn magic_same_generation() {
+        let (p, [up, flat, down], sg) = sg_program();
+        let mut db = Database::for_program(&p);
+        // A small balanced gadget: 0 up 1, 1 flat 2, 2 down 3 ⟹ sg(0,3).
+        // Plus an unrelated component 7/8/9.
+        db.insert(up, vec![0, 1]);
+        db.insert(flat, vec![1, 2]);
+        db.insert(down, vec![2, 3]);
+        db.insert(flat, vec![0, 5]);
+        db.insert(up, vec![7, 8]);
+        db.insert(flat, vec![8, 8]);
+        db.insert(down, vec![8, 9]);
+        let (answers, stats) = eval_magic(
+            &p,
+            &db,
+            &MagicQuery {
+                pred: sg,
+                pattern: vec![Some(0), None],
+            },
+        );
+        assert_eq!(answers, vec![vec![0, 3], vec![0, 5]]);
+        // Pruned: sg(7, 9) is never derived.
+        let mut full_db = Database::for_program(&p);
+        for (r, t) in [
+            (up, vec![0u64, 1]),
+            (flat, vec![1, 2]),
+            (down, vec![2, 3]),
+            (flat, vec![0, 5]),
+            (up, vec![7, 8]),
+            (flat, vec![8, 8]),
+            (down, vec![8, 9]),
+        ] {
+            full_db.insert(r, t);
+        }
+        let full = eval_seminaive(&p, &mut full_db);
+        assert!(stats.idb_tuples < full.idb_tuples);
+        assert!(stats.demanded >= 1);
+    }
+
+    #[test]
+    fn transformed_program_shape() {
+        let (p, _, tc) = tc_program();
+        let magic = magic_transform(
+            &p,
+            &MagicQuery {
+                pred: tc,
+                pattern: vec![Some(0), None],
+            },
+        );
+        let rendered = magic.program.render();
+        assert!(rendered.contains("tc#bf"), "{rendered}");
+        assert!(rendered.contains("m_tc#bf"), "{rendered}");
+        // The seed fact.
+        assert!(rendered.contains("m_tc#bf(0)."), "{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "IDB predicate")]
+    fn edb_goal_rejected() {
+        let (p, edge, _) = tc_program();
+        magic_transform(
+            &p,
+            &MagicQuery {
+                pred: edge,
+                pattern: vec![None, None],
+            },
+        );
+    }
+}

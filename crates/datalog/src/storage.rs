@@ -1,0 +1,171 @@
+//! Relation storage: tuple sets with a first-column hash index.
+//!
+//! The generated RPQ programs join a unary IDB atom against
+//! `ref(y, l, x)` on `y` (and a constant `l`), so a first-column index is
+//! the one access path that matters; everything else falls back to scans.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{Const, PredId, Program};
+
+/// A set of tuples of fixed arity with a first-column index.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: HashSet<Vec<Const>>,
+    /// first-column value → tuples (kept in insertion order).
+    index0: HashMap<Const, Vec<Vec<Const>>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: HashSet::new(),
+            index0: HashMap::new(),
+        }
+    }
+
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Insert a tuple; returns true if new.
+    pub fn insert(&mut self, t: Vec<Const>) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        if self.tuples.insert(t.clone()) {
+            if let Some(&first) = t.first() {
+                self.index0.entry(first).or_default().push(t);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Const]) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate all tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<Const>> {
+        self.tuples.iter()
+    }
+
+    /// Tuples whose first column equals `v` (indexed access path).
+    pub fn select_first(&self, v: Const) -> &[Vec<Const>] {
+        self.index0.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Tuples matching a pattern of optional constants per column. Uses the
+    /// first-column index when the pattern binds column 0.
+    pub fn select<'a>(&'a self, pattern: &'a [Option<Const>]) -> Vec<&'a Vec<Const>> {
+        debug_assert_eq!(pattern.len(), self.arity);
+        let candidates: Box<dyn Iterator<Item = &Vec<Const>>> = match pattern.first() {
+            Some(&Some(v)) => Box::new(self.select_first(v).iter()),
+            _ => Box::new(self.tuples.iter()),
+        };
+        candidates
+            .filter(|t| {
+                t.iter()
+                    .zip(pattern.iter())
+                    .all(|(x, p)| p.is_none_or(|v| v == *x))
+            })
+            .collect()
+    }
+}
+
+/// A database: one [`Relation`] per predicate of a [`Program`].
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Create relations matching the program's predicate declarations.
+    pub fn for_program(program: &Program) -> Database {
+        Database {
+            relations: program
+                .predicates
+                .iter()
+                .map(|p| Relation::new(p.arity))
+                .collect(),
+        }
+    }
+
+    /// The relation of a predicate.
+    pub fn relation(&self, p: PredId) -> &Relation {
+        &self.relations[p]
+    }
+
+    /// Mutable access (facts loading, engine updates).
+    pub fn relation_mut(&mut self, p: PredId) -> &mut Relation {
+        &mut self.relations[p]
+    }
+
+    /// Insert a fact.
+    pub fn insert(&mut self, p: PredId, t: Vec<Const>) -> bool {
+        self.relations[p].insert(t)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_indexes() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![1, 2]));
+        assert!(!r.insert(vec![1, 2]));
+        assert!(r.insert(vec![1, 3]));
+        assert!(r.insert(vec![2, 3]));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.select_first(1).len(), 2);
+        assert_eq!(r.select_first(9).len(), 0);
+    }
+
+    #[test]
+    fn select_with_patterns() {
+        let mut r = Relation::new(3);
+        r.insert(vec![1, 10, 2]);
+        r.insert(vec![1, 11, 3]);
+        r.insert(vec![2, 10, 3]);
+        assert_eq!(r.select(&[Some(1), None, None]).len(), 2);
+        assert_eq!(r.select(&[Some(1), Some(10), None]).len(), 1);
+        assert_eq!(r.select(&[None, Some(10), None]).len(), 2);
+        assert_eq!(r.select(&[None, None, None]).len(), 3);
+        assert_eq!(r.select(&[Some(9), None, None]).len(), 0);
+    }
+
+    #[test]
+    fn database_mirrors_program() {
+        let mut prog = Program::default();
+        let e = prog.declare("e", 2, true);
+        let q = prog.declare("q", 1, false);
+        let mut db = Database::for_program(&prog);
+        db.insert(e, vec![1, 2]);
+        db.insert(q, vec![1]);
+        assert_eq!(db.relation(e).len(), 1);
+        assert_eq!(db.relation(q).len(), 1);
+        assert_eq!(db.total_tuples(), 2);
+    }
+}

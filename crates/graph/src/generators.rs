@@ -1,0 +1,316 @@
+//! Seeded workload generators: the graphs the paper's scenarios live on.
+//!
+//! Includes the exact Figure 2 graph (used by the distributed-evaluation
+//! reproduction of Figure 3), web-like graphs for the scaling experiments,
+//! and a "site with caches" generator for the Section 3.2 optimization
+//! benchmarks (cached queries materialized as extra labeled edges so that
+//! the corresponding path constraint `l_q = q` genuinely holds).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rpq_automata::{Alphabet, Symbol};
+
+use crate::instance::{Instance, InstanceBuilder, Oid};
+
+/// The graph of Figure 2: `o1 -a→ o2`, `o2 -b→ o3`, `o3 -b→ o2`, plus the
+/// client site `d` (no outgoing edges). Returns `(instance, d, o1)`.
+pub fn fig2_graph(alphabet: &mut Alphabet) -> (Instance, Oid, Oid) {
+    let mut b = InstanceBuilder::new(alphabet);
+    let d = b.node("d");
+    b.edge("o1", "a", "o2");
+    b.edge("o2", "b", "o3");
+    b.edge("o3", "b", "o2");
+    let (inst, names) = b.finish();
+    (inst, d, names["o1"])
+}
+
+/// A uniformly random graph: `n` nodes, `m` edges with labels drawn from
+/// `labels`. Self-loops and parallel edges with distinct labels allowed;
+/// exact duplicates are retried.
+pub fn random_graph(
+    rng: &mut StdRng,
+    n: usize,
+    m: usize,
+    labels: &[Symbol],
+) -> (Instance, Oid) {
+    assert!(n > 0 && !labels.is_empty());
+    let mut inst = Instance::new();
+    for _ in 0..n {
+        inst.add_node();
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < m && attempts < m * 20 {
+        attempts += 1;
+        let from = Oid(rng.random_range(0..n) as u32);
+        let to = Oid(rng.random_range(0..n) as u32);
+        let label = *labels.choose(rng).expect("non-empty labels");
+        if inst.add_edge(from, label, to) {
+            added += 1;
+        }
+    }
+    (inst, Oid(0))
+}
+
+/// A random **deterministic** graph: at most one outgoing edge per
+/// (node, label) — the instance class of the paper's Section 5 special
+/// case ("instances whose nodes have at most one outgoing edge with a
+/// given label"). Each slot is filled with probability `fill_percent`.
+pub fn deterministic_graph(
+    rng: &mut StdRng,
+    n: usize,
+    labels: &[Symbol],
+    fill_percent: u32,
+) -> (Instance, Oid) {
+    assert!(n > 0 && !labels.is_empty());
+    let mut inst = Instance::new();
+    for _ in 0..n {
+        inst.add_node();
+    }
+    for from in 0..n {
+        for &label in labels {
+            if rng.random_range(0..100) < fill_percent {
+                let to = Oid(rng.random_range(0..n) as u32);
+                inst.add_edge(Oid(from as u32), label, to);
+            }
+        }
+    }
+    (inst, Oid(0))
+}
+
+/// A web-like graph built by preferential attachment: node `i` links to
+/// `out_links` earlier nodes, biased toward high-indegree targets (pages may
+/// be referenced arbitrarily often but reference few pages — Section 2.1).
+pub fn web_graph(
+    rng: &mut StdRng,
+    n: usize,
+    out_links: usize,
+    labels: &[Symbol],
+) -> (Instance, Oid) {
+    assert!(n > 0 && !labels.is_empty());
+    let mut inst = Instance::new();
+    let mut targets: Vec<Oid> = Vec::new(); // multiset for preferential choice
+    for i in 0..n {
+        let o = inst.add_node();
+        if i == 0 {
+            targets.push(o);
+            continue;
+        }
+        for _ in 0..out_links.min(i) {
+            let to = if rng.random_range(0..100) < 70 {
+                *targets.choose(rng).expect("non-empty targets")
+            } else {
+                Oid(rng.random_range(0..i) as u32)
+            };
+            let label = *labels.choose(rng).expect("non-empty labels");
+            if inst.add_edge(o, label, to) {
+                targets.push(to);
+            }
+        }
+        targets.push(o);
+    }
+    // Make everything reachable from node 0 in the forward direction by
+    // adding a spanning path of "next" edges (label 0).
+    for i in 0..n - 1 {
+        inst.add_edge(Oid(i as u32), labels[0], Oid(i as u32 + 1));
+    }
+    (inst, Oid(0))
+}
+
+/// A rooted site tree of the kind the paper's examples browse
+/// (`CS-Department DB-group … Classes cs345`): `fanout^depth` leaves, each
+/// internal edge labeled from `labels` cyclically, plus optional `up` edges
+/// back to the root (the "Stanford-CS-Main" style constraint Σ*·home = ε
+/// holds when `home_edges` is true).
+pub fn site_tree(
+    alphabet: &mut Alphabet,
+    depth: usize,
+    fanout: usize,
+    home_edges: bool,
+) -> (Instance, Oid, Vec<Symbol>) {
+    let labels: Vec<Symbol> = (0..fanout)
+        .map(|i| alphabet.intern(&format!("sec{i}")))
+        .collect();
+    let home = alphabet.intern("home");
+    let mut inst = Instance::new();
+    let root = inst.add_named_node("root");
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &node in &frontier {
+            for &l in &labels {
+                let child = inst.add_node();
+                inst.add_edge(node, l, child);
+                if home_edges {
+                    inst.add_edge(child, home, root);
+                }
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    let mut all = labels;
+    all.push(home);
+    (inst, root, all)
+}
+
+/// A simple directed cycle of length `n`, all edges labeled `label`.
+pub fn cycle_graph(n: usize, label: Symbol) -> (Instance, Oid) {
+    let mut inst = Instance::new();
+    for _ in 0..n {
+        inst.add_node();
+    }
+    for i in 0..n {
+        inst.add_edge(Oid(i as u32), label, Oid(((i + 1) % n) as u32));
+    }
+    (inst, Oid(0))
+}
+
+/// A "site with cache" workload for the Section 3.2 experiments.
+///
+/// Builds a web-like graph, evaluates the *cached query* `q_cache` at the
+/// source by brute word-following (bounded), then adds one `cache_label`
+/// edge from the source to every answer. By construction the path equality
+/// `cache_label = q_cache` then holds at the source, so a query processor
+/// may substitute the single cache edge for the recursive query.
+///
+/// `cache_words` must enumerate `L(q_cache)` far enough to cover every
+/// answer within the graph's diameter; callers obtain it from
+/// `Nfa::enumerate_words`.
+pub fn cached_site(
+    rng: &mut StdRng,
+    n: usize,
+    out_links: usize,
+    labels: &[Symbol],
+    cache_label: Symbol,
+    cache_words: &[Vec<Symbol>],
+) -> (Instance, Oid) {
+    let (mut inst, src) = web_graph(rng, n, out_links, labels);
+    let mut answers: Vec<Oid> = Vec::new();
+    for w in cache_words {
+        for t in inst.word_targets(src, w) {
+            if !answers.contains(&t) {
+                answers.push(t);
+            }
+        }
+    }
+    for t in answers {
+        inst.add_edge(src, cache_label, t);
+    }
+    (inst, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn fig2_shape() {
+        let mut ab = Alphabet::new();
+        let (inst, d, o1) = fig2_graph(&mut ab);
+        assert_eq!(inst.num_nodes(), 4);
+        assert_eq!(inst.num_edges(), 3);
+        assert_eq!(inst.outdegree(d), 0);
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        // ab*(o1) = {o2, o3}
+        let o2 = inst.node_by_name("o2").unwrap();
+        let o3 = inst.node_by_name("o3").unwrap();
+        assert_eq!(inst.word_targets(o1, &[a]), vec![o2]);
+        assert_eq!(inst.word_targets(o1, &[a, b]), vec![o3]);
+        assert_eq!(inst.word_targets(o1, &[a, b, b]), vec![o2]);
+    }
+
+    #[test]
+    fn random_graph_counts() {
+        let mut ab = Alphabet::new();
+        let labels: Vec<Symbol> = (0..3).map(|i| ab.intern(&format!("l{i}"))).collect();
+        let (inst, src) = random_graph(&mut rng(), 50, 200, &labels);
+        assert_eq!(inst.num_nodes(), 50);
+        assert!(inst.num_edges() > 150, "got {}", inst.num_edges());
+        assert_eq!(src, Oid(0));
+    }
+
+    #[test]
+    fn web_graph_is_connected_from_source() {
+        let mut ab = Alphabet::new();
+        let labels: Vec<Symbol> = (0..2).map(|i| ab.intern(&format!("l{i}"))).collect();
+        let (inst, src) = web_graph(&mut rng(), 40, 2, &labels);
+        assert_eq!(inst.reachable_from(src).len(), 40);
+    }
+
+    #[test]
+    fn web_graph_deterministic_per_seed() {
+        let mut ab = Alphabet::new();
+        let labels: Vec<Symbol> = (0..2).map(|i| ab.intern(&format!("l{i}"))).collect();
+        let (i1, _) = web_graph(&mut StdRng::seed_from_u64(3), 30, 2, &labels);
+        let (i2, _) = web_graph(&mut StdRng::seed_from_u64(3), 30, 2, &labels);
+        let e1: Vec<_> = i1.edges().collect();
+        let e2: Vec<_> = i2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn site_tree_home_edges_return_to_root() {
+        let mut ab = Alphabet::new();
+        let (inst, root, labels) = site_tree(&mut ab, 2, 2, true);
+        let home = *labels.last().unwrap();
+        // every non-root node has a home edge to root
+        for o in inst.nodes() {
+            if o != root && inst.outdegree(o) > 0 {
+                assert!(inst
+                    .out_edges(o)
+                    .iter()
+                    .any(|&(l, t)| l == home && t == root));
+            }
+        }
+        // 1 + 2 + 4 nodes
+        assert_eq!(inst.num_nodes(), 7);
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let (inst, src) = cycle_graph(5, a);
+        let mut cur = vec![src];
+        for _ in 0..5 {
+            cur = inst.word_targets(cur[0], &[a]);
+        }
+        assert_eq!(cur, vec![src]);
+    }
+
+    #[test]
+    fn cached_site_constraint_holds() {
+        let mut ab = Alphabet::new();
+        let labels: Vec<Symbol> = (0..2).map(|i| ab.intern(&format!("l{i}"))).collect();
+        let cache = ab.intern("cache0");
+        // cache the query l0.l1 (single word)
+        let words = vec![vec![labels[0], labels[1]]];
+        let (inst, src) = cached_site(&mut rng(), 30, 2, &labels, cache, &words);
+        let via_cache = inst.word_targets(src, &[cache]);
+        let direct = inst.word_targets(src, &[labels[0], labels[1]]);
+        assert_eq!(via_cache, direct);
+    }
+    #[test]
+    fn deterministic_graph_has_unique_labeled_out_edges() {
+        use rand::SeedableRng;
+        let mut ab = Alphabet::new();
+        let labels = vec![ab.intern("a"), ab.intern("b")];
+        let mut rng = StdRng::seed_from_u64(42);
+        let (inst, src) = deterministic_graph(&mut rng, 30, &labels, 70);
+        assert_eq!(src, Oid(0));
+        for o in inst.nodes() {
+            let mut seen: Vec<Symbol> = Vec::new();
+            for &(l, _) in inst.out_edges(o) {
+                assert!(!seen.contains(&l), "duplicate label at {o:?}");
+                seen.push(l);
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Finite instances of the `Ref(source, label, destination)` schema.
+//!
+//! Section 2.1 views a semistructured database as a labeled directed graph:
+//! `Ref(o1, l, o2)` says there is an edge labeled `l` from object `o1` to
+//! `o2`. Objects have *finite outdegree* ("objects are small"); indegree is
+//! unconstrained. An [`Instance`] stores the graph in adjacency form, keyed
+//! by dense [`Oid`]s, with optional human-readable node names used by traces
+//! and DOT rendering (the paper's `d`, `o1`, `o2`, …).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rpq_automata::{Alphabet, Symbol};
+use serde::{Deserialize, Serialize};
+
+/// A dense object identifier within one [`Instance`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Oid(pub u32);
+
+impl Oid {
+    /// The dense index of this object.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A finite labeled directed graph — one instance of the `Ref` schema.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Instance {
+    /// `out[o] = [(label, destination), …]` sorted insertion order.
+    out: Vec<Vec<(Symbol, Oid)>>,
+    /// Optional display names per node.
+    names: Vec<Option<String>>,
+    edge_count: usize,
+}
+
+impl Instance {
+    /// An empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Add an anonymous node.
+    pub fn add_node(&mut self) -> Oid {
+        self.out.push(Vec::new());
+        self.names.push(None);
+        Oid(self.out.len() as u32 - 1)
+    }
+
+    /// Add a named node (names are for display only and need not be unique,
+    /// though [`Instance::node_by_name`] returns the first match).
+    pub fn add_named_node(&mut self, name: &str) -> Oid {
+        let o = self.add_node();
+        self.names[o.index()] = Some(name.to_owned());
+        o
+    }
+
+    /// Add an edge `Ref(from, label, to)`. Duplicate edges are ignored
+    /// (relations are sets). Returns true if the edge was new.
+    pub fn add_edge(&mut self, from: Oid, label: Symbol, to: Oid) -> bool {
+        let row = &mut self.out[from.index()];
+        if row.contains(&(label, to)) {
+            return false;
+        }
+        row.push((label, to));
+        self.edge_count += 1;
+        true
+    }
+
+    /// Number of objects.
+    pub fn num_nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges (tuples in `Ref`).
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The outgoing edges of `o` — the paper's "description of o".
+    pub fn out_edges(&self, o: Oid) -> &[(Symbol, Oid)] {
+        &self.out[o.index()]
+    }
+
+    /// Outdegree of `o`.
+    pub fn outdegree(&self, o: Oid) -> usize {
+        self.out[o.index()].len()
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = Oid> + '_ {
+        (0..self.out.len() as u32).map(Oid)
+    }
+
+    /// Iterate over all edges as `(source, label, destination)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (Oid, Symbol, Oid)> + '_ {
+        self.nodes().flat_map(move |o| {
+            self.out[o.index()]
+                .iter()
+                .map(move |&(l, d)| (o, l, d))
+        })
+    }
+
+    /// The display name of a node (falls back to `oN`).
+    pub fn node_name(&self, o: Oid) -> String {
+        match &self.names[o.index()] {
+            Some(n) => n.clone(),
+            None => format!("{o}"),
+        }
+    }
+
+    /// First node carrying the given display name.
+    pub fn node_by_name(&self, name: &str) -> Option<Oid> {
+        self.names
+            .iter()
+            .position(|n| n.as_deref() == Some(name))
+            .map(|i| Oid(i as u32))
+    }
+
+    /// Indegree of every node (computed on demand).
+    pub fn indegrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_nodes()];
+        for (_, _, d) in self.edges() {
+            deg[d.index()] += 1;
+        }
+        deg
+    }
+
+    /// Objects reachable from `o` by any directed path (including `o`).
+    pub fn reachable_from(&self, o: Oid) -> Vec<Oid> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![o];
+        seen[o.index()] = true;
+        let mut out = Vec::new();
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            for &(_, t) in self.out_edges(x) {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// BFS distance (in edges) from `o` to every node; `usize::MAX` when
+    /// unreachable. The paper's "distance" and "K-sphere" notions use this.
+    pub fn distances_from(&self, o: Oid) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[o.index()] = 0;
+        queue.push_back(o);
+        while let Some(x) = queue.pop_front() {
+            let d = dist[x.index()];
+            for &(_, t) in self.out_edges(x) {
+                if dist[t.index()] == usize::MAX {
+                    dist[t.index()] = d + 1;
+                    queue.push_back(t);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Follow a word from `o`, collecting every endpoint (set semantics).
+    /// This is a reference implementation of `w(o, I)` for a single word.
+    pub fn word_targets(&self, o: Oid, word: &[Symbol]) -> Vec<Oid> {
+        let mut cur = vec![o];
+        for &sym in word {
+            let mut next: Vec<Oid> = Vec::new();
+            for &x in &cur {
+                for &(l, t) in self.out_edges(x) {
+                    if l == sym && !next.contains(&t) {
+                        next.push(t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            cur = next;
+        }
+        cur.sort();
+        cur
+    }
+
+    /// Graphviz rendering.
+    pub fn dot(&self, alphabet: &Alphabet) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph instance {\n  rankdir=LR;\n");
+        for o in self.nodes() {
+            let _ = writeln!(s, "  n{} [label=\"{}\"];", o.0, self.node_name(o));
+        }
+        for (a, l, b) in self.edges() {
+            let _ = writeln!(s, "  n{} -> n{} [label=\"{}\"];", a.0, b.0, alphabet.name(l));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// A builder that accepts string triples, interning labels and node names.
+/// Convenient for tests and examples:
+///
+/// ```
+/// use rpq_automata::Alphabet;
+/// use rpq_graph::InstanceBuilder;
+///
+/// let mut ab = Alphabet::new();
+/// let mut b = InstanceBuilder::new(&mut ab);
+/// b.edge("o1", "a", "o2");
+/// b.edge("o2", "b", "o3");
+/// let (inst, _) = b.finish();
+/// assert_eq!(inst.num_edges(), 2);
+/// ```
+pub struct InstanceBuilder<'a> {
+    alphabet: &'a mut Alphabet,
+    instance: Instance,
+    by_name: HashMap<String, Oid>,
+}
+
+impl<'a> InstanceBuilder<'a> {
+    /// Start building against an alphabet.
+    pub fn new(alphabet: &'a mut Alphabet) -> Self {
+        InstanceBuilder {
+            alphabet,
+            instance: Instance::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Get or create the node with the given name.
+    pub fn node(&mut self, name: &str) -> Oid {
+        if let Some(&o) = self.by_name.get(name) {
+            return o;
+        }
+        let o = self.instance.add_named_node(name);
+        self.by_name.insert(name.to_owned(), o);
+        o
+    }
+
+    /// Add the edge `Ref(from, label, to)` by names.
+    pub fn edge(&mut self, from: &str, label: &str, to: &str) -> (Oid, Symbol, Oid) {
+        let f = self.node(from);
+        let l = self.alphabet.intern(label);
+        let t = self.node(to);
+        self.instance.add_edge(f, l, t);
+        (f, l, t)
+    }
+
+    /// Finish, returning the instance and the name → oid map.
+    pub fn finish(self) -> (Instance, HashMap<String, Oid>) {
+        (self.instance, self.by_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (Alphabet, Instance, Oid) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s", "a", "x");
+        b.edge("x", "b", "y");
+        b.edge("y", "b", "x");
+        let (inst, names) = b.finish();
+        let s = names["s"];
+        (ab, inst, s)
+    }
+
+    #[test]
+    fn add_edge_dedups() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let mut i = Instance::new();
+        let x = i.add_node();
+        let y = i.add_node();
+        assert!(i.add_edge(x, a, y));
+        assert!(!i.add_edge(x, a, y));
+        assert_eq!(i.num_edges(), 1);
+        assert_eq!(i.outdegree(x), 1);
+        assert_eq!(i.outdegree(y), 0);
+    }
+
+    #[test]
+    fn reachability_and_distance() {
+        let (_, inst, s) = chain();
+        let r = inst.reachable_from(s);
+        assert_eq!(r.len(), 3);
+        let d = inst.distances_from(s);
+        assert_eq!(d[s.index()], 0);
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        assert_eq!(d[x.index()], 1);
+        assert_eq!(d[y.index()], 2);
+    }
+
+    #[test]
+    fn word_targets_follows_labels() {
+        let (ab, inst, s) = chain();
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        assert_eq!(inst.word_targets(s, &[a]), vec![x]);
+        assert_eq!(inst.word_targets(s, &[a, b]), vec![y]);
+        assert_eq!(inst.word_targets(s, &[a, b, b]), vec![x]);
+        assert!(inst.word_targets(s, &[b]).is_empty());
+        assert_eq!(inst.word_targets(s, &[]), vec![s]);
+    }
+
+    #[test]
+    fn indegrees_count_incoming() {
+        let (_, inst, s) = chain();
+        let deg = inst.indegrees();
+        let x = inst.node_by_name("x").unwrap();
+        assert_eq!(deg[s.index()], 0);
+        assert_eq!(deg[x.index()], 2); // from s and from y
+    }
+
+    #[test]
+    fn names_resolve() {
+        let (_, inst, s) = chain();
+        assert_eq!(inst.node_name(s), "s");
+        assert_eq!(inst.node_by_name("nope"), None);
+        let mut i2 = Instance::new();
+        let anon = i2.add_node();
+        assert_eq!(i2.node_name(anon), "o0");
+    }
+
+    #[test]
+    fn dot_contains_labels() {
+        let (ab, inst, _) = chain();
+        let dot = inst.dot(&ab);
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"s\""));
+    }
+
+    #[test]
+    fn edges_iterator_matches_count() {
+        let (_, inst, _) = chain();
+        assert_eq!(inst.edges().count(), inst.num_edges());
+    }
+}

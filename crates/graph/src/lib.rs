@@ -1,0 +1,24 @@
+//! # rpq-graph
+//!
+//! The semistructured data model of Section 2.1: a database is an instance
+//! of the relational schema `Ref(source: oid, label: label, destination:
+//! oid)`, i.e. a labeled directed graph in which every object has finite
+//! outdegree ("objects are small") but possibly unbounded indegree.
+//!
+//! * [`Instance`] — a finite labeled graph with adjacency storage, builders,
+//!   reachability/distance utilities and DOT export.
+//! * [`GraphSource`] — the lazy, possibly-infinite view (Remark 2.1) under
+//!   which evaluators may only expand nodes they have reached; implemented
+//!   by [`Instance`] and by synthetic infinite graphs ([`InfiniteTree`],
+//!   [`InfiniteComb`], [`LassoLine`]).
+//! * [`generators`] — seeded workloads, including the exact Figure 2 graph
+//!   and the cached-site generator for the Section 3.2 experiments.
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod instance;
+pub mod source;
+
+pub use instance::{Instance, InstanceBuilder, Oid};
+pub use source::{GraphSource, InfiniteComb, InfiniteTree, LassoLine, NodeId};

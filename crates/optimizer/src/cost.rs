@@ -1,0 +1,91 @@
+//! A query cost model.
+//!
+//! The paper deliberately leaves "simpler" open ("this could potentially
+//! involve a cost measure using information not captured by our basic
+//! model"). We provide two measures:
+//!
+//! * a *static* cost — automaton size plus a recursion penalty: recursion
+//!   forces site-set exploration proportional to reachable-graph size,
+//!   which is why the paper singles out nonrecursive equivalents
+//!   ("guaranteed to terminate", Example 1) and cached rewrites
+//!   (Example 3);
+//! * a *measured* cost — run the query on a sample instance and count work
+//!   (used by the benches to validate the static ranking).
+
+use rpq_automata::{Nfa, Regex};
+use rpq_core::eval_product;
+use rpq_graph::{Instance, Oid};
+use serde::{Deserialize, Serialize};
+
+/// Static cost of a query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StaticCost {
+    /// NFA states (message/bookkeeping size driver).
+    pub states: usize,
+    /// AST size (wire size driver).
+    pub ast_size: usize,
+    /// Is the language infinite (recursion that may explore the whole
+    /// reachable graph)?
+    pub recursive: bool,
+}
+
+impl StaticCost {
+    /// Compute the static cost of `q`.
+    pub fn of(q: &Regex) -> StaticCost {
+        let nfa = Nfa::thompson(q);
+        StaticCost {
+            states: nfa.num_states(),
+            ast_size: q.size(),
+            recursive: !nfa.is_finite_lang(),
+        }
+    }
+
+    /// Scalar ranking: recursion dominates, then automaton size, then AST.
+    pub fn score(&self) -> usize {
+        (if self.recursive { 10_000 } else { 0 }) + self.states * 10 + self.ast_size
+    }
+}
+
+/// Measured cost: evaluation work counters on a concrete instance.
+pub fn measured_cost(q: &Regex, instance: &Instance, source: Oid) -> usize {
+    eval_product(&Nfa::thompson(q), instance, source)
+        .stats
+        .total_work()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::{parse_regex, Alphabet};
+    use rpq_graph::InstanceBuilder;
+
+    #[test]
+    fn recursion_dominates_cost() {
+        let mut ab = Alphabet::new();
+        let rec = parse_regex(&mut ab, "l*").unwrap();
+        let non = parse_regex(&mut ab, "l + ()").unwrap();
+        assert!(StaticCost::of(&rec).score() > StaticCost::of(&non).score());
+    }
+
+    #[test]
+    fn smaller_expression_cheaper() {
+        let mut ab = Alphabet::new();
+        let big = parse_regex(&mut ab, "a.b.c.d.e.f + a.b.c.d.e.g").unwrap();
+        let small = parse_regex(&mut ab, "a.b.c.d.e.(f+g)").unwrap();
+        assert!(StaticCost::of(&small).score() <= StaticCost::of(&big).score());
+    }
+
+    #[test]
+    fn measured_cost_reflects_work() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..20 {
+            b.edge(&format!("n{i}"), "l", &format!("n{}", i + 1));
+        }
+        let (inst, names) = b.finish();
+        let src = names["n0"];
+        let rec = parse_regex(&mut ab, "l*").unwrap();
+        let non = parse_regex(&mut ab, "l + ()").unwrap();
+        assert!(measured_cost(&rec, &inst, src) > measured_cost(&non, &inst, src));
+    }
+}

@@ -1,0 +1,44 @@
+//! # rpq-optimizer
+//!
+//! Constraint-aware optimization of path queries — Section 3.2 of the
+//! paper. Sites hold local path constraints (structural knowledge, cached
+//! queries, mirrors); the optimizer replaces a query with a cheaper
+//! equivalent, with equivalence established by the Section 4 implication
+//! machinery, never assumed.
+//!
+//! * [`cost`] — static (automaton size + recursion penalty) and measured
+//!   cost models;
+//! * [`rewrites`] — candidate generation: Theorem 4.10 boundedness
+//!   reduction, Example-3-style cached-query substitution, and algebraic
+//!   simplification, each validated before being offered;
+//! * [`views`] — answering queries from cached views: the Section 5
+//!   Boolean-combination search with the partial-use refinement;
+//! * [`planner`] — plan selection and the memoizing per-site rewrite hook
+//!   for `rpq_distributed::Simulator::with_rewrite`.
+//!
+//! ## Example (the paper's Example 2)
+//!
+//! ```
+//! use rpq_automata::{parse_regex, Alphabet};
+//! use rpq_constraints::{general::Budget, ConstraintSet};
+//! use rpq_optimizer::optimize;
+//!
+//! let mut ab = Alphabet::new();
+//! let e = ConstraintSet::parse(&mut ab, ["l.l = l"]).unwrap();
+//! let q = parse_regex(&mut ab, "l*").unwrap();
+//! let opt = optimize(&e, &q, &ab, &Budget::default());
+//! assert!(opt.improved());
+//! assert!(!opt.after.recursive); // l* became l + ε
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod planner;
+pub mod rewrites;
+pub mod views;
+
+pub use cost::{measured_cost, StaticCost};
+pub use planner::{optimize, Optimized, RewriteCache};
+pub use rewrites::{candidates, Candidate, RewriteRule};
+pub use views::{cache_defs, rewrite_with_views, CacheDef, ViewKind, ViewRewriting, ViewSearchConfig};

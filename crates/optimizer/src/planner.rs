@@ -1,0 +1,242 @@
+//! Plan selection: pick the cheapest validated equivalent.
+//!
+//! "The query processor at each site may use the path constraints holding
+//! at the site to replace the query to be executed by a simpler query."
+//! [`optimize`] ties the pieces together: generate candidates, rank by the
+//! static cost model, return the winner with its provenance. A memoizing
+//! [`RewriteCache`] packages the optimizer as the per-site hook expected by
+//! `rpq_distributed::Simulator::with_rewrite`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use rpq_automata::{Alphabet, Regex};
+use rpq_constraints::general::Budget;
+use rpq_constraints::ConstraintSet;
+
+use crate::cost::StaticCost;
+use crate::rewrites::{candidates, Candidate, RewriteRule};
+
+/// The outcome of optimizing one query.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The selected query (the input itself when nothing beat it).
+    pub query: Regex,
+    /// Cost before.
+    pub before: StaticCost,
+    /// Cost after.
+    pub after: StaticCost,
+    /// The applied rule, if any.
+    pub applied: Option<RewriteRule>,
+    /// All candidates considered (diagnostics).
+    pub considered: usize,
+}
+
+impl Optimized {
+    /// Did optimization change the query?
+    pub fn improved(&self) -> bool {
+        self.applied.is_some()
+    }
+}
+
+/// Optimize `q` under `set`: cheapest validated equivalent by static cost.
+///
+/// Besides the whole-query candidates of [`candidates`], union queries are
+/// also rewritten *arm-wise* — the conclusion's "partial use of cached
+/// queries rather than using them to fully answer the given query": each
+/// union arm is optimized independently and the recombined union is kept
+/// when it wins. Arm rewrites are equivalences under `E`, so their union
+/// is too (no extra validation round needed).
+pub fn optimize(
+    set: &ConstraintSet,
+    q: &Regex,
+    alphabet: &Alphabet,
+    budget: &Budget,
+) -> Optimized {
+    let before = StaticCost::of(q);
+    let mut cands: Vec<Candidate> = candidates(set, q, alphabet, budget);
+
+    // Section 5 view covers (total and partial), already verified.
+    for v in crate::views::rewrite_with_views(
+        set,
+        q,
+        alphabet,
+        &crate::views::ViewSearchConfig::default(),
+    ) {
+        cands.push(Candidate {
+            query: v.query,
+            rule: RewriteRule::ViewCover,
+            proof: v.proof,
+        });
+    }
+
+    // union-arm decomposition (one level, non-recursive to bound cost)
+    if let Regex::Union(arms) = q {
+        let mut rewritten = Vec::with_capacity(arms.len());
+        let mut any = false;
+        for arm in arms {
+            let arm_cands = candidates(set, arm, alphabet, budget);
+            let best_arm = arm_cands
+                .into_iter()
+                .map(|c| (StaticCost::of(&c.query).score(), c))
+                .filter(|(s, _)| *s < StaticCost::of(arm).score())
+                .min_by_key(|(s, _)| *s);
+            match best_arm {
+                Some((_, c)) => {
+                    rewritten.push(c.query);
+                    any = true;
+                }
+                None => rewritten.push(arm.clone()),
+            }
+        }
+        if any {
+            cands.push(Candidate {
+                query: Regex::union(rewritten),
+                rule: crate::rewrites::RewriteRule::CacheSubstitution,
+                proof: "arm-wise (equivalence of arms under E)",
+            });
+        }
+    }
+
+    let considered = cands.len();
+    let mut best: Option<(usize, Candidate)> = None;
+    for c in cands {
+        let score = StaticCost::of(&c.query).score();
+        if score < before.score()
+            && best.as_ref().is_none_or(|(s, _)| score < *s)
+        {
+            best = Some((score, c));
+        }
+    }
+    match best {
+        Some((_, c)) => Optimized {
+            after: StaticCost::of(&c.query),
+            query: c.query,
+            before,
+            applied: Some(c.rule),
+            considered,
+        },
+        None => Optimized {
+            query: q.clone(),
+            after: before.clone(),
+            before,
+            applied: None,
+            considered,
+        },
+    }
+}
+
+/// A memoizing per-site rewrite hook for the distributed simulator: every
+/// site shares `set` (or use one cache per site set). Interior mutability
+/// because the simulator's hook is `Fn`.
+pub struct RewriteCache<'a> {
+    set: &'a ConstraintSet,
+    alphabet: &'a Alphabet,
+    budget: Budget,
+    memo: RefCell<HashMap<Regex, Regex>>,
+}
+
+impl<'a> RewriteCache<'a> {
+    /// Create a cache for the given constraint set.
+    pub fn new(set: &'a ConstraintSet, alphabet: &'a Alphabet, budget: Budget) -> Self {
+        RewriteCache {
+            set,
+            alphabet,
+            budget,
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The rewrite for `q` (memoized).
+    pub fn rewrite(&self, q: &Regex) -> Regex {
+        if let Some(r) = self.memo.borrow().get(q) {
+            return r.clone();
+        }
+        let out = optimize(self.set, q, self.alphabet, &self.budget).query;
+        self.memo.borrow_mut().insert(q.clone(), out.clone());
+        out
+    }
+
+    /// Number of distinct queries optimized.
+    pub fn len(&self) -> usize {
+        self.memo.borrow().len()
+    }
+
+    /// Is the memo empty?
+    pub fn is_empty(&self) -> bool {
+        self.memo.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::ops::regex_equivalent;
+    use rpq_automata::parse_regex;
+
+    fn setup(lines: &[&str], query: &str) -> (Alphabet, ConstraintSet, Regex) {
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, lines.iter().copied()).unwrap();
+        let q = parse_regex(&mut ab, query).unwrap();
+        (ab, set, q)
+    }
+
+    #[test]
+    fn example2_optimizes_to_nonrecursive() {
+        let (ab, set, q) = setup(&["l.l = l"], "l*");
+        let opt = optimize(&set, &q, &ab, &Budget::default());
+        assert!(opt.improved());
+        assert!(!opt.after.recursive);
+        let mut ab2 = ab.clone();
+        let expect = parse_regex(&mut ab2, "l + ()").unwrap();
+        assert!(regex_equivalent(&opt.query, &expect));
+    }
+
+    #[test]
+    fn example3_optimizes_to_cache() {
+        let (ab, set, q) = setup(&["l = (a.b)*"], "a.(b.a)*.c");
+        let opt = optimize(&set, &q, &ab, &Budget::default());
+        assert!(opt.improved(), "{opt:?}");
+        assert_eq!(opt.applied, Some(crate::rewrites::RewriteRule::CacheSubstitution));
+        assert!(!opt.after.recursive, "cache hit removes recursion");
+    }
+
+    #[test]
+    fn no_improvement_returns_input() {
+        let (ab, set, q) = setup(&[], "a.b");
+        let opt = optimize(&set, &q, &ab, &Budget::default());
+        assert!(!opt.improved());
+        assert_eq!(opt.query, q);
+    }
+
+    #[test]
+    fn union_arms_are_rewritten_independently() {
+        // two caches: l1 = (a.b)*, l2 = (c.d)*; the query is a union of
+        // tails of both — each arm substitutes its own cache.
+        let (ab, set, q) = setup(
+            &["l1 = (a.b)*", "l2 = (c.d)*"],
+            "a.(b.a)*.x + c.(d.c)*.y",
+        );
+        let opt = optimize(&set, &q, &ab, &Budget::default());
+        assert!(opt.improved(), "{opt:?}");
+        assert!(!opt.after.recursive, "both arms lose recursion: {opt:?}");
+        let mut ab2 = ab.clone();
+        let expect = parse_regex(&mut ab2, "l1.a.x + l2.c.y").unwrap();
+        assert!(
+            regex_equivalent(&opt.query, &expect),
+            "got {}",
+            opt.query.display(&ab)
+        );
+    }
+
+    #[test]
+    fn rewrite_cache_memoizes() {
+        let (ab, set, q) = setup(&["l.l = l"], "l*");
+        let cache = RewriteCache::new(&set, &ab, Budget::default());
+        let r1 = cache.rewrite(&q);
+        let r2 = cache.rewrite(&q);
+        assert_eq!(r1, r2);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,425 @@
+//! Answering path queries using cached views.
+//!
+//! Section 5 of the paper: "the use of cached path queries to answer a
+//! given path query … can also be solved using our results, by exhaustive
+//! search of Boolean combination of the cached queries and testing
+//! equivalence to the given query under the constraints. The problem can
+//! be refined to making *partial* use of cached queries rather than using
+//! them to fully answer the given query." This module implements both: the
+//! bounded combination search and the partial-cover refinement.
+//!
+//! ## Setting
+//!
+//! A *cache definition* is an equality constraint `l = r` whose one side is
+//! a single label `l` (the cache link of Section 3.2: "the answer to query
+//! q at site o could be saved and accessed from o by links labeled l_q").
+//! Given caches `(l₁ = r₁), …, (lₖ = rₖ)` and a target `q`, we search for
+//! a *rewriting*: a query over cache labels and base labels that is
+//! equivalent to `q` under the constraints, and cheaper.
+//!
+//! ## Where cache labels may appear — a soundness point
+//!
+//! Constraints hold **at the source object only**, so a cache label is
+//! only known to mean its body when it is the *first* step of a path. A
+//! set-equality does lift through right-concatenation
+//! (`l(o) = r(o)` implies `(l·t)(o) = ∪_{x∈l(o)} t(x) = (r·t)(o)`), so
+//! rewritings of the shape
+//!
+//! ```text
+//! l₁·t₁ + l₂·t₂ + … + rest        (cache labels in head position only)
+//! ```
+//!
+//! are sound by construction. Cache labels in non-head positions (e.g.
+//! `a·l·b`) would require the constraint to hold at interior nodes, which
+//! the paper's semantics does not give — the search never produces them.
+//!
+//! ## The search
+//!
+//! For each cache `(l, r)`: the *maximal safe tail* is the universal left
+//! quotient `t = {w | ∀u ∈ L(r): u·w ∈ L(q)}` — the largest language with
+//! `r·t ⊆ q`. For each subset of caches (bounded), the covered part is
+//! `∪ rᵢ·tᵢ`; the *remainder* `q ∖ ∪ rᵢ·tᵢ` is computed as an automaton
+//! difference and appended as a plain (cache-free) arm — this is the
+//! "partial use" refinement; when the remainder is empty the rewriting is
+//! total. Tails are shrunk greedily (shortest words first, then the
+//! algebraic simplifier). Every emitted rewriting is *verified* through
+//! the implication engines (never trusted by construction), following the
+//! crate's policy.
+
+use rpq_automata::elim::nfa_to_regex;
+use rpq_automata::ops::{regex_equivalent, regex_included};
+use rpq_automata::simplify::{simplify_deep, SimplifyConfig};
+use rpq_automata::{Alphabet, Dfa, Nfa, Regex, Symbol};
+use rpq_constraints::axioms::{Prover, ProverConfig};
+use rpq_constraints::general::{check, Budget, Verdict};
+use rpq_constraints::types::{ConstraintKind, PathConstraint};
+use rpq_constraints::ConstraintSet;
+
+use crate::cost::StaticCost;
+
+/// A cache definition `label = body` extracted from the constraint set.
+#[derive(Clone, Debug)]
+pub struct CacheDef {
+    /// The cache link label.
+    pub label: Symbol,
+    /// The cached query.
+    pub body: Regex,
+}
+
+/// Extract cache definitions: equalities with a single-label side and a
+/// non-trivial body.
+pub fn cache_defs(set: &ConstraintSet) -> Vec<CacheDef> {
+    let mut out = Vec::new();
+    for c in set.iter() {
+        if c.kind != ConstraintKind::Equality {
+            continue;
+        }
+        for (label_side, body_side) in [(&c.lhs, &c.rhs), (&c.rhs, &c.lhs)] {
+            if let Some(word) = label_side.as_word() {
+                if word.len() == 1 && body_side.as_word().is_none_or(|w| w.len() > 1) {
+                    out.push(CacheDef {
+                        label: word[0],
+                        body: body_side.clone(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// How much of the target the rewriting answers from caches.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ViewKind {
+    /// The caches cover the whole query (empty remainder).
+    Total,
+    /// Caches answer part of the query; a residual cache-free arm remains.
+    Partial,
+}
+
+/// A verified view-based rewriting.
+#[derive(Clone, Debug)]
+pub struct ViewRewriting {
+    /// The rewritten query (cache labels in head positions only).
+    pub query: Regex,
+    /// Cache labels used.
+    pub uses: Vec<Symbol>,
+    /// Total or partial cover.
+    pub kind: ViewKind,
+    /// Which engine verified equivalence under the constraints.
+    pub proof: &'static str,
+    /// Static cost of the rewriting.
+    pub cost: StaticCost,
+}
+
+/// Budgets for [`rewrite_with_views`].
+#[derive(Clone, Debug)]
+pub struct ViewSearchConfig {
+    /// Consider at most this many caches (subsets enumerate 2^k).
+    pub max_caches: usize,
+    /// Give up on a tail whose intermediate DFA exceeds this many states.
+    pub max_dfa_states: usize,
+    /// Greedy tail shrinking: max word length / word count to try.
+    pub tail_word_len: usize,
+    /// Greedy tail shrinking: cap on enumerated words.
+    pub tail_word_cap: usize,
+    /// Verification budget for the implication engine.
+    pub verify_budget: Budget,
+}
+
+impl Default for ViewSearchConfig {
+    fn default() -> Self {
+        ViewSearchConfig {
+            max_caches: 4,
+            max_dfa_states: 2_000,
+            tail_word_len: 10,
+            tail_word_cap: 12,
+            verify_budget: Budget::default(),
+        }
+    }
+}
+
+/// The universal left quotient `{w | ∀u ∈ L(r): u·w ∈ L(q)}` as a regex,
+/// or `None` when it is empty or exceeds the state budget. This is the
+/// maximal tail with `r·t ⊆ q`.
+fn universal_tail(q: &Regex, r: &Regex, sigma: usize, cfg: &ViewSearchConfig) -> Option<Regex> {
+    // ∁( ∃-quotient of ∁q by r ): complement, quotient, complement.
+    let dq = Dfa::from_nfa(&Nfa::thompson(q), sigma);
+    if dq.num_states() > cfg.max_dfa_states {
+        return None;
+    }
+    let ncomp = dq.complement().to_nfa();
+    let r_nfa = Nfa::thompson(r);
+    let starts = ncomp.reachable_via(&r_nfa);
+    let mut ex = Nfa::empty();
+    let off = ex.add_nfa(&ncomp);
+    for s in starts {
+        ex.add_eps(ex.start(), s + off);
+    }
+    let dex = Dfa::from_nfa(&ex, sigma);
+    if dex.num_states() > cfg.max_dfa_states {
+        return None;
+    }
+    let tail_nfa = dex.complement().to_nfa().trim();
+    if tail_nfa.is_empty_lang() {
+        return None;
+    }
+    let tail = nfa_to_regex(&tail_nfa);
+    debug_assert!(
+        regex_included(&r.clone().then(tail.clone()), q),
+        "universal tail must satisfy r·t ⊆ q"
+    );
+    Some(tail)
+}
+
+/// Shrink a tail: greedily try finite unions of its shortest words, then
+/// the algebraic simplifier on the full expression; keep the smallest
+/// expression `t'` with `r·t' ≡ r·t`.
+fn shrink_tail(tail: &Regex, r: &Regex, cfg: &ViewSearchConfig) -> Regex {
+    let covered = r.clone().then(tail.clone());
+    let nfa = Nfa::thompson(tail);
+    let mut words: Vec<Vec<Symbol>> = Vec::new();
+    for w in nfa.enumerate_words(cfg.tail_word_len, cfg.tail_word_cap) {
+        words.push(w);
+        let t = Regex::from_finite_language(words.clone());
+        if regex_equivalent(&r.clone().then(t.clone()), &covered) {
+            return t;
+        }
+    }
+    let simplified = simplify_deep(tail, &SimplifyConfig::default());
+    if simplified.size() < tail.size() {
+        simplified
+    } else {
+        tail.clone()
+    }
+}
+
+/// Search for view-based rewritings of `q` under `set`. Results are
+/// verified and sorted by static cost (best first).
+pub fn rewrite_with_views(
+    set: &ConstraintSet,
+    q: &Regex,
+    alphabet: &Alphabet,
+    cfg: &ViewSearchConfig,
+) -> Vec<ViewRewriting> {
+    let caches: Vec<CacheDef> = cache_defs(set).into_iter().take(cfg.max_caches).collect();
+    if caches.is_empty() {
+        return Vec::new();
+    }
+    let sigma = alphabet.len().max(1);
+
+    // Per-cache maximal tails (shrunk) and covered languages.
+    struct Usable {
+        label: Symbol,
+        tail: Regex,
+        covered: Regex,
+    }
+    let mut usable: Vec<Usable> = Vec::new();
+    for c in &caches {
+        let Some(t) = universal_tail(q, &c.body, sigma, cfg) else {
+            continue;
+        };
+        let tail = shrink_tail(&t, &c.body, cfg);
+        let covered = c.body.clone().then(tail.clone());
+        usable.push(Usable {
+            label: c.label,
+            tail,
+            covered,
+        });
+    }
+    if usable.is_empty() {
+        return Vec::new();
+    }
+
+    let prover = Prover::new(set, ProverConfig::default());
+    let mut out: Vec<ViewRewriting> = Vec::new();
+    // Enumerate nonempty subsets (the "Boolean combinations").
+    for mask in 1u32..(1u32 << usable.len()) {
+        let members: Vec<&Usable> = usable
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, u)| u)
+            .collect();
+
+        let cover = Regex::union(members.iter().map(|u| u.covered.clone()).collect());
+        // Remainder: q ∖ cover, as an automaton difference.
+        let dq = Dfa::from_nfa(&Nfa::thompson(q), sigma);
+        let dc = Dfa::from_nfa(&Nfa::thompson(&cover), sigma);
+        if dq.num_states() > cfg.max_dfa_states || dc.num_states() > cfg.max_dfa_states {
+            continue;
+        }
+        let diff = Dfa::product(&dq, &dc, |x, y| x && !y);
+        let rem_nfa = diff.to_nfa().trim();
+        let (kind, rem) = if rem_nfa.is_empty_lang() {
+            (ViewKind::Total, Regex::Empty)
+        } else {
+            (
+                ViewKind::Partial,
+                simplify_deep(&nfa_to_regex(&rem_nfa), &SimplifyConfig::default()),
+            )
+        };
+
+        let mut arms: Vec<Regex> = members
+            .iter()
+            .map(|u| Regex::sym(u.label).then(u.tail.clone()))
+            .collect();
+        if rem != Regex::Empty {
+            arms.push(rem.clone());
+        }
+        let candidate = Regex::union(arms);
+        if candidate == *q {
+            continue;
+        }
+
+        // Verify E ⊨ q = candidate: axiomatic prover first, implication
+        // engine as fallback. Never emit unverified rewritings.
+        let claim = PathConstraint::equality(q.clone(), candidate.clone());
+        let proof = if prover.prove_constraint(&claim).is_some() {
+            "axiomatic"
+        } else {
+            match check(set, &claim, &cfg.verify_budget) {
+                Verdict::Implied { method } => method,
+                _ => continue,
+            }
+        };
+        out.push(ViewRewriting {
+            cost: StaticCost::of(&candidate),
+            query: candidate,
+            uses: members.iter().map(|u| u.label).collect(),
+            kind,
+            proof,
+        });
+    }
+
+    out.sort_by_key(|r| r.cost.score());
+    out.dedup_by(|a, b| a.query == b.query);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::parse_regex;
+
+    fn setup(lines: &[&str], query: &str) -> (Alphabet, ConstraintSet, Regex) {
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, lines.iter().copied()).unwrap();
+        let q = parse_regex(&mut ab, query).unwrap();
+        (ab, set, q)
+    }
+
+    #[test]
+    fn extracts_cache_definitions() {
+        let (ab, set, _) = setup(&["l = (a.b)*", "m = c.d", "x <= y"], "a");
+        let defs = cache_defs(&set);
+        assert_eq!(defs.len(), 2);
+        let l = ab.get("l").unwrap();
+        assert!(defs.iter().any(|d| d.label == l));
+    }
+
+    #[test]
+    fn total_cover_reproduces_example3() {
+        // X3: q = a(ba)*c, cache l = (ab)*: total rewriting l·a·c.
+        let (ab, set, q) = setup(&["l = (a.b)*"], "a.(b.a)*.c");
+        let rewritings = rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default());
+        assert!(!rewritings.is_empty());
+        let best = &rewritings[0];
+        assert_eq!(best.kind, ViewKind::Total);
+        assert!(!best.cost.recursive, "cache removes recursion");
+        let mut ab2 = ab.clone();
+        let expect = parse_regex(&mut ab2, "l.a.c").unwrap();
+        assert!(
+            regex_equivalent(&best.query, &expect),
+            "got {}",
+            best.query.display(&ab)
+        );
+    }
+
+    #[test]
+    fn partial_cover_leaves_cache_free_remainder() {
+        // Cache covers only the (ab)*-headed part; the d-arm remains plain.
+        let (ab, set, q) = setup(&["l = (a.b)*"], "a.(b.a)*.c + d.e");
+        let rewritings = rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default());
+        assert!(!rewritings.is_empty());
+        let best = &rewritings[0];
+        assert_eq!(best.kind, ViewKind::Partial);
+        let mut ab2 = ab.clone();
+        let expect = parse_regex(&mut ab2, "l.a.c + d.e").unwrap();
+        assert!(
+            regex_equivalent(&best.query, &expect),
+            "got {}",
+            best.query.display(&ab)
+        );
+    }
+
+    #[test]
+    fn two_caches_combine() {
+        let (ab, set, q) = setup(
+            &["l1 = (a.b)*", "l2 = (c.d)*"],
+            "a.(b.a)*.x + c.(d.c)*.y",
+        );
+        let rewritings = rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default());
+        let both = rewritings
+            .iter()
+            .find(|r| r.uses.len() == 2)
+            .expect("a rewriting using both caches");
+        assert_eq!(both.kind, ViewKind::Total);
+        let mut ab2 = ab.clone();
+        let expect = parse_regex(&mut ab2, "l1.a.x + l2.c.y").unwrap();
+        assert!(regex_equivalent(&both.query, &expect));
+    }
+
+    #[test]
+    fn no_usable_cache_returns_empty() {
+        // The cache body shares no structure with the query.
+        let (ab, set, q) = setup(&["l = (a.b)*"], "z.z");
+        let rewritings = rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default());
+        assert!(rewritings.is_empty());
+    }
+
+    #[test]
+    fn rewritings_cache_labels_in_head_position_only() {
+        let (ab, set, q) = setup(&["l = (a.b)*"], "a.(b.a)*.c + d.e");
+        let l = ab.get("l").unwrap();
+        for r in rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default()) {
+            // every occurrence of l must be the first factor of a union arm
+            fn l_only_at_head(r: &Regex, l: Symbol, at_head: bool) -> bool {
+                match r {
+                    Regex::Symbol(s) => *s != l || at_head,
+                    Regex::Empty | Regex::Epsilon => true,
+                    Regex::Star(inner) => l_only_at_head(inner, l, false),
+                    Regex::Union(parts) => {
+                        parts.iter().all(|p| l_only_at_head(p, l, at_head))
+                    }
+                    Regex::Concat(parts) => parts.iter().enumerate().all(|(i, p)| {
+                        l_only_at_head(p, l, at_head && i == 0)
+                    }),
+                }
+            }
+            assert!(l_only_at_head(&r.query, l, true), "{}", r.query.display(&ab));
+        }
+    }
+
+    #[test]
+    fn verified_never_trusted_by_construction() {
+        // All returned rewritings pass the implication engine again.
+        let (ab, set, q) = setup(&["l = (a.b)*"], "a.(b.a)*.c");
+        for r in rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default()) {
+            let claim = PathConstraint::equality(q.clone(), r.query.clone());
+            assert!(check(&set, &claim, &Budget::default()).is_implied());
+        }
+    }
+
+    #[test]
+    fn sorted_by_cost() {
+        let (ab, set, q) = setup(
+            &["l1 = (a.b)*", "l2 = (c.d)*"],
+            "a.(b.a)*.x + c.(d.c)*.y",
+        );
+        let rs = rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default());
+        for pair in rs.windows(2) {
+            assert!(pair[0].cost.score() <= pair[1].cost.score());
+        }
+    }
+}

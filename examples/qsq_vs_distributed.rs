@@ -1,0 +1,81 @@
+//! The paper's stated analogy (Section 1): the distributed evaluation
+//! technique *is* a magic-set / query–subquery evaluation of the Datalog
+//! program. This example runs all three on the same input and compares
+//! their work: QSQ subgoals ≈ distributed subquery tasks ≈ product pairs.
+//!
+//! ```sh
+//! cargo run --example qsq_vs_distributed
+//! ```
+
+use rpq::automata::{parse_regex, Alphabet, Nfa};
+use rpq::core::eval_product;
+use rpq::datalog::qsq::eval_qsq;
+use rpq::datalog::translate::{load_instance, translate_quotient};
+use rpq::distributed::{Delivery, Simulator};
+use rpq::graph::InstanceBuilder;
+
+fn main() {
+    let mut ab = Alphabet::new();
+    let mut b = InstanceBuilder::new(&mut ab);
+    // a site with a connected core and a large disconnected tail
+    b.edge("o1", "a", "o2");
+    b.edge("o2", "b", "o3");
+    b.edge("o3", "b", "o2");
+    b.edge("o3", "a", "o4");
+    for i in 0..40 {
+        b.edge(&format!("z{i}"), "a", &format!("z{}", i + 1));
+        b.edge(&format!("z{i}"), "b", &format!("z{}", i + 2));
+    }
+    let (inst, names) = b.finish();
+    let o1 = names["o1"];
+    let q = parse_regex(&mut ab, "a.b.(b.b)*.a").unwrap();
+    println!("query {} from o1 ({} nodes, {} edges; 40+ unreachable)", q.display(&ab), inst.num_nodes(), inst.num_edges());
+
+    // 1. centralized product automaton
+    let nfa = Nfa::thompson(&q);
+    let product = eval_product(&nfa, &inst, o1);
+    println!(
+        "\nproduct engine: {} answers, {} (state,node) pairs visited",
+        product.answers.len(),
+        product.stats.pairs_visited
+    );
+
+    // 2. QSQ over the Datalog translation (goal-directed: the magic-set effect)
+    let tq = translate_quotient(&q, &ab).unwrap();
+    let db = load_instance(&tq, &inst, o1);
+    let (qsq_answers, qsq_stats) = eval_qsq(&tq.program, &db, tq.answer_pred).unwrap();
+    println!(
+        "QSQ:            {} answers, {} subgoals, {} rule firings",
+        qsq_answers.len(),
+        qsq_stats.subgoals,
+        qsq_stats.firings
+    );
+
+    // 3. bottom-up semi-naive. Note: the Section 2.3 translation is already
+    // source-seeded — the magic-set restriction is built into the program —
+    // so bottom-up is goal-directed here too; QSQ makes the subgoal table
+    // (the paper's per-site subquery list) explicit.
+    let mut db2 = load_instance(&tq, &inst, o1);
+    let bu = rpq::datalog::engine::eval_seminaive(&tq.program, &mut db2);
+    println!(
+        "semi-naive:     {} IDB tuples derived, {} derivations (source-seeded program)",
+        bu.idb_tuples, bu.derivations
+    );
+
+    // 4. the distributed protocol: subquery tasks = QSQ subgoals
+    let mut sim = Simulator::new(&inst, &ab, Delivery::Fifo);
+    let res = sim.run(o1, &q);
+    println!(
+        "distributed:    {} answers, {} subquery tasks registered, {} messages",
+        res.answers.len(),
+        res.tasks_registered,
+        res.stats.total()
+    );
+
+    // all four agree on the answers
+    let product_ids: Vec<u64> = product.answers.iter().map(|o| o.index() as u64).collect();
+    assert_eq!(qsq_answers, product_ids);
+    assert_eq!(res.answers, product.answers);
+    println!("\nall engines agree; the goal-directed engines never touch the disconnected tail ✓");
+    assert!(qsq_stats.subgoals <= product.stats.pairs_visited + product.answers.len() + 1);
+}

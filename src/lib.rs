@@ -1,0 +1,58 @@
+//! # rpq — Regular Path Queries with Constraints
+//!
+//! A full Rust reproduction of **Serge Abiteboul & Victor Vianu, "Regular
+//! Path Queries with Constraints"** (PODS 1997; JCSS 58(3), 1999): regular
+//! path queries over semistructured data, their distributed asynchronous
+//! evaluation, and — the paper's main contribution — the implication
+//! problem for path constraints and its use in query optimization.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | Module | Paper | Contents |
+//! |---|---|---|
+//! | [`automata`] | §2.2, §4 | regexes, quotients/derivatives, NFA/DFA, inclusion & equivalence, growth classification, algebraic simplifier |
+//! | [`graph`] | §2.1 | the `Ref(source, label, destination)` data model, generators, infinite sources |
+//! | [`core`] | §2.2–2.4 | evaluation engines, streaming evaluation, general path queries (`μ`) |
+//! | [`datalog`] | §2.3, §1 | Datalog engine + linear-monadic translations, QSQ, magic sets |
+//! | [`constraints`] | §4, §5 | rewrite systems, Theorems 4.2/4.3/4.10, Armstrong instances, the sound axiomatization, the deterministic special case |
+//! | [`distributed`] | §3.1, §5 | the subquery/answer/done/akn protocol, simulator, threaded runner, carrying agents, decomposition baseline, fault injection |
+//! | [`optimizer`] | §3.2, §5 | constraint-based rewriting, cost model, per-site hooks, cached-view combination search |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rpq::automata::{parse_regex, Alphabet, Nfa};
+//! use rpq::graph::InstanceBuilder;
+//! use rpq::core::eval_product;
+//! use rpq::constraints::{implication::word_implies_path, ConstraintSet};
+//!
+//! // Build the Figure 2 graph and run the Figure 3 query.
+//! let mut ab = Alphabet::new();
+//! let mut b = InstanceBuilder::new(&mut ab);
+//! b.edge("o1", "a", "o2");
+//! b.edge("o2", "b", "o3");
+//! b.edge("o3", "b", "o2");
+//! let (inst, names) = b.finish();
+//! let p = parse_regex(&mut ab, "a.b*").unwrap();
+//! let answers = eval_product(&Nfa::thompson(&p), &inst, names["o1"]).answers;
+//! assert_eq!(answers.len(), 2); // {o2, o3}
+//!
+//! // Example 2 of Section 3.2: {l·l ⊆ l} ⊨ l* = l + ε.
+//! let e = ConstraintSet::parse(&mut ab, ["l.l <= l"]).unwrap();
+//! let l_star = parse_regex(&mut ab, "l*").unwrap();
+//! let l_or_eps = parse_regex(&mut ab, "l + ()").unwrap();
+//! assert!(word_implies_path(&e, &l_star, &l_or_eps).is_implied());
+//! assert!(word_implies_path(&e, &l_or_eps, &l_star).is_implied());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `rpq-bench` for the
+//! experiment harness regenerating every figure and worked example of the
+//! paper (documented in `EXPERIMENTS.md`).
+
+pub use rpq_automata as automata;
+pub use rpq_constraints as constraints;
+pub use rpq_core as core;
+pub use rpq_datalog as datalog;
+pub use rpq_distributed as distributed;
+pub use rpq_graph as graph;
+pub use rpq_optimizer as optimizer;

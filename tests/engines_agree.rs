@@ -1,0 +1,176 @@
+//! Cross-engine agreement: every evaluation strategy of Section 2 computes
+//! the same `p(o, I)` — the product-automaton BFS, the two quotient
+//! engines, both Datalog translations (naive and semi-naive), and the
+//! definitional word-enumeration oracle. Property-tested over random
+//! graphs and random regexes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rpq::automata::random::{random_regex, RegexGenConfig};
+use rpq::automata::{Alphabet, Nfa, Regex, Symbol};
+use rpq::core::{eval_derivative, eval_oracle, eval_product, eval_quotient_dfa};
+use rpq::datalog::engine::{eval_naive, eval_seminaive};
+use rpq::datalog::translate::{load_instance, translate_quotient, translate_states};
+use rpq::graph::generators::random_graph;
+use rpq::graph::{Instance, Oid};
+
+fn alphabet3() -> (Alphabet, Vec<Symbol>) {
+    let ab = Alphabet::from_names(["a", "b", "c"]);
+    let syms = ab.symbols().collect();
+    (ab, syms)
+}
+
+fn random_setup(seed: u64, nodes: usize, edges: usize) -> (Alphabet, Instance, Oid, Regex) {
+    let (ab, syms) = alphabet3();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (inst, src) = random_graph(&mut rng, nodes, edges, &syms);
+    let cfg = RegexGenConfig::new(syms);
+    let q = random_regex(&mut rng, &cfg);
+    (ab, inst, src, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_engines_agree_on_random_inputs(seed in 0u64..10_000) {
+        let (ab, inst, src, q) = random_setup(seed, 6, 12);
+        let nfa = Nfa::thompson(&q);
+
+        let product = eval_product(&nfa, &inst, src).answers;
+        let quotient = eval_quotient_dfa(&nfa, &inst, src).answers;
+        let derivative = eval_derivative(&q, &inst, src).answers;
+        prop_assert_eq!(&product, &quotient, "product vs quotient");
+        prop_assert_eq!(&product, &derivative, "product vs derivative");
+
+        // Datalog, both translations, both engines.
+        let tq = translate_quotient(&q, &ab).unwrap();
+        prop_assert!(tq.program.is_linear() && tq.program.is_monadic());
+        let mut db1 = load_instance(&tq, &inst, src);
+        eval_naive(&tq.program, &mut db1);
+        let mut naive: Vec<Oid> = db1
+            .relation(tq.answer_pred)
+            .iter()
+            .map(|t| Oid(t[0] as u32))
+            .collect();
+        naive.sort();
+        prop_assert_eq!(&product, &naive, "product vs datalog-naive");
+
+        let ts = translate_states(&nfa);
+        prop_assert!(ts.program.is_linear() && ts.program.is_monadic());
+        let mut db2 = load_instance(&ts, &inst, src);
+        eval_seminaive(&ts.program, &mut db2);
+        let mut semi: Vec<Oid> = db2
+            .relation(ts.answer_pred)
+            .iter()
+            .map(|t| Oid(t[0] as u32))
+            .collect();
+        semi.sort();
+        prop_assert_eq!(&product, &semi, "product vs datalog-seminaive (states)");
+
+        // The magic-sets rewriting of the quotient program agrees too.
+        let db3 = load_instance(&tq, &inst, src);
+        let (magic_answers, _) = rpq::datalog::eval_magic(
+            &tq.program,
+            &db3,
+            &rpq::datalog::MagicQuery {
+                pred: tq.answer_pred,
+                pattern: vec![None],
+            },
+        );
+        let mut magic: Vec<Oid> = magic_answers.iter().map(|t| Oid(t[0] as u32)).collect();
+        magic.sort();
+        prop_assert_eq!(&product, &magic, "product vs datalog-magic");
+    }
+
+    #[test]
+    fn engines_match_definitional_oracle(seed in 0u64..10_000) {
+        // tiny inputs only: the oracle is exponential
+        let (_, inst, src, q) = random_setup(seed, 4, 7);
+        let nfa = Nfa::thompson(&q);
+        let oracle = eval_oracle(&nfa, &inst, src, Some(10));
+        let product = eval_product(&nfa, &inst, src).answers;
+        // the oracle bound (10) exceeds |Q|·|V| only sometimes; restrict to
+        // cases where it is authoritative
+        if nfa.num_states() * inst.num_nodes() <= 10 {
+            prop_assert_eq!(product, oracle);
+        } else {
+            // oracle answers are always a subset
+            for o in &oracle {
+                prop_assert!(product.binary_search(o).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn membership_agreement_regex_vs_nfa_vs_dfa(seed in 0u64..10_000) {
+        let (ab, syms) = alphabet3();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RegexGenConfig::new(syms.clone());
+        let q = random_regex(&mut rng, &cfg);
+        let nfa = Nfa::thompson(&q);
+        let dfa = rpq::automata::Dfa::from_nfa(&nfa, ab.len());
+        // exhaustive words up to length 4
+        let mut words: Vec<Vec<Symbol>> = vec![vec![]];
+        let mut layer: Vec<Vec<Symbol>> = vec![vec![]];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for w in &layer {
+                for &s in &syms {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            words.extend(next.iter().cloned());
+            layer = next;
+        }
+        for w in &words {
+            let by_derivative = rpq::automata::derivative::accepts(&q, w);
+            prop_assert_eq!(by_derivative, nfa.accepts(w));
+            prop_assert_eq!(by_derivative, dfa.accepts(w));
+        }
+    }
+}
+
+#[test]
+fn streaming_agrees_with_product_on_finite_instances() {
+    for seed in 0..20u64 {
+        let (_, inst, src, q) = random_setup(seed, 8, 16);
+        let nfa = Nfa::thompson(&q);
+        let product = eval_product(&nfa, &inst, src).answers;
+        let mut stream = rpq::core::StreamingEval::new(&nfa, &inst, src.index() as u64, 1_000_000);
+        let streamed: Vec<Oid> = stream
+            .collect_all()
+            .into_iter()
+            .map(|n| Oid(n as u32))
+            .collect();
+        assert_eq!(product, streamed, "seed {seed}");
+        assert_eq!(stream.status(), rpq::core::StreamStatus::Terminated);
+    }
+}
+
+#[test]
+fn general_queries_mu_equals_direct_on_random_instances() {
+    use rpq::core::general::{eval_general, eval_general_direct, GeneralPathQuery};
+    let queries = [
+        r#""a*b" "c"?"#,
+        r#"("a*b" + "ba*")*"#,
+        r#"("[ab]" "[bc]")*"#,
+        r#""(.)*""#,
+    ];
+    for seed in 0..10u64 {
+        let ab = Alphabet::from_names(["b", "aab", "baa", "c", "zzz"]);
+        let syms: Vec<Symbol> = ab.symbols().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, src) = random_graph(&mut rng, 6, 14, &syms);
+        for qs in queries {
+            let q = GeneralPathQuery::parse(qs).unwrap();
+            let via_mu = eval_general(&q, &inst, src, &ab);
+            let direct = eval_general_direct(&q, &inst, src, &ab);
+            assert_eq!(via_mu, direct, "Proposition 2.2 violated: {qs} seed {seed}");
+        }
+    }
+}
