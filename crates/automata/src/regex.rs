@@ -13,6 +13,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::alphabet::{Alphabet, Symbol};
 
 /// A regular expression over interned [`Symbol`]s.
@@ -24,7 +26,7 @@ use crate::alphabet::{Alphabet, Symbol};
 /// * `Union` has ≥ 2 parts, sorted, deduplicated, none of which is `Empty` or
 ///   a nested `Union`.
 /// * `Star` never wraps `Empty`, `Epsilon`, or another `Star`.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub enum Regex {
     /// The empty language ∅.
     Empty,

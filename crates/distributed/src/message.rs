@@ -10,12 +10,13 @@
 //! realistic message-size accounting in the benches.
 
 use rpq_automata::{Alphabet, Regex};
+use serde::{Deserialize, Serialize};
 
 /// Site identity (the client site and every object are sites).
 pub type SiteId = u32;
 
 /// A globally unique message id: (issuing site, per-site counter).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Mid(pub SiteId, pub u32);
 
 impl std::fmt::Display for Mid {
@@ -25,7 +26,7 @@ impl std::fmt::Display for Mid {
 }
 
 /// A protocol message.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// Evaluate `query` at `receiver`; report answers to `destination`;
     /// send `done(mid)` back to `sender` when complete.
@@ -127,7 +128,7 @@ impl Message {
 }
 
 /// Message kinds, for accounting.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MessageKind {
     /// `subquery(…)`.
     Subquery,

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use rpq::automata::random::{random_regex, random_word, RegexGenConfig};
 use rpq::automata::{Alphabet, Nfa, Symbol};

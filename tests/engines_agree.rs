@@ -135,6 +135,58 @@ proptest! {
     }
 }
 
+/// Workspace-wiring smoke test: the Figure 2 graph and Figure 3 query from
+/// the facade docs (`a.b*` asked at `o1`) evaluate to exactly `{o2, o3}`
+/// through every engine the workspace re-exports — centralized product /
+/// quotient-DFA / derivative, both Datalog translations, the definitional
+/// oracle, the streaming evaluator, the deterministic distributed
+/// simulator, and the threaded runner.
+#[test]
+fn figure2_query_answers_o2_o3_via_all_engines() {
+    use rpq::distributed::{run_threaded, Delivery, Simulator};
+    use rpq::graph::generators::fig2_graph;
+
+    let mut ab = Alphabet::new();
+    let (inst, _d, o1) = fig2_graph(&mut ab);
+    let q = rpq::automata::parse_regex(&mut ab, "a.b*").unwrap();
+    let nfa = Nfa::thompson(&q);
+
+    let o2 = inst.node_by_name("o2").unwrap();
+    let o3 = inst.node_by_name("o3").unwrap();
+    let mut expected = vec![o2, o3];
+    expected.sort();
+
+    assert_eq!(eval_product(&nfa, &inst, o1).answers, expected, "product");
+    assert_eq!(eval_quotient_dfa(&nfa, &inst, o1).answers, expected, "quotient dfa");
+    assert_eq!(eval_derivative(&q, &inst, o1).answers, expected, "derivative");
+    assert_eq!(eval_oracle(&nfa, &inst, o1, Some(8)), expected, "oracle");
+
+    let tq = translate_quotient(&q, &ab).unwrap();
+    let mut db = load_instance(&tq, &inst, o1);
+    eval_naive(&tq.program, &mut db);
+    let mut naive: Vec<Oid> = db.relation(tq.answer_pred).iter().map(|t| Oid(t[0] as u32)).collect();
+    naive.sort();
+    assert_eq!(naive, expected, "datalog naive");
+
+    let ts = translate_states(&nfa);
+    let mut db = load_instance(&ts, &inst, o1);
+    eval_seminaive(&ts.program, &mut db);
+    let mut semi: Vec<Oid> = db.relation(ts.answer_pred).iter().map(|t| Oid(t[0] as u32)).collect();
+    semi.sort();
+    assert_eq!(semi, expected, "datalog seminaive");
+
+    let mut stream = rpq::core::StreamingEval::new(&nfa, &inst, o1.index() as u64, 10_000);
+    let mut streamed: Vec<Oid> = stream.collect_all().into_iter().map(|n| Oid(n as u32)).collect();
+    streamed.sort();
+    assert_eq!(streamed, expected, "streaming");
+
+    let sim = Simulator::new(&inst, &ab, Delivery::Fifo).run(o1, &q);
+    assert_eq!(sim.answers, expected, "distributed simulator");
+
+    let threaded = run_threaded(&inst, o1, &q);
+    assert_eq!(threaded.answers, expected, "threaded runner");
+}
+
 #[test]
 fn streaming_agrees_with_product_on_finite_instances() {
     for seed in 0..20u64 {

@@ -1,0 +1,269 @@
+//! Offline shim for `criterion 0.5` — see `vendor/README.md`.
+//!
+//! Implements the benchmark-harness subset this workspace uses: groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a real
+//! warm-up + timed-loop mean over wall-clock time, reported as one
+//! plain-text line per benchmark; there are no statistics, baselines,
+//! or HTML reports.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-value hint, re-exported for benches importing it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("engine", 500)` renders as `engine/500`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id with no function name, only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name in `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Convert to the rendered id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: warm up, then measure for the configured time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also discovers a per-iteration estimate for batching.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std_black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Batch ~100 µs of work per clock read so Instant::elapsed()
+        // (~20 ns) stays below ~0.1% of the measured time even for
+        // nanosecond-scale bodies.
+        let batch = (100_000.0 / per_iter.max(1.0)).clamp(1.0, 100_000.0) as u64;
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time {
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.mean_ns = measure_start.elapsed().as_nanos() as f64 / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+}
+
+fn measure_and_report<F: FnOnce(&mut Bencher)>(
+    full_name: &str,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: F,
+) {
+    let mut b = Bencher {
+        warm_up_time,
+        measurement_time,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{full_name:<60} time: [{}]  ({} iterations)",
+        human(b.mean_ns),
+        b.iters
+    );
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Kept for API compatibility; the shim's loop is time-based, so the
+    /// sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measured duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) {
+        let full = format!("{}/{}", self.name, id.full);
+        if self.criterion.matches(&full) {
+            measure_and_report(&full, self.warm_up_time, self.measurement_time, f);
+        }
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id.into_benchmark_id(), |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark manager (subset of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo-bench passes "--bench" plus any user filter; everything
+        // that is not a flag is treated as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        if self.matches(&id.full) {
+            measure_and_report(
+                &id.full,
+                Duration::from_millis(300),
+                Duration::from_millis(1000),
+                |b| f(b),
+            );
+        }
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

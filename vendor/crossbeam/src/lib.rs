@@ -1,0 +1,93 @@
+//! Offline shim for `crossbeam 0.8` — see `vendor/README.md`.
+//!
+//! Provides `crossbeam::channel`'s unbounded MPSC surface over
+//! `std::sync::mpsc` (whose `Sender` has been `Sync` since Rust 1.72,
+//! which is what lets the threaded protocol runner share a
+//! `Arc<Vec<Sender<_>>>` across sites). Multi-consumer `Receiver`
+//! cloning and `select!` are not provided — the workspace's runner is
+//! strictly one receiver per site.
+
+/// Subset of `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half (subset of `crossbeam_channel::Sender`).
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    // Derived Clone would bound T: Clone; the handle itself never clones T.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; errors iff the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half (subset of `crossbeam_channel::Receiver`).
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block for the next message; errors iff all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator until disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Bounded channel (std sync_channel semantics: `send` blocks when full).
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (SyncSender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct SyncSender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> Self {
+            SyncSender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        /// Send, blocking while the buffer is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+}

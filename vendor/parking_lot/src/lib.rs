@@ -1,0 +1,77 @@
+//! Offline shim for `parking_lot 0.12` — see `vendor/README.md`.
+//!
+//! Wraps `std::sync` locks with parking_lot's guard-returning (never
+//! `Result`) interface. A poisoned std lock — some holder panicked —
+//! panics here too, matching the workspace's "protocol errors are fatal"
+//! stance rather than parking_lot's poison-free semantics.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Guard-returning mutex (subset of `parking_lot::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, returning the guard directly.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.inner.try_lock().ok()
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().expect("mutex poisoned")
+    }
+}
+
+/// Guard-returning reader–writer lock (subset of `parking_lot::RwLock`).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("rwlock poisoned")
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().expect("rwlock poisoned")
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().expect("rwlock poisoned")
+    }
+}

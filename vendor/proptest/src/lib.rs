@@ -1,0 +1,214 @@
+//! Offline shim for `proptest 1` — see `vendor/README.md`.
+//!
+//! Supports the subset this workspace uses: `proptest!` blocks whose
+//! arguments are drawn from integer range strategies (`seed in 0u64..N`),
+//! an optional `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! and panic-based `prop_assert!`/`prop_assert_eq!`. Sampling is seeded
+//! from the test name, so failures reproduce deterministically; there is
+//! no shrinking — the failing input is reported as-is in the panic.
+
+/// Runner configuration and state.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not pass (subset of
+    /// `proptest::test_runner::TestCaseError`).
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The input was rejected (e.g. by `prop_assume!`).
+        Reject(String),
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "property falsified: {m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Per-property deterministic sample source.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Seed the runner from the property name (stable across runs).
+        pub fn new(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+    }
+}
+
+/// Range strategies.
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::{Rng, SampleRange, SampleUniform};
+
+    /// Sample one value from an integer range strategy. Case 0 pins the
+    /// range minimum so every property sees its smallest input.
+    pub fn sample<T: SampleUniform, S: SampleRange<T> + RangeMin<T>>(
+        range: S,
+        runner: &mut TestRunner,
+        case: u32,
+    ) -> T {
+        struct R<'a>(&'a mut TestRunner);
+        impl rand::RngCore for R<'_> {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+        if case == 0 {
+            return range.min_value();
+        }
+        R(runner).random_range(range)
+    }
+
+    /// The smallest value of a range strategy.
+    pub trait RangeMin<T> {
+        /// Lower bound of the range.
+        fn min_value(&self) -> T;
+    }
+
+    impl<T: Copy> RangeMin<T> for std::ops::Range<T> {
+        fn min_value(&self) -> T {
+            self.start
+        }
+    }
+
+    impl<T: Copy> RangeMin<T> for std::ops::RangeInclusive<T> {
+        fn min_value(&self) -> T {
+            *self.start()
+        }
+    }
+}
+
+/// The property-block macro. Each `fn name(arg in range) { .. }` becomes a
+/// plain `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($arg:ident in $range:expr) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(stringify!($name));
+                for case in 0..config.cases {
+                    let $arg = $crate::strategy::sample($range, &mut runner, case);
+                    let input = format!("{} = {:?}", stringify!($arg), $arg);
+                    // Bodies follow proptest's convention: plain statements,
+                    // with `return Ok(())` allowed as an early accept.
+                    let run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        Ok(Ok(())) => {}
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
+                        Ok(Err(err)) => {
+                            panic!(
+                                "proptest: property {} failed at case {}/{} with {}: {}",
+                                stringify!($name), case, config.cases, input, err
+                            );
+                        }
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest: property {} failed at case {}/{} with {}",
+                                stringify!($name), case, config.cases, input
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Panic-based stand-in for `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Panic-based stand-in for `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Panic-based stand-in for `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Stand-in for `proptest::prop_assume!`: skips the case when the
+/// precondition fails (the shim does not replace rejected cases).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(stringify!($cond).to_string()),
+            );
+        }
+    };
+}
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

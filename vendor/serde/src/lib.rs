@@ -1,0 +1,35 @@
+//! Offline shim for `serde 1` — see `vendor/README.md`.
+//!
+//! This workspace's actual wire format is the hand-written codec in
+//! `rpq-distributed` (`message::codec`); the serde derives on data types
+//! are interface surface for downstream users with the real serde. Here
+//! the traits are blanket-implemented markers so that derive sites and
+//! `T: Serialize` bounds compile unchanged without the real crate.
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// `serde::de` namespace stub.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace stub.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive` — see `vendor/README.md`.
+//!
+//! The shim `serde` crate blanket-implements its `Serialize`/`Deserialize`
+//! marker traits, so these derives only need to (a) exist so that
+//! `#[derive(Serialize, Deserialize)]` resolves and (b) register the
+//! `#[serde(...)]` helper attribute so field annotations like
+//! `#[serde(skip)]` parse. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
