@@ -455,7 +455,11 @@ mod tests {
             let reparsed = parse_char_pattern(&printed).unwrap();
             // Compare by behavior on a sample of strings.
             for s in ["", "a", "b", "ab", "ba", "section", "Sections", "xx", "wq"] {
-                assert_eq!(p.matches(s), reparsed.matches(s), "{src} vs {printed} on {s}");
+                assert_eq!(
+                    p.matches(s),
+                    reparsed.matches(s),
+                    "{src} vs {printed} on {s}"
+                );
             }
         }
     }

@@ -37,9 +37,7 @@ pub fn derivative(r: &Regex, s: Symbol) -> Regex {
                 first
             }
         }
-        Regex::Union(parts) => {
-            Regex::union(parts.iter().map(|p| derivative(p, s)).collect())
-        }
+        Regex::Union(parts) => Regex::union(parts.iter().map(|p| derivative(p, s)).collect()),
         Regex::Star(inner) => derivative(inner, s).then(r.clone()),
     }
 }

@@ -220,9 +220,7 @@ impl Dfa {
         let n = self.num_states();
         let reach = self.reachable();
         // initial partition: {accepting, rejecting} over reachable states
-        let mut class: Vec<u32> = (0..n)
-            .map(|s| if self.accept[s] { 1 } else { 0 })
-            .collect();
+        let mut class: Vec<u32> = (0..n).map(|s| if self.accept[s] { 1 } else { 0 }).collect();
         let mut num_classes = 2u32;
         loop {
             // signature: (class, class of successor per symbol)
@@ -333,10 +331,13 @@ impl Dfa {
 
         use std::collections::VecDeque;
         let mut work: VecDeque<(usize, usize)> = VecDeque::new();
-        let mut in_work: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        let mut in_work: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
         // Seed with the smaller initial block on every symbol (both is also
         // correct; the smaller one is the classic optimization).
-        let seed = (0..blocks.len()).min_by_key(|&b| blocks[b].len()).into_iter();
+        let seed = (0..blocks.len())
+            .min_by_key(|&b| blocks[b].len())
+            .into_iter();
         for b in seed {
             for sym in 0..sigma {
                 work.push_back((b, sym));
@@ -369,9 +370,8 @@ impl Dfa {
                     continue; // no split
                 }
                 // Split: keep unmarked in b, move marked to a new block.
-                let (stay, move_out): (Vec<u32>, Vec<u32>) = blocks[b]
-                    .iter()
-                    .partition(|&&s| !marked[s as usize]);
+                let (stay, move_out): (Vec<u32>, Vec<u32>) =
+                    blocks[b].iter().partition(|&&s| !marked[s as usize]);
                 let nb = blocks.len();
                 for &s in &move_out {
                     block_of[s as usize] = nb;
@@ -384,7 +384,11 @@ impl Dfa {
                         work.push_back((nb, sym2));
                         in_work.insert((nb, sym2));
                     } else {
-                        let smaller = if blocks[b].len() <= blocks[nb].len() { b } else { nb };
+                        let smaller = if blocks[b].len() <= blocks[nb].len() {
+                            b
+                        } else {
+                            nb
+                        };
                         work.push_back((smaller, sym2));
                         in_work.insert((smaller, sym2));
                     }
@@ -430,10 +434,7 @@ impl Dfa {
         let start = (a.start, b.start);
         index.insert(start, 0);
         order.push(start);
-        accept.push(op(
-            a.accept[a.start as usize],
-            b.accept[b.start as usize],
-        ));
+        accept.push(op(a.accept[a.start as usize], b.accept[b.start as usize]));
         let mut i = 0;
         while i < order.len() {
             let (sa, sb) = order[i];
@@ -655,7 +656,10 @@ mod tests {
             let moore = d.minimize();
             let hop = d.minimize_hopcroft();
             assert_eq!(moore.num_states(), hop.num_states(), "{r:?}");
-            assert!(crate::ops::equivalent(&d.to_nfa(), &hop.to_nfa()).is_ok(), "{r:?}");
+            assert!(
+                crate::ops::equivalent(&d.to_nfa(), &hop.to_nfa()).is_ok(),
+                "{r:?}"
+            );
         }
     }
 

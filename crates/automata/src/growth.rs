@@ -150,7 +150,12 @@ pub fn classify_dfa(dfa: &Dfa) -> Growth {
         succ.dedup();
     }
     let mut memo: Vec<Option<usize>> = vec![None; num_comps];
-    fn longest(c: usize, cyclic: &[bool], succ: &[Vec<usize>], memo: &mut Vec<Option<usize>>) -> usize {
+    fn longest(
+        c: usize,
+        cyclic: &[bool],
+        succ: &[Vec<usize>],
+        memo: &mut Vec<Option<usize>>,
+    ) -> usize {
         if let Some(v) = memo[c] {
             return v;
         }
@@ -182,12 +187,7 @@ pub fn classify_nfa(nfa: &Nfa, sigma: usize) -> Growth {
 
 /// Classify the growth of `L(r)`.
 pub fn classify_regex(r: &Regex) -> Growth {
-    let sigma = r
-        .symbols()
-        .iter()
-        .map(|s| s.index() + 1)
-        .max()
-        .unwrap_or(1);
+    let sigma = r.symbols().iter().map(|s| s.index() + 1).max().unwrap_or(1);
     classify_nfa(&Nfa::thompson(r), sigma)
 }
 
@@ -216,9 +216,7 @@ fn live_states(dfa: &Dfa) -> Vec<bool> {
         }
     }
     let mut co = vec![false; n];
-    let mut stack: Vec<u32> = (0..n as u32)
-        .filter(|&s| dfa.is_accepting(s))
-        .collect();
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&s| dfa.is_accepting(s)).collect();
     for &s in &stack {
         co[s as usize] = true;
     }
@@ -292,10 +290,7 @@ mod tests {
         assert_eq!(classify("a*.b*.a*"), Growth::Polynomial { degree: 2 });
         assert_eq!(classify("a*.c.b*"), Growth::Polynomial { degree: 1 });
         // parallel branches take the max, not the sum
-        assert_eq!(
-            classify("a*.b* + c*"),
-            Growth::Polynomial { degree: 1 }
-        );
+        assert_eq!(classify("a*.b* + c*"), Growth::Polynomial { degree: 1 });
     }
 
     #[test]

@@ -147,7 +147,8 @@ impl Nfa {
                     .map(|&(sym, t)| (sym, t + off))
                     .collect(),
             );
-            self.eps.push(other.eps[s].iter().map(|&t| t + off).collect());
+            self.eps
+                .push(other.eps[s].iter().map(|&t| t + off).collect());
         }
         off
     }
@@ -177,7 +178,8 @@ impl Nfa {
 
     /// Total number of transitions (labeled + ε).
     pub fn num_transitions(&self) -> usize {
-        self.trans.iter().map(Vec::len).sum::<usize>() + self.eps.iter().map(Vec::len).sum::<usize>()
+        self.trans.iter().map(Vec::len).sum::<usize>()
+            + self.eps.iter().map(Vec::len).sum::<usize>()
     }
 
     /// Whether `s` is accepting.
@@ -362,7 +364,9 @@ impl Nfa {
             }
         }
         let mut bwd = vec![false; n];
-        let mut stack: Vec<StateId> = (0..n as StateId).filter(|&s| self.accept[s as usize]).collect();
+        let mut stack: Vec<StateId> = (0..n as StateId)
+            .filter(|&s| self.accept[s as usize])
+            .collect();
         for &s in &stack {
             bwd[s as usize] = true;
         }
@@ -490,15 +494,13 @@ impl Nfa {
         while let Some((sa, sb)) = queue.pop() {
             let from = map[&(sa, sb)];
             let push = |out: &mut Nfa,
-                            map: &mut std::collections::HashMap<(StateId, StateId), StateId>,
-                            queue: &mut Vec<(StateId, StateId)>,
-                            pair: (StateId, StateId)|
+                        map: &mut std::collections::HashMap<(StateId, StateId), StateId>,
+                        queue: &mut Vec<(StateId, StateId)>,
+                        pair: (StateId, StateId)|
              -> StateId {
                 *map.entry(pair).or_insert_with(|| {
                     queue.push(pair);
-                    out.add_state(
-                        a.accept[pair.0 as usize] && b.accept[pair.1 as usize],
-                    )
+                    out.add_state(a.accept[pair.0 as usize] && b.accept[pair.1 as usize])
                 })
             };
             for &t in &a.eps[sa as usize] {
@@ -613,7 +615,8 @@ impl Nfa {
                 break;
             }
             let mut next: Vec<(Vec<Symbol>, Vec<StateId>)> = Vec::new();
-            let mut next_syms: std::collections::BTreeSet<Symbol> = std::collections::BTreeSet::new();
+            let mut next_syms: std::collections::BTreeSet<Symbol> =
+                std::collections::BTreeSet::new();
             for (word, set) in &layer {
                 next_syms.clear();
                 for &s in set {
@@ -656,7 +659,11 @@ impl Nfa {
         let _ = writeln!(s, "  start [shape=point];");
         let _ = writeln!(s, "  start -> q{};", self.start);
         for q in 0..self.num_states() {
-            let shape = if self.accept[q] { "doublecircle" } else { "circle" };
+            let shape = if self.accept[q] {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             let _ = writeln!(s, "  q{q} [shape={shape}];");
             for &(sym, t) in &self.trans[q] {
                 let _ = writeln!(s, "  q{q} -> q{t} [label=\"{}\"];", alphabet.name(sym));

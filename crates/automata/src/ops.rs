@@ -61,9 +61,9 @@ pub fn included_antichain(a: &Nfa, b: &Nfa) -> InclusionResult {
     let mut antichain: HashMap<StateId, Vec<Vec<StateId>>> = HashMap::new();
 
     let push = |nodes: &mut Vec<Node>,
-                    queue: &mut VecDeque<usize>,
-                    antichain: &mut HashMap<StateId, Vec<Vec<StateId>>>,
-                    node: Node|
+                queue: &mut VecDeque<usize>,
+                antichain: &mut HashMap<StateId, Vec<Vec<StateId>>>,
+                node: Node|
      -> Option<usize> {
         let chain = antichain.entry(node.q).or_default();
         // subsumed if an existing set is a subset of node.set
@@ -375,8 +375,19 @@ mod tests {
         ab.intern("b");
         ab.intern("c");
         let exprs = [
-            "a", "b", "a.b", "a+b", "a*", "(a+b)*", "a.(b+c)*", "a*.b*", "(a.b)*", "a.b.c",
-            "()", "[]", "(a+b+c)*.a",
+            "a",
+            "b",
+            "a.b",
+            "a+b",
+            "a*",
+            "(a+b)*",
+            "a.(b+c)*",
+            "a*.b*",
+            "(a.b)*",
+            "a.b.c",
+            "()",
+            "[]",
+            "(a+b+c)*.a",
         ];
         for p in exprs {
             for q in exprs {

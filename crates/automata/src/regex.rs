@@ -210,9 +210,7 @@ impl Regex {
             Regex::Empty => Regex::Empty,
             Regex::Epsilon => Regex::Epsilon,
             Regex::Symbol(s) => Regex::Symbol(*s),
-            Regex::Concat(parts) => {
-                Regex::concat(parts.iter().rev().map(Regex::reverse).collect())
-            }
+            Regex::Concat(parts) => Regex::concat(parts.iter().rev().map(Regex::reverse).collect()),
             Regex::Union(parts) => Regex::union(parts.iter().map(Regex::reverse).collect()),
             Regex::Star(r) => r.reverse().star(),
         }
@@ -390,7 +388,12 @@ mod tests {
     #[test]
     fn concat_normalizes_units() {
         let (_, a, b, _) = ab3();
-        let r = Regex::concat(vec![Regex::Epsilon, Regex::sym(a), Regex::Epsilon, Regex::sym(b)]);
+        let r = Regex::concat(vec![
+            Regex::Epsilon,
+            Regex::sym(a),
+            Regex::Epsilon,
+            Regex::sym(b),
+        ]);
         assert_eq!(r, Regex::Concat(vec![Regex::sym(a), Regex::sym(b)]));
         assert_eq!(
             Regex::concat(vec![Regex::sym(a), Regex::Empty]),
@@ -417,7 +420,10 @@ mod tests {
         let r2 = Regex::union(vec![Regex::sym(a), Regex::sym(b)]);
         assert_eq!(r1, r2);
         assert_eq!(Regex::union(vec![Regex::Empty]), Regex::Empty);
-        assert_eq!(Regex::union(vec![Regex::Empty, Regex::sym(a)]), Regex::sym(a));
+        assert_eq!(
+            Regex::union(vec![Regex::Empty, Regex::sym(a)]),
+            Regex::sym(a)
+        );
     }
 
     #[test]

@@ -158,10 +158,7 @@ fn rewrite_union(mut parts: Vec<Regex>, cfg: &SimplifyConfig) -> Regex {
             }
         }
         // ε is redundant next to any nullable arm.
-        if parts
-            .iter()
-            .any(|p| *p != Regex::Epsilon && p.nullable())
-        {
+        if parts.iter().any(|p| *p != Regex::Epsilon && p.nullable()) {
             parts.retain(|p| *p != Regex::Epsilon);
         }
     }

@@ -7,9 +7,7 @@ use rand::SeedableRng;
 
 use rpq_automata::derivative::{accepts as re_accepts, derivative};
 use rpq_automata::elim::nfa_to_regex;
-use rpq_automata::ops::{
-    equivalent, equivalent_hopcroft_karp, included_antichain, included_naive,
-};
+use rpq_automata::ops::{equivalent, equivalent_hopcroft_karp, included_antichain, included_naive};
 use rpq_automata::random::{random_regex, sample_word, RegexGenConfig};
 use rpq_automata::{Alphabet, DerivativeClosure, Dfa, Nfa, Regex, Symbol};
 

@@ -90,11 +90,17 @@ fn bench(c: &mut Criterion) {
                 let mut ab = Alphabet::new();
                 let set = ConstraintSet::parse(&mut ab, axioms.iter().copied()).unwrap();
                 let c = parse_constraint(&mut ab, goal).unwrap();
-                if Prover::new(&set, cfg.clone()).prove_constraint(&c).is_some() {
+                if Prover::new(&set, cfg.clone())
+                    .prove_constraint(&c)
+                    .is_some()
+                {
                     proved += 1;
                 }
             }
-            eprintln!("t11 prover ablation {name}: {proved}/{} goals proved", corpus.len());
+            eprintln!(
+                "t11 prover ablation {name}: {proved}/{} goals proved",
+                corpus.len()
+            );
         }
     }
 

@@ -6,11 +6,11 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rpq_automata::random::random_word;
 use rpq_bench::word_system;
 use rpq_constraints::word_implies_word;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t2_word_implication");

@@ -34,11 +34,13 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(word_implies_path(&set, &p, &q).is_implied()))
         });
         if depth <= 8 {
-            group.bench_with_input(BenchmarkId::new("naive_determinize", depth), &depth, |b, _| {
-                b.iter(|| {
-                    black_box(word_implies_path_naive(&set, &p, &q, sigma).is_implied())
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new("naive_determinize", depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| black_box(word_implies_path_naive(&set, &p, &q, sigma).is_implied()))
+                },
+            );
         }
     }
     group.finish();

@@ -25,8 +25,8 @@ fn bench(c: &mut Criterion) {
 
         // print the message-count series once (the paper-shaped result)
         {
-            let plain = Simulator::new(&w.instance, &w.alphabet, Delivery::Fifo)
-                .run(w.source, &w.query);
+            let plain =
+                Simulator::new(&w.instance, &w.alphabet, Delivery::Fifo).run(w.source, &w.query);
             let cache = RewriteCache::new(&w.constraints, &w.alphabet, Budget::default());
             let src = w.source.0;
             let optimized = Simulator::new(&w.instance, &w.alphabet, Delivery::Fifo)

@@ -14,10 +14,11 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_bench::eval_workload;
+use rpq_datalog::translate::{load_csr, translate_quotient};
 use rpq_datalog::{
     eval_magic, eval_qsq, eval_seminaive, Atom, Database, MagicQuery, Program, RuleBuilder,
 };
-use rpq_datalog::translate::{load_instance, translate_quotient};
+use rpq_graph::CsrGraph;
 
 fn tc_setup(chains: usize, len: usize) -> (Program, usize, Database) {
     let mut p = Program::default();
@@ -26,16 +27,31 @@ fn tc_setup(chains: usize, len: usize) -> (Program, usize, Database) {
     let mut b = RuleBuilder::new();
     let (x, y) = (b.var("x"), b.var("y"));
     p.add_rule(b.rule(
-        Atom { pred: tc, terms: vec![x, y] },
-        vec![Atom { pred: edge, terms: vec![x, y] }],
+        Atom {
+            pred: tc,
+            terms: vec![x, y],
+        },
+        vec![Atom {
+            pred: edge,
+            terms: vec![x, y],
+        }],
     ));
     let mut b = RuleBuilder::new();
     let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
     p.add_rule(b.rule(
-        Atom { pred: tc, terms: vec![x, z] },
+        Atom {
+            pred: tc,
+            terms: vec![x, z],
+        },
         vec![
-            Atom { pred: edge, terms: vec![x, y] },
-            Atom { pred: tc, terms: vec![y, z] },
+            Atom {
+                pred: edge,
+                terms: vec![x, y],
+            },
+            Atom {
+                pred: tc,
+                terms: vec![y, z],
+            },
         ],
     ));
     let mut db = Database::for_program(&p);
@@ -59,11 +75,14 @@ fn bench(c: &mut Criterion) {
         let w = eval_workload(0x78 ^ 0x11, nodes);
         let (_, q) = &w.queries[3]; // the broad query (l0+l1+l2)* reaches everything
         let tq = translate_quotient(q, &w.alphabet).unwrap();
-        let db = load_instance(&tq, &w.instance, w.source);
+        // snapshot once: the timed loops compare Datalog *strategies*, not
+        // storage construction
+        let graph = CsrGraph::from(&w.instance);
+        let db = load_csr(&tq, &graph, w.source);
 
         // consistency + series print (once per size)
         {
-            let mut db1 = load_instance(&tq, &w.instance, w.source);
+            let mut db1 = load_csr(&tq, &graph, w.source);
             let semi = eval_seminaive(&tq.program, &mut db1);
             let (qsq_answers, qsq_stats) = eval_qsq(&tq.program, &db, tq.answer_pred).unwrap();
             let (magic_answers, magic_stats) = eval_magic(
@@ -74,11 +93,8 @@ fn bench(c: &mut Criterion) {
                     pattern: vec![None],
                 },
             );
-            let mut semi_answers: Vec<u64> = db1
-                .relation(tq.answer_pred)
-                .iter()
-                .map(|t| t[0])
-                .collect();
+            let mut semi_answers: Vec<u64> =
+                db1.relation(tq.answer_pred).iter().map(|t| t[0]).collect();
             semi_answers.sort();
             let mut qsq_sorted = qsq_answers.clone();
             qsq_sorted.sort();
@@ -93,7 +109,7 @@ fn bench(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("rpq_seminaive", nodes), &nodes, |b, _| {
             b.iter(|| {
-                let mut db = load_instance(&tq, &w.instance, w.source);
+                let mut db = load_csr(&tq, &graph, w.source);
                 black_box(eval_seminaive(&tq.program, &mut db).idb_tuples)
             })
         });

@@ -14,8 +14,8 @@
 use rpq_automata::{parse_regex, Alphabet, Nfa, Symbol};
 use rpq_constraints::general::{check, Budget, Refutation, Verdict};
 use rpq_constraints::{
-    decide_boundedness, lemma44_instance, parse_constraint, suggested_radius,
-    ArmstrongSphere, Boundedness, ConstraintSet,
+    decide_boundedness, lemma44_instance, parse_constraint, suggested_radius, ArmstrongSphere,
+    Boundedness, ConstraintSet,
 };
 use rpq_core::eval_product;
 use rpq_core::general::{translate, GeneralPathQuery};
@@ -84,7 +84,10 @@ fn section5_deterministic() {
     let u = rpq_automata::parse_word(&mut ab, "a.x").unwrap();
     let v = rpq_automata::parse_word(&mut ab, "a").unwrap();
     println!("E = {{a ⊆ c, a·x ⊆ c}}, conclusion a·x ⊆ a:");
-    println!("  over all instances (Theorem 4.3):   {}", word_implies_word(&set, &u, &v));
+    println!(
+        "  over all instances (Theorem 4.3):   {}",
+        word_implies_word(&set, &u, &v)
+    );
     println!(
         "  over deterministic instances:        {}",
         det_implies_word(&set, &u, &v).is_implied()
@@ -113,10 +116,9 @@ fn fig1() {
     b.edge("t1", "c", "u1");
     b.edge("t4", "dd", "u2");
     let (inst, names) = b.finish();
-    let q = GeneralPathQuery::parse(
-        r#"("a*b" "ba*") + ("a*b" "c") + ("ba*" "c") + "dd*" ("dd*")*"#,
-    )
-    .unwrap();
+    let q =
+        GeneralPathQuery::parse(r#"("a*b" "ba*") + ("a*b" "c") + ("ba*" "c") + "dd*" ("dd*")*"#)
+            .unwrap();
     println!("q = (\"a*b\" \"ba*\") + (\"a*b\" \"c\") + (\"ba*\" \"c\") + (\"dd*\")+");
     let mu = translate(&q, &inst, &ab);
     println!("\nlabel equivalence classes (paper: [b], [ab], [ba], [c], [d], [h]):");
@@ -130,7 +132,10 @@ fn fig1() {
     let answers = rpq_core::general::eval_general(&q, &inst, names["o"], &ab);
     println!(
         "q(o, I) = μ(q)(o, μ(I)) = {:?}   (Proposition 2.2)",
-        answers.iter().map(|&x| inst.node_name(x)).collect::<Vec<_>>()
+        answers
+            .iter()
+            .map(|&x| inst.node_name(x))
+            .collect::<Vec<_>>()
     );
 }
 
@@ -146,15 +151,19 @@ fn fig2_fig3() {
     print!("{}", render_trace(&res.trace, &ab, &inst, client));
     println!(
         "\nanswers: {:?}   termination detected: {}",
-        res.answers.iter().map(|&o| inst.node_name(o)).collect::<Vec<_>>(),
+        res.answers
+            .iter()
+            .map(|&o| inst.node_name(o))
+            .collect::<Vec<_>>(),
         res.termination_detected
     );
     println!(
         "messages: {} subquery, {} answer, {} done, {} akn ({} bytes total)",
-        res.stats.subqueries, res.stats.answers, res.stats.dones, res.stats.acks,
-        res.stats.bytes
+        res.stats.subqueries, res.stats.answers, res.stats.dones, res.stats.acks, res.stats.bytes
     );
-    println!("note o2's duplicate b* subquery (from o3) answered done immediately — the paper's dedup");
+    println!(
+        "note o2's duplicate b* subquery (from o3) answered done immediately — the paper's dedup"
+    );
 }
 
 fn fig4() {
@@ -163,25 +172,40 @@ fn fig4() {
     let set = ConstraintSet::parse(&mut ab, ["a.a <= a"]).unwrap();
     let a = ab.get("a").unwrap();
     let ci = lemma44_instance(&set, &[a], 3, &ab).unwrap();
-    println!("classes (vertices): {:?}",
-        ci.class_reps.iter().map(|r| ab.render_word(r)).collect::<Vec<_>>());
+    println!(
+        "classes (vertices): {:?}",
+        ci.class_reps
+            .iter()
+            .map(|r| ab.render_word(r))
+            .collect::<Vec<_>>()
+    );
     for (c, obj) in ci.obj.iter().enumerate() {
         println!(
             "  obj({}) = {:?}",
             ab.render_word(&ci.class_reps[c]),
-            obj.iter().map(|&o| ci.instance.node_name(o)).collect::<Vec<_>>()
+            obj.iter()
+                .map(|&o| ci.instance.node_name(o))
+                .collect::<Vec<_>>()
         );
     }
     println!("\nedges (all labeled a):");
     for (x, _l, y) in ci.instance.edges() {
-        println!("  {} → {}", ci.instance.node_name(x), ci.instance.node_name(y));
+        println!(
+            "  {} → {}",
+            ci.instance.node_name(x),
+            ci.instance.node_name(y)
+        );
     }
-    println!("\nanswer sets (paper: ε→{{o_ε}}, a→{{o_a,o_a²,o_a³}}, a²→{{o_a²,o_a³}}, a³→{{o_a³}}):");
+    println!(
+        "\nanswer sets (paper: ε→{{o_ε}}, a→{{o_a,o_a²,o_a³}}, a²→{{o_a²,o_a³}}, a³→{{o_a³}}):"
+    );
     for len in 0..=3usize {
         let ans = eval_product(&Nfa::from_word(&vec![a; len]), &ci.instance, ci.source).answers;
         println!(
             "  a^{len}(o, I) = {:?}",
-            ans.iter().map(|&o| ci.instance.node_name(o)).collect::<Vec<_>>()
+            ans.iter()
+                .map(|&o| ci.instance.node_name(o))
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -194,7 +218,10 @@ fn fig5() {
     let k = suggested_radius(&set);
     let radius = 9;
     let sphere = ArmstrongSphere::build(&set, &syms, radius, 200_000).unwrap();
-    println!("E = {{aba = b, bb = aa}};  M = {}, suggested K = {k}", set.max_word_len());
+    println!(
+        "E = {{aba = b, bb = aa}};  M = {}, suggested K = {k}",
+        set.max_word_len()
+    );
     println!(
         "sphere of radius {radius}: {} congruence classes",
         sphere.num_nodes()
@@ -230,7 +257,10 @@ fn example1() {
     println!("paper claim: p ≡ (a+b)d.  Checking literally…");
     match check(&set, &literal, &Budget::default()) {
         Verdict::Refuted(Refutation::Instance(w)) => {
-            println!("REFUTED: the k=0 word `d` breaks it. Witness instance ({} nodes):", w.instance.num_nodes());
+            println!(
+                "REFUTED: the k=0 word `d` breaks it. Witness instance ({} nodes):",
+                w.instance.num_nodes()
+            );
             for (x, l, y) in w.instance.edges() {
                 println!(
                     "  {} -{}→ {}",

@@ -49,13 +49,63 @@ pub fn eval_workload(seed: u64, nodes: usize) -> EvalWorkload {
     }
 }
 
+/// A label-skewed evaluation workload: a spine of rare `cold`-labeled
+/// edges where every spine node also fans out `hot_fanout` edges on one
+/// hot label. The query `cold*` walks the spine only, so a label-indexed
+/// engine touches `O(depth)` edges while a scan-and-filter engine pays the
+/// hot fanout at every step — the T1 skew experiment.
+pub struct SkewedWorkload {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// The instance (build form; snapshot with `CsrGraph::from`).
+    pub instance: Instance,
+    /// Evaluation source (spine head).
+    pub source: Oid,
+    /// The spine query `cold*`.
+    pub query: Regex,
+}
+
+/// Build the skewed workload: `depth` spine nodes, each with `hot_fanout`
+/// hot edges into a shared target pool (shared so the node count — and
+/// with it the engines' per-run allocation — stays small; the skew lives
+/// in the *edges*, which is what the label index prunes).
+pub fn skewed_workload(depth: usize, hot_fanout: usize) -> SkewedWorkload {
+    let mut alphabet = Alphabet::new();
+    let cold = alphabet.intern("cold");
+    let hot = alphabet.intern("hot");
+    let mut instance = Instance::new();
+    let mut spine: Vec<Oid> = (0..=depth).map(|_| instance.add_node()).collect();
+    let pool: Vec<Oid> = (0..hot_fanout).map(|_| instance.add_node()).collect();
+    for i in 0..depth {
+        instance.add_edge(spine[i], cold, spine[i + 1]);
+        for &target in &pool {
+            instance.add_edge(spine[i], hot, target);
+        }
+    }
+    let source = spine.remove(0);
+    let query = parse_regex(&mut alphabet, "cold*").unwrap();
+    SkewedWorkload {
+        alphabet,
+        instance,
+        source,
+        query,
+    }
+}
+
 /// A word-constraint system of `n_rules` rules over `sigma` letters with
 /// words of length ≤ `max_len` (T2): deterministic from the seed, always
 /// free of derived-emptiness degeneracies (right-hand sides are non-empty).
-pub fn word_system(seed: u64, sigma: usize, n_rules: usize, max_len: usize) -> (Alphabet, ConstraintSet) {
+pub fn word_system(
+    seed: u64,
+    sigma: usize,
+    n_rules: usize,
+    max_len: usize,
+) -> (Alphabet, ConstraintSet) {
     use rand::Rng as _;
     let mut alphabet = Alphabet::new();
-    let syms: Vec<Symbol> = (0..sigma).map(|i| alphabet.intern(&format!("w{i}"))).collect();
+    let syms: Vec<Symbol> = (0..sigma)
+        .map(|i| alphabet.intern(&format!("w{i}")))
+        .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut constraints = Vec::with_capacity(n_rules);
     for _ in 0..n_rules {
@@ -165,6 +215,18 @@ mod tests {
         let w2 = eval_workload(3, 50);
         assert_eq!(w1.instance.num_edges(), w2.instance.num_edges());
         assert_eq!(w1.queries.len(), 4);
+    }
+
+    #[test]
+    fn skewed_workload_shape() {
+        let w = skewed_workload(16, 32);
+        assert_eq!(w.instance.num_edges(), 16 * 33);
+        let csr = rpq_graph::CsrGraph::from(&w.instance);
+        let hot = w.alphabet.get("hot").unwrap();
+        let cold = w.alphabet.get("cold").unwrap();
+        assert_eq!(csr.stats().edge_count(hot), 16 * 32);
+        assert_eq!(csr.stats().edge_count(cold), 16);
+        assert_eq!(csr.stats().hottest(), Some(hot));
     }
 
     #[test]

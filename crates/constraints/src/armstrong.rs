@@ -200,8 +200,7 @@ impl ArmstrongSphere {
     pub fn class_of_word(&self, word: &[Symbol]) -> Option<usize> {
         let mut cur = 0usize;
         for &a in word {
-            cur = self
-                .edges[cur]
+            cur = self.edges[cur]
                 .iter()
                 .find(|&&(l, _)| l == a)
                 .map(|&(_, m)| m)?;
@@ -360,8 +359,7 @@ mod tests {
     fn lemma_49_properties_hold() {
         let (_, sphere) = build(&["a.b.a = b", "b.b = a.a"], &[], 9);
         let mut ab2 = Alphabet::new();
-        let set =
-            ConstraintSet::parse(&mut ab2, ["a.b.a = b", "b.b = a.a"]).unwrap();
+        let set = ConstraintSet::parse(&mut ab2, ["a.b.a = b", "b.b = a.a"]).unwrap();
         let m = set.max_word_len();
         // indegree 1 outside the M-sphere
         assert!(

@@ -147,12 +147,21 @@ pub struct Derivation {
 impl Derivation {
     /// Number of nodes in the tree (proof size).
     pub fn num_nodes(&self) -> usize {
-        1 + self.children.iter().map(Derivation::num_nodes).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(Derivation::num_nodes)
+            .sum::<usize>()
     }
 
     /// Depth of the tree.
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(Derivation::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(Derivation::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Re-check the language side conditions of every `language` leaf and
@@ -435,95 +444,95 @@ impl<'a> Prover<'a> {
 
         // 3. suffix-strip: common syntactic suffix on both sides.
         if self.cfg.enable_suffix_strip {
-        for (pre, suf) in splits(p) {
-            if suf == Regex::Epsilon {
-                continue;
-            }
-            for (qpre, qsuf) in splits(q) {
-                if qsuf != suf || (qpre == *q && pre == *p) {
+            for (pre, suf) in splits(p) {
+                if suf == Regex::Epsilon {
                     continue;
                 }
-                if let Some(d) = self.search(&simplify(&pre), &simplify(&qpre), depth - 1, st) {
-                    return Some(Derivation {
-                        lhs: p.clone(),
-                        rhs: q.clone(),
-                        rule: Rule::SuffixStrip,
-                        children: vec![d],
-                    });
+                for (qpre, qsuf) in splits(q) {
+                    if qsuf != suf || (qpre == *q && pre == *p) {
+                        continue;
+                    }
+                    if let Some(d) = self.search(&simplify(&pre), &simplify(&qpre), depth - 1, st) {
+                        return Some(Derivation {
+                            lhs: p.clone(),
+                            rhs: q.clone(),
+                            rule: Rule::SuffixStrip,
+                            children: vec![d],
+                        });
+                    }
                 }
             }
-        }
         }
 
         // 4. star-induction with the right side as invariant.
         if self.cfg.enable_star_induction {
-        if let Regex::Star(x) = p {
-            let base = self.search(&Regex::Epsilon, q, depth - 1, st);
-            if let Some(base) = base {
-                let step_lhs = simplify(&q.clone().then((**x).clone()));
-                if let Some(step) = self.search(&step_lhs, q, depth - 1, st) {
-                    return Some(Derivation {
-                        lhs: p.clone(),
-                        rhs: q.clone(),
-                        rule: Rule::StarInduction,
-                        children: vec![base, step],
-                    });
+            if let Regex::Star(x) = p {
+                let base = self.search(&Regex::Epsilon, q, depth - 1, st);
+                if let Some(base) = base {
+                    let step_lhs = simplify(&q.clone().then((**x).clone()));
+                    if let Some(step) = self.search(&step_lhs, q, depth - 1, st) {
+                        return Some(Derivation {
+                            lhs: p.clone(),
+                            rhs: q.clone(),
+                            rule: Rule::StarInduction,
+                            children: vec![base, step],
+                        });
+                    }
                 }
             }
-        }
         }
 
         // 5. prefix-rewrite: forward-apply an axiom at the head of `p`.
         if self.cfg.enable_prefix_rewrite {
-        for (i, (l, r)) in self.axioms.iter().enumerate() {
-            for (pre, suf) in splits(p) {
-                // `p = pre·suf`, `L(pre) ⊆ L(l)` ⟹ `p ⊆ l·suf ⊆ r·suf`.
-                if pre == Regex::Epsilon && *l != Regex::Epsilon {
-                    continue; // ε ⊆ l is rarely useful and explodes search
-                }
-                if !self.lang_included(&pre, l) {
-                    continue;
-                }
-                let next = simplify(&r.clone().then(suf));
-                if next == *p {
-                    continue;
-                }
-                if let Some(d) = self.search(&next, q, depth - 1, st) {
-                    return Some(Derivation {
-                        lhs: p.clone(),
-                        rhs: q.clone(),
-                        rule: Rule::PrefixRewrite { axiom: i },
-                        children: vec![d],
-                    });
+            for (i, (l, r)) in self.axioms.iter().enumerate() {
+                for (pre, suf) in splits(p) {
+                    // `p = pre·suf`, `L(pre) ⊆ L(l)` ⟹ `p ⊆ l·suf ⊆ r·suf`.
+                    if pre == Regex::Epsilon && *l != Regex::Epsilon {
+                        continue; // ε ⊆ l is rarely useful and explodes search
+                    }
+                    if !self.lang_included(&pre, l) {
+                        continue;
+                    }
+                    let next = simplify(&r.clone().then(suf));
+                    if next == *p {
+                        continue;
+                    }
+                    if let Some(d) = self.search(&next, q, depth - 1, st) {
+                        return Some(Derivation {
+                            lhs: p.clone(),
+                            rhs: q.clone(),
+                            rule: Rule::PrefixRewrite { axiom: i },
+                            children: vec![d],
+                        });
+                    }
                 }
             }
-        }
         }
 
         // 6. suffix-intro: backward-apply an axiom at the head of `q`.
         if self.cfg.enable_suffix_intro {
-        for (i, (l, r)) in self.axioms.iter().enumerate() {
-            for (qpre, qsuf) in splits(q) {
-                if qpre == Regex::Epsilon && *r != Regex::Epsilon {
-                    continue;
-                }
-                if !self.lang_included(r, &qpre) {
-                    continue;
-                }
-                let next = simplify(&l.clone().then(qsuf));
-                if next == *q {
-                    continue;
-                }
-                if let Some(d) = self.search(p, &next, depth - 1, st) {
-                    return Some(Derivation {
-                        lhs: p.clone(),
-                        rhs: q.clone(),
-                        rule: Rule::SuffixIntro { axiom: i },
-                        children: vec![d],
-                    });
+            for (i, (l, r)) in self.axioms.iter().enumerate() {
+                for (qpre, qsuf) in splits(q) {
+                    if qpre == Regex::Epsilon && *r != Regex::Epsilon {
+                        continue;
+                    }
+                    if !self.lang_included(r, &qpre) {
+                        continue;
+                    }
+                    let next = simplify(&l.clone().then(qsuf));
+                    if next == *q {
+                        continue;
+                    }
+                    if let Some(d) = self.search(p, &next, depth - 1, st) {
+                        return Some(Derivation {
+                            lhs: p.clone(),
+                            rhs: q.clone(),
+                            rule: Rule::SuffixIntro { axiom: i },
+                            children: vec![d],
+                        });
+                    }
                 }
             }
-        }
         }
 
         // 7. union-right: commit to one arm (after the rules that keep the
@@ -677,7 +686,9 @@ mod tests {
             let c = parse_constraint(&mut ab, goal).unwrap();
             let proofs = prove_constraint(&set, &c);
             assert!(proofs.is_some(), "expected a proof for {goal}");
-            if let Verdict::Refuted(_) = check(&set, &c, &Budget::default()) { panic!("prover and refuter disagree on {goal}") }
+            if let Verdict::Refuted(_) = check(&set, &c, &Budget::default()) {
+                panic!("prover and refuter disagree on {goal}")
+            }
         }
     }
 
@@ -705,7 +716,11 @@ mod tests {
         let corpus: Vec<(&[&str], &str, &str)> = vec![
             (&["l.l <= l"], "l* <= l + ()", "star_induction"),
             (&["l = (a.b)*"], "a.(b.a)*.c <= l.a.c", "suffix_intro"),
-            (&["(l+a+b+d)*.l <= ()"], "(l.a + l.b)*.d <= (() + a + b).d", "suffix_strip"),
+            (
+                &["(l+a+b+d)*.l <= ()"],
+                "(l.a + l.b)*.d <= (() + a + b).d",
+                "suffix_strip",
+            ),
         ];
         for (axioms, goal, critical) in corpus {
             let mut ab = Alphabet::new();

@@ -183,8 +183,8 @@ pub fn decide_boundedness(
     }
 
     let k = suggested_radius(set);
-    let sphere = ArmstrongSphere::build(set, &symbols, k, 200_000)
-        .map_err(BoundednessError::Constraints)?;
+    let sphere =
+        ArmstrongSphere::build(set, &symbols, k, 200_000).map_err(BoundednessError::Constraints)?;
 
     // Quotient of L(p) by the sphere-leaving language L(F).
     let f = sphere_exit_automaton(&sphere);
@@ -242,7 +242,6 @@ pub fn decide_boundedness(
     }
     Ok(Boundedness::Bounded { equivalent, words })
 }
-
 
 /// Outcome of the budgeted semi-decision for boundedness under **full path
 /// constraints** — the problem the paper leaves open ("It remains open
@@ -311,9 +310,7 @@ pub fn bounded_under_path_constraints(
                     proof: "theorem-4.10",
                 }
             }
-            Ok(Boundedness::Unbounded { pump }) => {
-                return GeneralBoundedness::Unbounded { pump }
-            }
+            Ok(Boundedness::Unbounded { pump }) => return GeneralBoundedness::Unbounded { pump },
             Err(_) => {}
         }
     }
@@ -468,7 +465,14 @@ mod tests {
     fn general_boundedness_word_equality_fast_path() {
         // {ll = l}: l* collapses — routed through Theorem 4.10.
         let (ab, set, p) = setup(&["l.l = l"], "l*");
-        match bounded_under_path_constraints(&set, &p, &ab, &crate::general::Budget::default(), 4, 32) {
+        match bounded_under_path_constraints(
+            &set,
+            &p,
+            &ab,
+            &crate::general::Budget::default(),
+            4,
+            32,
+        ) {
             GeneralBoundedness::Bounded { equivalent, proof } => {
                 assert_eq!(proof, "theorem-4.10");
                 assert!(equivalent.finite_language(8).is_some());
@@ -483,7 +487,14 @@ mod tests {
         // bounded — outside Theorem 4.10's fragment, certified by the
         // Theorem 4.2 saturation engine.
         let (ab, set, p) = setup(&["a* <= a + ()"], "a*");
-        match bounded_under_path_constraints(&set, &p, &ab, &crate::general::Budget::default(), 3, 16) {
+        match bounded_under_path_constraints(
+            &set,
+            &p,
+            &ab,
+            &crate::general::Budget::default(),
+            3,
+            16,
+        ) {
             GeneralBoundedness::Bounded { equivalent, proof } => {
                 assert_ne!(proof, "theorem-4.10");
                 let words = equivalent.finite_language(8).expect("finite");
@@ -497,7 +508,14 @@ mod tests {
     fn general_boundedness_already_finite() {
         let (ab, set, p) = setup(&["a.a = a"], "a.b + b");
         assert!(matches!(
-            bounded_under_path_constraints(&set, &p, &ab, &crate::general::Budget::default(), 3, 16),
+            bounded_under_path_constraints(
+                &set,
+                &p,
+                &ab,
+                &crate::general::Budget::default(),
+                3,
+                16
+            ),
             GeneralBoundedness::AlreadyFinite
         ));
     }
@@ -508,7 +526,14 @@ mod tests {
         // fragment (the set mixes an inclusion, so Theorem 4.10 is off).
         let (ab, set, p) = setup(&["c <= d"], "(a+b)*");
         assert!(matches!(
-            bounded_under_path_constraints(&set, &p, &ab, &crate::general::Budget::default(), 2, 12),
+            bounded_under_path_constraints(
+                &set,
+                &p,
+                &ab,
+                &crate::general::Budget::default(),
+                2,
+                12
+            ),
             GeneralBoundedness::Unknown
         ));
     }
@@ -519,7 +544,14 @@ mod tests {
         // is false — it bounds nothing but stays infinite): use a system
         // that certifies Unbounded through the exact decision.
         let (ab, set, p) = setup(&["a.b = b.a"], "a*");
-        match bounded_under_path_constraints(&set, &p, &ab, &crate::general::Budget::default(), 3, 16) {
+        match bounded_under_path_constraints(
+            &set,
+            &p,
+            &ab,
+            &crate::general::Budget::default(),
+            3,
+            16,
+        ) {
             GeneralBoundedness::Unbounded { pump } => assert!(!pump.is_empty() || pump.is_empty()),
             other => panic!("expected unbounded, got {other:?}"),
         }

@@ -60,7 +60,10 @@ impl std::fmt::Display for CanonicalError {
                 write!(f, "Lemma 4.4 construction requires word constraints")
             }
             CanonicalError::TooLarge { words } => {
-                write!(f, "construction would enumerate {words} words; raise the cap")
+                write!(
+                    f,
+                    "construction would enumerate {words} words; raise the cap"
+                )
             }
             CanonicalError::DerivedEmptiness { .. } => {
                 write!(

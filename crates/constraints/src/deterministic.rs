@@ -325,10 +325,10 @@ pub fn is_deterministic(instance: &Instance, _alphabet: &Alphabet) -> bool {
 mod tests {
     use super::*;
     use crate::implication::{word_implies_word, word_implies_word_eq};
-    use rpq_automata::parse_word;
     use rand::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rpq_automata::parse_word;
 
     fn setup(constraints: &[&str]) -> (Alphabet, ConstraintSet) {
         let mut ab = Alphabet::new();
@@ -478,7 +478,10 @@ mod tests {
             let v = rand_word(&mut rng);
             if let DetImplication::Refuted(wit) = det_implies_word(&set, &u, &v) {
                 assert!(is_deterministic(&wit.instance, &ab));
-                assert!(set.holds_at(&wit.instance, wit.source), "witness violates E");
+                assert!(
+                    set.holds_at(&wit.instance, wit.source),
+                    "witness violates E"
+                );
                 let ut = wit.instance.word_targets(wit.source, &u);
                 let vt = wit.instance.word_targets(wit.source, &v);
                 assert!(!ut.is_empty(), "witness must define the premise word");

@@ -111,7 +111,10 @@ impl Fo2 {
         match self {
             Fo2::Edge(label, t1, t2) => {
                 let (a, b) = (resolve(t1), resolve(t2));
-                instance.out_edges(a).iter().any(|&(l, t)| l == *label && t == b)
+                instance
+                    .out_edges(a)
+                    .iter()
+                    .any(|&(l, t)| l == *label && t == b)
             }
             Fo2::Equal(t1, t2) => resolve(t1) == resolve(t2),
             Fo2::Not(f) => !f.eval(instance, source, x, y),
@@ -282,11 +285,15 @@ mod tests {
         let c_good = crate::parse_constraint(&mut ab, "a <= b").unwrap();
         let c_bad = crate::parse_constraint(&mut ab, "a <= a.a").unwrap();
         assert_eq!(
-            constraint_sentence(&c_good).unwrap().eval(&inst, o, None, None),
+            constraint_sentence(&c_good)
+                .unwrap()
+                .eval(&inst, o, None, None),
             c_good.holds_at(&inst, o)
         );
         assert_eq!(
-            constraint_sentence(&c_bad).unwrap().eval(&inst, o, None, None),
+            constraint_sentence(&c_bad)
+                .unwrap()
+                .eval(&inst, o, None, None),
             c_bad.holds_at(&inst, o)
         );
         assert!(c_good.holds_at(&inst, o));
@@ -300,8 +307,7 @@ mod tests {
         let u = parse_word(&mut ab, "b").unwrap();
         let v = parse_word(&mut ab, "a").unwrap();
         let labels: Vec<Symbol> = ab.symbols().collect();
-        let (inst, o) = bounded_countermodel(&set, &u, &v, &labels, 2)
-            .expect("countermodel");
+        let (inst, o) = bounded_countermodel(&set, &u, &v, &labels, 2).expect("countermodel");
         assert!(set.holds_at(&inst, o));
         assert!(!inst.word_targets(o, &u).is_empty());
         let bt = inst.word_targets(o, &u);
@@ -358,12 +364,15 @@ mod tests {
             // violation the FO² sentence must detect.
             if !word_implies_word(&set, &u, &v) {
                 let sentence = refutation_sentence(&set, &u, &v);
-                if let crate::general::Verdict::Refuted(
-                    crate::general::Refutation::Instance(w),
-                ) = crate::general::check(&set, &PathConstraint::inclusion(
-                    rpq_automata::Regex::word(&u),
-                    rpq_automata::Regex::word(&v),
-                ), &crate::general::Budget::default())
+                if let crate::general::Verdict::Refuted(crate::general::Refutation::Instance(w)) =
+                    crate::general::check(
+                        &set,
+                        &PathConstraint::inclusion(
+                            rpq_automata::Regex::word(&u),
+                            rpq_automata::Regex::word(&v),
+                        ),
+                        &crate::general::Budget::default(),
+                    )
                 {
                     assert!(
                         sentence.eval(&w.instance, w.source, None, None),

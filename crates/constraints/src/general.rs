@@ -229,9 +229,8 @@ fn existential_quotient(base: &Nfa, filter: &Nfa) -> Nfa {
 /// Sound refuter: chase + merge + randomized search. Any returned witness
 /// satisfies `E` and violates `c` (verified by direct evaluation).
 fn refute(set: &ConstraintSet, c: &PathConstraint, budget: &Budget) -> Option<Witness> {
-    let verify = |inst: &Instance, src: Oid| -> bool {
-        set.holds_at(inst, src) && !c.holds_at(inst, src)
-    };
+    let verify =
+        |inst: &Instance, src: Oid| -> bool { set.holds_at(inst, src) && !c.holds_at(inst, src) };
 
     // --- chase from path-instance seeds -------------------------------
     let p_nfa = Nfa::thompson(&c.lhs);
@@ -432,9 +431,7 @@ fn merge_by_signature(
     let mut map: Vec<Oid> = Vec::with_capacity(nv);
     for v in inst.nodes() {
         let key = (v == src, signature[v.index()].clone());
-        let id = *class_of
-            .entry(key)
-            .or_insert_with(|| merged.add_node().0);
+        let id = *class_of.entry(key).or_insert_with(|| merged.add_node().0);
         map.push(Oid(id));
     }
     for (a, l, b) in inst.edges() {
@@ -474,8 +471,8 @@ fn merge_by_signature(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rpq_automata::{parse_regex, Alphabet};
     use crate::types::parse_constraint;
+    use rpq_automata::{parse_regex, Alphabet};
 
     fn setup(lines: &[&str]) -> (Alphabet, ConstraintSet) {
         let mut ab = Alphabet::new();
@@ -488,7 +485,12 @@ mod tests {
         let (mut ab, set) = setup(&["l.l <= l"]);
         let c = parse_constraint(&mut ab, "l* = l + ()").unwrap();
         let v = check(&set, &c, &Budget::default());
-        assert!(matches!(v, Verdict::Implied { method: "word-exact" }));
+        assert!(matches!(
+            v,
+            Verdict::Implied {
+                method: "word-exact"
+            }
+        ));
     }
 
     #[test]
@@ -592,9 +594,7 @@ mod tests {
         let (mut ab, set) = setup(&["a.a <= a"]);
         for (ps, qs) in [("a", "a.a"), ("a.b", "b.a"), ("b", "a")] {
             let c = parse_constraint(&mut ab, &format!("{ps} <= {qs}")).unwrap();
-            if let Verdict::Refuted(Refutation::Instance(w)) =
-                check(&set, &c, &Budget::default())
-            {
+            if let Verdict::Refuted(Refutation::Instance(w)) = check(&set, &c, &Budget::default()) {
                 assert!(set.holds_at(&w.instance, w.source));
                 assert!(!c.holds_at(&w.instance, w.source));
             }

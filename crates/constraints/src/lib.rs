@@ -47,15 +47,15 @@ pub mod types;
 
 pub use armstrong::{suggested_radius, ArmstrongSphere};
 pub use axioms::{prove_constraint, prove_inclusion, Derivation, Prover, ProverConfig, Rule};
+pub use boundedness::{
+    bounded_under_path_constraints, decide_boundedness, Boundedness, GeneralBoundedness,
+};
+pub use canonical::{lemma44_instance, CanonicalInstance};
 pub use deterministic::{
     det_implies_constraint, det_implies_word, det_implies_word_eq, DetImplication, DetModel,
     DetWitness,
 };
 pub use fo2::{bounded_countermodel, constraint_sentence, refutation_sentence, Fo2};
-pub use boundedness::{
-    bounded_under_path_constraints, decide_boundedness, Boundedness, GeneralBoundedness,
-};
-pub use canonical::{lemma44_instance, CanonicalInstance};
 pub use general::{check, Budget, Refutation, Verdict, Witness};
 pub use implication::{
     word_implies_constraint, word_implies_path, word_implies_word, WordImplication,

@@ -143,13 +143,7 @@ impl RewriteSystem {
     pub fn render(&self, alphabet: &Alphabet) -> String {
         self.rules
             .iter()
-            .map(|(l, r)| {
-                format!(
-                    "{} -> {}",
-                    alphabet.render_word(l),
-                    alphabet.render_word(r)
-                )
-            })
+            .map(|(l, r)| format!("{} -> {}", alphabet.render_word(l), alphabet.render_word(r)))
             .collect::<Vec<_>>()
             .join("\n")
     }
@@ -295,7 +289,7 @@ mod tests {
         let u5 = ab.intern("u5");
         let chain = rs.derive(&[u1, u3, u5], &[u4, u5], 10_000).unwrap();
         assert_eq!(chain.len(), 3); // u1u3u5 → u2u3u5 → u4u5
-        // each step is a legal one-step rewrite
+                                    // each step is a legal one-step rewrite
         for pair in chain.windows(2) {
             assert!(rs.step(&pair[0]).contains(&pair[1]));
         }

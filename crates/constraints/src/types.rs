@@ -96,10 +96,7 @@ impl PathConstraint {
 
     /// Render against an alphabet (`⊆` prints as `<=`).
     pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> ConstraintDisplay<'a> {
-        ConstraintDisplay {
-            c: self,
-            alphabet,
-        }
+        ConstraintDisplay { c: self, alphabet }
     }
 }
 
@@ -127,10 +124,7 @@ impl fmt::Display for ConstraintDisplay<'_> {
 
 /// Parse a constraint: `p <= q` (inclusion) or `p = q` (equality). The paper
 /// writes inclusion as `⊆`, which is also accepted.
-pub fn parse_constraint(
-    alphabet: &mut Alphabet,
-    src: &str,
-) -> Result<PathConstraint, ParseError> {
+pub fn parse_constraint(alphabet: &mut Alphabet, src: &str) -> Result<PathConstraint, ParseError> {
     let (op_pos, op_len, kind) = find_op(src).ok_or(ParseError {
         position: 0,
         message: "expected `<=`, `⊆`, or `=` between two path expressions".into(),
@@ -214,8 +208,7 @@ impl ConstraintSet {
     pub fn add(&mut self, c: PathConstraint) {
         if let Some((u, v)) = c.as_word_pair() {
             if v.is_empty() && !u.is_empty() && c.kind == ConstraintKind::Inclusion {
-                let completion =
-                    PathConstraint::inclusion(Regex::Epsilon, Regex::word(&u));
+                let completion = PathConstraint::inclusion(Regex::Epsilon, Regex::word(&u));
                 if !self.constraints.contains(&completion) {
                     self.constraints.push(completion);
                 }
@@ -243,7 +236,9 @@ impl ConstraintSet {
 
     /// Are *all* constraints word constraints (the Theorem 4.3 class)?
     pub fn all_word_constraints(&self) -> bool {
-        self.constraints.iter().all(PathConstraint::is_word_constraint)
+        self.constraints
+            .iter()
+            .all(PathConstraint::is_word_constraint)
     }
 
     /// Are all constraints word *equalities* (the Section 4.3 class)?
@@ -278,7 +273,9 @@ impl ConstraintSet {
 
     /// Do all constraints hold at `(source, instance)`?
     pub fn holds_at(&self, instance: &Instance, source: Oid) -> bool {
-        self.constraints.iter().all(|c| c.holds_at(instance, source))
+        self.constraints
+            .iter()
+            .all(|c| c.holds_at(instance, source))
     }
 }
 
@@ -384,8 +381,7 @@ mod tests {
     #[test]
     fn duplicates_collapse() {
         let mut ab = Alphabet::new();
-        let set =
-            ConstraintSet::parse(&mut ab, ["a <= b", "a <= b", "a <= b"]).unwrap();
+        let set = ConstraintSet::parse(&mut ab, ["a <= b", "a <= b", "a <= b"]).unwrap();
         assert_eq!(set.len(), 1);
     }
 }

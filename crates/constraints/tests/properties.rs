@@ -21,7 +21,9 @@ fn syms2() -> (Alphabet, Vec<Symbol>) {
 
 fn rand_word(rng: &mut StdRng, syms: &[Symbol], max_len: usize) -> Vec<Symbol> {
     let len = rng.random_range(0..=max_len);
-    (0..len).map(|_| syms[rng.random_range(0..syms.len())]).collect()
+    (0..len)
+        .map(|_| syms[rng.random_range(0..syms.len())])
+        .collect()
 }
 
 fn rand_set(rng: &mut StdRng, syms: &[Symbol], rules: usize, equalities: bool) -> ConstraintSet {

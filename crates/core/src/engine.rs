@@ -1,0 +1,276 @@
+//! The unified [`Engine`] calling convention.
+//!
+//! Every evaluation strategy in the workspace — the Section 2.2 product
+//! search, both explicit-quotient variants, the definitional oracle, the
+//! streaming evaluator, the Section 2.3 Datalog translations, and the
+//! Section 3.1 distributed protocol — answers the same question: given a
+//! query and a source object, which objects does `p(o, I)` contain? The
+//! [`Engine`] trait pins that down to one signature over the shared
+//! query-time representation:
+//!
+//! ```text
+//! fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult
+//! ```
+//!
+//! [`Query`] packages the three forms engines consume (the regex, its
+//! Thompson NFA, and the alphabet) so one prepared query drives every
+//! engine; [`rpq_graph::CsrGraph`] is the immutable label-indexed snapshot
+//! they all traverse; [`crate::EvalStats`] makes their work comparable.
+//! Implementations in this crate: [`ProductEngine`], [`QuotientDfaEngine`],
+//! [`DerivativeEngine`], [`OracleEngine`], [`StreamingEngine`]. The
+//! `rpq-datalog` and `rpq-distributed` crates add their strategies, giving
+//! the agreement suite (and any future scheduler, cache, or shard router)
+//! a single dispatch point.
+
+use rpq_automata::{parse_regex, Alphabet, Nfa, ParseError, Regex};
+use rpq_graph::{CsrGraph, Oid};
+
+use crate::product::{eval_product_csr, EvalResult};
+use crate::quotient::{eval_derivative_csr, eval_quotient_dfa_csr};
+use crate::stats::EvalStats;
+use crate::streaming::StreamingEval;
+
+/// A prepared path query: the regex, its Thompson NFA, and the alphabet it
+/// was parsed against — everything any [`Engine`] needs, compiled once.
+#[derive(Clone, Debug)]
+pub struct Query {
+    regex: Regex,
+    nfa: Nfa,
+    alphabet: Alphabet,
+}
+
+impl Query {
+    /// Prepare `regex` (compiles the Thompson NFA, snapshots the alphabet).
+    pub fn new(regex: Regex, alphabet: &Alphabet) -> Query {
+        let nfa = Nfa::thompson(&regex);
+        Query {
+            regex,
+            nfa,
+            alphabet: alphabet.clone(),
+        }
+    }
+
+    /// Parse and prepare a query in one step.
+    pub fn parse(alphabet: &mut Alphabet, src: &str) -> Result<Query, ParseError> {
+        let regex = parse_regex(alphabet, src)?;
+        Ok(Query::new(regex, alphabet))
+    }
+
+    /// The query as a regex (syntactic engines: derivatives, translations).
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+
+    /// The query as a Thompson NFA (automaton engines).
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The alphabet the query was prepared against.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+}
+
+/// One evaluation strategy for `p(o, I)` over the label-indexed snapshot.
+///
+/// All implementations must compute the same answer set; they differ in
+/// work profile ([`EvalStats`]) and operational setting (centralized,
+/// set-at-a-time, streaming, distributed). The trait is object-safe, so
+/// heterogeneous engine collections (`Vec<Box<dyn Engine>>`) can drive the
+/// agreement suite and future routing layers.
+pub trait Engine {
+    /// A short stable identifier (used in reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Evaluate `query` from `source` over `graph`.
+    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult;
+}
+
+/// The Section 2.2 product-automaton BFS ([`crate::eval_product_csr`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProductEngine;
+
+impl Engine for ProductEngine {
+    fn name(&self) -> &'static str {
+        "product"
+    }
+
+    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
+        eval_product_csr(query.nfa(), graph, source)
+    }
+}
+
+/// Explicit quotients as lazily determinized state sets
+/// ([`crate::eval_quotient_dfa_csr`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuotientDfaEngine;
+
+impl Engine for QuotientDfaEngine {
+    fn name(&self) -> &'static str {
+        "quotient-dfa"
+    }
+
+    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
+        eval_quotient_dfa_csr(query.nfa(), graph, source)
+    }
+}
+
+/// Syntactic quotients via Brzozowski derivatives
+/// ([`crate::eval_derivative_csr`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DerivativeEngine;
+
+impl Engine for DerivativeEngine {
+    fn name(&self) -> &'static str {
+        "derivative"
+    }
+
+    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
+        eval_derivative_csr(query.regex(), graph, source)
+    }
+}
+
+/// The definitional word-enumeration oracle — exponential, for testing
+/// only. `max_word_len: None` uses the `|Q| · |V|` pumping bound.
+///
+/// **Caveat:** enumeration is capped at 1,000,000 words, so on inputs
+/// where `L(p)` up to the bound exceeds the cap (broad alternations over
+/// more than a few nodes) the result is a sound but possibly *incomplete*
+/// subset — the one deliberate exception to the trait's same-answer-set
+/// contract. Keep this engine on the tiny inputs it exists for, and treat
+/// its answers as a subset check elsewhere (as the agreement suite does).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleEngine {
+    /// Cap on enumerated word length (`None` = pumping bound).
+    pub max_word_len: Option<usize>,
+}
+
+impl Engine for OracleEngine {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
+        let nfa = query.nfa();
+        let bound = self
+            .max_word_len
+            .unwrap_or(nfa.num_states() * graph.num_nodes());
+        let mut stats = EvalStats::default();
+        let mut answers: Vec<Oid> = Vec::new();
+        for w in nfa.enumerate_words(bound, 1_000_000) {
+            stats.classes_materialized += 1; // words enumerated
+            for t in graph.word_targets(source, &w) {
+                stats.edges_scanned += 1;
+                if !answers.contains(&t) {
+                    answers.push(t);
+                }
+            }
+        }
+        answers.sort_unstable();
+        stats.answers = answers.len();
+        EvalResult { answers, stats }
+    }
+}
+
+/// The pull-based streaming evaluator of Remark 2.1, run to completion
+/// under a node-expansion budget (the snapshot is finite, so a budget of at
+/// least `|Q| · |V|` always terminates).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingEngine {
+    /// Node-expansion budget (see [`StreamingEval`]).
+    pub budget: usize,
+}
+
+impl Default for StreamingEngine {
+    fn default() -> Self {
+        StreamingEngine { budget: usize::MAX }
+    }
+}
+
+impl Engine for StreamingEngine {
+    fn name(&self) -> &'static str {
+        "streaming"
+    }
+
+    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
+        let mut ev = StreamingEval::new(query.nfa(), graph, source.index() as u64, self.budget);
+        let mut answers: Vec<Oid> = ev
+            .collect_all()
+            .into_iter()
+            .map(|n| Oid(n as u32))
+            .collect();
+        answers.sort_unstable();
+        let stats = EvalStats {
+            pairs_visited: ev.pairs_discovered(),
+            edges_scanned: ev.edges_fetched(),
+            classes_materialized: 0,
+            answers: answers.len(),
+        };
+        EvalResult { answers, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::InstanceBuilder;
+
+    fn fig2() -> (Alphabet, CsrGraph, Oid) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("o1", "a", "o2");
+        b.edge("o2", "b", "o3");
+        b.edge("o3", "b", "o2");
+        let (inst, names) = b.finish();
+        let o1 = names["o1"];
+        (ab, CsrGraph::from(&inst), o1)
+    }
+
+    fn core_engines() -> Vec<Box<dyn Engine>> {
+        vec![
+            Box::new(ProductEngine),
+            Box::new(QuotientDfaEngine),
+            Box::new(DerivativeEngine),
+            Box::new(OracleEngine {
+                max_word_len: Some(10),
+            }),
+            Box::new(StreamingEngine::default()),
+        ]
+    }
+
+    #[test]
+    fn all_core_engines_agree_through_the_trait() {
+        let (mut ab, csr, o1) = fig2();
+        for qs in ["a.b*", "(a+b)*", "a.b.b", "b*", "()"] {
+            let query = Query::parse(&mut ab, qs).unwrap();
+            let expected = ProductEngine.eval(&query, &csr, o1).answers;
+            for engine in core_engines() {
+                let got = engine.eval(&query, &csr, o1);
+                assert_eq!(got.answers, expected, "{} on {qs}", engine.name());
+                assert_eq!(got.stats.answers, expected.len(), "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn query_packages_all_three_forms() {
+        let mut ab = Alphabet::new();
+        let q = Query::parse(&mut ab, "a.b*").unwrap();
+        assert!(q.nfa().num_states() >= 2);
+        assert_eq!(
+            q.regex().size(),
+            Query::new(q.regex().clone(), &ab).regex().size()
+        );
+        assert!(q.alphabet().get("a").is_some());
+    }
+
+    #[test]
+    fn engine_names_are_distinct() {
+        let names: Vec<&str> = core_engines().iter().map(|e| e.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

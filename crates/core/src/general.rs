@@ -115,8 +115,11 @@ pub fn translate(
     instance: &Instance,
     original_alphabet: &Alphabet,
 ) -> MuTranslation {
-    let compiled: Vec<CompiledPattern> =
-        query.patterns.iter().map(CompiledPattern::compile).collect();
+    let compiled: Vec<CompiledPattern> = query
+        .patterns
+        .iter()
+        .map(CompiledPattern::compile)
+        .collect();
 
     // Collect distinct labels in use.
     let mut labels: Vec<Symbol> = Vec::new();
@@ -172,11 +175,7 @@ pub fn translate(
     }
 
     // μ(q): each pattern becomes the union of class symbols satisfying it.
-    fn lower(
-        g: &GeneralRegex,
-        class_signature: &[Vec<usize>],
-        class_syms: &[Symbol],
-    ) -> Regex {
+    fn lower(g: &GeneralRegex, class_signature: &[Vec<usize>], class_syms: &[Symbol]) -> Regex {
         match g {
             GeneralRegex::Empty => Regex::Empty,
             GeneralRegex::Epsilon => Regex::Epsilon,
@@ -259,7 +258,11 @@ pub fn eval_general_direct(
                 GeneralRegex::Concat(parts) => {
                     let mut cur = from;
                     for (k, p) in parts.iter().enumerate() {
-                        let next = if k + 1 == parts.len() { to } else { self.add_state() };
+                        let next = if k + 1 == parts.len() {
+                            to
+                        } else {
+                            self.add_state()
+                        };
                         self.build(p, cur, next);
                         cur = next;
                     }
@@ -291,8 +294,11 @@ pub fn eval_general_direct(
     let ast = query.ast.clone();
     f.build(&ast, 0, 1);
 
-    let compiled: Vec<CompiledPattern> =
-        query.patterns.iter().map(CompiledPattern::compile).collect();
+    let compiled: Vec<CompiledPattern> = query
+        .patterns
+        .iter()
+        .map(CompiledPattern::compile)
+        .collect();
     // Memoize pattern × label matches.
     let mut match_memo: HashMap<(usize, Symbol), bool> = HashMap::new();
 
@@ -315,9 +321,9 @@ pub fn eval_general_direct(
         }
         for &(pi, q2) in &f.pat[q] {
             for &(label, v2) in instance.out_edges(v) {
-                let hit = *match_memo.entry((pi, label)).or_insert_with(|| {
-                    compiled[pi].matches(original_alphabet.name(label))
-                });
+                let hit = *match_memo
+                    .entry((pi, label))
+                    .or_insert_with(|| compiled[pi].matches(original_alphabet.name(label)));
                 if hit {
                     let idx = q2 * nv + v2.index();
                     if !seen[idx] {
@@ -353,16 +359,16 @@ mod tests {
 
     #[test]
     fn parses_paper_query() {
-        let q = GeneralPathQuery::parse(r#""doc" ("[sS]ections?" "text" + "[pP]aragraph")"#)
-            .unwrap();
+        let q =
+            GeneralPathQuery::parse(r#""doc" ("[sS]ections?" "text" + "[pP]aragraph")"#).unwrap();
         assert_eq!(q.patterns.len(), 4);
     }
 
     #[test]
     fn mu_translation_evaluates_doc_query() {
         let (ab, inst, root) = doc_instance();
-        let q = GeneralPathQuery::parse(r#""doc" ("[sS]ections?" "text" + "[pP]aragraph")"#)
-            .unwrap();
+        let q =
+            GeneralPathQuery::parse(r#""doc" ("[sS]ections?" "text" + "[pP]aragraph")"#).unwrap();
         let answers = eval_general(&q, &inst, root, &ab);
         let mut names: Vec<String> = answers.iter().map(|&o| inst.node_name(o)).collect();
         names.sort();

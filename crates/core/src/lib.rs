@@ -6,29 +6,40 @@
 //! A path query `p` is a regular expression over edge labels; its answer
 //! `p(o, I)` is the set of objects reachable from `o` by a path spelling a
 //! word of `L(p)`. This crate implements every evaluation strategy the
-//! paper discusses, plus the Section 2.4 extensions:
+//! paper discusses, plus the Section 2.4 extensions, all behind one
+//! calling convention:
 //!
-//! * [`eval_product`] — the "more economical" product-automaton BFS
-//!   (PTIME combined complexity, NLOGSPACE data complexity);
-//! * [`eval_quotient_dfa`] — explicit quotients as lazily determinized
-//!   state sets (the possibly-exponential construction the paper warns
-//!   about);
-//! * [`eval_derivative`] — syntactic quotients via Brzozowski derivatives,
-//!   the faithful rendering of recursion (✳);
-//! * [`eval_oracle`] — definitional word-enumeration oracle for testing;
-//! * [`StreamingEval`] — pull-based, budgeted evaluation over possibly
-//!   infinite [`rpq_graph::GraphSource`]s ("eventually computable" queries,
-//!   Remark 2.1);
+//! * [`Engine`] — the unified trait: `eval(&self, &Query, &CsrGraph, Oid)`
+//!   over the label-indexed [`rpq_graph::CsrGraph`] snapshot, with shared
+//!   [`EvalStats`] work counters ([`Query`] packages regex + NFA +
+//!   alphabet once);
+//! * [`ProductEngine`] / [`eval_product_csr`] — the "more economical"
+//!   product-automaton BFS (PTIME combined complexity, NLOGSPACE data
+//!   complexity), frontier-based and label-indexed;
+//! * [`QuotientDfaEngine`] / [`eval_quotient_dfa_csr`] — explicit quotients
+//!   as lazily determinized state sets (the possibly-exponential
+//!   construction the paper warns about);
+//! * [`DerivativeEngine`] / [`eval_derivative_csr`] — syntactic quotients
+//!   via Brzozowski derivatives, the faithful rendering of recursion (✳);
+//! * [`OracleEngine`] / [`eval_oracle`] — definitional word-enumeration
+//!   oracle for testing;
+//! * [`StreamingEngine`] / [`StreamingEval`] — pull-based, budgeted
+//!   evaluation over possibly infinite [`rpq_graph::GraphSource`]s
+//!   ("eventually computable" queries, Remark 2.1);
 //! * [`general`] — general path queries with character-level label patterns
 //!   and the `μ` translation (Proposition 2.2, Example 2.1 / Figure 1);
 //! * [`content`] — content-based selection via `content=w` self-loops.
 //!
+//! The historical free functions ([`eval_product`], [`eval_quotient_dfa`],
+//! [`eval_derivative`]) remain as thin wrappers that snapshot the
+//! [`rpq_graph::Instance`] per call; prefer building the [`CsrGraph`] once.
+//!
 //! ## Example
 //!
 //! ```
-//! use rpq_automata::{parse_regex, Alphabet, Nfa};
-//! use rpq_graph::InstanceBuilder;
-//! use rpq_core::eval_product;
+//! use rpq_automata::Alphabet;
+//! use rpq_graph::{CsrGraph, InstanceBuilder};
+//! use rpq_core::{Engine, ProductEngine, Query};
 //!
 //! let mut ab = Alphabet::new();
 //! let mut b = InstanceBuilder::new(&mut ab);
@@ -36,15 +47,17 @@
 //! b.edge("o2", "b", "o3");
 //! b.edge("o3", "b", "o2");
 //! let (inst, names) = b.finish();
+//! let graph = CsrGraph::from(&inst); // immutable query-time snapshot
 //!
-//! let p = parse_regex(&mut ab, "a.b*").unwrap();
-//! let res = eval_product(&Nfa::thompson(&p), &inst, names["o1"]);
+//! let q = Query::parse(&mut ab, "a.b*").unwrap();
+//! let res = ProductEngine.eval(&q, &graph, names["o1"]);
 //! assert_eq!(res.answers.len(), 2); // {o2, o3}
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod content;
+pub mod engine;
 pub mod general;
 pub mod oracle;
 pub mod product;
@@ -52,8 +65,15 @@ pub mod quotient;
 pub mod stats;
 pub mod streaming;
 
+pub use engine::{
+    DerivativeEngine, Engine, OracleEngine, ProductEngine, Query, QuotientDfaEngine,
+    StreamingEngine,
+};
 pub use oracle::eval_oracle;
-pub use product::{eval_product, EvalResult};
-pub use quotient::{eval_derivative, eval_quotient_dfa};
+pub use product::{eval_product, eval_product_csr, eval_product_scan, EvalResult};
+pub use quotient::{
+    eval_derivative, eval_derivative_csr, eval_quotient_dfa, eval_quotient_dfa_csr,
+};
+pub use rpq_graph::CsrGraph;
 pub use stats::EvalStats;
 pub use streaming::{StreamStatus, StreamingEval};

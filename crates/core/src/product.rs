@@ -6,13 +6,23 @@
 //! p and the instance I). The resulting algorithm has polynomial-time
 //! combined data and query complexity and nlogspace data complexity."
 //!
-//! We track individual NFA states rather than state *sets*: a BFS over
-//! reachable pairs `(q, v)` of automaton state × graph node. A node `v` is
-//! an answer as soon as some reachable pair `(q, v)` has `q` accepting.
-//! The pair space is `O(|Q| · |V|)` — the NLOGSPACE/NC bound's certificate.
+//! We track individual NFA states rather than state *sets*: a breadth-first
+//! search over reachable pairs `(q, v)` of automaton state × graph node,
+//! processed level by level (ε-moves stay within a level, since they consume
+//! no edge). A node `v` is an answer as soon as some reachable pair `(q, v)`
+//! has `q` accepting. The pair space is `O(|Q| · |V|)` — the NLOGSPACE/NC
+//! bound's certificate.
+//!
+//! [`eval_product_csr`] is the primary entry point: it steps pairs through
+//! the label-indexed [`CsrGraph`] (`graph.out(v, sym)` is a contiguous slice
+//! of exactly the matching edges), so per-pair work is proportional to
+//! *matching* edges rather than `outdegree × fanout`. [`eval_product`] is a
+//! thin compatibility wrapper that snapshots an [`Instance`] first, and
+//! [`eval_product_scan`] preserves the original scan-and-filter loop as the
+//! measurable baseline (bench `t1_eval_scaling`, skewed workload).
 
 use rpq_automata::{Nfa, StateId};
-use rpq_graph::{Instance, Oid};
+use rpq_graph::{CsrGraph, Instance, Oid};
 
 use crate::stats::EvalStats;
 
@@ -25,8 +35,82 @@ pub struct EvalResult {
     pub stats: EvalStats,
 }
 
-/// Evaluate `L(nfa)` from `source` over `instance` by product-automaton BFS.
+fn push(q: StateId, v: Oid, nv: usize, seen: &mut [bool], level: &mut Vec<(StateId, Oid)>) {
+    let idx = q as usize * nv + v.index();
+    if !seen[idx] {
+        seen[idx] = true;
+        level.push((q, v));
+    }
+}
+
+/// Evaluate `L(nfa)` from `source` over a label-indexed snapshot by
+/// frontier-based product BFS. `stats.edges_scanned` counts only the edges
+/// actually delivered by the label index — on label-skewed graphs this is a
+/// small fraction of what the scan-and-filter baseline touches.
+pub fn eval_product_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult {
+    let nq = nfa.num_states();
+    let nv = graph.num_nodes();
+    let mut seen = vec![false; nq * nv];
+    let mut answer = vec![false; nv];
+    let mut state_touched = vec![false; nq];
+    let mut stats = EvalStats::default();
+
+    let mut frontier: Vec<(StateId, Oid)> = Vec::new();
+    let mut next: Vec<(StateId, Oid)> = Vec::new();
+    push(nfa.start(), source, nv, &mut seen, &mut frontier);
+
+    while !frontier.is_empty() {
+        // ε-closure inside the level: ε-moves advance the automaton without
+        // consuming an edge, so their targets belong to the same BFS level.
+        let mut i = 0;
+        while i < frontier.len() {
+            let (q, v) = frontier[i];
+            i += 1;
+            for &q2 in nfa.eps_transitions(q) {
+                push(q2, v, nv, &mut seen, &mut frontier);
+            }
+        }
+        // Consume one graph edge per pair: level k holds exactly the pairs
+        // first reachable by spelling k letters.
+        for &(q, v) in &frontier {
+            stats.pairs_visited += 1;
+            state_touched[q as usize] = true;
+            if nfa.is_accepting(q) {
+                answer[v.index()] = true;
+            }
+            for &(sym, q2) in nfa.transitions(q) {
+                let targets = graph.out(v, sym);
+                stats.edges_scanned += targets.len();
+                for &v2 in targets {
+                    push(q2, v2, nv, &mut seen, &mut next);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+
+    let answers: Vec<Oid> = graph.nodes().filter(|o| answer[o.index()]).collect();
+    stats.answers = answers.len();
+    stats.classes_materialized = state_touched.iter().filter(|&&t| t).count();
+    EvalResult { answers, stats }
+}
+
+/// Evaluate `L(nfa)` from `source` over `instance`.
+///
+/// Compatibility wrapper: snapshots the instance into a [`CsrGraph`] and
+/// runs [`eval_product_csr`]. Callers evaluating many queries over one
+/// graph should build the snapshot once and use the CSR entry point (or the
+/// `Engine` trait) directly.
 pub fn eval_product(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalResult {
+    eval_product_csr(nfa, &CsrGraph::from(instance), source)
+}
+
+/// The original scan-and-filter product search, kept as the baseline the
+/// label index is measured against: for every pair and every automaton
+/// transition it scans the node's *entire* out-edge list and filters by
+/// label, so `stats.edges_scanned` grows with `outdegree × fanout`.
+pub fn eval_product_scan(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalResult {
     let nq = nfa.num_states();
     let nv = instance.num_nodes();
     let mut seen = vec![false; nq * nv];
@@ -35,32 +119,21 @@ pub fn eval_product(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalResult {
     let mut stats = EvalStats::default();
 
     let mut queue: Vec<(StateId, Oid)> = Vec::new();
-    let push = |q: StateId, v: Oid, seen: &mut Vec<bool>, queue: &mut Vec<(StateId, Oid)>| {
-        let idx = q as usize * nv + v.index();
-        if !seen[idx] {
-            seen[idx] = true;
-            queue.push((q, v));
-        }
-    };
-
-    push(nfa.start(), source, &mut seen, &mut queue);
+    push(nfa.start(), source, nv, &mut seen, &mut queue);
     while let Some((q, v)) = queue.pop() {
         stats.pairs_visited += 1;
-        if !state_touched[q as usize] {
-            state_touched[q as usize] = true;
-        }
+        state_touched[q as usize] = true;
         if nfa.is_accepting(q) {
             answer[v.index()] = true;
         }
-        // ε-moves advance the automaton without consuming an edge.
         for &q2 in nfa.eps_transitions(q) {
-            push(q2, v, &mut seen, &mut queue);
+            push(q2, v, nv, &mut seen, &mut queue);
         }
         for &(sym, q2) in nfa.transitions(q) {
             for &(label, v2) in instance.out_edges(v) {
                 stats.edges_scanned += 1;
                 if label == sym {
-                    push(q2, v2, &mut seen, &mut queue);
+                    push(q2, v2, nv, &mut seen, &mut queue);
                 }
             }
         }
@@ -87,6 +160,8 @@ mod tests {
         let (inst, names) = b.finish();
         let r = parse_regex(&mut ab, query).unwrap();
         let res = eval_product(&Nfa::thompson(&r), &inst, names[src]);
+        let scan = eval_product_scan(&Nfa::thompson(&r), &inst, names[src]);
+        assert_eq!(res.answers, scan.answers, "csr vs scan baseline on {query}");
         let mut out: Vec<String> = res.answers.iter().map(|&o| inst.node_name(o)).collect();
         out.sort();
         (out, res.stats)
@@ -160,14 +235,48 @@ mod tests {
 
     #[test]
     fn nested_stars() {
-        let edges = [
-            ("s", "a", "x"),
-            ("x", "b", "s"),
-            ("x", "c", "t"),
-        ];
+        let edges = [("s", "a", "x"), ("x", "b", "s"), ("x", "c", "t")];
         let (ans, _) = eval("(a.b)*.a.c", &edges, "s");
         assert_eq!(ans, vec!["t"]);
         let (ans, _) = eval("(a.b)*", &edges, "s");
         assert_eq!(ans, vec!["s"]);
+    }
+
+    #[test]
+    fn bfs_levels_are_word_lengths() {
+        // a chain: the pair (state, n_k) is first reached at level k, so
+        // pairs_visited equals the number of distinct reachable pairs and
+        // every node is answered despite the single pass per level.
+        let edges = [
+            ("n0", "a", "n1"),
+            ("n1", "a", "n2"),
+            ("n2", "a", "n3"),
+            ("n3", "a", "n4"),
+        ];
+        let (ans, _) = eval("a*", &edges, "n0");
+        assert_eq!(ans, vec!["n0", "n1", "n2", "n3", "n4"]);
+    }
+
+    #[test]
+    fn label_index_scans_fewer_edges_on_skew() {
+        // one hub with many hot-label edges; the query follows the cold label
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..50 {
+            b.edge("hub", "hot", &format!("h{i}"));
+        }
+        b.edge("hub", "cold", "t");
+        let (inst, names) = b.finish();
+        let q = parse_regex(&mut ab, "cold").unwrap();
+        let nfa = Nfa::thompson(&q);
+        let csr = eval_product_csr(&nfa, &CsrGraph::from(&inst), names["hub"]);
+        let scan = eval_product_scan(&nfa, &inst, names["hub"]);
+        assert_eq!(csr.answers, scan.answers);
+        assert!(
+            csr.stats.edges_scanned * 10 < scan.stats.edges_scanned,
+            "label index {} vs scan {}",
+            csr.stats.edges_scanned,
+            scan.stats.edges_scanned
+        );
     }
 }

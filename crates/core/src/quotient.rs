@@ -11,11 +11,18 @@
 //! for p") versus carrying NFA state sets. This module provides both
 //! explicit variants:
 //!
-//! * [`eval_quotient_dfa`] — quotients as canonical NFA state *sets*
+//! * [`eval_quotient_dfa_csr`] — quotients as canonical NFA state *sets*
 //!   (lazily determinized subset construction product with the graph);
-//! * [`eval_derivative`] — quotients as *syntactic* Brzozowski derivatives
-//!   with ACI-normalized regexes, exactly the paper's presentation of the
-//!   set `P` of "still-left" subqueries.
+//! * [`eval_derivative_csr`] — quotients as *syntactic* Brzozowski
+//!   derivatives with ACI-normalized regexes, exactly the paper's
+//!   presentation of the set `P` of "still-left" subqueries.
+//!
+//! Both walk the label-indexed [`CsrGraph`] by *label group*
+//! ([`CsrGraph::out_groups`]): the quotient `q/l` — a subset step or a
+//! derivative plus a memo probe — is computed once per distinct label
+//! leaving the node, then applied to the whole contiguous target slice.
+//! ([`eval_quotient_dfa`] / [`eval_derivative`] are compatibility wrappers
+//! that snapshot an [`Instance`] first.)
 //!
 //! Both agree with [`crate::product::eval_product`] on every input (tested,
 //! and property-tested in the workspace integration suite); the benches
@@ -25,7 +32,7 @@ use std::collections::HashMap;
 
 use rpq_automata::derivative::derivative;
 use rpq_automata::{Nfa, Regex, StateId, Symbol};
-use rpq_graph::{Instance, Oid};
+use rpq_graph::{CsrGraph, Instance, Oid};
 
 use crate::product::EvalResult;
 use crate::stats::EvalStats;
@@ -33,8 +40,8 @@ use crate::stats::EvalStats;
 /// Evaluate by lazily determinizing the query NFA against the graph:
 /// worklist over (quotient-class, node) where classes are canonical state
 /// sets. This mirrors "constructing the needed quotients explicitly".
-pub fn eval_quotient_dfa(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalResult {
-    let nv = instance.num_nodes();
+pub fn eval_quotient_dfa_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult {
+    let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
 
     // Intern quotient classes (canonical state sets).
@@ -42,9 +49,9 @@ pub fn eval_quotient_dfa(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalRes
     let mut classes: Vec<Vec<StateId>> = Vec::new();
     let mut accepting: Vec<bool> = Vec::new();
     let intern = |set: Vec<StateId>,
-                      classes: &mut Vec<Vec<StateId>>,
-                      accepting: &mut Vec<bool>,
-                      class_index: &mut HashMap<Vec<StateId>, usize>|
+                  classes: &mut Vec<Vec<StateId>>,
+                  accepting: &mut Vec<bool>,
+                  class_index: &mut HashMap<Vec<StateId>, usize>|
      -> usize {
         if let Some(&i) = class_index.get(&set) {
             return i;
@@ -76,8 +83,9 @@ pub fn eval_quotient_dfa(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalRes
         if accepting[c] {
             answer[v.index()] = true;
         }
-        for &(label, v2) in instance.out_edges(v) {
-            stats.edges_scanned += 1;
+        // one subset step + memo probe per distinct label, not per edge
+        for (label, targets) in graph.out_groups(v) {
+            stats.edges_scanned += targets.len();
             let c2 = match trans_memo.get(&(c, label)) {
                 Some(&c2) => c2,
                 None => {
@@ -90,32 +98,40 @@ pub fn eval_quotient_dfa(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalRes
             if classes[c2].is_empty() {
                 continue; // dead quotient: ∅ subquery
             }
-            if seen.insert((c2, v2), ()).is_none() {
-                queue.push((c2, v2));
+            for &v2 in targets {
+                if seen.insert((c2, v2), ()).is_none() {
+                    queue.push((c2, v2));
+                }
             }
         }
     }
 
-    let answers: Vec<Oid> = instance.nodes().filter(|o| answer[o.index()]).collect();
+    let answers: Vec<Oid> = graph.nodes().filter(|o| answer[o.index()]).collect();
     stats.answers = answers.len();
     stats.classes_materialized = classes.len();
     EvalResult { answers, stats }
 }
 
+/// Compatibility wrapper over [`eval_quotient_dfa_csr`]: snapshots the
+/// instance first. Build the [`CsrGraph`] once when evaluating many queries.
+pub fn eval_quotient_dfa(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalResult {
+    eval_quotient_dfa_csr(nfa, &CsrGraph::from(instance), source)
+}
+
 /// Evaluate with *syntactic* quotients: memoized Brzozowski derivatives of
 /// the (normalized) query regex — the faithful rendering of the paper's
 /// `still-left_q` bookkeeping.
-pub fn eval_derivative(query: &Regex, instance: &Instance, source: Oid) -> EvalResult {
-    let nv = instance.num_nodes();
+pub fn eval_derivative_csr(query: &Regex, graph: &CsrGraph, source: Oid) -> EvalResult {
+    let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
 
     let mut class_index: HashMap<Regex, usize> = HashMap::new();
     let mut classes: Vec<Regex> = Vec::new();
     let mut nullable: Vec<bool> = Vec::new();
     let intern = |r: Regex,
-                      classes: &mut Vec<Regex>,
-                      nullable: &mut Vec<bool>,
-                      class_index: &mut HashMap<Regex, usize>|
+                  classes: &mut Vec<Regex>,
+                  nullable: &mut Vec<bool>,
+                  class_index: &mut HashMap<Regex, usize>|
      -> usize {
         if let Some(&i) = class_index.get(&r) {
             return i;
@@ -127,12 +143,7 @@ pub fn eval_derivative(query: &Regex, instance: &Instance, source: Oid) -> EvalR
         i
     };
 
-    let start = intern(
-        query.clone(),
-        &mut classes,
-        &mut nullable,
-        &mut class_index,
-    );
+    let start = intern(query.clone(), &mut classes, &mut nullable, &mut class_index);
 
     let mut trans_memo: HashMap<(usize, Symbol), usize> = HashMap::new();
     let mut seen: HashMap<(usize, Oid), ()> = HashMap::new();
@@ -145,8 +156,9 @@ pub fn eval_derivative(query: &Regex, instance: &Instance, source: Oid) -> EvalR
         if nullable[c] {
             answer[v.index()] = true;
         }
-        for &(label, v2) in instance.out_edges(v) {
-            stats.edges_scanned += 1;
+        // one derivative + memo probe per distinct label, not per edge
+        for (label, targets) in graph.out_groups(v) {
+            stats.edges_scanned += targets.len();
             let c2 = match trans_memo.get(&(c, label)) {
                 Some(&c2) => c2,
                 None => {
@@ -159,16 +171,24 @@ pub fn eval_derivative(query: &Regex, instance: &Instance, source: Oid) -> EvalR
             if classes[c2] == Regex::Empty {
                 continue;
             }
-            if seen.insert((c2, v2), ()).is_none() {
-                queue.push((c2, v2));
+            for &v2 in targets {
+                if seen.insert((c2, v2), ()).is_none() {
+                    queue.push((c2, v2));
+                }
             }
         }
     }
 
-    let answers: Vec<Oid> = instance.nodes().filter(|o| answer[o.index()]).collect();
+    let answers: Vec<Oid> = graph.nodes().filter(|o| answer[o.index()]).collect();
     stats.answers = answers.len();
     stats.classes_materialized = classes.len();
     EvalResult { answers, stats }
+}
+
+/// Compatibility wrapper over [`eval_derivative_csr`]: snapshots the
+/// instance first. Build the [`CsrGraph`] once when evaluating many queries.
+pub fn eval_derivative(query: &Regex, instance: &Instance, source: Oid) -> EvalResult {
+    eval_derivative_csr(query, &CsrGraph::from(instance), source)
 }
 
 #[cfg(test)]
@@ -178,11 +198,7 @@ mod tests {
     use rpq_automata::{parse_regex, Alphabet};
     use rpq_graph::InstanceBuilder;
 
-    fn setup(
-        edges: &[(&str, &str, &str)],
-        query: &str,
-        src: &str,
-    ) -> (Regex, Nfa, Instance, Oid) {
+    fn setup(edges: &[(&str, &str, &str)], query: &str, src: &str) -> (Regex, Nfa, Instance, Oid) {
         let mut ab = Alphabet::new();
         let mut b = InstanceBuilder::new(&mut ab);
         for &(f, l, t) in edges {
@@ -255,5 +271,23 @@ mod tests {
         assert_eq!(res.answers, vec![y]);
         // pruning keeps visited pairs below the full product
         assert!(res.stats.pairs_visited <= inst.num_nodes() * 3);
+    }
+
+    #[test]
+    fn csr_entry_points_match_wrappers() {
+        for q in ["a.b*", "(a+b+c)*", "a.(b.b)*.c"] {
+            let (r, nfa, inst, s) = setup(GRAPH, q, "s");
+            let csr = rpq_graph::CsrGraph::from(&inst);
+            assert_eq!(
+                eval_quotient_dfa(&nfa, &inst, s).answers,
+                eval_quotient_dfa_csr(&nfa, &csr, s).answers,
+                "{q}"
+            );
+            assert_eq!(
+                eval_derivative(&r, &inst, s).answers,
+                eval_derivative_csr(&r, &csr, s).answers,
+                "{q}"
+            );
+        }
     }
 }

@@ -36,6 +36,7 @@ pub struct StreamingEval<'a, G: GraphSource> {
     answered: HashSet<NodeId>,
     edges_cache: HashMap<NodeId, Vec<(rpq_automata::Symbol, NodeId)>>,
     nodes_expanded: usize,
+    edges_fetched: usize,
     budget: usize,
     status: StreamStatus,
 }
@@ -51,6 +52,7 @@ impl<'a, G: GraphSource> StreamingEval<'a, G> {
             answered: HashSet::new(),
             edges_cache: HashMap::new(),
             nodes_expanded: 0,
+            edges_fetched: 0,
             budget,
             status: StreamStatus::InProgress,
         };
@@ -70,6 +72,7 @@ impl<'a, G: GraphSource> StreamingEval<'a, G> {
         }
         self.nodes_expanded += 1;
         let e = self.source.out_edges(v);
+        self.edges_fetched += e.len();
         self.edges_cache.insert(v, e.clone());
         e
     }
@@ -132,6 +135,16 @@ impl<'a, G: GraphSource> StreamingEval<'a, G> {
     /// Number of distinct nodes whose descriptions were fetched.
     pub fn nodes_expanded(&self) -> usize {
         self.nodes_expanded
+    }
+
+    /// Total edges fetched across all expanded nodes.
+    pub fn edges_fetched(&self) -> usize {
+        self.edges_fetched
+    }
+
+    /// Number of distinct `(state, node)` pairs discovered so far.
+    pub fn pairs_discovered(&self) -> usize {
+        self.seen.len()
     }
 
     /// Grant additional budget (the "keep browsing" operation).

@@ -24,11 +24,7 @@ pub struct FixpointStats {
 /// Bind `terms` against `tuple`, extending `bindings`; undo on mismatch is
 /// the caller's responsibility (we clone per candidate for simplicity —
 /// bodies here are short).
-fn try_bind(
-    terms: &[Term],
-    tuple: &[Const],
-    bindings: &mut [Option<Const>],
-) -> bool {
+fn try_bind(terms: &[Term], tuple: &[Const], bindings: &mut [Option<Const>]) -> bool {
     for (t, &v) in terms.iter().zip(tuple.iter()) {
         match t {
             Term::Const(c) => {
@@ -150,10 +146,7 @@ pub fn eval_seminaive(program: &Program, db: &mut Database) -> FixpointStats {
     {
         let mut new_tuples = Vec::new();
         for rule in &program.rules {
-            let has_idb = rule
-                .body
-                .iter()
-                .any(|a| !program.predicates[a.pred].is_edb);
+            let has_idb = rule.body.iter().any(|a| !program.predicates[a.pred].is_edb);
             if !has_idb {
                 eval_rule(db, rule, None, &mut new_tuples);
             }
@@ -223,16 +216,31 @@ mod tests {
         let mut b = RuleBuilder::new();
         let (x, y) = (b.var("x"), b.var("y"));
         p.add_rule(b.rule(
-            Atom { pred: tc, terms: vec![x, y] },
-            vec![Atom { pred: edge, terms: vec![x, y] }],
+            Atom {
+                pred: tc,
+                terms: vec![x, y],
+            },
+            vec![Atom {
+                pred: edge,
+                terms: vec![x, y],
+            }],
         ));
         let mut b = RuleBuilder::new();
         let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
         p.add_rule(b.rule(
-            Atom { pred: tc, terms: vec![x, z] },
+            Atom {
+                pred: tc,
+                terms: vec![x, z],
+            },
             vec![
-                Atom { pred: tc, terms: vec![x, y] },
-                Atom { pred: edge, terms: vec![y, z] },
+                Atom {
+                    pred: tc,
+                    terms: vec![x, y],
+                },
+                Atom {
+                    pred: edge,
+                    terms: vec![y, z],
+                },
             ],
         ));
         let mut db = Database::for_program(&p);
@@ -290,7 +298,10 @@ mod tests {
         let mut b = RuleBuilder::new();
         let x = b.var("x");
         p.add_rule(b.rule(
-            Atom { pred: q, terms: vec![x] },
+            Atom {
+                pred: q,
+                terms: vec![x],
+            },
             vec![Atom {
                 pred: e,
                 terms: vec![Term::Const(7), x],
@@ -313,8 +324,14 @@ mod tests {
         let mut b = RuleBuilder::new();
         let x = b.var("x");
         p.add_rule(b.rule(
-            Atom { pred: q, terms: vec![x] },
-            vec![Atom { pred: e, terms: vec![x, x] }],
+            Atom {
+                pred: q,
+                terms: vec![x],
+            },
+            vec![Atom {
+                pred: e,
+                terms: vec![x, x],
+            }],
         ));
         let mut db = Database::for_program(&p);
         db.insert(e, vec![1, 1]);

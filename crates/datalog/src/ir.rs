@@ -313,16 +313,31 @@ mod tests {
         let mut b = RuleBuilder::new();
         let (x, y) = (b.var("x"), b.var("y"));
         p.add_rule(b.rule(
-            Atom { pred: tc, terms: vec![x, y] },
-            vec![Atom { pred: edge, terms: vec![x, y] }],
+            Atom {
+                pred: tc,
+                terms: vec![x, y],
+            },
+            vec![Atom {
+                pred: edge,
+                terms: vec![x, y],
+            }],
         ));
         let mut b = RuleBuilder::new();
         let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
         p.add_rule(b.rule(
-            Atom { pred: tc, terms: vec![x, z] },
+            Atom {
+                pred: tc,
+                terms: vec![x, z],
+            },
             vec![
-                Atom { pred: tc, terms: vec![x, y] },
-                Atom { pred: edge, terms: vec![y, z] },
+                Atom {
+                    pred: tc,
+                    terms: vec![x, y],
+                },
+                Atom {
+                    pred: edge,
+                    terms: vec![y, z],
+                },
             ],
         ));
         (p, edge, tc)
@@ -343,16 +358,31 @@ mod tests {
         let mut b = RuleBuilder::new();
         let (x, y) = (b.var("x"), b.var("y"));
         p.add_rule(b.rule(
-            Atom { pred: t, terms: vec![x, y] },
-            vec![Atom { pred: e, terms: vec![x, y] }],
+            Atom {
+                pred: t,
+                terms: vec![x, y],
+            },
+            vec![Atom {
+                pred: e,
+                terms: vec![x, y],
+            }],
         ));
         let mut b = RuleBuilder::new();
         let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
         p.add_rule(b.rule(
-            Atom { pred: t, terms: vec![x, z] },
+            Atom {
+                pred: t,
+                terms: vec![x, z],
+            },
             vec![
-                Atom { pred: t, terms: vec![x, y] },
-                Atom { pred: t, terms: vec![y, z] },
+                Atom {
+                    pred: t,
+                    terms: vec![x, y],
+                },
+                Atom {
+                    pred: t,
+                    terms: vec![y, z],
+                },
             ],
         ));
         assert!(!p.is_linear());
@@ -378,7 +408,13 @@ mod tests {
         let _y = b2.var("y");
         let _ = e;
         // q(x) with empty body: x unbound
-        p.add_rule(b.rule(Atom { pred: q, terms: vec![x] }, vec![]));
+        p.add_rule(b.rule(
+            Atom {
+                pred: q,
+                terms: vec![x],
+            },
+            vec![],
+        ));
     }
 
     #[test]
@@ -398,9 +434,15 @@ mod tests {
         let mut b = RuleBuilder::new();
         let (x, y) = (b.var("x"), b.var("y"));
         let rule = b.rule(
-            Atom { pred: s2, terms: vec![x] },
+            Atom {
+                pred: s2,
+                terms: vec![x],
+            },
             vec![
-                Atom { pred: s1, terms: vec![y] },
+                Atom {
+                    pred: s1,
+                    terms: vec![y],
+                },
                 Atom {
                     pred: r,
                     terms: vec![y, Term::Const(9), x],
@@ -413,8 +455,14 @@ mod tests {
         let mut b = RuleBuilder::new();
         let x = b.var("x");
         let rule2 = b.rule(
-            Atom { pred: s2, terms: vec![x] },
-            vec![Atom { pred: s1, terms: vec![x] }],
+            Atom {
+                pred: s2,
+                terms: vec![x],
+            },
+            vec![Atom {
+                pred: s1,
+                terms: vec![x],
+            }],
         );
         assert!(!p.is_chain_rule(&rule2));
     }
@@ -426,7 +474,16 @@ mod tests {
         let e = p.declare("e", 1, true);
         let mut b = RuleBuilder::new();
         let x = b.var("x");
-        let body = vec![Atom { pred: e, terms: vec![x] }];
-        p.add_rule(b.rule(Atom { pred: e, terms: vec![x] }, body));
+        let body = vec![Atom {
+            pred: e,
+            terms: vec![x],
+        }];
+        p.add_rule(b.rule(
+            Atom {
+                pred: e,
+                terms: vec![x],
+            },
+            body,
+        ));
     }
 }

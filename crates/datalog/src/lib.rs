@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod engines;
 pub mod ir;
 pub mod magic;
 pub mod qsq;
@@ -47,8 +48,9 @@ pub mod storage;
 pub mod translate;
 
 pub use engine::{eval_naive, eval_seminaive, FixpointStats};
+pub use engines::{DatalogMagicEngine, DatalogNaiveEngine, DatalogSeminaiveEngine};
+pub use ir::{Atom, Const, PredId, Program, Rule, RuleBuilder, Term};
 pub use magic::{eval_magic, magic_transform, MagicProgram, MagicQuery, MagicStats};
 pub use qsq::{eval_qsq, QsqStats};
-pub use ir::{Atom, Const, PredId, Program, Rule, RuleBuilder, Term};
 pub use storage::{Database, Relation};
 pub use translate::{translate_quotient, translate_states, TranslatedQuery};

@@ -109,27 +109,26 @@ pub fn magic_transform(program: &Program, query: &MagicQuery) -> MagicProgram {
     let mut magic_preds: Vec<PredId> = Vec::new();
     let mut queue: VecDeque<(PredId, String)> = VecDeque::new();
 
-    let declare_adorned =
-        |out: &mut Program,
-         adorned: &mut HashMap<(PredId, String), (PredId, PredId)>,
-         magic_preds: &mut Vec<PredId>,
-         queue: &mut VecDeque<(PredId, String)>,
-         p: PredId,
-         ad: &str|
-         -> (PredId, PredId) {
-            if let Some(&ids) = adorned.get(&(p, ad.to_owned())) {
-                return ids;
-            }
-            let name = &program.predicates[p].name;
-            let arity = program.predicates[p].arity;
-            let bound = ad.chars().filter(|&c| c == 'b').count();
-            let a_id = out.declare(&format!("{name}#{ad}"), arity, false);
-            let m_id = out.declare(&format!("m_{name}#{ad}"), bound, false);
-            magic_preds.push(m_id);
-            adorned.insert((p, ad.to_owned()), (a_id, m_id));
-            queue.push_back((p, ad.to_owned()));
-            (a_id, m_id)
-        };
+    let declare_adorned = |out: &mut Program,
+                           adorned: &mut HashMap<(PredId, String), (PredId, PredId)>,
+                           magic_preds: &mut Vec<PredId>,
+                           queue: &mut VecDeque<(PredId, String)>,
+                           p: PredId,
+                           ad: &str|
+     -> (PredId, PredId) {
+        if let Some(&ids) = adorned.get(&(p, ad.to_owned())) {
+            return ids;
+        }
+        let name = &program.predicates[p].name;
+        let arity = program.predicates[p].arity;
+        let bound = ad.chars().filter(|&c| c == 'b').count();
+        let a_id = out.declare(&format!("{name}#{ad}"), arity, false);
+        let m_id = out.declare(&format!("m_{name}#{ad}"), bound, false);
+        magic_preds.push(m_id);
+        adorned.insert((p, ad.to_owned()), (a_id, m_id));
+        queue.push_back((p, ad.to_owned()));
+        (a_id, m_id)
+    };
 
     let q_ad = query.adornment();
     let (query_pred, query_magic) = declare_adorned(
@@ -331,16 +330,31 @@ mod tests {
         let mut b = RuleBuilder::new();
         let (x, y) = (b.var("x"), b.var("y"));
         p.add_rule(b.rule(
-            Atom { pred: tc, terms: vec![x, y] },
-            vec![Atom { pred: edge, terms: vec![x, y] }],
+            Atom {
+                pred: tc,
+                terms: vec![x, y],
+            },
+            vec![Atom {
+                pred: edge,
+                terms: vec![x, y],
+            }],
         ));
         let mut b = RuleBuilder::new();
         let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
         p.add_rule(b.rule(
-            Atom { pred: tc, terms: vec![x, z] },
+            Atom {
+                pred: tc,
+                terms: vec![x, z],
+            },
             vec![
-                Atom { pred: edge, terms: vec![x, y] },
-                Atom { pred: tc, terms: vec![y, z] },
+                Atom {
+                    pred: edge,
+                    terms: vec![x, y],
+                },
+                Atom {
+                    pred: tc,
+                    terms: vec![y, z],
+                },
             ],
         ));
         (p, edge, tc)
@@ -429,17 +443,35 @@ mod tests {
         let mut b = RuleBuilder::new();
         let (x, y) = (b.var("x"), b.var("y"));
         p.add_rule(b.rule(
-            Atom { pred: sg, terms: vec![x, y] },
-            vec![Atom { pred: flat, terms: vec![x, y] }],
+            Atom {
+                pred: sg,
+                terms: vec![x, y],
+            },
+            vec![Atom {
+                pred: flat,
+                terms: vec![x, y],
+            }],
         ));
         let mut b = RuleBuilder::new();
         let (x, x1, y1, y) = (b.var("x"), b.var("x1"), b.var("y1"), b.var("y"));
         p.add_rule(b.rule(
-            Atom { pred: sg, terms: vec![x, y] },
+            Atom {
+                pred: sg,
+                terms: vec![x, y],
+            },
             vec![
-                Atom { pred: up, terms: vec![x, x1] },
-                Atom { pred: sg, terms: vec![x1, y1] },
-                Atom { pred: down, terms: vec![y1, y] },
+                Atom {
+                    pred: up,
+                    terms: vec![x, x1],
+                },
+                Atom {
+                    pred: sg,
+                    terms: vec![x1, y1],
+                },
+                Atom {
+                    pred: down,
+                    terms: vec![y1, y],
+                },
             ],
         ));
         (p, [up, flat, down], sg)

@@ -145,7 +145,15 @@ fn fire_edb_only(
     rule: &crate::ir::Rule,
 ) -> Vec<(PredId, Vec<Const>)> {
     let mut out = Vec::new();
-    join(program, db, rule, 0, &mut vec![None; rule.var_names.len()], None, &mut out);
+    join(
+        program,
+        db,
+        rule,
+        0,
+        &mut vec![None; rule.var_names.len()],
+        None,
+        &mut out,
+    );
     out
 }
 
@@ -167,7 +175,15 @@ fn fire_with_binding(
         }
     }
     let mut out = Vec::new();
-    join(program, db, rule, 0, &mut bindings, Some(idb_pred), &mut out);
+    join(
+        program,
+        db,
+        rule,
+        0,
+        &mut bindings,
+        Some(idb_pred),
+        &mut out,
+    );
     out
 }
 
@@ -316,11 +332,23 @@ mod tests {
         let mut b = RuleBuilder::new();
         let (x, y) = (b.var("x"), b.var("y"));
         p.add_rule(b.rule(
-            Atom { pred: t, terms: vec![x] },
+            Atom {
+                pred: t,
+                terms: vec![x],
+            },
             vec![
-                Atom { pred: t, terms: vec![y] },
-                Atom { pred: t, terms: vec![x] },
-                Atom { pred: e, terms: vec![y, x] },
+                Atom {
+                    pred: t,
+                    terms: vec![y],
+                },
+                Atom {
+                    pred: t,
+                    terms: vec![x],
+                },
+                Atom {
+                    pred: e,
+                    terms: vec![y, x],
+                },
             ],
         ));
         let db = Database::for_program(&p);

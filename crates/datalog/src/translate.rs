@@ -16,7 +16,7 @@
 //! [`crate::ir`]).
 
 use rpq_automata::{Alphabet, DerivativeClosure, Nfa, Regex};
-use rpq_graph::{Instance, Oid};
+use rpq_graph::{CsrGraph, Instance, Oid};
 
 use crate::engine::{eval_seminaive, FixpointStats};
 use crate::ir::{Atom, PredId, Program, RuleBuilder, Term};
@@ -85,8 +85,14 @@ pub fn translate_quotient(
         let mut b = RuleBuilder::new();
         let o = b.var("o");
         program.add_rule(b.rule(
-            Atom { pred: p0, terms: vec![o] },
-            vec![Atom { pred: source_pred, terms: vec![o] }],
+            Atom {
+                pred: p0,
+                terms: vec![o],
+            },
+            vec![Atom {
+                pred: source_pred,
+                terms: vec![o],
+            }],
         ));
     }
 
@@ -100,9 +106,15 @@ pub fn translate_quotient(
             let mut b = RuleBuilder::new();
             let (x, y) = (b.var("x"), b.var("y"));
             program.add_rule(b.rule(
-                Atom { pred: tp, terms: vec![x] },
+                Atom {
+                    pred: tp,
+                    terms: vec![x],
+                },
                 vec![
-                    Atom { pred: cp, terms: vec![y] },
+                    Atom {
+                        pred: cp,
+                        terms: vec![y],
+                    },
                     Atom {
                         pred: ref_pred,
                         terms: vec![y, Term::Const(label_const(closure.symbols[k])), x],
@@ -119,8 +131,14 @@ pub fn translate_quotient(
             let mut b = RuleBuilder::new();
             let x = b.var("x");
             program.add_rule(b.rule(
-                Atom { pred: answer_pred, terms: vec![x] },
-                vec![Atom { pred: cp, terms: vec![x] }],
+                Atom {
+                    pred: answer_pred,
+                    terms: vec![x],
+                },
+                vec![Atom {
+                    pred: cp,
+                    terms: vec![x],
+                }],
             ));
         }
     }
@@ -156,7 +174,10 @@ pub fn translate_states(nfa: &Nfa) -> TranslatedQuery {
                 pred: state_pred[nfa.start() as usize],
                 terms: vec![o],
             },
-            vec![Atom { pred: source_pred, terms: vec![o] }],
+            vec![Atom {
+                pred: source_pred,
+                terms: vec![o],
+            }],
         ));
     }
 
@@ -201,7 +222,10 @@ pub fn translate_states(nfa: &Nfa) -> TranslatedQuery {
         let mut b = RuleBuilder::new();
         let x = b.var("x");
         program.add_rule(b.rule(
-            Atom { pred: answer_pred, terms: vec![x] },
+            Atom {
+                pred: answer_pred,
+                terms: vec![x],
+            },
             vec![Atom {
                 pred: state_pred[h as usize],
                 terms: vec![x],
@@ -218,10 +242,12 @@ pub fn translate_states(nfa: &Nfa) -> TranslatedQuery {
     }
 }
 
-/// Load an instance into the EDB relations of a translated query.
-pub fn load_instance(tq: &TranslatedQuery, instance: &Instance, source: Oid) -> Database {
+/// Load a label-indexed snapshot into the EDB relations of a translated
+/// query. The CSR arena order (per-node rows sorted by `(Symbol, Oid)`)
+/// gives the `ref` relation a deterministic, label-clustered tuple order.
+pub fn load_csr(tq: &TranslatedQuery, graph: &CsrGraph, source: Oid) -> Database {
     let mut db = Database::for_program(&tq.program);
-    for (a, l, b) in instance.edges() {
+    for (a, l, b) in graph.edges() {
         db.insert(
             tq.ref_pred,
             vec![node_const(a), label_const(l), node_const(b)],
@@ -231,13 +257,18 @@ pub fn load_instance(tq: &TranslatedQuery, instance: &Instance, source: Oid) -> 
     db
 }
 
+/// Load an instance into the EDB relations of a translated query.
+///
+/// Compatibility wrapper: snapshots the instance into a [`CsrGraph`] and
+/// delegates to [`load_csr`]. Callers loading many queries over one graph
+/// should snapshot once.
+pub fn load_instance(tq: &TranslatedQuery, instance: &Instance, source: Oid) -> Database {
+    load_csr(tq, &CsrGraph::from(instance), source)
+}
+
 /// Run a translated query with the semi-naive engine; returns sorted
 /// answers and the fixpoint statistics.
-pub fn run(
-    tq: &TranslatedQuery,
-    instance: &Instance,
-    source: Oid,
-) -> (Vec<Oid>, FixpointStats) {
+pub fn run(tq: &TranslatedQuery, instance: &Instance, source: Oid) -> (Vec<Oid>, FixpointStats) {
     let mut db = load_instance(tq, instance, source);
     let stats = eval_seminaive(&tq.program, &mut db);
     let mut answers: Vec<Oid> = db

@@ -144,8 +144,7 @@ impl CarrySite {
         skipped: &mut usize,
     ) -> Vec<CarriedMessage> {
         let key = (destination, query.clone());
-        self.known
-            .insert((self.id, destination, query.clone()));
+        self.known.insert((self.id, destination, query.clone()));
         if self.tasks.contains_key(&key) {
             return vec![CarriedMessage {
                 message: Message::Done {

@@ -106,9 +106,8 @@ pub fn run_with_faults(
     let mut dropped = 0usize;
     let mut duplicated = 0usize;
 
-    let affected = |m: &Message, plan: &FaultPlan| -> bool {
-        plan.only_kind.is_none_or(|k| m.kind() == k)
-    };
+    let affected =
+        |m: &Message, plan: &FaultPlan| -> bool { plan.only_kind.is_none_or(|k| m.kind() == k) };
 
     let initial = sites[client as usize].initiate(source.0, query.clone());
     let mut send = |msg: Message,
@@ -269,7 +268,10 @@ mod tests {
                 }
             }
         }
-        assert!(incomplete >= 10, "answers should go missing: {incomplete}/20");
+        assert!(
+            incomplete >= 10,
+            "answers should go missing: {incomplete}/20"
+        );
     }
 
     #[test]

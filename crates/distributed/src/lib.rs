@@ -14,6 +14,9 @@
 //!   detected exactly at quiescence);
 //! * [`threaded`] — the same state machines on real threads over crossbeam
 //!   channels;
+//! * [`engines`] — both runners behind the unified `rpq_core::Engine`
+//!   calling convention, sites sharded from the `rpq_graph::CsrGraph`
+//!   snapshot;
 //! * [`decomposition`] — the ship-query-once-per-site baseline of the
 //!   related work (\[30\]), for protocol comparisons;
 //! * [`carrying`] — the Section 5 variant where agents carry accumulated
@@ -29,6 +32,7 @@
 
 pub mod carrying;
 pub mod decomposition;
+pub mod engines;
 pub mod faults;
 pub mod message;
 pub mod sim;
@@ -39,6 +43,7 @@ pub use carrying::{run_carrying, CarryingRunResult};
 pub use decomposition::{
     run_decomposition, run_decomposition_checked, DecompositionResult, Partition,
 };
+pub use engines::{SimulatorEngine, ThreadedEngine};
 pub use faults::{run_with_faults, FaultPlan, FaultReport};
 pub use message::{Message, MessageKind, Mid, SiteId};
 pub use sim::{
@@ -46,4 +51,4 @@ pub use sim::{
     QueryOutcome, RunResult, Simulator,
 };
 pub use site::Site;
-pub use threaded::{run_threaded, ThreadedRunResult};
+pub use threaded::{run_threaded, run_threaded_csr, ThreadedRunResult};

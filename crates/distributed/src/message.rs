@@ -108,17 +108,29 @@ impl Message {
                 site_name(*destination),
                 query.display(alphabet)
             ),
-            Message::Answer { mid, sender, receiver } => format!(
+            Message::Answer {
+                mid,
+                sender,
+                receiver,
+            } => format!(
                 "answer({mid}, {}, {})",
                 site_name(*sender),
                 site_name(*receiver)
             ),
-            Message::Done { mid, sender, receiver } => format!(
+            Message::Done {
+                mid,
+                sender,
+                receiver,
+            } => format!(
                 "done({mid}, {}, {})",
                 site_name(*sender),
                 site_name(*receiver)
             ),
-            Message::Ack { mid, sender, receiver } => format!(
+            Message::Ack {
+                mid,
+                sender,
+                receiver,
+            } => format!(
                 "akn({mid}, {}, {})",
                 site_name(*sender),
                 site_name(*receiver)
@@ -175,19 +187,31 @@ pub mod codec {
                 buf.put_u32(q.len() as u32);
                 buf.put_slice(q.as_bytes());
             }
-            Message::Answer { mid, sender, receiver } => {
+            Message::Answer {
+                mid,
+                sender,
+                receiver,
+            } => {
                 buf.put_u8(1);
                 put_mid(&mut buf, *mid);
                 buf.put_u32(*sender);
                 buf.put_u32(*receiver);
             }
-            Message::Done { mid, sender, receiver } => {
+            Message::Done {
+                mid,
+                sender,
+                receiver,
+            } => {
                 buf.put_u8(2);
                 put_mid(&mut buf, *mid);
                 buf.put_u32(*sender);
                 buf.put_u32(*receiver);
             }
-            Message::Ack { mid, sender, receiver } => {
+            Message::Ack {
+                mid,
+                sender,
+                receiver,
+            } => {
                 buf.put_u8(3);
                 put_mid(&mut buf, *mid);
                 buf.put_u32(*sender);
@@ -220,9 +244,21 @@ pub mod codec {
                     query,
                 }
             }
-            1 => Message::Answer { mid, sender, receiver },
-            2 => Message::Done { mid, sender, receiver },
-            3 => Message::Ack { mid, sender, receiver },
+            1 => Message::Answer {
+                mid,
+                sender,
+                receiver,
+            },
+            2 => Message::Done {
+                mid,
+                sender,
+                receiver,
+            },
+            3 => Message::Ack {
+                mid,
+                sender,
+                receiver,
+            },
             _ => return None,
         })
     }
@@ -245,9 +281,21 @@ mod tests {
                 destination: 0,
                 query: q,
             },
-            Message::Answer { mid: Mid(5, 1), sender: 5, receiver: 0 },
-            Message::Done { mid: Mid(3, 7), sender: 5, receiver: 3 },
-            Message::Ack { mid: Mid(5, 1), sender: 0, receiver: 5 },
+            Message::Answer {
+                mid: Mid(5, 1),
+                sender: 5,
+                receiver: 0,
+            },
+            Message::Done {
+                mid: Mid(3, 7),
+                sender: 5,
+                receiver: 3,
+            },
+            Message::Ack {
+                mid: Mid(5, 1),
+                sender: 0,
+                receiver: 5,
+            },
         ];
         for m in msgs {
             let b = codec::encode(&m, &ab);
@@ -276,7 +324,11 @@ mod tests {
 
     #[test]
     fn kinds_and_receivers() {
-        let m = Message::Done { mid: Mid(1, 1), sender: 2, receiver: 9 };
+        let m = Message::Done {
+            mid: Mid(1, 1),
+            sender: 2,
+            receiver: 9,
+        };
         assert_eq!(m.kind(), MessageKind::Done);
         assert_eq!(m.receiver(), 9);
     }

@@ -9,13 +9,12 @@
 
 use std::collections::BinaryHeap;
 
-
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rpq_automata::{Alphabet, Regex};
-use rpq_graph::{Instance, Oid};
+use rpq_graph::{CsrGraph, Instance, Oid};
 
 use crate::message::{codec, Message, MessageKind, SiteId};
 use crate::site::{no_rewrite, Site};
@@ -130,21 +129,17 @@ pub type RewriteHook<'a> = Box<dyn Fn(SiteId, &Regex) -> Regex + 'a>;
 
 impl<'a> Simulator<'a> {
     /// Build a simulator over `instance`; one site per object plus a client.
+    /// Compatibility wrapper over [`Simulator::from_csr`] (snapshots the
+    /// instance first).
     pub fn new(instance: &Instance, alphabet: &'a Alphabet, delivery: Delivery) -> Simulator<'a> {
-        let mut sites: Vec<Site> = instance
-            .nodes()
-            .map(|o| {
-                Site::new(
-                    o.0,
-                    instance
-                        .out_edges(o)
-                        .iter()
-                        .map(|&(l, t)| (l, t.0))
-                        .collect(),
-                )
-            })
-            .collect();
-        let client = instance.num_nodes() as SiteId;
+        Simulator::from_csr(&CsrGraph::from(instance), alphabet, delivery)
+    }
+
+    /// Build a simulator over a label-indexed snapshot: each object site
+    /// holds its CSR shard (its sorted out-row), plus one client site.
+    pub fn from_csr(graph: &CsrGraph, alphabet: &'a Alphabet, delivery: Delivery) -> Simulator<'a> {
+        let mut sites: Vec<Site> = graph.nodes().map(|o| Site::from_csr(graph, o)).collect();
+        let client = graph.num_nodes() as SiteId;
         sites.push(Site::new(client, Vec::new()));
         Simulator {
             alphabet,
@@ -188,9 +183,7 @@ impl<'a> Simulator<'a> {
                         rng: &mut Option<StdRng>| {
             let latency = match (&delivery, rng) {
                 (Delivery::Fifo, _) => 1,
-                (Delivery::Random { max_latency, .. }, Some(r)) => {
-                    r.random_range(1..=*max_latency)
-                }
+                (Delivery::Random { max_latency, .. }, Some(r)) => r.random_range(1..=*max_latency),
                 _ => 1,
             };
             stats.record(msg.kind(), codec::encode(&msg, alphabet).len());
@@ -205,7 +198,10 @@ impl<'a> Simulator<'a> {
 
         send(initial, 0, &mut heap, &mut messages, &mut stats, &mut rng);
 
-        while let Some(QueueEntry { time, message_idx, .. }) = heap.pop() {
+        while let Some(QueueEntry {
+            time, message_idx, ..
+        }) = heap.pop()
+        {
             let msg = messages[message_idx].clone();
             trace.push(TraceEvent {
                 time,
@@ -277,19 +273,8 @@ pub fn run_concurrent(
     queries: &[(Oid, Regex)],
     delivery: Delivery,
 ) -> ConcurrentRunResult {
-    let mut sites: Vec<Site> = instance
-        .nodes()
-        .map(|o| {
-            Site::new(
-                o.0,
-                instance
-                    .out_edges(o)
-                    .iter()
-                    .map(|&(l, t)| (l, t.0))
-                    .collect(),
-            )
-        })
-        .collect();
+    let graph = CsrGraph::from(instance);
+    let mut sites: Vec<Site> = graph.nodes().map(|o| Site::from_csr(&graph, o)).collect();
     let first_client = instance.num_nodes() as SiteId;
     for i in 0..queries.len() {
         sites.push(Site::new(first_client + i as SiteId, Vec::new()));
@@ -330,7 +315,10 @@ pub fn run_concurrent(
         send(initial, 0, &mut heap, &mut messages, &mut stats, &mut rng);
     }
 
-    while let Some(QueueEntry { time, message_idx, .. }) = heap.pop() {
+    while let Some(QueueEntry {
+        time, message_idx, ..
+    }) = heap.pop()
+    {
         let msg = messages[message_idx].clone();
         let receiver = msg.receiver() as usize;
         let produced = sites[receiver].handle(msg, &no_rewrite);
@@ -588,7 +576,10 @@ mod tests {
                 &inst,
                 &ab,
                 &[(o1, q1.clone()), (o1, q2.clone())],
-                Delivery::Random { seed, max_latency: 5 },
+                Delivery::Random {
+                    seed,
+                    max_latency: 5,
+                },
             );
             for outcome in &res.outcomes {
                 assert!(outcome.termination_detected, "seed {seed}");

@@ -14,11 +14,18 @@
 //! derivatives of the normalized query regex, so equal subqueries compare
 //! equal across different senders — exactly why `o2` can instantly answer
 //! `o3`'s duplicate `b*` request in Figure 3.
+//!
+//! Each site holds its shard of the label-indexed [`rpq_graph::CsrGraph`]:
+//! its out-row, sorted by `(Symbol, SiteId)`. Subquery fan-out walks the
+//! row by *label group*, computing the quotient `q/l` once per distinct
+//! label instead of once per edge — the site-local analogue of the
+//! centralized engines' label-indexed step.
 
 use std::collections::HashMap;
 
 use rpq_automata::derivative::derivative;
 use rpq_automata::{Regex, Symbol};
+use rpq_graph::{CsrGraph, Oid};
 
 use crate::message::{Message, Mid, SiteId};
 
@@ -39,7 +46,9 @@ struct Task {
 pub struct Site {
     /// This site's id.
     pub id: SiteId,
-    /// Outgoing labeled edges (the site's page description).
+    /// Outgoing labeled edges (the site's page description) — this site's
+    /// CSR shard, kept sorted by `(Symbol, SiteId)` so label groups are
+    /// contiguous.
     pub edges: Vec<(Symbol, SiteId)>,
     /// Registered tasks keyed by (destination, subquery).
     tasks: HashMap<(SiteId, Regex), Task>,
@@ -56,8 +65,9 @@ pub struct Site {
 }
 
 impl Site {
-    /// A site with the given outgoing edges.
-    pub fn new(id: SiteId, edges: Vec<(Symbol, SiteId)>) -> Site {
+    /// A site with the given outgoing edges (sorted into label groups).
+    pub fn new(id: SiteId, mut edges: Vec<(Symbol, SiteId)>) -> Site {
+        edges.sort_unstable();
         Site {
             id,
             edges,
@@ -68,6 +78,13 @@ impl Site {
             root_done: false,
             root_mid: None,
         }
+    }
+
+    /// A site holding node `o`'s shard of a [`CsrGraph`] snapshot.
+    pub fn from_csr(graph: &CsrGraph, o: Oid) -> Site {
+        // rows are already sorted by (Symbol, Oid), so this is the shard
+        let edges = graph.out_pairs(o).map(|(l, t)| (l, t.0)).collect();
+        Site::new(o.0, edges)
     }
 
     fn fresh_mid(&mut self) -> Mid {
@@ -90,7 +107,11 @@ impl Site {
     }
 
     /// Handle an incoming message, producing outgoing messages.
-    pub fn handle(&mut self, msg: Message, rewrite: &dyn Fn(SiteId, &Regex) -> Regex) -> Vec<Message> {
+    pub fn handle(
+        &mut self,
+        msg: Message,
+        rewrite: &dyn Fn(SiteId, &Regex) -> Regex,
+    ) -> Vec<Message> {
         match msg {
             Message::Subquery {
                 mid,
@@ -156,22 +177,26 @@ impl Site {
             self.waiting_index.insert(amid, key.clone());
         }
 
-        // spawn quotient subqueries along distinct (label, neighbor) pairs
-        for (label, neighbor) in self.edges.clone() {
-            let quotient = derivative(&query, label);
+        // spawn quotient subqueries along distinct (label, neighbor) pairs;
+        // the row is sorted, so each label group pays for one derivative
+        let edges = self.edges.clone();
+        for group in edges.chunk_by(|a, b| a.0 == b.0) {
+            let quotient = derivative(&query, group[0].0);
             if quotient == Regex::Empty {
                 continue;
             }
-            let smid = self.fresh_mid();
-            out.push(Message::Subquery {
-                mid: smid,
-                sender: self.id,
-                receiver: neighbor,
-                destination,
-                query: quotient,
-            });
-            waiting.push(smid);
-            self.waiting_index.insert(smid, key.clone());
+            for &(_, neighbor) in group {
+                let smid = self.fresh_mid();
+                out.push(Message::Subquery {
+                    mid: smid,
+                    sender: self.id,
+                    receiver: neighbor,
+                    destination,
+                    query: quotient.clone(),
+                });
+                waiting.push(smid);
+                self.waiting_index.insert(smid, key.clone());
+            }
         }
 
         if waiting.is_empty() {
@@ -305,12 +330,33 @@ mod tests {
             })
             .unwrap();
         // ack alone is not enough
-        let o1 = site.handle(Message::Ack { mid: amid, sender: 0, receiver: 2 }, &no_rewrite);
+        let o1 = site.handle(
+            Message::Ack {
+                mid: amid,
+                sender: 0,
+                receiver: 2,
+            },
+            &no_rewrite,
+        );
         assert!(o1.is_empty());
         // child done completes the task
-        let o2 = site.handle(Message::Done { mid: smid, sender: 3, receiver: 2 }, &no_rewrite);
+        let o2 = site.handle(
+            Message::Done {
+                mid: smid,
+                sender: 3,
+                receiver: 2,
+            },
+            &no_rewrite,
+        );
         assert_eq!(o2.len(), 1);
-        assert!(matches!(o2[0], Message::Done { mid: Mid(1, 1), receiver: 1, .. }));
+        assert!(matches!(
+            o2[0],
+            Message::Done {
+                mid: Mid(1, 1),
+                receiver: 1,
+                ..
+            }
+        ));
         assert!(site.all_finished());
     }
 
@@ -338,12 +384,27 @@ mod tests {
     fn answers_are_acked_and_deduped() {
         let mut site = Site::new(0, vec![]);
         let out = site.handle(
-            Message::Answer { mid: Mid(5, 1), sender: 5, receiver: 0 },
+            Message::Answer {
+                mid: Mid(5, 1),
+                sender: 5,
+                receiver: 0,
+            },
             &no_rewrite,
         );
-        assert!(matches!(out[0], Message::Ack { mid: Mid(5, 1), receiver: 5, .. }));
+        assert!(matches!(
+            out[0],
+            Message::Ack {
+                mid: Mid(5, 1),
+                receiver: 5,
+                ..
+            }
+        ));
         site.handle(
-            Message::Answer { mid: Mid(5, 2), sender: 5, receiver: 0 },
+            Message::Answer {
+                mid: Mid(5, 2),
+                sender: 5,
+                receiver: 0,
+            },
             &no_rewrite,
         );
         assert_eq!(site.answers, vec![5]);

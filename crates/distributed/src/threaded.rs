@@ -15,7 +15,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use rpq_automata::Regex;
-use rpq_graph::{Instance, Oid};
+use rpq_graph::{CsrGraph, Instance, Oid};
 
 use crate::message::{Message, SiteId};
 use crate::site::{no_rewrite, Site};
@@ -35,12 +35,21 @@ pub struct ThreadedRunResult {
 }
 
 /// Run `query` from `source` over `instance` with one OS thread per site.
+/// Compatibility wrapper over [`run_threaded_csr`] (snapshots the instance
+/// first).
+pub fn run_threaded(instance: &Instance, source: Oid, query: &Regex) -> ThreadedRunResult {
+    run_threaded_csr(&CsrGraph::from(instance), source, query)
+}
+
+/// Run `query` from `source` over a label-indexed snapshot with one OS
+/// thread per site; each site thread owns its CSR shard (its sorted
+/// out-row).
 ///
 /// Panics on protocol errors (e.g. failure to terminate would deadlock the
 /// run; a watchdog is deliberately absent — the protocol's own `done`
 /// cascade is the only termination source, as in the paper).
-pub fn run_threaded(instance: &Instance, source: Oid, query: &Regex) -> ThreadedRunResult {
-    let n = instance.num_nodes();
+pub fn run_threaded_csr(graph: &CsrGraph, source: Oid, query: &Regex) -> ThreadedRunResult {
+    let n = graph.num_nodes();
     let client: SiteId = n as SiteId;
     let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n + 1);
     let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n + 1);
@@ -54,19 +63,14 @@ pub fn run_threaded(instance: &Instance, source: Oid, query: &Regex) -> Threaded
 
     let mut handles = Vec::with_capacity(n + 1);
 
-    // Object sites.
-    for o in instance.nodes() {
+    // Object sites, each owning its shard of the snapshot.
+    for o in graph.nodes() {
         let rx = receivers[o.index()].take().expect("receiver present");
         let senders = Arc::clone(&senders);
         let counter = Arc::clone(&message_count);
-        let edges: Vec<(rpq_automata::Symbol, SiteId)> = instance
-            .out_edges(o)
-            .iter()
-            .map(|&(l, t)| (l, t.0))
-            .collect();
-        let id = o.0;
+        let shard = Site::from_csr(graph, o);
         handles.push(thread::spawn(move || {
-            let mut site = Site::new(id, edges);
+            let mut site = shard;
             while let Ok(env) = rx.recv() {
                 match env {
                     Envelope::Shutdown => break,
@@ -124,11 +128,11 @@ pub fn run_threaded(instance: &Instance, source: Oid, query: &Regex) -> Threaded
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rpq_automata::{parse_regex, Alphabet, Nfa};
     use rpq_core::eval_product;
     use rpq_graph::generators::{fig2_graph, web_graph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn threaded_matches_centralized_on_fig2() {

@@ -1,0 +1,496 @@
+//! Label-indexed compressed-sparse-row snapshots of an [`Instance`].
+//!
+//! Every evaluation strategy of Section 2 steps a `(state, node)` pair by a
+//! *specific* label: "which edges labeled `l` leave `v`?". Adjacency-list
+//! storage answers that by scanning the whole out-edge list and filtering,
+//! paying `outdegree(v)` per automaton transition. [`CsrGraph`] is the
+//! immutable query-time form that makes the step proportional to *matching*
+//! edges only: [`Instance`] stays the mutable builder, `CsrGraph::from`
+//! freezes it for evaluation.
+//!
+//! # Layout
+//!
+//! We use **per-node rows sorted by `(Symbol, Oid)`** over one contiguous
+//! CSR arena (`offsets` / `labels` / `targets`), with label lookup by binary
+//! search within the row, rather than a per-label CSR (one full offset array
+//! per label). Rationale:
+//!
+//! * all engines also iterate *whole* rows (ε-free NFAs with several
+//!   transitions per state, the distributed protocol's per-edge quotients) —
+//!   a per-label CSR would scatter one node's edges across `|Σ|` arenas and
+//!   lose that locality;
+//! * the label lookup is `O(log outdegree)` + a contiguous slice, which is
+//!   within noise of a per-label CSR's `O(1)` for the "objects are small"
+//!   regime the paper assumes (finite, small outdegree), while costing no
+//!   `O(|Σ|·|V|)` offset memory on sparse label usage;
+//! * rows sorted by `(Symbol, Oid)` give label *groups* for free
+//!   ([`CsrGraph::out_groups`]), which the quotient engines and the
+//!   distributed sites use to compute one transition per distinct label
+//!   instead of one per edge.
+//!
+//! A **reverse** CSR (in-edges, same layout) supports backward traversal —
+//! single-target evaluation, provenance walks, and the sink side of future
+//! bidirectional searches. Per-label degree/frequency statistics
+//! ([`LabelStats`]) are collected during the build and feed the optimizer's
+//! cost model.
+
+use rpq_automata::Symbol;
+use serde::{Deserialize, Serialize};
+
+use crate::instance::{Instance, Oid};
+use crate::source::{GraphSource, NodeId};
+
+/// Per-label frequency statistics, collected while building a [`CsrGraph`].
+///
+/// `edge_count(l)` is the number of `Ref(_, l, _)` tuples; `source_count(l)`
+/// the number of distinct objects with at least one outgoing `l`-edge. Their
+/// ratio is the average `l`-fanout of nodes that have the label at all — the
+/// selectivity number the optimizer's data-aware cost model consumes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelStats {
+    edge_counts: Vec<usize>,
+    source_counts: Vec<usize>,
+}
+
+impl LabelStats {
+    /// Number of label slots tracked (max label index + 1 over all edges).
+    pub fn num_labels(&self) -> usize {
+        self.edge_counts.len()
+    }
+
+    /// Number of edges carrying `label` (0 for labels never seen).
+    pub fn edge_count(&self, label: Symbol) -> usize {
+        self.edge_counts.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct source nodes with at least one `label`-edge.
+    pub fn source_count(&self, label: Symbol) -> usize {
+        self.source_counts.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Average outgoing fanout of `label` among nodes that have it (0.0 for
+    /// labels never seen).
+    pub fn avg_fanout(&self, label: Symbol) -> f64 {
+        let sources = self.source_count(label);
+        if sources == 0 {
+            0.0
+        } else {
+            self.edge_count(label) as f64 / sources as f64
+        }
+    }
+
+    /// The most frequent label, if any edge exists.
+    pub fn hottest(&self) -> Option<Symbol> {
+        self.edge_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .filter(|&(_, c)| *c > 0)
+            .map(|(i, _)| Symbol::from_index(i))
+    }
+
+    /// Iterate `(label, edge_count)` for labels with at least one edge.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.edge_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, c)| *c > 0)
+            .map(|(i, &c)| (Symbol::from_index(i), c))
+    }
+}
+
+/// An immutable, label-indexed snapshot of a finite graph: forward and
+/// reverse CSR adjacency with per-node rows sorted by `(Symbol, Oid)`, plus
+/// per-label statistics. See the module docs for the layout rationale.
+///
+/// Build one with [`CsrGraph::from`]; evaluate against it through the
+/// `rpq_core::Engine` trait or the `*_csr` entry points.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `out_offsets[v]..out_offsets[v+1]` indexes v's row in the arenas.
+    out_offsets: Vec<usize>,
+    out_labels: Vec<Symbol>,
+    out_targets: Vec<Oid>,
+    /// Reverse adjacency: `in_sources` holds the *sources* of edges into v.
+    in_offsets: Vec<usize>,
+    in_labels: Vec<Symbol>,
+    in_sources: Vec<Oid>,
+    stats: LabelStats,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.out_offsets.len().saturating_sub(1)
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = Oid> + '_ {
+        (0..self.num_nodes() as u32).map(Oid)
+    }
+
+    /// Outdegree of `v`.
+    pub fn outdegree(&self, v: Oid) -> usize {
+        self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]
+    }
+
+    /// Indegree of `v`.
+    pub fn indegree(&self, v: Oid) -> usize {
+        self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]
+    }
+
+    /// Per-label statistics collected at build time.
+    pub fn stats(&self) -> &LabelStats {
+        &self.stats
+    }
+
+    /// The targets of `v`'s edges labeled `label` — a contiguous slice, so
+    /// the per-(state, node) step costs only the matching edges.
+    pub fn out(&self, v: Oid, label: Symbol) -> &[Oid] {
+        Self::labeled_range(
+            &self.out_labels,
+            &self.out_targets,
+            &self.out_offsets,
+            v,
+            label,
+        )
+    }
+
+    /// The *sources* of edges labeled `label` arriving at `v` (the reverse
+    /// adjacency — the transpose of [`CsrGraph::out`]).
+    pub fn rev(&self, v: Oid, label: Symbol) -> &[Oid] {
+        Self::labeled_range(
+            &self.in_labels,
+            &self.in_sources,
+            &self.in_offsets,
+            v,
+            label,
+        )
+    }
+
+    fn labeled_range<'a>(
+        labels: &[Symbol],
+        endpoints: &'a [Oid],
+        offsets: &[usize],
+        v: Oid,
+        label: Symbol,
+    ) -> &'a [Oid] {
+        let (start, end) = (offsets[v.index()], offsets[v.index() + 1]);
+        let row = &labels[start..end];
+        let lo = row.partition_point(|&l| l < label);
+        let hi = row.partition_point(|&l| l <= label);
+        &endpoints[start + lo..start + hi]
+    }
+
+    /// All out-edges of `v` as `(label, target)` pairs, sorted by
+    /// `(Symbol, Oid)`.
+    pub fn out_pairs(&self, v: Oid) -> impl Iterator<Item = (Symbol, Oid)> + '_ {
+        let (start, end) = (self.out_offsets[v.index()], self.out_offsets[v.index() + 1]);
+        self.out_labels[start..end]
+            .iter()
+            .zip(&self.out_targets[start..end])
+            .map(|(&l, &t)| (l, t))
+    }
+
+    /// All in-edges of `v` as `(label, source)` pairs, sorted by
+    /// `(Symbol, Oid)`.
+    pub fn rev_pairs(&self, v: Oid) -> impl Iterator<Item = (Symbol, Oid)> + '_ {
+        let (start, end) = (self.in_offsets[v.index()], self.in_offsets[v.index() + 1]);
+        self.in_labels[start..end]
+            .iter()
+            .zip(&self.in_sources[start..end])
+            .map(|(&l, &t)| (l, t))
+    }
+
+    /// `v`'s out-row grouped by label: yields `(label, targets)` once per
+    /// distinct label. Lets callers pay label-dependent work (a quotient, a
+    /// derivative, a memo lookup) once per *label* instead of once per edge.
+    pub fn out_groups(&self, v: Oid) -> LabelGroups<'_> {
+        let (start, end) = (self.out_offsets[v.index()], self.out_offsets[v.index() + 1]);
+        LabelGroups {
+            labels: &self.out_labels[start..end],
+            endpoints: &self.out_targets[start..end],
+        }
+    }
+
+    /// Iterate over all edges as `(source, label, target)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (Oid, Symbol, Oid)> + '_ {
+        self.nodes()
+            .flat_map(move |v| self.out_pairs(v).map(move |(l, t)| (v, l, t)))
+    }
+
+    /// Follow `word` from `source`, collecting every endpoint (set
+    /// semantics) — `w(o, I)` over the label index, with a seen-bitmap
+    /// instead of the builder's linear dedup.
+    pub fn word_targets(&self, source: Oid, word: &[Symbol]) -> Vec<Oid> {
+        let mut cur = vec![source];
+        let mut seen = vec![false; self.num_nodes()];
+        for &sym in word {
+            let mut next: Vec<Oid> = Vec::new();
+            for &x in &cur {
+                for &t in self.out(x, sym) {
+                    if !seen[t.index()] {
+                        seen[t.index()] = true;
+                        next.push(t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            for &t in &next {
+                seen[t.index()] = false;
+            }
+            cur = next;
+        }
+        cur.sort_unstable();
+        cur
+    }
+}
+
+/// Iterator over `(label, targets)` groups of one row — see
+/// [`CsrGraph::out_groups`].
+pub struct LabelGroups<'a> {
+    labels: &'a [Symbol],
+    endpoints: &'a [Oid],
+}
+
+impl<'a> Iterator for LabelGroups<'a> {
+    type Item = (Symbol, &'a [Oid]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &label = self.labels.first()?;
+        let len = self.labels.partition_point(|&l| l <= label);
+        let (group, rest) = self.endpoints.split_at(len);
+        self.labels = &self.labels[len..];
+        self.endpoints = rest;
+        Some((label, group))
+    }
+}
+
+impl From<&Instance> for CsrGraph {
+    fn from(instance: &Instance) -> CsrGraph {
+        let n = instance.num_nodes();
+        let m = instance.num_edges();
+        let num_labels = instance
+            .edges()
+            .map(|(_, l, _)| l.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut stats = LabelStats {
+            edge_counts: vec![0; num_labels],
+            source_counts: vec![0; num_labels],
+        };
+
+        // Forward: Instance rows are maintained sorted by (Symbol, Oid);
+        // re-sort defensively (e.g. instances deserialized from older
+        // encodings), which is O(1) on already-sorted rows.
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_labels = Vec::with_capacity(m);
+        let mut out_targets = Vec::with_capacity(m);
+        let mut scratch: Vec<(Symbol, Oid)> = Vec::new();
+        out_offsets.push(0);
+        for v in instance.nodes() {
+            let row = instance.out_edges(v);
+            let row: &[(Symbol, Oid)] = if row.is_sorted() {
+                row
+            } else {
+                scratch.clear();
+                scratch.extend_from_slice(row);
+                scratch.sort_unstable();
+                &scratch
+            };
+            let mut prev_label = None;
+            for &(l, t) in row {
+                out_labels.push(l);
+                out_targets.push(t);
+                stats.edge_counts[l.index()] += 1;
+                if prev_label != Some(l) {
+                    stats.source_counts[l.index()] += 1;
+                    prev_label = Some(l);
+                }
+            }
+            out_offsets.push(out_labels.len());
+        }
+
+        // Reverse: counting-sort the transposed edges straight into the
+        // arenas (no per-node buckets), then sort each row in place by
+        // (Symbol, Oid) through one reused scratch buffer.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &t in &out_targets {
+            in_offsets[t.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_labels = vec![Symbol::from_index(0); m];
+        let mut in_sources = vec![Oid(0); m];
+        let mut cursor = in_offsets.clone();
+        for v in instance.nodes() {
+            let (start, end) = (out_offsets[v.index()], out_offsets[v.index() + 1]);
+            for i in start..end {
+                let slot = cursor[out_targets[i].index()];
+                cursor[out_targets[i].index()] += 1;
+                in_labels[slot] = out_labels[i];
+                in_sources[slot] = v;
+            }
+        }
+        for v in 0..n {
+            let (start, end) = (in_offsets[v], in_offsets[v + 1]);
+            if end - start > 1 {
+                scratch.clear();
+                scratch.extend(
+                    in_labels[start..end]
+                        .iter()
+                        .copied()
+                        .zip(in_sources[start..end].iter().copied()),
+                );
+                scratch.sort_unstable();
+                for (i, &(l, s)) in scratch.iter().enumerate() {
+                    in_labels[start + i] = l;
+                    in_sources[start + i] = s;
+                }
+            }
+        }
+
+        CsrGraph {
+            out_offsets,
+            out_labels,
+            out_targets,
+            in_offsets,
+            in_labels,
+            in_sources,
+            stats,
+        }
+    }
+}
+
+/// A `CsrGraph` is also a [`GraphSource`], so lazy/streaming evaluators run
+/// over it unchanged.
+impl GraphSource for CsrGraph {
+    fn out_edges(&self, node: NodeId) -> Vec<(Symbol, NodeId)> {
+        self.out_pairs(Oid(node as u32))
+            .map(|(l, t)| (l, t.0 as NodeId))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use rpq_automata::Alphabet;
+
+    fn sample() -> (Alphabet, Instance) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s", "a", "x");
+        b.edge("s", "a", "y");
+        b.edge("s", "b", "x");
+        b.edge("x", "b", "y");
+        b.edge("y", "b", "x");
+        b.edge("y", "a", "s");
+        let (inst, _) = b.finish();
+        (ab, inst)
+    }
+
+    #[test]
+    fn counts_round_trip() {
+        let (_, inst) = sample();
+        let csr = CsrGraph::from(&inst);
+        assert_eq!(csr.num_nodes(), inst.num_nodes());
+        assert_eq!(csr.num_edges(), inst.num_edges());
+        assert_eq!(csr.edges().count(), inst.num_edges());
+    }
+
+    #[test]
+    fn out_slices_match_filtered_scan() {
+        let (ab, inst) = sample();
+        let csr = CsrGraph::from(&inst);
+        for v in inst.nodes() {
+            for sym in ab.symbols() {
+                let mut scanned: Vec<Oid> = inst
+                    .out_edges(v)
+                    .iter()
+                    .filter(|&&(l, _)| l == sym)
+                    .map(|&(_, t)| t)
+                    .collect();
+                scanned.sort_unstable();
+                assert_eq!(csr.out(v, sym), &scanned[..], "{v:?} {sym:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_is_transpose() {
+        let (ab, inst) = sample();
+        let csr = CsrGraph::from(&inst);
+        for u in csr.nodes() {
+            for sym in ab.symbols() {
+                for &v in csr.out(u, sym) {
+                    assert!(csr.rev(v, sym).contains(&u), "{u:?}-{sym:?}->{v:?}");
+                }
+            }
+        }
+        let forward: usize = csr.nodes().map(|v| csr.outdegree(v)).sum();
+        let backward: usize = csr.nodes().map(|v| csr.indegree(v)).sum();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn stats_count_labels() {
+        let (ab, inst) = sample();
+        let csr = CsrGraph::from(&inst);
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        assert_eq!(csr.stats().edge_count(a), 3);
+        assert_eq!(csr.stats().edge_count(b), 3);
+        assert_eq!(csr.stats().source_count(a), 2); // s, y
+        assert_eq!(csr.stats().source_count(b), 3); // s, x, y
+        assert!(csr.stats().avg_fanout(a) > csr.stats().avg_fanout(b));
+        let total: usize = csr.stats().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, csr.num_edges());
+    }
+
+    #[test]
+    fn groups_partition_the_row() {
+        let (ab, inst) = sample();
+        let csr = CsrGraph::from(&inst);
+        let s = inst.node_by_name("s").unwrap();
+        let groups: Vec<(Symbol, Vec<Oid>)> =
+            csr.out_groups(s).map(|(l, ts)| (l, ts.to_vec())).collect();
+        assert_eq!(groups.len(), 2);
+        let a = ab.get("a").unwrap();
+        assert_eq!(groups[0].0, a);
+        assert_eq!(groups[0].1.len(), 2);
+        let regrouped: usize = groups.iter().map(|(_, ts)| ts.len()).sum();
+        assert_eq!(regrouped, csr.outdegree(s));
+    }
+
+    #[test]
+    fn word_targets_match_instance() {
+        let (ab, inst) = sample();
+        let csr = CsrGraph::from(&inst);
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let s = inst.node_by_name("s").unwrap();
+        for word in [vec![], vec![a], vec![a, b], vec![b, b, b], vec![a, a]] {
+            assert_eq!(csr.word_targets(s, &word), inst.word_targets(s, &word));
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let inst = Instance::new();
+        let csr = CsrGraph::from(&inst);
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.stats().num_labels(), 0);
+        assert_eq!(csr.stats().hottest(), None);
+    }
+}

@@ -27,12 +27,7 @@ pub fn fig2_graph(alphabet: &mut Alphabet) -> (Instance, Oid, Oid) {
 /// A uniformly random graph: `n` nodes, `m` edges with labels drawn from
 /// `labels`. Self-loops and parallel edges with distinct labels allowed;
 /// exact duplicates are retried.
-pub fn random_graph(
-    rng: &mut StdRng,
-    n: usize,
-    m: usize,
-    labels: &[Symbol],
-) -> (Instance, Oid) {
+pub fn random_graph(rng: &mut StdRng, n: usize, m: usize, labels: &[Symbol]) -> (Instance, Oid) {
     assert!(n > 0 && !labels.is_empty());
     let mut inst = Instance::new();
     for _ in 0..n {

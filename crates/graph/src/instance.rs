@@ -38,9 +38,20 @@ impl fmt::Display for Oid {
 }
 
 /// A finite labeled directed graph — one instance of the `Ref` schema.
+///
+/// This is the *mutable builder* form; freeze it into the label-indexed
+/// [`crate::CsrGraph`] for query-time evaluation.
+///
+/// **Invariant:** every adjacency row is sorted by `(Symbol, Oid)`; the
+/// query and mutation methods rely on it via binary search. Every
+/// constructor in this crate maintains it. If an instance is ever
+/// rehydrated from an external encoding that predates the invariant
+/// (e.g. after swapping the real `serde` back in — derived `Deserialize`
+/// performs no validation), call [`Instance::normalize`] once before use.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Instance {
-    /// `out[o] = [(label, destination), …]` sorted insertion order.
+    /// `out[o] = [(label, destination), …]` kept sorted by `(Symbol, Oid)`,
+    /// so membership is a binary search and label groups are contiguous.
     out: Vec<Vec<(Symbol, Oid)>>,
     /// Optional display names per node.
     names: Vec<Option<String>>,
@@ -70,14 +81,36 @@ impl Instance {
 
     /// Add an edge `Ref(from, label, to)`. Duplicate edges are ignored
     /// (relations are sets). Returns true if the edge was new.
+    ///
+    /// Rows are kept sorted by `(Symbol, Oid)`, so the dedup check is a
+    /// binary search rather than a linear scan — bulk loading `d` edges
+    /// onto one node costs `O(d log d)` comparisons, not `O(d²)`.
     pub fn add_edge(&mut self, from: Oid, label: Symbol, to: Oid) -> bool {
         let row = &mut self.out[from.index()];
-        if row.contains(&(label, to)) {
-            return false;
+        match row.binary_search(&(label, to)) {
+            Ok(_) => false,
+            Err(pos) => {
+                row.insert(pos, (label, to));
+                self.edge_count += 1;
+                true
+            }
         }
-        row.push((label, to));
-        self.edge_count += 1;
-        true
+    }
+
+    /// Restore the sorted-row invariant and recount edges after rehydrating
+    /// from an encoding that does not guarantee it (see the type docs).
+    /// Always sweeps every row (`O(nodes + edges)`); the per-row sort is
+    /// skipped when a row is already sorted.
+    pub fn normalize(&mut self) {
+        let mut count = 0usize;
+        for row in &mut self.out {
+            if !row.is_sorted() {
+                row.sort_unstable();
+            }
+            row.dedup();
+            count += row.len();
+        }
+        self.edge_count = count;
     }
 
     /// Number of objects.
@@ -90,9 +123,19 @@ impl Instance {
         self.edge_count
     }
 
-    /// The outgoing edges of `o` — the paper's "description of o".
+    /// The outgoing edges of `o` — the paper's "description of o" — sorted
+    /// by `(Symbol, Oid)`.
     pub fn out_edges(&self, o: Oid) -> &[(Symbol, Oid)] {
         &self.out[o.index()]
+    }
+
+    /// The outgoing edges of `o` carrying `label`: a contiguous sub-slice
+    /// of the sorted row, found by binary search.
+    pub fn out_edges_labeled(&self, o: Oid, label: Symbol) -> &[(Symbol, Oid)] {
+        let row = &self.out[o.index()];
+        let lo = row.partition_point(|&(l, _)| l < label);
+        let hi = row.partition_point(|&(l, _)| l <= label);
+        &row[lo..hi]
     }
 
     /// Outdegree of `o`.
@@ -107,11 +150,8 @@ impl Instance {
 
     /// Iterate over all edges as `(source, label, destination)` triples.
     pub fn edges(&self) -> impl Iterator<Item = (Oid, Symbol, Oid)> + '_ {
-        self.nodes().flat_map(move |o| {
-            self.out[o.index()]
-                .iter()
-                .map(move |&(l, d)| (o, l, d))
-        })
+        self.nodes()
+            .flat_map(move |o| self.out[o.index()].iter().map(move |&(l, d)| (o, l, d)))
     }
 
     /// The display name of a node (falls back to `oN`).
@@ -179,19 +219,26 @@ impl Instance {
 
     /// Follow a word from `o`, collecting every endpoint (set semantics).
     /// This is a reference implementation of `w(o, I)` for a single word.
+    /// Dedup uses a seen-bitmap (reset between letters), so each step is
+    /// linear in the edges followed rather than quadratic in the frontier.
     pub fn word_targets(&self, o: Oid, word: &[Symbol]) -> Vec<Oid> {
         let mut cur = vec![o];
+        let mut seen = vec![false; self.num_nodes()];
         for &sym in word {
             let mut next: Vec<Oid> = Vec::new();
             for &x in &cur {
-                for &(l, t) in self.out_edges(x) {
-                    if l == sym && !next.contains(&t) {
+                for &(_, t) in self.out_edges_labeled(x, sym) {
+                    if !seen[t.index()] {
+                        seen[t.index()] = true;
                         next.push(t);
                     }
                 }
             }
             if next.is_empty() {
                 return Vec::new();
+            }
+            for &t in &next {
+                seen[t.index()] = false;
             }
             cur = next;
         }
@@ -207,7 +254,13 @@ impl Instance {
             let _ = writeln!(s, "  n{} [label=\"{}\"];", o.0, self.node_name(o));
         }
         for (a, l, b) in self.edges() {
-            let _ = writeln!(s, "  n{} -> n{} [label=\"{}\"];", a.0, b.0, alphabet.name(l));
+            let _ = writeln!(
+                s,
+                "  n{} -> n{} [label=\"{}\"];",
+                a.0,
+                b.0,
+                alphabet.name(l)
+            );
         }
         s.push_str("}\n");
         s

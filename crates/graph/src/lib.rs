@@ -6,19 +6,26 @@
 //! outdegree ("objects are small") but possibly unbounded indegree.
 //!
 //! * [`Instance`] — a finite labeled graph with adjacency storage, builders,
-//!   reachability/distance utilities and DOT export.
+//!   reachability/distance utilities and DOT export. This is the *mutable
+//!   build-time* form.
+//! * [`CsrGraph`] — the immutable *query-time* form: label-indexed CSR
+//!   adjacency (forward and reverse) with per-label statistics, built by
+//!   `CsrGraph::from(&instance)`. Engines step `(state, node)` pairs via
+//!   [`CsrGraph::out`] in time proportional to matching edges only.
 //! * [`GraphSource`] — the lazy, possibly-infinite view (Remark 2.1) under
 //!   which evaluators may only expand nodes they have reached; implemented
-//!   by [`Instance`] and by synthetic infinite graphs ([`InfiniteTree`],
-//!   [`InfiniteComb`], [`LassoLine`]).
+//!   by [`Instance`], [`CsrGraph`], and by synthetic infinite graphs
+//!   ([`InfiniteTree`], [`InfiniteComb`], [`LassoLine`]).
 //! * [`generators`] — seeded workloads, including the exact Figure 2 graph
 //!   and the cached-site generator for the Section 3.2 experiments.
 
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod generators;
 pub mod instance;
 pub mod source;
 
+pub use csr::{CsrGraph, LabelStats};
 pub use instance::{Instance, InstanceBuilder, Oid};
 pub use source::{GraphSource, InfiniteComb, InfiniteTree, LassoLine, NodeId};

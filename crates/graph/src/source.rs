@@ -63,12 +63,7 @@ impl GraphSource for InfiniteTree {
         self.labels
             .iter()
             .enumerate()
-            .map(|(i, &l)| {
-                (
-                    l,
-                    node.saturating_mul(k).saturating_add(i as NodeId + 1),
-                )
-            })
+            .map(|(i, &l)| (l, node.saturating_mul(k).saturating_add(i as NodeId + 1)))
             .collect()
     }
 }
@@ -151,11 +146,8 @@ mod tests {
         let kids: Vec<NodeId> = e0.iter().map(|&(_, n)| n).collect();
         let e1 = t.out_edges(kids[0]);
         let e2 = t.out_edges(kids[1]);
-        let all: std::collections::HashSet<NodeId> = e1
-            .iter()
-            .chain(e2.iter())
-            .map(|&(_, n)| n)
-            .collect();
+        let all: std::collections::HashSet<NodeId> =
+            e1.iter().chain(e2.iter()).map(|&(_, n)| n).collect();
         assert_eq!(all.len(), 4, "grandchildren must not collide");
     }
 

@@ -2,19 +2,23 @@
 //!
 //! The paper deliberately leaves "simpler" open ("this could potentially
 //! involve a cost measure using information not captured by our basic
-//! model"). We provide two measures:
+//! model"). We provide three measures:
 //!
 //! * a *static* cost — automaton size plus a recursion penalty: recursion
 //!   forces site-set exploration proportional to reachable-graph size,
 //!   which is why the paper singles out nonrecursive equivalents
 //!   ("guaranteed to terminate", Example 1) and cached rewrites
 //!   (Example 3);
-//! * a *measured* cost — run the query on a sample instance and count work
-//!   (used by the benches to validate the static ranking).
+//! * an *estimated* cost — the static shape weighted by the per-label
+//!   frequency statistics a [`rpq_graph::CsrGraph`] snapshot collects
+//!   ([`LabelStats`]), replacing the uniform-fanout guess: a transition on
+//!   a hot label costs what the data says it costs;
+//! * a *measured* cost — run the query on a snapshot and count work (used
+//!   by the benches to validate the static and estimated rankings).
 
 use rpq_automata::{Nfa, Regex};
-use rpq_core::eval_product;
-use rpq_graph::{Instance, Oid};
+use rpq_core::eval_product_csr;
+use rpq_graph::{CsrGraph, LabelStats, Oid};
 use serde::{Deserialize, Serialize};
 
 /// Static cost of a query.
@@ -46,9 +50,32 @@ impl StaticCost {
     }
 }
 
-/// Measured cost: evaluation work counters on a concrete instance.
-pub fn measured_cost(q: &Regex, instance: &Instance, source: Oid) -> usize {
-    eval_product(&Nfa::thompson(q), instance, source)
+/// Estimated evaluation cost of `q` over a graph summarized by `stats`:
+/// per product-BFS visit, a transition on label `l` delivers
+/// `edge_count(l)`-proportional work through the label index, so the sum
+/// over the query NFA's labeled transitions estimates the per-sweep edge
+/// traffic. Recursive queries pay a revisit factor (the fixpoint may sweep
+/// the reachable portion several times); the AST size tie-breaks.
+///
+/// Unlike [`StaticCost::score`], two equivalents with the same shape but
+/// different labels rank differently when the data is label-skewed —
+/// exactly the case cached rewrites (`l_q = q`) exploit, since the cache
+/// label is typically rare.
+pub fn estimated_cost(q: &Regex, stats: &LabelStats) -> usize {
+    let nfa = Nfa::thompson(q);
+    let mut per_sweep = 0usize;
+    for s in 0..nfa.num_states() as u32 {
+        for &(sym, _) in nfa.transitions(s) {
+            per_sweep += stats.edge_count(sym);
+        }
+    }
+    let revisit = if nfa.is_finite_lang() { 1 } else { 4 };
+    per_sweep * revisit + q.size()
+}
+
+/// Measured cost: evaluation work counters on a concrete snapshot.
+pub fn measured_cost(q: &Regex, graph: &CsrGraph, source: Oid) -> usize {
+    eval_product_csr(&Nfa::thompson(q), graph, source)
         .stats
         .total_work()
 }
@@ -84,8 +111,41 @@ mod tests {
         }
         let (inst, names) = b.finish();
         let src = names["n0"];
+        let graph = CsrGraph::from(&inst);
         let rec = parse_regex(&mut ab, "l*").unwrap();
         let non = parse_regex(&mut ab, "l + ()").unwrap();
-        assert!(measured_cost(&rec, &inst, src) > measured_cost(&non, &inst, src));
+        assert!(measured_cost(&rec, &graph, src) > measured_cost(&non, &graph, src));
+    }
+
+    #[test]
+    fn estimated_cost_prefers_rare_labels() {
+        // hot/cold skew: same query shape, but the cold-label variant must
+        // rank cheaper once statistics are consulted — StaticCost cannot
+        // tell them apart.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..40 {
+            b.edge("hub", "hot", &format!("h{i}"));
+        }
+        b.edge("hub", "cold", "t");
+        let (inst, _) = b.finish();
+        let stats = CsrGraph::from(&inst).stats().clone();
+        let hot = parse_regex(&mut ab, "hot.hot").unwrap();
+        let cold = parse_regex(&mut ab, "cold.cold").unwrap();
+        assert_eq!(StaticCost::of(&hot).score(), StaticCost::of(&cold).score());
+        assert!(estimated_cost(&cold, &stats) < estimated_cost(&hot, &stats));
+    }
+
+    #[test]
+    fn estimated_cost_penalizes_recursion_on_data() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("x", "l", "y");
+        b.edge("y", "l", "x");
+        let (inst, _) = b.finish();
+        let stats = CsrGraph::from(&inst).stats().clone();
+        let rec = parse_regex(&mut ab, "l*").unwrap();
+        let non = parse_regex(&mut ab, "l + ()").unwrap();
+        assert!(estimated_cost(&rec, &stats) > estimated_cost(&non, &stats));
     }
 }

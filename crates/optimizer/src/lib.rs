@@ -38,7 +38,9 @@ pub mod planner;
 pub mod rewrites;
 pub mod views;
 
-pub use cost::{measured_cost, StaticCost};
-pub use planner::{optimize, Optimized, RewriteCache};
+pub use cost::{estimated_cost, measured_cost, StaticCost};
+pub use planner::{optimize, optimize_with_stats, Optimized, RewriteCache};
 pub use rewrites::{candidates, Candidate, RewriteRule};
-pub use views::{cache_defs, rewrite_with_views, CacheDef, ViewKind, ViewRewriting, ViewSearchConfig};
+pub use views::{
+    cache_defs, rewrite_with_views, CacheDef, ViewKind, ViewRewriting, ViewSearchConfig,
+};

@@ -13,8 +13,9 @@ use std::collections::HashMap;
 use rpq_automata::{Alphabet, Regex};
 use rpq_constraints::general::Budget;
 use rpq_constraints::ConstraintSet;
+use rpq_graph::LabelStats;
 
-use crate::cost::StaticCost;
+use crate::cost::{estimated_cost, StaticCost};
 use crate::rewrites::{candidates, Candidate, RewriteRule};
 
 /// The outcome of optimizing one query.
@@ -47,11 +48,32 @@ impl Optimized {
 /// union arm is optimized independently and the recombined union is kept
 /// when it wins. Arm rewrites are equivalences under `E`, so their union
 /// is too (no extra validation round needed).
-pub fn optimize(
+pub fn optimize(set: &ConstraintSet, q: &Regex, alphabet: &Alphabet, budget: &Budget) -> Optimized {
+    optimize_scored(set, q, alphabet, budget, &|r| StaticCost::of(r).score())
+}
+
+/// Like [`optimize`], but rank candidates by the *data-aware* estimated
+/// cost ([`estimated_cost`]) computed from the per-label statistics of a
+/// `rpq_graph::CsrGraph` snapshot, instead of the static shape score. Two
+/// equivalents that the static model cannot separate (same automaton size)
+/// rank correctly when the data is label-skewed — e.g. a cache substitution
+/// whose cache label is rare wins by exactly its selectivity.
+pub fn optimize_with_stats(
     set: &ConstraintSet,
     q: &Regex,
     alphabet: &Alphabet,
     budget: &Budget,
+    stats: &LabelStats,
+) -> Optimized {
+    optimize_scored(set, q, alphabet, budget, &|r| estimated_cost(r, stats))
+}
+
+fn optimize_scored(
+    set: &ConstraintSet,
+    q: &Regex,
+    alphabet: &Alphabet,
+    budget: &Budget,
+    score: &dyn Fn(&Regex) -> usize,
 ) -> Optimized {
     let before = StaticCost::of(q);
     let mut cands: Vec<Candidate> = candidates(set, q, alphabet, budget);
@@ -76,10 +98,11 @@ pub fn optimize(
         let mut any = false;
         for arm in arms {
             let arm_cands = candidates(set, arm, alphabet, budget);
+            let arm_score = score(arm);
             let best_arm = arm_cands
                 .into_iter()
-                .map(|c| (StaticCost::of(&c.query).score(), c))
-                .filter(|(s, _)| *s < StaticCost::of(arm).score())
+                .map(|c| (score(&c.query), c))
+                .filter(|(s, _)| *s < arm_score)
                 .min_by_key(|(s, _)| *s);
             match best_arm {
                 Some((_, c)) => {
@@ -99,13 +122,12 @@ pub fn optimize(
     }
 
     let considered = cands.len();
+    let input_score = score(q);
     let mut best: Option<(usize, Candidate)> = None;
     for c in cands {
-        let score = StaticCost::of(&c.query).score();
-        if score < before.score()
-            && best.as_ref().is_none_or(|(s, _)| score < *s)
-        {
-            best = Some((score, c));
+        let s = score(&c.query);
+        if s < input_score && best.as_ref().is_none_or(|(b, _)| s < *b) {
+            best = Some((s, c));
         }
     }
     match best {
@@ -133,6 +155,7 @@ pub struct RewriteCache<'a> {
     set: &'a ConstraintSet,
     alphabet: &'a Alphabet,
     budget: Budget,
+    stats: Option<LabelStats>,
     memo: RefCell<HashMap<Regex, Regex>>,
 }
 
@@ -143,8 +166,16 @@ impl<'a> RewriteCache<'a> {
             set,
             alphabet,
             budget,
+            stats: None,
             memo: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Rank rewrites with per-label statistics (from a `CsrGraph`
+    /// snapshot) instead of the static shape score.
+    pub fn with_stats(mut self, stats: LabelStats) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// The rewrite for `q` (memoized).
@@ -152,7 +183,12 @@ impl<'a> RewriteCache<'a> {
         if let Some(r) = self.memo.borrow().get(q) {
             return r.clone();
         }
-        let out = optimize(self.set, q, self.alphabet, &self.budget).query;
+        let out = match &self.stats {
+            Some(stats) => {
+                optimize_with_stats(self.set, q, self.alphabet, &self.budget, stats).query
+            }
+            None => optimize(self.set, q, self.alphabet, &self.budget).query,
+        };
         self.memo.borrow_mut().insert(q.clone(), out.clone());
         out
     }
@@ -197,7 +233,10 @@ mod tests {
         let (ab, set, q) = setup(&["l = (a.b)*"], "a.(b.a)*.c");
         let opt = optimize(&set, &q, &ab, &Budget::default());
         assert!(opt.improved(), "{opt:?}");
-        assert_eq!(opt.applied, Some(crate::rewrites::RewriteRule::CacheSubstitution));
+        assert_eq!(
+            opt.applied,
+            Some(crate::rewrites::RewriteRule::CacheSubstitution)
+        );
         assert!(!opt.after.recursive, "cache hit removes recursion");
     }
 
@@ -213,10 +252,7 @@ mod tests {
     fn union_arms_are_rewritten_independently() {
         // two caches: l1 = (a.b)*, l2 = (c.d)*; the query is a union of
         // tails of both — each arm substitutes its own cache.
-        let (ab, set, q) = setup(
-            &["l1 = (a.b)*", "l2 = (c.d)*"],
-            "a.(b.a)*.x + c.(d.c)*.y",
-        );
+        let (ab, set, q) = setup(&["l1 = (a.b)*", "l2 = (c.d)*"], "a.(b.a)*.x + c.(d.c)*.y");
         let opt = optimize(&set, &q, &ab, &Budget::default());
         assert!(opt.improved(), "{opt:?}");
         assert!(!opt.after.recursive, "both arms lose recursion: {opt:?}");
@@ -226,6 +262,30 @@ mod tests {
             regex_equivalent(&opt.query, &expect),
             "got {}",
             opt.query.display(&ab)
+        );
+    }
+
+    #[test]
+    fn stats_aware_ranking_uses_label_frequencies() {
+        use rpq_graph::{CsrGraph, InstanceBuilder};
+        // the cache label `l` is rare on the data; both rankings should
+        // accept the cache substitution, and the stats-aware winner's
+        // estimated cost must beat the input's.
+        let (ab, set, q) = setup(&["l = (a.b)*"], "a.(b.a)*.c");
+        let mut ab2 = ab.clone();
+        let mut b = InstanceBuilder::new(&mut ab2);
+        for i in 0..20 {
+            b.edge(&format!("v{i}"), "a", &format!("w{i}"));
+            b.edge(&format!("w{i}"), "b", &format!("v{}", i + 1));
+        }
+        b.edge("v0", "l", "v5");
+        let (inst, _) = b.finish();
+        let stats = CsrGraph::from(&inst).stats().clone();
+        let opt = optimize_with_stats(&set, &q, &ab, &Budget::default(), &stats);
+        assert!(opt.improved(), "{opt:?}");
+        assert!(
+            estimated_cost(&opt.query, &stats) < estimated_cost(&q, &stats),
+            "stats-aware winner must be estimated cheaper"
         );
     }
 

@@ -63,8 +63,7 @@ pub fn candidates(
 
     // 1. boundedness reduction (word equalities only)
     if set.all_word_equalities() && !set.is_empty() {
-        if let Ok(Boundedness::Bounded { equivalent, words }) =
-            decide_boundedness(set, q, alphabet)
+        if let Ok(Boundedness::Bounded { equivalent, words }) = decide_boundedness(set, q, alphabet)
         {
             if words.len() <= 64 {
                 out.push(Candidate {
@@ -96,9 +95,7 @@ pub fn candidates(
         if c.kind != ConstraintKind::Equality {
             continue;
         }
-        for (label_side, body_side) in
-            [(&c.lhs, &c.rhs), (&c.rhs, &c.lhs)]
-        {
+        for (label_side, body_side) in [(&c.lhs, &c.rhs), (&c.rhs, &c.lhs)] {
             let Some(word) = label_side.as_word() else {
                 continue;
             };

@@ -355,10 +355,7 @@ mod tests {
 
     #[test]
     fn two_caches_combine() {
-        let (ab, set, q) = setup(
-            &["l1 = (a.b)*", "l2 = (c.d)*"],
-            "a.(b.a)*.x + c.(d.c)*.y",
-        );
+        let (ab, set, q) = setup(&["l1 = (a.b)*", "l2 = (c.d)*"], "a.(b.a)*.x + c.(d.c)*.y");
         let rewritings = rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default());
         let both = rewritings
             .iter()
@@ -389,15 +386,18 @@ mod tests {
                     Regex::Symbol(s) => *s != l || at_head,
                     Regex::Empty | Regex::Epsilon => true,
                     Regex::Star(inner) => l_only_at_head(inner, l, false),
-                    Regex::Union(parts) => {
-                        parts.iter().all(|p| l_only_at_head(p, l, at_head))
-                    }
-                    Regex::Concat(parts) => parts.iter().enumerate().all(|(i, p)| {
-                        l_only_at_head(p, l, at_head && i == 0)
-                    }),
+                    Regex::Union(parts) => parts.iter().all(|p| l_only_at_head(p, l, at_head)),
+                    Regex::Concat(parts) => parts
+                        .iter()
+                        .enumerate()
+                        .all(|(i, p)| l_only_at_head(p, l, at_head && i == 0)),
                 }
             }
-            assert!(l_only_at_head(&r.query, l, true), "{}", r.query.display(&ab));
+            assert!(
+                l_only_at_head(&r.query, l, true),
+                "{}",
+                r.query.display(&ab)
+            );
         }
     }
 
@@ -413,10 +413,7 @@ mod tests {
 
     #[test]
     fn sorted_by_cost() {
-        let (ab, set, q) = setup(
-            &["l1 = (a.b)*", "l2 = (c.d)*"],
-            "a.(b.a)*.x + c.(d.c)*.y",
-        );
+        let (ab, set, q) = setup(&["l1 = (a.b)*", "l2 = (c.d)*"], "a.(b.a)*.x + c.(d.c)*.y");
         let rs = rewrite_with_views(&set, &q, &ab, &ViewSearchConfig::default());
         for pair in rs.windows(2) {
             assert!(pair[0].cost.score() <= pair[1].cost.score());

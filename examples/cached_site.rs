@@ -47,8 +47,7 @@ fn main() {
     let cached_query = parse_regex(&mut ab, "(a.b)*").unwrap();
     {
         // sanity: the constraint holds in the data
-        let direct =
-            rpq::core::eval_product(&Nfa::thompson(&cached_query), &inst, src).answers;
+        let direct = rpq::core::eval_product(&Nfa::thompson(&cached_query), &inst, src).answers;
         let via_l = inst.word_targets(src, &[cache_label]);
         assert_eq!(direct, via_l);
     }
@@ -99,7 +98,10 @@ fn main() {
     let mut optimized = Simulator::new(&inst, &ab, Delivery::Fifo).with_rewrite(hook);
     let after = optimized.run(src, &q);
 
-    assert_eq!(before.answers, after.answers, "rewrites must preserve answers");
+    assert_eq!(
+        before.answers, after.answers,
+        "rewrites must preserve answers"
+    );
     println!(
         "distributed run: {} answers;  messages without rewrite: {} ({} bytes)",
         before.answers.len(),

@@ -17,11 +17,17 @@ fn main() {
     let mut ab = Alphabet::new();
     let (inst, _, o1) = fig2_graph(&mut ab);
     let q = parse_regex(&mut ab, "a.b*").unwrap();
-    println!("query p = {}   (Figure 2 graph, source o1)\n", q.display(&ab));
+    println!(
+        "query p = {}   (Figure 2 graph, source o1)\n",
+        q.display(&ab)
+    );
 
     // --- quotient program D_p ----------------------------------------------
     let tq = translate_quotient(&q, &ab).unwrap();
-    println!("== quotient program D_p ({} IDB predicates) ==", tq.idb_count);
+    println!(
+        "== quotient program D_p ({} IDB predicates) ==",
+        tq.idb_count
+    );
     print!("{}", tq.program.render());
     println!(
         "linear: {}   monadic: {}\n",
@@ -61,7 +67,10 @@ fn main() {
     assert_eq!(answers, expected);
     println!(
         "answers: {:?} (= product engine)",
-        answers.iter().map(|&o| inst.node_name(o)).collect::<Vec<_>>()
+        answers
+            .iter()
+            .map(|&o| inst.node_name(o))
+            .collect::<Vec<_>>()
     );
     println!(
         "naive:     {} rounds, {} derivations",

@@ -60,7 +60,10 @@ fn main() {
         println!(
             "seed {seed}: {} messages, answers {:?}",
             r.stats.total(),
-            r.answers.iter().map(|&o| inst.node_name(o)).collect::<Vec<_>>()
+            r.answers
+                .iter()
+                .map(|&o| inst.node_name(o))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -27,7 +27,11 @@ fn main() {
 
     let q = GeneralPathQuery::parse(r#""doc" ("[sS]ections?" "text" + "[pP]aragraph")"#)
         .expect("parses");
-    println!("general query with {} patterns: {:?}", q.patterns.len(), q.pattern_sources);
+    println!(
+        "general query with {} patterns: {:?}",
+        q.patterns.len(),
+        q.pattern_sources
+    );
 
     let mu = translate(&q, &inst, &ab);
     println!("\nμ translation (Proposition 2.2):");
@@ -44,7 +48,10 @@ fn main() {
     assert_eq!(translated, direct, "q(o,I) = μ(q)(o, μ(I))");
     println!(
         "\nanswers (both via μ and directly): {:?}",
-        translated.iter().map(|&o| inst.node_name(o)).collect::<Vec<_>>()
+        translated
+            .iter()
+            .map(|&o| inst.node_name(o))
+            .collect::<Vec<_>>()
     );
 
     // --- Example 2.1's six label classes -----------------------------------
@@ -54,10 +61,9 @@ fn main() {
         b2.edge("o", l, &format!("t{i}"));
     }
     let (inst2, _) = b2.finish();
-    let q2 = GeneralPathQuery::parse(
-        r#"("a*b" "ba*") + ("a*b" "c") + ("ba*" "c") + "dd*" ("dd*")*"#,
-    )
-    .expect("parses");
+    let q2 =
+        GeneralPathQuery::parse(r#"("a*b" "ba*") + ("a*b" "c") + ("ba*" "c") + "dd*" ("dd*")*"#)
+            .expect("parses");
     let mu2 = translate(&q2, &inst2, &ab2);
     println!(
         "\nExample 2.1: {} equivalence classes (paper: six: [b],[ab],[ba],[c],[d],[h])",
@@ -75,9 +81,19 @@ fn main() {
     b3.edge("tutorial", "link", "reference");
     let (mut inst3, names3) = b3.finish();
     let home = names3["home"];
-    set_content(&mut inst3, &mut ab3, names3["tutorial"], "All about SGML markup");
+    set_content(
+        &mut inst3,
+        &mut ab3,
+        names3["tutorial"],
+        "All about SGML markup",
+    );
     set_content(&mut inst3, &mut ab3, names3["news"], "XML news of the week");
-    set_content(&mut inst3, &mut ab3, names3["reference"], "SGML reference manual");
+    set_content(
+        &mut inst3,
+        &mut ab3,
+        names3["reference"],
+        "SGML reference manual",
+    );
     let hits = find_by_content(&inst3, home, &ab3, "SGML");
     println!(
         "\npages whose content mentions SGML: {:?}",

@@ -29,7 +29,12 @@ fn main() {
     let (inst, names) = b.finish();
     let o1 = names["o1"];
     let q = parse_regex(&mut ab, "a.b.(b.b)*.a").unwrap();
-    println!("query {} from o1 ({} nodes, {} edges; 40+ unreachable)", q.display(&ab), inst.num_nodes(), inst.num_edges());
+    println!(
+        "query {} from o1 ({} nodes, {} edges; 40+ unreachable)",
+        q.display(&ab),
+        inst.num_nodes(),
+        inst.num_edges()
+    );
 
     // 1. centralized product automaton
     let nfa = Nfa::thompson(&q);

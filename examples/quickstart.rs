@@ -5,12 +5,12 @@
 //! cargo run --example quickstart
 //! ```
 
-use rpq::automata::{parse_regex, Alphabet, Nfa};
+use rpq::automata::{parse_regex, Alphabet};
 use rpq::constraints::general::Budget;
 use rpq::constraints::ConstraintSet;
-use rpq::core::{eval_derivative, eval_product, eval_quotient_dfa};
+use rpq::core::{DerivativeEngine, Engine, ProductEngine, Query, QuotientDfaEngine};
 use rpq::datalog::translate::{run as run_datalog, translate_quotient};
-use rpq::graph::InstanceBuilder;
+use rpq::graph::{CsrGraph, InstanceBuilder};
 use rpq::optimizer::optimize;
 
 fn main() {
@@ -28,30 +28,40 @@ fn main() {
     let (inst, names) = b.finish();
     let dept = names["dept"];
 
-    // --- a path query: papers transitively cited from department members --
-    let q = parse_regex(&mut ab, "group.member.paper.cites*").unwrap();
-    println!("query: {}", q.display(&ab));
-
-    let nfa = Nfa::thompson(&q);
-    let product = eval_product(&nfa, &inst, dept);
+    // Instance is the build form; freeze it into the label-indexed
+    // query-time snapshot (forward + reverse CSR, per-label statistics).
+    let graph = CsrGraph::from(&inst);
     println!(
-        "product-automaton engine: {:?}  (pairs visited: {})",
+        "snapshot: {} nodes, {} edges, {} labels",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.stats().num_labels()
+    );
+
+    // --- a path query: papers transitively cited from department members --
+    let q = Query::parse(&mut ab, "group.member.paper.cites*").unwrap();
+    println!("query: {}", q.regex().display(&ab));
+
+    let product = ProductEngine.eval(&q, &graph, dept);
+    println!(
+        "product-automaton engine: {:?}  (pairs visited: {}, edges scanned: {})",
         product
             .answers
             .iter()
             .map(|&o| inst.node_name(o))
             .collect::<Vec<_>>(),
-        product.stats.pairs_visited
+        product.stats.pairs_visited,
+        product.stats.edges_scanned
     );
 
-    // every engine agrees (Section 2.2's algorithms)
-    let quotient = eval_quotient_dfa(&nfa, &inst, dept);
-    let derivative = eval_derivative(&q, &inst, dept);
+    // every engine agrees (Section 2.2's algorithms), through one trait
+    let quotient = QuotientDfaEngine.eval(&q, &graph, dept);
+    let derivative = DerivativeEngine.eval(&q, &graph, dept);
     assert_eq!(product.answers, quotient.answers);
     assert_eq!(product.answers, derivative.answers);
 
     // …including the Datalog translation (Section 2.3)
-    let tq = translate_quotient(&q, &ab).unwrap();
+    let tq = translate_quotient(q.regex(), &ab).unwrap();
     assert!(tq.program.is_linear() && tq.program.is_monadic());
     let (datalog_answers, stats) = run_datalog(&tq, &inst, dept);
     assert_eq!(product.answers, datalog_answers);

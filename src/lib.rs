@@ -11,20 +11,40 @@
 //! | Module | Paper | Contents |
 //! |---|---|---|
 //! | [`automata`] | §2.2, §4 | regexes, quotients/derivatives, NFA/DFA, inclusion & equivalence, growth classification, algebraic simplifier |
-//! | [`graph`] | §2.1 | the `Ref(source, label, destination)` data model, generators, infinite sources |
-//! | [`core`] | §2.2–2.4 | evaluation engines, streaming evaluation, general path queries (`μ`) |
-//! | [`datalog`] | §2.3, §1 | Datalog engine + linear-monadic translations, QSQ, magic sets |
+//! | [`graph`] | §2.1 | the `Ref(source, label, destination)` data model: mutable [`graph::Instance`] builder, immutable label-indexed [`graph::CsrGraph`] query snapshot, generators, infinite sources |
+//! | [`core`] | §2.2–2.4 | the unified [`core::Engine`] trait and the evaluation engines, streaming evaluation, general path queries (`μ`) |
+//! | [`datalog`] | §2.3, §1 | Datalog engine + linear-monadic translations, QSQ, magic sets, `Engine`-trait adapters |
 //! | [`constraints`] | §4, §5 | rewrite systems, Theorems 4.2/4.3/4.10, Armstrong instances, the sound axiomatization, the deterministic special case |
-//! | [`distributed`] | §3.1, §5 | the subquery/answer/done/akn protocol, simulator, threaded runner, carrying agents, decomposition baseline, fault injection |
-//! | [`optimizer`] | §3.2, §5 | constraint-based rewriting, cost model, per-site hooks, cached-view combination search |
+//! | [`distributed`] | §3.1, §5 | the subquery/answer/done/akn protocol, simulator, threaded runner (sites hold CSR shards), carrying agents, decomposition baseline, fault injection |
+//! | [`optimizer`] | §3.2, §5 | constraint-based rewriting, static + label-statistics cost models, per-site hooks, cached-view combination search |
+//!
+//! ## The two graph forms
+//!
+//! Build mutably, query immutably: an [`graph::Instance`] accumulates
+//! nodes and edges; `CsrGraph::from(&instance)` freezes it into a
+//! label-indexed compressed-sparse-row snapshot (forward **and** reverse
+//! adjacency, per-label statistics). Every engine implements
+//! [`core::Engine`] over that snapshot — `engine.eval(&query, &graph,
+//! source)` with shared [`core::EvalStats`] — so evaluation work is
+//! proportional to *matching* edges, not outdegree × automaton fanout.
+//!
+//! **Migration note:** the historical free functions
+//! ([`core::eval_product`], [`core::eval_quotient_dfa`],
+//! [`core::eval_derivative`], `datalog::translate::load_instance`,
+//! `distributed::Simulator::new`, `distributed::run_threaded`) still
+//! accept an `Instance` and now snapshot it internally per call. They stay
+//! correct, but when evaluating several queries over one graph, build the
+//! [`graph::CsrGraph`] once and use the `Engine` trait or the `*_csr`
+//! entry points.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use rpq::automata::{parse_regex, Alphabet, Nfa};
-//! use rpq::graph::InstanceBuilder;
-//! use rpq::core::eval_product;
+//! use rpq::automata::Alphabet;
+//! use rpq::graph::{CsrGraph, InstanceBuilder};
+//! use rpq::core::{Engine, ProductEngine, Query};
 //! use rpq::constraints::{implication::word_implies_path, ConstraintSet};
+//! use rpq::automata::parse_regex;
 //!
 //! // Build the Figure 2 graph and run the Figure 3 query.
 //! let mut ab = Alphabet::new();
@@ -33,8 +53,9 @@
 //! b.edge("o2", "b", "o3");
 //! b.edge("o3", "b", "o2");
 //! let (inst, names) = b.finish();
-//! let p = parse_regex(&mut ab, "a.b*").unwrap();
-//! let answers = eval_product(&Nfa::thompson(&p), &inst, names["o1"]).answers;
+//! let graph = CsrGraph::from(&inst); // immutable query-time snapshot
+//! let q = Query::parse(&mut ab, "a.b*").unwrap();
+//! let answers = ProductEngine.eval(&q, &graph, names["o1"]).answers;
 //! assert_eq!(answers.len(), 2); // {o2, o3}
 //!
 //! // Example 2 of Section 3.2: {l·l ⊆ l} ⊨ l* = l + ε.

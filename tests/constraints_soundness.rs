@@ -237,8 +237,7 @@ fn example1_refutation_is_stable() {
     // (documented discrepancy; see DESIGN.md / EXPERIMENTS.md).
     let mut ab = Alphabet::new();
     let set = ConstraintSet::parse(&mut ab, ["(a+b+d+l)*.l = ()"]).unwrap();
-    let claim =
-        rpq::constraints::parse_constraint(&mut ab, "(l.a + l.b)*.d = (a+b).d").unwrap();
+    let claim = rpq::constraints::parse_constraint(&mut ab, "(l.a + l.b)*.d = (a+b).d").unwrap();
     match check(&set, &claim, &Budget::default()) {
         Verdict::Refuted(Refutation::Instance(w)) => {
             assert!(set.holds_at(&w.instance, w.source));

@@ -79,10 +79,24 @@ fn message_counts_deterministic_for_fixed_seed() {
     let mut ab = Alphabet::new();
     let (inst, _, o1) = rpq::graph::generators::fig2_graph(&mut ab);
     let q = rpq::automata::parse_regex(&mut ab, "a.b*").unwrap();
-    let run1 = Simulator::new(&inst, &ab, Delivery::Random { seed: 5, max_latency: 4 })
-        .run(o1, &q);
-    let run2 = Simulator::new(&inst, &ab, Delivery::Random { seed: 5, max_latency: 4 })
-        .run(o1, &q);
+    let run1 = Simulator::new(
+        &inst,
+        &ab,
+        Delivery::Random {
+            seed: 5,
+            max_latency: 4,
+        },
+    )
+    .run(o1, &q);
+    let run2 = Simulator::new(
+        &inst,
+        &ab,
+        Delivery::Random {
+            seed: 5,
+            max_latency: 4,
+        },
+    )
+    .run(o1, &q);
     assert_eq!(run1.stats, run2.stats);
     assert_eq!(run1.trace.len(), run2.trace.len());
 }

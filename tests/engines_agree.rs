@@ -2,7 +2,8 @@
 //! the same `p(o, I)` — the product-automaton BFS, the two quotient
 //! engines, both Datalog translations (naive and semi-naive), and the
 //! definitional word-enumeration oracle. Property-tested over random
-//! graphs and random regexes.
+//! graphs and random regexes, and exercised through the unified
+//! `rpq::core::Engine` trait over the label-indexed `CsrGraph` snapshot.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -10,11 +11,16 @@ use rand::SeedableRng;
 
 use rpq::automata::random::{random_regex, RegexGenConfig};
 use rpq::automata::{Alphabet, Nfa, Regex, Symbol};
-use rpq::core::{eval_derivative, eval_oracle, eval_product, eval_quotient_dfa};
+use rpq::core::{
+    eval_derivative, eval_oracle, eval_product, eval_quotient_dfa, DerivativeEngine, Engine,
+    OracleEngine, ProductEngine, Query, QuotientDfaEngine, StreamingEngine,
+};
 use rpq::datalog::engine::{eval_naive, eval_seminaive};
 use rpq::datalog::translate::{load_instance, translate_quotient, translate_states};
+use rpq::datalog::{DatalogMagicEngine, DatalogNaiveEngine, DatalogSeminaiveEngine};
+use rpq::distributed::{SimulatorEngine, ThreadedEngine};
 use rpq::graph::generators::random_graph;
-use rpq::graph::{Instance, Oid};
+use rpq::graph::{CsrGraph, Instance, Oid};
 
 fn alphabet3() -> (Alphabet, Vec<Symbol>) {
     let ab = Alphabet::from_names(["a", "b", "c"]);
@@ -157,26 +163,46 @@ fn figure2_query_answers_o2_o3_via_all_engines() {
     expected.sort();
 
     assert_eq!(eval_product(&nfa, &inst, o1).answers, expected, "product");
-    assert_eq!(eval_quotient_dfa(&nfa, &inst, o1).answers, expected, "quotient dfa");
-    assert_eq!(eval_derivative(&q, &inst, o1).answers, expected, "derivative");
+    assert_eq!(
+        eval_quotient_dfa(&nfa, &inst, o1).answers,
+        expected,
+        "quotient dfa"
+    );
+    assert_eq!(
+        eval_derivative(&q, &inst, o1).answers,
+        expected,
+        "derivative"
+    );
     assert_eq!(eval_oracle(&nfa, &inst, o1, Some(8)), expected, "oracle");
 
     let tq = translate_quotient(&q, &ab).unwrap();
     let mut db = load_instance(&tq, &inst, o1);
     eval_naive(&tq.program, &mut db);
-    let mut naive: Vec<Oid> = db.relation(tq.answer_pred).iter().map(|t| Oid(t[0] as u32)).collect();
+    let mut naive: Vec<Oid> = db
+        .relation(tq.answer_pred)
+        .iter()
+        .map(|t| Oid(t[0] as u32))
+        .collect();
     naive.sort();
     assert_eq!(naive, expected, "datalog naive");
 
     let ts = translate_states(&nfa);
     let mut db = load_instance(&ts, &inst, o1);
     eval_seminaive(&ts.program, &mut db);
-    let mut semi: Vec<Oid> = db.relation(ts.answer_pred).iter().map(|t| Oid(t[0] as u32)).collect();
+    let mut semi: Vec<Oid> = db
+        .relation(ts.answer_pred)
+        .iter()
+        .map(|t| Oid(t[0] as u32))
+        .collect();
     semi.sort();
     assert_eq!(semi, expected, "datalog seminaive");
 
     let mut stream = rpq::core::StreamingEval::new(&nfa, &inst, o1.index() as u64, 10_000);
-    let mut streamed: Vec<Oid> = stream.collect_all().into_iter().map(|n| Oid(n as u32)).collect();
+    let mut streamed: Vec<Oid> = stream
+        .collect_all()
+        .into_iter()
+        .map(|n| Oid(n as u32))
+        .collect();
     streamed.sort();
     assert_eq!(streamed, expected, "streaming");
 
@@ -185,6 +211,70 @@ fn figure2_query_answers_o2_o3_via_all_engines() {
 
     let threaded = run_threaded(&inst, o1, &q);
     assert_eq!(threaded.answers, expected, "threaded runner");
+}
+
+/// The nine evaluation paths behind the unified `Engine` trait: product,
+/// quotient-DFA, derivative, oracle, streaming, Datalog naive/semi-naive/
+/// magic, and the distributed simulator. (The threaded runner joins below
+/// on a smaller graph — one OS thread per node caps its test size.)
+fn nine_engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(ProductEngine),
+        Box::new(QuotientDfaEngine),
+        Box::new(DerivativeEngine),
+        Box::new(OracleEngine {
+            max_word_len: Some(9),
+        }),
+        Box::new(StreamingEngine::default()),
+        Box::new(DatalogNaiveEngine),
+        Box::new(DatalogSeminaiveEngine),
+        Box::new(DatalogMagicEngine),
+        Box::new(SimulatorEngine::default()),
+    ]
+}
+
+/// The agreement suite through the unified `Engine` calling convention,
+/// over larger random graphs (50 nodes / 200 edges) than the per-function
+/// proptests above. The oracle is exponential, so it only *asserts* (as a
+/// subset check) rather than anchoring equality on these sizes.
+#[test]
+fn engine_trait_agreement_on_larger_random_graphs() {
+    for seed in [3u64, 17, 55, 120, 9001] {
+        let (ab, inst, src, q) = random_setup(seed, 50, 200);
+        let graph = CsrGraph::from(&inst);
+        assert_eq!(graph.num_nodes(), 50);
+        let query = Query::new(q, &ab);
+        let expected = ProductEngine.eval(&query, &graph, src).answers;
+        for engine in nine_engines() {
+            let got = engine.eval(&query, &graph, src);
+            assert_eq!(got.stats.answers, got.answers.len(), "{}", engine.name());
+            if engine.name() == "oracle" {
+                // bounded enumeration: sound but possibly incomplete here
+                for o in &got.answers {
+                    assert!(
+                        expected.binary_search(o).is_ok(),
+                        "oracle produced a non-answer on seed {seed}"
+                    );
+                }
+            } else {
+                assert_eq!(got.answers, expected, "{} on seed {seed}", engine.name());
+            }
+        }
+    }
+}
+
+/// The threaded runner (the ninth-plus path) through the trait, on a size
+/// where one-thread-per-site is reasonable.
+#[test]
+fn threaded_engine_agrees_through_the_trait() {
+    for seed in [7u64, 42] {
+        let (ab, inst, src, q) = random_setup(seed, 20, 60);
+        let graph = CsrGraph::from(&inst);
+        let query = Query::new(q, &ab);
+        let expected = ProductEngine.eval(&query, &graph, src).answers;
+        let got = ThreadedEngine.eval(&query, &graph, src);
+        assert_eq!(got.answers, expected, "threaded on seed {seed}");
+    }
 }
 
 #[test]

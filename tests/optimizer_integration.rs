@@ -79,7 +79,6 @@ fn boundedness_rewrites_agree_on_conforming_data() {
     let before = eval_product(&Nfa::thompson(&q), &inst, nodes[0]).answers;
     let after = eval_product(&Nfa::thompson(&opt.query), &inst, nodes[0]).answers;
     assert_eq!(before, after);
-
 }
 
 #[test]

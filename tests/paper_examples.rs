@@ -5,8 +5,8 @@
 use rpq::automata::{parse_regex, Alphabet, Nfa, Symbol};
 use rpq::constraints::general::{check, Budget, Refutation, Verdict};
 use rpq::constraints::{
-    decide_boundedness, lemma44_instance, parse_constraint, suggested_radius,
-    word_implies_path, ArmstrongSphere, Boundedness, ConstraintSet,
+    decide_boundedness, lemma44_instance, parse_constraint, suggested_radius, word_implies_path,
+    ArmstrongSphere, Boundedness, ConstraintSet,
 };
 use rpq::core::eval_product;
 use rpq::core::general::{eval_general, eval_general_direct, translate, GeneralPathQuery};
@@ -32,10 +32,9 @@ fn fig1_example21_six_classes_and_translation() {
     let (inst, names) = b.finish();
     let o = names["o"];
 
-    let q = GeneralPathQuery::parse(
-        r#"("a*b" "ba*") + ("a*b" "c") + ("ba*" "c") + "dd*" ("dd*")*"#,
-    )
-    .unwrap();
+    let q =
+        GeneralPathQuery::parse(r#"("a*b" "ba*") + ("a*b" "c") + ("ba*" "c") + "dd*" ("dd*")*"#)
+            .unwrap();
     let mu = translate(&q, &inst, &ab);
     assert_eq!(mu.class_signature.len(), 6, "{:?}", mu.class_repr);
 
@@ -69,8 +68,10 @@ fn fig2_fig3_distributed_run_of_ab_star() {
     // the trace exhibits the paper's dedup: a subquery arrives at a site
     // already processing it and is answered done without spawning anything —
     // count done messages exceeding registered tasks' completions
-    assert!(res.stats.subqueries > res.tasks_registered,
-        "the o3→o2 duplicate b* subquery must be deduplicated");
+    assert!(
+        res.stats.subqueries > res.tasks_registered,
+        "the o3→o2 duplicate b* subquery must be deduplicated"
+    );
     // answers: o2 (as itself) and o3; each acked
     assert_eq!(res.stats.answers, 2);
     assert_eq!(res.stats.acks, 2);
@@ -129,12 +130,16 @@ fn fig5_armstrong_sphere_structure() {
     let sphere = ArmstrongSphere::build(&set, &syms, radius, 200_000).unwrap();
 
     let m = set.max_word_len();
-    assert!(sphere.indegree_violations(m).is_empty(),
-        "Lemma 4.9(✳): indegree 1 outside the M-sphere");
-    assert!(sphere
-        .reentry_violations(k.min(radius.saturating_sub(1)))
-        .is_empty(),
-        "Lemma 4.9: no re-entry past K");
+    assert!(
+        sphere.indegree_violations(m).is_empty(),
+        "Lemma 4.9(✳): indegree 1 outside the M-sphere"
+    );
+    assert!(
+        sphere
+            .reentry_violations(k.min(radius.saturating_sub(1)))
+            .is_empty(),
+        "Lemma 4.9: no re-entry past K"
+    );
 
     // Proposition 4.8 (truncated): word equality implied ⇔ same class.
     let a = ab.get("a").unwrap();
@@ -142,7 +147,9 @@ fn fig5_armstrong_sphere_structure() {
     let u = [a, b, a];
     let v = [b];
     assert_eq!(sphere.class_of_word(&u), sphere.class_of_word(&v));
-    assert!(rpq::constraints::implication::word_implies_word_eq(&set, &u, &v));
+    assert!(rpq::constraints::implication::word_implies_word_eq(
+        &set, &u, &v
+    ));
 }
 
 // ---------------------------------------------------------------- X1 ----

@@ -54,9 +54,21 @@ fn codec_byte_sizes_track_query_size() {
 #[test]
 fn control_messages_have_fixed_size() {
     let ab = Alphabet::new();
-    let done = Message::Done { mid: Mid(7, 9), sender: 1, receiver: 2 };
-    let ack = Message::Ack { mid: Mid(7, 9), sender: 1, receiver: 2 };
-    let ans = Message::Answer { mid: Mid(7, 9), sender: 1, receiver: 2 };
+    let done = Message::Done {
+        mid: Mid(7, 9),
+        sender: 1,
+        receiver: 2,
+    };
+    let ack = Message::Ack {
+        mid: Mid(7, 9),
+        sender: 1,
+        receiver: 2,
+    };
+    let ans = Message::Answer {
+        mid: Mid(7, 9),
+        sender: 1,
+        receiver: 2,
+    };
     let sd = codec::encode(&done, &ab).len();
     let sa = codec::encode(&ack, &ab).len();
     let sn = codec::encode(&ans, &ab).len();

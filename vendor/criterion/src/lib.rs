@@ -52,7 +52,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { full: self.to_string() }
+        BenchmarkId {
+            full: self.to_string(),
+        }
     }
 }
 
@@ -66,6 +68,8 @@ impl IntoBenchmarkId for String {
 pub struct Bencher {
     warm_up_time: Duration,
     measurement_time: Duration,
+    /// `--test` mode: run the body exactly once, no timing.
+    test_mode: bool,
     /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
     mean_ns: f64,
     iters: u64,
@@ -73,7 +77,13 @@ pub struct Bencher {
 
 impl Bencher {
     /// Run `f` repeatedly: warm up, then measure for the configured time.
+    /// In `--test` mode, run it exactly once.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std_black_box(f());
+            self.iters = 1;
+            return;
+        }
         // Warm-up: also discovers a per-iteration estimate for batching.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -111,6 +121,7 @@ fn measure_and_report<F: FnOnce(&mut Bencher)>(
     let mut b = Bencher {
         warm_up_time,
         measurement_time,
+        test_mode: false,
         mean_ns: 0.0,
         iters: 0,
     };
@@ -120,6 +131,21 @@ fn measure_and_report<F: FnOnce(&mut Bencher)>(
         human(b.mean_ns),
         b.iters
     );
+}
+
+/// `--test` mode (mirrors real criterion): run each benchmark body exactly
+/// once to prove it still works, with no warm-up or timing loop. Used by
+/// CI as a cheap bench-bit-rot smoke check.
+fn test_and_report<F: FnOnce(&mut Bencher)>(full_name: &str, f: F) {
+    let mut b = Bencher {
+        warm_up_time: Duration::ZERO,
+        measurement_time: Duration::ZERO,
+        test_mode: true,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!("Testing {full_name} ... ok");
 }
 
 fn human(ns: f64) -> String {
@@ -164,7 +190,11 @@ impl BenchmarkGroup<'_> {
     fn run_one<F: FnOnce(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) {
         let full = format!("{}/{}", self.name, id.full);
         if self.criterion.matches(&full) {
-            measure_and_report(&full, self.warm_up_time, self.measurement_time, f);
+            if self.criterion.test_mode {
+                test_and_report(&full, f);
+            } else {
+                measure_and_report(&full, self.warm_up_time, self.measurement_time, f);
+            }
         }
     }
 
@@ -198,16 +228,18 @@ impl BenchmarkGroup<'_> {
 /// The benchmark manager (subset of `criterion::Criterion`).
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // cargo-bench passes "--bench" plus any user filter; everything
-        // that is not a flag is treated as a substring filter.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
-        Criterion { filter }
+        // that is not a flag is treated as a substring filter. `--test`
+        // (as in real criterion) runs each benchmark once, untimed.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.into_iter().find(|a| !a.starts_with('-'));
+        Criterion { filter, test_mode }
     }
 }
 
@@ -236,12 +268,16 @@ impl Criterion {
     ) -> &mut Self {
         let id = id.into_benchmark_id();
         if self.matches(&id.full) {
-            measure_and_report(
-                &id.full,
-                Duration::from_millis(300),
-                Duration::from_millis(1000),
-                |b| f(b),
-            );
+            if self.test_mode {
+                test_and_report(&id.full, |b| f(b));
+            } else {
+                measure_and_report(
+                    &id.full,
+                    Duration::from_millis(300),
+                    Duration::from_millis(1000),
+                    |b| f(b),
+                );
+            }
         }
         self
     }

@@ -203,7 +203,11 @@ pub mod rngs {
                 state = splitmix64(state ^ u64::from_le_bytes(b));
             }
             StdRng {
-                state: if state == 0 { 0x9E37_79B9_7F4A_7C15 } else { state },
+                state: if state == 0 {
+                    0x9E37_79B9_7F4A_7C15
+                } else {
+                    state
+                },
             }
         }
     }
@@ -304,7 +308,10 @@ mod tests {
         for _ in 0..500 {
             seen[rng.random_range(0..8usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "8-value range not covered in 500 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "8-value range not covered in 500 draws"
+        );
     }
 
     #[test]
