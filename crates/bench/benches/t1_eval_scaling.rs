@@ -14,13 +14,14 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rpq_bench::{eval_workload, skewed_workload};
+use rpq_bench::{eval_workload, multi_source_workload, skewed_workload};
 use rpq_core::{
     eval_product_csr, eval_product_scan, DerivativeEngine, Engine, ProductEngine, Query,
     QuotientDfaEngine,
 };
 use rpq_datalog::engine::{eval_naive, eval_seminaive};
 use rpq_datalog::translate::{load_csr, translate_quotient};
+use rpq_distributed::PartitionedBatchEngine;
 use rpq_graph::CsrGraph;
 
 fn bench(c: &mut Criterion) {
@@ -132,6 +133,74 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("skew_label_indexed", fanout),
             &fanout,
             |b, _| b.iter(|| black_box(ProductEngine.eval(&query, &graph, w.source).answers.len())),
+        );
+    }
+
+    // Multi-source series: N sources funnel into one shared spine
+    // (skew graph with `hot_fanout` noise edges per node). The per-source
+    // loop re-walks the spine once per source; the bit-parallel batch
+    // engine rides all source lanes over each CSR row in one pass. The
+    // asserted edges_scanned gap is the acceptance criterion: at N ≥ 16
+    // the batch engine must scan strictly fewer total edges than N×
+    // single-source product BFS.
+    for &nsrc in &[16usize, 64] {
+        let w = multi_source_workload(64, 32, nsrc);
+        let query = Query::new(w.query.clone(), &w.alphabet);
+        let graph = CsrGraph::from(&w.instance);
+
+        let batch = ProductEngine.eval_batch(&query, &graph, &w.sources);
+        let mut loop_edges = 0usize;
+        for (i, &s) in w.sources.iter().enumerate() {
+            let single = ProductEngine.eval(&query, &graph, s);
+            loop_edges += single.stats.edges_scanned;
+            assert_eq!(
+                batch.per_source().unwrap()[i],
+                single.answers,
+                "batch/per-source disagreement at source {i}"
+            );
+        }
+        assert!(
+            batch.stats.edges_scanned < loop_edges,
+            "bit-parallel batch must scan strictly fewer edges than the \
+             per-source loop at N={nsrc}: batch {} vs loop {}",
+            batch.stats.edges_scanned,
+            loop_edges
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("multi_per_source_loop", nsrc),
+            &nsrc,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &s in &w.sources {
+                        total += ProductEngine.eval(&query, &graph, s).answers.len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multi_batch_bitparallel", nsrc),
+            &nsrc,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        ProductEngine
+                            .eval_batch(&query, &graph, &w.sources)
+                            .stats
+                            .answers,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multi_batch_partitioned", nsrc),
+            &nsrc,
+            |b, _| {
+                let engine = PartitionedBatchEngine { workers: 4 };
+                b.iter(|| black_box(engine.eval_batch(&query, &graph, &w.sources).stats.answers))
+            },
         );
     }
     group.finish();

@@ -14,11 +14,12 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_bench::eval_workload;
-use rpq_datalog::translate::{load_csr, translate_quotient};
+use rpq_datalog::translate::{load_csr, load_csr_multi, translate_quotient};
 use rpq_datalog::{
     eval_magic, eval_qsq, eval_seminaive, Atom, Database, MagicQuery, Program, RuleBuilder,
 };
 use rpq_graph::CsrGraph;
+use rpq_graph::Oid;
 
 fn tc_setup(chains: usize, len: usize) -> (Program, usize, Database) {
     let mut p = Program::default();
@@ -125,6 +126,68 @@ fn bench(c: &mut Criterion) {
                 black_box(eval_magic(&tq.program, &db, &query).0.len())
             })
         });
+    }
+
+    // --- multi-source seeding: one fixpoint answers the whole batch --------
+    // Semi-naive with every source in the round-0 delta (the batched
+    // `eval_batch` strategy) vs one fixpoint per source; the shared chain
+    // rules fire once per derived tuple either way, but the loop re-derives
+    // the overlap of the N reachable sets N times.
+    for &nsrc in &[8usize, 32] {
+        let w = eval_workload(0x78 ^ 0x22, 400);
+        let (_, q) = &w.queries[1]; // l0.(l1+l2)* — source-sensitive prefix
+        let tq = translate_quotient(q, &w.alphabet).unwrap();
+        let graph = CsrGraph::from(&w.instance);
+        let sources: Vec<Oid> = (0..nsrc as u32).map(Oid).collect();
+
+        // consistency: multi-seeded fixpoint == union of per-source runs
+        {
+            let mut db = load_csr_multi(&tq, &graph, &sources);
+            let multi = eval_seminaive(&tq.program, &mut db);
+            let mut multi_answers: Vec<u64> =
+                db.relation(tq.answer_pred).iter().map(|t| t[0]).collect();
+            multi_answers.sort_unstable();
+            multi_answers.dedup();
+            let mut union: Vec<u64> = Vec::new();
+            let mut loop_derivations = 0usize;
+            for &s in &sources {
+                let mut db1 = load_csr(&tq, &graph, s);
+                loop_derivations += eval_seminaive(&tq.program, &mut db1).derivations;
+                union.extend(db1.relation(tq.answer_pred).iter().map(|t| t[0]));
+            }
+            union.sort_unstable();
+            union.dedup();
+            assert_eq!(multi_answers, union, "multi-seed vs per-source union");
+            eprintln!(
+                "t8 multi-source nsrc={nsrc}: one fixpoint {} derivations vs loop {}",
+                multi.derivations, loop_derivations
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("rpq_seminaive_loop", nsrc),
+            &nsrc,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &s in &sources {
+                        let mut db = load_csr(&tq, &graph, s);
+                        total += eval_seminaive(&tq.program, &mut db).idb_tuples;
+                    }
+                    black_box(total)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rpq_seminaive_multiseed", nsrc),
+            &nsrc,
+            |b, _| {
+                b.iter(|| {
+                    let mut db = load_csr_multi(&tq, &graph, &sources);
+                    black_box(eval_seminaive(&tq.program, &mut db).idb_tuples)
+                })
+            },
+        );
     }
 
     // --- bound-argument TC: the magic-set pruning effect -------------------

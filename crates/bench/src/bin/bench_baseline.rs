@@ -1,0 +1,165 @@
+//! Machine-readable bench baseline for the CI perf trajectory.
+//!
+//! Runs the T1 multi-source series once per configuration — the per-source
+//! product loop, the bit-parallel batch engine, and the partitioned
+//! threaded driver — and reports, per series point: name, `n` (batch
+//! size), median wall-clock nanoseconds over the repetitions, and the
+//! `edges_scanned` work counter.
+//!
+//! ```text
+//! bench_baseline [--json PATH] [--repeats N]
+//! ```
+//!
+//! Without `--json` the table goes to stdout; with it, a JSON document is
+//! also written to `PATH` (CI uploads it as the `BENCH_t1.json` artifact,
+//! the first point on the perf trajectory).
+
+use std::time::Instant;
+
+use rpq_bench::multi_source_workload;
+use rpq_core::{Engine, EvalStats, ProductEngine, Query};
+use rpq_distributed::PartitionedBatchEngine;
+use rpq_graph::CsrGraph;
+
+struct SeriesPoint {
+    name: &'static str,
+    n: usize,
+    median_ns: u128,
+    edges_scanned: usize,
+}
+
+/// Median wall-clock nanoseconds of `repeats` runs of `f`, plus the stats
+/// of the last run (the workloads are deterministic, so any run's counters
+/// are the series' counters).
+fn measure(repeats: usize, mut f: impl FnMut() -> EvalStats) -> (u128, EvalStats) {
+    let mut times: Vec<u128> = Vec::with_capacity(repeats);
+    let mut stats = EvalStats::default();
+    for _ in 0..repeats {
+        let start = Instant::now();
+        stats = f();
+        times.push(start.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], stats)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut repeats = 15usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json_path = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--json requires a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--repeats" => {
+                repeats = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--repeats requires a number >= 1");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_baseline [--json PATH] [--repeats N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut points: Vec<SeriesPoint> = Vec::new();
+    for &nsrc in &[16usize, 64] {
+        let w = multi_source_workload(64, 32, nsrc);
+        let query = Query::new(w.query.clone(), &w.alphabet);
+        let graph = CsrGraph::from(&w.instance);
+
+        let (t, stats) = measure(repeats, || {
+            let mut total = EvalStats::default();
+            for &s in &w.sources {
+                total.merge(&ProductEngine.eval(&query, &graph, s).stats);
+            }
+            total
+        });
+        points.push(SeriesPoint {
+            name: "multi_per_source_loop",
+            n: nsrc,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        let loop_edges = stats.edges_scanned;
+
+        let (t, stats) = measure(repeats, || {
+            ProductEngine.eval_batch(&query, &graph, &w.sources).stats
+        });
+        points.push(SeriesPoint {
+            name: "multi_batch_bitparallel",
+            n: nsrc,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        assert!(
+            stats.edges_scanned < loop_edges,
+            "bit-parallel batch must scan fewer edges than the loop \
+             (batch {} vs loop {loop_edges} at n={nsrc})",
+            stats.edges_scanned
+        );
+
+        let engine = PartitionedBatchEngine { workers: 4 };
+        let (t, stats) = measure(repeats, || {
+            engine.eval_batch(&query, &graph, &w.sources).stats
+        });
+        points.push(SeriesPoint {
+            name: "multi_batch_partitioned",
+            n: nsrc,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+    }
+
+    println!(
+        "{:<28} {:>6} {:>14} {:>14}",
+        "series", "n", "median_ns", "edges_scanned"
+    );
+    for p in &points {
+        println!(
+            "{:<28} {:>6} {:>14} {:>14}",
+            p.name, p.n, p.median_ns, p.edges_scanned
+        );
+    }
+
+    if let Some(path) = json_path {
+        // Series names are static identifiers, so plain formatting is
+        // valid JSON without an escaping pass.
+        let series: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"name\": \"{}\", \"n\": {}, \"median_ns\": {}, \"edges_scanned\": {}}}",
+                    p.name, p.n, p.median_ns, p.edges_scanned
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\n  \"bench\": \"t1_multi_source\",\n  \"repeats\": {repeats},\n  \"series\": [\n{}\n  ]\n}}\n",
+            series.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}

@@ -92,6 +92,61 @@ pub fn skewed_workload(depth: usize, hot_fanout: usize) -> SkewedWorkload {
     }
 }
 
+/// A multi-source, shared-prefix evaluation workload: `n_sources` entry
+/// nodes each hold one `cold` edge into the head of a shared spine (plus
+/// `hot_fanout` hot-label noise edges, keeping the label skew), so every
+/// source's search funnels into the same suffix. The query `cold*` walks
+/// entry + spine. A per-source loop re-walks the spine once per source
+/// (`O(n_sources × depth)` edge scans); the bit-parallel batch engine
+/// walks it once with all source lanes merged (`O(n_sources + depth)`) —
+/// the T1 multi-source experiment.
+pub struct MultiSourceWorkload {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// The instance (build form; snapshot with `CsrGraph::from`).
+    pub instance: Instance,
+    /// The batch of evaluation sources (the entry nodes).
+    pub sources: Vec<Oid>,
+    /// The spine query `cold*`.
+    pub query: Regex,
+}
+
+/// Build the multi-source shared-prefix workload: `n_sources` entries ×
+/// one shared spine of `depth` cold edges, `hot_fanout` hot edges per
+/// entry and per spine node into a shared target pool.
+pub fn multi_source_workload(
+    depth: usize,
+    hot_fanout: usize,
+    n_sources: usize,
+) -> MultiSourceWorkload {
+    let mut alphabet = Alphabet::new();
+    let cold = alphabet.intern("cold");
+    let hot = alphabet.intern("hot");
+    let mut instance = Instance::new();
+    let spine: Vec<Oid> = (0..=depth).map(|_| instance.add_node()).collect();
+    let pool: Vec<Oid> = (0..hot_fanout).map(|_| instance.add_node()).collect();
+    let sources: Vec<Oid> = (0..n_sources).map(|_| instance.add_node()).collect();
+    for i in 0..depth {
+        instance.add_edge(spine[i], cold, spine[i + 1]);
+        for &target in &pool {
+            instance.add_edge(spine[i], hot, target);
+        }
+    }
+    for &entry in &sources {
+        instance.add_edge(entry, cold, spine[0]);
+        for &target in &pool {
+            instance.add_edge(entry, hot, target);
+        }
+    }
+    let query = parse_regex(&mut alphabet, "cold*").unwrap();
+    MultiSourceWorkload {
+        alphabet,
+        instance,
+        sources,
+        query,
+    }
+}
+
 /// A word-constraint system of `n_rules` rules over `sigma` letters with
 /// words of length ≤ `max_len` (T2): deterministic from the seed, always
 /// free of derived-emptiness degeneracies (right-hand sides are non-empty).

@@ -1,0 +1,493 @@
+//! Batched multi-source evaluation — bit-parallel frontiers.
+//!
+//! Real workloads ask the same query from *many* sources (figure
+//! reproductions, the distributed runners, all-pairs materialization).
+//! Looping a single-source engine re-walks the same CSR rows once per
+//! source; the batched engines here walk them once per *batch*.
+//!
+//! Two bit-parallel representations, both over [`rpq_graph::bitset`]:
+//!
+//! * **Lane mode** ([`eval_product_batch_csr`],
+//!   [`eval_quotient_dfa_batch_csr`]): sources are processed in waves of up
+//!   to 64; cell `(q, v)` of a [`LaneMatrix`] holds a `u64` mask of which
+//!   wave sources have reached node `v` in automaton state (or quotient
+//!   class) `q`. One pass over a CSR label row ORs the whole mask into
+//!   every target — one scan advances every pending source — and the lane
+//!   partition recovers per-source answer sets at the end.
+//! * **Union mode** ([`eval_product_batch_union_csr`]): when callers only
+//!   need `⋃ᵢ p(oᵢ, I)`, a single shared frontier — one [`NodeBitset`] per
+//!   NFA state ([`FrontierArena`]) — runs the whole batch as one BFS,
+//!   independent of the number of sources.
+//!
+//! Both run the level-synchronous product BFS of
+//! [`crate::product::eval_product_csr`] (ε-closure within a level, one
+//! graph edge per level step). `edges_scanned` counts each row pass once
+//! regardless of how many source lanes ride it — that is the measured win
+//! over the per-source loop (bench `t1_eval_scaling`, multi-source series).
+
+use rpq_automata::{Nfa, StateId};
+use rpq_graph::bitset::{FrontierArena, LaneMatrix, NodeBitset};
+use rpq_graph::{CsrGraph, Oid};
+
+use crate::quotient::SubsetInterner;
+use crate::stats::EvalStats;
+
+/// Result of a batched evaluation over a source set.
+///
+/// Always carries the union `⋃ᵢ p(oᵢ, I)` and the *aggregated*
+/// [`EvalStats`] (per-source counters are merged, not discarded — see
+/// [`EvalStats::merge`]). Engines that partition by source also report the
+/// per-source answer sets; union-only engines (e.g. semi-naive Datalog
+/// seeded with every source at once) report `per_source() == None`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchResult {
+    per_source: Option<Vec<Vec<Oid>>>,
+    union: Vec<Oid>,
+    /// Aggregated work counters for the whole batch.
+    pub stats: EvalStats,
+}
+
+impl BatchResult {
+    /// Build from per-source answer sets (each sorted); computes the union.
+    pub fn from_per_source(per_source: Vec<Vec<Oid>>, stats: EvalStats) -> BatchResult {
+        let mut union: Vec<Oid> = per_source.iter().flatten().copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        BatchResult {
+            per_source: Some(per_source),
+            union,
+            stats,
+        }
+    }
+
+    /// Build from a union-only computation (`union` need not be sorted).
+    pub fn union_only(mut union: Vec<Oid>, stats: EvalStats) -> BatchResult {
+        union.sort_unstable();
+        union.dedup();
+        BatchResult {
+            per_source: None,
+            union,
+            stats,
+        }
+    }
+
+    /// The union of all per-source answer sets, sorted.
+    pub fn union(&self) -> &[Oid] {
+        &self.union
+    }
+
+    /// Per-source answer sets aligned with the `sources` argument, if the
+    /// engine partitioned by source (`None` for union-only engines).
+    pub fn per_source(&self) -> Option<&[Vec<Oid>]> {
+        self.per_source.as_deref()
+    }
+}
+
+/// Answers for one wave: turn per-node lane masks into sorted per-source
+/// answer lists, appended to `out` in lane order.
+fn collect_wave_answers(answer_masks: &[u64], wave_len: usize, out: &mut Vec<Vec<Oid>>) {
+    let base = out.len();
+    for _ in 0..wave_len {
+        out.push(Vec::new());
+    }
+    for (v, &mask) in answer_masks.iter().enumerate() {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            out[base + lane].push(Oid(v as u32));
+        }
+    }
+    // node order is increasing, so each per-source list is already sorted
+}
+
+/// Bit-parallel batched product BFS: evaluate `L(nfa)` from every source in
+/// `sources` at once, in waves of up to 64 source lanes.
+///
+/// One `u64` lane mask per `(NFA state, node)` cell; a CSR label row is
+/// scanned once per cell activation, advancing every lane that reached the
+/// cell this level together. Per-source answers are recovered from the
+/// lane partition. `stats` are aggregated over waves; `answers` counts the
+/// per-source total (matching the default loop-over-`eval` aggregation).
+pub fn eval_product_batch_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+    let nq = nfa.num_states();
+    let nv = graph.num_nodes();
+    let mut stats = EvalStats::default();
+    let mut state_touched = vec![false; nq];
+    let mut per_source: Vec<Vec<Oid>> = Vec::with_capacity(sources.len());
+
+    // Arenas reused across waves.
+    let mut reached = LaneMatrix::new(nq, nv);
+    let mut frontier = LaneMatrix::new(nq, nv);
+    let mut next = LaneMatrix::new(nq, nv);
+    let mut active = FrontierArena::new(nq, nv);
+    let mut next_active = FrontierArena::new(nq, nv);
+    let mut answer_masks = vec![0u64; nv];
+
+    for wave in sources.chunks(64) {
+        reached.clear();
+        frontier.clear();
+        next.clear();
+        active.clear();
+        next_active.clear();
+        answer_masks.fill(0);
+
+        for (lane, &s) in wave.iter().enumerate() {
+            let bit = 1u64 << lane;
+            reached.or(nfa.start() as usize, s.index(), bit);
+            frontier.or(nfa.start() as usize, s.index(), bit);
+            active.state_mut(nfa.start() as usize).insert(s.index());
+        }
+
+        while !active.is_empty() {
+            // ε-closure within the level: propagate new lane bits across
+            // ε-edges until fixpoint (ε consumes no graph edge, so the
+            // closure stays in the same BFS level).
+            let mut worklist: Vec<(StateId, usize)> = Vec::new();
+            for q in 0..nq {
+                for v in active.state(q).iter_ones() {
+                    worklist.push((q as StateId, v));
+                }
+            }
+            while let Some((q, v)) = worklist.pop() {
+                let m = frontier.get(q as usize, v);
+                for &q2 in nfa.eps_transitions(q) {
+                    let newbits = reached.or(q2 as usize, v, m);
+                    if newbits != 0 {
+                        frontier.or(q2 as usize, v, newbits);
+                        active.state_mut(q2 as usize).insert(v);
+                        worklist.push((q2, v));
+                    }
+                }
+            }
+
+            // Consume one graph edge per active cell: a row pass costs its
+            // length once, no matter how many lanes ride the mask.
+            for (q, touched) in state_touched.iter_mut().enumerate() {
+                if active.state(q).is_empty() {
+                    continue;
+                }
+                *touched = true;
+                let accepting = nfa.is_accepting(q as StateId);
+                for v in active.state(q).iter_ones() {
+                    let m = frontier.take(q, v);
+                    debug_assert_ne!(m, 0);
+                    stats.pairs_visited += 1;
+                    if accepting {
+                        answer_masks[v] |= m;
+                    }
+                    for &(sym, q2) in nfa.transitions(q as StateId) {
+                        let targets = graph.out(Oid(v as u32), sym);
+                        stats.edges_scanned += targets.len();
+                        for &v2 in targets {
+                            let newbits = reached.or(q2 as usize, v2.index(), m);
+                            if newbits != 0 {
+                                next.or(q2 as usize, v2.index(), newbits);
+                                next_active.state_mut(q2 as usize).insert(v2.index());
+                            }
+                        }
+                    }
+                }
+            }
+
+            // `frontier` is all-zero here: every nonzero cell was in
+            // `active` and the edge step take()s each one, so the swap
+            // alone leaves `next` ready for reuse — no O(states × nodes)
+            // refill per level.
+            frontier.swap_contents(&mut next);
+            active.swap(&mut next_active);
+            next_active.clear();
+        }
+
+        collect_wave_answers(&answer_masks, wave.len(), &mut per_source);
+    }
+
+    stats.classes_materialized = state_touched.iter().filter(|&&t| t).count();
+    stats.answers = per_source.iter().map(Vec::len).sum();
+    BatchResult::from_per_source(per_source, stats)
+}
+
+/// Union-mode batched product BFS: one shared frontier — a [`NodeBitset`]
+/// per NFA state — seeded with *all* sources, for callers that only need
+/// `⋃ᵢ p(oᵢ, I)`. Work is that of a single BFS regardless of batch size.
+pub fn eval_product_batch_union_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+    let nq = nfa.num_states();
+    let nv = graph.num_nodes();
+    let mut stats = EvalStats::default();
+    let mut state_touched = vec![false; nq];
+
+    let mut reached = FrontierArena::new(nq, nv);
+    let mut frontier = FrontierArena::new(nq, nv);
+    let mut next = FrontierArena::new(nq, nv);
+    let mut answer = NodeBitset::new(nv);
+
+    for &s in sources {
+        if reached.state_mut(nfa.start() as usize).insert(s.index()) {
+            frontier.state_mut(nfa.start() as usize).insert(s.index());
+        }
+    }
+
+    while !frontier.is_empty() {
+        // ε-closure within the level.
+        let mut worklist: Vec<(StateId, usize)> = Vec::new();
+        for q in 0..nq {
+            for v in frontier.state(q).iter_ones() {
+                worklist.push((q as StateId, v));
+            }
+        }
+        while let Some((q, v)) = worklist.pop() {
+            for &q2 in nfa.eps_transitions(q) {
+                if reached.state_mut(q2 as usize).insert(v) {
+                    frontier.state_mut(q2 as usize).insert(v);
+                    worklist.push((q2, v));
+                }
+            }
+        }
+
+        for (q, touched) in state_touched.iter_mut().enumerate() {
+            if frontier.state(q).is_empty() {
+                continue;
+            }
+            *touched = true;
+            let accepting = nfa.is_accepting(q as StateId);
+            for v in frontier.state(q).iter_ones() {
+                stats.pairs_visited += 1;
+                if accepting {
+                    answer.insert(v);
+                }
+                for &(sym, q2) in nfa.transitions(q as StateId) {
+                    let targets = graph.out(Oid(v as u32), sym);
+                    stats.edges_scanned += targets.len();
+                    for &v2 in targets {
+                        if reached.state_mut(q2 as usize).insert(v2.index()) {
+                            next.state_mut(q2 as usize).insert(v2.index());
+                        }
+                    }
+                }
+            }
+        }
+
+        frontier.swap(&mut next);
+        next.clear();
+    }
+
+    stats.classes_materialized = state_touched.iter().filter(|&&t| t).count();
+    let union: Vec<Oid> = answer.iter_ones().map(|v| Oid(v as u32)).collect();
+    stats.answers = union.len();
+    BatchResult::union_only(union, stats)
+}
+
+/// Bit-parallel batched quotient-DFA search: the same lane-mask scheme as
+/// [`eval_product_batch_csr`], but cells are `(quotient class, node)` with
+/// classes lazily determinized through the subset interner shared with
+/// [`crate::eval_quotient_dfa_csr`] (one subset step + memo probe per
+/// distinct `(class, label)` for the whole batch, not per source).
+pub fn eval_quotient_dfa_batch_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+    let nv = graph.num_nodes();
+    let mut stats = EvalStats::default();
+    let mut interner = SubsetInterner::new(nfa);
+    let mut per_source: Vec<Vec<Oid>> = Vec::with_capacity(sources.len());
+    let mut classes_seen = 0usize;
+
+    for wave in sources.chunks(64) {
+        // Masks grow per class as lazy determinization discovers classes.
+        let mut reached: Vec<Vec<u64>> = vec![vec![0; nv]];
+        let mut pending: Vec<Vec<u64>> = vec![vec![0; nv]];
+        let mut answer_masks = vec![0u64; nv];
+        let mut worklist: Vec<(usize, usize)> = Vec::new();
+
+        for (lane, &s) in wave.iter().enumerate() {
+            let bit = 1u64 << lane;
+            if reached[0][s.index()] & bit == 0 {
+                reached[0][s.index()] |= bit;
+                pending[0][s.index()] |= bit;
+                worklist.push((0, s.index()));
+            }
+        }
+
+        while let Some((c, v)) = worklist.pop() {
+            let m = std::mem::take(&mut pending[c][v]);
+            if m == 0 {
+                continue; // already drained by an earlier pop
+            }
+            stats.pairs_visited += 1;
+            if interner.accepting(c) {
+                answer_masks[v] |= m;
+            }
+            for (label, targets) in graph.out_groups(Oid(v as u32)) {
+                stats.edges_scanned += targets.len();
+                let c2 = interner.step(c, label);
+                if interner.is_dead(c2) {
+                    continue;
+                }
+                while reached.len() < interner.len() {
+                    reached.push(vec![0; nv]);
+                    pending.push(vec![0; nv]);
+                }
+                for &v2 in targets {
+                    let newbits = m & !reached[c2][v2.index()];
+                    if newbits != 0 {
+                        reached[c2][v2.index()] |= newbits;
+                        let was_idle = pending[c2][v2.index()] == 0;
+                        pending[c2][v2.index()] |= newbits;
+                        if was_idle {
+                            worklist.push((c2, v2.index()));
+                        }
+                    }
+                }
+            }
+        }
+
+        collect_wave_answers(&answer_masks, wave.len(), &mut per_source);
+        classes_seen = interner.len();
+    }
+
+    stats.classes_materialized = classes_seen;
+    stats.answers = per_source.iter().map(Vec::len).sum();
+    BatchResult::from_per_source(per_source, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, ProductEngine, Query};
+    use rpq_automata::Alphabet;
+    use rpq_graph::InstanceBuilder;
+
+    fn diamond() -> (Alphabet, CsrGraph, Vec<Oid>) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s0", "a", "m");
+        b.edge("s1", "a", "m");
+        b.edge("s2", "a", "m");
+        b.edge("m", "b", "t1");
+        b.edge("t1", "b", "t2");
+        b.edge("t2", "b", "t1");
+        let (inst, names) = b.finish();
+        let sources = vec![names["s0"], names["s1"], names["s2"], names["m"]];
+        (ab, CsrGraph::from(&inst), sources)
+    }
+
+    #[test]
+    fn batch_matches_per_source_loop() {
+        let (mut ab, csr, sources) = diamond();
+        for qs in ["a.b*", "b*", "(a+b)*", "a.b.b", "()", "[]"] {
+            let query = Query::parse(&mut ab, qs).unwrap();
+            let batch = eval_product_batch_csr(query.nfa(), &csr, &sources);
+            let per = batch.per_source().unwrap();
+            assert_eq!(per.len(), sources.len());
+            for (i, &s) in sources.iter().enumerate() {
+                let single = ProductEngine.eval(&query, &csr, s);
+                assert_eq!(per[i], single.answers, "{qs} source {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_batch_matches_per_source_loop() {
+        let (mut ab, csr, sources) = diamond();
+        for qs in ["a.b*", "(a+b)*", "a.b.b", "()"] {
+            let query = Query::parse(&mut ab, qs).unwrap();
+            let batch = eval_quotient_dfa_batch_csr(query.nfa(), &csr, &sources);
+            let per = batch.per_source().unwrap();
+            for (i, &s) in sources.iter().enumerate() {
+                let single = ProductEngine.eval(&query, &csr, s);
+                assert_eq!(per[i], single.answers, "{qs} source {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_mode_matches_union_of_singles() {
+        let (mut ab, csr, sources) = diamond();
+        for qs in ["a.b*", "(a+b)*", "b.b"] {
+            let query = Query::parse(&mut ab, qs).unwrap();
+            let batch = eval_product_batch_union_csr(query.nfa(), &csr, &sources);
+            assert!(batch.per_source().is_none());
+            let mut expected: Vec<Oid> = sources
+                .iter()
+                .flat_map(|&s| ProductEngine.eval(&query, &csr, s).answers)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(batch.union(), &expected[..], "{qs}");
+        }
+    }
+
+    #[test]
+    fn shared_suffix_scans_fewer_edges_than_loop() {
+        // N entry nodes funnel into one chain: the batch walks the chain
+        // once, the loop N times.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        let n = 20;
+        for i in 0..n {
+            b.edge(&format!("e{i}"), "c", "x0");
+        }
+        for i in 0..30 {
+            b.edge(&format!("x{i}"), "c", &format!("x{}", i + 1));
+        }
+        let (inst, names) = b.finish();
+        let csr = CsrGraph::from(&inst);
+        let sources: Vec<Oid> = (0..n).map(|i| names[format!("e{i}").as_str()]).collect();
+        let query = Query::parse(&mut ab, "c*").unwrap();
+
+        let batch = eval_product_batch_csr(query.nfa(), &csr, &sources);
+        let loop_edges: usize = sources
+            .iter()
+            .map(|&s| ProductEngine.eval(&query, &csr, s).stats.edges_scanned)
+            .sum();
+        assert!(
+            batch.stats.edges_scanned < loop_edges,
+            "batch {} vs loop {}",
+            batch.stats.edges_scanned,
+            loop_edges
+        );
+        // every source sees the whole chain plus itself
+        for per in batch.per_source().unwrap() {
+            assert_eq!(per.len(), 32);
+        }
+    }
+
+    #[test]
+    fn more_than_64_sources_run_in_waves() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..70 {
+            b.edge(&format!("s{i}"), "a", "hub");
+        }
+        b.edge("hub", "b", "t");
+        let (inst, names) = b.finish();
+        let csr = CsrGraph::from(&inst);
+        let sources: Vec<Oid> = (0..70).map(|i| names[format!("s{i}").as_str()]).collect();
+        let query = Query::parse(&mut ab, "a.b").unwrap();
+        let batch = eval_product_batch_csr(query.nfa(), &csr, &sources);
+        let t = names["t"];
+        for per in batch.per_source().unwrap() {
+            assert_eq!(per, &vec![t]);
+        }
+        assert_eq!(batch.union(), &[t]);
+        assert_eq!(batch.stats.answers, 70);
+    }
+
+    #[test]
+    fn empty_source_set_is_empty() {
+        let (mut ab, csr, _) = diamond();
+        let query = Query::parse(&mut ab, "a*").unwrap();
+        let batch = eval_product_batch_csr(query.nfa(), &csr, &[]);
+        assert!(batch.union().is_empty());
+        assert_eq!(batch.per_source(), Some(&[][..]));
+        let ub = eval_product_batch_union_csr(query.nfa(), &csr, &[]);
+        assert!(ub.union().is_empty());
+    }
+
+    #[test]
+    fn duplicate_sources_each_get_a_lane() {
+        let (mut ab, csr, sources) = diamond();
+        let query = Query::parse(&mut ab, "a.b*").unwrap();
+        let dup = vec![sources[0], sources[0], sources[1]];
+        let batch = eval_product_batch_csr(query.nfa(), &csr, &dup);
+        let per = batch.per_source().unwrap();
+        assert_eq!(per[0], per[1]);
+    }
+}

@@ -25,6 +25,7 @@
 use rpq_automata::{parse_regex, Alphabet, Nfa, ParseError, Regex};
 use rpq_graph::{CsrGraph, Oid};
 
+use crate::batch::{eval_product_batch_csr, eval_quotient_dfa_batch_csr, BatchResult};
 use crate::product::{eval_product_csr, EvalResult};
 use crate::quotient::{eval_derivative_csr, eval_quotient_dfa_csr};
 use crate::stats::EvalStats;
@@ -85,6 +86,28 @@ pub trait Engine {
 
     /// Evaluate `query` from `source` over `graph`.
     fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult;
+
+    /// Evaluate `query` from every source in `sources` over `graph`.
+    ///
+    /// The default implementation loops over [`Engine::eval`] and merges
+    /// the per-source [`EvalStats`] (so no work counter is discarded);
+    /// engines with a genuinely set-at-a-time strategy override it — the
+    /// bit-parallel product BFS ([`crate::eval_product_batch_csr`]), the
+    /// batched quotient-DFA search, the all-sources-seeded semi-naive
+    /// Datalog fixpoint, and the partitioned threaded driver in
+    /// `rpq-distributed`. Union-only strategies report
+    /// `per_source() == None`; all strategies agree on
+    /// [`BatchResult::union`].
+    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+        let mut stats = EvalStats::default();
+        let mut per_source = Vec::with_capacity(sources.len());
+        for &s in sources {
+            let r = self.eval(query, graph, s);
+            stats.merge(&r.stats);
+            per_source.push(r.answers);
+        }
+        BatchResult::from_per_source(per_source, stats)
+    }
 }
 
 /// The Section 2.2 product-automaton BFS ([`crate::eval_product_csr`]).
@@ -98,6 +121,12 @@ impl Engine for ProductEngine {
 
     fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
         eval_product_csr(query.nfa(), graph, source)
+    }
+
+    /// Bit-parallel batched BFS — one CSR row pass advances every pending
+    /// source lane at once ([`eval_product_batch_csr`]).
+    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+        eval_product_batch_csr(query.nfa(), graph, sources)
     }
 }
 
@@ -113,6 +142,12 @@ impl Engine for QuotientDfaEngine {
 
     fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
         eval_quotient_dfa_csr(query.nfa(), graph, source)
+    }
+
+    /// The same bit-parallel BFS with one lane-mask table per lazily
+    /// determinized quotient class ([`eval_quotient_dfa_batch_csr`]).
+    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+        eval_quotient_dfa_batch_csr(query.nfa(), graph, sources)
     }
 }
 

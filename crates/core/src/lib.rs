@@ -12,7 +12,13 @@
 //! * [`Engine`] — the unified trait: `eval(&self, &Query, &CsrGraph, Oid)`
 //!   over the label-indexed [`rpq_graph::CsrGraph`] snapshot, with shared
 //!   [`EvalStats`] work counters ([`Query`] packages regex + NFA +
-//!   alphabet once);
+//!   alphabet once), plus batched multi-source evaluation via
+//!   [`Engine::eval_batch`] (default: loop + stats aggregation);
+//! * [`batch`] — bit-parallel batched evaluation: the lane-partitioned
+//!   product BFS ([`eval_product_batch_csr`]), its union-mode shared
+//!   frontier ([`eval_product_batch_union_csr`]), and the batched
+//!   quotient-DFA search ([`eval_quotient_dfa_batch_csr`]), all returning
+//!   [`BatchResult`];
 //! * [`ProductEngine`] / [`eval_product_csr`] — the "more economical"
 //!   product-automaton BFS (PTIME combined complexity, NLOGSPACE data
 //!   complexity), frontier-based and label-indexed;
@@ -56,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod content;
 pub mod engine;
 pub mod general;
@@ -65,6 +72,9 @@ pub mod quotient;
 pub mod stats;
 pub mod streaming;
 
+pub use batch::{
+    eval_product_batch_csr, eval_product_batch_union_csr, eval_quotient_dfa_batch_csr, BatchResult,
+};
 pub use engine::{
     DerivativeEngine, Engine, OracleEngine, ProductEngine, Query, QuotientDfaEngine,
     StreamingEngine,

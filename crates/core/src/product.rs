@@ -35,6 +35,25 @@ pub struct EvalResult {
     pub stats: EvalStats,
 }
 
+/// Shared finalization for bitmap-based engines (product, both quotient
+/// variants): turn the answer bitmap into the sorted oid list and fill the
+/// derived counters in one place.
+pub(crate) fn finish_eval(
+    answer: &[bool],
+    classes_materialized: usize,
+    mut stats: EvalStats,
+) -> EvalResult {
+    let answers: Vec<Oid> = answer
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a)
+        .map(|(i, _)| Oid(i as u32))
+        .collect();
+    stats.answers = answers.len();
+    stats.classes_materialized = classes_materialized;
+    EvalResult { answers, stats }
+}
+
 fn push(q: StateId, v: Oid, nv: usize, seen: &mut [bool], level: &mut Vec<(StateId, Oid)>) {
     let idx = q as usize * nv + v.index();
     if !seen[idx] {
@@ -90,10 +109,8 @@ pub fn eval_product_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult 
         next.clear();
     }
 
-    let answers: Vec<Oid> = graph.nodes().filter(|o| answer[o.index()]).collect();
-    stats.answers = answers.len();
-    stats.classes_materialized = state_touched.iter().filter(|&&t| t).count();
-    EvalResult { answers, stats }
+    let classes = state_touched.iter().filter(|&&t| t).count();
+    finish_eval(&answer, classes, stats)
 }
 
 /// Evaluate `L(nfa)` from `source` over `instance`.
@@ -139,10 +156,8 @@ pub fn eval_product_scan(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalRes
         }
     }
 
-    let answers: Vec<Oid> = instance.nodes().filter(|o| answer[o.index()]).collect();
-    stats.answers = answers.len();
-    stats.classes_materialized = state_touched.iter().filter(|&&t| t).count();
-    EvalResult { answers, stats }
+    let classes = state_touched.iter().filter(|&&t| t).count();
+    finish_eval(&answer, classes, stats)
 }
 
 #[cfg(test)]

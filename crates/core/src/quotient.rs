@@ -34,8 +34,72 @@ use rpq_automata::derivative::derivative;
 use rpq_automata::{Nfa, Regex, StateId, Symbol};
 use rpq_graph::{CsrGraph, Instance, Oid};
 
-use crate::product::EvalResult;
+use crate::product::{finish_eval, EvalResult};
 use crate::stats::EvalStats;
+
+/// Interner for quotient classes as canonical NFA state sets, with the
+/// per-(class, label) subset-step memo. Shared between the single-source
+/// search below and the bit-parallel batched variant in [`crate::batch`].
+pub(crate) struct SubsetInterner<'a> {
+    nfa: &'a Nfa,
+    index: HashMap<Vec<StateId>, usize>,
+    classes: Vec<Vec<StateId>>,
+    accepting: Vec<bool>,
+    trans_memo: HashMap<(usize, Symbol), usize>,
+}
+
+impl<'a> SubsetInterner<'a> {
+    /// Start from the ε-closure of the NFA start state (class 0).
+    pub(crate) fn new(nfa: &'a Nfa) -> SubsetInterner<'a> {
+        let mut s = SubsetInterner {
+            nfa,
+            index: HashMap::new(),
+            classes: Vec::new(),
+            accepting: Vec::new(),
+            trans_memo: HashMap::new(),
+        };
+        s.intern(nfa.start_set());
+        s
+    }
+
+    fn intern(&mut self, set: Vec<StateId>) -> usize {
+        if let Some(&i) = self.index.get(&set) {
+            return i;
+        }
+        let i = self.classes.len();
+        self.accepting.push(self.nfa.set_accepts(&set));
+        self.index.insert(set.clone(), i);
+        self.classes.push(set);
+        i
+    }
+
+    /// The quotient `class/label` — one subset step + memo probe per
+    /// distinct `(class, label)`, not per edge.
+    pub(crate) fn step(&mut self, class: usize, label: Symbol) -> usize {
+        if let Some(&c2) = self.trans_memo.get(&(class, label)) {
+            return c2;
+        }
+        let stepped = self.nfa.step(&self.classes[class], label);
+        let c2 = self.intern(stepped);
+        self.trans_memo.insert((class, label), c2);
+        c2
+    }
+
+    /// True if `class` contains an accepting NFA state.
+    pub(crate) fn accepting(&self, class: usize) -> bool {
+        self.accepting[class]
+    }
+
+    /// True if `class` is the dead ∅ quotient.
+    pub(crate) fn is_dead(&self, class: usize) -> bool {
+        self.classes[class].is_empty()
+    }
+
+    /// Number of classes materialized so far.
+    pub(crate) fn len(&self) -> usize {
+        self.classes.len()
+    }
+}
 
 /// Evaluate by lazily determinizing the query NFA against the graph:
 /// worklist over (quotient-class, node) where classes are canonical state
@@ -43,59 +107,23 @@ use crate::stats::EvalStats;
 pub fn eval_quotient_dfa_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult {
     let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
-
-    // Intern quotient classes (canonical state sets).
-    let mut class_index: HashMap<Vec<StateId>, usize> = HashMap::new();
-    let mut classes: Vec<Vec<StateId>> = Vec::new();
-    let mut accepting: Vec<bool> = Vec::new();
-    let intern = |set: Vec<StateId>,
-                  classes: &mut Vec<Vec<StateId>>,
-                  accepting: &mut Vec<bool>,
-                  class_index: &mut HashMap<Vec<StateId>, usize>|
-     -> usize {
-        if let Some(&i) = class_index.get(&set) {
-            return i;
-        }
-        let i = classes.len();
-        accepting.push(nfa.set_accepts(&set));
-        class_index.insert(set.clone(), i);
-        classes.push(set);
-        i
-    };
-
-    let start_class = intern(
-        nfa.start_set(),
-        &mut classes,
-        &mut accepting,
-        &mut class_index,
-    );
+    let mut interner = SubsetInterner::new(nfa);
+    let start_class = 0;
 
     let mut seen: HashMap<(usize, Oid), ()> = HashMap::new();
     let mut answer = vec![false; nv];
     let mut queue: Vec<(usize, Oid)> = vec![(start_class, source)];
     seen.insert((start_class, source), ());
 
-    // Per-(class, label) transition memo: the quotient (class/l).
-    let mut trans_memo: HashMap<(usize, Symbol), usize> = HashMap::new();
-
     while let Some((c, v)) = queue.pop() {
         stats.pairs_visited += 1;
-        if accepting[c] {
+        if interner.accepting(c) {
             answer[v.index()] = true;
         }
-        // one subset step + memo probe per distinct label, not per edge
         for (label, targets) in graph.out_groups(v) {
             stats.edges_scanned += targets.len();
-            let c2 = match trans_memo.get(&(c, label)) {
-                Some(&c2) => c2,
-                None => {
-                    let stepped = nfa.step(&classes[c], label);
-                    let c2 = intern(stepped, &mut classes, &mut accepting, &mut class_index);
-                    trans_memo.insert((c, label), c2);
-                    c2
-                }
-            };
-            if classes[c2].is_empty() {
+            let c2 = interner.step(c, label);
+            if interner.is_dead(c2) {
                 continue; // dead quotient: ∅ subquery
             }
             for &v2 in targets {
@@ -106,10 +134,7 @@ pub fn eval_quotient_dfa_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalRe
         }
     }
 
-    let answers: Vec<Oid> = graph.nodes().filter(|o| answer[o.index()]).collect();
-    stats.answers = answers.len();
-    stats.classes_materialized = classes.len();
-    EvalResult { answers, stats }
+    finish_eval(&answer, interner.len(), stats)
 }
 
 /// Compatibility wrapper over [`eval_quotient_dfa_csr`]: snapshots the
@@ -179,10 +204,7 @@ pub fn eval_derivative_csr(query: &Regex, graph: &CsrGraph, source: Oid) -> Eval
         }
     }
 
-    let answers: Vec<Oid> = graph.nodes().filter(|o| answer[o.index()]).collect();
-    stats.answers = answers.len();
-    stats.classes_materialized = classes.len();
-    EvalResult { answers, stats }
+    finish_eval(&answer, classes.len(), stats)
 }
 
 /// Compatibility wrapper over [`eval_derivative_csr`]: snapshots the

@@ -25,4 +25,18 @@ impl EvalStats {
     pub fn total_work(&self) -> usize {
         self.pairs_visited + self.edges_scanned
     }
+
+    /// Accumulate `other` into `self` — the aggregation used by
+    /// `BatchResult` (and the default `Engine::eval_batch` loop), so work
+    /// counters from per-source calls are no longer discarded. All four
+    /// counters sum; for per-source batches `answers` is therefore the
+    /// *total* across sources (with multiplicity), not the union size,
+    /// and `classes_materialized` counts classes touched per constituent
+    /// run (with multiplicity), not distinct classes across the batch.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.pairs_visited += other.pairs_visited;
+        self.edges_scanned += other.edges_scanned;
+        self.classes_materialized += other.classes_materialized;
+        self.answers += other.answers;
+    }
 }

@@ -246,6 +246,15 @@ pub fn translate_states(nfa: &Nfa) -> TranslatedQuery {
 /// query. The CSR arena order (per-node rows sorted by `(Symbol, Oid)`)
 /// gives the `ref` relation a deterministic, label-clustered tuple order.
 pub fn load_csr(tq: &TranslatedQuery, graph: &CsrGraph, source: Oid) -> Database {
+    load_csr_multi(tq, graph, std::slice::from_ref(&source))
+}
+
+/// Like [`load_csr`], but seeds the `source` EDB relation with *every*
+/// source in the batch: the initialization rule then derives the start
+/// predicate for all of them in round 0, so one semi-naive fixpoint
+/// answers the whole multi-source batch (union semantics — the monadic
+/// programs do not track which seed derived which answer).
+pub fn load_csr_multi(tq: &TranslatedQuery, graph: &CsrGraph, sources: &[Oid]) -> Database {
     let mut db = Database::for_program(&tq.program);
     for (a, l, b) in graph.edges() {
         db.insert(
@@ -253,7 +262,9 @@ pub fn load_csr(tq: &TranslatedQuery, graph: &CsrGraph, source: Oid) -> Database
             vec![node_const(a), label_const(l), node_const(b)],
         );
     }
-    db.insert(tq.source_pred, vec![node_const(source)]);
+    for &source in sources {
+        db.insert(tq.source_pred, vec![node_const(source)]);
+    }
     db
 }
 

@@ -17,6 +17,9 @@
 //! * [`engines`] — both runners behind the unified `rpq_core::Engine`
 //!   calling convention, sites sharded from the `rpq_graph::CsrGraph`
 //!   snapshot;
+//! * [`batch`] — the threaded multi-source driver: sources partitioned
+//!   across worker threads, each running the bit-parallel batch kernel
+//!   over the shared immutable snapshot;
 //! * [`decomposition`] — the ship-query-once-per-site baseline of the
 //!   related work (\[30\]), for protocol comparisons;
 //! * [`carrying`] — the Section 5 variant where agents carry accumulated
@@ -30,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod carrying;
 pub mod decomposition;
 pub mod engines;
@@ -39,6 +43,7 @@ pub mod sim;
 pub mod site;
 pub mod threaded;
 
+pub use batch::PartitionedBatchEngine;
 pub use carrying::{run_carrying, CarryingRunResult};
 pub use decomposition::{
     run_decomposition, run_decomposition_checked, DecompositionResult, Partition,

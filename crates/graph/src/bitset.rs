@@ -1,0 +1,263 @@
+//! Dense bit-parallel building blocks for batched evaluation.
+//!
+//! Multi-source evaluation advances many searches through the same
+//! [`crate::CsrGraph`] at once. The batched engines in `rpq-core` represent
+//! their frontiers in two bit-parallel forms, both provided here:
+//!
+//! * [`NodeBitset`] — one bit per graph node in `u64` blocks. A
+//!   [`FrontierArena`] holds one such bitset per automaton state, the
+//!   "single shared frontier" used when callers only need the *union* of
+//!   the per-source answer sets.
+//! * [`LaneMatrix`] — one `u64` *lane mask* per (automaton-state, node)
+//!   cell, where lane `i` belongs to source `i` of the current wave (up to
+//!   64 sources per wave). One pass over a CSR label row ORs a whole mask
+//!   into every target, advancing all pending sources at once; the lane
+//!   partition is what recovers *per-source* reachability afterwards.
+//!
+//! Both structures are plain arenas: allocated once per evaluation (or per
+//! wave) and reset in place, so the hot loops never allocate.
+
+/// A fixed-capacity set of node indices stored as `u64` blocks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeBitset {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl NodeBitset {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> NodeBitset {
+        NodeBitset {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Universe size (number of addressable bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Set bit `i`; returns `true` if it was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (block, bit) = (i / 64, 1u64 << (i % 64));
+        let newly = self.blocks[block] & bit == 0;
+        self.blocks[block] |= bit;
+        newly
+    }
+
+    /// Test bit `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.blocks[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Clear all bits (retains the allocation).
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// OR `other` into `self`; returns `true` if any bit changed.
+    pub fn union_with(&mut self, other: &NodeBitset) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, &b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let merged = *a | b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// Iterate set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    return None;
+                }
+                let t = b.trailing_zeros() as usize;
+                b &= b - 1;
+                Some(bi * 64 + t)
+            })
+        })
+    }
+}
+
+/// One [`NodeBitset`] per automaton state, spanning all graph nodes — the
+/// frontier (or visited-set) shape of the union-mode batched BFS.
+#[derive(Clone, Debug)]
+pub struct FrontierArena {
+    per_state: Vec<NodeBitset>,
+}
+
+impl FrontierArena {
+    /// One empty bitset of capacity `nodes` for each of `states`.
+    pub fn new(states: usize, nodes: usize) -> FrontierArena {
+        FrontierArena {
+            per_state: vec![NodeBitset::new(nodes); states],
+        }
+    }
+
+    /// Number of per-state bitsets.
+    pub fn num_states(&self) -> usize {
+        self.per_state.len()
+    }
+
+    /// The bitset for state `q`.
+    pub fn state(&self, q: usize) -> &NodeBitset {
+        &self.per_state[q]
+    }
+
+    /// Mutable bitset for state `q`.
+    pub fn state_mut(&mut self, q: usize) -> &mut NodeBitset {
+        &mut self.per_state[q]
+    }
+
+    /// True if every per-state bitset is empty (the BFS is done).
+    pub fn is_empty(&self) -> bool {
+        self.per_state.iter().all(|b| b.is_empty())
+    }
+
+    /// Clear every per-state bitset (retains allocations).
+    pub fn clear(&mut self) {
+        for b in &mut self.per_state {
+            b.clear();
+        }
+    }
+
+    /// Swap contents with `other` (the level-synchronous frontier flip).
+    pub fn swap(&mut self, other: &mut FrontierArena) {
+        std::mem::swap(&mut self.per_state, &mut other.per_state);
+    }
+}
+
+/// A dense `(state, node) -> u64` lane-mask table: bit `i` of cell
+/// `(q, v)` says source-lane `i` has reached node `v` in automaton state
+/// `q`. The source-partition bitmap of the bit-parallel batched product
+/// engine (waves of up to 64 lanes).
+#[derive(Clone, Debug)]
+pub struct LaneMatrix {
+    nv: usize,
+    masks: Vec<u64>,
+}
+
+impl LaneMatrix {
+    /// An all-zero table for `states × nodes` cells.
+    pub fn new(states: usize, nodes: usize) -> LaneMatrix {
+        LaneMatrix {
+            nv: nodes,
+            masks: vec![0; states * nodes],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, q: usize, v: usize) -> usize {
+        q * self.nv + v
+    }
+
+    /// The lane mask at `(q, v)`.
+    #[inline]
+    pub fn get(&self, q: usize, v: usize) -> u64 {
+        self.masks[self.idx(q, v)]
+    }
+
+    /// OR `bits` into `(q, v)`; returns the bits that were newly set.
+    #[inline]
+    pub fn or(&mut self, q: usize, v: usize, bits: u64) -> u64 {
+        let i = self.idx(q, v);
+        let newly = bits & !self.masks[i];
+        self.masks[i] |= newly;
+        newly
+    }
+
+    /// Replace the mask at `(q, v)` with zero, returning the old value.
+    #[inline]
+    pub fn take(&mut self, q: usize, v: usize) -> u64 {
+        let i = self.idx(q, v);
+        std::mem::take(&mut self.masks[i])
+    }
+
+    /// Zero every cell (retains the allocation).
+    pub fn clear(&mut self) {
+        self.masks.fill(0);
+    }
+
+    /// Swap contents with `other` (the level-synchronous frontier flip).
+    pub fn swap_contents(&mut self, other: &mut LaneMatrix) {
+        debug_assert_eq!(self.nv, other.nv);
+        std::mem::swap(&mut self.masks, &mut other.masks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = NodeBitset::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 130);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = NodeBitset::new(70);
+        let mut b = NodeBitset::new(70);
+        b.insert(3);
+        b.insert(69);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn frontier_arena_swap_and_clear() {
+        let mut f = FrontierArena::new(3, 10);
+        let mut g = FrontierArena::new(3, 10);
+        f.state_mut(1).insert(7);
+        assert!(!f.is_empty());
+        assert_eq!(f.num_states(), 3);
+        f.swap(&mut g);
+        assert!(f.is_empty());
+        assert!(g.state(1).contains(7));
+        g.clear();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn lane_matrix_or_returns_new_bits() {
+        let mut m = LaneMatrix::new(2, 5);
+        assert_eq!(m.or(1, 3, 0b1010), 0b1010);
+        assert_eq!(m.or(1, 3, 0b1110), 0b0100);
+        assert_eq!(m.get(1, 3), 0b1110);
+        assert_eq!(m.take(1, 3), 0b1110);
+        assert_eq!(m.get(1, 3), 0);
+        m.or(0, 0, 1);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0);
+    }
+}

@@ -16,16 +16,21 @@
 //!   which evaluators may only expand nodes they have reached; implemented
 //!   by [`Instance`], [`CsrGraph`], and by synthetic infinite graphs
 //!   ([`InfiniteTree`], [`InfiniteComb`], [`LassoLine`]).
+//! * [`bitset`] — dense bit-parallel frontiers ([`NodeBitset`],
+//!   [`FrontierArena`], [`LaneMatrix`]) backing the batched multi-source
+//!   engines in `rpq-core`.
 //! * [`generators`] — seeded workloads, including the exact Figure 2 graph
 //!   and the cached-site generator for the Section 3.2 experiments.
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod csr;
 pub mod generators;
 pub mod instance;
 pub mod source;
 
+pub use bitset::{FrontierArena, LaneMatrix, NodeBitset};
 pub use csr::{CsrGraph, LabelStats};
 pub use instance::{Instance, InstanceBuilder, Oid};
 pub use source::{GraphSource, InfiniteComb, InfiniteTree, LassoLine, NodeId};
