@@ -418,6 +418,15 @@ impl Nfa {
     }
 
     /// The reversed-language automaton.
+    ///
+    /// **Stable state numbering — downstream code depends on it:** the
+    /// result has exactly `num_states() + 1` states; state 0 is a fresh
+    /// start (ε-wired to the images of the accepting states) and state
+    /// `i` of `self` becomes state `i + 1`. The meet-in-the-middle pair
+    /// search in `rpq-core` intersects forward cells `(q, v)` with
+    /// backward cells `(q + 1, v)` under precisely this mapping (and
+    /// asserts the state count), so any change here must keep the shift
+    /// or update that correspondence.
     pub fn reverse(&self) -> Nfa {
         let n = self.num_states();
         let mut out = Nfa {
@@ -440,6 +449,33 @@ impl Nfa {
         }
         out.accept[self.start as usize + 1] = true;
         out
+    }
+
+    /// The symbols that can begin an accepted word: labels on transitions
+    /// out of the ε-closure of the start state, restricted to the trimmed
+    /// (useful-state) automaton. Sorted and deduplicated.
+    ///
+    /// Together with [`Nfa::last_symbols`] this is the cost input for
+    /// direction planning: a forward product search pays for edges matching
+    /// the first symbols, a backward search for edges matching the last.
+    pub fn first_symbols(&self) -> Vec<Symbol> {
+        let t = self.trim();
+        let mut out: Vec<Symbol> = t
+            .eps_closure(&[t.start])
+            .iter()
+            .flat_map(|&q| t.trans[q as usize].iter().map(|&(sym, _)| sym))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The symbols that can end an accepted word — the first symbols of
+    /// the reversed language, which is exactly the entry set the backward
+    /// engines pay for ([`Nfa::reverse`] over the reverse adjacency).
+    /// Sorted and deduplicated.
+    pub fn last_symbols(&self) -> Vec<Symbol> {
+        self.reverse().first_symbols()
     }
 
     /// Union of two automata (fresh start with ε-edges to both).
@@ -825,6 +861,32 @@ mod tests {
         assert!(s.accepts(&[]));
         assert!(s.accepts(&w(&mut ab, "abab")));
         assert!(!s.accepts(&w(&mut ab, "aba")));
+    }
+
+    #[test]
+    fn first_and_last_symbols() {
+        let mut ab = Alphabet::new();
+        let n = Nfa::thompson(&re(&mut ab, "a.(b+c)*.d"));
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let c = ab.get("c").unwrap();
+        let d = ab.get("d").unwrap();
+        assert_eq!(n.first_symbols(), vec![a]);
+        assert_eq!(n.last_symbols(), vec![d]);
+        // stars make both ends porous
+        let star = Nfa::thompson(&re(&mut ab, "(a+b)*.c"));
+        let mut firsts = star.first_symbols();
+        firsts.sort_unstable();
+        assert_eq!(firsts, vec![a, b, c]);
+        assert_eq!(star.last_symbols(), vec![c]);
+        // dead branches contribute nothing
+        let dead = Nfa::thompson(&re(&mut ab, "a + b.[]"));
+        assert_eq!(dead.first_symbols(), vec![a]);
+        assert_eq!(dead.last_symbols(), vec![a]);
+        // the reverse automaton swaps the two sets
+        let rev = n.reverse();
+        assert_eq!(rev.first_symbols(), vec![d]);
+        assert_eq!(rev.last_symbols(), vec![a]);
     }
 
     #[test]

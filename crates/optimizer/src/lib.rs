@@ -13,8 +13,12 @@
 //!   simplification, each validated before being offered;
 //! * [`views`] — answering queries from cached views: the Section 5
 //!   Boolean-combination search with the partial-use refinement;
-//! * [`planner`] — plan selection and the memoizing per-site rewrite hook
-//!   for `rpq_distributed::Simulator::with_rewrite`.
+//! * [`planner`] — plan selection and the memoizing, thread-safe per-site
+//!   rewrite hook for the distributed runners;
+//! * [`planned`] — [`PlannedEngine`]: the optimizer as a first-class
+//!   `rpq_core::Engine` that rewrites (*what*), picks a traversal
+//!   direction from label statistics (*how*: forward / backward /
+//!   meet-in-the-middle), and memoizes compiled plans across threads.
 //!
 //! ## Example (the paper's Example 2)
 //!
@@ -34,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod planned;
 pub mod planner;
 pub mod rewrites;
 pub mod views;
 
 pub use cost::{estimated_cost, measured_cost, StaticCost};
+pub use planned::{Direction, Plan, PlannedEngine};
 pub use planner::{optimize, optimize_with_stats, Optimized, RewriteCache};
 pub use rewrites::{candidates, Candidate, RewriteRule};
 pub use views::{

@@ -1,0 +1,510 @@
+//! [`PlannedEngine`] — the optimizer as a first-class evaluation engine.
+//!
+//! The paper's Section 3.2 processor "may use the path constraints holding
+//! at the site to replace the query to be executed by a simpler query" —
+//! it chooses *what* to evaluate. A production engine must also choose
+//! *how*: the reverse CSR adjacency makes backward evaluation possible,
+//! and on label-skewed data the cheap end of a query can be orders of
+//! magnitude cheaper than the expensive end. [`PlannedEngine`] wraps any
+//! [`Engine`] and, per query × snapshot:
+//!
+//! 1. runs the constraint rewrite ([`optimize_with_stats`]) against the
+//!    snapshot's [`rpq_graph::LabelStats`] — the Section 3.2 *what*;
+//! 2. compiles the winner once ([`Query`]) and estimates the forward cost
+//!    (edges matching the query's *first* label group) and the backward
+//!    cost (edges matching its *last*) — the *how*: [`Direction::Backward`]
+//!    when the last group is decisively rarer, [`Direction::Forward`] when
+//!    the first is, [`Direction::Bidirectional`] (meet-in-the-middle) when
+//!    neither end dominates;
+//! 3. memoizes the whole [`Plan`] behind a `parking_lot::Mutex`, so
+//!    repeated queries skip both the rewrite search and recompilation, and
+//!    one engine instance can be shared across threads (the threaded
+//!    distributed runner, `PartitionedBatchEngine` workers).
+//!
+//! Through the [`Engine`] trait ([`Engine::eval`] / [`Engine::eval_batch`])
+//! the planner affects only *what* the inner engine runs — set-semantics
+//! answers are direction-independent, so the wrapper provably returns the
+//! inner engine's answer set. The direction choice pays off on the
+//! scenarios the reverse CSR opens: [`PlannedEngine::eval_to`]
+//! (target-bound) and [`PlannedEngine::eval_pair`] ((source, target)
+//! reachability — bench `t12_direction_choice`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use rpq_automata::{Alphabet, Nfa, Regex};
+use rpq_constraints::general::Budget;
+use rpq_constraints::ConstraintSet;
+use rpq_core::{
+    eval_product_backward_reversed_csr, eval_product_pair_backward_reversed_csr,
+    eval_product_pair_csr, eval_product_pair_forward_csr, BatchResult, Engine, EvalResult,
+    PairResult, Query,
+};
+use rpq_graph::{CsrGraph, LabelStats, Oid};
+
+use crate::planner::optimize_with_stats;
+
+/// The traversal direction planned for directional entry points.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward product BFS over `CsrGraph::out` — the first label group is
+    /// decisively the rare end.
+    Forward,
+    /// Backward product BFS (reversed NFA over `CsrGraph::rev`) — the last
+    /// label group is decisively the rare end.
+    Backward,
+    /// Meet-in-the-middle — neither end dominates.
+    Bidirectional,
+}
+
+/// One planned query over one snapshot: the rewrite winner compiled once
+/// (forward and reversed), plus the direction decision and its cost
+/// inputs.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The rewritten (or original) query, compiled.
+    pub query: Query,
+    /// The rewritten query's reversed NFA (the backward/pair engines run
+    /// it over the reverse adjacency), compiled once with the plan.
+    pub reversed: Nfa,
+    /// Did the constraint rewrite change the query?
+    pub improved: bool,
+    /// The planned direction for pair/target-bound evaluation.
+    pub direction: Direction,
+    /// Estimated forward entry cost: edges matching the first label group.
+    pub forward_cost: usize,
+    /// Estimated backward entry cost: edges matching the last label group.
+    pub backward_cost: usize,
+}
+
+/// Outer memo key: node/edge counts plus a hash of the per-label
+/// statistics, so snapshots that merely *coincide* in size do not share
+/// plans (direction and rewrite ranking both come from the statistics).
+/// The inner map is keyed by the input query, probed by reference.
+type SnapshotKey = (usize, usize, u64);
+
+fn snapshot_key(graph: &CsrGraph) -> SnapshotKey {
+    (
+        graph.num_nodes(),
+        graph.num_edges(),
+        stats_fingerprint(graph.stats()),
+    )
+}
+
+fn stats_fingerprint(stats: &LabelStats) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for (sym, edges) in stats.iter() {
+        (sym.index(), edges, stats.source_count(sym)).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Bound on distinct snapshots the plan memo retains: a long-lived engine
+/// over a mutating graph sees a fresh `CsrGraph` (and [`SnapshotKey`]) per
+/// rebuild, and each retired snapshot's plans are dead weight — without a
+/// bound the memo grows with snapshots × queries. Superseded snapshots are
+/// evicted wholesale once the bound is hit; the working set of live
+/// snapshots in any realistic deployment is far below it.
+const MAX_MEMOIZED_SNAPSHOTS: usize = 8;
+
+/// An [`Engine`] wrapper that plans before it evaluates: constraint
+/// rewriting (*what*), direction choice (*how*), and a shared, thread-safe
+/// compiled-plan memo. See the module docs.
+pub struct PlannedEngine<E> {
+    inner: E,
+    set: ConstraintSet,
+    alphabet: Alphabet,
+    budget: Budget,
+    memo: Mutex<HashMap<SnapshotKey, HashMap<Regex, Arc<Plan>>>>,
+}
+
+impl<E> PlannedEngine<E> {
+    /// Plan over `set` (the constraints holding at this site) with the
+    /// default validation [`Budget`].
+    pub fn new(inner: E, set: ConstraintSet, alphabet: Alphabet) -> PlannedEngine<E> {
+        PlannedEngine {
+            inner,
+            set,
+            alphabet,
+            budget: Budget::default(),
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Plan without constraints: the rewrite pass is an identity and only
+    /// the direction choice and plan memo remain.
+    pub fn unconstrained(inner: E, alphabet: Alphabet) -> PlannedEngine<E> {
+        PlannedEngine::new(inner, ConstraintSet::default(), alphabet)
+    }
+
+    /// Replace the candidate-validation budget.
+    pub fn with_budget(mut self, budget: Budget) -> PlannedEngine<E> {
+        self.budget = budget;
+        self
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Number of distinct (query, snapshot) plans memoized.
+    pub fn plans_cached(&self) -> usize {
+        self.memo.lock().values().map(HashMap::len).sum()
+    }
+
+    /// The plan for `query` over `graph` (memoized): rewrite winner,
+    /// compiled NFA, direction decision.
+    pub fn plan(&self, query: &Query, graph: &CsrGraph) -> Arc<Plan> {
+        self.build_plan(query.regex(), query.alphabet(), graph)
+    }
+
+    /// The rewritten form of `q` over `graph`'s statistics (memoized) —
+    /// usable as the per-site hook of the distributed runners:
+    /// `sim.with_rewrite(|_site, q| planned.rewrite(q, &graph))`.
+    pub fn rewrite(&self, q: &Regex, graph: &CsrGraph) -> Regex {
+        self.build_plan(q, &self.alphabet, graph)
+            .query
+            .regex()
+            .clone()
+    }
+
+    fn build_plan(&self, q: &Regex, alphabet: &Alphabet, graph: &CsrGraph) -> Arc<Plan> {
+        let snapshot = snapshot_key(graph);
+        // Memo probe by reference — the query is cloned only on a miss.
+        if let Some(plan) = self.memo.lock().get(&snapshot).and_then(|m| m.get(q)) {
+            return plan.clone();
+        }
+        // Planning runs unlocked: a concurrent duplicate costs one extra
+        // rewrite search, and insertion is idempotent (same winner).
+        let stats = graph.stats();
+        let opt = optimize_with_stats(&self.set, q, alphabet, &self.budget, stats);
+        let improved = opt.improved();
+        let query = Query::new(opt.query, alphabet);
+        let reversed = query.nfa().reverse();
+        let group_cost = |symbols: &[rpq_automata::Symbol]| -> usize {
+            symbols.iter().map(|&s| stats.edge_count(s)).sum()
+        };
+        let forward_cost = group_cost(&query.nfa().first_symbols());
+        // last symbols of the query = first symbols of its reversal, which
+        // is already compiled — so both cost inputs come for free here
+        let backward_cost = group_cost(&reversed.first_symbols());
+        let direction = choose_direction(forward_cost, backward_cost);
+        let plan = Arc::new(Plan {
+            query,
+            reversed,
+            improved,
+            direction,
+            forward_cost,
+            backward_cost,
+        });
+        let mut memo = self.memo.lock();
+        if memo.len() >= MAX_MEMOIZED_SNAPSHOTS && !memo.contains_key(&snapshot) {
+            // Evict an arbitrary retired snapshot to bound memory; plans
+            // for it will simply be rebuilt if that graph comes back.
+            if let Some(stale) = memo.keys().find(|&&k| k != snapshot).copied() {
+                memo.remove(&stale);
+            }
+        }
+        memo.entry(snapshot)
+            .or_default()
+            .insert(q.clone(), plan.clone());
+        plan
+    }
+
+    /// Target-bound evaluation `{o | target ∈ p(o, I)}`: rewrite, then run
+    /// the backward product BFS over the reverse adjacency, reusing the
+    /// plan's cached reversed NFA.
+    pub fn eval_to(&self, query: &Query, graph: &CsrGraph, target: Oid) -> EvalResult {
+        let plan = self.plan(query, graph);
+        eval_product_backward_reversed_csr(&plan.reversed, graph, target)
+    }
+
+    /// Pair reachability `target ∈ p(source, I)?` by the planned
+    /// direction: forward with early exit, backward with early exit, or
+    /// meet-in-the-middle.
+    pub fn eval_pair(
+        &self,
+        query: &Query,
+        graph: &CsrGraph,
+        source: Oid,
+        target: Oid,
+    ) -> PairResult {
+        let plan = self.plan(query, graph);
+        let nfa = plan.query.nfa();
+        match plan.direction {
+            Direction::Forward => eval_product_pair_forward_csr(nfa, graph, source, target),
+            Direction::Backward => {
+                eval_product_pair_backward_reversed_csr(&plan.reversed, graph, source, target)
+            }
+            Direction::Bidirectional => eval_product_pair_csr(nfa, graph, source, target),
+        }
+    }
+}
+
+/// Pick the direction from the two entry-cost estimates: a decisive (≥ 2×)
+/// win on either end takes that end; otherwise meet in the middle. Equal
+/// costs (including the all-zero degenerate case) stay bidirectional.
+fn choose_direction(forward_cost: usize, backward_cost: usize) -> Direction {
+    if forward_cost == backward_cost {
+        Direction::Bidirectional
+    } else if backward_cost * 2 <= forward_cost {
+        Direction::Backward
+    } else if forward_cost * 2 <= backward_cost {
+        Direction::Forward
+    } else {
+        Direction::Bidirectional
+    }
+}
+
+impl<E: Engine> Engine for PlannedEngine<E> {
+    fn name(&self) -> &'static str {
+        "planned"
+    }
+
+    /// Rewrite (memoized), then delegate to the inner engine. The answer
+    /// set equals the inner engine's on the original query whenever the
+    /// constraint set holds at `source` (the Section 3.2 site assumption);
+    /// with no constraints it is identical unconditionally.
+    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
+        let plan = self.plan(query, graph);
+        self.inner.eval(&plan.query, graph, source)
+    }
+
+    /// One plan serves the whole batch: the rewrite and compilation happen
+    /// once before the fan-out, so e.g. `PartitionedBatchEngine` workers
+    /// all share the planned query.
+    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+        let plan = self.plan(query, graph);
+        self.inner.eval_batch(&plan.query, graph, sources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::parse_regex;
+    use rpq_core::ProductEngine;
+    use rpq_graph::{Instance, InstanceBuilder};
+
+    /// The shared T5 cached workload (`rpq_bench::distributed_workload`):
+    /// an a·b backbone with trap branches, the cache label `l` wired from
+    /// `v0` to every (a.b)*-reachable node, so `l = (a.b)*` holds at `v0`.
+    fn cached_workload(depth: usize) -> (Alphabet, ConstraintSet, Instance, Oid) {
+        let w = rpq_bench::distributed_workload(depth);
+        assert!(w.constraints.holds_at(&w.instance, w.source));
+        (w.alphabet, w.constraints, w.instance, w.source)
+    }
+
+    #[test]
+    fn planned_engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlannedEngine<ProductEngine>>();
+    }
+
+    #[test]
+    fn planned_answers_match_inner_on_the_cached_workload() {
+        let (mut ab, set, inst, v0) = cached_workload(6);
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
+        let query = Query::parse(&mut ab, "(a.b)*").unwrap();
+        let plain = ProductEngine.eval(&query, &graph, v0);
+        let opt = planned.eval(&query, &graph, v0);
+        assert_eq!(opt.answers, plain.answers);
+        let plan = planned.plan(&query, &graph);
+        assert!(plan.improved, "the cache substitution must fire");
+        assert!(
+            opt.stats.edges_scanned < plain.stats.edges_scanned,
+            "rewritten query must do less work: {} vs {}",
+            opt.stats.edges_scanned,
+            plain.stats.edges_scanned
+        );
+    }
+
+    #[test]
+    fn plans_are_memoized_per_query_and_snapshot() {
+        let (mut ab, set, inst, v0) = cached_workload(4);
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
+        let query = Query::parse(&mut ab, "(a.b)*").unwrap();
+        let p1 = planned.plan(&query, &graph);
+        let p2 = planned.plan(&query, &graph);
+        assert!(Arc::ptr_eq(&p1, &p2), "second plan must be the memo hit");
+        assert_eq!(planned.plans_cached(), 1);
+        planned.eval(&query, &graph, v0);
+        assert_eq!(planned.plans_cached(), 1, "eval reuses the plan");
+        let other = Query::parse(&mut ab, "a.b").unwrap();
+        planned.eval(&other, &graph, v0);
+        assert_eq!(planned.plans_cached(), 2);
+    }
+
+    #[test]
+    fn backward_is_planned_when_the_last_label_is_rare() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..64 {
+            b.edge("s", "hot", &format!("f{i}"));
+            b.edge(&format!("f{i}"), "hot", &format!("g{i}"));
+        }
+        b.edge("g0", "cold", "t");
+        let (inst, names) = b.finish();
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = Query::parse(&mut ab, "hot.hot.cold").unwrap();
+        let plan = planned.plan(&query, &graph);
+        assert_eq!(plan.direction, Direction::Backward, "{plan:?}");
+        assert!(plan.backward_cost < plan.forward_cost);
+
+        let (s, t) = (names["s"], names["t"]);
+        let planned_pair = planned.eval_pair(&query, &graph, s, t);
+        let forced_forward = rpq_core::eval_product_pair_forward_csr(query.nfa(), &graph, s, t);
+        assert!(planned_pair.reachable && forced_forward.reachable);
+        assert!(
+            planned_pair.stats.edges_scanned * 10 < forced_forward.stats.edges_scanned,
+            "backward must win big: {} vs {}",
+            planned_pair.stats.edges_scanned,
+            forced_forward.stats.edges_scanned
+        );
+
+        // the target-bound scenario uses the same rare entry
+        let to = planned.eval_to(&query, &graph, t);
+        assert_eq!(to.answers, vec![s]);
+    }
+
+    #[test]
+    fn forward_is_planned_when_the_first_label_is_rare() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s", "cold", "m");
+        for i in 0..64 {
+            b.edge("m", "hot", &format!("t{i}"));
+        }
+        let (inst, _) = b.finish();
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = Query::parse(&mut ab, "cold.hot").unwrap();
+        let plan = planned.plan(&query, &graph);
+        assert_eq!(plan.direction, Direction::Forward, "{plan:?}");
+    }
+
+    #[test]
+    fn balanced_ends_plan_bidirectional() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("x", "a", "y");
+        b.edge("y", "a", "z");
+        let (inst, _) = b.finish();
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = Query::parse(&mut ab, "a.a").unwrap();
+        assert_eq!(
+            planned.plan(&query, &graph).direction,
+            Direction::Bidirectional
+        );
+    }
+
+    #[test]
+    fn same_sized_snapshots_with_different_stats_get_distinct_plans() {
+        // Two graphs with identical node and edge counts but opposite
+        // label skew: plans must not be shared (the second graph would
+        // inherit a backward plan against its *fat* reverse entry).
+        let build = |last_is_rare: bool| {
+            let mut ab = Alphabet::new();
+            let mut b = InstanceBuilder::new(&mut ab);
+            if last_is_rare {
+                // 16 hot fan edges, one cold edge into t
+                for i in 0..16 {
+                    b.edge("s", "hot", &format!("m{i}"));
+                }
+                b.edge("m0", "cold", "t");
+            } else {
+                // one hot edge, 16 cold edges into t (same node/edge counts)
+                b.edge("s", "hot", "m0");
+                for i in 0..16 {
+                    b.edge(&format!("m{i}"), "cold", "t");
+                }
+            }
+            let (inst, _) = b.finish();
+            (ab, CsrGraph::from(&inst))
+        };
+        let (ab, skew_backward) = build(true);
+        let (_, skew_forward) = build(false);
+        assert_eq!(skew_backward.num_nodes(), skew_forward.num_nodes());
+        assert_eq!(skew_backward.num_edges(), skew_forward.num_edges());
+
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let mut ab2 = ab.clone();
+        let query = Query::parse(&mut ab2, "hot.cold").unwrap();
+        assert_eq!(
+            planned.plan(&query, &skew_backward).direction,
+            Direction::Backward
+        );
+        assert_eq!(
+            planned.plan(&query, &skew_forward).direction,
+            Direction::Forward,
+            "the second snapshot must get its own plan, not the memo hit"
+        );
+        assert_eq!(planned.plans_cached(), 2);
+    }
+
+    #[test]
+    fn plan_memo_is_bounded_across_snapshots() {
+        // Simulate a mutating graph: every rebuild produces a snapshot
+        // with a fresh stats fingerprint. The memo must retain at most
+        // MAX_MEMOIZED_SNAPSHOTS snapshot entries.
+        let mut ab = Alphabet::new();
+        let planned = PlannedEngine::unconstrained(ProductEngine, {
+            ab.intern("a");
+            ab.clone()
+        });
+        let query = Query::parse(&mut ab, "a.a").unwrap();
+        for gen in 1..=2 * MAX_MEMOIZED_SNAPSHOTS {
+            let mut b = InstanceBuilder::new(&mut ab);
+            for i in 0..gen {
+                b.edge(&format!("x{i}"), "a", &format!("y{i}"));
+            }
+            let (inst, _) = b.finish();
+            planned.plan(&query, &CsrGraph::from(&inst));
+        }
+        assert!(
+            planned.plans_cached() <= MAX_MEMOIZED_SNAPSHOTS,
+            "memo must evict retired snapshots: {} plans",
+            planned.plans_cached()
+        );
+    }
+
+    #[test]
+    fn one_planned_engine_shared_across_threads() {
+        let (mut ab, set, inst, v0) = cached_workload(5);
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
+        let query = Query::parse(&mut ab, "(a.b)*").unwrap();
+        let expected = planned.eval(&query, &graph, v0).answers;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..4 {
+                        assert_eq!(planned.eval(&query, &graph, v0).answers, expected);
+                    }
+                });
+            }
+        });
+        assert_eq!(planned.plans_cached(), 1);
+    }
+
+    #[test]
+    fn rewrite_hook_form_is_memoized() {
+        let (mut ab, set, inst, _) = cached_workload(4);
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
+        let q = parse_regex(&mut ab, "(a.b)*").unwrap();
+        let r1 = planned.rewrite(&q, &graph);
+        let r2 = planned.rewrite(&q, &graph);
+        assert_eq!(r1, r2);
+        assert_ne!(r1, q, "the cache substitution must fire");
+        assert_eq!(planned.plans_cached(), 1);
+    }
+}

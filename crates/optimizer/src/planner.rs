@@ -7,8 +7,9 @@
 //! [`RewriteCache`] packages the optimizer as the per-site hook expected by
 //! `rpq_distributed::Simulator::with_rewrite`.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+
+use parking_lot::Mutex;
 
 use rpq_automata::{Alphabet, Regex};
 use rpq_constraints::general::Budget;
@@ -148,15 +149,21 @@ fn optimize_scored(
     }
 }
 
-/// A memoizing per-site rewrite hook for the distributed simulator: every
+/// A memoizing per-site rewrite hook for the distributed runners: every
 /// site shares `set` (or use one cache per site set). Interior mutability
-/// because the simulator's hook is `Fn`.
+/// because the runners' hook is `Fn`; the memo sits behind a
+/// `parking_lot::Mutex`, so the cache is `Send + Sync` and one instance can
+/// back the *threaded* runner and the `PartitionedBatchEngine` workers,
+/// not just the single-threaded simulator. The lock is held only around
+/// memo probes/inserts — the optimization itself runs unlocked (a race
+/// costs at most one duplicate optimization of the same query; both
+/// results are identical, insertion is idempotent).
 pub struct RewriteCache<'a> {
     set: &'a ConstraintSet,
     alphabet: &'a Alphabet,
     budget: Budget,
     stats: Option<LabelStats>,
-    memo: RefCell<HashMap<Regex, Regex>>,
+    memo: Mutex<HashMap<Regex, Regex>>,
 }
 
 impl<'a> RewriteCache<'a> {
@@ -167,7 +174,7 @@ impl<'a> RewriteCache<'a> {
             alphabet,
             budget,
             stats: None,
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -180,7 +187,7 @@ impl<'a> RewriteCache<'a> {
 
     /// The rewrite for `q` (memoized).
     pub fn rewrite(&self, q: &Regex) -> Regex {
-        if let Some(r) = self.memo.borrow().get(q) {
+        if let Some(r) = self.memo.lock().get(q) {
             return r.clone();
         }
         let out = match &self.stats {
@@ -189,18 +196,18 @@ impl<'a> RewriteCache<'a> {
             }
             None => optimize(self.set, q, self.alphabet, &self.budget).query,
         };
-        self.memo.borrow_mut().insert(q.clone(), out.clone());
+        self.memo.lock().insert(q.clone(), out.clone());
         out
     }
 
     /// Number of distinct queries optimized.
     pub fn len(&self) -> usize {
-        self.memo.borrow().len()
+        self.memo.lock().len()
     }
 
     /// Is the memo empty?
     pub fn is_empty(&self) -> bool {
-        self.memo.borrow().is_empty()
+        self.memo.lock().is_empty()
     }
 }
 
@@ -298,5 +305,30 @@ mod tests {
         assert_eq!(r1, r2);
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    /// Compile-time: the cache must be shareable across the threaded
+    /// distributed runner and the partitioned batch workers.
+    #[test]
+    fn rewrite_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RewriteCache<'_>>();
+    }
+
+    #[test]
+    fn one_cache_shared_across_threads() {
+        let (ab, set, q) = setup(&["l.l = l"], "l*");
+        let cache = RewriteCache::new(&set, &ab, Budget::default());
+        let expected = cache.rewrite(&q);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(cache.rewrite(&q), expected);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1, "all threads hit the one memo entry");
     }
 }

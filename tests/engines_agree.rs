@@ -338,6 +338,118 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Direction agreement: for every (source, target) pair of a random
+    /// graph × random regex, the forward answer relation, the backward
+    /// (transpose-semantics) relation, and the meet-in-the-middle pair
+    /// verdicts coincide — through the product engine, the quotient-DFA
+    /// engine, and both `PlannedEngine`-wrapped variants — and a
+    /// `PlannedEngine` never returns a different answer set than its
+    /// inner engine.
+    #[test]
+    fn directions_agree_on_random_inputs(seed in 0u64..10_000) {
+        use rpq::core::{eval_pair, eval_to, QuotientDfaEngine};
+        use rpq::optimizer::PlannedEngine;
+
+        let (ab, inst, _, q) = random_setup(seed, 6, 12);
+        let graph = CsrGraph::from(&inst);
+        let query = Query::new(q, &ab);
+        // no constraints: the rewrite pass is an identity, so the wrapper
+        // must match its inner engine on *every* input
+        let planned_product = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let planned_quotient = PlannedEngine::unconstrained(QuotientDfaEngine, ab.clone());
+
+        let forward: Vec<Vec<Oid>> = graph
+            .nodes()
+            .map(|s| ProductEngine.eval(&query, &graph, s).answers)
+            .collect();
+        for s in graph.nodes() {
+            let quot = QuotientDfaEngine.eval(&query, &graph, s).answers;
+            prop_assert_eq!(&quot, &forward[s.index()], "quotient fwd {:?}", s);
+            prop_assert_eq!(
+                &planned_product.eval(&query, &graph, s).answers,
+                &forward[s.index()],
+                "planned(product) == product at {:?}", s
+            );
+            prop_assert_eq!(
+                &planned_quotient.eval(&query, &graph, s).answers,
+                &quot,
+                "planned(quotient) == quotient at {:?}", s
+            );
+        }
+
+        for t in graph.nodes() {
+            let backward = eval_to(&query, &graph, t).answers;
+            prop_assert_eq!(
+                &planned_product.eval_to(&query, &graph, t).answers,
+                &backward,
+                "planned eval_to at {:?}", t
+            );
+            for s in graph.nodes() {
+                let fwd_says = forward[s.index()].binary_search(&t).is_ok();
+                prop_assert_eq!(
+                    backward.binary_search(&s).is_ok(),
+                    fwd_says,
+                    "transpose semantics {:?}->{:?}", s, t
+                );
+                prop_assert_eq!(
+                    eval_pair(&query, &graph, s, t).reachable,
+                    fwd_says,
+                    "meet-in-the-middle {:?}->{:?}", s, t
+                );
+                prop_assert_eq!(
+                    planned_product.eval_pair(&query, &graph, s, t).reachable,
+                    fwd_says,
+                    "planned(product) pair {:?}->{:?}", s, t
+                );
+                prop_assert_eq!(
+                    planned_quotient.eval_pair(&query, &graph, s, t).reachable,
+                    fwd_says,
+                    "planned(quotient) pair {:?}->{:?}", s, t
+                );
+            }
+        }
+    }
+}
+
+/// `PlannedEngine` wrapped around representatives of every evaluation
+/// family (centralized, Datalog, distributed, partitioned batch) returns
+/// exactly the inner engine's answer set — no constraints, so the rewrite
+/// is an identity and any divergence would be a planner bug.
+#[test]
+fn planned_wrapper_never_changes_answers() {
+    use rpq::core::QuotientDfaEngine;
+    use rpq::optimizer::PlannedEngine;
+
+    for seed in [2u64, 23, 404] {
+        let (ab, inst, src, q) = random_setup(seed, 20, 60);
+        let graph = CsrGraph::from(&inst);
+        let query = Query::new(q, &ab);
+        let expected = ProductEngine.eval(&query, &graph, src).answers;
+
+        macro_rules! check {
+            ($inner:expr) => {{
+                let inner_answers = $inner.eval(&query, &graph, src).answers;
+                assert_eq!(inner_answers, expected, "inner disagrees (seed {seed})");
+                let planned = PlannedEngine::unconstrained($inner, ab.clone());
+                assert_eq!(
+                    planned.eval(&query, &graph, src).answers,
+                    inner_answers,
+                    "planned wrapper changed answers (seed {seed})"
+                );
+            }};
+        }
+        check!(ProductEngine);
+        check!(QuotientDfaEngine);
+        check!(DerivativeEngine);
+        check!(DatalogSeminaiveEngine);
+        check!(SimulatorEngine::default());
+        check!(rpq::distributed::PartitionedBatchEngine { workers: 3 });
+    }
+}
+
 /// Acceptance: on shared-prefix graphs (many sources funneling into one
 /// suffix) the bit-parallel batch engine scans strictly fewer edges than
 /// the per-source loop — one CSR row pass carries every pending source
