@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use rpq_automata::{parse_regex, Alphabet, Regex, Symbol};
 use rpq_constraints::{ConstraintKind, ConstraintSet, PathConstraint};
 use rpq_graph::generators::web_graph;
-use rpq_graph::{Instance, Oid};
+use rpq_graph::{EdgeDelta, Instance, Oid};
 
 /// A web-like evaluation workload: graph, source, and a query suite over
 /// labels `l0..l2`.
@@ -193,6 +193,58 @@ pub fn direction_workload(fanout: usize) -> DirectionWorkload {
     }
 }
 
+/// An incremental-update workload (T13): a web-like base graph plus a
+/// small [`EdgeDelta`] batch over its existing nodes. The comparison under
+/// test: absorbing the batch through a `rpq_graph::DeltaGraph` overlay
+/// (`O(batch)` sorted-log patches) versus the full `CsrGraph::from`
+/// rebuild (`O(V + E)` re-sort) the seed architecture paid per mutation.
+pub struct IncrementalWorkload {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// The base instance (snapshot with `CsrGraph::from` or wrap in a
+    /// `DeltaGraph`).
+    pub instance: Instance,
+    /// The small mutation batch (adds and deletes over existing nodes).
+    pub delta: EdgeDelta,
+    /// Evaluation source for the post-delta query checks.
+    pub source: Oid,
+    /// The evaluation query `l0.(l1+l2)*`.
+    pub query: Regex,
+}
+
+/// Build the T13 workload: a seeded `web_graph` with roughly `3 × nodes`
+/// edges and a delta of `batch` adds plus `batch / 2` deletes drawn over
+/// the same node set (deterministic from the sizes).
+pub fn incremental_workload(nodes: usize, batch: usize) -> IncrementalWorkload {
+    use rand::Rng as _;
+    let mut alphabet = Alphabet::new();
+    let labels: Vec<Symbol> = (0..3).map(|i| alphabet.intern(&format!("l{i}"))).collect();
+    let mut rng = StdRng::seed_from_u64(nodes as u64 ^ 0x7d13);
+    let (instance, source) = web_graph(&mut rng, nodes, 3, &labels);
+
+    let mut delta = EdgeDelta::new();
+    let existing: Vec<(Oid, Symbol, Oid)> = instance.edges().collect();
+    for _ in 0..batch / 2 {
+        let (f, l, t) = existing[rng.random_range(0..existing.len())];
+        delta.del(f, l, t);
+    }
+    let n = instance.num_nodes() as u32;
+    for _ in 0..batch {
+        let f = Oid(rng.random_range(0..n));
+        let t = Oid(rng.random_range(0..n));
+        let l = labels[rng.random_range(0..labels.len())];
+        delta.add(f, l, t);
+    }
+    let query = parse_regex(&mut alphabet, "l0.(l1+l2)*").unwrap();
+    IncrementalWorkload {
+        alphabet,
+        instance,
+        delta,
+        source,
+        query,
+    }
+}
+
 /// A word-constraint system of `n_rules` rules over `sigma` letters with
 /// words of length ≤ `max_len` (T2): deterministic from the seed, always
 /// free of derived-emptiness degeneracies (right-hand sides are non-empty).
@@ -341,6 +393,19 @@ mod tests {
         let res =
             rpq_core::eval_product_csr(&rpq_automata::Nfa::thompson(&w.query), &csr, w.source);
         assert_eq!(res.answers, vec![w.target]);
+    }
+
+    #[test]
+    fn incremental_workload_delta_touches_existing_nodes() {
+        let w = incremental_workload(256, 16);
+        assert_eq!(w.delta.adds.len(), 16);
+        assert_eq!(w.delta.dels.len(), 8);
+        let n = w.instance.num_nodes() as u32;
+        for &(f, _, t) in w.delta.adds.iter().chain(&w.delta.dels) {
+            assert!(f.0 < n && t.0 < n);
+        }
+        // the batch is a tiny fraction of the base
+        assert!(w.delta.len() * 20 < w.instance.num_edges());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use rpq_automata::{Nfa, StateId};
 use rpq_graph::bitset::{FrontierArena, LaneMatrix, NodeBitset};
-use rpq_graph::{CsrGraph, Oid};
+use rpq_graph::{GraphView, Oid};
 
 use crate::quotient::SubsetInterner;
 use crate::stats::EvalStats;
@@ -109,7 +109,7 @@ fn collect_wave_answers(answer_masks: &[u64], wave_len: usize, out: &mut Vec<Vec
 /// cell this level together. Per-source answers are recovered from the
 /// lane partition. `stats` are aggregated over waves; `answers` counts the
 /// per-source total (matching the default loop-over-`eval` aggregation).
-pub fn eval_product_batch_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+pub fn eval_product_batch_csr<G: GraphView>(nfa: &Nfa, graph: &G, sources: &[Oid]) -> BatchResult {
     let nq = nfa.num_states();
     let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
@@ -179,7 +179,7 @@ pub fn eval_product_batch_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]) -> B
                     for &(sym, q2) in nfa.transitions(q as StateId) {
                         let targets = graph.out(Oid(v as u32), sym);
                         stats.edges_scanned += targets.len();
-                        for &v2 in targets {
+                        for v2 in targets {
                             let newbits = reached.or(q2 as usize, v2.index(), m);
                             if newbits != 0 {
                                 next.or(q2 as usize, v2.index(), newbits);
@@ -210,7 +210,11 @@ pub fn eval_product_batch_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]) -> B
 /// Union-mode batched product BFS: one shared frontier — a [`NodeBitset`]
 /// per NFA state — seeded with *all* sources, for callers that only need
 /// `⋃ᵢ p(oᵢ, I)`. Work is that of a single BFS regardless of batch size.
-pub fn eval_product_batch_union_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+pub fn eval_product_batch_union_csr<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    sources: &[Oid],
+) -> BatchResult {
     let nq = nfa.num_states();
     let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
@@ -258,7 +262,7 @@ pub fn eval_product_batch_union_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]
                 for &(sym, q2) in nfa.transitions(q as StateId) {
                     let targets = graph.out(Oid(v as u32), sym);
                     stats.edges_scanned += targets.len();
-                    for &v2 in targets {
+                    for v2 in targets {
                         if reached.state_mut(q2 as usize).insert(v2.index()) {
                             next.state_mut(q2 as usize).insert(v2.index());
                         }
@@ -282,7 +286,11 @@ pub fn eval_product_batch_union_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]
 /// classes lazily determinized through the subset interner shared with
 /// [`crate::eval_quotient_dfa_csr`] (one subset step + memo probe per
 /// distinct `(class, label)` for the whole batch, not per source).
-pub fn eval_quotient_dfa_batch_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+pub fn eval_quotient_dfa_batch_csr<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    sources: &[Oid],
+) -> BatchResult {
     let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
     let mut interner = SubsetInterner::new(nfa);
@@ -324,7 +332,7 @@ pub fn eval_quotient_dfa_batch_csr(nfa: &Nfa, graph: &CsrGraph, sources: &[Oid])
                     reached.push(vec![0; nv]);
                     pending.push(vec![0; nv]);
                 }
-                for &v2 in targets {
+                for v2 in targets {
                     let newbits = m & !reached[c2][v2.index()];
                     if newbits != 0 {
                         reached[c2][v2.index()] |= newbits;
@@ -352,7 +360,7 @@ mod tests {
     use super::*;
     use crate::engine::{Engine, ProductEngine, Query};
     use rpq_automata::Alphabet;
-    use rpq_graph::InstanceBuilder;
+    use rpq_graph::{CsrGraph, InstanceBuilder};
 
     fn diamond() -> (Alphabet, CsrGraph, Vec<Oid>) {
         let mut ab = Alphabet::new();

@@ -108,6 +108,37 @@ pub trait Engine {
         }
         BatchResult::from_per_source(per_source, stats)
     }
+
+    /// Target-bound evaluation `{o | target ∈ p(o, I)}`.
+    ///
+    /// The default implementation runs the shared backward product BFS
+    /// (reversed NFA over the reverse adjacency,
+    /// [`crate::eval_product_backward_csr`]) — correct for every engine
+    /// because set-semantics answers are direction-independent. Engines
+    /// with planner state override it (e.g. `PlannedEngine` reuses its
+    /// plan's cached reversed automaton and stamps cache counters).
+    fn eval_to(&self, query: &Query, graph: &CsrGraph, target: Oid) -> EvalResult {
+        crate::pair::eval_to(query, graph, target)
+    }
+
+    /// Evaluate the target-bound question for every target in `targets` —
+    /// the multi-*target* mirror of [`Engine::eval_batch`].
+    ///
+    /// The default implementation loops [`Engine::eval_to`] and merges the
+    /// per-target [`EvalStats`]; `per_source()` of the result is aligned
+    /// with `targets`. This is the API seam for a future bit-parallel
+    /// backward wave (the lane machinery of `rpq_graph::bitset` applies
+    /// symmetrically over the reverse adjacency).
+    fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
+        let mut stats = EvalStats::default();
+        let mut per_target = Vec::with_capacity(targets.len());
+        for &t in targets {
+            let r = self.eval_to(query, graph, t);
+            stats.merge(&r.stats);
+            per_target.push(r.answers);
+        }
+        BatchResult::from_per_source(per_target, stats)
+    }
 }
 
 /// The Section 2.2 product-automaton BFS ([`crate::eval_product_csr`]).
@@ -239,8 +270,8 @@ impl Engine for StreamingEngine {
         let stats = EvalStats {
             pairs_visited: ev.pairs_discovered(),
             edges_scanned: ev.edges_fetched(),
-            classes_materialized: 0,
             answers: answers.len(),
+            ..EvalStats::default()
         };
         EvalResult { answers, stats }
     }

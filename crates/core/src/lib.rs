@@ -99,5 +99,5 @@ pub use quotient::{
     eval_derivative, eval_derivative_csr, eval_quotient_dfa, eval_quotient_dfa_csr,
 };
 pub use rpq_graph::CsrGraph;
-pub use stats::EvalStats;
+pub use stats::{Direction, EvalStats};
 pub use streaming::{StreamStatus, StreamingEval};

@@ -4,7 +4,9 @@
 //! The forward engines answer the *set* question "which objects does
 //! `p(o, I)` contain?". Many workloads ask the cheaper *pair* question:
 //! "does this word-labeled path exist between these two objects?". Three
-//! strategies answer it over the [`CsrGraph`] snapshot:
+//! strategies answer it over any [`GraphView`] snapshot (the
+//! [`rpq_graph::CsrGraph`]
+//! or a delta overlay):
 //!
 //! * [`eval_product_pair_forward_csr`] — the forward product BFS of
 //!   [`crate::eval_product_csr`] with an early exit as soon as `target`
@@ -29,7 +31,7 @@
 
 use rpq_automata::{Nfa, StateId};
 use rpq_graph::bitset::FrontierArena;
-use rpq_graph::{CsrGraph, Oid};
+use rpq_graph::{GraphView, Oid};
 
 use crate::engine::Query;
 use crate::product::{eval_product_backward_csr, product_search, EvalResult};
@@ -45,9 +47,9 @@ pub struct PairResult {
 }
 
 /// Forward product BFS with an early exit on `target`.
-pub fn eval_product_pair_forward_csr(
+pub fn eval_product_pair_forward_csr<G: GraphView>(
     nfa: &Nfa,
-    graph: &CsrGraph,
+    graph: &G,
     source: Oid,
     target: Oid,
 ) -> PairResult {
@@ -57,9 +59,9 @@ pub fn eval_product_pair_forward_csr(
 
 /// Backward product BFS (reversed NFA over the reverse adjacency, starting
 /// at `target`) with an early exit on `source`.
-pub fn eval_product_pair_backward_csr(
+pub fn eval_product_pair_backward_csr<G: GraphView>(
     nfa: &Nfa,
-    graph: &CsrGraph,
+    graph: &G,
     source: Oid,
     target: Oid,
 ) -> PairResult {
@@ -69,9 +71,9 @@ pub fn eval_product_pair_backward_csr(
 /// As [`eval_product_pair_backward_csr`], but taking the
 /// *already-reversed* automaton — for callers that cache [`Nfa::reverse`]
 /// across repeated pair queries (e.g. the planner's compiled plans).
-pub fn eval_product_pair_backward_reversed_csr(
+pub fn eval_product_pair_backward_reversed_csr<G: GraphView>(
     reversed: &Nfa,
-    graph: &CsrGraph,
+    graph: &G,
     source: Oid,
     target: Oid,
 ) -> PairResult {
@@ -87,7 +89,12 @@ fn pair_result(reachable: bool, mut stats: EvalStats) -> PairResult {
 /// Meet-in-the-middle pair reachability: alternate expanding the smaller
 /// frontier of the forward and backward product searches, stopping at the
 /// first `(state, node)` cell seen from both ends.
-pub fn eval_product_pair_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid, target: Oid) -> PairResult {
+pub fn eval_product_pair_csr<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    target: Oid,
+) -> PairResult {
     let nv = graph.num_nodes();
     if nv == 0 {
         return pair_result(false, EvalStats::default());
@@ -163,7 +170,7 @@ pub fn eval_product_pair_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid, target: O
                     graph.rev(v, sym)
                 };
                 stats.edges_scanned += targets.len();
-                for &v2 in targets {
+                for v2 in targets {
                     if seen.state_mut(q2 as usize).insert(v2.index()) {
                         next.push((q2, v2));
                         if meets(q2, seen_other, v2, forward_side) {
@@ -229,13 +236,13 @@ fn close_level(
 /// `Query`-level pair entry point: is `target ∈ p(source, I)`?
 /// Meet-in-the-middle by default; use `rpq_optimizer::PlannedEngine` to
 /// pick the direction from label statistics instead.
-pub fn eval_pair(query: &Query, graph: &CsrGraph, source: Oid, target: Oid) -> PairResult {
+pub fn eval_pair<G: GraphView>(query: &Query, graph: &G, source: Oid, target: Oid) -> PairResult {
     eval_product_pair_csr(query.nfa(), graph, source, target)
 }
 
 /// `Query`-level target-bound entry point: `{o | target ∈ p(o, I)}` by the
 /// backward product BFS over the reverse adjacency.
-pub fn eval_to(query: &Query, graph: &CsrGraph, target: Oid) -> EvalResult {
+pub fn eval_to<G: GraphView>(query: &Query, graph: &G, target: Oid) -> EvalResult {
     eval_product_backward_csr(query.nfa(), graph, target)
 }
 
@@ -244,6 +251,7 @@ mod tests {
     use super::*;
     use crate::product::eval_product_csr;
     use rpq_automata::{parse_regex, Alphabet};
+    use rpq_graph::CsrGraph;
     use rpq_graph::InstanceBuilder;
 
     fn fig2ish() -> (Alphabet, CsrGraph) {

@@ -22,7 +22,7 @@
 //! measurable baseline (bench `t1_eval_scaling`, skewed workload).
 
 use rpq_automata::{Nfa, StateId};
-use rpq_graph::{CsrGraph, Instance, Oid};
+use rpq_graph::{CsrGraph, GraphView, Instance, Oid};
 
 use crate::stats::EvalStats;
 
@@ -63,15 +63,16 @@ fn push(q: StateId, v: Oid, nv: usize, seen: &mut [bool], level: &mut Vec<(State
 }
 
 /// The level-synchronous product BFS shared by the forward, backward, and
-/// early-exit pair entry points. `reverse_adj` selects which CSR adjacency
-/// each labeled step traverses ([`CsrGraph::out`] vs [`CsrGraph::rev`]);
-/// the automaton is taken as given, so backward callers pass the *reversed*
-/// NFA. With `stop_at`, the search returns as soon as that node becomes an
-/// answer (the answer bitmap is then partial — pair callers consume only
-/// the flag and the stats).
-pub(crate) fn product_search(
+/// early-exit pair entry points, generic over any [`GraphView`] (the
+/// immutable CSR snapshot or the delta overlay). `reverse_adj` selects
+/// which adjacency each labeled step traverses ([`GraphView::out`] vs
+/// [`GraphView::rev`]); the automaton is taken as given, so backward
+/// callers pass the *reversed* NFA. With `stop_at`, the search returns as
+/// soon as that node becomes an answer (the answer bitmap is then partial —
+/// pair callers consume only the flag and the stats).
+pub(crate) fn product_search<G: GraphView>(
     nfa: &Nfa,
-    graph: &CsrGraph,
+    graph: &G,
     source: Oid,
     reverse_adj: bool,
     stop_at: Option<Oid>,
@@ -118,7 +119,7 @@ pub(crate) fn product_search(
                     graph.out(v, sym)
                 };
                 stats.edges_scanned += targets.len();
-                for &v2 in targets {
+                for v2 in targets {
                     push(q2, v2, nv, &mut seen, &mut next);
                 }
             }
@@ -135,7 +136,11 @@ pub(crate) fn product_search(
 /// frontier-based product BFS. `stats.edges_scanned` counts only the edges
 /// actually delivered by the label index — on label-skewed graphs this is a
 /// small fraction of what the scan-and-filter baseline touches.
-pub fn eval_product_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult {
+///
+/// Generic over any [`GraphView`]: the `_csr` suffix names the canonical
+/// snapshot form, but the same search runs unchanged over a
+/// `rpq_graph::DeltaGraph` overlay.
+pub fn eval_product_csr<G: GraphView>(nfa: &Nfa, graph: &G, source: Oid) -> EvalResult {
     product_search(nfa, graph, source, false, None).0
 }
 
@@ -150,16 +155,16 @@ pub fn eval_product_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult 
 /// query's *last* label groups first — on graphs where those are rare this
 /// beats enumerating forward from every candidate source by orders of
 /// magnitude (bench `t12_direction_choice`).
-pub fn eval_product_backward_csr(nfa: &Nfa, graph: &CsrGraph, target: Oid) -> EvalResult {
+pub fn eval_product_backward_csr<G: GraphView>(nfa: &Nfa, graph: &G, target: Oid) -> EvalResult {
     eval_product_backward_reversed_csr(&nfa.reverse(), graph, target)
 }
 
 /// As [`eval_product_backward_csr`], but taking the *already-reversed*
 /// automaton — for callers that cache [`Nfa::reverse`] across repeated
 /// backward evaluations (e.g. the planner's compiled plans).
-pub fn eval_product_backward_reversed_csr(
+pub fn eval_product_backward_reversed_csr<G: GraphView>(
     reversed: &Nfa,
-    graph: &CsrGraph,
+    graph: &G,
     target: Oid,
 ) -> EvalResult {
     product_search(reversed, graph, target, true, None).0

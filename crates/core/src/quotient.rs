@@ -32,7 +32,7 @@ use std::collections::HashMap;
 
 use rpq_automata::derivative::derivative;
 use rpq_automata::{Nfa, Regex, StateId, Symbol};
-use rpq_graph::{CsrGraph, Instance, Oid};
+use rpq_graph::{CsrGraph, GraphView, Instance, Oid};
 
 use crate::product::{finish_eval, EvalResult};
 use crate::stats::EvalStats;
@@ -104,7 +104,7 @@ impl<'a> SubsetInterner<'a> {
 /// Evaluate by lazily determinizing the query NFA against the graph:
 /// worklist over (quotient-class, node) where classes are canonical state
 /// sets. This mirrors "constructing the needed quotients explicitly".
-pub fn eval_quotient_dfa_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalResult {
+pub fn eval_quotient_dfa_csr<G: GraphView>(nfa: &Nfa, graph: &G, source: Oid) -> EvalResult {
     let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
     let mut interner = SubsetInterner::new(nfa);
@@ -126,7 +126,7 @@ pub fn eval_quotient_dfa_csr(nfa: &Nfa, graph: &CsrGraph, source: Oid) -> EvalRe
             if interner.is_dead(c2) {
                 continue; // dead quotient: ∅ subquery
             }
-            for &v2 in targets {
+            for v2 in targets {
                 if seen.insert((c2, v2), ()).is_none() {
                     queue.push((c2, v2));
                 }
@@ -146,7 +146,7 @@ pub fn eval_quotient_dfa(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalRes
 /// Evaluate with *syntactic* quotients: memoized Brzozowski derivatives of
 /// the (normalized) query regex — the faithful rendering of the paper's
 /// `still-left_q` bookkeeping.
-pub fn eval_derivative_csr(query: &Regex, graph: &CsrGraph, source: Oid) -> EvalResult {
+pub fn eval_derivative_csr<G: GraphView>(query: &Regex, graph: &G, source: Oid) -> EvalResult {
     let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
 
@@ -196,7 +196,7 @@ pub fn eval_derivative_csr(query: &Regex, graph: &CsrGraph, source: Oid) -> Eval
             if classes[c2] == Regex::Empty {
                 continue;
             }
-            for &v2 in targets {
+            for v2 in targets {
                 if seen.insert((c2, v2), ()).is_none() {
                     queue.push((c2, v2));
                 }

@@ -2,6 +2,20 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A planned traversal direction, as reported in [`EvalStats`] and chosen
+/// by `rpq_optimizer::PlannedEngine` from per-label statistics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Forward product BFS over the forward adjacency — the first label
+    /// group is decisively the rare end.
+    Forward,
+    /// Backward product BFS (reversed NFA over the reverse adjacency) —
+    /// the last label group is decisively the rare end.
+    Backward,
+    /// Meet-in-the-middle — neither end dominates.
+    Bidirectional,
+}
+
 /// Work counters reported by every evaluation engine, used by the Section 2
 /// complexity experiments (bench `t1_eval_scaling`) to compare engines on
 /// the same inputs.
@@ -18,6 +32,16 @@ pub struct EvalStats {
     pub classes_materialized: usize,
     /// Number of answers produced.
     pub answers: usize,
+    /// Compiled plans served from the planner's memo during this
+    /// evaluation (0 for unplanned engines).
+    pub plan_cache_hits: usize,
+    /// Plans built from scratch (rewrite search + compilation) during this
+    /// evaluation (0 for unplanned engines).
+    pub plan_cache_misses: usize,
+    /// The traversal direction the planner chose, when a planner ran
+    /// (`None` for unplanned engines). Together with the cache counters,
+    /// this is the observability seam the cost-calibration work reads.
+    pub plan_direction: Option<Direction>,
 }
 
 impl EvalStats {
@@ -28,15 +52,19 @@ impl EvalStats {
 
     /// Accumulate `other` into `self` — the aggregation used by
     /// `BatchResult` (and the default `Engine::eval_batch` loop), so work
-    /// counters from per-source calls are no longer discarded. All four
-    /// counters sum; for per-source batches `answers` is therefore the
-    /// *total* across sources (with multiplicity), not the union size,
-    /// and `classes_materialized` counts classes touched per constituent
-    /// run (with multiplicity), not distinct classes across the batch.
+    /// counters from per-source calls are no longer discarded. All counters
+    /// sum; for per-source batches `answers` is therefore the *total*
+    /// across sources (with multiplicity), not the union size, and
+    /// `classes_materialized` counts classes touched per constituent run
+    /// (with multiplicity), not distinct classes across the batch. The
+    /// first recorded `plan_direction` wins (one plan serves a batch).
     pub fn merge(&mut self, other: &EvalStats) {
         self.pairs_visited += other.pairs_visited;
         self.edges_scanned += other.edges_scanned;
         self.classes_materialized += other.classes_materialized;
         self.answers += other.answers;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.plan_direction = self.plan_direction.or(other.plan_direction);
     }
 }

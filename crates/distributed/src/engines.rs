@@ -43,8 +43,8 @@ impl Engine for SimulatorEngine {
         let stats = EvalStats {
             pairs_visited: run.tasks_registered,
             edges_scanned: run.stats.total(),
-            classes_materialized: 0,
             answers: run.answers.len(),
+            ..EvalStats::default()
         };
         EvalResult {
             answers: run.answers,
@@ -67,10 +67,9 @@ impl Engine for ThreadedEngine {
     fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
         let run = run_threaded_csr(graph, source, query.regex());
         let stats = EvalStats {
-            pairs_visited: 0,
             edges_scanned: run.messages,
-            classes_materialized: 0,
             answers: run.answers.len(),
+            ..EvalStats::default()
         };
         EvalResult {
             answers: run.answers,

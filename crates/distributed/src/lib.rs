@@ -13,10 +13,12 @@
 //!   correctness checks (answers = centralized `p(o, I)`, termination
 //!   detected exactly at quiescence);
 //! * [`threaded`] — the same state machines on real threads over crossbeam
-//!   channels;
+//!   channels, with [`ThreadedNetwork`] keeping the shards alive across
+//!   runs so edge batches are absorbed in place;
 //! * [`engines`] — both runners behind the unified `rpq_core::Engine`
-//!   calling convention, sites sharded from the `rpq_graph::CsrGraph`
-//!   snapshot;
+//!   calling convention, sites sharded from any `rpq_graph::GraphView`
+//!   snapshot (CSR or delta overlay), absorbing `rpq_graph::EdgeDelta`
+//!   batches via `apply_delta` without a reshard;
 //! * [`batch`] — the threaded multi-source driver: sources partitioned
 //!   across worker threads, each running the bit-parallel batch kernel
 //!   over the shared immutable snapshot;
@@ -60,5 +62,5 @@ pub use sim::{
 pub use site::Site;
 pub use threaded::{
     run_threaded, run_threaded_csr, run_threaded_csr_with_rewrite, SyncRewriteHook,
-    ThreadedRunResult,
+    ThreadedNetwork, ThreadedRunResult,
 };

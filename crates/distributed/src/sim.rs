@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rpq_automata::{Alphabet, Regex};
-use rpq_graph::{CsrGraph, Instance, Oid};
+use rpq_graph::{CsrGraph, EdgeDelta, GraphView, Instance, Oid};
 
 use crate::message::{codec, Message, MessageKind, SiteId};
 use crate::site::{no_rewrite, Site};
@@ -138,8 +138,22 @@ impl<'a> Simulator<'a> {
     /// Build a simulator over a label-indexed snapshot: each object site
     /// holds its CSR shard (its sorted out-row), plus one client site.
     pub fn from_csr(graph: &CsrGraph, alphabet: &'a Alphabet, delivery: Delivery) -> Simulator<'a> {
-        let mut sites: Vec<Site> = graph.nodes().map(|o| Site::from_csr(graph, o)).collect();
-        let client = graph.num_nodes() as SiteId;
+        Simulator::from_view(graph, alphabet, delivery)
+    }
+
+    /// Build a simulator over **any** [`GraphView`] snapshot (e.g. a
+    /// `rpq_graph::DeltaGraph` absorbing writes): each object site holds
+    /// its shard of the view's current state, plus one client site.
+    pub fn from_view<G: GraphView>(
+        graph: &G,
+        alphabet: &'a Alphabet,
+        delivery: Delivery,
+    ) -> Simulator<'a> {
+        let n = graph.num_nodes();
+        let mut sites: Vec<Site> = (0..n as u32)
+            .map(|o| Site::from_view(graph, Oid(o)))
+            .collect();
+        let client = n as SiteId;
         sites.push(Site::new(client, Vec::new()));
         Simulator {
             alphabet,
@@ -148,6 +162,16 @@ impl<'a> Simulator<'a> {
             delivery,
             rewrite: Box::new(no_rewrite),
         }
+    }
+
+    /// Absorb an edge batch **without a full reshard**: each mutation is a
+    /// sorted-row insert/remove on exactly its source's shard, and every
+    /// site's protocol state is reset (the subquery dedup tables refer to
+    /// the pre-delta graph). Endpoints must be existing object sites — a
+    /// batch introducing new nodes requires rebuilding the network.
+    /// Returns the number of mutations that took effect.
+    pub fn apply_delta(&mut self, delta: &EdgeDelta) -> usize {
+        crate::site::apply_delta_to_sites(&mut self.sites, delta, self.client)
     }
 
     /// Install a per-site subquery rewriting hook (constraint optimization).
@@ -529,6 +553,38 @@ mod tests {
             plain.stats.total()
         );
     }
+    #[test]
+    fn apply_delta_absorbs_a_batch_without_resharding() {
+        use rpq_graph::DeltaGraph;
+
+        let mut ab = Alphabet::new();
+        let (inst, _, o1) = fig2_graph(&mut ab);
+        let q = parse_regex(&mut ab, "a.b*").unwrap();
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+
+        // mirror the mutation in a DeltaGraph so the expected answers come
+        // from the centralized view of the *same* post-delta graph
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let mut sim = Simulator::new(&inst, &ab, Delivery::Fifo);
+        let before = sim.run(o1, &q);
+
+        let o2 = inst.node_by_name("o2").unwrap();
+        let o3 = inst.node_by_name("o3").unwrap();
+        let mut delta = rpq_graph::EdgeDelta::new();
+        delta.del(o2, b, o3).add(o3, a, o1);
+        let applied_sim = sim.apply_delta(&delta);
+        let applied_dg = dg.apply_delta(&delta);
+        assert_eq!(applied_sim, applied_dg);
+
+        let after = sim.run(o1, &q);
+        let expected = rpq_core::eval_product_csr(&rpq_automata::Nfa::thompson(&q), &dg, o1);
+        assert_eq!(after.answers, expected.answers);
+        assert!(after.termination_detected);
+        // the delta genuinely changed the answer set (o1 lost its a-edge)
+        assert_ne!(after.answers, before.answers);
+    }
+
     #[test]
     fn concurrent_queries_do_not_interfere() {
         let mut ab = Alphabet::new();

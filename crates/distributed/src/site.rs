@@ -25,7 +25,7 @@ use std::collections::HashMap;
 
 use rpq_automata::derivative::derivative;
 use rpq_automata::{Regex, Symbol};
-use rpq_graph::{CsrGraph, Oid};
+use rpq_graph::{CsrGraph, EdgeDelta, GraphView, Oid};
 
 use crate::message::{Message, Mid, SiteId};
 
@@ -85,6 +85,57 @@ impl Site {
         // rows are already sorted by (Symbol, Oid), so this is the shard
         let edges = graph.out_pairs(o).map(|(l, t)| (l, t.0)).collect();
         Site::new(o.0, edges)
+    }
+
+    /// A site holding node `o`'s shard of **any** [`GraphView`] snapshot —
+    /// e.g. a `rpq_graph::DeltaGraph` overlay, so a network can be stood up
+    /// without first compacting to a CSR. Groups arrive label-ascending
+    /// with ascending targets, so the shard is born sorted.
+    pub fn from_view<G: GraphView>(graph: &G, o: Oid) -> Site {
+        let edges = graph
+            .out_groups(o)
+            .flat_map(|(l, ts)| ts.map(move |t| (l, t.0)))
+            .collect();
+        Site::new(o.0, edges)
+    }
+
+    /// Absorb an edge batch into this site's shard **in place** — the
+    /// site-local half of the runners' `apply_delta` (no resharding, no
+    /// row rebuild: sorted-row inserts and removals only). Returns the
+    /// number of mutations that took effect.
+    ///
+    /// Protocol state (registered tasks, answers) refers to the *old*
+    /// graph; callers that reuse the network for further queries should
+    /// also call [`Site::reset_protocol`], as the runners' `apply_delta`
+    /// does.
+    pub fn apply_delta(&mut self, adds: &[(Symbol, SiteId)], dels: &[(Symbol, SiteId)]) -> usize {
+        let mut applied = 0;
+        for &(l, t) in dels {
+            if let Ok(pos) = self.edges.binary_search(&(l, t)) {
+                self.edges.remove(pos);
+                applied += 1;
+            }
+        }
+        for &(l, t) in adds {
+            if let Err(pos) = self.edges.binary_search(&(l, t)) {
+                self.edges.insert(pos, (l, t));
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Forget all protocol state (registered tasks, pending waits, answers,
+    /// root bookkeeping) while keeping the edge shard: the dedup table keys
+    /// `(destination, subquery)` against the graph the tasks ran over, so
+    /// it must be dropped when the shard mutates or when a network is
+    /// reused for a fresh run.
+    pub fn reset_protocol(&mut self) {
+        self.tasks.clear();
+        self.waiting_index.clear();
+        self.answers.clear();
+        self.root_done = false;
+        self.root_mid = None;
     }
 
     fn fresh_mid(&mut self) -> Mid {
@@ -261,6 +312,40 @@ impl Site {
     }
 }
 
+/// Apply an [`EdgeDelta`] across a network's sites **without a reshard**:
+/// each mutation is dispatched to its source's shard ([`Site::apply_delta`],
+/// dels first, then adds), and every site's protocol state is reset (the
+/// subquery dedup tables refer to the pre-delta graph). Endpoints must be
+/// existing object sites (`id < num_object_sites`) — a batch introducing
+/// new nodes requires rebuilding the network. Shared by the simulator's
+/// and the threaded runner's `apply_delta`. Returns the number of
+/// mutations that took effect.
+pub(crate) fn apply_delta_to_sites(
+    sites: &mut [Site],
+    delta: &EdgeDelta,
+    num_object_sites: u32,
+) -> usize {
+    let mut applied = 0;
+    for &(s, l, t) in &delta.dels {
+        assert!(
+            s.0 < num_object_sites && t.0 < num_object_sites,
+            "unknown site"
+        );
+        applied += sites[s.index()].apply_delta(&[], &[(l, t.0)]);
+    }
+    for &(s, l, t) in &delta.adds {
+        assert!(
+            s.0 < num_object_sites && t.0 < num_object_sites,
+            "unknown site"
+        );
+        applied += sites[s.index()].apply_delta(&[(l, t.0)], &[]);
+    }
+    for site in sites {
+        site.reset_protocol();
+    }
+    applied
+}
+
 /// The identity rewrite hook (no local optimization).
 pub fn no_rewrite(_site: SiteId, q: &Regex) -> Regex {
     q.clone()
@@ -408,6 +493,41 @@ mod tests {
             &no_rewrite,
         );
         assert_eq!(site.answers, vec![5]);
+    }
+
+    #[test]
+    fn apply_delta_patches_the_shard_in_place() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let mut site = Site::new(1, vec![(a, 2), (b, 3)]);
+        let applied = site.apply_delta(&[(a, 9), (a, 2)], &[(b, 3), (b, 7)]);
+        assert_eq!(applied, 2, "duplicate add and missing del are no-ops");
+        assert_eq!(site.edges, vec![(a, 2), (a, 9)]);
+        assert!(site.edges.is_sorted());
+    }
+
+    #[test]
+    fn reset_protocol_clears_dedup_but_keeps_the_shard() {
+        let mut ab = Alphabet::new();
+        let q = parse_regex(&mut ab, "b*").unwrap();
+        let b = ab.get("b").unwrap();
+        let mut site = Site::new(2, vec![(b, 3)]);
+        let msg = Message::Subquery {
+            mid: Mid(1, 1),
+            sender: 1,
+            receiver: 2,
+            destination: 0,
+            query: q.clone(),
+        };
+        site.handle(msg.clone(), &no_rewrite);
+        assert_eq!(site.task_count(), 1);
+        site.reset_protocol();
+        assert_eq!(site.task_count(), 0);
+        assert_eq!(site.edges, vec![(b, 3)]);
+        // the same subquery is processed afresh, not answered from dedup
+        let out = site.handle(msg, &no_rewrite);
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

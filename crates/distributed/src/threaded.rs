@@ -15,7 +15,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use rpq_automata::Regex;
-use rpq_graph::{CsrGraph, Instance, Oid};
+use rpq_graph::{CsrGraph, EdgeDelta, GraphView, Instance, Oid};
 
 use crate::message::{Message, SiteId};
 use crate::site::{no_rewrite, Site};
@@ -70,78 +70,133 @@ pub fn run_threaded_csr_with_rewrite(
     query: &Regex,
     rewrite: SyncRewriteHook<'_>,
 ) -> ThreadedRunResult {
-    let n = graph.num_nodes();
-    let client: SiteId = n as SiteId;
-    let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n + 1);
-    let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(Some(rx));
+    ThreadedNetwork::from_view(graph).run_with_rewrite(source, query, rewrite)
+}
+
+/// A reusable threaded network: the per-object [`Site`] shards persist
+/// across runs, so edge batches are absorbed **in place**
+/// ([`ThreadedNetwork::apply_delta`] — sorted-row patches on exactly the
+/// touched shards, no reshard) instead of rebuilding one thread-per-site
+/// network per snapshot. Each [`ThreadedNetwork::run`] spawns the site
+/// threads fresh over the current shards (threads are per-run, shards are
+/// persistent).
+pub struct ThreadedNetwork {
+    sites: Vec<Site>,
+}
+
+impl ThreadedNetwork {
+    /// Shard **any** [`GraphView`] snapshot (CSR or delta overlay) into
+    /// one site per object.
+    pub fn from_view<G: GraphView>(graph: &G) -> ThreadedNetwork {
+        let sites = (0..graph.num_nodes() as u32)
+            .map(|o| Site::from_view(graph, Oid(o)))
+            .collect();
+        ThreadedNetwork { sites }
     }
-    let senders = Arc::new(senders);
-    let message_count = Arc::new(Mutex::new(0usize));
 
-    let mut client_site = Site::new(client, Vec::new());
-    let client_rx = receivers[client as usize].take().expect("receiver present");
+    /// Number of object sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
 
-    thread::scope(|scope| {
-        // Object sites, each owning its shard of the snapshot.
-        for o in graph.nodes() {
-            let rx = receivers[o.index()].take().expect("receiver present");
-            let senders = Arc::clone(&senders);
-            let counter = Arc::clone(&message_count);
-            let shard = Site::from_csr(graph, o);
-            scope.spawn(move || {
-                let mut site = shard;
-                while let Ok(env) = rx.recv() {
-                    match env {
-                        Envelope::Shutdown => break,
-                        Envelope::Protocol(msg) => {
-                            for out in site.handle(msg, rewrite) {
-                                *counter.lock() += 1;
-                                let to = out.receiver() as usize;
-                                // send failures mean shutdown already raced past
-                                let _ = senders[to].send(Envelope::Protocol(out));
+    /// Absorb an edge batch without a reshard: each mutation patches its
+    /// source's sorted shard in place, and protocol state is reset (the
+    /// dedup tables refer to the pre-delta graph). Endpoints must be
+    /// existing sites. Returns the number of mutations that took effect.
+    pub fn apply_delta(&mut self, delta: &EdgeDelta) -> usize {
+        let n = self.sites.len() as u32;
+        crate::site::apply_delta_to_sites(&mut self.sites, delta, n)
+    }
+
+    /// Run `query` from `source` with one OS thread per site over the
+    /// current shards. Protocol state is reset first, so repeated runs
+    /// (with or without deltas in between) evaluate from scratch.
+    pub fn run(&mut self, source: Oid, query: &Regex) -> ThreadedRunResult {
+        self.run_with_rewrite(source, query, &no_rewrite)
+    }
+
+    /// [`ThreadedNetwork::run`] with a per-site subquery rewrite hook
+    /// shared by every site thread.
+    pub fn run_with_rewrite(
+        &mut self,
+        source: Oid,
+        query: &Regex,
+        rewrite: SyncRewriteHook<'_>,
+    ) -> ThreadedRunResult {
+        let n = self.sites.len();
+        let client: SiteId = n as SiteId;
+        let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n + 1);
+        let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let senders = Arc::new(senders);
+        let message_count = Arc::new(Mutex::new(0usize));
+
+        let mut client_site = Site::new(client, Vec::new());
+        let client_rx = receivers[client as usize].take().expect("receiver present");
+
+        thread::scope(|scope| {
+            // Object sites, each owning its (persistent) shard.
+            for site in self.sites.iter_mut() {
+                site.reset_protocol();
+                let rx = receivers[site.id as usize]
+                    .take()
+                    .expect("receiver present");
+                let senders = Arc::clone(&senders);
+                let counter = Arc::clone(&message_count);
+                scope.spawn(move || {
+                    while let Ok(env) = rx.recv() {
+                        match env {
+                            Envelope::Shutdown => break,
+                            Envelope::Protocol(msg) => {
+                                for out in site.handle(msg, rewrite) {
+                                    *counter.lock() += 1;
+                                    let to = out.receiver() as usize;
+                                    // send failures mean shutdown already raced past
+                                    let _ = senders[to].send(Envelope::Protocol(out));
+                                }
                             }
                         }
                     }
-                }
-            });
-        }
+                });
+            }
 
-        // Client site (runs on this thread).
-        let initial = client_site.initiate(source.0, query.clone());
-        *message_count.lock() += 1;
-        senders[initial.receiver() as usize]
-            .send(Envelope::Protocol(initial))
-            .expect("initial send");
+            // Client site (runs on this thread).
+            let initial = client_site.initiate(source.0, query.clone());
+            *message_count.lock() += 1;
+            senders[initial.receiver() as usize]
+                .send(Envelope::Protocol(initial))
+                .expect("initial send");
 
-        while !client_site.root_done {
-            let env = client_rx.recv().expect("client channel open");
-            match env {
-                Envelope::Shutdown => break,
-                Envelope::Protocol(msg) => {
-                    for out in client_site.handle(msg, rewrite) {
-                        *message_count.lock() += 1;
-                        let _ = senders[out.receiver() as usize].send(Envelope::Protocol(out));
+            while !client_site.root_done {
+                let env = client_rx.recv().expect("client channel open");
+                match env {
+                    Envelope::Shutdown => break,
+                    Envelope::Protocol(msg) => {
+                        for out in client_site.handle(msg, rewrite) {
+                            *message_count.lock() += 1;
+                            let _ = senders[out.receiver() as usize].send(Envelope::Protocol(out));
+                        }
                     }
                 }
             }
-        }
 
-        // Broadcast shutdown; scope exit joins the site threads.
-        for (i, tx) in senders.iter().enumerate() {
-            if i != client as usize {
-                let _ = tx.send(Envelope::Shutdown);
+            // Broadcast shutdown; scope exit joins the site threads.
+            for (i, tx) in senders.iter().enumerate() {
+                if i != client as usize {
+                    let _ = tx.send(Envelope::Shutdown);
+                }
             }
-        }
-    });
+        });
 
-    let mut answers: Vec<Oid> = client_site.answers.iter().map(|&s| Oid(s)).collect();
-    answers.sort();
-    let messages = *message_count.lock();
-    ThreadedRunResult { answers, messages }
+        let mut answers: Vec<Oid> = client_site.answers.iter().map(|&s| Oid(s)).collect();
+        answers.sort();
+        let messages = *message_count.lock();
+        ThreadedRunResult { answers, messages }
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +231,40 @@ mod tests {
             let expected = eval_product(&Nfa::thompson(&q), &inst, src).answers;
             assert_eq!(res.answers, expected, "{qs}");
         }
+    }
+
+    #[test]
+    fn threaded_network_absorbs_deltas_across_runs() {
+        use rpq_graph::{CsrGraph, DeltaGraph, EdgeDelta};
+
+        let mut ab = Alphabet::new();
+        let (inst, _, o1) = fig2_graph(&mut ab);
+        let q = parse_regex(&mut ab, "a.b*").unwrap();
+        let b = ab.get("b").unwrap();
+        let a = ab.get("a").unwrap();
+
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let mut net = ThreadedNetwork::from_view(&CsrGraph::from(&inst));
+        assert_eq!(net.num_sites(), inst.num_nodes());
+
+        let first = net.run(o1, &q);
+        let expected = eval_product(&Nfa::thompson(&q), &inst, o1).answers;
+        assert_eq!(first.answers, expected);
+
+        // absorb a batch in place, mirror it in the delta view, rerun
+        let o2 = inst.node_by_name("o2").unwrap();
+        let o3 = inst.node_by_name("o3").unwrap();
+        let mut delta = EdgeDelta::new();
+        delta.del(o2, b, o3).add(o3, a, o1);
+        assert_eq!(net.apply_delta(&delta), dg.apply_delta(&delta));
+
+        let second = net.run(o1, &q);
+        let centralized = rpq_core::eval_product_csr(&Nfa::thompson(&q), &dg, o1);
+        assert_eq!(second.answers, centralized.answers);
+        assert_ne!(second.answers, first.answers);
+
+        // repeated runs over unchanged shards agree (protocol state resets)
+        assert_eq!(net.run(o1, &q).answers, second.answers);
     }
 
     #[test]

@@ -40,12 +40,17 @@ use serde::{Deserialize, Serialize};
 use crate::instance::{Instance, Oid};
 use crate::source::{GraphSource, NodeId};
 
-/// Per-label frequency statistics, collected while building a [`CsrGraph`].
+/// Per-label frequency statistics.
 ///
 /// `edge_count(l)` is the number of `Ref(_, l, _)` tuples; `source_count(l)`
 /// the number of distinct objects with at least one outgoing `l`-edge. Their
 /// ratio is the average `l`-fanout of nodes that have the label at all — the
 /// selectivity number the optimizer's data-aware cost model consumes.
+///
+/// Statistics are maintained **incrementally**: [`Instance`] and
+/// [`crate::DeltaGraph`] update them on every `add_edge`/delete, and
+/// [`CsrGraph::from`] copies them from the instance rather than recounting
+/// (debug builds assert the incremental counters against a recount).
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LabelStats {
     edge_counts: Vec<usize>,
@@ -96,6 +101,79 @@ impl LabelStats {
             .enumerate()
             .filter(|&(_, c)| *c > 0)
             .map(|(i, &c)| (Symbol::from_index(i), c))
+    }
+
+    /// Record one new `label` edge; `new_source` says its source had no
+    /// `label` edge before. The incremental counterpart of the build-time
+    /// count, used by `Instance::add_edge` and `DeltaGraph::add_edge`.
+    pub(crate) fn note_added(&mut self, label: Symbol, new_source: bool) {
+        if self.edge_counts.len() <= label.index() {
+            self.edge_counts.resize(label.index() + 1, 0);
+            self.source_counts.resize(label.index() + 1, 0);
+        }
+        self.edge_counts[label.index()] += 1;
+        if new_source {
+            self.source_counts[label.index()] += 1;
+        }
+    }
+
+    /// Record one removed `label` edge; `last_of_source` says its source
+    /// has no `label` edge left. Saturates on slots the counters never
+    /// saw (possible only on instances rehydrated from pre-stats
+    /// encodings without `normalize()` — the debug-build recount assert
+    /// in `CsrGraph::from` still flags genuine maintenance bugs).
+    pub(crate) fn note_removed(&mut self, label: Symbol, last_of_source: bool) {
+        if let Some(c) = self.edge_counts.get_mut(label.index()) {
+            *c = c.saturating_sub(1);
+        }
+        if last_of_source {
+            if let Some(c) = self.source_counts.get_mut(label.index()) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Recount statistics from adjacency rows — the from-scratch reference
+    /// the incremental counters are checked against in debug builds, and
+    /// the fallback for rehydrated instances. Rows are normally sorted by
+    /// `(Symbol, Oid)`; unsorted rows (older encodings) are sorted into a
+    /// scratch copy first so distinct-source detection stays correct.
+    pub(crate) fn recount<'a>(rows: impl Iterator<Item = &'a [(Symbol, Oid)]>) -> LabelStats {
+        let mut stats = LabelStats::default();
+        let mut scratch: Vec<(Symbol, Oid)> = Vec::new();
+        for row in rows {
+            let row: &[(Symbol, Oid)] = if row.is_sorted() {
+                row
+            } else {
+                scratch.clear();
+                scratch.extend_from_slice(row);
+                scratch.sort_unstable();
+                &scratch
+            };
+            let mut prev = None;
+            for &(l, _) in row {
+                stats.note_added(l, prev != Some(l));
+                prev = Some(l);
+            }
+        }
+        stats
+    }
+
+    /// Total edges accounted for across all labels — `CsrGraph::from`
+    /// uses this as the cheap staleness probe for rehydrated instances.
+    pub(crate) fn total_edges(&self) -> usize {
+        self.edge_counts.iter().sum()
+    }
+
+    /// Semantic equality: the same per-label counts, ignoring trailing
+    /// zero slots (incremental maintenance keeps a slot for every label
+    /// ever seen; a recount only allocates slots for labels present now).
+    pub fn agrees_with(&self, other: &LabelStats) -> bool {
+        let slots = self.num_labels().max(other.num_labels());
+        (0..slots).map(Symbol::from_index).all(|l| {
+            self.edge_count(l) == other.edge_count(l)
+                && self.source_count(l) == other.source_count(l)
+        })
     }
 }
 
@@ -277,14 +355,26 @@ impl From<&Instance> for CsrGraph {
     fn from(instance: &Instance) -> CsrGraph {
         let n = instance.num_nodes();
         let m = instance.num_edges();
-        let num_labels = instance
-            .edges()
-            .map(|(_, l, _)| l.index() + 1)
-            .max()
-            .unwrap_or(0);
-        let mut stats = LabelStats {
-            edge_counts: vec![0; num_labels],
-            source_counts: vec![0; num_labels],
+        // Statistics are maintained incrementally by the instance's
+        // mutation methods — snapshotting no longer recounts them. The
+        // same defensive posture as the row re-sort below applies to
+        // instances rehydrated from encodings that predate the stats
+        // field (derived `Deserialize` performs no validation): when the
+        // incremental totals don't even cover the edge count, fall back
+        // to a recount instead of freezing stale statistics. On
+        // maintained instances the recount stays as a debug-build
+        // equivalence check.
+        let stats = if instance.stats().total_edges() == m {
+            let stats = instance.stats().clone();
+            debug_assert!(
+                stats.agrees_with(&LabelStats::recount(
+                    instance.nodes().map(|v| instance.out_edges(v))
+                )),
+                "incremental LabelStats diverged from recount"
+            );
+            stats
+        } else {
+            LabelStats::recount(instance.nodes().map(|v| instance.out_edges(v)))
         };
 
         // Forward: Instance rows are maintained sorted by (Symbol, Oid);
@@ -305,15 +395,9 @@ impl From<&Instance> for CsrGraph {
                 scratch.sort_unstable();
                 &scratch
             };
-            let mut prev_label = None;
             for &(l, t) in row {
                 out_labels.push(l);
                 out_targets.push(t);
-                stats.edge_counts[l.index()] += 1;
-                if prev_label != Some(l) {
-                    stats.source_counts[l.index()] += 1;
-                    prev_label = Some(l);
-                }
             }
             out_offsets.push(out_labels.len());
         }
@@ -482,6 +566,24 @@ mod tests {
         for word in [vec![], vec![a], vec![a, b], vec![b, b, b], vec![a, a]] {
             assert_eq!(csr.word_targets(s, &word), inst.word_targets(s, &word));
         }
+    }
+
+    #[test]
+    fn stale_rehydrated_stats_fall_back_to_a_recount() {
+        // an instance "rehydrated" from a pre-stats encoding: rows
+        // populated, incremental counters empty — snapshotting must
+        // recount instead of freezing (or asserting on) the stale zeros,
+        // and mutations must not panic on the missing counter slots
+        let (ab, mut inst) = sample();
+        inst.clear_stats_for_test();
+        let a = ab.get("a").unwrap();
+        let s = inst.node_by_name("s").unwrap();
+        let x = inst.node_by_name("x").unwrap();
+        assert!(inst.remove_edge(s, a, x), "stale stats must not panic");
+        assert!(inst.add_edge(s, a, x));
+        let csr = CsrGraph::from(&inst);
+        assert_eq!(csr.stats().edge_count(a), 3);
+        assert_eq!(csr.stats().source_count(a), 2);
     }
 
     #[test]

@@ -1,0 +1,635 @@
+//! [`DeltaGraph`] — an incremental snapshot: immutable base CSR plus a
+//! mutation overlay.
+//!
+//! A production evaluator under write traffic cannot afford the `O(V + E)`
+//! rebuild that freezing an [`crate::Instance`] into a [`CsrGraph`] costs on
+//! every edge batch. `DeltaGraph` keeps the last compacted [`CsrGraph`] as
+//! an immutable **base** and absorbs mutations into **per-label sorted
+//! logs**: an add log of new edges and a tombstone log marking deleted base
+//! edges. Each log is held in both orientations — sorted by `(source,
+//! target)` for [`DeltaGraph::out`] and by `(target, source)` for
+//! [`DeltaGraph::rev`] — so a `(node, label)` step is still one binary
+//! search plus a contiguous range, merged lazily with the base row by
+//! [`crate::view::OverlayEdges`].
+//!
+//! The overlay is **exact**: evaluation over the delta form agrees with a
+//! from-scratch rebuild on every query (property-tested in
+//! `tests/incremental_snapshots.rs`). [`LabelStats`] are maintained
+//! incrementally on every mutation, with a debug-build equivalence check
+//! against a recount at [`DeltaGraph::compact`] time.
+//!
+//! [`DeltaGraph::compact`] folds the logs into a fresh base CSR and starts
+//! a new [`Epoch`] lineage: plans memoized against the old base are
+//! invalidated (fresh base = fresh fingerprint), while small-delta epochs
+//! *within* one lineage let `rpq_optimizer::PlannedEngine` reuse compiled
+//! plans (see its epoch-aware memo).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rpq_automata::Symbol;
+
+use crate::csr::{CsrGraph, LabelStats};
+use crate::instance::{Instance, Oid};
+use crate::source::{GraphSource, NodeId};
+use crate::view::{EdgeDelta, Epoch, GraphView, OverlayEdges, ViewEdges, ViewGroups};
+
+/// Process-unique lineage ids for delta bases (0 is reserved for
+/// standalone [`CsrGraph`]s — see [`Epoch::STATIC`]).
+static NEXT_BASE_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_base_epoch() -> u64 {
+    NEXT_BASE_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One label's mutation log, in both orientations. `fwd` is sorted by
+/// `(source, target)`, `rev` by `(target, source)` — mirrors of each other.
+#[derive(Clone, Debug, Default)]
+struct LabelLog {
+    fwd: Vec<(Oid, Oid)>,
+    rev: Vec<(Oid, Oid)>,
+}
+
+impl LabelLog {
+    fn insert(&mut self, from: Oid, to: Oid) -> bool {
+        match self.fwd.binary_search(&(from, to)) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.fwd.insert(pos, (from, to));
+                let rpos = self.rev.binary_search(&(to, from)).unwrap_err();
+                self.rev.insert(rpos, (to, from));
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, from: Oid, to: Oid) -> bool {
+        match self.fwd.binary_search(&(from, to)) {
+            Ok(pos) => {
+                self.fwd.remove(pos);
+                let rpos = self
+                    .rev
+                    .binary_search(&(to, from))
+                    .expect("rev log mirrors fwd log");
+                self.rev.remove(rpos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn contains(&self, from: Oid, to: Oid) -> bool {
+        self.fwd.binary_search(&(from, to)).is_ok()
+    }
+
+    /// The contiguous `(key, endpoint)` range whose key is `v`.
+    fn range(pairs: &[(Oid, Oid)], v: Oid) -> &[(Oid, Oid)] {
+        let lo = pairs.partition_point(|&(k, _)| k < v);
+        let hi = pairs.partition_point(|&(k, _)| k <= v);
+        &pairs[lo..hi]
+    }
+
+    fn len(&self) -> usize {
+        self.fwd.len()
+    }
+}
+
+/// An incremental snapshot: immutable base [`CsrGraph`] plus per-label
+/// sorted add/tombstone logs. See the module docs for the design; build one
+/// with [`DeltaGraph::new`] (or [`DeltaGraph::from_instance`]), mutate with
+/// [`DeltaGraph::add_edge`] / [`DeltaGraph::delete_edge`] /
+/// [`DeltaGraph::apply_delta`], and fold the overlay down with
+/// [`DeltaGraph::compact`].
+#[derive(Clone, Debug)]
+pub struct DeltaGraph {
+    base: CsrGraph,
+    /// Add logs, indexed by label. Invariant: disjoint from the base (an
+    /// edge present in the base is never also in the add log).
+    adds: Vec<LabelLog>,
+    /// Tombstone logs, indexed by label. Invariant: a subset of the base.
+    dels: Vec<LabelLog>,
+    /// Nodes created after the base was frozen (they have no base rows).
+    extra_nodes: usize,
+    /// Effective per-label statistics, maintained incrementally.
+    stats: LabelStats,
+    /// Effective edge count (base − tombstones + adds).
+    edges: usize,
+    base_epoch: u64,
+    version: u64,
+}
+
+impl DeltaGraph {
+    /// Wrap an immutable base snapshot, starting a fresh epoch lineage.
+    pub fn new(base: CsrGraph) -> DeltaGraph {
+        let stats = base.stats().clone();
+        let edges = base.num_edges();
+        DeltaGraph {
+            base,
+            adds: Vec::new(),
+            dels: Vec::new(),
+            extra_nodes: 0,
+            stats,
+            edges,
+            base_epoch: fresh_base_epoch(),
+            version: 0,
+        }
+    }
+
+    /// Snapshot `instance` into a base CSR and wrap it.
+    pub fn from_instance(instance: &Instance) -> DeltaGraph {
+        DeltaGraph::new(CsrGraph::from(instance))
+    }
+
+    /// The current immutable base snapshot (excludes the overlay).
+    pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// Number of nodes (base nodes plus nodes added since).
+    pub fn num_nodes(&self) -> usize {
+        self.base.num_nodes() + self.extra_nodes
+    }
+
+    /// Number of effective edges (base − tombstones + adds).
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Effective per-label statistics, maintained incrementally on every
+    /// mutation (never recomputed from scratch at read time).
+    pub fn stats(&self) -> &LabelStats {
+        &self.stats
+    }
+
+    /// Snapshot identity: the base lineage id plus the number of mutation
+    /// calls absorbed since the base was installed.
+    pub fn epoch(&self) -> Epoch {
+        Epoch {
+            base: self.base_epoch,
+            version: self.version,
+        }
+    }
+
+    /// Total log length (adds + tombstones) — the overlay debt a
+    /// [`DeltaGraph::compact`] would fold down. Useful for compaction
+    /// policies (`log_len() > base.num_edges() / k`).
+    pub fn log_len(&self) -> usize {
+        self.adds.iter().map(LabelLog::len).sum::<usize>()
+            + self.dels.iter().map(LabelLog::len).sum::<usize>()
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = Oid> + '_ {
+        (0..self.num_nodes() as u32).map(Oid)
+    }
+
+    /// Add a node (it has no base row; edges live purely in the logs until
+    /// the next compaction).
+    pub fn add_node(&mut self) -> Oid {
+        self.extra_nodes += 1;
+        self.version += 1;
+        Oid((self.num_nodes() - 1) as u32)
+    }
+
+    fn base_out(&self, v: Oid, label: Symbol) -> &[Oid] {
+        if v.index() < self.base.num_nodes() {
+            self.base.out(v, label)
+        } else {
+            &[]
+        }
+    }
+
+    fn base_rev(&self, v: Oid, label: Symbol) -> &[Oid] {
+        if v.index() < self.base.num_nodes() {
+            self.base.rev(v, label)
+        } else {
+            &[]
+        }
+    }
+
+    fn log(logs: &[LabelLog], label: Symbol) -> Option<&LabelLog> {
+        logs.get(label.index())
+    }
+
+    fn log_mut(logs: &mut Vec<LabelLog>, label: Symbol) -> &mut LabelLog {
+        if logs.len() <= label.index() {
+            logs.resize_with(label.index() + 1, LabelLog::default);
+        }
+        &mut logs[label.index()]
+    }
+
+    /// The targets of `v`'s edges labeled `label`, ascending — the base row
+    /// with tombstones skipped, merged with the add log.
+    pub fn out(&self, v: Oid, label: Symbol) -> ViewEdges<'_> {
+        let base = self.base_out(v, label);
+        let dels = Self::log(&self.dels, label).map_or(&[][..], |l| LabelLog::range(&l.fwd, v));
+        let adds = Self::log(&self.adds, label).map_or(&[][..], |l| LabelLog::range(&l.fwd, v));
+        if dels.is_empty() && adds.is_empty() {
+            return ViewEdges::Slice(base);
+        }
+        ViewEdges::Overlay(OverlayEdges {
+            base,
+            dels,
+            adds,
+            len: base.len() - dels.len() + adds.len(),
+        })
+    }
+
+    /// The sources of edges labeled `label` arriving at `v`, ascending —
+    /// the transpose of [`DeltaGraph::out`], served from the reverse log
+    /// orientation.
+    pub fn rev(&self, v: Oid, label: Symbol) -> ViewEdges<'_> {
+        let base = self.base_rev(v, label);
+        let dels = Self::log(&self.dels, label).map_or(&[][..], |l| LabelLog::range(&l.rev, v));
+        let adds = Self::log(&self.adds, label).map_or(&[][..], |l| LabelLog::range(&l.rev, v));
+        if dels.is_empty() && adds.is_empty() {
+            return ViewEdges::Slice(base);
+        }
+        ViewEdges::Overlay(OverlayEdges {
+            base,
+            dels,
+            adds,
+            len: base.len() - dels.len() + adds.len(),
+        })
+    }
+
+    /// `v`'s out-row grouped by label (each distinct label once, non-empty
+    /// groups only, labels ascending) — the overlay counterpart of
+    /// [`CsrGraph::out_groups`]. Costs one [`DeltaGraph::out`] probe per
+    /// label slot tracked by the view (alphabets are small in this
+    /// workspace, so this stays within noise of the CSR group walk).
+    pub fn out_groups(&self, v: Oid) -> ViewGroups<'_> {
+        ViewGroups::Delta(DeltaGroups {
+            graph: self,
+            v,
+            next_label: 0,
+            num_labels: self.num_label_slots(),
+        })
+    }
+
+    fn num_label_slots(&self) -> usize {
+        self.stats
+            .num_labels()
+            .max(self.base.stats().num_labels())
+            .max(self.adds.len())
+    }
+
+    /// Does the effective view contain `Ref(from, label, to)`?
+    pub fn has_edge(&self, from: Oid, label: Symbol, to: Oid) -> bool {
+        let in_base = self.base_out(from, label).binary_search(&to).is_ok();
+        if in_base {
+            !Self::log(&self.dels, label).is_some_and(|l| l.contains(from, to))
+        } else {
+            Self::log(&self.adds, label).is_some_and(|l| l.contains(from, to))
+        }
+    }
+
+    /// Add `Ref(from, label, to)`. Returns true if the edge was new (it was
+    /// neither live in the base nor in the add log); resurrecting a
+    /// tombstoned base edge removes the tombstone rather than growing the
+    /// add log. Each call is one epoch step.
+    pub fn add_edge(&mut self, from: Oid, label: Symbol, to: Oid) -> bool {
+        assert!(
+            from.index() < self.num_nodes() && to.index() < self.num_nodes(),
+            "edge endpoints must be existing nodes"
+        );
+        self.version += 1;
+        let in_base = self.base_out(from, label).binary_search(&to).is_ok();
+        let grew = if in_base {
+            // live already, or tombstoned (then resurrect)
+            Self::log_mut(&mut self.dels, label).remove(from, to)
+        } else {
+            let had_label = !self.out(from, label).is_empty();
+            let inserted = Self::log_mut(&mut self.adds, label).insert(from, to);
+            if inserted {
+                self.stats.note_added(label, !had_label);
+                self.edges += 1;
+            }
+            return inserted;
+        };
+        if grew {
+            // the resurrected edge re-enters the stats and edge count
+            let had_label = self.out(from, label).len() > 1;
+            self.stats.note_added(label, !had_label);
+            self.edges += 1;
+        }
+        grew
+    }
+
+    /// Delete `Ref(from, label, to)`. Returns true if the edge was live
+    /// (deleting an add-log edge drops it from the log; deleting a base
+    /// edge tombstones it). Each call is one epoch step.
+    pub fn delete_edge(&mut self, from: Oid, label: Symbol, to: Oid) -> bool {
+        self.version += 1;
+        if from.index() >= self.num_nodes() {
+            return false;
+        }
+        let removed = if let Some(l) = Self::log(&self.adds, label) {
+            l.contains(from, to) && Self::log_mut(&mut self.adds, label).remove(from, to)
+        } else {
+            false
+        };
+        let removed = removed
+            || (self.base_out(from, label).binary_search(&to).is_ok()
+                && Self::log_mut(&mut self.dels, label).insert(from, to));
+        if removed {
+            self.edges -= 1;
+            let has_label = !self.out(from, label).is_empty();
+            self.stats.note_removed(label, !has_label);
+        }
+        removed
+    }
+
+    /// Apply a mutation batch as **one** epoch step (individual
+    /// [`DeltaGraph::add_edge`] / [`DeltaGraph::delete_edge`] calls each
+    /// step the epoch on their own). Returns the number of mutations that
+    /// took effect (duplicates and misses are ignored, set semantics).
+    pub fn apply_delta(&mut self, delta: &EdgeDelta) -> usize {
+        let before = self.version;
+        let mut applied = 0;
+        for &(f, l, t) in &delta.dels {
+            applied += usize::from(self.delete_edge(f, l, t));
+        }
+        for &(f, l, t) in &delta.adds {
+            applied += usize::from(self.add_edge(f, l, t));
+        }
+        self.version = before + 1;
+        applied
+    }
+
+    /// Iterate over all effective edges as `(source, label, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (Oid, Symbol, Oid)> + '_ {
+        self.nodes().flat_map(move |v| {
+            self.out_groups(v)
+                .flat_map(move |(l, ts)| ts.map(move |t| (v, l, t)))
+        })
+    }
+
+    /// Fold the overlay into a fresh base CSR (the `O(V + E)` pass the
+    /// overlay defers), clear the logs, and start a **new epoch lineage**:
+    /// plans memoized against the old base are invalidated. In debug
+    /// builds, asserts the incrementally maintained [`LabelStats`] agree
+    /// with the rebuilt base's recount.
+    pub fn compact(&mut self) {
+        let n = self.num_nodes();
+        let mut inst = Instance::new();
+        for _ in 0..n {
+            inst.add_node();
+        }
+        // out_groups yields labels and targets ascending, so every
+        // add_edge below appends at its row's end — O(E) overall.
+        for v in self.nodes() {
+            for (l, ts) in self.out_groups(v) {
+                for t in ts {
+                    inst.add_edge(v, l, t);
+                }
+            }
+        }
+        let base = CsrGraph::from(&inst);
+        debug_assert!(
+            self.stats.agrees_with(base.stats()),
+            "incremental LabelStats diverged from compaction recount:\n{:?}\nvs\n{:?}",
+            self.stats,
+            base.stats()
+        );
+        self.base = base;
+        self.adds.clear();
+        self.dels.clear();
+        self.extra_nodes = 0;
+        self.edges = self.base.num_edges();
+        self.base_epoch = fresh_base_epoch();
+        self.version = 0;
+    }
+}
+
+impl GraphView for DeltaGraph {
+    fn num_nodes(&self) -> usize {
+        DeltaGraph::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        DeltaGraph::num_edges(self)
+    }
+
+    fn stats(&self) -> &LabelStats {
+        DeltaGraph::stats(self)
+    }
+
+    fn epoch(&self) -> Epoch {
+        DeltaGraph::epoch(self)
+    }
+
+    fn out(&self, v: Oid, label: Symbol) -> ViewEdges<'_> {
+        DeltaGraph::out(self, v, label)
+    }
+
+    fn rev(&self, v: Oid, label: Symbol) -> ViewEdges<'_> {
+        DeltaGraph::rev(self, v, label)
+    }
+
+    fn out_groups(&self, v: Oid) -> ViewGroups<'_> {
+        DeltaGraph::out_groups(self, v)
+    }
+}
+
+/// A `DeltaGraph` is also a [`GraphSource`], so the streaming evaluator
+/// (Remark 2.1) pulls from the overlay unchanged.
+impl GraphSource for DeltaGraph {
+    fn out_edges(&self, node: NodeId) -> Vec<(Symbol, NodeId)> {
+        self.out_groups(Oid(node as u32))
+            .flat_map(|(l, ts)| ts.map(move |t| (l, t.0 as NodeId)))
+            .collect()
+    }
+}
+
+/// Iterator behind [`DeltaGraph::out_groups`]: walks label slots in
+/// ascending order, yielding each label whose overlay row segment is
+/// non-empty.
+pub struct DeltaGroups<'a> {
+    graph: &'a DeltaGraph,
+    v: Oid,
+    next_label: usize,
+    num_labels: usize,
+}
+
+impl<'a> Iterator for DeltaGroups<'a> {
+    type Item = (Symbol, ViewEdges<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.next_label < self.num_labels {
+            let label = Symbol::from_index(self.next_label);
+            self.next_label += 1;
+            let edges = self.graph.out(self.v, label);
+            if !edges.is_empty() {
+                return Some((label, edges));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use rpq_automata::Alphabet;
+
+    fn sample() -> (Alphabet, Instance) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s", "a", "x");
+        b.edge("s", "a", "y");
+        b.edge("s", "b", "x");
+        b.edge("x", "b", "y");
+        b.edge("y", "b", "x");
+        b.edge("y", "a", "s");
+        let (inst, _) = b.finish();
+        (ab, inst)
+    }
+
+    fn collect(edges: ViewEdges<'_>) -> Vec<Oid> {
+        edges.collect()
+    }
+
+    #[test]
+    fn fresh_delta_matches_base() {
+        let (ab, inst) = sample();
+        let dg = DeltaGraph::from_instance(&inst);
+        let csr = CsrGraph::from(&inst);
+        assert_eq!(dg.num_nodes(), csr.num_nodes());
+        assert_eq!(dg.num_edges(), csr.num_edges());
+        for v in csr.nodes() {
+            for sym in ab.symbols() {
+                assert_eq!(collect(dg.out(v, sym)), csr.out(v, sym));
+                assert_eq!(collect(dg.rev(v, sym)), csr.rev(v, sym));
+            }
+        }
+        assert!(dg.stats().agrees_with(csr.stats()));
+    }
+
+    #[test]
+    fn adds_and_deletes_overlay_the_base() {
+        let (ab, inst) = sample();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let (s, x, y) = (Oid(0), Oid(1), Oid(2));
+
+        assert!(dg.delete_edge(s, a, x));
+        assert!(!dg.delete_edge(s, a, x), "double delete is a no-op");
+        assert!(dg.add_edge(x, a, y));
+        assert!(!dg.add_edge(x, a, y), "duplicate add is a no-op");
+        assert_eq!(dg.num_edges(), 6);
+
+        assert_eq!(collect(dg.out(s, a)), vec![y]);
+        assert_eq!(collect(dg.out(x, a)), vec![y]);
+        assert!(dg.rev(x, a).is_empty());
+        assert_eq!(collect(dg.rev(y, a)), vec![s, x]);
+        assert!(!dg.has_edge(s, a, x));
+        assert!(dg.has_edge(x, a, y));
+
+        // resurrect the tombstoned base edge
+        assert!(dg.add_edge(s, a, x));
+        assert_eq!(collect(dg.out(s, a)), vec![x, y]);
+        assert_eq!(dg.num_edges(), 7);
+
+        // delete an add-log edge
+        assert!(dg.delete_edge(x, a, y));
+        assert!(!dg.has_edge(x, a, y));
+        let _ = b;
+    }
+
+    #[test]
+    fn out_groups_partition_the_overlay_row() {
+        let (ab, inst) = sample();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let s = Oid(0);
+        dg.delete_edge(s, a, Oid(1));
+        dg.add_edge(s, b, Oid(2));
+        let groups: Vec<(Symbol, Vec<Oid>)> =
+            dg.out_groups(s).map(|(l, ts)| (l, ts.collect())).collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (a, vec![Oid(2)]));
+        assert_eq!(groups[1], (b, vec![Oid(1), Oid(2)]));
+    }
+
+    #[test]
+    fn new_nodes_live_in_the_logs_until_compaction() {
+        let (ab, inst) = sample();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        let fresh = dg.add_node();
+        assert_eq!(fresh.index(), dg.num_nodes() - 1);
+        assert!(dg.add_edge(Oid(0), a, fresh));
+        assert!(dg.add_edge(fresh, a, Oid(0)));
+        assert_eq!(collect(dg.out(fresh, a)), vec![Oid(0)]);
+        assert!(collect(dg.rev(fresh, a)).contains(&Oid(0)));
+        dg.compact();
+        assert_eq!(dg.base().num_nodes(), dg.num_nodes());
+        assert_eq!(collect(dg.out(fresh, a)), vec![Oid(0)]);
+    }
+
+    #[test]
+    fn compact_preserves_the_view_and_restarts_the_lineage() {
+        let (ab, inst) = sample();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        let before = dg.epoch();
+        dg.delete_edge(Oid(0), a, Oid(1));
+        dg.add_edge(Oid(1), a, Oid(2));
+        assert_eq!(dg.epoch().base, before.base);
+        assert!(dg.epoch().version > before.version);
+        assert!(dg.log_len() > 0);
+
+        let edges_before: Vec<_> = dg.edges().collect();
+        dg.compact();
+        assert_eq!(dg.log_len(), 0);
+        assert_ne!(dg.epoch().base, before.base, "compaction = fresh lineage");
+        assert_eq!(dg.epoch().version, 0);
+        let edges_after: Vec<_> = dg.edges().collect();
+        assert_eq!(edges_before, edges_after);
+        assert_eq!(dg.num_edges(), dg.base().num_edges());
+    }
+
+    #[test]
+    fn apply_delta_is_one_epoch_step() {
+        let (ab, inst) = sample();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        let mut delta = EdgeDelta::new();
+        delta.add(Oid(1), a, Oid(2)).del(Oid(0), a, Oid(1));
+        let v0 = dg.epoch().version;
+        let applied = dg.apply_delta(&delta);
+        assert_eq!(applied, 2);
+        assert_eq!(dg.epoch().version, v0 + 1);
+        // inverse restores the original edge set
+        dg.apply_delta(&delta.inverse());
+        let csr = CsrGraph::from(&inst);
+        assert_eq!(dg.num_edges(), csr.num_edges());
+        for v in csr.nodes() {
+            for sym in ab.symbols() {
+                assert_eq!(collect(dg.out(v, sym)), csr.out(v, sym), "{v:?} {sym:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_mutations_incrementally() {
+        let (ab, inst) = sample();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        assert_eq!(dg.stats().edge_count(a), 3);
+        assert_eq!(dg.stats().source_count(a), 2); // s, y
+        dg.delete_edge(Oid(0), a, Oid(1)); // s -a-> x; s still has s -a-> y
+        assert_eq!(dg.stats().edge_count(a), 2);
+        assert_eq!(dg.stats().source_count(a), 2);
+        dg.delete_edge(Oid(0), a, Oid(2)); // s loses its last a-edge
+        assert_eq!(dg.stats().source_count(a), 1);
+        dg.add_edge(Oid(1), a, Oid(0)); // x gains its first a-edge
+        assert_eq!(dg.stats().edge_count(a), 2);
+        assert_eq!(dg.stats().source_count(a), 2);
+        dg.compact(); // debug build: asserts agreement with the recount
+        assert_eq!(dg.stats().edge_count(a), 2);
+    }
+}

@@ -13,6 +13,8 @@ use std::fmt;
 use rpq_automata::{Alphabet, Symbol};
 use serde::{Deserialize, Serialize};
 
+use crate::csr::LabelStats;
+
 /// A dense object identifier within one [`Instance`].
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Oid(pub u32);
@@ -56,6 +58,10 @@ pub struct Instance {
     /// Optional display names per node.
     names: Vec<Option<String>>,
     edge_count: usize,
+    /// Per-label statistics, maintained incrementally by
+    /// [`Instance::add_edge`]/[`Instance::remove_edge`] so snapshotting
+    /// ([`crate::CsrGraph::from`]) pays no recount.
+    stats: LabelStats,
 }
 
 impl Instance {
@@ -90,17 +96,54 @@ impl Instance {
         match row.binary_search(&(label, to)) {
             Ok(_) => false,
             Err(pos) => {
+                // new source for the label iff no neighbor in the row
+                // carries it (rows are sorted, so only positions pos-1 and
+                // pos need checking)
+                let had_label = (pos > 0 && row[pos - 1].0 == label)
+                    || row.get(pos).is_some_and(|&(l, _)| l == label);
                 row.insert(pos, (label, to));
                 self.edge_count += 1;
+                self.stats.note_added(label, !had_label);
                 true
             }
         }
     }
 
-    /// Restore the sorted-row invariant and recount edges after rehydrating
-    /// from an encoding that does not guarantee it (see the type docs).
-    /// Always sweeps every row (`O(nodes + edges)`); the per-row sort is
-    /// skipped when a row is already sorted.
+    /// Remove the edge `Ref(from, label, to)` if present. Returns true if
+    /// an edge was removed. Statistics stay incrementally maintained, so
+    /// mutate-then-snapshot loops never pay a recount.
+    pub fn remove_edge(&mut self, from: Oid, label: Symbol, to: Oid) -> bool {
+        let row = &mut self.out[from.index()];
+        match row.binary_search(&(label, to)) {
+            Ok(pos) => {
+                row.remove(pos);
+                self.edge_count -= 1;
+                let still_has = (pos > 0 && row[pos - 1].0 == label)
+                    || row.get(pos).is_some_and(|&(l, _)| l == label);
+                self.stats.note_removed(label, !still_has);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Per-label statistics, maintained incrementally on every mutation.
+    pub fn stats(&self) -> &LabelStats {
+        &self.stats
+    }
+
+    /// Simulate an instance rehydrated from an encoding that predates the
+    /// incremental stats field (rows populated, statistics empty) — for
+    /// exercising `CsrGraph::from`'s staleness fallback.
+    #[cfg(test)]
+    pub(crate) fn clear_stats_for_test(&mut self) {
+        self.stats = LabelStats::default();
+    }
+
+    /// Restore the sorted-row invariant and recount edges and statistics
+    /// after rehydrating from an encoding that does not guarantee them
+    /// (see the type docs). Always sweeps every row (`O(nodes + edges)`);
+    /// the per-row sort is skipped when a row is already sorted.
     pub fn normalize(&mut self) {
         let mut count = 0usize;
         for row in &mut self.out {
@@ -111,6 +154,7 @@ impl Instance {
             count += row.len();
         }
         self.edge_count = count;
+        self.stats = LabelStats::recount(self.out.iter().map(Vec::as_slice));
     }
 
     /// Number of objects.
@@ -349,6 +393,49 @@ mod tests {
         assert_eq!(i.num_edges(), 1);
         assert_eq!(i.outdegree(x), 1);
         assert_eq!(i.outdegree(y), 0);
+    }
+
+    #[test]
+    fn remove_edge_and_stats_stay_in_sync() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let mut i = Instance::new();
+        let x = i.add_node();
+        let y = i.add_node();
+        let z = i.add_node();
+        i.add_edge(x, a, y);
+        i.add_edge(x, a, z);
+        i.add_edge(x, b, y);
+        i.add_edge(y, a, z);
+        assert_eq!(i.stats().edge_count(a), 3);
+        assert_eq!(i.stats().source_count(a), 2);
+
+        assert!(i.remove_edge(x, a, y));
+        assert!(!i.remove_edge(x, a, y), "double remove is a no-op");
+        assert_eq!(i.num_edges(), 3);
+        assert_eq!(i.stats().edge_count(a), 2);
+        assert_eq!(i.stats().source_count(a), 2, "x still has x -a-> z");
+
+        assert!(i.remove_edge(x, a, z));
+        assert_eq!(i.stats().source_count(a), 1, "x lost its last a-edge");
+        // the incremental counters agree with a recount (also asserted by
+        // CsrGraph::from in debug builds)
+        let csr = crate::CsrGraph::from(&i);
+        assert!(csr.stats().agrees_with(i.stats()));
+    }
+
+    #[test]
+    fn normalize_recounts_stats() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let mut i = Instance::new();
+        let x = i.add_node();
+        let y = i.add_node();
+        i.add_edge(x, a, y);
+        i.normalize();
+        assert_eq!(i.stats().edge_count(a), 1);
+        assert_eq!(i.num_edges(), 1);
     }
 
     #[test]

@@ -7,15 +7,23 @@
 //!
 //! * [`Instance`] — a finite labeled graph with adjacency storage, builders,
 //!   reachability/distance utilities and DOT export. This is the *mutable
-//!   build-time* form.
+//!   build-time* form; its [`LabelStats`] are maintained incrementally on
+//!   every mutation.
 //! * [`CsrGraph`] — the immutable *query-time* form: label-indexed CSR
 //!   adjacency (forward and reverse) with per-label statistics, built by
 //!   `CsrGraph::from(&instance)`. Engines step `(state, node)` pairs via
 //!   [`CsrGraph::out`] in time proportional to matching edges only.
+//! * [`GraphView`] — the uniform read interface over snapshots (forward /
+//!   reverse labeled steps, label groups, statistics, and a snapshot
+//!   [`Epoch`]); the `rpq-core` evaluation paths are generic over it.
+//! * [`DeltaGraph`] — the incremental snapshot: an immutable base
+//!   [`CsrGraph`] plus per-label sorted add/tombstone logs, absorbing
+//!   [`EdgeDelta`] batches in `O(batch)` instead of the `O(V + E)` rebuild,
+//!   with [`DeltaGraph::compact`] folding the overlay into a fresh base.
 //! * [`GraphSource`] — the lazy, possibly-infinite view (Remark 2.1) under
 //!   which evaluators may only expand nodes they have reached; implemented
-//!   by [`Instance`], [`CsrGraph`], and by synthetic infinite graphs
-//!   ([`InfiniteTree`], [`InfiniteComb`], [`LassoLine`]).
+//!   by [`Instance`], [`CsrGraph`], [`DeltaGraph`], and by synthetic
+//!   infinite graphs ([`InfiniteTree`], [`InfiniteComb`], [`LassoLine`]).
 //! * [`bitset`] — dense bit-parallel frontiers ([`NodeBitset`],
 //!   [`FrontierArena`], [`LaneMatrix`]) backing the batched multi-source
 //!   engines in `rpq-core`.
@@ -26,11 +34,15 @@
 
 pub mod bitset;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod instance;
 pub mod source;
+pub mod view;
 
 pub use bitset::{FrontierArena, LaneMatrix, NodeBitset};
 pub use csr::{CsrGraph, LabelStats};
+pub use delta::DeltaGraph;
 pub use instance::{Instance, InstanceBuilder, Oid};
 pub use source::{GraphSource, InfiniteComb, InfiniteTree, LassoLine, NodeId};
+pub use view::{EdgeDelta, Epoch, GraphView, ViewEdges, ViewGroups};

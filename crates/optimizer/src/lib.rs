@@ -44,7 +44,7 @@ pub mod rewrites;
 pub mod views;
 
 pub use cost::{estimated_cost, measured_cost, StaticCost};
-pub use planned::{Direction, Plan, PlannedEngine};
+pub use planned::{Direction, Plan, PlannedEngine, PlannerConfig};
 pub use planner::{optimize, optimize_with_stats, Optimized, RewriteCache};
 pub use rewrites::{candidates, Candidate, RewriteRule};
 pub use views::{

@@ -15,11 +15,30 @@
 //!    cost (edges matching its *last*) — the *how*: [`Direction::Backward`]
 //!    when the last group is decisively rarer, [`Direction::Forward`] when
 //!    the first is, [`Direction::Bidirectional`] (meet-in-the-middle) when
-//!    neither end dominates;
+//!    neither end dominates; the decisiveness factor is a [`PlannerConfig`]
+//!    knob (default 2×);
 //! 3. memoizes the whole [`Plan`] behind a `parking_lot::Mutex`, so
 //!    repeated queries skip both the rewrite search and recompilation, and
 //!    one engine instance can be shared across threads (the threaded
 //!    distributed runner, `PartitionedBatchEngine` workers).
+//!
+//! # Epoch-aware plan reuse
+//!
+//! The memo key carries the snapshot's [`rpq_graph::Epoch`] lineage. For a
+//! mutating [`rpq_graph::DeltaGraph`], a small edge batch changes the
+//! statistics fingerprint but *not* the base lineage — instead of
+//! recompiling, the planner re-derives the two entry costs from the
+//! current statistics and **reuses** the memoized plan whenever the
+//! direction decision is unchanged and neither cost drifted past the
+//! decisiveness factor (any cached plan for the same query is *sound* —
+//! statistics only rank candidates — so drift-reuse trades at most
+//! optimality, never correctness, and the drift bound caps even that).
+//! `compact()` installs a fresh base lineage, which invalidates the memo
+//! for that graph — exactly the rebuild-time recompilation the overlay
+//! deferred. Hits and misses are counted on the engine
+//! ([`PlannedEngine::plan_cache_hits`]) and stamped into every
+//! [`rpq_core::EvalStats`] this engine produces, together with the chosen
+//! [`Direction`] — the observability seam of the cost-calibration work.
 //!
 //! Through the [`Engine`] trait ([`Engine::eval`] / [`Engine::eval_batch`])
 //! the planner affects only *what* the inner engine runs — set-semantics
@@ -27,36 +46,46 @@
 //! inner engine's answer set. The direction choice pays off on the
 //! scenarios the reverse CSR opens: [`PlannedEngine::eval_to`]
 //! (target-bound) and [`PlannedEngine::eval_pair`] ((source, target)
-//! reachability — bench `t12_direction_choice`).
+//! reachability — bench `t12_direction_choice`); [`PlannedEngine::eval_view`]
+//! evaluates over any [`GraphView`] (e.g. a delta overlay) with the same
+//! memo.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use rpq_automata::{Alphabet, Nfa, Regex};
+use rpq_automata::{Alphabet, Nfa, Regex, Symbol};
 use rpq_constraints::general::Budget;
 use rpq_constraints::ConstraintSet;
 use rpq_core::{
-    eval_product_backward_reversed_csr, eval_product_pair_backward_reversed_csr,
+    eval_product_backward_reversed_csr, eval_product_csr, eval_product_pair_backward_reversed_csr,
     eval_product_pair_csr, eval_product_pair_forward_csr, BatchResult, Engine, EvalResult,
-    PairResult, Query,
+    EvalStats, PairResult, Query,
 };
-use rpq_graph::{CsrGraph, LabelStats, Oid};
+use rpq_graph::{CsrGraph, GraphView, LabelStats, Oid};
 
 use crate::planner::optimize_with_stats;
 
-/// The traversal direction planned for directional entry points.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum Direction {
-    /// Forward product BFS over `CsrGraph::out` — the first label group is
-    /// decisively the rare end.
-    Forward,
-    /// Backward product BFS (reversed NFA over `CsrGraph::rev`) — the last
-    /// label group is decisively the rare end.
-    Backward,
-    /// Meet-in-the-middle — neither end dominates.
-    Bidirectional,
+pub use rpq_core::Direction;
+
+/// Tunable planning thresholds.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PlannerConfig {
+    /// Multiplicative decisiveness factor (≥ 1.0). One end of a query must
+    /// be at least this factor cheaper than the other to win the direction
+    /// choice outright; the same factor bounds how far the entry costs may
+    /// drift before an epoch-reused plan is recompiled. The historical
+    /// hardcoded value was 2×, kept as the default pending calibration
+    /// against measured `edges_scanned` (see the ROADMAP item).
+    pub decisiveness: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { decisiveness: 2.0 }
+    }
 }
 
 /// One planned query over one snapshot: the rewrite winner compiled once
@@ -79,14 +108,17 @@ pub struct Plan {
     pub backward_cost: usize,
 }
 
-/// Outer memo key: node/edge counts plus a hash of the per-label
-/// statistics, so snapshots that merely *coincide* in size do not share
-/// plans (direction and rewrite ranking both come from the statistics).
-/// The inner map is keyed by the input query, probed by reference.
-type SnapshotKey = (usize, usize, u64);
+/// Memo key: the snapshot's epoch lineage plus node/edge counts and a hash
+/// of the per-label statistics, so snapshots that merely *coincide* in
+/// size do not share plans (direction and rewrite ranking both come from
+/// the statistics). Lineage 0 (standalone `CsrGraph`s) only ever matches
+/// exactly; nonzero lineages additionally allow the drift-bounded reuse
+/// described in the module docs.
+type MemoKey = (u64, usize, usize, u64);
 
-fn snapshot_key(graph: &CsrGraph) -> SnapshotKey {
+fn memo_key<G: GraphView>(graph: &G) -> MemoKey {
     (
+        graph.epoch().base,
         graph.num_nodes(),
         graph.num_edges(),
         stats_fingerprint(graph.stats()),
@@ -102,35 +134,46 @@ fn stats_fingerprint(stats: &LabelStats) -> u64 {
     h.finish()
 }
 
-/// Bound on distinct snapshots the plan memo retains: a long-lived engine
-/// over a mutating graph sees a fresh `CsrGraph` (and [`SnapshotKey`]) per
-/// rebuild, and each retired snapshot's plans are dead weight — without a
-/// bound the memo grows with snapshots × queries. Superseded snapshots are
-/// evicted wholesale once the bound is hit; the working set of live
-/// snapshots in any realistic deployment is far below it.
+struct MemoEntry {
+    key: MemoKey,
+    plan: Arc<Plan>,
+}
+
+/// Bound on distinct snapshots the plan memo retains **per query**: a
+/// long-lived engine over a mutating graph sees a fresh [`MemoKey`] per
+/// rebuild (or per out-of-drift delta epoch), and each retired snapshot's
+/// plan is dead weight — without a bound the memo grows with snapshots ×
+/// queries. The oldest entry is evicted once the bound is hit; the working
+/// set of live snapshots in any realistic deployment is far below it.
 const MAX_MEMOIZED_SNAPSHOTS: usize = 8;
 
 /// An [`Engine`] wrapper that plans before it evaluates: constraint
 /// rewriting (*what*), direction choice (*how*), and a shared, thread-safe
-/// compiled-plan memo. See the module docs.
+/// compiled-plan memo with epoch-aware reuse. See the module docs.
 pub struct PlannedEngine<E> {
     inner: E,
     set: ConstraintSet,
     alphabet: Alphabet,
     budget: Budget,
-    memo: Mutex<HashMap<SnapshotKey, HashMap<Regex, Arc<Plan>>>>,
+    config: PlannerConfig,
+    memo: Mutex<HashMap<Regex, Vec<MemoEntry>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
 }
 
 impl<E> PlannedEngine<E> {
     /// Plan over `set` (the constraints holding at this site) with the
-    /// default validation [`Budget`].
+    /// default validation [`Budget`] and [`PlannerConfig`].
     pub fn new(inner: E, set: ConstraintSet, alphabet: Alphabet) -> PlannedEngine<E> {
         PlannedEngine {
             inner,
             set,
             alphabet,
             budget: Budget::default(),
+            config: PlannerConfig::default(),
             memo: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
         }
     }
 
@@ -146,6 +189,18 @@ impl<E> PlannedEngine<E> {
         self
     }
 
+    /// Replace the planning thresholds.
+    pub fn with_config(mut self, config: PlannerConfig) -> PlannedEngine<E> {
+        assert!(config.decisiveness >= 1.0, "decisiveness must be ≥ 1.0");
+        self.config = config;
+        self
+    }
+
+    /// The active planning thresholds.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
     /// The wrapped engine.
     pub fn inner(&self) -> &E {
         &self.inner
@@ -153,30 +208,84 @@ impl<E> PlannedEngine<E> {
 
     /// Number of distinct (query, snapshot) plans memoized.
     pub fn plans_cached(&self) -> usize {
-        self.memo.lock().values().map(HashMap::len).sum()
+        self.memo.lock().values().map(Vec::len).sum()
+    }
+
+    /// Plans served from the memo so far (exact-key hits plus epoch-drift
+    /// reuses), across every entry point of this engine instance.
+    pub fn plan_cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Plans built from scratch so far (rewrite search + compilation).
+    pub fn plan_cache_misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// The plan for `query` over `graph` (memoized): rewrite winner,
-    /// compiled NFA, direction decision.
-    pub fn plan(&self, query: &Query, graph: &CsrGraph) -> Arc<Plan> {
-        self.build_plan(query.regex(), query.alphabet(), graph)
+    /// compiled NFA, direction decision. Generic over any [`GraphView`].
+    pub fn plan<G: GraphView>(&self, query: &Query, graph: &G) -> Arc<Plan> {
+        self.plan_status(query.regex(), query.alphabet(), graph).0
     }
 
     /// The rewritten form of `q` over `graph`'s statistics (memoized) —
     /// usable as the per-site hook of the distributed runners:
     /// `sim.with_rewrite(|_site, q| planned.rewrite(q, &graph))`.
-    pub fn rewrite(&self, q: &Regex, graph: &CsrGraph) -> Regex {
-        self.build_plan(q, &self.alphabet, graph)
+    pub fn rewrite<G: GraphView>(&self, q: &Regex, graph: &G) -> Regex {
+        self.plan_status(q, &self.alphabet, graph)
+            .0
             .query
             .regex()
             .clone()
     }
 
-    fn build_plan(&self, q: &Regex, alphabet: &Alphabet, graph: &CsrGraph) -> Arc<Plan> {
-        let snapshot = snapshot_key(graph);
+    /// Entry cost of a label group under `stats`.
+    fn group_cost(symbols: &[Symbol], stats: &LabelStats) -> usize {
+        symbols.iter().map(|&s| stats.edge_count(s)).sum()
+    }
+
+    /// Epoch-drift reuse check: under the *current* statistics, would the
+    /// memoized plan still be chosen? True when the direction decision is
+    /// unchanged and neither entry cost drifted past the decisiveness
+    /// factor relative to its plan-time value.
+    fn drift_within(&self, plan: &Plan, stats: &LabelStats) -> bool {
+        let f = Self::group_cost(&plan.query.nfa().first_symbols(), stats);
+        let b = Self::group_cost(&plan.reversed.first_symbols(), stats);
+        choose_direction(f, b, &self.config) == plan.direction
+            && within_factor(plan.forward_cost, f, self.config.decisiveness)
+            && within_factor(plan.backward_cost, b, self.config.decisiveness)
+    }
+
+    /// The memoized plan plus whether it was served from the memo (`true`)
+    /// or built from scratch (`false`).
+    fn plan_status<G: GraphView>(
+        &self,
+        q: &Regex,
+        alphabet: &Alphabet,
+        graph: &G,
+    ) -> (Arc<Plan>, bool) {
+        let key = memo_key(graph);
         // Memo probe by reference — the query is cloned only on a miss.
-        if let Some(plan) = self.memo.lock().get(&snapshot).and_then(|m| m.get(q)) {
-            return plan.clone();
+        {
+            let memo = self.memo.lock();
+            if let Some(entries) = memo.get(q) {
+                if let Some(e) = entries.iter().find(|e| e.key == key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (e.plan.clone(), true);
+                }
+                if key.0 != 0 {
+                    // Same base lineage, different epoch: reuse the plan if
+                    // the label-stat drift stays under the decisiveness
+                    // threshold (see the module docs).
+                    if let Some(e) = entries
+                        .iter()
+                        .find(|e| e.key.0 == key.0 && self.drift_within(&e.plan, graph.stats()))
+                    {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (e.plan.clone(), true);
+                    }
+                }
+            }
         }
         // Planning runs unlocked: a concurrent duplicate costs one extra
         // rewrite search, and insertion is idempotent (same winner).
@@ -185,14 +294,11 @@ impl<E> PlannedEngine<E> {
         let improved = opt.improved();
         let query = Query::new(opt.query, alphabet);
         let reversed = query.nfa().reverse();
-        let group_cost = |symbols: &[rpq_automata::Symbol]| -> usize {
-            symbols.iter().map(|&s| stats.edge_count(s)).sum()
-        };
-        let forward_cost = group_cost(&query.nfa().first_symbols());
+        let forward_cost = Self::group_cost(&query.nfa().first_symbols(), stats);
         // last symbols of the query = first symbols of its reversal, which
         // is already compiled — so both cost inputs come for free here
-        let backward_cost = group_cost(&reversed.first_symbols());
-        let direction = choose_direction(forward_cost, backward_cost);
+        let backward_cost = Self::group_cost(&reversed.first_symbols(), stats);
+        let direction = choose_direction(forward_cost, backward_cost, &self.config);
         let plan = Arc::new(Plan {
             query,
             reversed,
@@ -201,63 +307,101 @@ impl<E> PlannedEngine<E> {
             forward_cost,
             backward_cost,
         });
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut memo = self.memo.lock();
-        if memo.len() >= MAX_MEMOIZED_SNAPSHOTS && !memo.contains_key(&snapshot) {
-            // Evict an arbitrary retired snapshot to bound memory; plans
-            // for it will simply be rebuilt if that graph comes back.
-            if let Some(stale) = memo.keys().find(|&&k| k != snapshot).copied() {
-                memo.remove(&stale);
+        let entries = memo.entry(q.clone()).or_default();
+        if !entries.iter().any(|e| e.key == key) {
+            if entries.len() >= MAX_MEMOIZED_SNAPSHOTS {
+                // Evict the oldest retired snapshot to bound memory; plans
+                // for it will simply be rebuilt if that graph comes back.
+                entries.remove(0);
             }
+            entries.push(MemoEntry {
+                key,
+                plan: plan.clone(),
+            });
         }
-        memo.entry(snapshot)
-            .or_default()
-            .insert(q.clone(), plan.clone());
-        plan
+        (plan, false)
     }
 
-    /// Target-bound evaluation `{o | target ∈ p(o, I)}`: rewrite, then run
-    /// the backward product BFS over the reverse adjacency, reusing the
-    /// plan's cached reversed NFA.
-    pub fn eval_to(&self, query: &Query, graph: &CsrGraph, target: Oid) -> EvalResult {
-        let plan = self.plan(query, graph);
-        eval_product_backward_reversed_csr(&plan.reversed, graph, target)
+    /// Stamp plan observability into an evaluation's counters.
+    fn stamp(&self, stats: &mut EvalStats, plan: &Plan, hit: bool) {
+        stats.plan_cache_hits += usize::from(hit);
+        stats.plan_cache_misses += usize::from(!hit);
+        stats.plan_direction = Some(plan.direction);
+    }
+
+    /// Evaluate `query` from `source` over **any** [`GraphView`] (e.g. a
+    /// `rpq_graph::DeltaGraph` absorbing writes) with the epoch-aware plan
+    /// memo: the planned (rewritten) query runs through the generic
+    /// product BFS. The wrapped engine's strategy applies on the `Engine`
+    /// trait's `CsrGraph` entry points; views always use the product
+    /// search, which computes the same answer set.
+    pub fn eval_view<G: GraphView>(&self, query: &Query, graph: &G, source: Oid) -> EvalResult {
+        let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        let mut res = eval_product_csr(plan.query.nfa(), graph, source);
+        self.stamp(&mut res.stats, &plan, hit);
+        res
+    }
+
+    /// Target-bound evaluation `{o | target ∈ p(o, I)}` over any
+    /// [`GraphView`]: rewrite, then run the backward product BFS over the
+    /// reverse adjacency, reusing the plan's cached reversed NFA.
+    pub fn eval_to<G: GraphView>(&self, query: &Query, graph: &G, target: Oid) -> EvalResult {
+        let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        let mut res = eval_product_backward_reversed_csr(&plan.reversed, graph, target);
+        self.stamp(&mut res.stats, &plan, hit);
+        res
     }
 
     /// Pair reachability `target ∈ p(source, I)?` by the planned
     /// direction: forward with early exit, backward with early exit, or
-    /// meet-in-the-middle.
-    pub fn eval_pair(
+    /// meet-in-the-middle. Generic over any [`GraphView`].
+    pub fn eval_pair<G: GraphView>(
         &self,
         query: &Query,
-        graph: &CsrGraph,
+        graph: &G,
         source: Oid,
         target: Oid,
     ) -> PairResult {
-        let plan = self.plan(query, graph);
+        let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
         let nfa = plan.query.nfa();
-        match plan.direction {
+        let mut res = match plan.direction {
             Direction::Forward => eval_product_pair_forward_csr(nfa, graph, source, target),
             Direction::Backward => {
                 eval_product_pair_backward_reversed_csr(&plan.reversed, graph, source, target)
             }
             Direction::Bidirectional => eval_product_pair_csr(nfa, graph, source, target),
-        }
+        };
+        self.stamp(&mut res.stats, &plan, hit);
+        res
     }
 }
 
-/// Pick the direction from the two entry-cost estimates: a decisive (≥ 2×)
-/// win on either end takes that end; otherwise meet in the middle. Equal
-/// costs (including the all-zero degenerate case) stay bidirectional.
-fn choose_direction(forward_cost: usize, backward_cost: usize) -> Direction {
+/// Pick the direction from the two entry-cost estimates: a decisive
+/// (≥ `config.decisiveness`×) win on either end takes that end; otherwise
+/// meet in the middle. Equal costs (including the all-zero degenerate
+/// case) stay bidirectional.
+fn choose_direction(
+    forward_cost: usize,
+    backward_cost: usize,
+    config: &PlannerConfig,
+) -> Direction {
+    let (f, b) = (forward_cost as f64, backward_cost as f64);
     if forward_cost == backward_cost {
         Direction::Bidirectional
-    } else if backward_cost * 2 <= forward_cost {
+    } else if b * config.decisiveness <= f {
         Direction::Backward
-    } else if forward_cost * 2 <= backward_cost {
+    } else if f * config.decisiveness <= b {
         Direction::Forward
     } else {
         Direction::Bidirectional
     }
+}
+
+/// Is each cost within factor `t` of the other?
+fn within_factor(a: usize, b: usize, t: f64) -> bool {
+    (a as f64) <= (b as f64) * t && (b as f64) <= (a as f64) * t
 }
 
 impl<E: Engine> Engine for PlannedEngine<E> {
@@ -270,16 +414,42 @@ impl<E: Engine> Engine for PlannedEngine<E> {
     /// constraint set holds at `source` (the Section 3.2 site assumption);
     /// with no constraints it is identical unconditionally.
     fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
-        let plan = self.plan(query, graph);
-        self.inner.eval(&plan.query, graph, source)
+        let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        let mut res = self.inner.eval(&plan.query, graph, source);
+        self.stamp(&mut res.stats, &plan, hit);
+        res
     }
 
     /// One plan serves the whole batch: the rewrite and compilation happen
     /// once before the fan-out, so e.g. `PartitionedBatchEngine` workers
     /// all share the planned query.
     fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
-        let plan = self.plan(query, graph);
-        self.inner.eval_batch(&plan.query, graph, sources)
+        let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        let mut res = self.inner.eval_batch(&plan.query, graph, sources);
+        self.stamp(&mut res.stats, &plan, hit);
+        res
+    }
+
+    /// Target-bound evaluation via the plan's cached reversed automaton
+    /// (the inherent [`PlannedEngine::eval_to`], exposed through the
+    /// trait).
+    fn eval_to(&self, query: &Query, graph: &CsrGraph, target: Oid) -> EvalResult {
+        PlannedEngine::eval_to(self, query, graph, target)
+    }
+
+    /// One plan serves the whole multi-target batch; each target runs the
+    /// backward product BFS with the shared reversed automaton.
+    fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
+        let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        let mut stats = EvalStats::default();
+        let mut per_target = Vec::with_capacity(targets.len());
+        for &t in targets {
+            let r = eval_product_backward_reversed_csr(&plan.reversed, graph, t);
+            stats.merge(&r.stats);
+            per_target.push(r.answers);
+        }
+        self.stamp(&mut stats, &plan, hit);
+        BatchResult::from_per_source(per_target, stats)
     }
 }
 
@@ -288,7 +458,7 @@ mod tests {
     use super::*;
     use rpq_automata::parse_regex;
     use rpq_core::ProductEngine;
-    use rpq_graph::{Instance, InstanceBuilder};
+    use rpq_graph::{DeltaGraph, Instance, InstanceBuilder};
 
     /// The shared T5 cached workload (`rpq_bench::distributed_workload`):
     /// an a·b backbone with trap branches, the cache label `l` wired from
@@ -331,14 +501,35 @@ mod tests {
         let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
         let query = Query::parse(&mut ab, "(a.b)*").unwrap();
         let p1 = planned.plan(&query, &graph);
+        assert_eq!(planned.plan_cache_misses(), 1);
         let p2 = planned.plan(&query, &graph);
         assert!(Arc::ptr_eq(&p1, &p2), "second plan must be the memo hit");
+        assert_eq!(planned.plan_cache_hits(), 1);
         assert_eq!(planned.plans_cached(), 1);
         planned.eval(&query, &graph, v0);
         assert_eq!(planned.plans_cached(), 1, "eval reuses the plan");
         let other = Query::parse(&mut ab, "a.b").unwrap();
         planned.eval(&other, &graph, v0);
         assert_eq!(planned.plans_cached(), 2);
+    }
+
+    #[test]
+    fn eval_stats_record_direction_and_cache_outcome() {
+        let (mut ab, set, inst, v0) = cached_workload(4);
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
+        let query = Query::parse(&mut ab, "(a.b)*").unwrap();
+        let first = planned.eval(&query, &graph, v0);
+        assert_eq!(first.stats.plan_cache_misses, 1);
+        assert_eq!(first.stats.plan_cache_hits, 0);
+        assert!(first.stats.plan_direction.is_some());
+        let second = planned.eval(&query, &graph, v0);
+        assert_eq!(second.stats.plan_cache_hits, 1);
+        assert_eq!(second.stats.plan_cache_misses, 0);
+        // unplanned engines leave the fields untouched
+        let raw = ProductEngine.eval(&query, &graph, v0);
+        assert_eq!(raw.stats.plan_cache_hits + raw.stats.plan_cache_misses, 0);
+        assert_eq!(raw.stats.plan_direction, None);
     }
 
     #[test]
@@ -362,6 +553,7 @@ mod tests {
         let planned_pair = planned.eval_pair(&query, &graph, s, t);
         let forced_forward = rpq_core::eval_product_pair_forward_csr(query.nfa(), &graph, s, t);
         assert!(planned_pair.reachable && forced_forward.reachable);
+        assert_eq!(planned_pair.stats.plan_direction, Some(Direction::Backward));
         assert!(
             planned_pair.stats.edges_scanned * 10 < forced_forward.stats.edges_scanned,
             "backward must win big: {} vs {}",
@@ -402,6 +594,35 @@ mod tests {
         let query = Query::parse(&mut ab, "a.a").unwrap();
         assert_eq!(
             planned.plan(&query, &graph).direction,
+            Direction::Bidirectional
+        );
+    }
+
+    #[test]
+    fn decisiveness_is_configurable() {
+        // 64 hot entry edges vs 1 cold exit edge: backward wins at the
+        // default 2x threshold, but a planner demanding a 1000x margin
+        // stays bidirectional — the threshold is a real knob now.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..64 {
+            b.edge("s", "hot", &format!("m{i}"));
+        }
+        b.edge("m0", "cold", "t");
+        let (inst, _) = b.finish();
+        let graph = CsrGraph::from(&inst);
+        let query = {
+            let mut ab2 = ab.clone();
+            Query::parse(&mut ab2, "hot.cold").unwrap()
+        };
+        let default = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        assert_eq!(default.plan(&query, &graph).direction, Direction::Backward);
+        let strict =
+            PlannedEngine::unconstrained(ProductEngine, ab.clone()).with_config(PlannerConfig {
+                decisiveness: 1000.0,
+            });
+        assert_eq!(
+            strict.plan(&query, &graph).direction,
             Direction::Bidirectional
         );
     }
@@ -454,7 +675,7 @@ mod tests {
     fn plan_memo_is_bounded_across_snapshots() {
         // Simulate a mutating graph: every rebuild produces a snapshot
         // with a fresh stats fingerprint. The memo must retain at most
-        // MAX_MEMOIZED_SNAPSHOTS snapshot entries.
+        // MAX_MEMOIZED_SNAPSHOTS entries for the query.
         let mut ab = Alphabet::new();
         let planned = PlannedEngine::unconstrained(ProductEngine, {
             ab.intern("a");
@@ -474,6 +695,106 @@ mod tests {
             "memo must evict retired snapshots: {} plans",
             planned.plans_cached()
         );
+    }
+
+    #[test]
+    fn small_delta_epochs_reuse_the_plan_and_compaction_invalidates() {
+        // A delta lineage: plan once, absorb a small batch (stats drift
+        // under the decisiveness factor) -> the memo serves the same plan.
+        // compact() starts a fresh lineage -> the memo misses and rebuilds.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..32 {
+            b.edge("s", "hot", &format!("m{i}"));
+            b.edge(&format!("m{i}"), "cold", "t");
+        }
+        let (inst, _) = b.finish();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = {
+            let mut ab2 = ab.clone();
+            Query::parse(&mut ab2, "hot.cold").unwrap()
+        };
+
+        let p1 = planned.plan(&query, &dg);
+        assert_eq!(planned.plan_cache_misses(), 1);
+
+        // one extra hot edge: a ~3% drift — same plan must be served
+        let hot = ab.get("hot").unwrap();
+        assert!(dg.add_edge(Oid(0), hot, Oid(2)));
+        let p2 = planned.plan(&query, &dg);
+        assert!(
+            Arc::ptr_eq(&p1, &p2),
+            "small-delta epoch must reuse the memoized plan"
+        );
+        assert_eq!(planned.plan_cache_hits(), 1);
+
+        // evaluation over the delta view reports the hit
+        let res = planned.eval_view(&query, &dg, Oid(0));
+        assert_eq!(res.stats.plan_cache_hits, 1);
+        assert_eq!(res.stats.plan_direction, Some(p1.direction));
+
+        // compaction = fresh base lineage = invalidation
+        let misses_before = planned.plan_cache_misses();
+        dg.compact();
+        let p3 = planned.plan(&query, &dg);
+        assert!(
+            !Arc::ptr_eq(&p1, &p3),
+            "compaction must invalidate the lineage's plans"
+        );
+        assert_eq!(planned.plan_cache_misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn decisive_drift_recompiles_the_plan() {
+        // Start backward-skewed (one cold exit), then add enough cold
+        // edges to erase the skew: the direction decision flips, so the
+        // memoized plan must NOT be reused despite the same lineage.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..16 {
+            b.edge("s", "hot", &format!("m{i}"));
+        }
+        b.edge("m0", "cold", "t");
+        let (inst, names) = b.finish();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = {
+            let mut ab2 = ab.clone();
+            Query::parse(&mut ab2, "hot.cold").unwrap()
+        };
+        let p1 = planned.plan(&query, &dg);
+        assert_eq!(p1.direction, Direction::Backward);
+
+        let cold = ab.get("cold").unwrap();
+        let t = names["t"];
+        for i in 1..16 {
+            let m = names[format!("m{i}").as_str()];
+            assert!(dg.add_edge(m, cold, t));
+        }
+        let p2 = planned.plan(&query, &dg);
+        assert!(!Arc::ptr_eq(&p1, &p2), "decisive drift must recompile");
+        assert_ne!(p2.direction, Direction::Backward);
+    }
+
+    #[test]
+    fn eval_to_batch_mirrors_per_target_loop() {
+        let (mut ab, set, inst, v0) = cached_workload(4);
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
+        let query = Query::parse(&mut ab, "(a.b)*").unwrap();
+        let targets: Vec<Oid> = graph.nodes().take(6).collect();
+        let batch = Engine::eval_to_batch(&planned, &query, &graph, &targets);
+        let per = batch.per_source().unwrap();
+        for (i, &t) in targets.iter().enumerate() {
+            assert_eq!(per[i], planned.eval_to(&query, &graph, t).answers, "{t:?}");
+        }
+        // one plan for the whole batch
+        assert_eq!(
+            batch.stats.plan_cache_hits + batch.stats.plan_cache_misses,
+            1
+        );
+        let _ = v0;
     }
 
     #[test]
