@@ -25,7 +25,14 @@ pub struct Dfa {
 impl Dfa {
     /// Subset construction from an NFA. `sigma` must be at least
     /// `max symbol index + 1` over the NFA's transitions.
+    ///
+    /// The NFA is [`Nfa::trim`]med first: states not on a start→accept
+    /// path cannot change the language, but left in they inflate the
+    /// subset-state universe (every dead state a set drags along splits
+    /// otherwise-equal sets). Determinizing the trimmed automaton yields a
+    /// DFA over the same language with never more states.
     pub fn from_nfa(nfa: &Nfa, sigma: usize) -> Dfa {
+        let nfa = &nfa.trim();
         let mut states: Vec<Vec<StateId>> = Vec::new();
         let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
         let mut accept: Vec<bool> = Vec::new();

@@ -625,6 +625,84 @@ impl Nfa {
         true
     }
 
+    /// Length of the longest accepted word: `Some(len)` when the language
+    /// is finite and non-empty, `None` when it is infinite or empty. This
+    /// is the exact depth cap for bounded-depth product evaluation of
+    /// finite-language queries: no answer can lie deeper than the longest
+    /// word the automaton accepts.
+    pub fn longest_accepted_len(&self) -> Option<usize> {
+        let t = self.trim();
+        if !t.accept.iter().any(|&a| a) {
+            return None; // empty language: no word to bound
+        }
+        let n = t.num_states();
+        let scc = strongly_connected_components(n, |s, f| {
+            for &e in &t.eps[s] {
+                f(e as usize);
+            }
+            for &(_, e) in &t.trans[s] {
+                f(e as usize);
+            }
+        });
+        for s in 0..n {
+            for &(_, e) in &t.trans[s] {
+                if scc[s] == scc[e as usize] {
+                    return None; // a pumpable symbol cycle: infinite language
+                }
+            }
+        }
+        let ncomp = scc.iter().map(|&c| c + 1).max().unwrap_or(0);
+        // Tarjan numbers components in reverse topological order: every
+        // cross-component edge u→v has scc[v] < scc[u], so one sweep over
+        // components in decreasing index order relaxes longest-path
+        // distances in topological order (symbol edges weigh 1, ε weighs 0;
+        // surviving cycles are ε-only and cannot change a distance).
+        const UNREACH: isize = isize::MIN;
+        let mut dist = vec![UNREACH; ncomp];
+        dist[scc[t.start as usize]] = 0;
+        let mut by_comp: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+        for (s, &c) in scc.iter().enumerate() {
+            by_comp[c].push(s);
+        }
+        let mut best: isize = UNREACH;
+        for c in (0..ncomp).rev() {
+            if dist[c] == UNREACH {
+                continue;
+            }
+            for &s in &by_comp[c] {
+                if t.accept[s] {
+                    best = best.max(dist[c]);
+                }
+                for &e in &t.eps[s] {
+                    let tc = scc[e as usize];
+                    if dist[c] > dist[tc] {
+                        dist[tc] = dist[c];
+                    }
+                }
+                for &(_, e) in &t.trans[s] {
+                    let tc = scc[e as usize];
+                    if dist[c] + 1 > dist[tc] {
+                        dist[tc] = dist[c] + 1;
+                    }
+                }
+            }
+        }
+        (best != UNREACH).then_some(best as usize)
+    }
+
+    /// The set of symbols appearing on any transition of the automaton
+    /// (dead states included). Sorted and deduplicated.
+    pub fn symbols(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self
+            .trans
+            .iter()
+            .flat_map(|row| row.iter().map(|&(sym, _)| sym))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Enumerate accepted words in nondecreasing length order, up to
     /// `max_len`, returning at most `cap` words. Deterministic order (length,
     /// then symbol indices). Mostly a testing and boundedness-construction
@@ -940,6 +1018,48 @@ mod tests {
         let s1 = n.add_state(false);
         n.add_transition(s1, a, s1); // disconnected loop
         assert!(n.is_finite_lang());
+    }
+
+    #[test]
+    fn longest_accepted_len_matches_language() {
+        let mut ab = Alphabet::new();
+        // finite: longest word is a.b.c (3) even with a shorter arm
+        let n = Nfa::thompson(&re(&mut ab, "a.b.c + a"));
+        assert_eq!(n.longest_accepted_len(), Some(3));
+        // ε-only language
+        assert_eq!(
+            Nfa::thompson(&re(&mut ab, "()")).longest_accepted_len(),
+            Some(0)
+        );
+        // star of ε is still finite with max length 0
+        assert_eq!(
+            Nfa::thompson(&re(&mut ab, "()*")).longest_accepted_len(),
+            Some(0)
+        );
+        // infinite and empty languages have no bound
+        assert_eq!(
+            Nfa::thompson(&re(&mut ab, "a.b*")).longest_accepted_len(),
+            None
+        );
+        assert_eq!(
+            Nfa::thompson(&re(&mut ab, "[]")).longest_accepted_len(),
+            None
+        );
+        // dead recursive branch does not spoil the bound
+        let n = Nfa::thompson(&re(&mut ab, "a.b + c.c*.[]"));
+        assert_eq!(n.longest_accepted_len(), Some(2));
+    }
+
+    #[test]
+    fn symbols_lists_all_transition_labels() {
+        let mut ab = Alphabet::new();
+        let n = Nfa::thompson(&re(&mut ab, "a.(b+c)*.d"));
+        let syms: Vec<String> = n
+            .symbols()
+            .iter()
+            .map(|&s| ab.name(s).to_string())
+            .collect();
+        assert_eq!(syms, vec!["a", "b", "c", "d"]);
     }
 
     #[test]

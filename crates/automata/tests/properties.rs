@@ -7,7 +7,10 @@ use rand::SeedableRng;
 
 use rpq_automata::derivative::{accepts as re_accepts, derivative};
 use rpq_automata::elim::nfa_to_regex;
-use rpq_automata::ops::{equivalent, equivalent_hopcroft_karp, included_antichain, included_naive};
+use rpq_automata::ops::{
+    equivalent, equivalent_hopcroft_karp, included_antichain, included_naive, regex_included,
+    union_sigma,
+};
 use rpq_automata::random::{random_regex, sample_word, RegexGenConfig};
 use rpq_automata::{Alphabet, DerivativeClosure, Dfa, Nfa, Regex, Symbol};
 
@@ -111,6 +114,41 @@ proptest! {
         // consistency: equal ⇒ included both ways
         if eq_anti {
             prop_assert!(inc_anti);
+        }
+    }
+
+    /// The three inclusion deciders — the regex-level wrapper, the naive
+    /// subset-construction check, and the antichain search — agree on
+    /// random pairs, with the naive decider's alphabet bound derived from
+    /// the *union* of the operands' transition labels ([`union_sigma`])
+    /// rather than from an ambient alphabet, and every verdict is
+    /// consistent with brute-force word enumeration.
+    #[test]
+    fn inclusion_deciders_agree_with_derived_sigma(seed in 0u64..100_000) {
+        let (_, s, _) = gen(seed);
+        let cfg = RegexGenConfig::new(s.clone());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(41));
+        let p = random_regex(&mut rng, &cfg);
+        let q = random_regex(&mut rng, &cfg);
+        let (np, nq) = (Nfa::thompson(&p), Nfa::thompson(&q));
+        let sigma = union_sigma(&np, &nq);
+        let via_regex = regex_included(&p, &q);
+        let via_naive = included_naive(&np, &nq, sigma).is_ok();
+        let via_anti = included_antichain(&np, &nq).is_ok();
+        prop_assert_eq!(via_regex, via_naive);
+        prop_assert_eq!(via_naive, via_anti);
+        // ground truth on short words: included ⇒ no short counterexample,
+        // and any short counterexample ⇒ not included
+        for w in words_up_to(&s, 4) {
+            if np.accepts(&w) && !nq.accepts(&w) {
+                prop_assert!(!via_anti, "short counterexample refutes inclusion");
+                break;
+            }
+        }
+        if via_anti {
+            for w in words_up_to(&s, 4) {
+                prop_assert!(!np.accepts(&w) || nq.accepts(&w));
+            }
         }
     }
 

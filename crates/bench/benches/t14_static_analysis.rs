@@ -1,0 +1,194 @@
+//! T14 — static query analysis (plan-time facts payoff). Three claims,
+//! asserted at registration time so `--test` mode (the CI bench smoke)
+//! enforces the acceptance criteria without paying measurement time:
+//!
+//! * **Empty on alphabet** — a query that must cross a label with zero
+//!   edges in the snapshot is statically empty: the `PlannedEngine`
+//!   answers it with `edges_scanned == 0` and `pairs_visited == 0` (no
+//!   frontier is ever allocated), where the plain product engine pays a
+//!   real traversal to discover the same emptiness.
+//! * **Trimmed NFA** — dead alternation arms are erased before
+//!   determinization; the plan records `states_trimmed > 0` and the
+//!   trimmed plan answers exactly like the unanalyzed original.
+//! * **Certified rewrite** — on the cached-site workload the constraint
+//!   rewrite (`(a.b)* → l`) is certified by a two-sided inclusion check at
+//!   plan time (`rewrites_certified == 1`), and the certified plan's
+//!   answers match the plain engine's.
+//!
+//! The measured series compare the planned engine (analysis amortized via
+//! the plan memo) against the plain product engine on all three shapes.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::parse_regex;
+use rpq_bench::{distributed_workload, skewed_workload};
+use rpq_core::{Engine, ProductEngine, Query};
+use rpq_graph::CsrGraph;
+use rpq_optimizer::PlannedEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t14_static_analysis");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+
+    for &depth in &[64usize, 256] {
+        let mut w = skewed_workload(depth, 32);
+        // `ghost` is interned but never attached to an edge, so any query
+        // that must cross it is unsatisfiable on this snapshot.
+        let ghost_q = parse_regex(&mut w.alphabet, "ghost.cold*").unwrap();
+        let ghost_query = Query::new(ghost_q, &w.alphabet);
+        // A live spine query with a dead alternation arm: analysis erases
+        // the `ghost.hot*` branch and trims the orphaned NFA states.
+        let trimmed_q = parse_regex(&mut w.alphabet, "cold* + ghost.hot*").unwrap();
+        let trimmed_query = Query::new(trimmed_q, &w.alphabet);
+        let graph = CsrGraph::from(&w.instance);
+        let planned = PlannedEngine::unconstrained(ProductEngine, w.alphabet.clone());
+
+        // Acceptance 1: statically empty answers touch no edges and
+        // allocate no frontier.
+        let plan = planned.plan(&ghost_query, &graph);
+        assert!(
+            plan.facts.statically_empty,
+            "ghost-crossing query must be statically empty at depth {depth}"
+        );
+        let res = planned.eval(&ghost_query, &graph, w.source);
+        assert!(res.answers.is_empty(), "statically empty query answered");
+        assert_eq!(
+            (res.stats.edges_scanned, res.stats.pairs_visited),
+            (0, 0),
+            "statically empty query must not touch the graph at depth {depth}"
+        );
+        assert!(res.stats.symbols_pruned >= 1, "ghost must be pruned");
+        let batch = planned.eval_batch(&ghost_query, &graph, &[w.source]);
+        assert_eq!(
+            (batch.stats.edges_scanned, batch.stats.pairs_visited),
+            (0, 0),
+            "statically empty batch must not touch the graph"
+        );
+        // The plain engine pays a real traversal for the same answer.
+        let plain = ProductEngine.eval(&ghost_query, &graph, w.source);
+        assert!(plain.answers.is_empty());
+
+        // Acceptance 2: the dead arm is trimmed and answers are unchanged.
+        let tplan = planned.plan(&trimmed_query, &graph);
+        assert!(
+            tplan.facts.states_trimmed > 0,
+            "dead `ghost.hot*` arm must trim NFA states at depth {depth}"
+        );
+        let tres = planned.eval(&trimmed_query, &graph, w.source);
+        let tref = ProductEngine.eval(&trimmed_query, &graph, w.source);
+        assert_eq!(tres.answers, tref.answers, "trimmed plan diverged");
+
+        group.bench_with_input(
+            BenchmarkId::new("empty_on_alphabet_planned", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        planned
+                            .eval(&ghost_query, &graph, black_box(w.source))
+                            .answers
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("empty_on_alphabet_plain", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        ProductEngine
+                            .eval(&ghost_query, &graph, black_box(w.source))
+                            .answers
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trimmed_nfa_planned", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        planned
+                            .eval(&trimmed_query, &graph, black_box(w.source))
+                            .answers
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trimmed_nfa_plain", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        ProductEngine
+                            .eval(&trimmed_query, &graph, black_box(w.source))
+                            .answers
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+
+    // Acceptance 3: the cached-site rewrite certifies and the certified
+    // plan answers exactly like the plain engine.
+    for &depth in &[32usize, 128] {
+        let w = distributed_workload(depth);
+        let query = Query::new(w.query.clone(), &w.alphabet);
+        let graph = CsrGraph::from(&w.instance);
+        let planned = PlannedEngine::new(ProductEngine, w.constraints.clone(), w.alphabet.clone());
+        let plan = planned.plan(&query, &graph);
+        assert_eq!(
+            (plan.facts.rewrites_certified, plan.facts.rewrites_rejected),
+            (1, 0),
+            "cache-substitution rewrite must certify at depth {depth}"
+        );
+        let res = planned.eval(&query, &graph, w.source);
+        let plain = ProductEngine.eval(&query, &graph, w.source);
+        assert_eq!(res.answers, plain.answers, "certified rewrite diverged");
+
+        group.bench_with_input(
+            BenchmarkId::new("certified_rewrite_planned", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        planned
+                            .eval(&query, &graph, black_box(w.source))
+                            .answers
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("certified_rewrite_plain", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        ProductEngine
+                            .eval(&query, &graph, black_box(w.source))
+                            .answers
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,20 +13,29 @@
 //!   `DeltaGraph` overlay against the full `CsrGraph` rebuild, plus
 //!   evaluation over the live overlay (asserting the overlay is ≥ 5×
 //!   cheaper and that the `PlannedEngine` plan memo survives the delta
-//!   epoch).
+//!   epoch);
+//! * **T14 static analysis** — the `PlannedEngine`'s statically-empty
+//!   fast path against the plain product engine on an
+//!   alphabet-unsatisfiable query (asserting the planned side reports
+//!   `edges_scanned == 0`), plus plan-time-certified rewrites on the
+//!   cached-site workload against the unrewritten evaluation.
 //!
 //! ```text
 //! bench_baseline [--json PATH] [--repeats N]
 //! ```
 //!
 //! Without `--json` the tables go to stdout; with it, the T1 document is
-//! written to `PATH` and the T12/T13 documents to siblings
-//! `BENCH_t12.json` / `BENCH_t13.json` (CI uploads all three as the
-//! bench-regression artifacts).
+//! written to `PATH` and the T12/T13/T14 documents to siblings
+//! `BENCH_t12.json` / `BENCH_t13.json` / `BENCH_t14.json` (CI uploads all
+//! four as the bench-regression artifacts).
 
 use std::time::Instant;
 
-use rpq_bench::{direction_workload, incremental_workload, multi_source_workload};
+use rpq_automata::parse_regex;
+use rpq_bench::{
+    direction_workload, distributed_workload, incremental_workload, multi_source_workload,
+    skewed_workload,
+};
 use rpq_core::{
     eval_product_csr, eval_product_pair_forward_csr, Engine, EvalStats, ProductEngine, Query,
 };
@@ -255,10 +264,79 @@ fn main() {
         });
     }
 
+    // T14 static-analysis series: the statically-empty fast path vs the
+    // plain engine discovering emptiness by traversal, and the certified
+    // constraint rewrite vs the unrewritten query. The empty-side
+    // assertion mirrors the t14 bench's acceptance criterion
+    // (`edges_scanned == 0`), so an analysis regression fails this job
+    // rather than shifting the baseline.
+    let mut t14_points: Vec<SeriesPoint> = Vec::new();
+    for &depth in &[64usize, 256] {
+        let mut w = skewed_workload(depth, 32);
+        let ghost_q = parse_regex(&mut w.alphabet, "ghost.cold*").unwrap();
+        let ghost_query = Query::new(ghost_q, &w.alphabet);
+        let graph = CsrGraph::from(&w.instance);
+        let planned = PlannedEngine::unconstrained(ProductEngine, w.alphabet.clone());
+
+        let (t, stats) = measure(repeats, || {
+            planned.eval(&ghost_query, &graph, w.source).stats
+        });
+        t14_points.push(SeriesPoint {
+            name: "analysis_empty_planned",
+            n: depth,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        assert_eq!(
+            stats.edges_scanned, 0,
+            "statically empty query must not scan edges at depth {depth}"
+        );
+
+        let (t, stats) = measure(repeats, || {
+            ProductEngine.eval(&ghost_query, &graph, w.source).stats
+        });
+        t14_points.push(SeriesPoint {
+            name: "analysis_empty_plain",
+            n: depth,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+    }
+    for &depth in &[32usize, 128] {
+        let w = distributed_workload(depth);
+        let query = Query::new(w.query.clone(), &w.alphabet);
+        let graph = CsrGraph::from(&w.instance);
+        let planned = PlannedEngine::new(ProductEngine, w.constraints.clone(), w.alphabet.clone());
+        let plan = planned.plan(&query, &graph);
+        assert_eq!(
+            plan.facts.rewrites_certified, 1,
+            "cache-substitution rewrite must certify at depth {depth}"
+        );
+
+        let (t, stats) = measure(repeats, || planned.eval(&query, &graph, w.source).stats);
+        t14_points.push(SeriesPoint {
+            name: "analysis_certified_rewrite",
+            n: depth,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+
+        let (t, stats) = measure(repeats, || {
+            ProductEngine.eval(&query, &graph, w.source).stats
+        });
+        t14_points.push(SeriesPoint {
+            name: "analysis_plain_query",
+            n: depth,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+    }
+
     for (title, pts) in [
         ("t1_multi_source", &points),
         ("t12_direction_choice", &t12_points),
         ("t13_incremental_update", &t13_points),
+        ("t14_static_analysis", &t14_points),
     ] {
         println!("\n[{title}]");
         println!(
@@ -294,6 +372,12 @@ fn main() {
             "t13_incremental_update",
             repeats,
             &t13_points,
+        );
+        write_doc(
+            &sibling("BENCH_t14.json"),
+            "t14_static_analysis",
+            repeats,
+            &t14_points,
         );
     }
 }

@@ -60,5 +60,5 @@ pub use general::{check, Budget, Refutation, Verdict, Witness};
 pub use implication::{
     word_implies_constraint, word_implies_path, word_implies_word, WordImplication,
 };
-pub use rewrite::{rewrite_to_nfa, rewrite_to_word_nfa, RewriteSystem};
+pub use rewrite::{rewrite_closure_nfa, rewrite_to_nfa, rewrite_to_word_nfa, RewriteSystem};
 pub use types::{parse_constraint, ConstraintKind, ConstraintSet, PathConstraint};

@@ -240,6 +240,79 @@ pub fn rewrite_to_word_nfa(v: &[Symbol], rules: &RewriteSystem) -> RewriteToAuto
     rewrite_to_nfa(&Nfa::from_word(v), rules)
 }
 
+/// Pre\*-saturation closure of `target` under the *full* constraint set —
+/// the Lemma 4.7 construction generalized from word rules to regular-side
+/// rules. Every inclusion `P ⊆ R` of `set` (equalities contribute both
+/// directions) acts as the prefix rule family `x·w → y·w` for `x ∈ L(P)`,
+/// `y ∈ L(R)`: the returned automaton accepts every word `u` with
+/// `u →* v ∈ L(target)`, so `L(q) ⊆ L(closure)` *soundly* certifies
+/// `E ⊨ q ⊆ target` (each rewrite step is justified by one constraint and
+/// prefix congruence; answers can only grow along a step). Completeness
+/// holds on the word-constraint fragment (Lemma 4.4); on general regular
+/// constraints prefix rewriting is a sound under-approximation — exactly
+/// the right polarity for certification, which must never accept an
+/// unsound rewrite.
+///
+/// Construction: embed one NFA fragment per rule lhs, ε-wired from the
+/// root; saturation finds all states `t` language-reachable from the root
+/// via the rule's rhs ([`Nfa::reachable_via`]) and ε-wires every accepting
+/// state of the lhs fragment to `t`. Fragments are demoted to
+/// non-accepting (they only *read* the lhs); only ε-edges between the
+/// fixed state set are ever added, so the fixpoint terminates.
+pub fn rewrite_closure_nfa(set: &ConstraintSet, target: &Nfa) -> RewriteToAutomaton {
+    let mut nfa = Nfa::empty();
+    let off = nfa.add_nfa(target);
+    let root = nfa.start();
+    nfa.add_eps(root, target.start() + off);
+
+    // Embed each rule's lhs as a reading fragment out of the root, and
+    // compile its rhs filter automaton once.
+    let mut rule_parts: Vec<(Vec<StateId>, Nfa)> = Vec::new();
+    for c in set.iter() {
+        for (lhs, rhs) in c.as_inclusions() {
+            let lhs_nfa = Nfa::thompson(&lhs);
+            let frag = nfa.add_nfa(&lhs_nfa);
+            nfa.add_eps(root, lhs_nfa.start() + frag);
+            let mut exits = Vec::new();
+            for s in 0..lhs_nfa.num_states() as StateId {
+                if lhs_nfa.is_accepting(s) {
+                    nfa.set_accepting(s + frag, false);
+                    exits.push(s + frag);
+                }
+            }
+            rule_parts.push((exits, Nfa::thompson(&rhs)));
+        }
+    }
+
+    let mut rounds = 0usize;
+    let mut added_edges = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for (exits, rhs) in &rule_parts {
+            // All states reachable from the *root* via a word of L(rhs):
+            // reachable_via walks from nfa.start(), which is the root.
+            for t in nfa.reachable_via(rhs) {
+                for &e in exits {
+                    if e != t && nfa.add_eps(e, t) {
+                        added_edges += 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    RewriteToAutomaton {
+        nfa,
+        rounds,
+        added_edges,
+    }
+}
+
 /// All states reachable from `from` by reading exactly `word` (with ε-moves
 /// folded in at every step).
 fn reachable_by_word(nfa: &Nfa, from: StateId, word: &[Symbol]) -> Vec<StateId> {
@@ -389,6 +462,68 @@ mod tests {
         // a b? — ab →(ab→ba) ba →(ba→ab)… and aa→a chains
         let u = w(&mut ab, "aaa");
         assert!(auto.nfa.accepts(&u));
+    }
+
+    #[test]
+    fn general_closure_agrees_with_word_saturation_on_word_rules() {
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, ["l.l <= l"]).unwrap();
+        let rs = RewriteSystem::from_constraints(&set);
+        let l = ab.get("l").unwrap();
+        let m = ab.intern("m");
+        let target = Nfa::thompson(&parse_regex(&mut ab, "l + ()").unwrap());
+        let word_auto = rewrite_to_nfa(&target, &rs);
+        let gen_auto = rewrite_closure_nfa(&set, &target);
+        for i in 0..6 {
+            let u = vec![l; i];
+            assert_eq!(word_auto.nfa.accepts(&u), gen_auto.nfa.accepts(&u), "l^{i}");
+            assert!(gen_auto.nfa.accepts(&u), "l^{i} →* l + ε");
+        }
+        assert!(!gen_auto.nfa.accepts(&[m]));
+        assert!(!gen_auto.nfa.accepts(&[l, m]));
+    }
+
+    #[test]
+    fn general_closure_handles_regex_valued_cache_rules() {
+        // E = {l = (a.b)*}: the Example 3 certification both ways —
+        // a.(b.a)*.c ⊆ closure(l.a.c) and l.a.c ⊆ closure(a.(b.a)*.c).
+        // Word-only saturation cannot see this rule at all.
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, ["l = (a.b)*"]).unwrap();
+        let q = Nfa::thompson(&parse_regex(&mut ab, "a.(b.a)*.c").unwrap());
+        let r = Nfa::thompson(&parse_regex(&mut ab, "l.a.c").unwrap());
+        let closure_r = rewrite_closure_nfa(&set, &r);
+        let closure_q = rewrite_closure_nfa(&set, &q);
+        assert!(
+            rpq_automata::ops::included_antichain(&q, &closure_r.nfa).is_ok(),
+            "every a.(b.a)*.c word must rewrite into l.a.c"
+        );
+        assert!(
+            rpq_automata::ops::included_antichain(&r, &closure_q.nfa).is_ok(),
+            "l.a.c must rewrite into a.(b.a)*.c"
+        );
+        // and an unrelated query must NOT certify
+        let bad = Nfa::thompson(&parse_regex(&mut ab, "c.a").unwrap());
+        assert!(rpq_automata::ops::included_antichain(&bad, &closure_r.nfa).is_err());
+    }
+
+    #[test]
+    fn general_closure_is_prefix_only() {
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, ["a <= b"]).unwrap();
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let x = ab.intern("x");
+        let target = Nfa::from_word(&[b, x]);
+        let auto = rewrite_closure_nfa(&set, &target);
+        assert!(auto.nfa.accepts(&[a, x]), "prefix a rewrites to b");
+        assert!(auto.nfa.accepts(&[b, x]));
+        let target_inner = Nfa::from_word(&[x, b]);
+        let auto_inner = rewrite_closure_nfa(&set, &target_inner);
+        assert!(
+            !auto_inner.nfa.accepts(&[x, a]),
+            "inner occurrences must not rewrite"
+        );
     }
 
     #[test]

@@ -56,7 +56,13 @@ pub fn find_by_content(
         r#"("(.)*")* "content=(.)*{}(.)*""#,
         quote_for_path(&escape_pattern_literal(needle))
     );
-    let q = GeneralPathQuery::parse(&pat).expect("generated query parses");
+    // The pattern is generated from an escaped literal, so it always
+    // parses; degrade to "no matches" rather than panicking if the
+    // escaping ever regresses.
+    let Ok(q) = GeneralPathQuery::parse(&pat) else {
+        debug_assert!(false, "generated content pattern failed to parse: {pat}");
+        return Vec::new();
+    };
     eval_general(&q, instance, source, alphabet)
 }
 

@@ -51,6 +51,23 @@ impl Query {
         }
     }
 
+    /// Prepare `regex` with a caller-supplied NFA instead of the Thompson
+    /// compilation — the planner's seam: static analysis erases dead
+    /// symbols and trims useless states, then packages the *restricted*
+    /// regex with its already-trimmed automaton so both the syntactic
+    /// engines (which read [`Query::regex`]) and the automaton engines
+    /// (which read [`Query::nfa`]) see the same reduced language.
+    ///
+    /// Contract: `L(nfa)` must equal `L(regex)` — callers are responsible
+    /// for keeping the two forms in sync.
+    pub fn with_nfa(regex: Regex, nfa: Nfa, alphabet: &Alphabet) -> Query {
+        Query {
+            regex,
+            nfa,
+            alphabet: alphabet.clone(),
+        }
+    }
+
     /// Parse and prepare a query in one step.
     pub fn parse(alphabet: &mut Alphabet, src: &str) -> Result<Query, ParseError> {
         let regex = parse_regex(alphabet, src)?;

@@ -92,7 +92,8 @@ pub use pair::{
     eval_product_pair_csr, eval_product_pair_forward_csr, eval_to, PairResult,
 };
 pub use product::{
-    eval_product, eval_product_backward_csr, eval_product_backward_reversed_csr, eval_product_csr,
+    eval_product, eval_product_backward_csr, eval_product_backward_reversed_csr,
+    eval_product_bounded_backward_reversed_csr, eval_product_bounded_csr, eval_product_csr,
     eval_product_scan, EvalResult,
 };
 pub use quotient::{

@@ -53,7 +53,7 @@ pub fn eval_product_pair_forward_csr<G: GraphView>(
     source: Oid,
     target: Oid,
 ) -> PairResult {
-    let (res, found) = product_search(nfa, graph, source, false, Some(target));
+    let (res, found) = product_search(nfa, graph, source, false, Some(target), None);
     pair_result(found, res.stats)
 }
 
@@ -77,7 +77,7 @@ pub fn eval_product_pair_backward_reversed_csr<G: GraphView>(
     source: Oid,
     target: Oid,
 ) -> PairResult {
-    let (res, found) = product_search(reversed, graph, target, true, Some(source));
+    let (res, found) = product_search(reversed, graph, target, true, Some(source), None);
     pair_result(found, res.stats)
 }
 

@@ -69,13 +69,19 @@ fn push(q: StateId, v: Oid, nv: usize, seen: &mut [bool], level: &mut Vec<(State
 /// [`GraphView::rev`]); the automaton is taken as given, so backward
 /// callers pass the *reversed* NFA. With `stop_at`, the search returns as
 /// soon as that node becomes an answer (the answer bitmap is then partial —
-/// pair callers consume only the flag and the stats).
+/// pair callers consume only the flag and the stats). With `depth_cap`, BFS
+/// levels beyond the cap are never expanded: sound and complete whenever
+/// the cap is at least the length of the automaton's longest accepted word
+/// (level k holds exactly the pairs first reached by spelling k letters),
+/// which is how the planner evaluates finite-language queries without
+/// paying for graph cycles the automaton cannot follow to acceptance.
 pub(crate) fn product_search<G: GraphView>(
     nfa: &Nfa,
     graph: &G,
     source: Oid,
     reverse_adj: bool,
     stop_at: Option<Oid>,
+    depth_cap: Option<usize>,
 ) -> (EvalResult, bool) {
     let nq = nfa.num_states();
     let nv = graph.num_nodes();
@@ -89,6 +95,7 @@ pub(crate) fn product_search<G: GraphView>(
     let mut next: Vec<(StateId, Oid)> = Vec::new();
     push(nfa.start(), source, nv, &mut seen, &mut frontier);
 
+    let mut depth = 0usize;
     'bfs: while !frontier.is_empty() {
         // ε-closure inside the level: ε-moves advance the automaton without
         // consuming an edge, so their targets belong to the same BFS level.
@@ -112,6 +119,13 @@ pub(crate) fn product_search<G: GraphView>(
                     break 'bfs;
                 }
             }
+            // Level `depth` holds pairs first reachable by spelling `depth`
+            // letters; at the cap no longer word can be accepted, so the
+            // pairs are answer-checked above but never expanded — graph
+            // edges beyond the cap are not even scanned.
+            if depth_cap.is_some_and(|cap| depth >= cap) {
+                continue;
+            }
             for &(sym, q2) in nfa.transitions(q) {
                 let targets = if reverse_adj {
                     graph.rev(v, sym)
@@ -126,6 +140,7 @@ pub(crate) fn product_search<G: GraphView>(
         }
         std::mem::swap(&mut frontier, &mut next);
         next.clear();
+        depth += 1;
     }
 
     let classes = state_touched.iter().filter(|&&t| t).count();
@@ -141,7 +156,34 @@ pub(crate) fn product_search<G: GraphView>(
 /// snapshot form, but the same search runs unchanged over a
 /// `rpq_graph::DeltaGraph` overlay.
 pub fn eval_product_csr<G: GraphView>(nfa: &Nfa, graph: &G, source: Oid) -> EvalResult {
-    product_search(nfa, graph, source, false, None).0
+    product_search(nfa, graph, source, false, None, None).0
+}
+
+/// [`eval_product_csr`] with a BFS depth cap: levels beyond `depth_cap`
+/// are never expanded (their graph edges are not even scanned). Sound and
+/// complete whenever `depth_cap ≥` the length of the longest word of
+/// `L(nfa)` ([`rpq_automata::Nfa::longest_accepted_len`]) — the planner's
+/// finite-language fast path: a finite query on a cyclic graph stops at
+/// its exact word-length bound instead of saturating the pair space.
+pub fn eval_product_bounded_csr<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    depth_cap: usize,
+) -> EvalResult {
+    product_search(nfa, graph, source, false, None, Some(depth_cap)).0
+}
+
+/// The backward ([`eval_product_backward_reversed_csr`]) form of
+/// [`eval_product_bounded_csr`]: already-reversed automaton, reverse
+/// adjacency, capped depth.
+pub fn eval_product_bounded_backward_reversed_csr<G: GraphView>(
+    reversed: &Nfa,
+    graph: &G,
+    target: Oid,
+    depth_cap: usize,
+) -> EvalResult {
+    product_search(reversed, graph, target, true, None, Some(depth_cap)).0
 }
 
 /// The target-bound evaluation `{o | target ∈ p(o, I)}`: all objects that
@@ -167,7 +209,7 @@ pub fn eval_product_backward_reversed_csr<G: GraphView>(
     graph: &G,
     target: Oid,
 ) -> EvalResult {
-    product_search(reversed, graph, target, true, None).0
+    product_search(reversed, graph, target, true, None, None).0
 }
 
 /// Evaluate `L(nfa)` from `source` over `instance`.
@@ -391,6 +433,36 @@ mod tests {
             bwd.stats.edges_scanned,
             fwd.stats.edges_scanned
         );
+    }
+
+    #[test]
+    fn bounded_search_is_exact_at_the_word_length_cap() {
+        // cyclic graph, finite query a.a + a.b (longest word: 2). The cap
+        // stops the BFS at depth 2 without losing answers, and scans
+        // strictly fewer edges than the uncapped search on the cycle.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s", "a", "x");
+        b.edge("x", "a", "s");
+        b.edge("x", "b", "t");
+        b.edge("t", "a", "s");
+        let (inst, names) = b.finish();
+        let csr = CsrGraph::from(&inst);
+        let r = parse_regex(&mut ab, "a.a + a.b").unwrap();
+        let nfa = Nfa::thompson(&r);
+        assert_eq!(nfa.longest_accepted_len(), Some(2));
+        let full = eval_product_csr(&nfa, &csr, names["s"]);
+        let capped = eval_product_bounded_csr(&nfa, &csr, names["s"], 2);
+        assert_eq!(capped.answers, full.answers);
+        // a cap below the longest word is allowed but incomplete — the
+        // planner never does this; documented here as the contract edge
+        let short = eval_product_bounded_csr(&nfa, &csr, names["s"], 1);
+        assert!(short.answers.len() <= full.answers.len());
+        // backward form agrees with the uncapped backward search
+        let rev = nfa.reverse();
+        let bwd_full = eval_product_backward_reversed_csr(&rev, &csr, names["t"]);
+        let bwd_capped = eval_product_bounded_backward_reversed_csr(&rev, &csr, names["t"], 2);
+        assert_eq!(bwd_capped.answers, bwd_full.answers);
     }
 
     #[test]

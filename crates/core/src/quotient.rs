@@ -40,25 +40,31 @@ use crate::stats::EvalStats;
 /// Interner for quotient classes as canonical NFA state sets, with the
 /// per-(class, label) subset-step memo. Shared between the single-source
 /// search below and the bit-parallel batched variant in [`crate::batch`].
-pub(crate) struct SubsetInterner<'a> {
-    nfa: &'a Nfa,
+///
+/// Owns a [`Nfa::trim`]med copy of the automaton: dead states dragged
+/// along inside subset sets split otherwise-equal classes, so trimming
+/// before lazy determinization can only shrink the class universe (the
+/// same argument as pre-trimming in `rpq_automata::Dfa::from_nfa`).
+pub(crate) struct SubsetInterner {
+    nfa: Nfa,
     index: HashMap<Vec<StateId>, usize>,
     classes: Vec<Vec<StateId>>,
     accepting: Vec<bool>,
     trans_memo: HashMap<(usize, Symbol), usize>,
 }
 
-impl<'a> SubsetInterner<'a> {
-    /// Start from the ε-closure of the NFA start state (class 0).
-    pub(crate) fn new(nfa: &'a Nfa) -> SubsetInterner<'a> {
+impl SubsetInterner {
+    /// Start from the ε-closure of the trimmed NFA's start state (class 0).
+    pub(crate) fn new(nfa: &Nfa) -> SubsetInterner {
         let mut s = SubsetInterner {
-            nfa,
+            nfa: nfa.trim(),
             index: HashMap::new(),
             classes: Vec::new(),
             accepting: Vec::new(),
             trans_memo: HashMap::new(),
         };
-        s.intern(nfa.start_set());
+        let start = s.nfa.start_set();
+        s.intern(start);
         s
     }
 
@@ -271,6 +277,29 @@ mod tests {
         let res = eval_quotient_dfa(&nfa, &inst, s);
         // (a+b)*c has a small DFA; class count must be small
         assert!(res.stats.classes_materialized <= 4);
+
+        // Dead states must not inflate the determinized universe: graft a
+        // dead a-labeled branch onto the start state (the parser simplifies
+        // dead regex arms away, so build it directly). The interner trims
+        // before subset construction, so the class count must not regress.
+        let mut dirty = nfa.clone();
+        let a = {
+            let mut ab = Alphabet::new();
+            ab.intern("a")
+        };
+        let d1 = dirty.add_state(false);
+        let d2 = dirty.add_state(false);
+        dirty.add_transition(dirty.start(), a, d1);
+        dirty.add_transition(d1, a, d2);
+        assert!(dirty.num_states() > nfa.num_states());
+        let dirty_res = eval_quotient_dfa(&dirty, &inst, s);
+        assert_eq!(dirty_res.answers, res.answers);
+        assert!(
+            dirty_res.stats.classes_materialized <= res.stats.classes_materialized,
+            "trimmed subset construction must not materialize more classes: {} vs {}",
+            dirty_res.stats.classes_materialized,
+            res.stats.classes_materialized
+        );
     }
 
     #[test]

@@ -42,6 +42,29 @@ pub struct EvalStats {
     /// (`None` for unplanned engines). Together with the cache counters,
     /// this is the observability seam the cost-calibration work reads.
     pub plan_direction: Option<Direction>,
+    /// Distinct query symbols erased by the planner's alphabet restriction
+    /// (zero edges with that label in the snapshot). 0 for unplanned
+    /// engines or when every query symbol occurs in the data.
+    pub symbols_pruned: usize,
+    /// NFA states dropped by the planner's trim pass (not on any
+    /// start→accept path after alphabet restriction). 0 for unplanned
+    /// engines.
+    pub states_trimmed: usize,
+    /// Did static analysis prove the query's language finite? Finite
+    /// queries run the bounded-depth product fast path with an exact depth
+    /// cap from the longest accepted word.
+    pub finite_language: bool,
+    /// Rewrite winners certified sound by the both-ways inclusion check
+    /// under the constraint closure (0 when no rewrite fired).
+    pub rewrites_certified: usize,
+    /// Rewrite winners *rejected* by certification and rolled back to the
+    /// original query. Nonzero values are a planner bug tripwire — the
+    /// rewrite search validated a candidate certification then refuted.
+    pub rewrites_rejected: usize,
+    /// Wall-clock nanoseconds the static analysis pass spent at plan time
+    /// (amortized to zero on plan-memo hits, which re-report the plan-time
+    /// figure).
+    pub analysis_ns: u64,
 }
 
 impl EvalStats {
@@ -66,5 +89,14 @@ impl EvalStats {
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
         self.plan_direction = self.plan_direction.or(other.plan_direction);
+        // Analysis facts are per-plan: counters sum (one plan per
+        // constituent run), flags OR (a batch is "finite" if any planned
+        // constituent was), and analysis time sums like any cost counter.
+        self.symbols_pruned += other.symbols_pruned;
+        self.states_trimmed += other.states_trimmed;
+        self.finite_language |= other.finite_language;
+        self.rewrites_certified += other.rewrites_certified;
+        self.rewrites_rejected += other.rewrites_rejected;
+        self.analysis_ns += other.analysis_ns;
     }
 }

@@ -91,6 +91,33 @@ fn planned_engine_wraps_all_distributed_runners() {
 }
 
 #[test]
+fn analysis_facts_flow_through_the_distributed_wrappers() {
+    let (mut ab, set, inst, v0) = cached_workload(4);
+    let graph = CsrGraph::from(&inst);
+    let planned = PlannedEngine::new(PartitionedBatchEngine { workers: 2 }, set, ab.clone());
+    let query = Query::parse(&mut ab, "(a.b)*").unwrap();
+
+    // The cache substitution fires, certifies against the constraint
+    // closure, and its finite winner is recorded in the stats every
+    // distributed entry point reports.
+    let res = planned.eval(&query, &graph, v0);
+    assert_eq!(res.stats.rewrites_certified, 1);
+    assert_eq!(res.stats.rewrites_rejected, 0);
+    assert!(res.stats.finite_language);
+    assert!(res.stats.analysis_ns > 0);
+
+    // A query forced through a zero-edge label short-circuits before any
+    // worker thread spawns: no edges scanned across the whole fan-out.
+    let ghost = Query::parse(&mut ab, "a.ghost").unwrap();
+    let sources: Vec<Oid> = graph.nodes().collect();
+    let batch = planned.eval_batch(&ghost, &graph, &sources);
+    assert_eq!(batch.per_source().unwrap().len(), sources.len());
+    assert!(batch.union().is_empty());
+    assert_eq!(batch.stats.edges_scanned, 0);
+    assert_eq!(batch.stats.symbols_pruned, 1);
+}
+
+#[test]
 fn partitioned_batch_workers_share_one_plan() {
     let (mut ab, set, inst, v0) = cached_workload(5);
     let graph = CsrGraph::from(&inst);

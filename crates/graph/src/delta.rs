@@ -66,11 +66,11 @@ impl LabelLog {
         match self.fwd.binary_search(&(from, to)) {
             Ok(pos) => {
                 self.fwd.remove(pos);
-                let rpos = self
-                    .rev
-                    .binary_search(&(to, from))
-                    .expect("rev log mirrors fwd log");
-                self.rev.remove(rpos);
+                let rpos = self.rev.binary_search(&(to, from));
+                debug_assert!(rpos.is_ok(), "rev log mirrors fwd log");
+                if let Ok(rpos) = rpos {
+                    self.rev.remove(rpos);
+                }
                 true
             }
             Err(_) => false,

@@ -39,7 +39,7 @@ pub fn random_graph(rng: &mut StdRng, n: usize, m: usize, labels: &[Symbol]) -> 
         attempts += 1;
         let from = Oid(rng.random_range(0..n) as u32);
         let to = Oid(rng.random_range(0..n) as u32);
-        let label = *labels.choose(rng).expect("non-empty labels");
+        let label = labels[rng.random_range(0..labels.len())];
         if inst.add_edge(from, label, to) {
             added += 1;
         }
@@ -93,11 +93,11 @@ pub fn web_graph(
         }
         for _ in 0..out_links.min(i) {
             let to = if rng.random_range(0..100) < 70 {
-                *targets.choose(rng).expect("non-empty targets")
+                targets[rng.random_range(0..targets.len())]
             } else {
                 Oid(rng.random_range(0..i) as u32)
             };
-            let label = *labels.choose(rng).expect("non-empty labels");
+            let label = labels[rng.random_range(0..labels.len())];
             if inst.add_edge(o, label, to) {
                 targets.push(to);
             }

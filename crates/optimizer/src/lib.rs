@@ -6,6 +6,10 @@
 //! equivalent, with equivalence established by the Section 4 implication
 //! machinery, never assumed.
 //!
+//! * [`analysis`] — static query analysis run once per plan: rewrite
+//!   certification against the constraint closure, zero-edge alphabet
+//!   pruning (with a statically-empty fast path), NFA trimming, and
+//!   finite-language detection with an exact depth cap;
 //! * [`cost`] — static (automaton size + recursion penalty) and measured
 //!   cost models;
 //! * [`rewrites`] — candidate generation: Theorem 4.10 boundedness
@@ -37,12 +41,14 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod cost;
 pub mod planned;
 pub mod planner;
 pub mod rewrites;
 pub mod views;
 
+pub use analysis::{analyze, certify_rewrite, restrict_to_live_symbols, Analysis, AnalysisFacts};
 pub use cost::{estimated_cost, measured_cost, StaticCost};
 pub use planned::{Direction, Plan, PlannedEngine, PlannerConfig};
 pub use planner::{optimize, optimize_with_stats, Optimized, RewriteCache};

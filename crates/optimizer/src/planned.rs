@@ -60,12 +60,14 @@ use rpq_automata::{Alphabet, Nfa, Regex, Symbol};
 use rpq_constraints::general::Budget;
 use rpq_constraints::ConstraintSet;
 use rpq_core::{
-    eval_product_backward_reversed_csr, eval_product_csr, eval_product_pair_backward_reversed_csr,
+    eval_product_backward_reversed_csr, eval_product_bounded_backward_reversed_csr,
+    eval_product_bounded_csr, eval_product_csr, eval_product_pair_backward_reversed_csr,
     eval_product_pair_csr, eval_product_pair_forward_csr, BatchResult, Engine, EvalResult,
     EvalStats, PairResult, Query,
 };
 use rpq_graph::{CsrGraph, GraphView, LabelStats, Oid};
 
+use crate::analysis::{analyze, AnalysisFacts};
 use crate::planner::optimize_with_stats;
 
 pub use rpq_core::Direction;
@@ -106,6 +108,9 @@ pub struct Plan {
     pub forward_cost: usize,
     /// Estimated backward entry cost: edges matching the last label group.
     pub backward_cost: usize,
+    /// Static analysis facts (alphabet pruning, trimming, emptiness,
+    /// finiteness, rewrite certification) derived at plan time.
+    pub facts: AnalysisFacts,
 }
 
 /// Memo key: the snapshot's epoch lineage plus node/edge counts and a hash
@@ -247,8 +252,20 @@ impl<E> PlannedEngine<E> {
     /// Epoch-drift reuse check: under the *current* statistics, would the
     /// memoized plan still be chosen? True when the direction decision is
     /// unchanged and neither entry cost drifted past the decisiveness
-    /// factor relative to its plan-time value.
+    /// factor relative to its plan-time value. Alphabet pruning is the one
+    /// *stats-dependent soundness* input: a plan that erased symbols is
+    /// only reusable while those labels still have zero edges — a delta
+    /// that introduces the first edge on a pruned label forces a rebuild,
+    /// unlike cost drift, which only risks optimality.
     fn drift_within(&self, plan: &Plan, stats: &LabelStats) -> bool {
+        if plan
+            .facts
+            .pruned_symbols
+            .iter()
+            .any(|&s| stats.edge_count(s) != 0)
+        {
+            return false;
+        }
         let f = Self::group_cost(&plan.query.nfa().first_symbols(), stats);
         let b = Self::group_cost(&plan.reversed.first_symbols(), stats);
         choose_direction(f, b, &self.config) == plan.direction
@@ -291,8 +308,12 @@ impl<E> PlannedEngine<E> {
         // rewrite search, and insertion is idempotent (same winner).
         let stats = graph.stats();
         let opt = optimize_with_stats(&self.set, q, alphabet, &self.budget, stats);
-        let improved = opt.improved();
-        let query = Query::new(opt.query, alphabet);
+        // Static analysis: certify the rewrite winner against the
+        // constraint closure (reverting it if certification fails),
+        // erase zero-edge symbols, trim, and classify the language.
+        let analysis = analyze(&self.set, q, opt.query, stats);
+        let improved = analysis.facts.rewrites_certified > 0;
+        let query = Query::with_nfa(analysis.regex, analysis.nfa, alphabet);
         let reversed = query.nfa().reverse();
         let forward_cost = Self::group_cost(&query.nfa().first_symbols(), stats);
         // last symbols of the query = first symbols of its reversal, which
@@ -306,6 +327,7 @@ impl<E> PlannedEngine<E> {
             direction,
             forward_cost,
             backward_cost,
+            facts: analysis.facts,
         });
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut memo = self.memo.lock();
@@ -324,11 +346,30 @@ impl<E> PlannedEngine<E> {
         (plan, false)
     }
 
-    /// Stamp plan observability into an evaluation's counters.
+    /// Stamp plan observability into an evaluation's counters, analysis
+    /// facts included.
     fn stamp(&self, stats: &mut EvalStats, plan: &Plan, hit: bool) {
         stats.plan_cache_hits += usize::from(hit);
         stats.plan_cache_misses += usize::from(!hit);
         stats.plan_direction = Some(plan.direction);
+        let facts = &plan.facts;
+        stats.symbols_pruned += facts.pruned_symbols.len();
+        stats.states_trimmed += facts.states_trimmed;
+        stats.finite_language |= facts.finite_language;
+        stats.rewrites_certified += facts.rewrites_certified;
+        stats.rewrites_rejected += facts.rewrites_rejected;
+        stats.analysis_ns += facts.analysis_ns;
+    }
+
+    /// The statically-empty fast path: an [`EvalResult`] produced without
+    /// touching the graph — zero edges scanned, no frontier allocated.
+    fn empty_result(&self, plan: &Plan, hit: bool) -> EvalResult {
+        let mut res = EvalResult {
+            answers: Vec::new(),
+            stats: EvalStats::default(),
+        };
+        self.stamp(&mut res.stats, plan, hit);
+        res
     }
 
     /// Evaluate `query` from `source` over **any** [`GraphView`] (e.g. a
@@ -339,7 +380,13 @@ impl<E> PlannedEngine<E> {
     /// search, which computes the same answer set.
     pub fn eval_view<G: GraphView>(&self, query: &Query, graph: &G, source: Oid) -> EvalResult {
         let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
-        let mut res = eval_product_csr(plan.query.nfa(), graph, source);
+        if plan.facts.statically_empty {
+            return self.empty_result(&plan, hit);
+        }
+        let mut res = match plan.facts.max_word_len {
+            Some(cap) => eval_product_bounded_csr(plan.query.nfa(), graph, source, cap),
+            None => eval_product_csr(plan.query.nfa(), graph, source),
+        };
         self.stamp(&mut res.stats, &plan, hit);
         res
     }
@@ -349,7 +396,15 @@ impl<E> PlannedEngine<E> {
     /// reverse adjacency, reusing the plan's cached reversed NFA.
     pub fn eval_to<G: GraphView>(&self, query: &Query, graph: &G, target: Oid) -> EvalResult {
         let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
-        let mut res = eval_product_backward_reversed_csr(&plan.reversed, graph, target);
+        if plan.facts.statically_empty {
+            return self.empty_result(&plan, hit);
+        }
+        let mut res = match plan.facts.max_word_len {
+            Some(cap) => {
+                eval_product_bounded_backward_reversed_csr(&plan.reversed, graph, target, cap)
+            }
+            None => eval_product_backward_reversed_csr(&plan.reversed, graph, target),
+        };
         self.stamp(&mut res.stats, &plan, hit);
         res
     }
@@ -365,6 +420,14 @@ impl<E> PlannedEngine<E> {
         target: Oid,
     ) -> PairResult {
         let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        if plan.facts.statically_empty {
+            let mut res = PairResult {
+                reachable: false,
+                stats: EvalStats::default(),
+            };
+            self.stamp(&mut res.stats, &plan, hit);
+            return res;
+        }
         let nfa = plan.query.nfa();
         let mut res = match plan.direction {
             Direction::Forward => eval_product_pair_forward_csr(nfa, graph, source, target),
@@ -415,6 +478,17 @@ impl<E: Engine> Engine for PlannedEngine<E> {
     /// with no constraints it is identical unconditionally.
     fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
         let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        if plan.facts.statically_empty {
+            return self.empty_result(&plan, hit);
+        }
+        // Finite-language fast path: the longest accepted word bounds the
+        // product BFS depth exactly, so the bounded search beats any
+        // unbounded strategy the inner engine might pick.
+        if let Some(cap) = plan.facts.max_word_len {
+            let mut res = eval_product_bounded_csr(plan.query.nfa(), graph, source, cap);
+            self.stamp(&mut res.stats, &plan, hit);
+            return res;
+        }
         let mut res = self.inner.eval(&plan.query, graph, source);
         self.stamp(&mut res.stats, &plan, hit);
         res
@@ -425,6 +499,14 @@ impl<E: Engine> Engine for PlannedEngine<E> {
     /// all share the planned query.
     fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
         let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        if plan.facts.statically_empty {
+            let mut stats = EvalStats::default();
+            self.stamp(&mut stats, &plan, hit);
+            return BatchResult::from_per_source(vec![Vec::new(); sources.len()], stats);
+        }
+        // Finite languages keep the inner engine's batch machinery (the
+        // bit-parallel lanes already amortize multi-source work better
+        // than a per-source bounded loop would).
         let mut res = self.inner.eval_batch(&plan.query, graph, sources);
         self.stamp(&mut res.stats, &plan, hit);
         res
@@ -442,9 +524,18 @@ impl<E: Engine> Engine for PlannedEngine<E> {
     fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
         let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
         let mut stats = EvalStats::default();
+        if plan.facts.statically_empty {
+            self.stamp(&mut stats, &plan, hit);
+            return BatchResult::from_per_source(vec![Vec::new(); targets.len()], stats);
+        }
         let mut per_target = Vec::with_capacity(targets.len());
         for &t in targets {
-            let r = eval_product_backward_reversed_csr(&plan.reversed, graph, t);
+            let r = match plan.facts.max_word_len {
+                Some(cap) => {
+                    eval_product_bounded_backward_reversed_csr(&plan.reversed, graph, t, cap)
+                }
+                None => eval_product_backward_reversed_csr(&plan.reversed, graph, t),
+            };
             stats.merge(&r.stats);
             per_target.push(r.answers);
         }
@@ -814,6 +905,114 @@ mod tests {
             }
         });
         assert_eq!(planned.plans_cached(), 1);
+    }
+
+    #[test]
+    fn statically_empty_queries_answer_without_touching_the_graph() {
+        // "ghost" is interned but has zero edges: every word of
+        // a.ghost.a mentions it, so the restricted language is empty and
+        // every entry point must answer without scanning anything.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("x", "a", "y");
+        b.edge("y", "a", "z");
+        let (inst, names) = b.finish();
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = Query::parse(&mut ab, "a.ghost.a").unwrap();
+        let (x, y) = (names["x"], names["y"]);
+
+        let res = planned.eval(&query, &graph, x);
+        assert!(res.answers.is_empty());
+        assert_eq!(res.stats.edges_scanned, 0, "no edge may be scanned");
+        assert_eq!(res.stats.pairs_visited, 0, "no frontier was allocated");
+        assert_eq!(res.stats.symbols_pruned, 1);
+        assert!(res.stats.finite_language);
+
+        let view = planned.eval_view(&query, &graph, x);
+        assert!(view.answers.is_empty() && view.stats.edges_scanned == 0);
+        let to = planned.eval_to(&query, &graph, y);
+        assert!(to.answers.is_empty() && to.stats.edges_scanned == 0);
+        let pair = planned.eval_pair(&query, &graph, x, x);
+        assert!(!pair.reachable && pair.stats.edges_scanned == 0);
+
+        let batch = Engine::eval_batch(&planned, &query, &graph, &[x, y]);
+        assert_eq!(batch.per_source().unwrap().len(), 2);
+        assert!(batch.union().is_empty() && batch.stats.edges_scanned == 0);
+        let tob = Engine::eval_to_batch(&planned, &query, &graph, &[x, y]);
+        assert_eq!(tob.per_source().unwrap().len(), 2);
+        assert!(tob.union().is_empty() && tob.stats.edges_scanned == 0);
+
+        // one plan built, five memo hits — emptiness is decided per plan
+        assert_eq!(planned.plan_cache_misses(), 1);
+    }
+
+    #[test]
+    fn finite_queries_run_the_bounded_fast_path_and_agree() {
+        // A cycle keeps the graph side unbounded; the query language is
+        // finite, so the planner caps the product BFS at the longest
+        // accepted word and must still return the exact answer set.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s", "a", "m");
+        b.edge("m", "b", "s");
+        b.edge("m", "b", "t");
+        b.edge("t", "a", "s");
+        let (inst, names) = b.finish();
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = Query::parse(&mut ab, "a.b + a.b.a.b").unwrap();
+        let s = names["s"];
+
+        let plan = planned.plan(&query, &graph);
+        assert_eq!(plan.facts.max_word_len, Some(4));
+        let fast = planned.eval(&query, &graph, s);
+        let plain = ProductEngine.eval(&query, &graph, s);
+        assert_eq!(fast.answers, plain.answers);
+        assert!(fast.stats.finite_language);
+        assert!(!plain.stats.finite_language);
+        let to = planned.eval_to(&query, &graph, s);
+        let plain_to = ProductEngine.eval_to(&query, &graph, s);
+        assert_eq!(to.answers, plain_to.answers);
+    }
+
+    #[test]
+    fn first_edge_on_a_pruned_label_forces_a_replan() {
+        // Pruning is stats-dependent: a plan that erased `ghost` is
+        // unsound the moment a delta adds the first ghost edge, even
+        // though the cost drift is far under the decisiveness factor.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..32 {
+            b.edge("s", "a", &format!("m{i}"));
+        }
+        let (inst, names) = b.finish();
+        let ghost = ab.intern("ghost");
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = {
+            let mut ab2 = ab.clone();
+            Query::parse(&mut ab2, "a + ghost").unwrap()
+        };
+        let s = names["s"];
+
+        let p1 = planned.plan(&query, &dg);
+        assert_eq!(p1.facts.pruned_symbols, vec![ghost]);
+        assert_eq!(planned.eval_view(&query, &dg, s).answers.len(), 32);
+
+        // one ghost edge among 32: cost drift alone would reuse the plan
+        assert!(dg.add_edge(s, ghost, names["m0"]));
+        let p2 = planned.plan(&query, &dg);
+        assert!(
+            !Arc::ptr_eq(&p1, &p2),
+            "the pruned-label guard must force a rebuild"
+        );
+        assert!(p2.facts.pruned_symbols.is_empty());
+        // and the rebuilt plan answers the ghost path
+        assert_eq!(planned.eval_view(&query, &dg, s).answers.len(), 32);
+        let mut ab3 = ab.clone();
+        let ghost_only = Query::parse(&mut ab3, "ghost").unwrap();
+        assert_eq!(planned.eval_view(&ghost_only, &dg, s).answers.len(), 1);
     }
 
     #[test]

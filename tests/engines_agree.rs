@@ -414,6 +414,81 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The static analyzer's simplifications are answer-preserving across
+    /// every engine: the planned query (alphabet-restricted, trimmed)
+    /// returns exactly the answers of the unanalyzed original through all
+    /// nine engines, on the `CsrGraph` snapshot and on a post-delta
+    /// `DeltaGraph` epoch, forward and backward. The query is extended
+    /// with an arm through a zero-edge label so pruning always has work,
+    /// and the delta later adds the first edge on that label — the plan
+    /// must be rebuilt (pruned-label drift guard) and the new matches
+    /// must appear.
+    #[test]
+    fn analyzed_queries_answer_like_unanalyzed_originals(seed in 0u64..10_000) {
+        use rpq::core::{eval_product_backward_reversed_csr, eval_product_csr, eval_to};
+        use rpq::graph::DeltaGraph;
+        use rpq::optimizer::PlannedEngine;
+
+        let (mut ab, inst, src, q0) = random_setup(seed, 6, 12);
+        let ghost = ab.intern("ghost");
+        let q = Regex::union(vec![q0.clone(), Regex::sym(ghost).then(q0)]);
+        let query = Query::new(q.clone(), &ab);
+        let graph = CsrGraph::from(&inst);
+
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let plan = planned.plan(&query, &graph);
+        prop_assert!(plan.facts.pruned_symbols.contains(&ghost));
+        let analyzed = plan.query.clone();
+
+        // forward, all nine engines: analyzed == original per engine
+        // (the oracle is bounded the same way on both, so even it must
+        // agree with itself)
+        let expected = ProductEngine.eval(&query, &graph, src).answers;
+        for engine in nine_engines() {
+            let orig = engine.eval(&query, &graph, src).answers;
+            let simp = engine.eval(&analyzed, &graph, src).answers;
+            prop_assert_eq!(&simp, &orig, "{}: analyzed vs original", engine.name());
+            if engine.name() != "oracle" {
+                prop_assert_eq!(&orig, &expected, "{}: vs product", engine.name());
+            }
+        }
+        // backward on the snapshot
+        for t in graph.nodes() {
+            prop_assert_eq!(
+                planned.eval_to(&query, &graph, t).answers,
+                eval_to(&query, &graph, t).answers,
+                "backward at {:?}", t
+            );
+        }
+
+        // post-delta epoch: new edges, including the first one on the
+        // pruned label — the analyzed plan must be recompiled and agree
+        // with the unanalyzed product BFS on the delta view
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let nodes: Vec<Oid> = graph.nodes().collect();
+        let (_, syms) = alphabet3();
+        dg.add_edge(nodes[0], syms[0], nodes[nodes.len() - 1]);
+        dg.add_edge(nodes[1], ghost, nodes[0]);
+        let nfa = Nfa::thompson(&q);
+        let rev = nfa.reverse();
+        for &s in &nodes {
+            prop_assert_eq!(
+                planned.eval_view(&query, &dg, s).answers,
+                eval_product_csr(&nfa, &dg, s).answers,
+                "delta forward at {:?}", s
+            );
+            prop_assert_eq!(
+                planned.eval_to(&query, &dg, s).answers,
+                eval_product_backward_reversed_csr(&rev, &dg, s).answers,
+                "delta backward at {:?}", s
+            );
+        }
+    }
+}
+
 /// `PlannedEngine` wrapped around representatives of every evaluation
 /// family (centralized, Datalog, distributed, partitioned batch) returns
 /// exactly the inner engine's answer set — no constraints, so the rewrite

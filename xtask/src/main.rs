@@ -1,0 +1,414 @@
+//! Repo automation tasks. Dependency-free on purpose: CI gates on
+//! `cargo run -p xtask -- lint` before anything heavier builds.
+//!
+//! # The lint gate
+//!
+//! Token-level source invariants that `clippy` is not configured to
+//! enforce here:
+//!
+//! * **No panicking escapes in the hot-path crates** — `.unwrap()`,
+//!   `.expect(` and `panic!` are forbidden in `crates/core/src` and
+//!   `crates/graph/src` outside `#[cfg(test)]` items. These two crates
+//!   sit under every evaluation; a malformed input must degrade, not
+//!   abort the process (`debug_assert!` is the sanctioned tripwire).
+//! * **Documented planner surface** — every `pub fn` in
+//!   `crates/optimizer/src` must carry a `///` doc comment, including
+//!   ones in private modules that `#![warn(missing_docs)]` cannot see.
+//!
+//! The scanner blanks comments and string/char literals before matching,
+//! so prose like "never unwrap() here" or a format string containing
+//! braces cannot trip (or hide) a finding.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        cmd => {
+            eprintln!("unknown task {cmd:?}; usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Crates whose non-test sources must not contain panicking escapes.
+const NO_PANIC_DIRS: &[&str] = &["crates/core/src", "crates/graph/src"];
+/// Crate whose `pub fn`s must all be documented.
+const DOC_DIRS: &[&str] = &["crates/optimizer/src"];
+/// Forbidden tokens for the no-panic rule.
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    for dir in NO_PANIC_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            scan_file(&file, &mut violations, check_no_panics);
+        }
+    }
+    for dir in DOC_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            scan_file(&file, &mut violations, check_pub_fn_docs);
+        }
+    }
+    if violations.is_empty() {
+        println!("xtask lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!(
+            "{}:{}: [{}] {}",
+            v.file.display(),
+            v.line,
+            v.rule,
+            v.text.trim()
+        );
+    }
+    eprintln!("xtask lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the workspace root is one level up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A lint rule over one parsed file: (path, original lines, cleaned
+/// lines, test mask, violations sink).
+type Rule = fn(&Path, &[String], &[String], &[bool], &mut Vec<Violation>);
+
+/// Parse one file into (original lines, cleaned lines, test mask) and run
+/// a rule over it.
+fn scan_file(file: &Path, violations: &mut Vec<Violation>, rule: Rule) {
+    let Ok(text) = fs::read_to_string(file) else {
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line: 0,
+            rule: "io",
+            text: "unreadable source file".into(),
+        });
+        return;
+    };
+    let original: Vec<String> = text.lines().map(str::to_string).collect();
+    let cleaned = clean_source(&text);
+    let mask = test_mask(&cleaned);
+    rule(file, &original, &cleaned, &mask, violations);
+}
+
+fn check_no_panics(
+    file: &Path,
+    original: &[String],
+    cleaned: &[String],
+    mask: &[bool],
+    violations: &mut Vec<Violation>,
+) {
+    for (i, line) in cleaned.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if line.contains(tok) {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: "no-panic",
+                    text: original[i].clone(),
+                });
+                break;
+            }
+        }
+    }
+}
+
+fn check_pub_fn_docs(
+    file: &Path,
+    original: &[String],
+    cleaned: &[String],
+    mask: &[bool],
+    violations: &mut Vec<Violation>,
+) {
+    for (i, line) in cleaned.iter().enumerate() {
+        if mask[i] || !line.trim_start().starts_with("pub fn ") {
+            continue;
+        }
+        // Walk upward over attributes; the first non-attribute line must
+        // be a `///` doc comment (checked on the *original* text — the
+        // cleaner blanks comments).
+        let mut j = i;
+        let documented = loop {
+            if j == 0 {
+                break false;
+            }
+            j -= 1;
+            let t = original[j].trim_start();
+            if t.starts_with("#[") || t.starts_with(')') || t.starts_with(']') {
+                continue; // attribute (possibly multi-line)
+            }
+            break t.starts_with("///") || t.starts_with("#![doc") || t.starts_with("//!");
+        };
+        if !documented {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule: "undocumented-pub-fn",
+                text: original[i].clone(),
+            });
+        }
+    }
+}
+
+/// Blank out comments and string/char literals, preserving line structure
+/// and everything else byte-for-byte, so token matching and brace counting
+/// only ever see code.
+fn clean_source(text: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum S {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut state = S::Code;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == S::LineComment {
+                state = S::Code;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            S::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = S::LineComment;
+                    cur.push(' ');
+                } else if c == '/' && next == Some('*') {
+                    state = S::BlockComment(1);
+                    cur.push(' ');
+                } else if c == '"' {
+                    state = S::Str;
+                    cur.push('"');
+                } else if c == 'r' && (next == Some('"') || next == Some('#')) {
+                    // raw string r"..." / r#"..."# (count the hashes)
+                    let mut hashes = 0;
+                    let mut k = i + 1;
+                    while chars.get(k) == Some(&'#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if chars.get(k) == Some(&'"') {
+                        state = S::RawStr(hashes);
+                        cur.push(' ');
+                        i = k + 1;
+                        continue;
+                    }
+                    cur.push(c);
+                } else if c == '\'' {
+                    // char literal vs lifetime: a literal closes with a
+                    // quote after one (possibly escaped) char
+                    let close = if chars.get(i + 1) == Some(&'\\') {
+                        // escape: find the next quote
+                        chars[i + 2..].iter().position(|&x| x == '\'').map(|_| true)
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        Some(true)
+                    } else {
+                        None
+                    };
+                    if close.is_some() {
+                        state = S::Char;
+                    }
+                    cur.push(' ');
+                } else {
+                    cur.push(c);
+                }
+            }
+            S::LineComment => cur.push(' '),
+            S::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    let d = depth - 1;
+                    state = if d == 0 { S::Code } else { S::BlockComment(d) };
+                    cur.push(' ');
+                    cur.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    state = S::BlockComment(depth + 1);
+                    cur.push(' ');
+                    cur.push(' ');
+                    i += 2;
+                    continue;
+                }
+                cur.push(' ');
+            }
+            S::Str => {
+                if c == '\\' {
+                    cur.push(' ');
+                    cur.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    state = S::Code;
+                    cur.push('"');
+                } else {
+                    cur.push(' ');
+                }
+            }
+            S::RawStr(hashes) => {
+                if c == '"' && chars[i + 1..].iter().take_while(|&&x| x == '#').count() >= hashes {
+                    state = S::Code;
+                    cur.push(' ');
+                    i += 1 + hashes;
+                    continue;
+                }
+                cur.push(' ');
+            }
+            S::Char => {
+                if c == '\'' {
+                    state = S::Code;
+                }
+                cur.push(' ');
+            }
+        }
+        i += 1;
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item (the attribute line
+/// through the end of the braced item, or through the terminating `;`).
+fn test_mask(cleaned: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; cleaned.len()];
+    let mut i = 0;
+    while i < cleaned.len() {
+        if !cleaned[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut entered = false;
+        let mut end = cleaned.len() - 1;
+        'outer: for (j, line) in cleaned.iter().enumerate().skip(i) {
+            mask[j] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth == 0 {
+                            end = j;
+                            break 'outer;
+                        }
+                    }
+                    ';' if !entered && depth == 0 => {
+                        end = j;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(s: &str) -> Vec<String> {
+        clean_source(s)
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"panic!\"; // .unwrap() in prose\nlet y = 1;\n";
+        let c = lines(src);
+        assert!(!c[0].contains("panic!"));
+        assert!(!c[0].contains(".unwrap()"));
+        assert_eq!(c[1], "let y = 1;");
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let c = lines(src);
+        let m = test_mask(&c);
+        assert_eq!(m, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn raw_strings_with_braces_do_not_break_the_mask() {
+        let src = "#[cfg(test)]\nmod tests {\n  let p = r#\"} {\"#;\n}\nfn after() {}\n";
+        let c = lines(src);
+        let m = test_mask(&c);
+        assert!(!m[4], "the brace inside the raw string must not leak");
+    }
+
+    #[test]
+    fn undocumented_pub_fn_is_flagged_documented_is_not() {
+        let src = "/// Docs.\npub fn good() {}\n\npub fn bad() {}\n";
+        let c = lines(src);
+        let m = test_mask(&c);
+        let mut v = Vec::new();
+        check_pub_fn_docs(
+            Path::new("x.rs"),
+            &src.lines().map(str::to_string).collect::<Vec<_>>(),
+            &c,
+            &m,
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+}
