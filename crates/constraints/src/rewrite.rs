@@ -242,32 +242,56 @@ pub fn rewrite_to_word_nfa(v: &[Symbol], rules: &RewriteSystem) -> RewriteToAuto
 
 /// Pre\*-saturation closure of `target` under the *full* constraint set —
 /// the Lemma 4.7 construction generalized from word rules to regular-side
-/// rules. Every inclusion `P ⊆ R` of `set` (equalities contribute both
-/// directions) acts as the prefix rule family `x·w → y·w` for `x ∈ L(P)`,
-/// `y ∈ L(R)`: the returned automaton accepts every word `u` with
-/// `u →* v ∈ L(target)`, so `L(q) ⊆ L(closure)` *soundly* certifies
-/// `E ⊨ q ⊆ target` (each rewrite step is justified by one constraint and
-/// prefix congruence; answers can only grow along a step). Completeness
-/// holds on the word-constraint fragment (Lemma 4.4); on general regular
-/// constraints prefix rewriting is a sound under-approximation — exactly
-/// the right polarity for certification, which must never accept an
-/// unsound rewrite.
+/// rules, with the polarity certification demands: the returned automaton
+/// accepts only words `u` with `E ⊨ answers(u) ⊆ answers(target)` at the
+/// constrained source, so `L(q) ⊆ L(closure)` *soundly* certifies
+/// `E ⊨ q ⊆ target`.
 ///
-/// Construction: embed one NFA fragment per rule lhs, ε-wired from the
-/// root; saturation finds all states `t` language-reachable from the root
-/// via the rule's rhs ([`Nfa::reachable_via`]) and ε-wires every accepting
-/// state of the lhs fragment to `t`. Fragments are demoted to
-/// non-accepting (they only *read* the lhs); only ε-edges between the
-/// fixed state set are ever added, so the fixpoint terminates.
+/// Each inclusion `P ⊆ R` of `set` (equalities contribute both directions)
+/// is embedded as a non-accepting fragment reading `L(P)` out of the root;
+/// how its exits are wired depends on the shape of `R`:
+///
+/// * **Single-word `R = {r}`** — answer semantics are right-congruent
+///   (`answers(P) ⊆ answers(r)` gives `answers(x·w) ⊆ answers(r·w)` for
+///   every `x ∈ L(P)`), so the exits are ε-wired to every state the root
+///   reaches by reading `r` — the word saturation of [`rewrite_to_nfa`].
+///   Only ε-edges over a fixed state set are added, so this runs to its
+///   exact fixpoint.
+/// * **Multi-word `R`** — the constraint only promises an `R`-path
+///   spelling *some* word of `L(R)`, so a continuation `w` is certified
+///   after `L(P)` only when `y·w` is already certified for **every**
+///   `y ∈ L(R)`. (Existential wiring here is unsound: under `{a = b + c}`
+///   it would certify `a.x ⊆ b.x`, which the satisfying instance
+///   `s -a→ m, s -c→ m, m -x→ t` refutes.) The universal continuation
+///   language `K = {w | ∀y ∈ L(R): y·w ∈ L(closure)}` is computed by
+///   [`universal_continuations`] and attached behind the exits as a fresh
+///   sub-automaton. Since that adds states, the outer loop re-runs word
+///   saturation and re-derives `K` until nothing new is certified or a
+///   round cap is hit; capping — like skipping a rule whose construction
+///   exceeds its budget — loses only completeness, never soundness.
+///
+/// Completeness holds on the word-constraint fragment (Lemma 4.4); on
+/// general regular constraints the closure is a sound under-approximation
+/// — exactly the right polarity for certification, which must never
+/// accept an unsound rewrite.
 pub fn rewrite_closure_nfa(set: &ConstraintSet, target: &Nfa) -> RewriteToAutomaton {
+    use rpq_automata::ops::included_antichain;
+
+    /// Universal-wiring rounds before giving up on a fixpoint (each round
+    /// may add a fresh `K` sub-automaton, so unlike the ε-only word
+    /// saturation this loop has no natural termination guarantee).
+    const MAX_UNIVERSAL_ROUNDS: usize = 8;
+
     let mut nfa = Nfa::empty();
     let off = nfa.add_nfa(target);
     let root = nfa.start();
     nfa.add_eps(root, target.start() + off);
 
     // Embed each rule's lhs as a reading fragment out of the root, and
-    // compile its rhs filter automaton once.
-    let mut rule_parts: Vec<(Vec<StateId>, Nfa)> = Vec::new();
+    // split the rules by rhs shape: single-word rhs saturates by ε-wiring,
+    // everything else goes through the universal construction.
+    let mut word_rules: Vec<(Vec<StateId>, Vec<Symbol>)> = Vec::new();
+    let mut regex_rules: Vec<(Vec<StateId>, Nfa, Nfa)> = Vec::new();
     for c in set.iter() {
         for (lhs, rhs) in c.as_inclusions() {
             let lhs_nfa = Nfa::thompson(&lhs);
@@ -280,28 +304,66 @@ pub fn rewrite_closure_nfa(set: &ConstraintSet, target: &Nfa) -> RewriteToAutoma
                     exits.push(s + frag);
                 }
             }
-            rule_parts.push((exits, Nfa::thompson(&rhs)));
+            if let Some(word) = rhs.as_word() {
+                word_rules.push((exits, word));
+            } else {
+                let rhs_nfa = Nfa::thompson(&rhs).trim();
+                if rhs_nfa.is_empty_lang() {
+                    // `P ⊆ ∅` pins answers(P) to ∅ on satisfying
+                    // instances; certifying nothing through it is sound.
+                    continue;
+                }
+                regex_rules.push((exits, lhs_nfa, rhs_nfa));
+            }
         }
     }
 
     let mut rounds = 0usize;
     let mut added_edges = 0usize;
+    let mut universal_rounds = 0usize;
     loop {
-        rounds += 1;
-        let mut changed = false;
-        for (exits, rhs) in &rule_parts {
-            // All states reachable from the *root* via a word of L(rhs):
-            // reachable_via walks from nfa.start(), which is the root.
-            for t in nfa.reachable_via(rhs) {
-                for &e in exits {
-                    if e != t && nfa.add_eps(e, t) {
-                        added_edges += 1;
-                        changed = true;
+        // Word saturation to fixpoint over the current state set.
+        loop {
+            rounds += 1;
+            let mut changed = false;
+            for (exits, rhs) in &word_rules {
+                for t in reachable_by_word(&nfa, root, rhs) {
+                    for &e in exits {
+                        if e != t && nfa.add_eps(e, t) {
+                            added_edges += 1;
+                            changed = true;
+                        }
                     }
                 }
             }
+            if !changed {
+                break;
+            }
         }
-        if !changed {
+        // Universal wiring for regex-sided rules (may add states).
+        universal_rounds += 1;
+        let mut changed = false;
+        for (exits, lhs_nfa, rhs_nfa) in &regex_rules {
+            let Some(k) = universal_continuations(&nfa, rhs_nfa) else {
+                continue; // K = ∅ or over budget: skip the rule (sound)
+            };
+            if k.is_empty_lang() {
+                continue;
+            }
+            // Skip when L(lhs)·K is already certified, so the loop
+            // reaches a fixpoint instead of stacking equal sub-automata.
+            if included_antichain(&Nfa::concat(lhs_nfa, &k), &nfa).is_ok() {
+                continue;
+            }
+            let koff = nfa.add_nfa(&k);
+            for &e in exits {
+                if nfa.add_eps(e, k.start() + koff) {
+                    added_edges += 1;
+                }
+            }
+            changed = true;
+        }
+        if !changed || universal_rounds >= MAX_UNIVERSAL_ROUNDS {
             break;
         }
     }
@@ -311,6 +373,110 @@ pub fn rewrite_closure_nfa(set: &ConstraintSet, target: &Nfa) -> RewriteToAutoma
         rounds,
         added_edges,
     }
+}
+
+/// The universal continuation language `K = {w | ∀y ∈ L(rhs): y·w ∈ L(nfa)}`
+/// as a fresh automaton, or `None` when `K` is empty or the construction
+/// exceeds its budget — callers skip the rule either way, which
+/// under-approximates the closure but never over-accepts.
+///
+/// `rhs` must be trimmed with a non-empty language. The subset-states of
+/// `nfa` reachable from its start via words of `L(rhs)` (the *profiles*)
+/// are collected by a product walk; because `rhs` is trimmed, stepping the
+/// `nfa` side to ∅ while the `rhs` side is alive means some rhs word has no
+/// accepted continuation at all, i.e. `K = ∅`. `K` is then the
+/// intersection of the profiles' right languages, built by a second subset
+/// construction whose states are *sets of subset-states*: a transition
+/// exists only when every member survives it, and a state accepts only
+/// when every member does — the ∀ made mechanical.
+fn universal_continuations(nfa: &Nfa, rhs: &Nfa) -> Option<Nfa> {
+    use std::collections::{BTreeSet, HashMap, VecDeque};
+    /// Budget on visited (nfa-subset, rhs-subset) pairs in the profile walk.
+    const PAIR_BUDGET: usize = 4096;
+    /// Budget on states of the intersection automaton.
+    const STATE_BUDGET: usize = 1024;
+
+    let s0 = nfa.start_set();
+    let f0 = rhs.start_set();
+    let mut profiles: BTreeSet<Vec<StateId>> = BTreeSet::new();
+    let mut seen: BTreeSet<(Vec<StateId>, Vec<StateId>)> = BTreeSet::new();
+    let mut queue: VecDeque<(Vec<StateId>, Vec<StateId>)> = VecDeque::new();
+    seen.insert((s0.clone(), f0.clone()));
+    queue.push_back((s0, f0));
+    while let Some((s, f)) = queue.pop_front() {
+        if rhs.set_accepts(&f) {
+            profiles.insert(s.clone());
+        }
+        let mut syms: Vec<Symbol> = f
+            .iter()
+            .flat_map(|&q| rhs.transitions(q).iter().map(|&(sym, _)| sym))
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        for sym in syms {
+            let f2 = rhs.step(&f, sym);
+            if f2.is_empty() {
+                continue;
+            }
+            let s2 = nfa.step(&s, sym);
+            if s2.is_empty() {
+                // rhs is trimmed, so f2 extends to an accepting state:
+                // some y ∈ L(rhs) strands the closure entirely.
+                return None;
+            }
+            if seen.len() >= PAIR_BUDGET {
+                return None;
+            }
+            let pair = (s2, f2);
+            if seen.insert(pair.clone()) {
+                queue.push_back(pair);
+            }
+        }
+    }
+    if profiles.is_empty() {
+        return None; // unreachable for trimmed non-empty rhs; be safe
+    }
+
+    let mut out = Nfa::empty();
+    let mut ids: HashMap<BTreeSet<Vec<StateId>>, StateId> = HashMap::new();
+    out.set_accepting(out.start(), profiles.iter().all(|s| nfa.set_accepts(s)));
+    ids.insert(profiles.clone(), out.start());
+    let mut queue: VecDeque<BTreeSet<Vec<StateId>>> = VecDeque::new();
+    queue.push_back(profiles);
+    while let Some(cur) = queue.pop_front() {
+        let from = ids[&cur];
+        let mut syms: Vec<Symbol> = cur
+            .iter()
+            .flat_map(|s| s.iter())
+            .flat_map(|&q| nfa.transitions(q).iter().map(|&(sym, _)| sym))
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        'symbols: for sym in syms {
+            let mut next: BTreeSet<Vec<StateId>> = BTreeSet::new();
+            for s in &cur {
+                let s2 = nfa.step(s, sym);
+                if s2.is_empty() {
+                    continue 'symbols; // one member dies: the ∀ fails
+                }
+                next.insert(s2);
+            }
+            let to = match ids.get(&next) {
+                Some(&t) => t,
+                None => {
+                    if ids.len() >= STATE_BUDGET {
+                        return None;
+                    }
+                    let t = out.add_state(next.iter().all(|s| nfa.set_accepts(s)));
+                    ids.insert(next.clone(), t);
+                    queue.push_back(next);
+                    t
+                }
+            };
+            out.add_transition(from, sym, to);
+        }
+    }
+    Some(out)
 }
 
 /// All states reachable from `from` by reading exactly `word` (with ε-moves
@@ -505,6 +671,51 @@ mod tests {
         // and an unrelated query must NOT certify
         let bad = Nfa::thompson(&parse_regex(&mut ab, "c.a").unwrap());
         assert!(rpq_automata::ops::included_antichain(&bad, &closure_r.nfa).is_err());
+    }
+
+    #[test]
+    fn union_rhs_rules_do_not_certify_per_branch() {
+        // E = {a = b + c} only promises an R-path spelling *some* word of
+        // b + c after an a-edge: the satisfying instance s -a→ m, s -c→ m,
+        // m -x→ t has answers(a.x) = {t} but answers(b.x) = ∅, so the
+        // closure of b.x must not accept a.x (existential wiring of the
+        // union rhs did exactly that).
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, ["a = b + c"]).unwrap();
+        let ax = Nfa::thompson(&parse_regex(&mut ab, "a.x").unwrap());
+        let bx = Nfa::thompson(&parse_regex(&mut ab, "b.x").unwrap());
+        let closure_bx = rewrite_closure_nfa(&set, &bx);
+        assert!(
+            rpq_automata::ops::included_antichain(&ax, &closure_bx.nfa).is_err(),
+            "a.x ⊆ b.x is not implied by a = b + c"
+        );
+        // The sound direction still certifies: answers(b) ⊆ answers(b + c)
+        // = answers(a), so b.x ⊆ a.x (word-rhs rule b + c → a).
+        let closure_ax = rewrite_closure_nfa(&set, &ax);
+        assert!(rpq_automata::ops::included_antichain(&bx, &closure_ax.nfa).is_ok());
+    }
+
+    #[test]
+    fn star_rhs_rules_certify_universally() {
+        // E = {a ⊆ b*}: a.x ⊆ b*.x is valid (every m ∈ answers(a) lies in
+        // answers(b*)), and the universal construction certifies it since
+        // every b^k·x lands in the target. a.x ⊆ b.x remains uncertified —
+        // b.b.x strands the continuation.
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, ["a <= b*"]).unwrap();
+        let ax = Nfa::thompson(&parse_regex(&mut ab, "a.x").unwrap());
+        let bstar_x = Nfa::thompson(&parse_regex(&mut ab, "b*.x").unwrap());
+        let bx = Nfa::thompson(&parse_regex(&mut ab, "b.x").unwrap());
+        let closure_bstar = rewrite_closure_nfa(&set, &bstar_x);
+        assert!(
+            rpq_automata::ops::included_antichain(&ax, &closure_bstar.nfa).is_ok(),
+            "a.x ⊆ b*.x is implied by a ⊆ b* and must certify"
+        );
+        let closure_bx = rewrite_closure_nfa(&set, &bx);
+        assert!(
+            rpq_automata::ops::included_antichain(&ax, &closure_bx.nfa).is_err(),
+            "a.x ⊆ b.x is not implied by a ⊆ b*"
+        );
     }
 
     #[test]

@@ -6,12 +6,18 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use rpq_automata::ops::included_antichain;
+use rpq_automata::random::{random_regex, RegexGenConfig};
 use rpq_automata::{Alphabet, Nfa, Regex, Symbol};
 use rpq_constraints::armstrong::shortest_lex_accepted;
-use rpq_constraints::rewrite::{rewrite_to_word_nfa, rewrites_to, RewriteSystem};
+use rpq_constraints::rewrite::{
+    rewrite_closure_nfa, rewrite_to_word_nfa, rewrites_to, RewriteSystem,
+};
 use rpq_constraints::{
     suggested_radius, ArmstrongSphere, ConstraintKind, ConstraintSet, PathConstraint,
 };
+use rpq_core::eval_product;
+use rpq_graph::generators::random_graph;
 
 fn syms2() -> (Alphabet, Vec<Symbol>) {
     let ab = Alphabet::from_names(["a", "b"]);
@@ -170,6 +176,63 @@ proptest! {
         let u = rand_word(&mut rng, &syms, 3);
         let direct = rewrites_to(&rs, &u, &w1) || rewrites_to(&rs, &u, &w2);
         prop_assert_eq!(auto.nfa.accepts(&u), direct);
+    }
+
+    /// Semantic soundness of the generalized closure under union/star-sided
+    /// constraint sets: whenever the certification inclusion
+    /// `L(q) ⊆ L(closure(r))` holds, every instance satisfying `E` must
+    /// satisfy `answers(q) ⊆ answers(r)` — checked against `holds_at` and
+    /// direct product evaluation as ground truth. (Guards the REVIEW fix:
+    /// existential wiring of multi-word rule rhs certified `a.x ⊆ b.x`
+    /// under `{a = b + c}`, which a satisfying instance refutes.)
+    #[test]
+    fn regex_closure_certification_is_semantically_sound(seed in 0u64..100_000) {
+        let (_, syms) = syms2();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RegexGenConfig {
+            symbols: syms.clone(),
+            max_depth: 2,
+            star_weight: 25,
+            union_weight: 60,
+            fanout: 2,
+        };
+        let mut cs = Vec::new();
+        for _ in 0..rng.random_range(1..=2usize) {
+            cs.push(PathConstraint {
+                lhs: random_regex(&mut rng, &cfg),
+                rhs: random_regex(&mut rng, &cfg),
+                kind: if rng.random_range(0..2) == 0 {
+                    ConstraintKind::Inclusion
+                } else {
+                    ConstraintKind::Equality
+                },
+            });
+        }
+        let set = ConstraintSet::from_constraints(cs);
+        let q = random_regex(&mut rng, &cfg);
+        let r = random_regex(&mut rng, &cfg);
+        let nq = Nfa::thompson(&q);
+        let nr = Nfa::thompson(&r);
+        let closure = rewrite_closure_nfa(&set, &nr);
+        if included_antichain(&nq, &closure.nfa).is_err() {
+            return Ok(()); // not certified — nothing claimed
+        }
+        for _ in 0..12 {
+            let m = rng.random_range(0..10usize);
+            let (inst, src) = random_graph(&mut rng, 4, m, &syms);
+            if !set.holds_at(&inst, src) {
+                continue;
+            }
+            let aq = eval_product(&nq, &inst, src).answers;
+            let ar = eval_product(&nr, &inst, src).answers;
+            prop_assert!(
+                aq.iter().all(|o| ar.binary_search(o).is_ok()),
+                "certified q ⊆ r but a satisfying instance refutes it: E={{{}}} q={:?} r={:?}",
+                set.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>().join(", "),
+                q,
+                r
+            );
+        }
     }
 }
 

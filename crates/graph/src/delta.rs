@@ -65,13 +65,19 @@ impl LabelLog {
     fn remove(&mut self, from: Oid, to: Oid) -> bool {
         match self.fwd.binary_search(&(from, to)) {
             Ok(pos) => {
-                self.fwd.remove(pos);
                 let rpos = self.rev.binary_search(&(to, from));
                 debug_assert!(rpos.is_ok(), "rev log mirrors fwd log");
-                if let Ok(rpos) = rpos {
-                    self.rev.remove(rpos);
+                match rpos {
+                    Ok(rpos) => {
+                        self.fwd.remove(pos);
+                        self.rev.remove(rpos);
+                        true
+                    }
+                    // Impossible under the mirror invariant; if it ever
+                    // happens, leave both logs untouched so forward and
+                    // backward evaluation keep seeing the same edges.
+                    Err(_) => false,
                 }
-                true
             }
             Err(_) => false,
         }

@@ -26,12 +26,16 @@ pub fn fig2_graph(alphabet: &mut Alphabet) -> (Instance, Oid, Oid) {
 
 /// A uniformly random graph: `n` nodes, `m` edges with labels drawn from
 /// `labels`. Self-loops and parallel edges with distinct labels allowed;
-/// exact duplicates are retried.
+/// exact duplicates are retried. Degenerate inputs (no nodes or no labels)
+/// degrade to an edge-less instance instead of aborting.
 pub fn random_graph(rng: &mut StdRng, n: usize, m: usize, labels: &[Symbol]) -> (Instance, Oid) {
-    assert!(n > 0 && !labels.is_empty());
+    debug_assert!(n > 0 && !labels.is_empty());
     let mut inst = Instance::new();
     for _ in 0..n {
         inst.add_node();
+    }
+    if n == 0 || labels.is_empty() {
+        return (inst, Oid(0));
     }
     let mut added = 0usize;
     let mut attempts = 0usize;
@@ -57,7 +61,7 @@ pub fn deterministic_graph(
     labels: &[Symbol],
     fill_percent: u32,
 ) -> (Instance, Oid) {
-    assert!(n > 0 && !labels.is_empty());
+    debug_assert!(n > 0 && !labels.is_empty());
     let mut inst = Instance::new();
     for _ in 0..n {
         inst.add_node();
@@ -82,8 +86,14 @@ pub fn web_graph(
     out_links: usize,
     labels: &[Symbol],
 ) -> (Instance, Oid) {
-    assert!(n > 0 && !labels.is_empty());
+    debug_assert!(n > 0 && !labels.is_empty());
     let mut inst = Instance::new();
+    if n == 0 || labels.is_empty() {
+        for _ in 0..n {
+            inst.add_node();
+        }
+        return (inst, Oid(0));
+    }
     let mut targets: Vec<Oid> = Vec::new(); // multiset for preferential choice
     for i in 0..n {
         let o = inst.add_node();

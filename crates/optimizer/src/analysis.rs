@@ -252,6 +252,27 @@ mod tests {
     }
 
     #[test]
+    fn union_branch_rewrites_are_rejected() {
+        // E = {a = b + c} does not imply a.x = b.x: on the satisfying
+        // instance s -a→ m, s -c→ m, m -x→ t (its stats below),
+        // answers(a.x) = {t} while answers(b.x) = ∅. Certification must
+        // reject the winner and analyze() must plan the original.
+        let mut ab = Alphabet::new();
+        let set = ConstraintSet::parse(&mut ab, ["a = b + c"]).unwrap();
+        let q = parse_regex(&mut ab, "a.x").unwrap();
+        let bad = parse_regex(&mut ab, "b.x").unwrap();
+        assert!(!certify_rewrite(&set, &q, &bad), "a.x = b.x is not implied");
+        let stats = stats_for(
+            &[("s", "a", "m"), ("s", "c", "m"), ("m", "x", "t")],
+            &mut ab,
+        );
+        let a = analyze(&set, &q, bad, &stats);
+        assert_eq!(a.facts.rewrites_rejected, 1);
+        assert_eq!(a.facts.rewrites_certified, 0);
+        assert_eq!(a.regex, q);
+    }
+
+    #[test]
     fn cache_substitution_certifies_under_the_definition_constraint() {
         // Example 3: E ⊨ a.(b.a)*.c = l.a.c when l = (a.b)*.
         let mut ab = Alphabet::new();
