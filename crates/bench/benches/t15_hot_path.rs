@@ -1,0 +1,254 @@
+//! T15 — the serving hot path: direction-optimizing hybrid product BFS and
+//! zero-allocation scratch reuse. Three claims, asserted at registration
+//! time so `--test` mode (the CI bench smoke) enforces the acceptance
+//! criteria without paying measurement time:
+//!
+//! * **Hybrid never loses, and wins on high fanout** — on every workload
+//!   the hybrid BFS scans no more edges than the forced-sparse baseline,
+//!   and on the complete-digraph pull workload it runs at least one pull
+//!   level and scans *strictly* fewer edges (the sparse sweep re-scans all
+//!   `hubs²` edges at the saturated level to discover nothing).
+//! * **Warm scratch allocates nothing** — a second evaluation through a
+//!   [`ScratchPool`] reports `scratch_reused > 0` (its tables already
+//!   cover `|Q|·|V|`) and returns identical answers; the measured series
+//!   compare the warm pooled path against a cold arena per evaluation.
+//! * **Multi-target lanes beat the loop** — on the funnel workload the
+//!   bit-parallel [`rpq_core::eval_product_to_batch_csr`] kernel scans
+//!   strictly fewer edges than N independent backward BFS runs, with
+//!   identical per-target answers.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::Nfa;
+use rpq_bench::{eval_workload, multi_target_workload, pull_workload, skewed_workload};
+use rpq_core::{
+    eval_product_backward_reversed_csr, eval_product_csr_with, eval_product_to_batch_csr,
+    EvalScratch, FrontierMode, ScratchPool,
+};
+use rpq_graph::CsrGraph;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t15_hot_path");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+
+    // Acceptance 1a: hybrid scans no more edges than forced-sparse on
+    // every workload shape (web-like, label-skewed, saturating).
+    {
+        let w = eval_workload(7, 400);
+        let graph = CsrGraph::from(&w.instance);
+        let mut scratch = EvalScratch::new();
+        for (name, q) in &w.queries {
+            let nfa = Nfa::thompson(q);
+            let sparse = eval_product_csr_with(
+                &nfa,
+                &graph,
+                w.source,
+                FrontierMode::ForcedSparse,
+                &mut scratch,
+            );
+            let hybrid =
+                eval_product_csr_with(&nfa, &graph, w.source, FrontierMode::Hybrid, &mut scratch);
+            assert_eq!(sparse.answers, hybrid.answers, "{name} diverged");
+            assert!(
+                hybrid.stats.edges_scanned <= sparse.stats.edges_scanned,
+                "{name}: hybrid {} > sparse {}",
+                hybrid.stats.edges_scanned,
+                sparse.stats.edges_scanned
+            );
+        }
+        let w = skewed_workload(128, 32);
+        let graph = CsrGraph::from(&w.instance);
+        let nfa = Nfa::thompson(&w.query);
+        let sparse = eval_product_csr_with(
+            &nfa,
+            &graph,
+            w.source,
+            FrontierMode::ForcedSparse,
+            &mut scratch,
+        );
+        let hybrid =
+            eval_product_csr_with(&nfa, &graph, w.source, FrontierMode::Hybrid, &mut scratch);
+        assert_eq!(sparse.answers, hybrid.answers, "skewed diverged");
+        assert!(hybrid.stats.edges_scanned <= sparse.stats.edges_scanned);
+    }
+
+    // Acceptance 1b: on the high-fanout pull series the hybrid runs pull
+    // levels and scans strictly fewer edges. Measured: hybrid vs sparse.
+    for &hubs in &[48usize, 96] {
+        let w = pull_workload(hubs);
+        let graph = CsrGraph::from(&w.instance);
+        let nfa = Nfa::thompson(&w.query);
+        let mut scratch = EvalScratch::new();
+        let sparse = eval_product_csr_with(
+            &nfa,
+            &graph,
+            w.source,
+            FrontierMode::ForcedSparse,
+            &mut scratch,
+        );
+        let hybrid =
+            eval_product_csr_with(&nfa, &graph, w.source, FrontierMode::Hybrid, &mut scratch);
+        assert_eq!(sparse.answers, hybrid.answers, "pull workload diverged");
+        assert!(
+            hybrid.stats.pull_levels >= 1,
+            "hybrid never pulled at {hubs} hubs"
+        );
+        assert!(
+            hybrid.stats.edges_scanned < sparse.stats.edges_scanned,
+            "hybrid {} must strictly beat sparse {} at {hubs} hubs",
+            hybrid.stats.edges_scanned,
+            sparse.stats.edges_scanned
+        );
+
+        group.bench_with_input(BenchmarkId::new("pull_hybrid", hubs), &hubs, |b, _| {
+            let mut scratch = EvalScratch::new();
+            b.iter(|| {
+                black_box(
+                    eval_product_csr_with(
+                        &nfa,
+                        &graph,
+                        black_box(w.source),
+                        FrontierMode::Hybrid,
+                        &mut scratch,
+                    )
+                    .answers
+                    .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pull_sparse", hubs), &hubs, |b, _| {
+            let mut scratch = EvalScratch::new();
+            b.iter(|| {
+                black_box(
+                    eval_product_csr_with(
+                        &nfa,
+                        &graph,
+                        black_box(w.source),
+                        FrontierMode::ForcedSparse,
+                        &mut scratch,
+                    )
+                    .answers
+                    .len(),
+                )
+            })
+        });
+    }
+
+    // Acceptance 2: warm pooled evaluation reports scratch reuse with
+    // identical answers. Measured: warm pooled arena vs cold allocation.
+    for &nodes in &[200usize, 800] {
+        let w = eval_workload(11, nodes);
+        let graph = CsrGraph::from(&w.instance);
+        let nfa = Nfa::thompson(&w.queries[3].1); // `broad`, traverses everything
+        let pool = ScratchPool::new();
+        let cold = {
+            let mut scratch = pool.checkout();
+            eval_product_csr_with(&nfa, &graph, w.source, FrontierMode::Hybrid, &mut scratch)
+        };
+        let warm = {
+            let mut scratch = pool.checkout();
+            eval_product_csr_with(&nfa, &graph, w.source, FrontierMode::Hybrid, &mut scratch)
+        };
+        assert_eq!(cold.answers, warm.answers, "warm scratch diverged");
+        assert!(
+            warm.stats.scratch_reused > 0,
+            "warm evaluation did not reuse the pooled arena at {nodes} nodes"
+        );
+        assert_eq!(pool.allocs(), 1, "pool allocated twice at {nodes} nodes");
+        assert!(pool.reuses() >= 1);
+
+        group.bench_with_input(BenchmarkId::new("warm_scratch", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut scratch = pool.checkout();
+                black_box(
+                    eval_product_csr_with(
+                        &nfa,
+                        &graph,
+                        black_box(w.source),
+                        FrontierMode::Hybrid,
+                        &mut scratch,
+                    )
+                    .answers
+                    .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cold_alloc", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut scratch = EvalScratch::new();
+                black_box(
+                    eval_product_csr_with(
+                        &nfa,
+                        &graph,
+                        black_box(w.source),
+                        FrontierMode::Hybrid,
+                        &mut scratch,
+                    )
+                    .answers
+                    .len(),
+                )
+            })
+        });
+    }
+
+    // Acceptance 3: multi-target lanes scan strictly fewer edges than the
+    // per-target backward loop, answers identical. Measured: both paths.
+    for &targets_n in &[16usize, 64] {
+        let w = multi_target_workload(64, 16, targets_n);
+        let graph = CsrGraph::from(&w.instance);
+        let reversed = Nfa::thompson(&w.query).reverse();
+        let batch = eval_product_to_batch_csr(&reversed, &graph, &w.targets);
+        let per_target = batch.per_source().expect("lane kernel partitions");
+        let mut loop_edges = 0usize;
+        for (i, &t) in w.targets.iter().enumerate() {
+            let single = eval_product_backward_reversed_csr(&reversed, &graph, t);
+            loop_edges += single.stats.edges_scanned;
+            assert_eq!(per_target[i], single.answers, "target {i} diverged");
+        }
+        assert!(
+            batch.stats.edges_scanned < loop_edges,
+            "lanes {} must strictly beat the loop {} at {targets_n} targets",
+            batch.stats.edges_scanned,
+            loop_edges
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("lanes_to_batch", targets_n),
+            &targets_n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        eval_product_to_batch_csr(&reversed, &graph, black_box(&w.targets))
+                            .union()
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("looped_eval_to", targets_n),
+            &targets_n,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &t in &w.targets {
+                        total +=
+                            eval_product_backward_reversed_csr(&reversed, &graph, black_box(t))
+                                .answers
+                                .len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

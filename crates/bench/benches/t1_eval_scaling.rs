@@ -198,7 +198,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("multi_batch_partitioned", nsrc),
             &nsrc,
             |b, _| {
-                let engine = PartitionedBatchEngine { workers: 4 };
+                let engine = PartitionedBatchEngine::new(4);
                 b.iter(|| black_box(engine.eval_batch(&query, &graph, &w.sources).stats.answers))
             },
         );

@@ -19,25 +19,35 @@
 //!   alphabet-unsatisfiable query (asserting the planned side reports
 //!   `edges_scanned == 0`), plus plan-time-certified rewrites on the
 //!   cached-site workload against the unrewritten evaluation.
+//! * **T15 hot path** — the direction-optimizing hybrid product BFS
+//!   against the forced-sparse baseline on the high-fanout pull workload
+//!   (asserting strictly fewer edge scans), warm pooled scratch against a
+//!   cold arena per evaluation (asserting `scratch_reused > 0`; the
+//!   cold-vs-warm median gap is the recorded series), and the
+//!   multi-target lane kernel against the per-target backward loop
+//!   (asserting strictly fewer edge scans).
 //!
 //! ```text
 //! bench_baseline [--json PATH] [--repeats N]
 //! ```
 //!
 //! Without `--json` the tables go to stdout; with it, the T1 document is
-//! written to `PATH` and the T12/T13/T14 documents to siblings
-//! `BENCH_t12.json` / `BENCH_t13.json` / `BENCH_t14.json` (CI uploads all
-//! four as the bench-regression artifacts).
+//! written to `PATH` and the T12/T13/T14/T15 documents to siblings
+//! `BENCH_t12.json` / `BENCH_t13.json` / `BENCH_t14.json` /
+//! `BENCH_t15.json` (CI uploads all five as the bench-regression
+//! artifacts).
 
 use std::time::Instant;
 
 use rpq_automata::parse_regex;
 use rpq_bench::{
-    direction_workload, distributed_workload, incremental_workload, multi_source_workload,
-    skewed_workload,
+    direction_workload, distributed_workload, eval_workload, incremental_workload,
+    multi_source_workload, multi_target_workload, pull_workload, skewed_workload,
 };
 use rpq_core::{
-    eval_product_csr, eval_product_pair_forward_csr, Engine, EvalStats, ProductEngine, Query,
+    eval_product_backward_reversed_csr, eval_product_csr, eval_product_csr_with,
+    eval_product_pair_forward_csr, eval_product_to_batch_csr, Engine, EvalScratch, EvalStats,
+    FrontierMode, ProductEngine, Query, ScratchPool,
 };
 use rpq_distributed::PartitionedBatchEngine;
 use rpq_graph::{CsrGraph, DeltaGraph};
@@ -139,7 +149,7 @@ fn main() {
             stats.edges_scanned
         );
 
-        let engine = PartitionedBatchEngine { workers: 4 };
+        let engine = PartitionedBatchEngine::new(4);
         let (t, stats) = measure(repeats, || {
             engine.eval_batch(&query, &graph, &w.sources).stats
         });
@@ -332,11 +342,129 @@ fn main() {
         });
     }
 
+    // T15 hot-path series: hybrid vs forced-sparse on the pull workload,
+    // warm pooled scratch vs cold allocation, and the multi-target lane
+    // kernel vs the per-target backward loop. The assertions mirror the
+    // t15 bench's acceptance criteria, so a hot-path regression fails this
+    // job rather than shifting the baseline.
+    let mut t15_points: Vec<SeriesPoint> = Vec::new();
+    for &hubs in &[48usize, 96] {
+        let w = pull_workload(hubs);
+        let graph = CsrGraph::from(&w.instance);
+        let nfa = rpq_automata::Nfa::thompson(&w.query);
+
+        let mut scratch = EvalScratch::new();
+        let (t, stats) = measure(repeats, || {
+            eval_product_csr_with(
+                &nfa,
+                &graph,
+                w.source,
+                FrontierMode::ForcedSparse,
+                &mut scratch,
+            )
+            .stats
+        });
+        t15_points.push(SeriesPoint {
+            name: "hot_pull_sparse",
+            n: hubs,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        let sparse_edges = stats.edges_scanned;
+
+        let (t, stats) = measure(repeats, || {
+            eval_product_csr_with(&nfa, &graph, w.source, FrontierMode::Hybrid, &mut scratch).stats
+        });
+        t15_points.push(SeriesPoint {
+            name: "hot_pull_hybrid",
+            n: hubs,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        assert!(
+            stats.pull_levels >= 1 && stats.edges_scanned < sparse_edges,
+            "hybrid must pull and scan strictly fewer edges than forced-sparse \
+             (hybrid {} vs sparse {sparse_edges} at {hubs} hubs)",
+            stats.edges_scanned
+        );
+    }
+    {
+        let w = eval_workload(11, 400);
+        let graph = CsrGraph::from(&w.instance);
+        let nfa = rpq_automata::Nfa::thompson(&w.queries[3].1); // `broad`
+        let pool = ScratchPool::new();
+        drop(pool.checkout()); // warm the pool before measuring
+
+        let (t, stats) = measure(repeats, || {
+            let mut scratch = pool.checkout();
+            eval_product_csr_with(&nfa, &graph, w.source, FrontierMode::Hybrid, &mut scratch).stats
+        });
+        t15_points.push(SeriesPoint {
+            name: "hot_warm_scratch",
+            n: 400,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        assert!(
+            stats.scratch_reused > 0,
+            "warm pooled evaluation must report scratch reuse"
+        );
+        assert_eq!(pool.allocs(), 1, "warm series must not grow the pool");
+
+        let (t, stats) = measure(repeats, || {
+            let mut scratch = EvalScratch::new();
+            eval_product_csr_with(&nfa, &graph, w.source, FrontierMode::Hybrid, &mut scratch).stats
+        });
+        t15_points.push(SeriesPoint {
+            name: "hot_cold_alloc",
+            n: 400,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+    }
+    for &targets_n in &[16usize, 64] {
+        let w = multi_target_workload(64, 16, targets_n);
+        let graph = CsrGraph::from(&w.instance);
+        let reversed = rpq_automata::Nfa::thompson(&w.query).reverse();
+
+        let (t, stats) = measure(repeats, || {
+            let mut total = EvalStats::default();
+            for &target in &w.targets {
+                total.merge(&eval_product_backward_reversed_csr(&reversed, &graph, target).stats);
+            }
+            total
+        });
+        t15_points.push(SeriesPoint {
+            name: "hot_looped_eval_to",
+            n: targets_n,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        let loop_edges = stats.edges_scanned;
+
+        let (t, stats) = measure(repeats, || {
+            eval_product_to_batch_csr(&reversed, &graph, &w.targets).stats
+        });
+        t15_points.push(SeriesPoint {
+            name: "hot_lanes_to_batch",
+            n: targets_n,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        assert!(
+            stats.edges_scanned < loop_edges,
+            "multi-target lanes must scan strictly fewer edges than the loop \
+             (lanes {} vs loop {loop_edges} at n={targets_n})",
+            stats.edges_scanned
+        );
+    }
+
     for (title, pts) in [
         ("t1_multi_source", &points),
         ("t12_direction_choice", &t12_points),
         ("t13_incremental_update", &t13_points),
         ("t14_static_analysis", &t14_points),
+        ("t15_hot_path", &t15_points),
     ] {
         println!("\n[{title}]");
         println!(
@@ -378,6 +506,12 @@ fn main() {
             "t14_static_analysis",
             repeats,
             &t14_points,
+        );
+        write_doc(
+            &sibling("BENCH_t15.json"),
+            "t15_hot_path",
+            repeats,
+            &t15_points,
         );
     }
 }

@@ -147,6 +147,105 @@ pub fn multi_source_workload(
     }
 }
 
+/// A high-fanout pull workload (T15): one source fanning into a complete
+/// digraph of `hubs` nodes on a single label, queried with `h*`. After the
+/// first BFS level every hub pair is reached, so the sparse push sweep
+/// re-scans all `hubs²` edges to discover nothing, while the
+/// direction-optimizing hybrid's shrinking pull bound collapses to ~0 and
+/// the pull sweep probes almost nothing — the shape where
+/// `FrontierMode::Hybrid` must scan *strictly* fewer edges than
+/// `FrontierMode::ForcedSparse`.
+pub struct PullWorkload {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// The instance (build form; snapshot with `CsrGraph::from`).
+    pub instance: Instance,
+    /// Evaluation source (the fan root).
+    pub source: Oid,
+    /// The saturating query `h*`.
+    pub query: Regex,
+}
+
+/// Build the T15 pull workload over a complete digraph of `hubs` nodes.
+pub fn pull_workload(hubs: usize) -> PullWorkload {
+    let mut alphabet = Alphabet::new();
+    let h = alphabet.intern("h");
+    let mut instance = Instance::new();
+    let source = instance.add_node();
+    let hub_ids: Vec<Oid> = (0..hubs).map(|_| instance.add_node()).collect();
+    for &hub in &hub_ids {
+        instance.add_edge(source, h, hub);
+    }
+    for &a in &hub_ids {
+        for &b in &hub_ids {
+            if a != b {
+                instance.add_edge(a, h, b);
+            }
+        }
+    }
+    let query = parse_regex(&mut alphabet, "h*").unwrap();
+    PullWorkload {
+        alphabet,
+        instance,
+        source,
+        query,
+    }
+}
+
+/// A multi-target funnel workload (T15): `n_targets` exit nodes hang off
+/// the tail of a shared `cold` spine (plus hot-label noise edges *into*
+/// the spine, keeping the reverse-adjacency label skew). The query `cold*`
+/// asked backward from each exit walks the same spine, so a per-target
+/// `eval_to` loop pays `O(n_targets × depth)` edge scans while the
+/// bit-parallel multi-target lane kernel walks the reverse spine once with
+/// all target lanes merged — `O(n_targets + depth)`.
+pub struct MultiTargetWorkload {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// The instance (build form; snapshot with `CsrGraph::from`).
+    pub instance: Instance,
+    /// The batch of evaluation targets (the exit nodes).
+    pub targets: Vec<Oid>,
+    /// The spine query `cold*`.
+    pub query: Regex,
+}
+
+/// Build the multi-target funnel: a spine of `depth` cold edges whose tail
+/// fans into `n_targets` exits, `hot_fanout` hot noise edges into each
+/// spine node from a shared pool.
+pub fn multi_target_workload(
+    depth: usize,
+    hot_fanout: usize,
+    n_targets: usize,
+) -> MultiTargetWorkload {
+    let mut alphabet = Alphabet::new();
+    let cold = alphabet.intern("cold");
+    let hot = alphabet.intern("hot");
+    let mut instance = Instance::new();
+    let spine: Vec<Oid> = (0..=depth).map(|_| instance.add_node()).collect();
+    let pool: Vec<Oid> = (0..hot_fanout).map(|_| instance.add_node()).collect();
+    let targets: Vec<Oid> = (0..n_targets).map(|_| instance.add_node()).collect();
+    for i in 0..depth {
+        instance.add_edge(spine[i], cold, spine[i + 1]);
+        for &noise in &pool {
+            instance.add_edge(noise, hot, spine[i]);
+        }
+    }
+    for &exit in &targets {
+        instance.add_edge(spine[depth], cold, exit);
+        for &noise in &pool {
+            instance.add_edge(noise, hot, exit);
+        }
+    }
+    let query = parse_regex(&mut alphabet, "cold*").unwrap();
+    MultiTargetWorkload {
+        alphabet,
+        instance,
+        targets,
+        query,
+    }
+}
+
 /// A direction-skewed pair workload (T12): the chain query
 /// `hot.hot.cold` from `source` to `target` over a graph whose *first*
 /// label group is plentiful (`source` fans out `fanout` hot edges, each
@@ -380,6 +479,49 @@ mod tests {
         assert_eq!(csr.stats().edge_count(hot), 16 * 32);
         assert_eq!(csr.stats().edge_count(cold), 16);
         assert_eq!(csr.stats().hottest(), Some(hot));
+    }
+
+    #[test]
+    fn pull_workload_triggers_the_pull_sweep() {
+        use rpq_core::{eval_product_csr_with, EvalScratch, FrontierMode};
+        let w = pull_workload(24);
+        assert_eq!(w.instance.num_edges(), 24 + 24 * 23);
+        let csr = rpq_graph::CsrGraph::from(&w.instance);
+        let nfa = rpq_automata::Nfa::thompson(&w.query);
+        let mut scratch = EvalScratch::new();
+        let sparse = eval_product_csr_with(
+            &nfa,
+            &csr,
+            w.source,
+            FrontierMode::ForcedSparse,
+            &mut scratch,
+        );
+        let hybrid =
+            eval_product_csr_with(&nfa, &csr, w.source, FrontierMode::Hybrid, &mut scratch);
+        assert_eq!(sparse.answers, hybrid.answers);
+        assert_eq!(sparse.answers.len(), 25, "h* saturates the digraph");
+        assert!(hybrid.stats.pull_levels >= 1, "hybrid never pulled");
+        assert!(
+            hybrid.stats.edges_scanned < sparse.stats.edges_scanned,
+            "hybrid {} must beat sparse {}",
+            hybrid.stats.edges_scanned,
+            sparse.stats.edges_scanned
+        );
+    }
+
+    #[test]
+    fn multi_target_workload_shape() {
+        let w = multi_target_workload(16, 8, 12);
+        let csr = rpq_graph::CsrGraph::from(&w.instance);
+        let cold = w.alphabet.get("cold").unwrap();
+        let hot = w.alphabet.get("hot").unwrap();
+        assert_eq!(csr.stats().edge_count(cold), 16 + 12);
+        assert_eq!(csr.stats().edge_count(hot), (16 + 12) * 8);
+        assert_eq!(w.targets.len(), 12);
+        // every exit reaches back to the whole spine under cold*
+        let nfa = rpq_automata::Nfa::thompson(&w.query);
+        let res = rpq_core::eval_product_backward_reversed_csr(&nfa.reverse(), &csr, w.targets[0]);
+        assert_eq!(res.answers.len(), 16 + 2, "spine + exit itself");
     }
 
     #[test]

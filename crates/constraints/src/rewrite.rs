@@ -264,7 +264,7 @@ pub fn rewrite_to_word_nfa(v: &[Symbol], rules: &RewriteSystem) -> RewriteToAuto
 ///   it would certify `a.x ⊆ b.x`, which the satisfying instance
 ///   `s -a→ m, s -c→ m, m -x→ t` refutes.) The universal continuation
 ///   language `K = {w | ∀y ∈ L(R): y·w ∈ L(closure)}` is computed by
-///   [`universal_continuations`] and attached behind the exits as a fresh
+///   `universal_continuations` and attached behind the exits as a fresh
 ///   sub-automaton. Since that adds states, the outer loop re-runs word
 ///   saturation and re-derives `K` until nothing new is certified or a
 ///   round cap is hit; capping — like skipping a rule whose construction

@@ -9,7 +9,7 @@
 //!
 //! * **Lane mode** ([`eval_product_batch_csr`],
 //!   [`eval_quotient_dfa_batch_csr`]): sources are processed in waves of up
-//!   to 64; cell `(q, v)` of a [`LaneMatrix`] holds a `u64` mask of which
+//!   to 64; cell `(q, v)` of a `LaneMatrix` holds a `u64` mask of which
 //!   wave sources have reached node `v` in automaton state (or quotient
 //!   class) `q`. One pass over a CSR label row ORs the whole mask into
 //!   every target — one scan advances every pending source — and the lane
@@ -26,10 +26,11 @@
 //! over the per-source loop (bench `t1_eval_scaling`, multi-source series).
 
 use rpq_automata::{Nfa, StateId};
-use rpq_graph::bitset::{FrontierArena, LaneMatrix, NodeBitset};
+use rpq_graph::bitset::{FrontierArena, NodeBitset};
 use rpq_graph::{GraphView, Oid};
 
 use crate::quotient::SubsetInterner;
+use crate::scratch::EvalScratch;
 use crate::stats::EvalStats;
 
 /// Result of a batched evaluation over a source set.
@@ -88,7 +89,7 @@ impl BatchResult {
 fn collect_wave_answers(answer_masks: &[u64], wave_len: usize, out: &mut Vec<Vec<Oid>>) {
     let base = out.len();
     for _ in 0..wave_len {
-        out.push(Vec::new());
+        out.push(Vec::new()); // alloc-ok: per-source result vectors are the return value
     }
     for (v, &mask) in answer_masks.iter().enumerate() {
         let mut m = mask;
@@ -110,19 +111,83 @@ fn collect_wave_answers(answer_masks: &[u64], wave_len: usize, out: &mut Vec<Vec
 /// lane partition. `stats` are aggregated over waves; `answers` counts the
 /// per-source total (matching the default loop-over-`eval` aggregation).
 pub fn eval_product_batch_csr<G: GraphView>(nfa: &Nfa, graph: &G, sources: &[Oid]) -> BatchResult {
+    let mut scratch = EvalScratch::new();
+    eval_product_batch_csr_with(nfa, graph, sources, &mut scratch)
+}
+
+/// [`eval_product_batch_csr`] with a caller-provided [`EvalScratch`] — the
+/// pooled hot-path form: a warm scratch whose lane capacity covers
+/// `|Q|·|V|` runs the whole batch without allocating arenas.
+pub fn eval_product_batch_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    sources: &[Oid],
+    scratch: &mut EvalScratch,
+) -> BatchResult {
+    batch_wave_kernel(nfa, graph, sources, false, scratch)
+}
+
+/// Bit-parallel batched *backward* product BFS: for each target in
+/// `targets`, compute `{o | target ∈ p(o, I)}` — all objects that reach the
+/// target spelling a word of `L(p)`.
+///
+/// Takes the *already-reversed* automaton ([`Nfa::reverse`]) and runs the
+/// same lane kernel as [`eval_product_batch_csr`] over the *reverse*
+/// adjacency, with targets as the wave lanes: one reverse-row pass advances
+/// every pending target at once, replacing the one-backward-BFS-per-target
+/// loop of the default `Engine::eval_to_batch`. Per-target answer sets ride
+/// the lane partition exactly as per-source sets do forward.
+pub fn eval_product_to_batch_csr<G: GraphView>(
+    reversed: &Nfa,
+    graph: &G,
+    targets: &[Oid],
+) -> BatchResult {
+    let mut scratch = EvalScratch::new();
+    eval_product_to_batch_csr_with(reversed, graph, targets, &mut scratch)
+}
+
+/// [`eval_product_to_batch_csr`] with a caller-provided [`EvalScratch`]
+/// (see [`eval_product_batch_csr_with`]).
+pub fn eval_product_to_batch_csr_with<G: GraphView>(
+    reversed: &Nfa,
+    graph: &G,
+    targets: &[Oid],
+    scratch: &mut EvalScratch,
+) -> BatchResult {
+    batch_wave_kernel(reversed, graph, targets, true, scratch)
+}
+
+/// The shared wave kernel behind the forward and backward batched product
+/// engines: waves of up to 64 lanes, one [`rpq_graph::bitset::LaneMatrix`]
+/// cell per (state, node), adjacency direction selected by `reverse_adj`
+/// (the automaton is taken as given — backward callers pass the reversed
+/// NFA). All arenas come from `scratch`'s lane section.
+fn batch_wave_kernel<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    sources: &[Oid],
+    reverse_adj: bool,
+    scratch: &mut EvalScratch,
+) -> BatchResult {
     let nq = nfa.num_states();
     let nv = graph.num_nodes();
-    let mut stats = EvalStats::default();
-    let mut state_touched = vec![false; nq];
-    let mut per_source: Vec<Vec<Oid>> = Vec::with_capacity(sources.len());
+    let covered = scratch.begin_batch(nq, nv);
+    let gen = scratch.generation();
+    let mut stats = EvalStats {
+        scratch_reused: usize::from(covered),
+        ..EvalStats::default()
+    };
+    let mut classes = 0usize;
+    let mut per_source: Vec<Vec<Oid>> = Vec::with_capacity(sources.len()); // alloc-ok: result value
 
-    // Arenas reused across waves.
-    let mut reached = LaneMatrix::new(nq, nv);
-    let mut frontier = LaneMatrix::new(nq, nv);
-    let mut next = LaneMatrix::new(nq, nv);
-    let mut active = FrontierArena::new(nq, nv);
-    let mut next_active = FrontierArena::new(nq, nv);
-    let mut answer_masks = vec![0u64; nv];
+    // Lane arenas from the scratch's batch section; the dense frontier
+    // arenas double as the active/next-active cell sets.
+    let reached = &mut scratch.reached;
+    let frontier = &mut scratch.lanes_cur;
+    let next = &mut scratch.lanes_next;
+    let active = &mut scratch.dense;
+    let next_active = &mut scratch.dense_b;
+    let worklist = &mut scratch.worklist;
 
     for wave in sources.chunks(64) {
         reached.clear();
@@ -130,7 +195,7 @@ pub fn eval_product_batch_csr<G: GraphView>(nfa: &Nfa, graph: &G, sources: &[Oid
         next.clear();
         active.clear();
         next_active.clear();
-        answer_masks.fill(0);
+        scratch.answer_masks.fill(0);
 
         for (lane, &s) in wave.iter().enumerate() {
             let bit = 1u64 << lane;
@@ -140,10 +205,11 @@ pub fn eval_product_batch_csr<G: GraphView>(nfa: &Nfa, graph: &G, sources: &[Oid
         }
 
         while !active.is_empty() {
+            stats.frontier_peak = stats.frontier_peak.max(active.count());
             // ε-closure within the level: propagate new lane bits across
             // ε-edges until fixpoint (ε consumes no graph edge, so the
             // closure stays in the same BFS level).
-            let mut worklist: Vec<(StateId, usize)> = Vec::new();
+            worklist.clear();
             for q in 0..nq {
                 for v in active.state(q).iter_ones() {
                     worklist.push((q as StateId, v));
@@ -163,21 +229,28 @@ pub fn eval_product_batch_csr<G: GraphView>(nfa: &Nfa, graph: &G, sources: &[Oid
 
             // Consume one graph edge per active cell: a row pass costs its
             // length once, no matter how many lanes ride the mask.
-            for (q, touched) in state_touched.iter_mut().enumerate() {
+            for q in 0..nq {
                 if active.state(q).is_empty() {
                     continue;
                 }
-                *touched = true;
+                if scratch.state_marks[q] != gen {
+                    scratch.state_marks[q] = gen;
+                    classes += 1;
+                }
                 let accepting = nfa.is_accepting(q as StateId);
                 for v in active.state(q).iter_ones() {
                     let m = frontier.take(q, v);
                     debug_assert_ne!(m, 0);
                     stats.pairs_visited += 1;
                     if accepting {
-                        answer_masks[v] |= m;
+                        scratch.answer_masks[v] |= m;
                     }
                     for &(sym, q2) in nfa.transitions(q as StateId) {
-                        let targets = graph.out(Oid(v as u32), sym);
+                        let targets = if reverse_adj {
+                            graph.rev(Oid(v as u32), sym)
+                        } else {
+                            graph.out(Oid(v as u32), sym)
+                        };
                         stats.edges_scanned += targets.len();
                         for v2 in targets {
                             let newbits = reached.or(q2 as usize, v2.index(), m);
@@ -189,20 +262,21 @@ pub fn eval_product_batch_csr<G: GraphView>(nfa: &Nfa, graph: &G, sources: &[Oid
                     }
                 }
             }
+            stats.push_levels += 1;
 
             // `frontier` is all-zero here: every nonzero cell was in
             // `active` and the edge step take()s each one, so the swap
             // alone leaves `next` ready for reuse — no O(states × nodes)
             // refill per level.
-            frontier.swap_contents(&mut next);
-            active.swap(&mut next_active);
+            frontier.swap_contents(next);
+            active.swap(next_active);
             next_active.clear();
         }
 
-        collect_wave_answers(&answer_masks, wave.len(), &mut per_source);
+        collect_wave_answers(&scratch.answer_masks[..nv], wave.len(), &mut per_source);
     }
 
-    stats.classes_materialized = state_touched.iter().filter(|&&t| t).count();
+    stats.classes_materialized = classes;
     stats.answers = per_source.iter().map(Vec::len).sum();
     BatchResult::from_per_source(per_source, stats)
 }
@@ -218,9 +292,9 @@ pub fn eval_product_batch_union_csr<G: GraphView>(
     let nq = nfa.num_states();
     let nv = graph.num_nodes();
     let mut stats = EvalStats::default();
-    let mut state_touched = vec![false; nq];
+    let mut state_touched = vec![false; nq]; // alloc-ok: union-mode arena, not pooled
 
-    let mut reached = FrontierArena::new(nq, nv);
+    let mut reached = FrontierArena::new(nq, nv); // alloc-ok: union-mode arenas, not pooled
     let mut frontier = FrontierArena::new(nq, nv);
     let mut next = FrontierArena::new(nq, nv);
     let mut answer = NodeBitset::new(nv);
@@ -233,7 +307,7 @@ pub fn eval_product_batch_union_csr<G: GraphView>(
 
     while !frontier.is_empty() {
         // ε-closure within the level.
-        let mut worklist: Vec<(StateId, usize)> = Vec::new();
+        let mut worklist: Vec<(StateId, usize)> = Vec::new(); // alloc-ok: union-mode worklist
         for q in 0..nq {
             for v in frontier.state(q).iter_ones() {
                 worklist.push((q as StateId, v));
@@ -299,10 +373,10 @@ pub fn eval_quotient_dfa_batch_csr<G: GraphView>(
 
     for wave in sources.chunks(64) {
         // Masks grow per class as lazy determinization discovers classes.
-        let mut reached: Vec<Vec<u64>> = vec![vec![0; nv]];
-        let mut pending: Vec<Vec<u64>> = vec![vec![0; nv]];
-        let mut answer_masks = vec![0u64; nv];
-        let mut worklist: Vec<(usize, usize)> = Vec::new();
+        let mut reached: Vec<Vec<u64>> = vec![vec![0; nv]]; // alloc-ok: lazily determinized class table
+        let mut pending: Vec<Vec<u64>> = vec![vec![0; nv]]; // alloc-ok: lazily determinized class table
+        let mut answer_masks = vec![0u64; nv]; // alloc-ok: quotient batch, not pooled
+        let mut worklist: Vec<(usize, usize)> = Vec::new(); // alloc-ok: quotient batch worklist
 
         for (lane, &s) in wave.iter().enumerate() {
             let bit = 1u64 << lane;
@@ -329,8 +403,8 @@ pub fn eval_quotient_dfa_batch_csr<G: GraphView>(
                     continue;
                 }
                 while reached.len() < interner.len() {
-                    reached.push(vec![0; nv]);
-                    pending.push(vec![0; nv]);
+                    reached.push(vec![0; nv]); // alloc-ok: class discovery grows the table
+                    pending.push(vec![0; nv]); // alloc-ok: class discovery grows the table
                 }
                 for v2 in targets {
                     let newbits = m & !reached[c2][v2.index()];

@@ -25,7 +25,9 @@
 use rpq_automata::{parse_regex, Alphabet, Nfa, ParseError, Regex};
 use rpq_graph::{CsrGraph, Oid};
 
-use crate::batch::{eval_product_batch_csr, eval_quotient_dfa_batch_csr, BatchResult};
+use crate::batch::{
+    eval_product_batch_csr, eval_product_to_batch_csr, eval_quotient_dfa_batch_csr, BatchResult,
+};
 use crate::product::{eval_product_csr, EvalResult};
 use crate::quotient::{eval_derivative_csr, eval_quotient_dfa_csr};
 use crate::stats::EvalStats;
@@ -143,9 +145,11 @@ pub trait Engine {
     ///
     /// The default implementation loops [`Engine::eval_to`] and merges the
     /// per-target [`EvalStats`]; `per_source()` of the result is aligned
-    /// with `targets`. This is the API seam for a future bit-parallel
-    /// backward wave (the lane machinery of `rpq_graph::bitset` applies
-    /// symmetrically over the reverse adjacency).
+    /// with `targets`. Engines with a genuinely multi-target strategy
+    /// override it — [`ProductEngine`] runs the bit-parallel backward wave
+    /// ([`eval_product_to_batch_csr`]): waves of up to 64 *target* lanes
+    /// over the reversed NFA and reverse adjacency, one row pass advancing
+    /// every pending target at once.
     fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
         let mut stats = EvalStats::default();
         let mut per_target = Vec::with_capacity(targets.len());
@@ -175,6 +179,14 @@ impl Engine for ProductEngine {
     /// source lane at once ([`eval_product_batch_csr`]).
     fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
         eval_product_batch_csr(query.nfa(), graph, sources)
+    }
+
+    /// Bit-parallel *backward* batched BFS — waves of up to 64 target
+    /// lanes over the reversed NFA and reverse adjacency
+    /// ([`eval_product_to_batch_csr`]), replacing the default
+    /// one-backward-BFS-per-target loop.
+    fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
+        eval_product_to_batch_csr(&query.nfa().reverse(), graph, targets)
     }
 }
 

@@ -76,11 +76,14 @@ pub mod oracle;
 pub mod pair;
 pub mod product;
 pub mod quotient;
+pub mod scratch;
 pub mod stats;
 pub mod streaming;
 
 pub use batch::{
-    eval_product_batch_csr, eval_product_batch_union_csr, eval_quotient_dfa_batch_csr, BatchResult,
+    eval_product_batch_csr, eval_product_batch_csr_with, eval_product_batch_union_csr,
+    eval_product_to_batch_csr, eval_product_to_batch_csr_with, eval_quotient_dfa_batch_csr,
+    BatchResult,
 };
 pub use engine::{
     DerivativeEngine, Engine, OracleEngine, ProductEngine, Query, QuotientDfaEngine,
@@ -89,16 +92,21 @@ pub use engine::{
 pub use oracle::eval_oracle;
 pub use pair::{
     eval_pair, eval_product_pair_backward_csr, eval_product_pair_backward_reversed_csr,
-    eval_product_pair_csr, eval_product_pair_forward_csr, eval_to, PairResult,
+    eval_product_pair_backward_reversed_csr_with, eval_product_pair_csr,
+    eval_product_pair_csr_with, eval_product_pair_forward_csr, eval_product_pair_forward_csr_with,
+    eval_product_pair_reversed_csr_with, eval_to, PairResult,
 };
 pub use product::{
     eval_product, eval_product_backward_csr, eval_product_backward_reversed_csr,
-    eval_product_bounded_backward_reversed_csr, eval_product_bounded_csr, eval_product_csr,
-    eval_product_scan, EvalResult,
+    eval_product_backward_reversed_csr_with, eval_product_bounded_backward_reversed_csr,
+    eval_product_bounded_backward_reversed_csr_with, eval_product_bounded_csr,
+    eval_product_bounded_csr_with, eval_product_csr, eval_product_csr_with, eval_product_scan,
+    EvalResult, FrontierMode,
 };
 pub use quotient::{
     eval_derivative, eval_derivative_csr, eval_quotient_dfa, eval_quotient_dfa_csr,
 };
 pub use rpq_graph::CsrGraph;
+pub use scratch::{EvalScratch, PooledScratch, ScratchPool};
 pub use stats::{Direction, EvalStats};
 pub use streaming::{StreamStatus, StreamingEval};

@@ -34,7 +34,10 @@ use rpq_graph::bitset::FrontierArena;
 use rpq_graph::{GraphView, Oid};
 
 use crate::engine::Query;
-use crate::product::{eval_product_backward_csr, product_search, EvalResult};
+use crate::product::{
+    eval_product_backward_csr, product_search, product_search_with, EvalResult, FrontierMode,
+};
+use crate::scratch::EvalScratch;
 use crate::stats::EvalStats;
 
 /// Result of a pair-reachability evaluation.
@@ -54,6 +57,21 @@ pub fn eval_product_pair_forward_csr<G: GraphView>(
     target: Oid,
 ) -> PairResult {
     let (res, found) = product_search(nfa, graph, source, false, Some(target), None);
+    pair_result(found, res.stats)
+}
+
+/// [`eval_product_pair_forward_csr`] with an explicit [`FrontierMode`] and
+/// caller-provided [`EvalScratch`] — the pooled hot-path form.
+pub fn eval_product_pair_forward_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    target: Oid,
+    mode: FrontierMode,
+    scratch: &mut EvalScratch,
+) -> PairResult {
+    let (res, found) =
+        product_search_with(nfa, graph, source, false, Some(target), None, mode, scratch);
     pair_result(found, res.stats)
 }
 
@@ -81,6 +99,29 @@ pub fn eval_product_pair_backward_reversed_csr<G: GraphView>(
     pair_result(found, res.stats)
 }
 
+/// [`eval_product_pair_backward_reversed_csr`] with an explicit
+/// [`FrontierMode`] and caller-provided [`EvalScratch`].
+pub fn eval_product_pair_backward_reversed_csr_with<G: GraphView>(
+    reversed: &Nfa,
+    graph: &G,
+    source: Oid,
+    target: Oid,
+    mode: FrontierMode,
+    scratch: &mut EvalScratch,
+) -> PairResult {
+    let (res, found) = product_search_with(
+        reversed,
+        graph,
+        target,
+        true,
+        Some(source),
+        None,
+        mode,
+        scratch,
+    );
+    pair_result(found, res.stats)
+}
+
 fn pair_result(reachable: bool, mut stats: EvalStats) -> PairResult {
     stats.answers = usize::from(reachable);
     PairResult { reachable, stats }
@@ -95,48 +136,89 @@ pub fn eval_product_pair_csr<G: GraphView>(
     source: Oid,
     target: Oid,
 ) -> PairResult {
+    let mut scratch = EvalScratch::new();
+    eval_product_pair_csr_with(nfa, graph, source, target, &mut scratch)
+}
+
+/// [`eval_product_pair_csr`] with a caller-provided [`EvalScratch`] —
+/// reverses the automaton per call; planners holding a cached
+/// [`Nfa::reverse`] should use [`eval_product_pair_reversed_csr_with`].
+pub fn eval_product_pair_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    target: Oid,
+    scratch: &mut EvalScratch,
+) -> PairResult {
+    eval_product_pair_reversed_csr_with(nfa, &nfa.reverse(), graph, source, target, scratch)
+}
+
+/// Meet-in-the-middle with both automata supplied (`reversed` must be
+/// `nfa.reverse()`) and all working memory drawn from `scratch` — the
+/// planner's pooled hot-path form.
+pub fn eval_product_pair_reversed_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    reversed: &Nfa,
+    graph: &G,
+    source: Oid,
+    target: Oid,
+    scratch: &mut EvalScratch,
+) -> PairResult {
     let nv = graph.num_nodes();
-    if nv == 0 {
-        return pair_result(false, EvalStats::default());
-    }
-    let rnfa = nfa.reverse();
     let nq = nfa.num_states();
-    let rnq = rnfa.num_states();
+    let rnq = reversed.num_states();
     // The whole intersection scheme leans on Nfa::reverse's documented
     // numbering (fresh start 0, state i → i + 1); pin it here so a future
     // reverse() refactor fails loudly instead of corrupting answers.
     assert_eq!(rnq, nq + 1, "Nfa::reverse state-numbering contract broken");
 
-    // seen_f[(q, v)]: a prefix reaches automaton state q at node v.
-    // seen_b[(rq, v)]: rq ≥ 1 ⇒ a suffix runs nfa state rq−1 to acceptance
-    // along a path v →…→ target (rq = 0 is the reversed automaton's fresh
-    // start and corresponds to no forward state).
-    let mut seen_f = FrontierArena::new(nq, nv);
-    let mut seen_b = FrontierArena::new(rnq, nv);
-    let mut frontier_f: Vec<(StateId, Oid)> = Vec::new();
-    let mut frontier_b: Vec<(StateId, Oid)> = Vec::new();
-    let mut next: Vec<(StateId, Oid)> = Vec::new();
-    let mut stats = EvalStats::default();
+    // Both seen arenas are sized by the larger (reversed) automaton: the
+    // forward side simply never touches its extra state row.
+    let covered = scratch.begin(rnq, nv);
+    let mut stats = EvalStats {
+        scratch_reused: usize::from(covered),
+        ..EvalStats::default()
+    };
+    if nv == 0 {
+        return pair_result(false, stats);
+    }
 
+    // seen_f = scratch.dense: a prefix reaches automaton state q at node v.
+    // seen_b = scratch.dense_b: rq ≥ 1 ⇒ a suffix runs nfa state rq−1 to
+    // acceptance along a path v →…→ target (rq = 0 is the reversed
+    // automaton's fresh start and corresponds to no forward state).
+    //
     // Seed both sides *with their ε-closures* before the first expansion:
     // the early-exit argument below ("a drained side proves
     // unreachability") needs every seed-level cell of the *other* side in
     // its seen set from the start.
-    if seen_f
+    if scratch
+        .dense
         .state_mut(nfa.start() as usize)
         .insert(source.index())
     {
-        frontier_f.push((nfa.start(), source));
+        scratch.frontier.push((nfa.start(), source));
     }
-    if seen_b
-        .state_mut(rnfa.start() as usize)
+    if scratch
+        .dense_b
+        .state_mut(reversed.start() as usize)
         .insert(target.index())
     {
-        frontier_b.push((rnfa.start(), target));
+        scratch.frontier_b.push((reversed.start(), target));
     }
-    if close_level(nfa, &mut frontier_f, &mut seen_f, &seen_b, true)
-        || close_level(&rnfa, &mut frontier_b, &mut seen_b, &seen_f, false)
-    {
+    if close_level(
+        nfa,
+        &mut scratch.frontier,
+        &mut scratch.dense,
+        &scratch.dense_b,
+        true,
+    ) || close_level(
+        reversed,
+        &mut scratch.frontier_b,
+        &mut scratch.dense_b,
+        &scratch.dense,
+        false,
+    ) {
         return pair_result(true, stats);
     }
 
@@ -146,19 +228,28 @@ pub fn eval_product_pair_csr<G: GraphView>(
     // backward *seed closure* already holds its mirror `(accept + 1,
     // target)`, so the meet probe would have fired (symmetrically for a
     // drained backward side against the forward seed closure).
-    while !frontier_f.is_empty() && !frontier_b.is_empty() {
+    while !scratch.frontier.is_empty() && !scratch.frontier_b.is_empty() {
         // Expand the smaller frontier one full level.
-        let forward_side = frontier_f.len() <= frontier_b.len();
+        let forward_side = scratch.frontier.len() <= scratch.frontier_b.len();
+        let EvalScratch {
+            frontier,
+            frontier_b,
+            next,
+            dense,
+            dense_b,
+            ..
+        } = scratch;
         let (auto, frontier, seen, seen_other): (
             &Nfa,
             &mut Vec<(StateId, Oid)>,
             &mut FrontierArena,
             &FrontierArena,
         ) = if forward_side {
-            (nfa, &mut frontier_f, &mut seen_f, &seen_b)
+            (nfa, frontier, dense, dense_b)
         } else {
-            (&rnfa, &mut frontier_b, &mut seen_b, &seen_f)
+            (reversed, frontier_b, dense_b, dense)
         };
+        stats.frontier_peak = stats.frontier_peak.max(frontier.len());
 
         // One labeled step over the matching adjacency.
         for &(q, v) in frontier.iter() {
@@ -180,7 +271,8 @@ pub fn eval_product_pair_csr<G: GraphView>(
                 }
             }
         }
-        std::mem::swap(frontier, &mut next);
+        stats.push_levels += 1;
+        std::mem::swap(frontier, next);
         next.clear();
         // ε-closure of the freshly advanced level.
         if close_level(auto, frontier, seen, seen_other, forward_side) {

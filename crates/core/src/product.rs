@@ -20,11 +20,63 @@
 //! thin compatibility wrapper that snapshots an [`Instance`] first, and
 //! [`eval_product_scan`] preserves the original scan-and-filter loop as the
 //! measurable baseline (bench `t1_eval_scaling`, skewed workload).
+//!
+//! # Direction-optimizing expansion
+//!
+//! The paper fixes the *pair space*; how each BFS level sweeps it is ours
+//! to optimize. Every level is expanded one of two ways
+//! (Beamer-style direction-optimizing BFS, selected per level by
+//! [`FrontierMode`]):
+//!
+//! * **push** (sparse): for each frontier pair `(q, v)` and transition
+//!   `(sym, q2)`, scan the matching adjacency row — cost is exactly the sum
+//!   of the frontier's row lengths;
+//! * **pull** (dense): for each *unreached* pair `(q2, v2)`, merge-join the
+//!   candidate node's opposite-direction label groups against the reversed
+//!   transition table and probe the dense frontier bitmap, stopping at the
+//!   first hit — cost is bounded by one probe per (edge, matching reverse
+//!   transition), independent of frontier fan-out.
+//!
+//! Both strategies produce the identical next level (level k = pairs first
+//! reached spelling k letters), so [`FrontierMode::Hybrid`] compares the
+//! *exact* push cost (row lengths from the label index — no edge is
+//! scanned to price a level) against a sound, monotonically shrinking pull
+//! bound: it starts at Σ over labeled transitions of the label's edge
+//! count and is debited by each newly reached pair's matching in-edge
+//! count — a pull sweep only probes edges entering *unreached* pairs, so
+//! the remainder always upper-bounds the probes. The chosen sweep's actual
+//! scans never exceed the push price of the same level, hence hybrid never
+//! scans more edges than forced sparse, and strictly fewer whenever a
+//! high-fanout level re-scans rows whose targets are mostly reached (bench
+//! `t15_hot_path`). All working memory comes from an [`EvalScratch`] arena
+//! (generation-stamped marks, reusable frontiers) so repeated queries
+//! allocate nothing after warm-up — see [`crate::scratch`].
 
-use rpq_automata::{Nfa, StateId};
+use rpq_automata::{Nfa, StateId, Symbol};
 use rpq_graph::{CsrGraph, GraphView, Instance, Oid};
 
+use crate::scratch::EvalScratch;
 use crate::stats::EvalStats;
+
+/// How `product_search_with` expands each BFS level.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum FrontierMode {
+    /// Choose push or pull per level from measured costs (the default).
+    #[default]
+    Hybrid,
+    /// Always sparse push expansion — the pre-optimization behavior, kept
+    /// as the baseline the hybrid is asserted against (bench
+    /// `t15_hot_path`).
+    ForcedSparse,
+    /// Always dense pull expansion — exercised by tests to pin that both
+    /// sweeps answer identically.
+    ForcedDense,
+}
+
+/// Divisor discounting the pull sweep's O(|Q|·|V|) mark-table reads against
+/// edge probes when pricing a level: a contiguous `u32` read is far cheaper
+/// than a label-group probe, but not free.
+const PULL_SWEEP_DISCOUNT: usize = 16;
 
 /// Result of an evaluation: sorted answers plus work counters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,12 +106,192 @@ pub(crate) fn finish_eval(
     EvalResult { answers, stats }
 }
 
-fn push(q: StateId, v: Oid, nv: usize, seen: &mut [bool], level: &mut Vec<(StateId, Oid)>) {
+/// Mark `(q, v)` seen (generation-stamped) and append it to `level` if it
+/// was not already seen this generation. Returns whether the pair was
+/// newly marked (first reach — the moment it stops being a pull
+/// candidate).
+#[inline]
+fn push_sparse(
+    q: StateId,
+    v: Oid,
+    nv: usize,
+    gen: u32,
+    seen: &mut [u32],
+    level: &mut Vec<(StateId, Oid)>,
+) -> bool {
     let idx = q as usize * nv + v.index();
-    if !seen[idx] {
-        seen[idx] = true;
+    if seen[idx] != gen {
+        seen[idx] = gen;
         level.push((q, v));
+        true
+    } else {
+        false
     }
+}
+
+/// The shrinking upper bound on a pull sweep's probes: starts at Σ over
+/// labeled transitions of the label's edge count and is debited by each
+/// newly reached pair's [`pair_pull_probes`] — a pull level only probes
+/// edges entering *unreached* pairs, so `remaining` always dominates its
+/// actual scans.
+struct PullBound {
+    /// Tracking enabled — any mode that may run a pull sweep.
+    active: bool,
+    /// Probes remaining over unreached pairs.
+    remaining: usize,
+}
+
+impl PullBound {
+    #[inline]
+    fn debit(&mut self, probes: usize) {
+        if self.active {
+            self.remaining = self.remaining.saturating_sub(probes);
+        }
+    }
+}
+
+/// The probes a pull sweep would spend on the unreached pair `(q, v)`: one
+/// per (incoming edge under the expansion adjacency, matching reverse
+/// transition). Priced from label-index row lengths — no edge is scanned.
+#[inline]
+fn pair_pull_probes<G: GraphView>(
+    graph: &G,
+    reverse_adj: bool,
+    rev_trans: &[(Symbol, StateId)],
+    rev_trans_off: &[usize],
+    q: StateId,
+    v: Oid,
+) -> usize {
+    let (lo, hi) = (rev_trans_off[q as usize], rev_trans_off[q as usize + 1]);
+    let mut probes = 0usize;
+    for &(sym, _) in &rev_trans[lo..hi] {
+        let row = if reverse_adj {
+            graph.out(v, sym)
+        } else {
+            graph.rev(v, sym)
+        };
+        probes += row.len();
+    }
+    probes
+}
+
+/// Sparse *push* expansion of one (ε-closed) level: scan each frontier
+/// pair's matching adjacency rows and mark/enqueue unseen targets.
+#[allow(clippy::too_many_arguments)]
+fn push_level<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    reverse_adj: bool,
+    nv: usize,
+    gen: u32,
+    scratch: &mut EvalScratch,
+    stats: &mut EvalStats,
+    bound: &mut PullBound,
+) {
+    for &(q, v) in &scratch.frontier {
+        for &(sym, q2) in nfa.transitions(q) {
+            let targets = if reverse_adj {
+                graph.rev(v, sym)
+            } else {
+                graph.out(v, sym)
+            };
+            stats.edges_scanned += targets.len();
+            for v2 in targets {
+                if push_sparse(q2, v2, nv, gen, &mut scratch.seen, &mut scratch.next)
+                    && bound.active
+                {
+                    bound.debit(pair_pull_probes(
+                        graph,
+                        reverse_adj,
+                        &scratch.rev_trans,
+                        &scratch.rev_trans_off,
+                        q2,
+                        v2,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Dense *pull* expansion of one (ε-closed) level: for every unreached
+/// pair `(q2, v2)`, merge-join the candidate's opposite-direction label
+/// groups against the reversed transition table and probe the densified
+/// frontier, stopping at the first hit. Produces exactly the same next
+/// level as [`push_level`]; `edges_scanned` counts probed endpoints only.
+#[allow(clippy::too_many_arguments)]
+fn pull_level<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    reverse_adj: bool,
+    nv: usize,
+    gen: u32,
+    scratch: &mut EvalScratch,
+    stats: &mut EvalStats,
+    bound: &mut PullBound,
+) {
+    let nq = nfa.num_states();
+    // Densify the current frontier for O(1) membership probes.
+    for &(q, v) in &scratch.frontier {
+        scratch.dense.state_mut(q as usize).insert(v.index());
+    }
+    for q2 in 0..nq {
+        let (lo, hi) = (scratch.rev_trans_off[q2], scratch.rev_trans_off[q2 + 1]);
+        if lo == hi {
+            continue; // no labeled transition enters q2
+        }
+        let seg = &scratch.rev_trans[lo..hi];
+        for vi in 0..nv {
+            if scratch.seen[q2 * nv + vi] == gen {
+                continue;
+            }
+            let candidate = Oid(vi as u32);
+            // The candidate's in-edges under the expansion adjacency — the
+            // *opposite* orientation of the push step.
+            let groups = if reverse_adj {
+                graph.out_groups(candidate)
+            } else {
+                graph.rev_groups(candidate)
+            };
+            let mut si = 0usize;
+            'probe: for (sym, edges) in groups {
+                while si < seg.len() && seg[si].0 < sym {
+                    si += 1;
+                }
+                if si == seg.len() {
+                    break;
+                }
+                let mut sj = si;
+                while sj < seg.len() && seg[sj].0 == sym {
+                    sj += 1;
+                }
+                if sj == si {
+                    continue;
+                }
+                for u in edges {
+                    for &(_, qsrc) in &seg[si..sj] {
+                        stats.edges_scanned += 1;
+                        if scratch.dense.state(qsrc as usize).contains(u.index()) {
+                            scratch.seen[q2 * nv + vi] = gen;
+                            scratch.next.push((q2 as StateId, candidate));
+                            bound.debit(pair_pull_probes(
+                                graph,
+                                reverse_adj,
+                                &scratch.rev_trans,
+                                &scratch.rev_trans_off,
+                                q2 as StateId,
+                                candidate,
+                            ));
+                            break 'probe;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Leave the dense arena clean for the next level / next search (O(1)
+    // per untouched state thanks to the maintained bit counts).
+    scratch.dense.clear();
 }
 
 /// The level-synchronous product BFS shared by the forward, backward, and
@@ -68,13 +300,203 @@ fn push(q: StateId, v: Oid, nv: usize, seen: &mut [bool], level: &mut Vec<(State
 /// which adjacency each labeled step traverses ([`GraphView::out`] vs
 /// [`GraphView::rev`]); the automaton is taken as given, so backward
 /// callers pass the *reversed* NFA. With `stop_at`, the search returns as
-/// soon as that node becomes an answer (the answer bitmap is then partial —
+/// soon as that node becomes an answer (the answer list is then partial —
 /// pair callers consume only the flag and the stats). With `depth_cap`, BFS
 /// levels beyond the cap are never expanded: sound and complete whenever
 /// the cap is at least the length of the automaton's longest accepted word
 /// (level k holds exactly the pairs first reached by spelling k letters),
 /// which is how the planner evaluates finite-language queries without
 /// paying for graph cycles the automaton cannot follow to acceptance.
+///
+/// `mode` selects the per-level expansion strategy (see [`FrontierMode`]);
+/// all working memory comes from `scratch`, which is resized/invalidated
+/// here and can be reused across calls of any `(|Q|, |V|)` shape.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn product_search_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    reverse_adj: bool,
+    stop_at: Option<Oid>,
+    depth_cap: Option<usize>,
+    mode: FrontierMode,
+    scratch: &mut EvalScratch,
+) -> (EvalResult, bool) {
+    let nq = nfa.num_states();
+    let nv = graph.num_nodes();
+    debug_assert!(source.index() < nv.max(1), "source must be a graph node");
+    let covered = scratch.begin(nq, nv);
+    let mut stats = EvalStats {
+        scratch_reused: usize::from(covered),
+        ..EvalStats::default()
+    };
+    let gen = scratch.generation();
+    let mut found = false;
+    let mut classes = 0usize;
+
+    // Pull machinery: the reversed transition table, plus the shrinking
+    // probe bound — each graph edge labeled `sym` is tested at most once
+    // per reverse transition carrying `sym` *and only while its target
+    // pair is unreached*, so the bound starts at Σ over labeled
+    // transitions of edge_count(label) and is debited as pairs are
+    // reached. The O(|Q|·|V|) unreached-candidate sweep is priced
+    // separately (discounted: contiguous mark reads, not edge probes).
+    let mut bound = PullBound {
+        active: mode != FrontierMode::ForcedSparse,
+        remaining: 0,
+    };
+    let sweep_cost = (nq * nv) / PULL_SWEEP_DISCOUNT;
+    if bound.active {
+        scratch.build_rev_trans(nfa);
+        let gstats = graph.stats();
+        let mut total = 0usize;
+        for q in 0..nq {
+            for &(sym, _) in nfa.transitions(q as StateId) {
+                total = total.saturating_add(gstats.edge_count(sym));
+            }
+        }
+        bound.remaining = total;
+    }
+
+    if nv > 0
+        && push_sparse(
+            nfa.start(),
+            source,
+            nv,
+            gen,
+            &mut scratch.seen,
+            &mut scratch.frontier,
+        )
+        && bound.active
+    {
+        bound.debit(pair_pull_probes(
+            graph,
+            reverse_adj,
+            &scratch.rev_trans,
+            &scratch.rev_trans_off,
+            nfa.start(),
+            source,
+        ));
+    }
+
+    let mut depth = 0usize;
+    'bfs: while !scratch.frontier.is_empty() {
+        // ε-closure inside the level: ε-moves advance the automaton without
+        // consuming an edge, so their targets belong to the same BFS level.
+        let mut i = 0;
+        while i < scratch.frontier.len() {
+            let (q, v) = scratch.frontier[i];
+            i += 1;
+            for &q2 in nfa.eps_transitions(q) {
+                if push_sparse(q2, v, nv, gen, &mut scratch.seen, &mut scratch.frontier)
+                    && bound.active
+                {
+                    bound.debit(pair_pull_probes(
+                        graph,
+                        reverse_adj,
+                        &scratch.rev_trans,
+                        &scratch.rev_trans_off,
+                        q2,
+                        v,
+                    ));
+                }
+            }
+        }
+        stats.frontier_peak = stats.frontier_peak.max(scratch.frontier.len());
+
+        // Answer/accept pass over the closed level.
+        for &(q, v) in &scratch.frontier {
+            stats.pairs_visited += 1;
+            if scratch.state_marks[q as usize] != gen {
+                scratch.state_marks[q as usize] = gen;
+                classes += 1;
+            }
+            if nfa.is_accepting(q) && scratch.answer_marks[v.index()] != gen {
+                scratch.answer_marks[v.index()] = gen;
+                scratch.answers.push(v);
+                if stop_at == Some(v) {
+                    found = true;
+                    break 'bfs;
+                }
+            }
+        }
+
+        // Level `depth` holds pairs first reachable by spelling `depth`
+        // letters; at the cap no longer word can be accepted, so the pairs
+        // are answer-checked above but never expanded — graph edges beyond
+        // the cap are not even scanned.
+        if depth_cap.is_some_and(|cap| depth >= cap) {
+            break 'bfs;
+        }
+
+        // Consume one graph edge per pair: both sweeps produce exactly the
+        // pairs first reachable by spelling `depth + 1` letters.
+        let use_pull = match mode {
+            FrontierMode::ForcedSparse => false,
+            FrontierMode::ForcedDense => true,
+            FrontierMode::Hybrid => {
+                // Exact cost push would pay for this level: row lengths
+                // from the label index — no edge is scanned to price it.
+                let mut push_cost = 0usize;
+                for &(q, v) in &scratch.frontier {
+                    for &(sym, _) in nfa.transitions(q) {
+                        let row = if reverse_adj {
+                            graph.rev(v, sym)
+                        } else {
+                            graph.out(v, sym)
+                        };
+                        push_cost = push_cost.saturating_add(row.len());
+                    }
+                }
+                // Pull's probes are bounded by the remaining unreached
+                // mass; both sweeps produce the same level, so taking the
+                // cheaper one keeps hybrid ≤ forced-sparse everywhere.
+                sweep_cost.saturating_add(bound.remaining) < push_cost
+            }
+        };
+        if use_pull {
+            stats.pull_levels += 1;
+            pull_level(
+                nfa,
+                graph,
+                reverse_adj,
+                nv,
+                gen,
+                scratch,
+                &mut stats,
+                &mut bound,
+            );
+        } else {
+            stats.push_levels += 1;
+            push_level(
+                nfa,
+                graph,
+                reverse_adj,
+                nv,
+                gen,
+                scratch,
+                &mut stats,
+                &mut bound,
+            );
+        }
+
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        scratch.next.clear();
+        depth += 1;
+    }
+
+    // Answers were collected sparsely during the BFS — sort instead of
+    // sweeping all |V| nodes.
+    scratch.answers.sort_unstable();
+    stats.answers = scratch.answers.len();
+    stats.classes_materialized = classes;
+    let answers = std::mem::take(&mut scratch.answers);
+    (EvalResult { answers, stats }, found)
+}
+
+/// `product_search_with` with a fresh arena and the default hybrid mode —
+/// the form used by the one-shot entry points below (pooled callers pass
+/// their own warm scratch).
 pub(crate) fn product_search<G: GraphView>(
     nfa: &Nfa,
     graph: &G,
@@ -83,68 +505,17 @@ pub(crate) fn product_search<G: GraphView>(
     stop_at: Option<Oid>,
     depth_cap: Option<usize>,
 ) -> (EvalResult, bool) {
-    let nq = nfa.num_states();
-    let nv = graph.num_nodes();
-    let mut seen = vec![false; nq * nv];
-    let mut answer = vec![false; nv];
-    let mut state_touched = vec![false; nq];
-    let mut stats = EvalStats::default();
-    let mut found = false;
-
-    let mut frontier: Vec<(StateId, Oid)> = Vec::new();
-    let mut next: Vec<(StateId, Oid)> = Vec::new();
-    push(nfa.start(), source, nv, &mut seen, &mut frontier);
-
-    let mut depth = 0usize;
-    'bfs: while !frontier.is_empty() {
-        // ε-closure inside the level: ε-moves advance the automaton without
-        // consuming an edge, so their targets belong to the same BFS level.
-        let mut i = 0;
-        while i < frontier.len() {
-            let (q, v) = frontier[i];
-            i += 1;
-            for &q2 in nfa.eps_transitions(q) {
-                push(q2, v, nv, &mut seen, &mut frontier);
-            }
-        }
-        // Consume one graph edge per pair: level k holds exactly the pairs
-        // first reachable by spelling k letters.
-        for &(q, v) in &frontier {
-            stats.pairs_visited += 1;
-            state_touched[q as usize] = true;
-            if nfa.is_accepting(q) {
-                answer[v.index()] = true;
-                if stop_at == Some(v) {
-                    found = true;
-                    break 'bfs;
-                }
-            }
-            // Level `depth` holds pairs first reachable by spelling `depth`
-            // letters; at the cap no longer word can be accepted, so the
-            // pairs are answer-checked above but never expanded — graph
-            // edges beyond the cap are not even scanned.
-            if depth_cap.is_some_and(|cap| depth >= cap) {
-                continue;
-            }
-            for &(sym, q2) in nfa.transitions(q) {
-                let targets = if reverse_adj {
-                    graph.rev(v, sym)
-                } else {
-                    graph.out(v, sym)
-                };
-                stats.edges_scanned += targets.len();
-                for v2 in targets {
-                    push(q2, v2, nv, &mut seen, &mut next);
-                }
-            }
-        }
-        std::mem::swap(&mut frontier, &mut next);
-        next.clear();
-        depth += 1;
-    }
-
-    let classes = state_touched.iter().filter(|&&t| t).count();
-    (finish_eval(&answer, classes, stats), found)
+    let mut scratch = EvalScratch::new();
+    product_search_with(
+        nfa,
+        graph,
+        source,
+        reverse_adj,
+        stop_at,
+        depth_cap,
+        FrontierMode::Hybrid,
+        &mut scratch,
+    )
 }
 
 /// Evaluate `L(nfa)` from `source` over a label-indexed snapshot by
@@ -157,6 +528,20 @@ pub(crate) fn product_search<G: GraphView>(
 /// `rpq_graph::DeltaGraph` overlay.
 pub fn eval_product_csr<G: GraphView>(nfa: &Nfa, graph: &G, source: Oid) -> EvalResult {
     product_search(nfa, graph, source, false, None, None).0
+}
+
+/// [`eval_product_csr`] with an explicit [`FrontierMode`] and a
+/// caller-provided [`EvalScratch`] — the pooled hot-path form: a warm
+/// scratch whose capacity covers `|Q|·|V|` makes the whole evaluation
+/// allocation-free (reported via `stats.scratch_reused`).
+pub fn eval_product_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    mode: FrontierMode,
+    scratch: &mut EvalScratch,
+) -> EvalResult {
+    product_search_with(nfa, graph, source, false, None, None, mode, scratch).0
 }
 
 /// [`eval_product_csr`] with a BFS depth cap: levels beyond `depth_cap`
@@ -174,6 +559,29 @@ pub fn eval_product_bounded_csr<G: GraphView>(
     product_search(nfa, graph, source, false, None, Some(depth_cap)).0
 }
 
+/// [`eval_product_bounded_csr`] with an explicit mode and caller-provided
+/// scratch (see [`eval_product_csr_with`]).
+pub fn eval_product_bounded_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    depth_cap: usize,
+    mode: FrontierMode,
+    scratch: &mut EvalScratch,
+) -> EvalResult {
+    product_search_with(
+        nfa,
+        graph,
+        source,
+        false,
+        None,
+        Some(depth_cap),
+        mode,
+        scratch,
+    )
+    .0
+}
+
 /// The backward ([`eval_product_backward_reversed_csr`]) form of
 /// [`eval_product_bounded_csr`]: already-reversed automaton, reverse
 /// adjacency, capped depth.
@@ -184,6 +592,29 @@ pub fn eval_product_bounded_backward_reversed_csr<G: GraphView>(
     depth_cap: usize,
 ) -> EvalResult {
     product_search(reversed, graph, target, true, None, Some(depth_cap)).0
+}
+
+/// [`eval_product_bounded_backward_reversed_csr`] with an explicit mode and
+/// caller-provided scratch (see [`eval_product_csr_with`]).
+pub fn eval_product_bounded_backward_reversed_csr_with<G: GraphView>(
+    reversed: &Nfa,
+    graph: &G,
+    target: Oid,
+    depth_cap: usize,
+    mode: FrontierMode,
+    scratch: &mut EvalScratch,
+) -> EvalResult {
+    product_search_with(
+        reversed,
+        graph,
+        target,
+        true,
+        None,
+        Some(depth_cap),
+        mode,
+        scratch,
+    )
+    .0
 }
 
 /// The target-bound evaluation `{o | target ∈ p(o, I)}`: all objects that
@@ -212,6 +643,18 @@ pub fn eval_product_backward_reversed_csr<G: GraphView>(
     product_search(reversed, graph, target, true, None, None).0
 }
 
+/// [`eval_product_backward_reversed_csr`] with an explicit mode and
+/// caller-provided scratch (see [`eval_product_csr_with`]).
+pub fn eval_product_backward_reversed_csr_with<G: GraphView>(
+    reversed: &Nfa,
+    graph: &G,
+    target: Oid,
+    mode: FrontierMode,
+    scratch: &mut EvalScratch,
+) -> EvalResult {
+    product_search_with(reversed, graph, target, true, None, None, mode, scratch).0
+}
+
 /// Evaluate `L(nfa)` from `source` over `instance`.
 ///
 /// Compatibility wrapper: snapshots the instance into a [`CsrGraph`] and
@@ -227,15 +670,29 @@ pub fn eval_product(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalResult {
 /// transition it scans the node's *entire* out-edge list and filters by
 /// label, so `stats.edges_scanned` grows with `outdegree × fanout`.
 pub fn eval_product_scan(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalResult {
+    fn push_scan(
+        q: StateId,
+        v: Oid,
+        nv: usize,
+        seen: &mut [bool],
+        queue: &mut Vec<(StateId, Oid)>,
+    ) {
+        let idx = q as usize * nv + v.index();
+        if !seen[idx] {
+            seen[idx] = true;
+            queue.push((q, v));
+        }
+    }
+
     let nq = nfa.num_states();
     let nv = instance.num_nodes();
-    let mut seen = vec![false; nq * nv];
-    let mut answer = vec![false; nv];
-    let mut state_touched = vec![false; nq];
+    let mut seen = vec![false; nq * nv]; // alloc-ok: scan baseline, measured against — not a hot path
+    let mut answer = vec![false; nv]; // alloc-ok: scan baseline
+    let mut state_touched = vec![false; nq]; // alloc-ok: scan baseline
     let mut stats = EvalStats::default();
 
-    let mut queue: Vec<(StateId, Oid)> = Vec::new();
-    push(nfa.start(), source, nv, &mut seen, &mut queue);
+    let mut queue: Vec<(StateId, Oid)> = Vec::new(); // alloc-ok: scan baseline
+    push_scan(nfa.start(), source, nv, &mut seen, &mut queue);
     while let Some((q, v)) = queue.pop() {
         stats.pairs_visited += 1;
         state_touched[q as usize] = true;
@@ -243,13 +700,13 @@ pub fn eval_product_scan(nfa: &Nfa, instance: &Instance, source: Oid) -> EvalRes
             answer[v.index()] = true;
         }
         for &q2 in nfa.eps_transitions(q) {
-            push(q2, v, nv, &mut seen, &mut queue);
+            push_scan(q2, v, nv, &mut seen, &mut queue);
         }
         for &(sym, q2) in nfa.transitions(q) {
             for &(label, v2) in instance.out_edges(v) {
                 stats.edges_scanned += 1;
                 if label == sym {
-                    push(q2, v2, nv, &mut seen, &mut queue);
+                    push_scan(q2, v2, nv, &mut seen, &mut queue);
                 }
             }
         }

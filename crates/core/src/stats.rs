@@ -65,6 +65,20 @@ pub struct EvalStats {
     /// (amortized to zero on plan-memo hits, which re-report the plan-time
     /// figure).
     pub analysis_ns: u64,
+    /// BFS levels the hybrid product search expanded in sparse *push* mode
+    /// (0 for non-product engines).
+    pub push_levels: usize,
+    /// BFS levels the hybrid product search expanded in dense *pull* mode —
+    /// nonzero only when the direction-optimizing switch fired (or pull was
+    /// forced).
+    pub pull_levels: usize,
+    /// Largest per-level frontier, in (state, node) pairs — the signal the
+    /// planner will calibrate the push/pull switch threshold from.
+    pub frontier_peak: usize,
+    /// Evaluations served from a warm `ScratchPool` buffer whose capacity
+    /// already covered this query's |Q|·|V| shape (no fresh allocation on
+    /// the hot path).
+    pub scratch_reused: usize,
 }
 
 impl EvalStats {
@@ -98,5 +112,11 @@ impl EvalStats {
         self.rewrites_certified += other.rewrites_certified;
         self.rewrites_rejected += other.rewrites_rejected;
         self.analysis_ns += other.analysis_ns;
+        // Hot-path telemetry: level and reuse counters sum like any work
+        // counter; the frontier peak is a high-water mark, so it maxes.
+        self.push_levels += other.push_levels;
+        self.pull_levels += other.pull_levels;
+        self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
+        self.scratch_reused += other.scratch_reused;
     }
 }

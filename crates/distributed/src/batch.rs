@@ -14,12 +14,15 @@
 //! an embarrassingly parallel outer loop around a set-at-a-time inner
 //! kernel, with no shared mutable state beyond the snapshot.
 
+use std::sync::Arc;
 use std::thread;
 
 use crossbeam::channel::unbounded;
 
+use rpq_automata::Nfa;
 use rpq_core::{
-    eval_product_batch_csr, BatchResult, Engine, EvalResult, EvalStats, ProductEngine, Query,
+    eval_product_batch_csr_with, eval_product_to_batch_csr_with, BatchResult, Engine, EvalResult,
+    EvalStats, ProductEngine, Query, ScratchPool,
 };
 use rpq_graph::{CsrGraph, Oid};
 
@@ -27,42 +30,54 @@ use rpq_graph::{CsrGraph, Oid};
 ///
 /// `eval` delegates to the single-source product BFS; `eval_batch` fans the
 /// source set out over `workers` threads, each running the bit-parallel
-/// batch kernel on its chunk of the (shared, immutable) snapshot.
-#[derive(Clone, Copy, Debug)]
+/// batch kernel on its chunk of the (shared, immutable) snapshot;
+/// `eval_to_batch` does the same with *target* lanes over the reversed NFA
+/// and reverse adjacency. Every worker draws its arenas from a shared
+/// [`ScratchPool`], so steady-state batches allocate no frontier memory.
+#[derive(Clone, Debug)]
 pub struct PartitionedBatchEngine {
     /// Number of worker threads to partition the source set across.
     pub workers: usize,
+    pool: Arc<ScratchPool>,
 }
 
-impl Default for PartitionedBatchEngine {
-    fn default() -> Self {
-        PartitionedBatchEngine { workers: 4 }
-    }
-}
-
-impl Engine for PartitionedBatchEngine {
-    fn name(&self) -> &'static str {
-        "batch-partitioned"
+impl PartitionedBatchEngine {
+    /// A driver over `workers` threads with a fresh scratch pool.
+    pub fn new(workers: usize) -> PartitionedBatchEngine {
+        PartitionedBatchEngine {
+            workers,
+            pool: Arc::new(ScratchPool::new()),
+        }
     }
 
-    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
-        ProductEngine.eval(query, graph, source)
+    /// The scratch pool shared by this driver's workers (cloned engines
+    /// share the same pool).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.pool
     }
 
-    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+    /// Fan `items` out over the workers, run `kernel` on each chunk with a
+    /// pooled scratch, and stitch the per-chunk results back in order.
+    fn run_partitioned<K>(&self, items: &[Oid], kernel: K) -> BatchResult
+    where
+        K: Fn(&[Oid], &mut rpq_core::EvalScratch) -> BatchResult + Sync,
+    {
         let workers = self.workers.max(1);
-        if sources.is_empty() || workers == 1 {
-            return eval_product_batch_csr(query.nfa(), graph, sources);
+        if items.is_empty() || workers == 1 {
+            let mut scratch = self.pool.checkout();
+            return kernel(items, &mut scratch);
         }
         // Contiguous chunks, one per worker (last workers may be idle when
-        // there are fewer sources than threads).
-        let chunk_len = sources.len().div_ceil(workers);
+        // there are fewer items than threads).
+        let chunk_len = items.len().div_ceil(workers);
         let (tx, rx) = unbounded::<(usize, BatchResult)>();
+        let (pool, kernel) = (&self.pool, &kernel);
         thread::scope(|scope| {
-            for (idx, chunk) in sources.chunks(chunk_len).enumerate() {
+            for (idx, chunk) in items.chunks(chunk_len).enumerate() {
                 let tx = tx.clone();
                 scope.spawn(move || {
-                    let res = eval_product_batch_csr(query.nfa(), graph, chunk);
+                    let mut scratch = pool.checkout();
+                    let res = kernel(chunk, &mut scratch);
                     tx.send((idx, res)).expect("result channel open");
                 });
             }
@@ -78,7 +93,7 @@ impl Engine for PartitionedBatchEngine {
         }
         let mut stats = EvalStats::default();
         let mut classes_max = 0usize;
-        let mut per_source: Vec<Vec<Oid>> = Vec::with_capacity(sources.len());
+        let mut per_source: Vec<Vec<Oid>> = Vec::with_capacity(items.len());
         for chunk in chunks {
             let chunk = chunk.expect("every chunk reports");
             stats.merge(&chunk.stats);
@@ -96,6 +111,39 @@ impl Engine for PartitionedBatchEngine {
         // single-threaded kernel's number.
         stats.classes_materialized = classes_max;
         BatchResult::from_per_source(per_source, stats)
+    }
+}
+
+impl Default for PartitionedBatchEngine {
+    fn default() -> Self {
+        PartitionedBatchEngine::new(4)
+    }
+}
+
+impl Engine for PartitionedBatchEngine {
+    fn name(&self) -> &'static str {
+        "batch-partitioned"
+    }
+
+    fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult {
+        ProductEngine.eval(query, graph, source)
+    }
+
+    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
+        self.run_partitioned(sources, |chunk, scratch| {
+            eval_product_batch_csr_with(query.nfa(), graph, chunk, scratch)
+        })
+    }
+
+    /// Multi-target batch: one reversal of the query's NFA serves every
+    /// worker, each running the bit-parallel backward wave
+    /// ([`rpq_core::eval_product_to_batch_csr`]) over its chunk of the
+    /// target set.
+    fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
+        let reversed: Nfa = query.nfa().reverse();
+        self.run_partitioned(targets, |chunk, scratch| {
+            eval_product_to_batch_csr_with(&reversed, graph, chunk, scratch)
+        })
     }
 }
 
@@ -118,7 +166,7 @@ mod tests {
         for qs in ["l0.(l1+l2)*", "(l0+l1+l2)*", "l2.l2"] {
             let query = Query::parse(&mut ab, qs).unwrap();
             for workers in [1usize, 3, 8, 64] {
-                let engine = PartitionedBatchEngine { workers };
+                let engine = PartitionedBatchEngine::new(workers);
                 let batch = engine.eval_batch(&query, &csr, &sources);
                 let per = batch.per_source().unwrap();
                 assert_eq!(per.len(), sources.len());

@@ -229,25 +229,34 @@ impl Site {
         }
 
         // spawn quotient subqueries along distinct (label, neighbor) pairs;
-        // the row is sorted, so each label group pays for one derivative
-        let edges = self.edges.clone();
-        for group in edges.chunk_by(|a, b| a.0 == b.0) {
-            let quotient = derivative(&query, group[0].0);
-            if quotient == Regex::Empty {
-                continue;
+        // the row is sorted, so each label group pays for one derivative.
+        // Groups are walked by index — `fresh_mid` and the waiting-index
+        // inserts mutate `self`, so a borrowed iterator over `self.edges`
+        // would force a per-message clone of the shard.
+        let mut lo = 0;
+        while lo < self.edges.len() {
+            let sym = self.edges[lo].0;
+            let mut hi = lo + 1;
+            while hi < self.edges.len() && self.edges[hi].0 == sym {
+                hi += 1;
             }
-            for &(_, neighbor) in group {
-                let smid = self.fresh_mid();
-                out.push(Message::Subquery {
-                    mid: smid,
-                    sender: self.id,
-                    receiver: neighbor,
-                    destination,
-                    query: quotient.clone(),
-                });
-                waiting.push(smid);
-                self.waiting_index.insert(smid, key.clone());
+            let quotient = derivative(&query, sym);
+            if quotient != Regex::Empty {
+                for idx in lo..hi {
+                    let neighbor = self.edges[idx].1;
+                    let smid = self.fresh_mid();
+                    out.push(Message::Subquery {
+                        mid: smid,
+                        sender: self.id,
+                        receiver: neighbor,
+                        destination,
+                        query: quotient.clone(),
+                    });
+                    waiting.push(smid);
+                    self.waiting_index.insert(smid, key.clone());
+                }
             }
+            lo = hi;
         }
 
         if waiting.is_empty() {

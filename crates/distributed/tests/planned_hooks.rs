@@ -79,7 +79,7 @@ fn planned_engine_wraps_all_distributed_runners() {
         )),
         Box::new(PlannedEngine::new(ThreadedEngine, set.clone(), ab.clone())),
         Box::new(PlannedEngine::new(
-            PartitionedBatchEngine { workers: 3 },
+            PartitionedBatchEngine::new(3),
             set.clone(),
             ab.clone(),
         )),
@@ -94,7 +94,7 @@ fn planned_engine_wraps_all_distributed_runners() {
 fn analysis_facts_flow_through_the_distributed_wrappers() {
     let (mut ab, set, inst, v0) = cached_workload(4);
     let graph = CsrGraph::from(&inst);
-    let planned = PlannedEngine::new(PartitionedBatchEngine { workers: 2 }, set, ab.clone());
+    let planned = PlannedEngine::new(PartitionedBatchEngine::new(2), set, ab.clone());
     let query = Query::parse(&mut ab, "(a.b)*").unwrap();
 
     // The cache substitution fires, certifies against the constraint
@@ -122,7 +122,7 @@ fn partitioned_batch_workers_share_one_plan() {
     let (mut ab, set, inst, v0) = cached_workload(5);
     let graph = CsrGraph::from(&inst);
     let query = Query::parse(&mut ab, "(a.b)*").unwrap();
-    let planned = PlannedEngine::new(PartitionedBatchEngine { workers: 4 }, set, ab.clone());
+    let planned = PlannedEngine::new(PartitionedBatchEngine::new(4), set, ab.clone());
 
     // every node is a source: the fan-out re-uses the single memoized plan
     let sources: Vec<Oid> = graph.nodes().collect();

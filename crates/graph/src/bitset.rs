@@ -18,10 +18,17 @@
 //! wave) and reset in place, so the hot loops never allocate.
 
 /// A fixed-capacity set of node indices stored as `u64` blocks.
+///
+/// Maintains a running set-bit count so [`NodeBitset::is_empty`] and
+/// [`NodeBitset::count`] are O(1) — BFS loops ask "is the frontier empty"
+/// once per level, and the hybrid product search sizes its frontiers from
+/// `count()` when deciding between push and pull expansion.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeBitset {
     blocks: Vec<u64>,
     len: usize,
+    /// Number of set bits, maintained by every mutation.
+    ones: usize,
 }
 
 impl NodeBitset {
@@ -30,6 +37,7 @@ impl NodeBitset {
         NodeBitset {
             blocks: vec![0; len.div_ceil(64)],
             len,
+            ones: 0,
         }
     }
 
@@ -38,9 +46,9 @@ impl NodeBitset {
         self.len
     }
 
-    /// True if no bit is set.
+    /// True if no bit is set — O(1) via the maintained count.
     pub fn is_empty(&self) -> bool {
-        self.blocks.iter().all(|&b| b == 0)
+        self.ones == 0
     }
 
     /// Set bit `i`; returns `true` if it was newly set.
@@ -49,6 +57,7 @@ impl NodeBitset {
         let (block, bit) = (i / 64, 1u64 << (i % 64));
         let newly = self.blocks[block] & bit == 0;
         self.blocks[block] |= bit;
+        self.ones += usize::from(newly);
         newly
     }
 
@@ -58,47 +67,56 @@ impl NodeBitset {
         self.blocks[i / 64] & (1u64 << (i % 64)) != 0
     }
 
-    /// Number of set bits.
+    /// Number of set bits — O(1) via the maintained count.
     pub fn count(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        self.ones
     }
 
-    /// Clear all bits (retains the allocation).
+    /// Clear all bits (retains the allocation). O(1) when already empty.
     pub fn clear(&mut self) {
-        self.blocks.fill(0);
+        if self.ones != 0 {
+            self.blocks.fill(0);
+            self.ones = 0;
+        }
     }
 
     /// OR `other` into `self`; returns `true` if any bit changed.
     pub fn union_with(&mut self, other: &NodeBitset) -> bool {
         debug_assert_eq!(self.len, other.len);
-        let mut changed = false;
+        let mut gained = 0usize;
         for (a, &b) in self.blocks.iter_mut().zip(&other.blocks) {
-            let merged = *a | b;
-            changed |= merged != *a;
-            *a = merged;
+            let fresh = b & !*a;
+            gained += fresh.count_ones() as usize;
+            *a |= fresh;
         }
-        changed
+        self.ones += gained;
+        gained != 0
     }
 
-    /// Iterate set bits in increasing order.
+    /// Iterate set bits in increasing order, skipping all-zero blocks
+    /// without entering the per-bit extraction loop.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            let mut b = block;
-            std::iter::from_fn(move || {
-                if b == 0 {
-                    return None;
-                }
-                let t = b.trailing_zeros() as usize;
-                b &= b - 1;
-                Some(bi * 64 + t)
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|&(_, &block)| block != 0)
+            .flat_map(|(bi, &block)| {
+                let mut b = block;
+                std::iter::from_fn(move || {
+                    if b == 0 {
+                        return None;
+                    }
+                    let t = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * 64 + t)
+                })
             })
-        })
     }
 }
 
 /// One [`NodeBitset`] per automaton state, spanning all graph nodes — the
 /// frontier (or visited-set) shape of the union-mode batched BFS.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct FrontierArena {
     per_state: Vec<NodeBitset>,
 }
@@ -126,9 +144,17 @@ impl FrontierArena {
         &mut self.per_state[q]
     }
 
-    /// True if every per-state bitset is empty (the BFS is done).
+    /// True if every per-state bitset is empty (the BFS is done). O(states):
+    /// each per-state check reads a maintained count instead of scanning
+    /// blocks.
     pub fn is_empty(&self) -> bool {
-        self.per_state.iter().all(|b| b.is_empty())
+        self.per_state.iter().all(NodeBitset::is_empty)
+    }
+
+    /// Total set bits across all states — the frontier size in
+    /// (state, node) pairs. O(states).
+    pub fn count(&self) -> usize {
+        self.per_state.iter().map(NodeBitset::count).sum()
     }
 
     /// Clear every per-state bitset (retains allocations).
@@ -148,7 +174,7 @@ impl FrontierArena {
 /// `(q, v)` says source-lane `i` has reached node `v` in automaton state
 /// `q`. The source-partition bitmap of the bit-parallel batched product
 /// engine (waves of up to 64 lanes).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct LaneMatrix {
     nv: usize,
     masks: Vec<u64>,
@@ -239,7 +265,11 @@ mod tests {
         let mut f = FrontierArena::new(3, 10);
         let mut g = FrontierArena::new(3, 10);
         f.state_mut(1).insert(7);
+        f.state_mut(2).insert(1);
         assert!(!f.is_empty());
+        assert_eq!(f.count(), 2);
+        f.state_mut(2).clear();
+        assert_eq!(f.count(), 1);
         assert_eq!(f.num_states(), 3);
         f.swap(&mut g);
         assert!(f.is_empty());

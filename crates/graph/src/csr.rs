@@ -296,6 +296,18 @@ impl CsrGraph {
         }
     }
 
+    /// `v`'s *in*-row grouped by label: yields `(label, sources)` once per
+    /// distinct label — the transpose of [`CsrGraph::out_groups`], used by
+    /// the dense *pull* step of the hybrid product BFS to probe all labels
+    /// arriving at a candidate node in one sorted walk.
+    pub fn rev_groups(&self, v: Oid) -> LabelGroups<'_> {
+        let (start, end) = (self.in_offsets[v.index()], self.in_offsets[v.index() + 1]);
+        LabelGroups {
+            labels: &self.in_labels[start..end],
+            endpoints: &self.in_sources[start..end],
+        }
+    }
+
     /// Iterate over all edges as `(source, label, target)` triples.
     pub fn edges(&self) -> impl Iterator<Item = (Oid, Symbol, Oid)> + '_ {
         self.nodes()

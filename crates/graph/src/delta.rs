@@ -269,6 +269,21 @@ impl DeltaGraph {
             v,
             next_label: 0,
             num_labels: self.num_label_slots(),
+            reverse: false,
+        })
+    }
+
+    /// `v`'s *in*-row grouped by label — the transpose of
+    /// [`DeltaGraph::out_groups`], served from the reverse log orientation
+    /// via one [`DeltaGraph::rev`] probe per label slot. Feeds the dense
+    /// pull step of the hybrid product BFS over mutated snapshots.
+    pub fn rev_groups(&self, v: Oid) -> ViewGroups<'_> {
+        ViewGroups::Delta(DeltaGroups {
+            graph: self,
+            v,
+            next_label: 0,
+            num_labels: self.num_label_slots(),
+            reverse: true,
         })
     }
 
@@ -435,6 +450,10 @@ impl GraphView for DeltaGraph {
     fn out_groups(&self, v: Oid) -> ViewGroups<'_> {
         DeltaGraph::out_groups(self, v)
     }
+
+    fn rev_groups(&self, v: Oid) -> ViewGroups<'_> {
+        DeltaGraph::rev_groups(self, v)
+    }
 }
 
 /// A `DeltaGraph` is also a [`GraphSource`], so the streaming evaluator
@@ -447,14 +466,16 @@ impl GraphSource for DeltaGraph {
     }
 }
 
-/// Iterator behind [`DeltaGraph::out_groups`]: walks label slots in
-/// ascending order, yielding each label whose overlay row segment is
-/// non-empty.
+/// Iterator behind [`DeltaGraph::out_groups`] / [`DeltaGraph::rev_groups`]:
+/// walks label slots in ascending order, yielding each label whose overlay
+/// row segment (in the requested orientation) is non-empty.
 pub struct DeltaGroups<'a> {
     graph: &'a DeltaGraph,
     v: Oid,
     next_label: usize,
     num_labels: usize,
+    /// False = out-row (targets), true = in-row (sources).
+    reverse: bool,
 }
 
 impl<'a> Iterator for DeltaGroups<'a> {
@@ -464,7 +485,11 @@ impl<'a> Iterator for DeltaGroups<'a> {
         while self.next_label < self.num_labels {
             let label = Symbol::from_index(self.next_label);
             self.next_label += 1;
-            let edges = self.graph.out(self.v, label);
+            let edges = if self.reverse {
+                self.graph.rev(self.v, label)
+            } else {
+                self.graph.out(self.v, label)
+            };
             if !edges.is_empty() {
                 return Some((label, edges));
             }
@@ -558,6 +583,20 @@ mod tests {
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0], (a, vec![Oid(2)]));
         assert_eq!(groups[1], (b, vec![Oid(1), Oid(2)]));
+    }
+
+    #[test]
+    fn rev_groups_partition_the_transposed_overlay_row() {
+        let (ab, inst) = sample();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        let b = ab.get("b").unwrap();
+        let (s, x, y) = (Oid(0), Oid(1), Oid(2));
+        dg.delete_edge(s, a, x);
+        dg.add_edge(y, a, x);
+        let groups: Vec<(Symbol, Vec<Oid>)> =
+            dg.rev_groups(x).map(|(l, ss)| (l, ss.collect())).collect();
+        assert_eq!(groups, vec![(a, vec![y]), (b, vec![s, y])]);
     }
 
     #[test]

@@ -266,6 +266,13 @@ pub trait GraphView {
     /// targets — the label-dependent-work-once-per-label contract of
     /// [`CsrGraph::out_groups`], over any view.
     fn out_groups(&self, v: Oid) -> ViewGroups<'_>;
+
+    /// `v`'s *in*-row grouped by label: each distinct label once, with the
+    /// sources of its incoming edges — the transpose of
+    /// [`GraphView::out_groups`]. The dense pull step of the hybrid product
+    /// BFS walks this row for every unreached candidate node, so both
+    /// snapshot forms must serve it without materializing.
+    fn rev_groups(&self, v: Oid) -> ViewGroups<'_>;
 }
 
 impl GraphView for CsrGraph {
@@ -295,6 +302,10 @@ impl GraphView for CsrGraph {
 
     fn out_groups(&self, v: Oid) -> ViewGroups<'_> {
         ViewGroups::Csr(CsrGraph::out_groups(self, v))
+    }
+
+    fn rev_groups(&self, v: Oid) -> ViewGroups<'_> {
+        ViewGroups::Csr(CsrGraph::rev_groups(self, v))
     }
 }
 

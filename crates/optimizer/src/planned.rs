@@ -60,10 +60,11 @@ use rpq_automata::{Alphabet, Nfa, Regex, Symbol};
 use rpq_constraints::general::Budget;
 use rpq_constraints::ConstraintSet;
 use rpq_core::{
-    eval_product_backward_reversed_csr, eval_product_bounded_backward_reversed_csr,
-    eval_product_bounded_csr, eval_product_csr, eval_product_pair_backward_reversed_csr,
-    eval_product_pair_csr, eval_product_pair_forward_csr, BatchResult, Engine, EvalResult,
-    EvalStats, PairResult, Query,
+    eval_product_backward_reversed_csr_with, eval_product_bounded_backward_reversed_csr_with,
+    eval_product_bounded_csr_with, eval_product_csr_with,
+    eval_product_pair_backward_reversed_csr_with, eval_product_pair_forward_csr_with,
+    eval_product_pair_reversed_csr_with, eval_product_to_batch_csr_with, BatchResult, Engine,
+    EvalResult, EvalStats, FrontierMode, PairResult, Query, ScratchPool,
 };
 use rpq_graph::{CsrGraph, GraphView, LabelStats, Oid};
 
@@ -164,6 +165,7 @@ pub struct PlannedEngine<E> {
     memo: Mutex<HashMap<Regex, Vec<MemoEntry>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    scratch: ScratchPool,
 }
 
 impl<E> PlannedEngine<E> {
@@ -179,6 +181,7 @@ impl<E> PlannedEngine<E> {
             memo: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -209,6 +212,15 @@ impl<E> PlannedEngine<E> {
     /// The wrapped engine.
     pub fn inner(&self) -> &E {
         &self.inner
+    }
+
+    /// The evaluation scratch pool this engine's product-BFS entry points
+    /// draw working memory from: after warm-up, repeated queries of
+    /// covered `|Q|·|V|` shape allocate nothing (`ScratchPool::reuses`
+    /// counts the warm checkouts; every evaluation also reports
+    /// `stats.scratch_reused` when its buffers were capacity-covered).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.scratch
     }
 
     /// Number of distinct (query, snapshot) plans memoized.
@@ -383,9 +395,23 @@ impl<E> PlannedEngine<E> {
         if plan.facts.statically_empty {
             return self.empty_result(&plan, hit);
         }
+        let mut scratch = self.scratch.checkout();
         let mut res = match plan.facts.max_word_len {
-            Some(cap) => eval_product_bounded_csr(plan.query.nfa(), graph, source, cap),
-            None => eval_product_csr(plan.query.nfa(), graph, source),
+            Some(cap) => eval_product_bounded_csr_with(
+                plan.query.nfa(),
+                graph,
+                source,
+                cap,
+                FrontierMode::Hybrid,
+                &mut scratch,
+            ),
+            None => eval_product_csr_with(
+                plan.query.nfa(),
+                graph,
+                source,
+                FrontierMode::Hybrid,
+                &mut scratch,
+            ),
         };
         self.stamp(&mut res.stats, &plan, hit);
         res
@@ -399,11 +425,23 @@ impl<E> PlannedEngine<E> {
         if plan.facts.statically_empty {
             return self.empty_result(&plan, hit);
         }
+        let mut scratch = self.scratch.checkout();
         let mut res = match plan.facts.max_word_len {
-            Some(cap) => {
-                eval_product_bounded_backward_reversed_csr(&plan.reversed, graph, target, cap)
-            }
-            None => eval_product_backward_reversed_csr(&plan.reversed, graph, target),
+            Some(cap) => eval_product_bounded_backward_reversed_csr_with(
+                &plan.reversed,
+                graph,
+                target,
+                cap,
+                FrontierMode::Hybrid,
+                &mut scratch,
+            ),
+            None => eval_product_backward_reversed_csr_with(
+                &plan.reversed,
+                graph,
+                target,
+                FrontierMode::Hybrid,
+                &mut scratch,
+            ),
         };
         self.stamp(&mut res.stats, &plan, hit);
         res
@@ -429,12 +467,32 @@ impl<E> PlannedEngine<E> {
             return res;
         }
         let nfa = plan.query.nfa();
+        let mut scratch = self.scratch.checkout();
         let mut res = match plan.direction {
-            Direction::Forward => eval_product_pair_forward_csr(nfa, graph, source, target),
-            Direction::Backward => {
-                eval_product_pair_backward_reversed_csr(&plan.reversed, graph, source, target)
-            }
-            Direction::Bidirectional => eval_product_pair_csr(nfa, graph, source, target),
+            Direction::Forward => eval_product_pair_forward_csr_with(
+                nfa,
+                graph,
+                source,
+                target,
+                FrontierMode::Hybrid,
+                &mut scratch,
+            ),
+            Direction::Backward => eval_product_pair_backward_reversed_csr_with(
+                &plan.reversed,
+                graph,
+                source,
+                target,
+                FrontierMode::Hybrid,
+                &mut scratch,
+            ),
+            Direction::Bidirectional => eval_product_pair_reversed_csr_with(
+                nfa,
+                &plan.reversed,
+                graph,
+                source,
+                target,
+                &mut scratch,
+            ),
         };
         self.stamp(&mut res.stats, &plan, hit);
         res
@@ -485,7 +543,15 @@ impl<E: Engine> Engine for PlannedEngine<E> {
         // product BFS depth exactly, so the bounded search beats any
         // unbounded strategy the inner engine might pick.
         if let Some(cap) = plan.facts.max_word_len {
-            let mut res = eval_product_bounded_csr(plan.query.nfa(), graph, source, cap);
+            let mut scratch = self.scratch.checkout();
+            let mut res = eval_product_bounded_csr_with(
+                plan.query.nfa(),
+                graph,
+                source,
+                cap,
+                FrontierMode::Hybrid,
+                &mut scratch,
+            );
             self.stamp(&mut res.stats, &plan, hit);
             return res;
         }
@@ -519,8 +585,13 @@ impl<E: Engine> Engine for PlannedEngine<E> {
         PlannedEngine::eval_to(self, query, graph, target)
     }
 
-    /// One plan serves the whole multi-target batch; each target runs the
-    /// backward product BFS with the shared reversed automaton.
+    /// One plan serves the whole multi-target batch. The unbounded path
+    /// runs the bit-parallel backward wave
+    /// ([`rpq_core::eval_product_to_batch_csr_with`]) with the plan's
+    /// cached reversed automaton — waves of up to 64 target lanes, one
+    /// reverse-row pass advancing every pending target at once. Finite
+    /// languages keep the per-target bounded loop (the exact depth cap
+    /// beats lane sharing on short words).
     fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
         let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
         let mut stats = EvalStats::default();
@@ -528,19 +599,32 @@ impl<E: Engine> Engine for PlannedEngine<E> {
             self.stamp(&mut stats, &plan, hit);
             return BatchResult::from_per_source(vec![Vec::new(); targets.len()], stats);
         }
-        let mut per_target = Vec::with_capacity(targets.len());
-        for &t in targets {
-            let r = match plan.facts.max_word_len {
-                Some(cap) => {
-                    eval_product_bounded_backward_reversed_csr(&plan.reversed, graph, t, cap)
+        let mut scratch = self.scratch.checkout();
+        match plan.facts.max_word_len {
+            Some(cap) => {
+                let mut per_target = Vec::with_capacity(targets.len());
+                for &t in targets {
+                    let r = eval_product_bounded_backward_reversed_csr_with(
+                        &plan.reversed,
+                        graph,
+                        t,
+                        cap,
+                        FrontierMode::Hybrid,
+                        &mut scratch,
+                    );
+                    stats.merge(&r.stats);
+                    per_target.push(r.answers);
                 }
-                None => eval_product_backward_reversed_csr(&plan.reversed, graph, t),
-            };
-            stats.merge(&r.stats);
-            per_target.push(r.answers);
+                self.stamp(&mut stats, &plan, hit);
+                BatchResult::from_per_source(per_target, stats)
+            }
+            None => {
+                let mut res =
+                    eval_product_to_batch_csr_with(&plan.reversed, graph, targets, &mut scratch);
+                self.stamp(&mut res.stats, &plan, hit);
+                res
+            }
         }
-        self.stamp(&mut stats, &plan, hit);
-        BatchResult::from_per_source(per_target, stats)
     }
 }
 

@@ -288,7 +288,7 @@ fn batch_engines() -> Vec<Box<dyn Engine>> {
         Box::new(ProductEngine),
         Box::new(QuotientDfaEngine),
         Box::new(DatalogSeminaiveEngine),
-        Box::new(rpq::distributed::PartitionedBatchEngine { workers: 3 }),
+        Box::new(rpq::distributed::PartitionedBatchEngine::new(3)),
         // default-impl paths
         Box::new(DerivativeEngine),
         Box::new(StreamingEngine::default()),
@@ -521,7 +521,7 @@ fn planned_wrapper_never_changes_answers() {
         check!(DerivativeEngine);
         check!(DatalogSeminaiveEngine);
         check!(SimulatorEngine::default());
-        check!(rpq::distributed::PartitionedBatchEngine { workers: 3 });
+        check!(rpq::distributed::PartitionedBatchEngine::new(3));
     }
 }
 

@@ -1,0 +1,227 @@
+//! Hot-path agreement: the direction-optimizing hybrid product BFS is an
+//! *optimization*, never a semantics change. Forced-sparse (classic
+//! push-only frontier), forced-dense (bitset level with pull steps), and
+//! the hybrid switch rule must return identical answer sets — forward and
+//! backward, on the immutable `CsrGraph` snapshot and on a post-delta
+//! `DeltaGraph` epoch — and must agree with every evaluation engine of
+//! Section 2. The pooled [`rpq::core::EvalScratch`] reuse is also pinned
+//! here: warm evaluations report `scratch_reused` and allocate no frontier
+//! memory, across interleaved queries of different `|Q|·|V|` shapes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rpq::automata::random::{random_regex, RegexGenConfig};
+use rpq::automata::{Alphabet, Nfa, Regex, Symbol};
+use rpq::core::{
+    eval_product_backward_reversed_csr_with, eval_product_csr, eval_product_csr_with, eval_to,
+    DerivativeEngine, Engine, EvalScratch, FrontierMode, OracleEngine, ProductEngine, Query,
+    QuotientDfaEngine, ScratchPool, StreamingEngine,
+};
+use rpq::datalog::{DatalogMagicEngine, DatalogNaiveEngine, DatalogSeminaiveEngine};
+use rpq::distributed::{PartitionedBatchEngine, SimulatorEngine};
+use rpq::graph::generators::random_graph;
+use rpq::graph::{CsrGraph, DeltaGraph, GraphView, Instance, Oid};
+use rpq::optimizer::PlannedEngine;
+
+const MODES: [FrontierMode; 3] = [
+    FrontierMode::ForcedSparse,
+    FrontierMode::ForcedDense,
+    FrontierMode::Hybrid,
+];
+
+fn random_setup(seed: u64, nodes: usize, edges: usize) -> (Alphabet, Instance, Oid, Regex) {
+    let ab = Alphabet::from_names(["a", "b", "c"]);
+    let syms: Vec<Symbol> = ab.symbols().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (inst, src) = random_graph(&mut rng, nodes, edges, &syms);
+    let cfg = RegexGenConfig::new(syms);
+    let q = random_regex(&mut rng, &cfg);
+    (ab, inst, src, q)
+}
+
+/// The nine evaluation paths behind the unified `Engine` trait (the anchor
+/// set of `tests/engines_agree.rs`).
+fn nine_engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(ProductEngine),
+        Box::new(QuotientDfaEngine),
+        Box::new(DerivativeEngine),
+        Box::new(OracleEngine {
+            max_word_len: Some(9),
+        }),
+        Box::new(StreamingEngine::default()),
+        Box::new(DatalogNaiveEngine),
+        Box::new(DatalogSeminaiveEngine),
+        Box::new(DatalogMagicEngine),
+        Box::new(SimulatorEngine::default()),
+    ]
+}
+
+/// Run all three frontier modes from `source` over `graph` (forward) and
+/// assert they agree pairwise; returns the (shared) answer set and the
+/// per-mode edge scans, with the hybrid-never-scans-more invariant checked
+/// against forced-sparse.
+fn modes_forward<G: GraphView>(nfa: &Nfa, graph: &G, source: Oid) -> Vec<Oid> {
+    let mut answers: Option<Vec<Oid>> = None;
+    let mut sparse_edges = 0usize;
+    for mode in MODES {
+        let mut scratch = EvalScratch::new();
+        let res = eval_product_csr_with(nfa, graph, source, mode, &mut scratch);
+        match mode {
+            FrontierMode::ForcedSparse => sparse_edges = res.stats.edges_scanned,
+            FrontierMode::Hybrid => assert!(
+                res.stats.edges_scanned <= sparse_edges,
+                "hybrid scanned {} > forced-sparse {} from {source:?}",
+                res.stats.edges_scanned,
+                sparse_edges
+            ),
+            FrontierMode::ForcedDense => {}
+        }
+        match &answers {
+            None => answers = Some(res.answers),
+            Some(a) => assert_eq!(a, &res.answers, "{mode:?} diverges from {source:?}"),
+        }
+    }
+    answers.unwrap_or_default()
+}
+
+/// The backward counterpart of [`modes_forward`] (already-reversed NFA).
+fn modes_backward<G: GraphView>(reversed: &Nfa, graph: &G, target: Oid) -> Vec<Oid> {
+    let mut answers: Option<Vec<Oid>> = None;
+    for mode in MODES {
+        let mut scratch = EvalScratch::new();
+        let res =
+            eval_product_backward_reversed_csr_with(reversed, graph, target, mode, &mut scratch);
+        match &answers {
+            None => answers = Some(res.answers),
+            Some(a) => assert_eq!(a, &res.answers, "{mode:?} diverges to {target:?}"),
+        }
+    }
+    answers.unwrap_or_default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Forced-sparse, forced-dense, and hybrid product searches answer
+    /// identically — forward and backward, and against all nine engines —
+    /// on the `CsrGraph` snapshot *and* on a post-delta `DeltaGraph`
+    /// epoch. The hybrid run never scans more edges than forced-sparse.
+    #[test]
+    fn frontier_modes_agree_with_all_engines(seed in 0u64..10_000) {
+        let (ab, inst, src, q) = random_setup(seed, 6, 12);
+        let graph = CsrGraph::from(&inst);
+        let query = Query::new(q.clone(), &ab);
+        let nfa = query.nfa();
+        let rev = nfa.reverse();
+
+        // forward, all three modes, anchored on the nine-engine set
+        let expected = modes_forward(nfa, &graph, src);
+        for engine in nine_engines() {
+            let got = engine.eval(&query, &graph, src).answers;
+            if engine.name() == "oracle" {
+                for o in &got {
+                    prop_assert!(expected.binary_search(o).is_ok(), "oracle non-answer");
+                }
+            } else {
+                prop_assert_eq!(&got, &expected, "{} vs frontier modes", engine.name());
+            }
+        }
+
+        // backward, all three modes, against the unpooled eval_to
+        for t in graph.nodes() {
+            let back = modes_backward(&rev, &graph, t);
+            prop_assert_eq!(&back, &eval_to(&query, &graph, t).answers, "backward {:?}", t);
+        }
+
+        // post-delta epoch: mutate the view, modes must track the overlay
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let nodes: Vec<Oid> = graph.nodes().collect();
+        let syms: Vec<Symbol> = ab.symbols().collect();
+        dg.add_edge(nodes[seed as usize % nodes.len()], syms[0], nodes[0]);
+        dg.add_edge(nodes[0], syms[seed as usize % syms.len()], nodes[nodes.len() - 1]);
+        for &s in &nodes {
+            let fwd = modes_forward(nfa, &dg, s);
+            prop_assert_eq!(&fwd, &eval_product_csr(nfa, &dg, s).answers, "delta fwd {:?}", s);
+            let back = modes_backward(&rev, &dg, s);
+            prop_assert_eq!(&back, &eval_to(&query, &dg, s).answers, "delta bwd {:?}", s);
+        }
+    }
+}
+
+/// Pooled scratch reuse across interleaved query shapes: a warm
+/// [`EvalScratch`] whose tables already cover `|Q|·|V|` reports
+/// `scratch_reused = 1` and returns the same answers; growing to a larger
+/// shape is a (correct) cold pass; shrinking back is warm again. The
+/// [`ScratchPool`] counters track checkout reuse independently.
+#[test]
+fn scratch_pool_reuse_across_interleaved_shapes() {
+    let (ab_s, inst_s, src_s, q_s) = random_setup(11, 8, 20);
+    let (ab_l, inst_l, src_l, q_l) = random_setup(23, 60, 240);
+    let small = (CsrGraph::from(&inst_s), Nfa::thompson(&q_s), src_s);
+    let large = (CsrGraph::from(&inst_l), Nfa::thompson(&q_l), src_l);
+    drop((ab_s, ab_l));
+
+    let pool = ScratchPool::new();
+    // shape schedule: small (cold) → large (grow) → small (warm) → large
+    // (warm) → small (warm); reuse is capacity-driven, not query-driven
+    let schedule = [
+        (&small, false),
+        (&large, false),
+        (&small, true),
+        (&large, true),
+        (&small, true),
+    ];
+    for (i, ((graph, nfa, src), expect_warm)) in schedule.iter().enumerate() {
+        let mut scratch = pool.checkout();
+        let res = eval_product_csr_with(nfa, graph, *src, FrontierMode::Hybrid, &mut scratch);
+        assert_eq!(
+            res.answers,
+            eval_product_csr(nfa, graph, *src).answers,
+            "pooled answers diverge at step {i}"
+        );
+        let warm = res.stats.scratch_reused > 0;
+        assert_eq!(warm, *expect_warm, "step {i}: warm={warm}");
+        drop(scratch);
+    }
+    // one scratch allocated on the first checkout, reused ever after
+    assert_eq!(pool.allocs(), 1, "pool allocated more than once");
+    assert_eq!(pool.reuses(), schedule.len() - 1);
+    assert_eq!(pool.idle(), 1);
+}
+
+/// The serving engines' built-in pools warm up: repeated queries through a
+/// `PlannedEngine` and a `PartitionedBatchEngine` hit the pool after the
+/// first evaluation, with answers unchanged.
+#[test]
+fn serving_engines_reuse_their_pools() {
+    let (ab, inst, src, q) = random_setup(7, 40, 160);
+    let graph = CsrGraph::from(&inst);
+    let query = Query::new(q, &ab);
+
+    let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+    let first = planned.eval(&query, &graph, src).answers;
+    for _ in 0..3 {
+        assert_eq!(planned.eval(&query, &graph, src).answers, first);
+    }
+    assert_eq!(planned.scratch_pool().allocs(), 1);
+    assert!(
+        planned.scratch_pool().reuses() >= 3,
+        "planned pool never warmed"
+    );
+
+    let batch = PartitionedBatchEngine::new(2);
+    let sources: Vec<Oid> = graph.nodes().take(10).collect();
+    let b1 = batch.eval_batch(&query, &graph, &sources);
+    let b2 = batch.eval_batch(&query, &graph, &sources);
+    assert_eq!(b1.per_source(), b2.per_source());
+    assert!(
+        batch.scratch_pool().reuses() > 0,
+        "partitioned pool never warmed"
+    );
+    let t1 = batch.eval_to_batch(&query, &graph, &sources);
+    let t2 = batch.eval_to_batch(&query, &graph, &sources);
+    assert_eq!(t1.per_source(), t2.per_source());
+}

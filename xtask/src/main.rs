@@ -14,10 +14,19 @@
 //! * **Documented planner surface** — every `pub fn` in
 //!   `crates/optimizer/src` must carry a `///` doc comment, including
 //!   ones in private modules that `#![warn(missing_docs)]` cannot see.
+//! * **Allocation-free hot path** — `vec![` and `Vec::new()` are
+//!   forbidden in the rpq-core hot-path modules (`product`, `pair`,
+//!   `batch`) outside tests: all working memory must come from the
+//!   `EvalScratch` arena so warm serving queries never touch the
+//!   allocator. Deliberate exceptions (result vectors, non-pooled
+//!   baseline arenas) carry an `// alloc-ok: <why>` comment on the same
+//!   line, which allowlists it.
 //!
 //! The scanner blanks comments and string/char literals before matching,
 //! so prose like "never unwrap() here" or a format string containing
-//! braces cannot trip (or hide) a finding.
+//! braces cannot trip (or hide) a finding. The `alloc-ok:` allowlist is
+//! the one check made on *original* lines — the marker lives in a comment,
+//! which the cleaner blanks.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -40,6 +49,19 @@ const NO_PANIC_DIRS: &[&str] = &["crates/core/src", "crates/graph/src"];
 const DOC_DIRS: &[&str] = &["crates/optimizer/src"];
 /// Forbidden tokens for the no-panic rule.
 const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+/// Hot-path modules that must stay allocation-free: working memory comes
+/// from the `scratch` arena, not per-call `Vec`s. (`scratch.rs` itself is
+/// exempt — it is where construction is supposed to live.)
+const NO_ALLOC_FILES: &[&str] = &[
+    "crates/core/src/product.rs",
+    "crates/core/src/pair.rs",
+    "crates/core/src/batch.rs",
+];
+/// Forbidden tokens for the no-alloc rule.
+const ALLOC_TOKENS: &[&str] = &["vec![", "Vec::new()"];
+/// Marker that allowlists one line for the no-alloc rule. Checked on the
+/// *original* line text, because the marker lives in a comment.
+const ALLOC_OK: &str = "alloc-ok:";
 
 struct Violation {
     file: PathBuf,
@@ -60,6 +82,9 @@ fn lint() -> ExitCode {
         for file in rust_files(&root.join(dir)) {
             scan_file(&file, &mut violations, check_pub_fn_docs);
         }
+    }
+    for file in NO_ALLOC_FILES {
+        scan_file(&root.join(file), &mut violations, check_no_hot_path_allocs);
     }
     if violations.is_empty() {
         println!("xtask lint: clean");
@@ -142,6 +167,31 @@ fn check_no_panics(
                     file: file.to_path_buf(),
                     line: i + 1,
                     rule: "no-panic",
+                    text: original[i].clone(),
+                });
+                break;
+            }
+        }
+    }
+}
+
+fn check_no_hot_path_allocs(
+    file: &Path,
+    original: &[String],
+    cleaned: &[String],
+    mask: &[bool],
+    violations: &mut Vec<Violation>,
+) {
+    for (i, line) in cleaned.iter().enumerate() {
+        if mask[i] || original[i].contains(ALLOC_OK) {
+            continue;
+        }
+        for tok in ALLOC_TOKENS {
+            if line.contains(tok) {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: "hot-path-alloc",
                     text: original[i].clone(),
                 });
                 break;
@@ -393,6 +443,24 @@ mod tests {
         let c = lines(src);
         let m = test_mask(&c);
         assert!(!m[4], "the brace inside the raw string must not leak");
+    }
+
+    #[test]
+    fn hot_path_alloc_is_flagged_unless_allowlisted() {
+        let src = "fn hot() {\n  let a = Vec::new(); // alloc-ok: result vector\n  let b = vec![0u32; n];\n}\n#[cfg(test)]\nmod tests {\n  fn t() { let c = Vec::new(); }\n}\n";
+        let c = lines(src);
+        let m = test_mask(&c);
+        let mut v = Vec::new();
+        check_no_hot_path_allocs(
+            Path::new("x.rs"),
+            &src.lines().map(str::to_string).collect::<Vec<_>>(),
+            &c,
+            &m,
+            &mut v,
+        );
+        assert_eq!(v.len(), 1, "only the untagged non-test alloc is flagged");
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[0].rule, "hot-path-alloc");
     }
 
     #[test]
