@@ -22,18 +22,88 @@ use std::fmt;
 use crate::alphabet::Alphabet;
 use crate::regex::Regex;
 
-/// Error with byte position produced by [`parse_regex`].
+/// Error with byte-span and expected-token hints produced by
+/// [`parse_regex`].
+///
+/// `position..end` is the byte range of the offending token (or the
+/// empty range at the detection point when no token is at fault, e.g.
+/// end of input). `expected` lists what the parser would have accepted
+/// there; `found` describes the token actually seen. All of it is
+/// rendered by the [`fmt::Display`] impl, so `format!("{e}")` is a
+/// complete diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset in the input where the error was detected.
     pub position: usize,
+    /// Exclusive byte end of the offending span (`== position` when the
+    /// error points between tokens rather than at one).
+    pub end: usize,
     /// Human-readable description.
     pub message: String,
+    /// What the parser would have accepted at this point, in grammar
+    /// terms (`"a label"`, `"')'"`, …). Empty when no hint applies.
+    pub expected: Vec<&'static str>,
+    /// A description of the token actually found, if the error points at
+    /// one (`None` for lexical errors such as an unterminated string).
+    pub found: Option<String>,
+}
+
+impl ParseError {
+    /// A hint-free error at a single byte offset.
+    pub fn new(position: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position,
+            end: position,
+            message: message.into(),
+            expected: Vec::new(),
+            found: None,
+        }
+    }
+
+    /// The offending byte range (`start..end`, end-exclusive).
+    pub fn span(&self) -> (usize, usize) {
+        (self.position, self.end.max(self.position))
+    }
+
+    /// Shift the span right by `delta` bytes — for callers that parse an
+    /// expression embedded in a larger source string.
+    pub fn offset(mut self, delta: usize) -> ParseError {
+        self.position += delta;
+        self.end += delta;
+        self
+    }
+
+    fn spanned(mut self, start: usize, end: usize) -> ParseError {
+        self.position = start;
+        self.end = end;
+        self
+    }
+
+    fn hinted(mut self, expected: &[&'static str], found: Option<String>) -> ParseError {
+        self.expected = expected.to_vec();
+        self.found = found;
+        self
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.position, self.message)
+        if self.end > self.position {
+            write!(
+                f,
+                "parse error at bytes {}..{}: {}",
+                self.position, self.end, self.message
+            )?;
+        } else {
+            write!(f, "parse error at byte {}: {}", self.position, self.message)?;
+        }
+        if let Some(found) = &self.found {
+            write!(f, "; found {found}")?;
+        }
+        if !self.expected.is_empty() {
+            write!(f, "; expected {}", self.expected.join(" or "))?;
+        }
+        Ok(())
     }
 }
 
@@ -52,14 +122,17 @@ enum Tok {
     EmptyLang,
 }
 
+/// A lexed token with its byte span: `(start, end, token)`, end-exclusive.
+type SpannedTok = (usize, usize, Tok);
+
 struct Lexer<'a> {
     src: &'a str,
     pos: usize,
-    toks: Vec<(usize, Tok)>,
+    toks: Vec<SpannedTok>,
 }
 
 impl<'a> Lexer<'a> {
-    fn run(src: &'a str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    fn run(src: &'a str) -> Result<Vec<SpannedTok>, ParseError> {
         let mut lx = Lexer {
             src,
             pos: 0,
@@ -69,11 +142,8 @@ impl<'a> Lexer<'a> {
         Ok(lx.toks)
     }
 
-    fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            position: self.pos,
-            message: message.into(),
-        }
+    fn err(&self, start: usize, message: impl Into<String>) -> ParseError {
+        ParseError::new(start, message).spanned(start, self.pos.max(start))
     }
 
     fn rest(&self) -> &'a str {
@@ -90,20 +160,20 @@ impl<'a> Lexer<'a> {
                     self.pos += c.len_utf8();
                 }
                 '+' | '|' => {
-                    self.toks.push((start, Tok::Plus));
                     self.pos += 1;
+                    self.toks.push((start, self.pos, Tok::Plus));
                 }
                 '.' => {
-                    self.toks.push((start, Tok::Dot));
                     self.pos += 1;
+                    self.toks.push((start, self.pos, Tok::Dot));
                 }
                 '*' => {
-                    self.toks.push((start, Tok::Star));
                     self.pos += 1;
+                    self.toks.push((start, self.pos, Tok::Star));
                 }
                 '?' => {
-                    self.toks.push((start, Tok::Question));
                     self.pos += 1;
+                    self.toks.push((start, self.pos, Tok::Question));
                 }
                 '(' => {
                     // Lookahead for "()" = epsilon (possibly with inner spaces).
@@ -112,16 +182,16 @@ impl<'a> Lexer<'a> {
                         j += 1;
                     }
                     if j < self.src.len() && self.src.as_bytes()[j] == b')' {
-                        self.toks.push((start, Tok::Epsilon));
                         self.pos = j + 1;
+                        self.toks.push((start, self.pos, Tok::Epsilon));
                     } else {
-                        self.toks.push((start, Tok::LParen));
                         self.pos += 1;
+                        self.toks.push((start, self.pos, Tok::LParen));
                     }
                 }
                 ')' => {
-                    self.toks.push((start, Tok::RParen));
                     self.pos += 1;
+                    self.toks.push((start, self.pos, Tok::RParen));
                 }
                 '[' => {
                     let mut j = self.pos + 1;
@@ -129,10 +199,13 @@ impl<'a> Lexer<'a> {
                         j += 1;
                     }
                     if j < self.src.len() && self.src.as_bytes()[j] == b']' {
-                        self.toks.push((start, Tok::EmptyLang));
                         self.pos = j + 1;
+                        self.toks.push((start, self.pos, Tok::EmptyLang));
                     } else {
-                        return Err(self.err("expected ']' to close empty-language '[]'"));
+                        self.pos += 1;
+                        return Err(self
+                            .err(start, "expected ']' to close empty-language '[]'")
+                            .hinted(&["']'"], None));
                     }
                 }
                 '"' => {
@@ -140,14 +213,18 @@ impl<'a> Lexer<'a> {
                     let mut name = String::new();
                     loop {
                         let Some(c) = self.rest().chars().next() else {
-                            return Err(self.err("unterminated string literal"));
+                            return Err(self
+                                .err(start, "unterminated string literal")
+                                .hinted(&["closing '\"'"], None));
                         };
                         self.pos += c.len_utf8();
                         match c {
                             '"' => break,
                             '\\' => {
                                 let Some(e) = self.rest().chars().next() else {
-                                    return Err(self.err("dangling escape in string"));
+                                    return Err(self
+                                        .err(start, "dangling escape in string")
+                                        .hinted(&["an escaped character"], None));
                                 };
                                 self.pos += e.len_utf8();
                                 name.push(e);
@@ -155,15 +232,15 @@ impl<'a> Lexer<'a> {
                             other => name.push(other),
                         }
                     }
-                    self.toks.push((start, Tok::Ident(name)));
+                    self.toks.push((start, self.pos, Tok::Ident(name)));
                 }
                 'ε' => {
-                    self.toks.push((start, Tok::Epsilon));
                     self.pos += c.len_utf8();
+                    self.toks.push((start, self.pos, Tok::Epsilon));
                 }
                 '∅' => {
-                    self.toks.push((start, Tok::EmptyLang));
                     self.pos += c.len_utf8();
+                    self.toks.push((start, self.pos, Tok::EmptyLang));
                 }
                 c if c.is_ascii_alphanumeric() || c == '_' => {
                     let mut end = self.pos;
@@ -175,11 +252,12 @@ impl<'a> Lexer<'a> {
                         }
                     }
                     let name = &self.src[self.pos..end];
-                    self.toks.push((start, Tok::Ident(name.to_owned())));
+                    self.toks.push((start, end, Tok::Ident(name.to_owned())));
                     self.pos = end;
                 }
                 other => {
-                    return Err(self.err(format!("unexpected character {other:?}")));
+                    self.pos += c.len_utf8();
+                    return Err(self.err(start, format!("unexpected character {other:?}")));
                 }
             }
         }
@@ -187,8 +265,26 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// How a token reads in a diagnostic.
+fn describe(t: &Tok) -> String {
+    match t {
+        Tok::Ident(name) => format!("label {name:?}"),
+        Tok::Plus => "'+'".into(),
+        Tok::Dot => "'.'".into(),
+        Tok::Star => "'*'".into(),
+        Tok::Question => "'?'".into(),
+        Tok::LParen => "'('".into(),
+        Tok::RParen => "')'".into(),
+        Tok::Epsilon => "'()'".into(),
+        Tok::EmptyLang => "'[]'".into(),
+    }
+}
+
+/// What can start an atom — the hint set for misplaced-token errors.
+const ATOM_STARTS: &[&str] = &["a label", "'('", "'()'", "'[]'"];
+
 struct Parser<'a> {
-    toks: Vec<(usize, Tok)>,
+    toks: Vec<SpannedTok>,
     i: usize,
     alphabet: &'a mut Alphabet,
     input_len: usize,
@@ -196,29 +292,33 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.i).map(|(_, t)| t)
+        self.toks.get(self.i).map(|(_, _, t)| t)
     }
 
-    fn pos(&self) -> usize {
+    /// Span of the token at the cursor, or the empty span at end of input.
+    fn cur_span(&self) -> (usize, usize) {
         self.toks
             .get(self.i)
-            .map(|(p, _)| *p)
-            .unwrap_or(self.input_len)
+            .map(|&(s, e, _)| (s, e))
+            .unwrap_or((self.input_len, self.input_len))
     }
 
     fn bump(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        let t = self.toks.get(self.i).map(|(_, _, t)| t.clone());
         if t.is_some() {
             self.i += 1;
         }
         t
     }
 
-    fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            position: self.pos(),
-            message: message.into(),
-        }
+    /// An error pointing at the cursor token (or end of input), carrying
+    /// the tokens the grammar would have accepted there.
+    fn err_expected(&self, message: impl Into<String>, expected: &[&'static str]) -> ParseError {
+        let (start, end) = self.cur_span();
+        let found = Some(self.peek().map_or("end of input".into(), describe));
+        ParseError::new(start, message)
+            .spanned(start, end)
+            .hinted(expected, found)
     }
 
     fn expr(&mut self) -> Result<Regex, ParseError> {
@@ -266,19 +366,34 @@ impl Parser<'_> {
     }
 
     fn atom(&mut self) -> Result<Regex, ParseError> {
-        match self.bump() {
-            Some(Tok::Ident(name)) => Ok(Regex::sym(self.alphabet.intern(&name))),
-            Some(Tok::Epsilon) => Ok(Regex::Epsilon),
-            Some(Tok::EmptyLang) => Ok(Regex::Empty),
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let Some(Tok::Ident(name)) = self.bump() else {
+                    unreachable!("peeked an identifier")
+                };
+                Ok(Regex::sym(self.alphabet.intern(&name)))
+            }
+            Some(Tok::Epsilon) => {
+                self.bump();
+                Ok(Regex::Epsilon)
+            }
+            Some(Tok::EmptyLang) => {
+                self.bump();
+                Ok(Regex::Empty)
+            }
             Some(Tok::LParen) => {
+                self.bump();
                 let inner = self.expr()?;
-                match self.bump() {
-                    Some(Tok::RParen) => Ok(inner),
-                    _ => Err(self.err("expected ')'")),
+                match self.peek() {
+                    Some(Tok::RParen) => {
+                        self.bump();
+                        Ok(inner)
+                    }
+                    _ => Err(self.err_expected("unclosed '('", &["')'"])),
                 }
             }
-            Some(t) => Err(self.err(format!("unexpected token {t:?}"))),
-            None => Err(self.err("unexpected end of input")),
+            Some(t) => Err(self.err_expected(format!("misplaced {}", describe(t)), ATOM_STARTS)),
+            None => Err(self.err_expected("unexpected end of input", ATOM_STARTS)),
         }
     }
 }
@@ -295,7 +410,10 @@ pub fn parse_regex(alphabet: &mut Alphabet, src: &str) -> Result<Regex, ParseErr
     };
     let r = p.expr()?;
     if p.i != p.toks.len() {
-        return Err(p.err("trailing input after expression"));
+        return Err(p.err_expected(
+            "trailing input after expression",
+            &["'+'", "'.'", "'*'", "'?'", "a label", "end of input"],
+        ));
     }
     Ok(r)
 }
@@ -304,9 +422,10 @@ pub fn parse_regex(alphabet: &mut Alphabet, src: &str) -> Result<Regex, ParseErr
 /// Errors if the expression denotes anything other than a single word.
 pub fn parse_word(alphabet: &mut Alphabet, src: &str) -> Result<Vec<crate::Symbol>, ParseError> {
     let r = parse_regex(alphabet, src)?;
-    r.as_word().ok_or(ParseError {
-        position: 0,
-        message: format!("expression {src:?} is not a single word"),
+    r.as_word().ok_or_else(|| {
+        let mut e = ParseError::new(0, format!("expression {src:?} is not a single word"));
+        e.end = src.len();
+        e
     })
 }
 
@@ -374,6 +493,36 @@ mod tests {
         assert!(parse_regex(&mut ab, "(a").is_err());
         assert!(parse_regex(&mut ab, "*a").is_err());
         assert!(parse_regex(&mut ab, "\"abc").is_err());
+    }
+
+    #[test]
+    fn error_spans_and_hints() {
+        let mut ab = Alphabet::new();
+        // The misplaced second '.' of "a..b" is at bytes 2..3.
+        let e = parse_regex(&mut ab, "a..b").unwrap_err();
+        assert_eq!(e.span(), (2, 3));
+        assert_eq!(e.found.as_deref(), Some("'.'"));
+        assert!(e.expected.contains(&"a label"), "{:?}", e.expected);
+        // An unclosed paren points at end of input and asks for ')'.
+        let e = parse_regex(&mut ab, "(a").unwrap_err();
+        assert_eq!(e.span(), (2, 2));
+        assert_eq!(e.found.as_deref(), Some("end of input"));
+        assert_eq!(e.expected, vec!["')'"]);
+        // A stray closing paren is trailing input.
+        let e = parse_regex(&mut ab, "a)").unwrap_err();
+        assert_eq!(e.span(), (1, 2));
+        assert_eq!(e.found.as_deref(), Some("')'"));
+        assert!(e.expected.contains(&"end of input"));
+        // An unterminated string spans from its opening quote to the end.
+        let e = parse_regex(&mut ab, "\"abc").unwrap_err();
+        assert_eq!(e.span(), (0, 4));
+        // Display renders span, found token, and the hint set.
+        let msg = parse_regex(&mut ab, "a + *").unwrap_err().to_string();
+        assert!(msg.contains("found '*'"), "{msg}");
+        assert!(msg.contains("expected a label"), "{msg}");
+        // offset() shifts both ends for embedded-expression callers.
+        let e = parse_regex(&mut ab, "a..b").unwrap_err().offset(10);
+        assert_eq!(e.span(), (12, 13));
     }
 
     #[test]

@@ -27,15 +27,22 @@
 //!   multi-target lane kernel against the per-target backward loop
 //!   (asserting strictly fewer edge scans).
 //!
+//! * **T16 serving** — end-to-end mixed read/write serving through the
+//!   `rpq-server` session layer: N concurrent submissions against
+//!   epoch-pinned snapshots racing two writer commits, plus the server's
+//!   aggregated per-class p50/p99 latency (asserting the admission cap
+//!   rejects above capacity and a budgeted query terminates early with
+//!   `edges_scanned <= budget`).
+//!
 //! ```text
 //! bench_baseline [--json PATH] [--repeats N]
 //! ```
 //!
 //! Without `--json` the tables go to stdout; with it, the T1 document is
-//! written to `PATH` and the T12/T13/T14/T15 documents to siblings
+//! written to `PATH` and the T12/T13/T14/T15/T16 documents to siblings
 //! `BENCH_t12.json` / `BENCH_t13.json` / `BENCH_t14.json` /
-//! `BENCH_t15.json` (CI uploads all five as the bench-regression
-//! artifacts).
+//! `BENCH_t15.json` / `BENCH_t16.json` (CI uploads all six as the
+//! bench-regression artifacts).
 
 use std::time::Instant;
 
@@ -49,9 +56,11 @@ use rpq_core::{
     eval_product_pair_forward_csr, eval_product_to_batch_csr, Engine, EvalScratch, EvalStats,
     FrontierMode, ProductEngine, Query, ScratchPool,
 };
+use rpq_core::{EvalRequest, Termination};
 use rpq_distributed::PartitionedBatchEngine;
 use rpq_graph::{CsrGraph, DeltaGraph};
 use rpq_optimizer::{Direction, PlannedEngine};
+use rpq_server::{Catalog, QueryClass, Server, ServerConfig, SubmitError};
 
 struct SeriesPoint {
     name: &'static str,
@@ -459,12 +468,117 @@ fn main() {
         );
     }
 
+    // T16 serving series: N concurrent sessions submit through the shared
+    // planner while the writer commits a delta batch and its inverse; one
+    // measured unit is submissions + commits + joins. The p50/p99 points
+    // come from the server's own per-class latency aggregation. The
+    // assertions mirror the t16 bench's acceptance criteria (admission
+    // cap enforced, budgeted queries terminate early within budget), so a
+    // serving regression fails this job rather than shifting the
+    // baseline.
+    let mut t16_points: Vec<SeriesPoint> = Vec::new();
+    for &readers in &[4usize, 8] {
+        let w = incremental_workload(1024, 16);
+        let catalog = std::sync::Arc::new(Catalog::from_instance(&w.instance));
+        let server = Server::new(catalog.clone(), w.alphabet.clone()).with_config(ServerConfig {
+            max_concurrent: readers,
+            default_budget: None,
+        });
+        let query = Query::new(w.query.clone(), &w.alphabet);
+        let inverse = w.delta.inverse();
+
+        let (t, stats) = measure(repeats, || {
+            let handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    server
+                        .session()
+                        .submit(&query, EvalRequest::source(w.source))
+                        .expect("under cap")
+                })
+                .collect();
+            catalog.commit(&w.delta);
+            catalog.commit(&inverse);
+            let mut total = EvalStats::default();
+            for h in handles {
+                total.merge(&h.join().stats);
+            }
+            total
+        });
+        t16_points.push(SeriesPoint {
+            name: "serve_mixed_read_write",
+            n: readers,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+
+        let snap = server.metrics().class(QueryClass::Single);
+        assert!(
+            snap.queries >= readers,
+            "the serving series must record per-class metrics"
+        );
+        assert!(snap.p50_latency_ns <= snap.p99_latency_ns);
+        t16_points.push(SeriesPoint {
+            name: "serve_p50_latency",
+            n: readers,
+            median_ns: snap.p50_latency_ns as u128,
+            edges_scanned: snap.edges_scanned,
+        });
+        t16_points.push(SeriesPoint {
+            name: "serve_p99_latency",
+            n: readers,
+            median_ns: snap.p99_latency_ns as u128,
+            edges_scanned: snap.edges_scanned,
+        });
+
+        // Admission: with every slot held, the next submission rejects.
+        let session = server.session();
+        let held: Vec<_> = (0..readers)
+            .map(|_| {
+                session
+                    .submit(&query, EvalRequest::source(w.source))
+                    .expect("fills a slot")
+            })
+            .collect();
+        assert!(
+            matches!(
+                session.submit(&query, EvalRequest::source(w.source)),
+                Err(SubmitError::Rejected { .. })
+            ),
+            "admission must reject above the cap at readers={readers}"
+        );
+        for h in held {
+            let _ = h.join();
+        }
+
+        // Budgets: a tiny explicit budget terminates the broad closure
+        // early, never scanning past the budget.
+        let broad = {
+            let mut ab = w.alphabet.clone();
+            Query::parse(&mut ab, "(l0+l1+l2)*").unwrap()
+        };
+        let resp = session
+            .submit(&broad, EvalRequest::source(w.source).with_budget(8))
+            .expect("under cap")
+            .join();
+        assert_eq!(
+            resp.termination,
+            Termination::BudgetExhausted,
+            "the broad closure must exhaust an 8-edge budget"
+        );
+        assert!(
+            resp.stats.edges_scanned <= 8,
+            "scanned {} > budget 8",
+            resp.stats.edges_scanned
+        );
+    }
+
     for (title, pts) in [
         ("t1_multi_source", &points),
         ("t12_direction_choice", &t12_points),
         ("t13_incremental_update", &t13_points),
         ("t14_static_analysis", &t14_points),
         ("t15_hot_path", &t15_points),
+        ("t16_serving", &t16_points),
     ] {
         println!("\n[{title}]");
         println!(
@@ -512,6 +626,12 @@ fn main() {
             "t15_hot_path",
             repeats,
             &t15_points,
+        );
+        write_doc(
+            &sibling("BENCH_t16.json"),
+            "t16_serving",
+            repeats,
+            &t16_points,
         );
     }
 }

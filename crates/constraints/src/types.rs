@@ -125,15 +125,15 @@ impl fmt::Display for ConstraintDisplay<'_> {
 /// Parse a constraint: `p <= q` (inclusion) or `p = q` (equality). The paper
 /// writes inclusion as `⊆`, which is also accepted.
 pub fn parse_constraint(alphabet: &mut Alphabet, src: &str) -> Result<PathConstraint, ParseError> {
-    let (op_pos, op_len, kind) = find_op(src).ok_or(ParseError {
-        position: 0,
-        message: "expected `<=`, `⊆`, or `=` between two path expressions".into(),
-    })?;
-    let lhs = parse_regex(alphabet, &src[..op_pos])?;
-    let rhs = parse_regex(alphabet, &src[op_pos + op_len..]).map_err(|mut e| {
-        e.position += op_pos + op_len;
+    let (op_pos, op_len, kind) = find_op(src).ok_or_else(|| {
+        let mut e = ParseError::new(0, "expected `<=`, `⊆`, or `=` between two path expressions");
+        e.end = src.len();
+        e.expected = vec!["'<='", "'⊆'", "'='"];
         e
     })?;
+    let lhs = parse_regex(alphabet, &src[..op_pos])?;
+    let rhs =
+        parse_regex(alphabet, &src[op_pos + op_len..]).map_err(|e| e.offset(op_pos + op_len))?;
     Ok(PathConstraint { lhs, rhs, kind })
 }
 

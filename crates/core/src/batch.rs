@@ -169,6 +169,36 @@ fn batch_wave_kernel<G: GraphView>(
     reverse_adj: bool,
     scratch: &mut EvalScratch,
 ) -> BatchResult {
+    let mut per_source: Vec<Vec<Oid>> = Vec::with_capacity(sources.len()); // alloc-ok: result value
+    let mut stats = batch_wave_kernel_sink(
+        nfa,
+        graph,
+        sources,
+        reverse_adj,
+        scratch,
+        &mut |masks, _wave_start, wave_len| {
+            collect_wave_answers(masks, wave_len, &mut per_source);
+        },
+    );
+    stats.answers = per_source.iter().map(Vec::len).sum();
+    BatchResult::from_per_source(per_source, stats)
+}
+
+/// The wave kernel proper, decoupled from the answer representation: after
+/// each completed wave, `on_wave` receives the per-node lane masks (`masks[v]`
+/// bit `l` set ⟺ wave source `wave_start + l` answers `v`), the wave's
+/// starting index into `sources`, and the wave length. [`batch_wave_kernel`]
+/// collects per-source answer lists; the matrix pass fills
+/// [`MatrixResult`] rows directly from the same masks. The returned stats
+/// leave `answers` at 0 — the caller sets it from its own representation.
+fn batch_wave_kernel_sink<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    sources: &[Oid],
+    reverse_adj: bool,
+    scratch: &mut EvalScratch,
+    on_wave: &mut dyn FnMut(&[u64], usize, usize),
+) -> EvalStats {
     let nq = nfa.num_states();
     let nv = graph.num_nodes();
     let covered = scratch.begin_batch(nq, nv);
@@ -178,7 +208,6 @@ fn batch_wave_kernel<G: GraphView>(
         ..EvalStats::default()
     };
     let mut classes = 0usize;
-    let mut per_source: Vec<Vec<Oid>> = Vec::with_capacity(sources.len()); // alloc-ok: result value
 
     // Lane arenas from the scratch's batch section; the dense frontier
     // arenas double as the active/next-active cell sets.
@@ -189,7 +218,7 @@ fn batch_wave_kernel<G: GraphView>(
     let next_active = &mut scratch.dense_b;
     let worklist = &mut scratch.worklist;
 
-    for wave in sources.chunks(64) {
+    for (wi, wave) in sources.chunks(64).enumerate() {
         reached.clear();
         frontier.clear();
         next.clear();
@@ -273,12 +302,146 @@ fn batch_wave_kernel<G: GraphView>(
             next_active.clear();
         }
 
-        collect_wave_answers(&scratch.answer_masks[..nv], wave.len(), &mut per_source);
+        on_wave(&scratch.answer_masks[..nv], wi * 64, wave.len());
     }
 
     stats.classes_materialized = classes;
-    stats.answers = per_source.iter().map(Vec::len).sum();
-    BatchResult::from_per_source(per_source, stats)
+    stats
+}
+
+/// Bit-packed N×M reachability matrix: `reachable(i, j)` answers
+/// `targets[j] ∈ p(sources[i], I)`. Produced in one bit-parallel pass by
+/// the same wave kernel as [`eval_product_batch_csr`] — rows are filled
+/// straight from the per-node lane masks, so the matrix costs no more than
+/// the batched source evaluation plus one mask probe per (wave, target).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixResult {
+    sources: Vec<Oid>,
+    targets: Vec<Oid>,
+    words_per_row: usize,
+    bits: Vec<u64>,
+    /// Aggregated work counters (`answers` counts set matrix cells).
+    pub stats: EvalStats,
+}
+
+impl MatrixResult {
+    /// An all-unreachable matrix over the given axes — the starting point
+    /// for incremental fills (the controlled matrix path marks cells per
+    /// completed source) and the zero-work result for statically empty
+    /// queries.
+    pub fn new(sources: Vec<Oid>, targets: Vec<Oid>) -> MatrixResult {
+        let words_per_row = targets.len().div_ceil(64);
+        let bits = vec![0u64; sources.len() * words_per_row]; // alloc-ok: result value
+        MatrixResult {
+            sources,
+            targets,
+            words_per_row,
+            bits,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// Mark `(sources[i], targets[j])` reachable.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize) {
+        self.bits[i * self.words_per_row + j / 64] |= 1u64 << (j % 64);
+    }
+
+    /// Does a path from `sources[i]` to `targets[j]` spell a query word?
+    #[inline]
+    pub fn reachable(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.words_per_row + j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// The row objects (path starts), in request order.
+    pub fn sources(&self) -> &[Oid] {
+        &self.sources
+    }
+
+    /// The column objects (path ends), in request order.
+    pub fn targets(&self) -> &[Oid] {
+        &self.targets
+    }
+
+    /// Number of reachable `(source, target)` cells.
+    pub fn reachable_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The transposed matrix (`sources` and `targets` swap roles) — used
+    /// by planners that run the reversed automaton from the smaller side
+    /// and flip the result back.
+    pub fn transposed(&self) -> MatrixResult {
+        let mut t = MatrixResult::new(self.targets.clone(), self.sources.clone());
+        for i in 0..self.sources.len() {
+            for j in 0..self.targets.len() {
+                if self.reachable(i, j) {
+                    t.set(j, i);
+                }
+            }
+        }
+        t.stats = self.stats.clone();
+        t
+    }
+}
+
+/// N-source × M-target reachability matrix in one bit-parallel pass: runs
+/// the lane wave kernel forward from `sources` and, after each wave, reads
+/// each target's lane mask once — cell `(i, j)` is set iff lane `i` of its
+/// wave answered `targets[j]`. Equivalent to M pair queries per source but
+/// sharing every CSR row pass across the whole wave.
+pub fn eval_product_matrix_csr<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    sources: &[Oid],
+    targets: &[Oid],
+) -> MatrixResult {
+    let mut scratch = EvalScratch::new();
+    eval_product_matrix_csr_with(nfa, graph, sources, targets, &mut scratch)
+}
+
+/// [`eval_product_matrix_csr`] with a caller-provided [`EvalScratch`] — the
+/// pooled hot-path form.
+pub fn eval_product_matrix_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    sources: &[Oid],
+    targets: &[Oid],
+    scratch: &mut EvalScratch,
+) -> MatrixResult {
+    let mut matrix = MatrixResult::new(sources.to_vec(), targets.to_vec()); // alloc-ok: result value
+    let mut stats = batch_wave_kernel_sink(
+        nfa,
+        graph,
+        sources,
+        false,
+        scratch,
+        &mut |masks, wave_start, wave_len| {
+            for (j, &t) in matrix.targets.iter().enumerate() {
+                let mask = masks.get(t.index()).copied().unwrap_or(0);
+                let mut m = mask & lane_mask(wave_len);
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    matrix.bits[(wave_start + lane) * matrix.words_per_row + j / 64] |=
+                        1u64 << (j % 64);
+                }
+            }
+        },
+    );
+    stats.answers = matrix.reachable_count();
+    matrix.stats = stats;
+    matrix
+}
+
+/// Mask covering the first `wave_len` lanes (`wave_len ≤ 64`).
+#[inline]
+fn lane_mask(wave_len: usize) -> u64 {
+    if wave_len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << wave_len) - 1
+    }
 }
 
 /// Union-mode batched product BFS: one shared frontier — a [`NodeBitset`]

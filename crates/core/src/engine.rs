@@ -30,6 +30,7 @@ use crate::batch::{
 };
 use crate::product::{eval_product_csr, EvalResult};
 use crate::quotient::{eval_derivative_csr, eval_quotient_dfa_csr};
+use crate::request::{run_default, EvalRequest, EvalResponse, SourceSpec};
 use crate::stats::EvalStats;
 use crate::streaming::StreamingEval;
 
@@ -106,59 +107,68 @@ pub trait Engine {
     /// Evaluate `query` from `source` over `graph`.
     fn eval(&self, query: &Query, graph: &CsrGraph, source: Oid) -> EvalResult;
 
+    /// The unified entry point: dispatch an [`EvalRequest`] — any question
+    /// shape ([`SourceSpec`]) plus uniform execution controls (budget,
+    /// cancellation, frontier mode, direction hint) — to an
+    /// [`EvalResponse`].
+    ///
+    /// The default implementation is [`run_default`]: uncontrolled
+    /// requests route through the engine's own [`Engine::eval`] strategy
+    /// (and the shared backward / pair / matrix kernels); requests with a
+    /// budget or cancellation flag route through the controlled product
+    /// kernels so early termination is sound and uniform. Engines with
+    /// set-at-a-time strategies override this for the request arms they
+    /// specialize and fall back to [`run_default`] for the rest; the
+    /// legacy per-shape methods below are thin wrappers over `run`, making
+    /// it the single dispatch point (and the server's wire-level entry).
+    fn run(&self, query: &Query, graph: &CsrGraph, req: &EvalRequest) -> EvalResponse {
+        run_default(self, query, graph, req)
+    }
+
     /// Evaluate `query` from every source in `sources` over `graph`.
     ///
-    /// The default implementation loops over [`Engine::eval`] and merges
-    /// the per-source [`EvalStats`] (so no work counter is discarded);
-    /// engines with a genuinely set-at-a-time strategy override it — the
-    /// bit-parallel product BFS ([`crate::eval_product_batch_csr`]), the
-    /// batched quotient-DFA search, the all-sources-seeded semi-naive
-    /// Datalog fixpoint, and the partitioned threaded driver in
-    /// `rpq-distributed`. Union-only strategies report
+    /// Thin wrapper over [`Engine::run`] with [`SourceSpec::Sources`]; the
+    /// default dispatch loops over [`Engine::eval`] and merges the
+    /// per-source [`EvalStats`] (so no work counter is discarded), while
+    /// set-at-a-time engines — the bit-parallel product BFS
+    /// ([`crate::eval_product_batch_csr`]), the batched quotient-DFA
+    /// search, the all-sources-seeded semi-naive Datalog fixpoint, the
+    /// partitioned threaded driver in `rpq-distributed` — specialize the
+    /// arm in their `run`. Union-only strategies report
     /// `per_source() == None`; all strategies agree on
     /// [`BatchResult::union`].
     fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
-        let mut stats = EvalStats::default();
-        let mut per_source = Vec::with_capacity(sources.len());
-        for &s in sources {
-            let r = self.eval(query, graph, s);
-            stats.merge(&r.stats);
-            per_source.push(r.answers);
-        }
-        BatchResult::from_per_source(per_source, stats)
+        self.run(query, graph, &EvalRequest::sources(sources.to_vec()))
+            .into_batch()
     }
 
     /// Target-bound evaluation `{o | target ∈ p(o, I)}`.
     ///
-    /// The default implementation runs the shared backward product BFS
-    /// (reversed NFA over the reverse adjacency,
-    /// [`crate::eval_product_backward_csr`]) — correct for every engine
-    /// because set-semantics answers are direction-independent. Engines
-    /// with planner state override it (e.g. `PlannedEngine` reuses its
-    /// plan's cached reversed automaton and stamps cache counters).
+    /// Thin wrapper over [`Engine::run`] with [`SourceSpec::Target`]; the
+    /// default dispatch runs the shared backward product BFS (reversed NFA
+    /// over the reverse adjacency, [`crate::eval_product_backward_csr`]) —
+    /// correct for every engine because set-semantics answers are
+    /// direction-independent. Engines with planner state specialize the
+    /// arm in their `run` (e.g. `PlannedEngine` reuses its plan's cached
+    /// reversed automaton and stamps cache counters).
     fn eval_to(&self, query: &Query, graph: &CsrGraph, target: Oid) -> EvalResult {
-        crate::pair::eval_to(query, graph, target)
+        self.run(query, graph, &EvalRequest::target(target))
+            .into_eval_result()
     }
 
     /// Evaluate the target-bound question for every target in `targets` —
     /// the multi-*target* mirror of [`Engine::eval_batch`].
     ///
-    /// The default implementation loops [`Engine::eval_to`] and merges the
-    /// per-target [`EvalStats`]; `per_source()` of the result is aligned
-    /// with `targets`. Engines with a genuinely multi-target strategy
-    /// override it — [`ProductEngine`] runs the bit-parallel backward wave
-    /// ([`eval_product_to_batch_csr`]): waves of up to 64 *target* lanes
-    /// over the reversed NFA and reverse adjacency, one row pass advancing
-    /// every pending target at once.
+    /// Thin wrapper over [`Engine::run`] with [`SourceSpec::Targets`]; the
+    /// default dispatch loops the backward BFS per target and merges the
+    /// per-target [`EvalStats`] (`per_source()` of the result is aligned
+    /// with `targets`), while [`ProductEngine`] specializes the arm with
+    /// the bit-parallel backward wave ([`eval_product_to_batch_csr`]):
+    /// waves of up to 64 *target* lanes over the reversed NFA and reverse
+    /// adjacency, one row pass advancing every pending target at once.
     fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
-        let mut stats = EvalStats::default();
-        let mut per_target = Vec::with_capacity(targets.len());
-        for &t in targets {
-            let r = self.eval_to(query, graph, t);
-            stats.merge(&r.stats);
-            per_target.push(r.answers);
-        }
-        BatchResult::from_per_source(per_target, stats)
+        self.run(query, graph, &EvalRequest::targets(targets.to_vec()))
+            .into_batch()
     }
 }
 
@@ -175,18 +185,34 @@ impl Engine for ProductEngine {
         eval_product_csr(query.nfa(), graph, source)
     }
 
-    /// Bit-parallel batched BFS — one CSR row pass advances every pending
-    /// source lane at once ([`eval_product_batch_csr`]).
-    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
-        eval_product_batch_csr(query.nfa(), graph, sources)
-    }
-
-    /// Bit-parallel *backward* batched BFS — waves of up to 64 target
-    /// lanes over the reversed NFA and reverse adjacency
-    /// ([`eval_product_to_batch_csr`]), replacing the default
-    /// one-backward-BFS-per-target loop.
-    fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
-        eval_product_to_batch_csr(&query.nfa().reverse(), graph, targets)
+    /// Specializes the uncontrolled multi-source and multi-target arms
+    /// with the bit-parallel wave kernels: one CSR row pass advances every
+    /// pending source lane at once ([`eval_product_batch_csr`]); targets
+    /// ride waves of up to 64 lanes over the reversed NFA and reverse
+    /// adjacency ([`eval_product_to_batch_csr`]), replacing the default
+    /// one-BFS-per-item loops. Everything else — controlled requests
+    /// included — falls back to [`run_default`].
+    fn run(&self, query: &Query, graph: &CsrGraph, req: &EvalRequest) -> EvalResponse {
+        if !req.is_controlled() {
+            match &req.spec {
+                SourceSpec::Sources(ss) => {
+                    return EvalResponse::from_batch(eval_product_batch_csr(
+                        query.nfa(),
+                        graph,
+                        ss,
+                    ));
+                }
+                SourceSpec::Targets(ts) => {
+                    return EvalResponse::from_batch(eval_product_to_batch_csr(
+                        &query.nfa().reverse(),
+                        graph,
+                        ts,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        run_default(self, query, graph, req)
     }
 }
 
@@ -204,10 +230,21 @@ impl Engine for QuotientDfaEngine {
         eval_quotient_dfa_csr(query.nfa(), graph, source)
     }
 
-    /// The same bit-parallel BFS with one lane-mask table per lazily
-    /// determinized quotient class ([`eval_quotient_dfa_batch_csr`]).
-    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
-        eval_quotient_dfa_batch_csr(query.nfa(), graph, sources)
+    /// Specializes the uncontrolled multi-source arm with the bit-parallel
+    /// BFS keeping one lane-mask table per lazily determinized quotient
+    /// class ([`eval_quotient_dfa_batch_csr`]); everything else falls back
+    /// to [`run_default`].
+    fn run(&self, query: &Query, graph: &CsrGraph, req: &EvalRequest) -> EvalResponse {
+        if let SourceSpec::Sources(ss) = &req.spec {
+            if !req.is_controlled() {
+                return EvalResponse::from_batch(eval_quotient_dfa_batch_csr(
+                    query.nfa(),
+                    graph,
+                    ss,
+                ));
+            }
+        }
+        run_default(self, query, graph, req)
     }
 }
 

@@ -14,6 +14,11 @@
 //!   [`EvalStats`] work counters ([`Query`] packages regex + NFA +
 //!   alphabet once), plus batched multi-source evaluation via
 //!   [`Engine::eval_batch`] (default: loop + stats aggregation);
+//! * [`request`] — the unified request/response convention:
+//!   [`Engine::run`] dispatches an [`EvalRequest`] (any question shape —
+//!   single source, batch, target-bound, pair, N×M matrix — plus uniform
+//!   budget/cancellation controls) to an [`EvalResponse`]; the legacy
+//!   per-shape `Engine` methods are thin wrappers over it;
 //! * [`batch`] — bit-parallel batched evaluation: the lane-partitioned
 //!   product BFS ([`eval_product_batch_csr`]), its union-mode shared
 //!   frontier ([`eval_product_batch_union_csr`]), and the batched
@@ -76,14 +81,15 @@ pub mod oracle;
 pub mod pair;
 pub mod product;
 pub mod quotient;
+pub mod request;
 pub mod scratch;
 pub mod stats;
 pub mod streaming;
 
 pub use batch::{
     eval_product_batch_csr, eval_product_batch_csr_with, eval_product_batch_union_csr,
-    eval_product_to_batch_csr, eval_product_to_batch_csr_with, eval_quotient_dfa_batch_csr,
-    BatchResult,
+    eval_product_matrix_csr, eval_product_matrix_csr_with, eval_product_to_batch_csr,
+    eval_product_to_batch_csr_with, eval_quotient_dfa_batch_csr, BatchResult, MatrixResult,
 };
 pub use engine::{
     DerivativeEngine, Engine, OracleEngine, ProductEngine, Query, QuotientDfaEngine,
@@ -92,19 +98,22 @@ pub use engine::{
 pub use oracle::eval_oracle;
 pub use pair::{
     eval_pair, eval_product_pair_backward_csr, eval_product_pair_backward_reversed_csr,
-    eval_product_pair_backward_reversed_csr_with, eval_product_pair_csr,
-    eval_product_pair_csr_with, eval_product_pair_forward_csr, eval_product_pair_forward_csr_with,
-    eval_product_pair_reversed_csr_with, eval_to, PairResult,
+    eval_product_pair_backward_reversed_csr_with, eval_product_pair_controlled_csr_with,
+    eval_product_pair_csr, eval_product_pair_csr_with, eval_product_pair_forward_csr,
+    eval_product_pair_forward_csr_with, eval_product_pair_reversed_csr_with, eval_to, PairResult,
 };
 pub use product::{
-    eval_product, eval_product_backward_csr, eval_product_backward_reversed_csr,
-    eval_product_backward_reversed_csr_with, eval_product_bounded_backward_reversed_csr,
-    eval_product_bounded_backward_reversed_csr_with, eval_product_bounded_csr,
-    eval_product_bounded_csr_with, eval_product_csr, eval_product_csr_with, eval_product_scan,
-    EvalResult, FrontierMode,
+    eval_product, eval_product_backward_controlled_reversed_csr_with, eval_product_backward_csr,
+    eval_product_backward_reversed_csr, eval_product_backward_reversed_csr_with,
+    eval_product_bounded_backward_reversed_csr, eval_product_bounded_backward_reversed_csr_with,
+    eval_product_bounded_csr, eval_product_bounded_csr_with, eval_product_controlled_csr_with,
+    eval_product_csr, eval_product_csr_with, eval_product_scan, EvalResult, FrontierMode,
 };
 pub use quotient::{
     eval_derivative, eval_derivative_csr, eval_quotient_dfa, eval_quotient_dfa_csr,
+};
+pub use request::{
+    run_default, Answers, EvalControl, EvalRequest, EvalResponse, SourceSpec, Termination,
 };
 pub use rpq_graph::CsrGraph;
 pub use scratch::{EvalScratch, PooledScratch, ScratchPool};

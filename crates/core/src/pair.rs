@@ -37,6 +37,7 @@ use crate::engine::Query;
 use crate::product::{
     eval_product_backward_csr, product_search, product_search_with, EvalResult, FrontierMode,
 };
+use crate::request::{EvalControl, Termination};
 use crate::scratch::EvalScratch;
 use crate::stats::EvalStats;
 
@@ -70,9 +71,48 @@ pub fn eval_product_pair_forward_csr_with<G: GraphView>(
     mode: FrontierMode,
     scratch: &mut EvalScratch,
 ) -> PairResult {
-    let (res, found) =
-        product_search_with(nfa, graph, source, false, Some(target), None, mode, scratch);
+    let (res, found, _) = product_search_with(
+        nfa,
+        graph,
+        source,
+        false,
+        Some(target),
+        None,
+        mode,
+        &EvalControl::UNLIMITED,
+        scratch,
+    );
     pair_result(found, res.stats)
+}
+
+/// Pair reachability under serving-layer execution controls: the forward
+/// early-exit search with an `edges_scanned` budget and a cooperative
+/// cancellation flag. A `reachable == true` verdict is definitive even if
+/// the budget tripped right after the hit; `reachable == false` under a
+/// non-[`Termination::Complete`] termination means *not determined* — the
+/// search was abandoned before exhausting the pair space.
+pub fn eval_product_pair_controlled_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    target: Oid,
+    mode: FrontierMode,
+    control: &EvalControl,
+    scratch: &mut EvalScratch,
+) -> (PairResult, Termination) {
+    let (res, found, term) = product_search_with(
+        nfa,
+        graph,
+        source,
+        false,
+        Some(target),
+        None,
+        mode,
+        control,
+        scratch,
+    );
+    let term = if found { Termination::Complete } else { term };
+    (pair_result(found, res.stats), term)
 }
 
 /// Backward product BFS (reversed NFA over the reverse adjacency, starting
@@ -109,7 +149,7 @@ pub fn eval_product_pair_backward_reversed_csr_with<G: GraphView>(
     mode: FrontierMode,
     scratch: &mut EvalScratch,
 ) -> PairResult {
-    let (res, found) = product_search_with(
+    let (res, found, _) = product_search_with(
         reversed,
         graph,
         target,
@@ -117,6 +157,7 @@ pub fn eval_product_pair_backward_reversed_csr_with<G: GraphView>(
         Some(source),
         None,
         mode,
+        &EvalControl::UNLIMITED,
         scratch,
     );
     pair_result(found, res.stats)

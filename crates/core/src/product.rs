@@ -55,6 +55,7 @@
 use rpq_automata::{Nfa, StateId, Symbol};
 use rpq_graph::{CsrGraph, GraphView, Instance, Oid};
 
+use crate::request::{EvalControl, Termination};
 use crate::scratch::EvalScratch;
 use crate::stats::EvalStats;
 
@@ -177,6 +178,11 @@ fn pair_pull_probes<G: GraphView>(
 
 /// Sparse *push* expansion of one (ε-closed) level: scan each frontier
 /// pair's matching adjacency rows and mark/enqueue unseen targets.
+///
+/// With a `budget`, the check runs *before* each row scan, so
+/// `stats.edges_scanned` never exceeds the budget; returns `true` when the
+/// budget tripped (the level is then partially expanded and the caller
+/// terminates the search).
 #[allow(clippy::too_many_arguments)]
 fn push_level<G: GraphView>(
     nfa: &Nfa,
@@ -187,7 +193,8 @@ fn push_level<G: GraphView>(
     scratch: &mut EvalScratch,
     stats: &mut EvalStats,
     bound: &mut PullBound,
-) {
+    budget: Option<usize>,
+) -> bool {
     for &(q, v) in &scratch.frontier {
         for &(sym, q2) in nfa.transitions(q) {
             let targets = if reverse_adj {
@@ -195,6 +202,9 @@ fn push_level<G: GraphView>(
             } else {
                 graph.out(v, sym)
             };
+            if budget.is_some_and(|b| stats.edges_scanned + targets.len() > b) {
+                return true;
+            }
             stats.edges_scanned += targets.len();
             for v2 in targets {
                 if push_sparse(q2, v2, nv, gen, &mut scratch.seen, &mut scratch.next)
@@ -212,6 +222,7 @@ fn push_level<G: GraphView>(
             }
         }
     }
+    false
 }
 
 /// Dense *pull* expansion of one (ε-closed) level: for every unreached
@@ -219,6 +230,10 @@ fn push_level<G: GraphView>(
 /// groups against the reversed transition table and probe the densified
 /// frontier, stopping at the first hit. Produces exactly the same next
 /// level as [`push_level`]; `edges_scanned` counts probed endpoints only.
+///
+/// With a `budget`, every probe is pre-checked so `stats.edges_scanned`
+/// never exceeds it; returns `true` when the budget tripped (the dense
+/// arena is still left clean for the next search).
 #[allow(clippy::too_many_arguments)]
 fn pull_level<G: GraphView>(
     nfa: &Nfa,
@@ -229,13 +244,15 @@ fn pull_level<G: GraphView>(
     scratch: &mut EvalScratch,
     stats: &mut EvalStats,
     bound: &mut PullBound,
-) {
+    budget: Option<usize>,
+) -> bool {
     let nq = nfa.num_states();
+    let mut tripped = false;
     // Densify the current frontier for O(1) membership probes.
     for &(q, v) in &scratch.frontier {
         scratch.dense.state_mut(q as usize).insert(v.index());
     }
-    for q2 in 0..nq {
+    'sweep: for q2 in 0..nq {
         let (lo, hi) = (scratch.rev_trans_off[q2], scratch.rev_trans_off[q2 + 1]);
         if lo == hi {
             continue; // no labeled transition enters q2
@@ -270,6 +287,10 @@ fn pull_level<G: GraphView>(
                 }
                 for u in edges {
                     for &(_, qsrc) in &seg[si..sj] {
+                        if budget.is_some_and(|b| stats.edges_scanned >= b) {
+                            tripped = true;
+                            break 'sweep;
+                        }
                         stats.edges_scanned += 1;
                         if scratch.dense.state(qsrc as usize).contains(u.index()) {
                             scratch.seen[q2 * nv + vi] = gen;
@@ -292,6 +313,7 @@ fn pull_level<G: GraphView>(
     // Leave the dense arena clean for the next level / next search (O(1)
     // per untouched state thanks to the maintained bit counts).
     scratch.dense.clear();
+    tripped
 }
 
 /// The level-synchronous product BFS shared by the forward, backward, and
@@ -311,6 +333,15 @@ fn pull_level<G: GraphView>(
 /// `mode` selects the per-level expansion strategy (see [`FrontierMode`]);
 /// all working memory comes from `scratch`, which is resized/invalidated
 /// here and can be reused across calls of any `(|Q|, |V|)` shape.
+///
+/// `control` carries the serving-layer execution controls: the
+/// cancellation flag is checked once per BFS level, and the
+/// `edges_scanned` budget is enforced *before* every row scan / probe
+/// inside the level sweeps, so the returned stats always satisfy
+/// `edges_scanned ≤ budget`. Answers collected before an early
+/// termination are a sound subset (a node is only reported once an
+/// accepting pair is actually reached); the third return value says
+/// whether the search ran to exhaustion.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn product_search_with<G: GraphView>(
     nfa: &Nfa,
@@ -320,8 +351,9 @@ pub(crate) fn product_search_with<G: GraphView>(
     stop_at: Option<Oid>,
     depth_cap: Option<usize>,
     mode: FrontierMode,
+    control: &EvalControl,
     scratch: &mut EvalScratch,
-) -> (EvalResult, bool) {
+) -> (EvalResult, bool, Termination) {
     let nq = nfa.num_states();
     let nv = graph.num_nodes();
     debug_assert!(source.index() < nv.max(1), "source must be a graph node");
@@ -332,6 +364,7 @@ pub(crate) fn product_search_with<G: GraphView>(
     };
     let gen = scratch.generation();
     let mut found = false;
+    let mut termination = Termination::Complete;
     let mut classes = 0usize;
 
     // Pull machinery: the reversed transition table, plus the shrinking
@@ -381,6 +414,11 @@ pub(crate) fn product_search_with<G: GraphView>(
 
     let mut depth = 0usize;
     'bfs: while !scratch.frontier.is_empty() {
+        // Cooperative cancellation: one relaxed flag read per BFS level.
+        if control.cancelled() {
+            termination = Termination::Cancelled;
+            break 'bfs;
+        }
         // ε-closure inside the level: ε-moves advance the automaton without
         // consuming an edge, so their targets belong to the same BFS level.
         let mut i = 0;
@@ -454,7 +492,7 @@ pub(crate) fn product_search_with<G: GraphView>(
                 sweep_cost.saturating_add(bound.remaining) < push_cost
             }
         };
-        if use_pull {
+        let tripped = if use_pull {
             stats.pull_levels += 1;
             pull_level(
                 nfa,
@@ -465,7 +503,8 @@ pub(crate) fn product_search_with<G: GraphView>(
                 scratch,
                 &mut stats,
                 &mut bound,
-            );
+                control.budget,
+            )
         } else {
             stats.push_levels += 1;
             push_level(
@@ -477,7 +516,15 @@ pub(crate) fn product_search_with<G: GraphView>(
                 scratch,
                 &mut stats,
                 &mut bound,
-            );
+                control.budget,
+            )
+        };
+        if tripped {
+            // The level is partially expanded; everything already answered
+            // stays sound, the rest of the search is abandoned.
+            termination = Termination::BudgetExhausted;
+            scratch.next.clear();
+            break 'bfs;
         }
 
         std::mem::swap(&mut scratch.frontier, &mut scratch.next);
@@ -491,12 +538,12 @@ pub(crate) fn product_search_with<G: GraphView>(
     stats.answers = scratch.answers.len();
     stats.classes_materialized = classes;
     let answers = std::mem::take(&mut scratch.answers);
-    (EvalResult { answers, stats }, found)
+    (EvalResult { answers, stats }, found, termination)
 }
 
-/// `product_search_with` with a fresh arena and the default hybrid mode —
-/// the form used by the one-shot entry points below (pooled callers pass
-/// their own warm scratch).
+/// `product_search_with` with a fresh arena, the default hybrid mode, and
+/// no execution controls — the form used by the one-shot entry points
+/// below (pooled callers pass their own warm scratch).
 pub(crate) fn product_search<G: GraphView>(
     nfa: &Nfa,
     graph: &G,
@@ -506,7 +553,7 @@ pub(crate) fn product_search<G: GraphView>(
     depth_cap: Option<usize>,
 ) -> (EvalResult, bool) {
     let mut scratch = EvalScratch::new();
-    product_search_with(
+    let (res, found, _) = product_search_with(
         nfa,
         graph,
         source,
@@ -514,8 +561,10 @@ pub(crate) fn product_search<G: GraphView>(
         stop_at,
         depth_cap,
         FrontierMode::Hybrid,
+        &EvalControl::UNLIMITED,
         &mut scratch,
-    )
+    );
+    (res, found)
 }
 
 /// Evaluate `L(nfa)` from `source` over a label-indexed snapshot by
@@ -541,7 +590,56 @@ pub fn eval_product_csr_with<G: GraphView>(
     mode: FrontierMode,
     scratch: &mut EvalScratch,
 ) -> EvalResult {
-    product_search_with(nfa, graph, source, false, None, None, mode, scratch).0
+    product_search_with(
+        nfa,
+        graph,
+        source,
+        false,
+        None,
+        None,
+        mode,
+        &EvalControl::UNLIMITED,
+        scratch,
+    )
+    .0
+}
+
+/// [`eval_product_csr_with`] under serving-layer execution controls: an
+/// `edges_scanned` budget and a cooperative cancellation flag
+/// ([`EvalControl`]), plus an optional BFS depth cap. Returns the (sound,
+/// possibly partial) answer set together with how the search ended — the
+/// kernel behind controlled [`crate::EvalRequest`]s.
+pub fn eval_product_controlled_csr_with<G: GraphView>(
+    nfa: &Nfa,
+    graph: &G,
+    source: Oid,
+    depth_cap: Option<usize>,
+    mode: FrontierMode,
+    control: &EvalControl,
+    scratch: &mut EvalScratch,
+) -> (EvalResult, Termination) {
+    let (res, _, term) = product_search_with(
+        nfa, graph, source, false, None, depth_cap, mode, control, scratch,
+    );
+    (res, term)
+}
+
+/// The backward (already-reversed automaton, reverse adjacency) form of
+/// [`eval_product_controlled_csr_with`] — the controlled kernel for
+/// target-bound requests.
+pub fn eval_product_backward_controlled_reversed_csr_with<G: GraphView>(
+    reversed: &Nfa,
+    graph: &G,
+    target: Oid,
+    depth_cap: Option<usize>,
+    mode: FrontierMode,
+    control: &EvalControl,
+    scratch: &mut EvalScratch,
+) -> (EvalResult, Termination) {
+    let (res, _, term) = product_search_with(
+        reversed, graph, target, true, None, depth_cap, mode, control, scratch,
+    );
+    (res, term)
 }
 
 /// [`eval_product_csr`] with a BFS depth cap: levels beyond `depth_cap`
@@ -577,6 +675,7 @@ pub fn eval_product_bounded_csr_with<G: GraphView>(
         None,
         Some(depth_cap),
         mode,
+        &EvalControl::UNLIMITED,
         scratch,
     )
     .0
@@ -612,6 +711,7 @@ pub fn eval_product_bounded_backward_reversed_csr_with<G: GraphView>(
         None,
         Some(depth_cap),
         mode,
+        &EvalControl::UNLIMITED,
         scratch,
     )
     .0
@@ -652,7 +752,18 @@ pub fn eval_product_backward_reversed_csr_with<G: GraphView>(
     mode: FrontierMode,
     scratch: &mut EvalScratch,
 ) -> EvalResult {
-    product_search_with(reversed, graph, target, true, None, None, mode, scratch).0
+    product_search_with(
+        reversed,
+        graph,
+        target,
+        true,
+        None,
+        None,
+        mode,
+        &EvalControl::UNLIMITED,
+        scratch,
+    )
+    .0
 }
 
 /// Evaluate `L(nfa)` from `source` over `instance`.

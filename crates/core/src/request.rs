@@ -1,0 +1,726 @@
+//! The unified request/response calling convention — one entry point for
+//! every evaluation shape.
+//!
+//! Historically each question had its own `Engine` method: `eval` (one
+//! source), `eval_batch` (many sources), `eval_to` (one target),
+//! `eval_to_batch` (many targets), plus the free-function pair scenario.
+//! [`EvalRequest`] collapses them: a [`SourceSpec`] names the question, and
+//! optional *execution controls* — a fetch budget on `edges_scanned`, a
+//! cooperative cancellation flag, a [`FrontierMode`] and a direction hint —
+//! ride along uniformly. [`Engine::run`] is the single dispatch point; the
+//! legacy methods are thin wrappers over it, and `rpq-server` uses the
+//! request form as its wire-level query type.
+//!
+//! ## Soundness under early termination
+//!
+//! A budgeted or cancelled run stops mid-search, but every answer it has
+//! already collected is a *true* answer: the product BFS only reports a
+//! node once an accepting `(state, node)` pair is actually reached, so a
+//! partial exploration yields a sound subset (the same contract as
+//! [`crate::StreamingEval`]'s budget semantics, where only a fully explored
+//! search reports `Terminated`). [`EvalResponse::termination`] says which
+//! case occurred: [`Termination::Complete`] means the answer set is exact;
+//! [`Termination::BudgetExhausted`] / [`Termination::Cancelled`] mean it is
+//! a sound subset (and a pair's `reachable == false` is "not determined",
+//! not "no").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rpq_graph::{CsrGraph, Oid};
+
+use crate::batch::{eval_product_matrix_csr_with, BatchResult, MatrixResult};
+use crate::engine::{Engine, Query};
+use crate::pair::{eval_product_pair_controlled_csr_with, PairResult};
+use crate::product::{
+    eval_product_backward_controlled_reversed_csr_with, eval_product_controlled_csr_with,
+    EvalResult, FrontierMode,
+};
+use crate::scratch::EvalScratch;
+use crate::stats::{Direction, EvalStats};
+
+/// Execution controls threaded into the product BFS level loops: an
+/// `edges_scanned` budget and a cooperative cancellation flag. The search
+/// checks the flag once per BFS level and enforces the budget *before*
+/// scanning each row, so a controlled run always reports
+/// `edges_scanned ≤ budget`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalControl<'a> {
+    /// Hard cap on `stats.edges_scanned` (`None` = unlimited).
+    pub budget: Option<usize>,
+    /// Set by another thread to stop the search at the next level boundary.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl EvalControl<'static> {
+    /// No budget, no cancellation — the classic uncontrolled search.
+    pub const UNLIMITED: EvalControl<'static> = EvalControl {
+        budget: None,
+        cancel: None,
+    };
+}
+
+impl EvalControl<'_> {
+    /// Has the cancellation flag been raised?
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Neither budget nor cancellation is in play.
+    pub fn is_unlimited(&self) -> bool {
+        self.budget.is_none() && self.cancel.is_none()
+    }
+}
+
+/// How a controlled evaluation ended. Answers collected before a
+/// non-complete termination are always a sound subset (see the module
+/// docs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Termination {
+    /// The search ran to exhaustion — the answer set is exact.
+    Complete,
+    /// The `edges_scanned` budget tripped; answers are a sound subset.
+    BudgetExhausted,
+    /// The cancellation flag was raised; answers are a sound subset.
+    Cancelled,
+}
+
+impl Termination {
+    /// Did the search explore everything (answers are exact)?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Termination::Complete)
+    }
+}
+
+/// Which reachability question a request asks — the axis that used to pick
+/// an `Engine` method.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceSpec {
+    /// `p(source, I)` — the paper's question (legacy `eval`).
+    Source(Oid),
+    /// `p(oᵢ, I)` for every source, per-source answers (legacy
+    /// `eval_batch`).
+    Sources(Vec<Oid>),
+    /// `{o | target ∈ p(o, I)}` (legacy `eval_to`).
+    Target(Oid),
+    /// The target-bound question for every target (legacy `eval_to_batch`).
+    Targets(Vec<Oid>),
+    /// `target ∈ p(source, I)?` (legacy pair scenario).
+    Pair {
+        /// Path start.
+        source: Oid,
+        /// Path end.
+        target: Oid,
+    },
+    /// The full N×M reachability matrix `target ∈ p(source, I)` in one
+    /// bit-parallel pass ([`MatrixResult`]).
+    Matrix {
+        /// Row objects (path starts).
+        sources: Vec<Oid>,
+        /// Column objects (path ends).
+        targets: Vec<Oid>,
+    },
+}
+
+/// One evaluation request: the question ([`SourceSpec`]) plus uniform
+/// execution controls. Built with the constructors and `with_*` builders;
+/// dispatched by [`Engine::run`].
+///
+/// The direction and frontier-mode fields are *hints*: engines with their
+/// own strategy (or a planner) may override them; the controlled execution
+/// paths honor `frontier_mode` directly.
+#[derive(Clone, Debug)]
+pub struct EvalRequest {
+    /// The question being asked.
+    pub spec: SourceSpec,
+    /// Traversal-direction hint for planning engines (`None` = let the
+    /// engine decide).
+    pub direction: Option<Direction>,
+    /// Fetch budget: hard cap on `edges_scanned` (`None` = unlimited).
+    pub budget: Option<usize>,
+    /// Per-level expansion strategy for the product BFS paths.
+    pub frontier_mode: FrontierMode,
+    /// Cooperative cancellation flag, shared with the submitting thread.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl EvalRequest {
+    /// An uncontrolled request asking `spec`, with default hints. The
+    /// shape-specific constructors below are shorthand over this.
+    pub fn new(spec: SourceSpec) -> EvalRequest {
+        EvalRequest {
+            spec,
+            direction: None,
+            budget: None,
+            frontier_mode: FrontierMode::default(),
+            cancel: None,
+        }
+    }
+
+    fn with_spec(spec: SourceSpec) -> EvalRequest {
+        EvalRequest::new(spec)
+    }
+
+    /// Single-source request (legacy `eval`).
+    pub fn source(source: Oid) -> EvalRequest {
+        EvalRequest::with_spec(SourceSpec::Source(source))
+    }
+
+    /// Multi-source request (legacy `eval_batch`).
+    pub fn sources(sources: Vec<Oid>) -> EvalRequest {
+        EvalRequest::with_spec(SourceSpec::Sources(sources))
+    }
+
+    /// Single-target request (legacy `eval_to`).
+    pub fn target(target: Oid) -> EvalRequest {
+        EvalRequest::with_spec(SourceSpec::Target(target))
+    }
+
+    /// Multi-target request (legacy `eval_to_batch`).
+    pub fn targets(targets: Vec<Oid>) -> EvalRequest {
+        EvalRequest::with_spec(SourceSpec::Targets(targets))
+    }
+
+    /// Pair-reachability request.
+    pub fn pair(source: Oid, target: Oid) -> EvalRequest {
+        EvalRequest::with_spec(SourceSpec::Pair { source, target })
+    }
+
+    /// N×M reachability-matrix request.
+    pub fn matrix(sources: Vec<Oid>, targets: Vec<Oid>) -> EvalRequest {
+        EvalRequest::with_spec(SourceSpec::Matrix { sources, targets })
+    }
+
+    /// Cap `edges_scanned` at `budget`.
+    pub fn with_budget(mut self, budget: usize) -> EvalRequest {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attach a cancellation flag (shared with the submitting thread).
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> EvalRequest {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Force a per-level expansion strategy.
+    pub fn with_frontier_mode(mut self, mode: FrontierMode) -> EvalRequest {
+        self.frontier_mode = mode;
+        self
+    }
+
+    /// Hint a traversal direction to planning engines.
+    pub fn with_direction(mut self, direction: Direction) -> EvalRequest {
+        self.direction = Some(direction);
+        self
+    }
+
+    /// Does the request carry a budget or a cancellation flag? Controlled
+    /// requests route through the budget-aware product kernels.
+    pub fn is_controlled(&self) -> bool {
+        self.budget.is_some() || self.cancel.is_some()
+    }
+
+    /// Borrow the controls in the form the kernels consume.
+    pub fn control(&self) -> EvalControl<'_> {
+        EvalControl {
+            budget: self.budget,
+            cancel: self.cancel.as_deref(),
+        }
+    }
+}
+
+/// The answer payload of an [`EvalResponse`], shaped by the request's
+/// [`SourceSpec`].
+#[derive(Clone, Debug)]
+pub enum Answers {
+    /// Sorted answer set (`Source` / `Target` requests).
+    Nodes(Vec<Oid>),
+    /// Per-source (or per-target) batched answers (`Sources` / `Targets`).
+    Batch(BatchResult),
+    /// Pair verdict (`Pair`). Under a non-complete termination, `false`
+    /// means *not determined*.
+    Reachable(bool),
+    /// Bit-packed N×M matrix (`Matrix`).
+    Matrix(MatrixResult),
+}
+
+/// The uniform evaluation response: answers, aggregated work counters, and
+/// how the run ended.
+#[derive(Clone, Debug)]
+pub struct EvalResponse {
+    /// The answer payload.
+    pub answers: Answers,
+    /// Aggregated work counters (mirrors the payload's stats).
+    pub stats: EvalStats,
+    /// Exact ([`Termination::Complete`]) or sound-subset termination.
+    pub termination: Termination,
+}
+
+impl EvalResponse {
+    /// Wrap a node-set result (complete).
+    pub fn from_nodes(result: EvalResult) -> EvalResponse {
+        EvalResponse {
+            stats: result.stats.clone(),
+            answers: Answers::Nodes(result.answers),
+            termination: Termination::Complete,
+        }
+    }
+
+    /// Wrap a batched result (complete).
+    pub fn from_batch(batch: BatchResult) -> EvalResponse {
+        EvalResponse {
+            stats: batch.stats.clone(),
+            answers: Answers::Batch(batch),
+            termination: Termination::Complete,
+        }
+    }
+
+    /// Wrap a pair result (complete).
+    pub fn from_pair(pair: PairResult) -> EvalResponse {
+        EvalResponse {
+            stats: pair.stats.clone(),
+            answers: Answers::Reachable(pair.reachable),
+            termination: Termination::Complete,
+        }
+    }
+
+    /// Wrap a matrix result (complete).
+    pub fn from_matrix(matrix: MatrixResult) -> EvalResponse {
+        EvalResponse {
+            stats: matrix.stats.clone(),
+            answers: Answers::Matrix(matrix),
+            termination: Termination::Complete,
+        }
+    }
+
+    /// Override the termination (builder for the controlled paths).
+    pub fn terminated(mut self, termination: Termination) -> EvalResponse {
+        self.termination = termination;
+        self
+    }
+
+    /// The sorted answer set, if the payload is node-shaped.
+    pub fn nodes(&self) -> Option<&[Oid]> {
+        match &self.answers {
+            Answers::Nodes(ns) => Some(ns),
+            _ => None,
+        }
+    }
+
+    /// The batched answers, if the payload is batch-shaped.
+    pub fn batch(&self) -> Option<&BatchResult> {
+        match &self.answers {
+            Answers::Batch(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The pair verdict, if the payload is pair-shaped.
+    pub fn reachable(&self) -> Option<bool> {
+        match &self.answers {
+            Answers::Reachable(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The reachability matrix, if the payload is matrix-shaped.
+    pub fn matrix(&self) -> Option<&MatrixResult> {
+        match &self.answers {
+            Answers::Matrix(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Collapse into the legacy single-set form: node payloads directly,
+    /// batch payloads as their union, anything else as an empty set.
+    pub fn into_eval_result(self) -> EvalResult {
+        let stats = self.stats;
+        let answers = match self.answers {
+            Answers::Nodes(ns) => ns,
+            Answers::Batch(b) => b.union().to_vec(),
+            Answers::Reachable(_) | Answers::Matrix(_) => Vec::new(),
+        };
+        EvalResult { answers, stats }
+    }
+
+    /// Collapse into the legacy batch form: batch payloads directly, node
+    /// payloads as a union-only batch, anything else as an empty batch.
+    pub fn into_batch(self) -> BatchResult {
+        match self.answers {
+            Answers::Batch(b) => b,
+            Answers::Nodes(ns) => BatchResult::union_only(ns, self.stats),
+            Answers::Reachable(_) | Answers::Matrix(_) => {
+                BatchResult::union_only(Vec::new(), self.stats)
+            }
+        }
+    }
+
+    /// Collapse into the legacy pair form (`reachable == false` for
+    /// non-pair payloads).
+    pub fn into_pair(self) -> PairResult {
+        let reachable = matches!(self.answers, Answers::Reachable(true));
+        PairResult {
+            reachable,
+            stats: self.stats,
+        }
+    }
+}
+
+/// The default [`Engine::run`] dispatch, shared by every engine that does
+/// not override `run`: uncontrolled requests route through the engine's
+/// own single-source strategy (and the shared backward/pair/matrix
+/// kernels); controlled requests route through the budget- and
+/// cancellation-aware product kernels, bypassing the engine so the budget
+/// binds uniformly.
+///
+/// Engines that *do* override `run` (for set-at-a-time strategies or
+/// planning) call back into this for the arms they don't specialize.
+pub fn run_default<E: Engine + ?Sized>(
+    engine: &E,
+    query: &Query,
+    graph: &CsrGraph,
+    req: &EvalRequest,
+) -> EvalResponse {
+    if req.is_controlled() {
+        return run_controlled(query, graph, req);
+    }
+    match &req.spec {
+        SourceSpec::Source(s) => EvalResponse::from_nodes(engine.eval(query, graph, *s)),
+        SourceSpec::Sources(ss) => {
+            let mut stats = EvalStats::default();
+            let mut per_source = Vec::with_capacity(ss.len());
+            for &s in ss {
+                let r = engine.eval(query, graph, s);
+                stats.merge(&r.stats);
+                per_source.push(r.answers);
+            }
+            EvalResponse::from_batch(BatchResult::from_per_source(per_source, stats))
+        }
+        SourceSpec::Target(t) => EvalResponse::from_nodes(crate::pair::eval_to(query, graph, *t)),
+        SourceSpec::Targets(ts) => {
+            let mut stats = EvalStats::default();
+            let mut per_target = Vec::with_capacity(ts.len());
+            for &t in ts {
+                let r = crate::pair::eval_to(query, graph, t);
+                stats.merge(&r.stats);
+                per_target.push(r.answers);
+            }
+            EvalResponse::from_batch(BatchResult::from_per_source(per_target, stats))
+        }
+        SourceSpec::Pair { source, target } => {
+            EvalResponse::from_pair(crate::pair::eval_pair(query, graph, *source, *target))
+        }
+        SourceSpec::Matrix { sources, targets } => {
+            let mut scratch = EvalScratch::new();
+            EvalResponse::from_matrix(eval_product_matrix_csr_with(
+                query.nfa(),
+                graph,
+                sources,
+                targets,
+                &mut scratch,
+            ))
+        }
+    }
+}
+
+/// Budget for the next item of a multi-item controlled request: whatever
+/// the whole-request budget has left after `spent` scans.
+fn remaining_budget(budget: Option<usize>, spent: usize) -> Option<usize> {
+    budget.map(|b| b.saturating_sub(spent))
+}
+
+/// Controlled execution: every arm runs through the budget- and
+/// cancellation-aware product kernels. Multi-item arms share one budget
+/// across items (unexplored items report empty answer sets — still a sound
+/// subset) and stop at the first non-complete termination.
+fn run_controlled(query: &Query, graph: &CsrGraph, req: &EvalRequest) -> EvalResponse {
+    let mode = req.frontier_mode;
+    let cancel = req.cancel.as_deref();
+    let mut scratch = EvalScratch::new();
+    match &req.spec {
+        SourceSpec::Source(s) => {
+            let (res, term) = eval_product_controlled_csr_with(
+                query.nfa(),
+                graph,
+                *s,
+                None,
+                mode,
+                &req.control(),
+                &mut scratch,
+            );
+            EvalResponse::from_nodes(res).terminated(term)
+        }
+        SourceSpec::Target(t) => {
+            let reversed = query.nfa().reverse();
+            let (res, term) = eval_product_backward_controlled_reversed_csr_with(
+                &reversed,
+                graph,
+                *t,
+                None,
+                mode,
+                &req.control(),
+                &mut scratch,
+            );
+            EvalResponse::from_nodes(res).terminated(term)
+        }
+        SourceSpec::Sources(ss) => {
+            let mut stats = EvalStats::default();
+            let mut per = Vec::with_capacity(ss.len());
+            let mut term = Termination::Complete;
+            for &s in ss {
+                let control = EvalControl {
+                    budget: remaining_budget(req.budget, stats.edges_scanned),
+                    cancel,
+                };
+                let (r, t) = eval_product_controlled_csr_with(
+                    query.nfa(),
+                    graph,
+                    s,
+                    None,
+                    mode,
+                    &control,
+                    &mut scratch,
+                );
+                stats.merge(&r.stats);
+                per.push(r.answers);
+                if !t.is_complete() {
+                    term = t;
+                    break;
+                }
+            }
+            per.resize(ss.len(), Vec::new());
+            EvalResponse::from_batch(BatchResult::from_per_source(per, stats)).terminated(term)
+        }
+        SourceSpec::Targets(ts) => {
+            let reversed = query.nfa().reverse();
+            let mut stats = EvalStats::default();
+            let mut per = Vec::with_capacity(ts.len());
+            let mut term = Termination::Complete;
+            for &t in ts {
+                let control = EvalControl {
+                    budget: remaining_budget(req.budget, stats.edges_scanned),
+                    cancel,
+                };
+                let (r, tt) = eval_product_backward_controlled_reversed_csr_with(
+                    &reversed,
+                    graph,
+                    t,
+                    None,
+                    mode,
+                    &control,
+                    &mut scratch,
+                );
+                stats.merge(&r.stats);
+                per.push(r.answers);
+                if !tt.is_complete() {
+                    term = tt;
+                    break;
+                }
+            }
+            per.resize(ts.len(), Vec::new());
+            EvalResponse::from_batch(BatchResult::from_per_source(per, stats)).terminated(term)
+        }
+        SourceSpec::Pair { source, target } => {
+            let (pair, term) = eval_product_pair_controlled_csr_with(
+                query.nfa(),
+                graph,
+                *source,
+                *target,
+                mode,
+                &req.control(),
+                &mut scratch,
+            );
+            EvalResponse::from_pair(pair).terminated(term)
+        }
+        SourceSpec::Matrix { sources, targets } => {
+            let mut matrix = MatrixResult::new(sources.clone(), targets.clone());
+            let mut stats = EvalStats::default();
+            let mut term = Termination::Complete;
+            for (i, &s) in sources.iter().enumerate() {
+                let control = EvalControl {
+                    budget: remaining_budget(req.budget, stats.edges_scanned),
+                    cancel,
+                };
+                let (r, t) = eval_product_controlled_csr_with(
+                    query.nfa(),
+                    graph,
+                    s,
+                    None,
+                    mode,
+                    &control,
+                    &mut scratch,
+                );
+                for (j, &tgt) in targets.iter().enumerate() {
+                    if r.answers.binary_search(&tgt).is_ok() {
+                        matrix.set(i, j);
+                    }
+                }
+                stats.merge(&r.stats);
+                if !t.is_complete() {
+                    term = t;
+                    break;
+                }
+            }
+            stats.answers = matrix.reachable_count();
+            matrix.stats = stats;
+            EvalResponse::from_matrix(matrix).terminated(term)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{
+        DerivativeEngine, ProductEngine, Query, QuotientDfaEngine, StreamingEngine,
+    };
+    use rpq_automata::Alphabet;
+    use rpq_graph::{CsrGraph, InstanceBuilder};
+
+    fn fig2ish() -> (Alphabet, CsrGraph) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("o1", "a", "o2");
+        b.edge("o2", "b", "o3");
+        b.edge("o3", "b", "o2");
+        b.edge("o1", "b", "o3");
+        b.edge("o3", "a", "o1");
+        let (inst, _) = b.finish();
+        (ab, CsrGraph::from(&inst))
+    }
+
+    fn engines() -> Vec<Box<dyn Engine>> {
+        vec![
+            Box::new(ProductEngine),
+            Box::new(QuotientDfaEngine),
+            Box::new(DerivativeEngine),
+            Box::new(StreamingEngine::default()),
+        ]
+    }
+
+    #[test]
+    fn run_agrees_with_every_legacy_entry_point() {
+        let (mut ab, csr) = fig2ish();
+        let all: Vec<Oid> = csr.nodes().collect();
+        for qs in ["a.b*", "(a+b)*", "b.b", "()", "[]"] {
+            let q = Query::parse(&mut ab, qs).unwrap();
+            for e in engines() {
+                let s = Oid(0);
+                let t = Oid(2);
+                let single = e.run(&q, &csr, &EvalRequest::source(s));
+                assert_eq!(single.termination, Termination::Complete);
+                assert_eq!(single.nodes().unwrap(), e.eval(&q, &csr, s).answers, "{qs}");
+
+                let batch = e.run(&q, &csr, &EvalRequest::sources(all.clone()));
+                assert_eq!(
+                    batch.batch().unwrap().union(),
+                    e.eval_batch(&q, &csr, &all).union(),
+                    "{qs} {}",
+                    e.name()
+                );
+
+                let to = e.run(&q, &csr, &EvalRequest::target(t));
+                assert_eq!(to.nodes().unwrap(), e.eval_to(&q, &csr, t).answers);
+
+                let to_batch = e.run(&q, &csr, &EvalRequest::targets(all.clone()));
+                assert_eq!(
+                    to_batch.batch().unwrap().union(),
+                    e.eval_to_batch(&q, &csr, &all).union()
+                );
+
+                let pair = e.run(&q, &csr, &EvalRequest::pair(s, t));
+                assert_eq!(
+                    pair.reachable().unwrap(),
+                    e.eval(&q, &csr, s).answers.contains(&t),
+                    "{qs} {}",
+                    e.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_request_agrees_with_pairwise_eval() {
+        let (mut ab, csr) = fig2ish();
+        let all: Vec<Oid> = csr.nodes().collect();
+        for qs in ["a.b*", "(a+b)*", "b.b", "()"] {
+            let q = Query::parse(&mut ab, qs).unwrap();
+            let resp = ProductEngine.run(&q, &csr, &EvalRequest::matrix(all.clone(), all.clone()));
+            let m = resp.matrix().unwrap();
+            for (i, &s) in all.iter().enumerate() {
+                let fwd = ProductEngine.eval(&q, &csr, s).answers;
+                for (j, &t) in all.iter().enumerate() {
+                    assert_eq!(m.reachable(i, j), fwd.contains(&t), "{qs} {s:?}->{t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_caps_edges_scanned_and_answers_stay_sound() {
+        let (mut ab, csr) = fig2ish();
+        let q = Query::parse(&mut ab, "(a+b)*").unwrap();
+        let full = ProductEngine.eval(&q, &csr, Oid(0)).answers;
+        for budget in 0..8 {
+            let resp =
+                ProductEngine.run(&q, &csr, &EvalRequest::source(Oid(0)).with_budget(budget));
+            assert!(
+                resp.stats.edges_scanned <= budget,
+                "scanned {} > budget {budget}",
+                resp.stats.edges_scanned
+            );
+            for n in resp.nodes().unwrap() {
+                assert!(full.contains(n), "budgeted answer {n:?} must be sound");
+            }
+            if resp.termination == Termination::Complete {
+                assert_eq!(resp.nodes().unwrap(), full);
+            }
+        }
+        // a generous budget completes exactly
+        let resp = ProductEngine.run(&q, &csr, &EvalRequest::source(Oid(0)).with_budget(100_000));
+        assert_eq!(resp.termination, Termination::Complete);
+        assert_eq!(resp.nodes().unwrap(), full);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_terminates_immediately() {
+        let (mut ab, csr) = fig2ish();
+        let q = Query::parse(&mut ab, "(a+b)*").unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        let req = EvalRequest::sources(csr.nodes().collect()).with_cancel(flag);
+        let resp = ProductEngine.run(&q, &csr, &req);
+        assert_eq!(resp.termination, Termination::Cancelled);
+        let full: Vec<Oid> = csr.nodes().collect();
+        for per in resp.batch().unwrap().per_source().unwrap() {
+            for n in per {
+                assert!(full.contains(n));
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_pair_found_is_definitive() {
+        let (mut ab, csr) = fig2ish();
+        let q = Query::parse(&mut ab, "a").unwrap();
+        let resp = ProductEngine.run(
+            &q,
+            &csr,
+            &EvalRequest::pair(Oid(0), Oid(1)).with_budget(100_000),
+        );
+        assert_eq!(resp.reachable(), Some(true));
+        assert_eq!(resp.termination, Termination::Complete);
+    }
+
+    #[test]
+    fn response_conversions_are_total() {
+        let (mut ab, csr) = fig2ish();
+        let q = Query::parse(&mut ab, "a.b*").unwrap();
+        let r = ProductEngine.run(&q, &csr, &EvalRequest::source(Oid(0)));
+        let as_batch = r.clone().into_batch();
+        assert_eq!(as_batch.union(), r.nodes().unwrap());
+        let as_eval = r.clone().into_eval_result();
+        assert_eq!(as_eval.answers, r.nodes().unwrap());
+        assert!(!r.into_pair().reachable);
+    }
+}

@@ -21,8 +21,9 @@ use crossbeam::channel::unbounded;
 
 use rpq_automata::Nfa;
 use rpq_core::{
-    eval_product_batch_csr_with, eval_product_to_batch_csr_with, BatchResult, Engine, EvalResult,
-    EvalStats, ProductEngine, Query, ScratchPool,
+    eval_product_batch_csr_with, eval_product_to_batch_csr_with, run_default, BatchResult, Engine,
+    EvalRequest, EvalResponse, EvalResult, EvalStats, ProductEngine, Query, ScratchPool,
+    SourceSpec,
 };
 use rpq_graph::{CsrGraph, Oid};
 
@@ -129,21 +130,35 @@ impl Engine for PartitionedBatchEngine {
         ProductEngine.eval(query, graph, source)
     }
 
-    fn eval_batch(&self, query: &Query, graph: &CsrGraph, sources: &[Oid]) -> BatchResult {
-        self.run_partitioned(sources, |chunk, scratch| {
-            eval_product_batch_csr_with(query.nfa(), graph, chunk, scratch)
-        })
-    }
-
-    /// Multi-target batch: one reversal of the query's NFA serves every
-    /// worker, each running the bit-parallel backward wave
-    /// ([`rpq_core::eval_product_to_batch_csr`]) over its chunk of the
-    /// target set.
-    fn eval_to_batch(&self, query: &Query, graph: &CsrGraph, targets: &[Oid]) -> BatchResult {
-        let reversed: Nfa = query.nfa().reverse();
-        self.run_partitioned(targets, |chunk, scratch| {
-            eval_product_to_batch_csr_with(&reversed, graph, chunk, scratch)
-        })
+    /// Specializes the uncontrolled multi-source and multi-target arms by
+    /// fanning the item set out over the worker threads, each running the
+    /// bit-parallel wave kernel on its chunk (one reversal of the query's
+    /// NFA serves every worker on the target side). Everything else falls
+    /// back to [`run_default`].
+    fn run(&self, query: &Query, graph: &CsrGraph, req: &EvalRequest) -> EvalResponse {
+        if !req.is_controlled() {
+            match &req.spec {
+                SourceSpec::Sources(sources) => {
+                    return EvalResponse::from_batch(self.run_partitioned(
+                        sources,
+                        |chunk, scratch| {
+                            eval_product_batch_csr_with(query.nfa(), graph, chunk, scratch)
+                        },
+                    ));
+                }
+                SourceSpec::Targets(targets) => {
+                    let reversed: Nfa = query.nfa().reverse();
+                    return EvalResponse::from_batch(self.run_partitioned(
+                        targets,
+                        |chunk, scratch| {
+                            eval_product_to_batch_csr_with(&reversed, graph, chunk, scratch)
+                        },
+                    ));
+                }
+                _ => {}
+            }
+        }
+        run_default(self, query, graph, req)
     }
 }
 

@@ -25,6 +25,7 @@
 //! plans (see its epoch-aware memo).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rpq_automata::Symbol;
 
@@ -99,6 +100,49 @@ impl LabelLog {
     }
 }
 
+/// When should a writer fold a [`DeltaGraph`]'s overlay into a fresh base?
+///
+/// Compaction trades a one-off `O(V + E)` rebuild (plus plan-memo
+/// invalidation in `rpq-optimizer`, since a fresh base is a fresh lineage)
+/// against the per-read cost of overlay merges. The policy triggers on
+/// either of two measured signals, gated by a minimum log size so tiny
+/// graphs don't thrash:
+///
+/// * **log/base edge ratio** — total log length (adds + tombstones) as a
+///   fraction of base edges ([`DeltaGraph::log_len`]);
+/// * **overlay overhead** — how many `(node, label)` rows pay the sorted
+///   merge instead of a raw slice ([`DeltaGraph::overlay_rows`]), as a
+///   fraction of the node count.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact once `log_len() > max_log_ratio * base.num_edges()`.
+    pub max_log_ratio: f64,
+    /// Never compact while `log_len() < min_log_len` (anti-thrash floor).
+    pub min_log_len: usize,
+    /// Compact once `overlay_rows() > max_overlay_row_fraction *
+    /// num_nodes()` — the measured read-amplification trigger.
+    pub max_overlay_row_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy {
+            max_log_ratio: 0.25,
+            min_log_len: 64,
+            max_overlay_row_fraction: 0.5,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never compacts (for tests and manual control).
+    pub const NEVER: CompactionPolicy = CompactionPolicy {
+        max_log_ratio: f64::INFINITY,
+        min_log_len: usize::MAX,
+        max_overlay_row_fraction: f64::INFINITY,
+    };
+}
+
 /// An incremental snapshot: immutable base [`CsrGraph`] plus per-label
 /// sorted add/tombstone logs. See the module docs for the design; build one
 /// with [`DeltaGraph::new`] (or [`DeltaGraph::from_instance`]), mutate with
@@ -107,7 +151,12 @@ impl LabelLog {
 /// [`DeltaGraph::compact`].
 #[derive(Clone, Debug)]
 pub struct DeltaGraph {
-    base: CsrGraph,
+    /// The immutable base, shared (`Arc`) so cloning a `DeltaGraph` for a
+    /// pinned reader snapshot costs `O(log)` rather than `O(V + E)`, and so
+    /// [`DeltaGraph::compact`] is copy-on-write: it installs a *fresh*
+    /// `Arc`, leaving every previously cloned snapshot reading its old base
+    /// undisturbed.
+    base: Arc<CsrGraph>,
     /// Add logs, indexed by label. Invariant: disjoint from the base (an
     /// edge present in the base is never also in the add log).
     adds: Vec<LabelLog>,
@@ -126,6 +175,12 @@ pub struct DeltaGraph {
 impl DeltaGraph {
     /// Wrap an immutable base snapshot, starting a fresh epoch lineage.
     pub fn new(base: CsrGraph) -> DeltaGraph {
+        DeltaGraph::from_shared(Arc::new(base))
+    }
+
+    /// Wrap an already-shared base snapshot (no copy), starting a fresh
+    /// epoch lineage.
+    pub fn from_shared(base: Arc<CsrGraph>) -> DeltaGraph {
         let stats = base.stats().clone();
         let edges = base.num_edges();
         DeltaGraph {
@@ -148,6 +203,14 @@ impl DeltaGraph {
     /// The current immutable base snapshot (excludes the overlay).
     pub fn base(&self) -> &CsrGraph {
         &self.base
+    }
+
+    /// Do `self` and `other` share the same physical base arena? Clones
+    /// share until one side compacts (copy-on-write); a pinned snapshot
+    /// therefore keeps serving its old base after the writer's
+    /// [`DeltaGraph::compact`].
+    pub fn shares_base_with(&self, other: &DeltaGraph) -> bool {
+        Arc::ptr_eq(&self.base, &other.base)
     }
 
     /// Number of nodes (base nodes plus nodes added since).
@@ -181,6 +244,73 @@ impl DeltaGraph {
     pub fn log_len(&self) -> usize {
         self.adds.iter().map(LabelLog::len).sum::<usize>()
             + self.dels.iter().map(LabelLog::len).sum::<usize>()
+    }
+
+    /// Measured overlay overhead: the number of `(node, label)` rows —
+    /// counting both orientations — that currently pay the sorted-merge
+    /// path ([`crate::view::OverlayEdges`]) instead of a raw base slice.
+    /// Every such row costs two binary searches per probe on the read side,
+    /// so this is the read-amplification half of a [`CompactionPolicy`].
+    pub fn overlay_rows(&self) -> usize {
+        fn distinct_union_keys(a: &[(Oid, Oid)], b: &[(Oid, Oid)]) -> usize {
+            let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+            loop {
+                let key = match (a.get(i), b.get(j)) {
+                    (Some(&(ka, _)), Some(&(kb, _))) => ka.min(kb),
+                    (Some(&(ka, _)), None) => ka,
+                    (None, Some(&(kb, _))) => kb,
+                    (None, None) => break,
+                };
+                while i < a.len() && a[i].0 == key {
+                    i += 1;
+                }
+                while j < b.len() && b[j].0 == key {
+                    j += 1;
+                }
+                n += 1;
+            }
+            n
+        }
+        let slots = self.adds.len().max(self.dels.len());
+        let mut rows = 0;
+        for slot in 0..slots {
+            let adds = self.adds.get(slot);
+            let dels = self.dels.get(slot);
+            let a_fwd = adds.map_or(&[][..], |l| &l.fwd);
+            let d_fwd = dels.map_or(&[][..], |l| &l.fwd);
+            let a_rev = adds.map_or(&[][..], |l| &l.rev);
+            let d_rev = dels.map_or(&[][..], |l| &l.rev);
+            rows += distinct_union_keys(a_fwd, d_fwd) + distinct_union_keys(a_rev, d_rev);
+        }
+        rows
+    }
+
+    /// Has the overlay grown past `policy`'s thresholds, so that the next
+    /// write boundary should fold it down? Readers never call this —
+    /// compaction is a writer-side decision; pinned snapshot clones keep
+    /// serving their old base regardless (see [`DeltaGraph::compact`]).
+    pub fn should_compact(&self, policy: &CompactionPolicy) -> bool {
+        let log = self.log_len();
+        if log < policy.min_log_len {
+            return false;
+        }
+        let base_edges = self.base.num_edges().max(1) as f64;
+        if log as f64 > policy.max_log_ratio * base_edges {
+            return true;
+        }
+        let rows = self.overlay_rows() as f64;
+        rows > policy.max_overlay_row_fraction * self.num_nodes().max(1) as f64
+    }
+
+    /// Compact if [`DeltaGraph::should_compact`] says so; returns whether a
+    /// compaction (and hence a lineage restart) happened.
+    pub fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+        if self.should_compact(policy) {
+            self.compact();
+            true
+        } else {
+            false
+        }
     }
 
     /// Iterate over all nodes.
@@ -390,6 +520,12 @@ impl DeltaGraph {
     /// plans memoized against the old base are invalidated. In debug
     /// builds, asserts the incrementally maintained [`LabelStats`] agree
     /// with the rebuilt base's recount.
+    ///
+    /// Compaction is **copy-on-write**: the rebuilt base is installed as a
+    /// fresh `Arc`, so `DeltaGraph` clones taken before the call (pinned
+    /// reader snapshots) keep the old base arena alive and finish their
+    /// traversals undisturbed — no reader is ever blocked or invalidated by
+    /// a writer-side compaction.
     pub fn compact(&mut self) {
         let n = self.num_nodes();
         let mut inst = Instance::new();
@@ -412,7 +548,7 @@ impl DeltaGraph {
             self.stats,
             base.stats()
         );
-        self.base = base;
+        self.base = Arc::new(base);
         self.adds.clear();
         self.dels.clear();
         self.extra_nodes = 0;
@@ -657,6 +793,65 @@ mod tests {
                 assert_eq!(collect(dg.out(v, sym)), csr.out(v, sym), "{v:?} {sym:?}");
             }
         }
+    }
+
+    #[test]
+    fn compaction_is_copy_on_write_for_pinned_clones() {
+        let (ab, inst) = sample();
+        let mut writer = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        writer.delete_edge(Oid(0), a, Oid(1));
+        let pinned = writer.clone(); // a reader's snapshot, O(log) to take
+        assert!(pinned.shares_base_with(&writer));
+        let pinned_epoch = pinned.epoch();
+        let pinned_edges: Vec<_> = pinned.edges().collect();
+
+        writer.add_edge(Oid(1), a, Oid(2));
+        writer.compact();
+        assert!(
+            !pinned.shares_base_with(&writer),
+            "compact installs a fresh base arc"
+        );
+        // the pinned snapshot is byte-for-byte undisturbed
+        assert_eq!(pinned.epoch(), pinned_epoch);
+        assert_eq!(pinned.edges().collect::<Vec<_>>(), pinned_edges);
+        assert!(!pinned.has_edge(Oid(1), a, Oid(2)));
+    }
+
+    #[test]
+    fn compaction_policy_triggers_on_ratio_and_row_fraction() {
+        let (ab, inst) = sample();
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        let ratio_only = CompactionPolicy {
+            max_log_ratio: 0.4,
+            min_log_len: 2,
+            max_overlay_row_fraction: f64::INFINITY,
+        };
+        assert!(!dg.should_compact(&ratio_only), "clean overlay never folds");
+        dg.delete_edge(Oid(0), a, Oid(1));
+        assert!(
+            !dg.should_compact(&ratio_only),
+            "below the anti-thrash floor"
+        );
+        dg.add_edge(Oid(1), a, Oid(0));
+        dg.add_edge(Oid(2), a, Oid(1));
+        // log_len = 3 > 0.4 * 6 base edges, and >= min_log_len
+        assert!(dg.should_compact(&ratio_only));
+        assert!(!dg.should_compact(&CompactionPolicy::NEVER));
+
+        let rows_only = CompactionPolicy {
+            max_log_ratio: f64::INFINITY,
+            min_log_len: 2,
+            max_overlay_row_fraction: 0.5,
+        };
+        // 3 mutations touch > 0.5 * 3 nodes worth of (node, label) rows
+        assert!(dg.overlay_rows() > 1);
+        assert!(dg.should_compact(&rows_only));
+
+        assert!(dg.maybe_compact(&ratio_only));
+        assert_eq!(dg.log_len(), 0);
+        assert!(!dg.maybe_compact(&ratio_only), "nothing left to fold");
     }
 
     #[test]

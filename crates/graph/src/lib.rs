@@ -42,7 +42,7 @@ pub mod view;
 
 pub use bitset::{FrontierArena, LaneMatrix, NodeBitset};
 pub use csr::{CsrGraph, LabelStats};
-pub use delta::DeltaGraph;
+pub use delta::{CompactionPolicy, DeltaGraph};
 pub use instance::{Instance, InstanceBuilder, Oid};
 pub use source::{GraphSource, InfiniteComb, InfiniteTree, LassoLine, NodeId};
 pub use view::{EdgeDelta, Epoch, GraphView, ViewEdges, ViewGroups};

@@ -60,11 +60,14 @@ use rpq_automata::{Alphabet, Nfa, Regex, Symbol};
 use rpq_constraints::general::Budget;
 use rpq_constraints::ConstraintSet;
 use rpq_core::{
-    eval_product_backward_reversed_csr_with, eval_product_bounded_backward_reversed_csr_with,
-    eval_product_bounded_csr_with, eval_product_csr_with,
-    eval_product_pair_backward_reversed_csr_with, eval_product_pair_forward_csr_with,
-    eval_product_pair_reversed_csr_with, eval_product_to_batch_csr_with, BatchResult, Engine,
-    EvalResult, EvalStats, FrontierMode, PairResult, Query, ScratchPool,
+    eval_product_backward_controlled_reversed_csr_with, eval_product_backward_reversed_csr_with,
+    eval_product_batch_csr_with, eval_product_bounded_backward_reversed_csr_with,
+    eval_product_bounded_csr_with, eval_product_controlled_csr_with, eval_product_csr_with,
+    eval_product_matrix_csr_with, eval_product_pair_backward_reversed_csr_with,
+    eval_product_pair_controlled_csr_with, eval_product_pair_forward_csr_with,
+    eval_product_pair_reversed_csr_with, eval_product_to_batch_csr_with, Answers, BatchResult,
+    Engine, EvalControl, EvalRequest, EvalResponse, EvalResult, EvalStats, FrontierMode,
+    MatrixResult, PairResult, Query, ScratchPool, SourceSpec, Termination,
 };
 use rpq_graph::{CsrGraph, GraphView, LabelStats, Oid};
 
@@ -497,6 +500,330 @@ impl<E> PlannedEngine<E> {
         self.stamp(&mut res.stats, &plan, hit);
         res
     }
+
+    /// Stamp plan observability into a response — both the aggregated
+    /// response counters and the payload's embedded stats, so legacy
+    /// conversions ([`EvalResponse::into_batch`] etc.) carry the plan
+    /// fields too.
+    fn stamped(&self, mut resp: EvalResponse, plan: &Plan, hit: bool) -> EvalResponse {
+        self.stamp(&mut resp.stats, plan, hit);
+        match &mut resp.answers {
+            Answers::Batch(b) => self.stamp(&mut b.stats, plan, hit),
+            Answers::Matrix(m) => self.stamp(&mut m.stats, plan, hit),
+            Answers::Nodes(_) | Answers::Reachable(_) => {}
+        }
+        resp
+    }
+
+    /// The unified [`EvalRequest`] entry point over **any** [`GraphView`] —
+    /// the form the serving layer drives: one plan probe per request
+    /// (rewrite + direction + analysis, memoized per epoch lineage), every
+    /// [`SourceSpec`] arm, and uniform budget/cancellation controls.
+    ///
+    /// Statically empty queries answer without touching the graph.
+    /// Finite-language plans cap the product BFS depth at the longest
+    /// accepted word — on controlled requests the cap *composes* with the
+    /// fetch budget (whichever binds first ends the search). Uncontrolled
+    /// multi-item arms run the bit-parallel lane kernels with the plan's
+    /// cached reversed automaton; the pair arm honors the request's
+    /// direction hint over the planned direction when one is given.
+    ///
+    /// [`Engine::run`] on a `CsrGraph` delegates here.
+    pub fn run_view<G: GraphView>(
+        &self,
+        query: &Query,
+        graph: &G,
+        req: &EvalRequest,
+    ) -> EvalResponse {
+        let (plan, hit) = self.plan_status(query.regex(), query.alphabet(), graph);
+        if plan.facts.statically_empty {
+            let empty_batch =
+                |n: usize| BatchResult::from_per_source(vec![Vec::new(); n], EvalStats::default());
+            let resp = match &req.spec {
+                SourceSpec::Source(_) | SourceSpec::Target(_) => {
+                    EvalResponse::from_nodes(EvalResult {
+                        answers: Vec::new(),
+                        stats: EvalStats::default(),
+                    })
+                }
+                SourceSpec::Sources(ss) => EvalResponse::from_batch(empty_batch(ss.len())),
+                SourceSpec::Targets(ts) => EvalResponse::from_batch(empty_batch(ts.len())),
+                SourceSpec::Pair { .. } => EvalResponse::from_pair(PairResult {
+                    reachable: false,
+                    stats: EvalStats::default(),
+                }),
+                SourceSpec::Matrix { sources, targets } => {
+                    EvalResponse::from_matrix(MatrixResult::new(sources.clone(), targets.clone()))
+                }
+            };
+            return self.stamped(resp, &plan, hit);
+        }
+        let resp = if req.is_controlled() {
+            self.run_view_controlled(&plan, graph, req)
+        } else {
+            self.run_view_uncontrolled(&plan, graph, req)
+        };
+        self.stamped(resp, &plan, hit)
+    }
+
+    /// The uncontrolled arms of [`PlannedEngine::run_view`]: the planned
+    /// query through the generic product kernels, bounded by the plan's
+    /// finite-language depth cap where one exists.
+    fn run_view_uncontrolled<G: GraphView>(
+        &self,
+        plan: &Plan,
+        graph: &G,
+        req: &EvalRequest,
+    ) -> EvalResponse {
+        let mode = req.frontier_mode;
+        let cap = plan.facts.max_word_len;
+        let mut scratch = self.scratch.checkout();
+        match &req.spec {
+            SourceSpec::Source(s) => EvalResponse::from_nodes(match cap {
+                Some(cap) => eval_product_bounded_csr_with(
+                    plan.query.nfa(),
+                    graph,
+                    *s,
+                    cap,
+                    mode,
+                    &mut scratch,
+                ),
+                None => eval_product_csr_with(plan.query.nfa(), graph, *s, mode, &mut scratch),
+            }),
+            SourceSpec::Sources(ss) => EvalResponse::from_batch(eval_product_batch_csr_with(
+                plan.query.nfa(),
+                graph,
+                ss,
+                &mut scratch,
+            )),
+            SourceSpec::Target(t) => EvalResponse::from_nodes(match cap {
+                Some(cap) => eval_product_bounded_backward_reversed_csr_with(
+                    &plan.reversed,
+                    graph,
+                    *t,
+                    cap,
+                    mode,
+                    &mut scratch,
+                ),
+                None => eval_product_backward_reversed_csr_with(
+                    &plan.reversed,
+                    graph,
+                    *t,
+                    mode,
+                    &mut scratch,
+                ),
+            }),
+            SourceSpec::Targets(ts) => match cap {
+                // Exact depth caps beat lane sharing on short words: keep
+                // the per-target bounded loop (mirrors `eval_to_batch`).
+                Some(cap) => {
+                    let mut stats = EvalStats::default();
+                    let mut per = Vec::with_capacity(ts.len());
+                    for &t in ts {
+                        let r = eval_product_bounded_backward_reversed_csr_with(
+                            &plan.reversed,
+                            graph,
+                            t,
+                            cap,
+                            mode,
+                            &mut scratch,
+                        );
+                        stats.merge(&r.stats);
+                        per.push(r.answers);
+                    }
+                    EvalResponse::from_batch(BatchResult::from_per_source(per, stats))
+                }
+                None => EvalResponse::from_batch(eval_product_to_batch_csr_with(
+                    &plan.reversed,
+                    graph,
+                    ts,
+                    &mut scratch,
+                )),
+            },
+            SourceSpec::Pair { source, target } => {
+                let direction = req.direction.unwrap_or(plan.direction);
+                EvalResponse::from_pair(match direction {
+                    Direction::Forward => eval_product_pair_forward_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        *source,
+                        *target,
+                        mode,
+                        &mut scratch,
+                    ),
+                    Direction::Backward => eval_product_pair_backward_reversed_csr_with(
+                        &plan.reversed,
+                        graph,
+                        *source,
+                        *target,
+                        mode,
+                        &mut scratch,
+                    ),
+                    Direction::Bidirectional => eval_product_pair_reversed_csr_with(
+                        plan.query.nfa(),
+                        &plan.reversed,
+                        graph,
+                        *source,
+                        *target,
+                        &mut scratch,
+                    ),
+                })
+            }
+            SourceSpec::Matrix { sources, targets } => {
+                EvalResponse::from_matrix(eval_product_matrix_csr_with(
+                    plan.query.nfa(),
+                    graph,
+                    sources,
+                    targets,
+                    &mut scratch,
+                ))
+            }
+        }
+    }
+
+    /// The controlled arms of [`PlannedEngine::run_view`]: the planned
+    /// query through the budget- and cancellation-aware kernels, with the
+    /// finite-language depth cap composed into every search. Multi-item
+    /// arms share one budget and stop at the first non-complete
+    /// termination (unexplored items report empty sets — a sound subset).
+    fn run_view_controlled<G: GraphView>(
+        &self,
+        plan: &Plan,
+        graph: &G,
+        req: &EvalRequest,
+    ) -> EvalResponse {
+        let mode = req.frontier_mode;
+        let cap = plan.facts.max_word_len;
+        let cancel = req.cancel.as_deref();
+        let mut scratch = self.scratch.checkout();
+        match &req.spec {
+            SourceSpec::Source(s) => {
+                let (res, term) = eval_product_controlled_csr_with(
+                    plan.query.nfa(),
+                    graph,
+                    *s,
+                    cap,
+                    mode,
+                    &req.control(),
+                    &mut scratch,
+                );
+                EvalResponse::from_nodes(res).terminated(term)
+            }
+            SourceSpec::Target(t) => {
+                let (res, term) = eval_product_backward_controlled_reversed_csr_with(
+                    &plan.reversed,
+                    graph,
+                    *t,
+                    cap,
+                    mode,
+                    &req.control(),
+                    &mut scratch,
+                );
+                EvalResponse::from_nodes(res).terminated(term)
+            }
+            SourceSpec::Sources(ss) => {
+                let mut stats = EvalStats::default();
+                let mut per = Vec::with_capacity(ss.len());
+                let mut term = Termination::Complete;
+                for &s in ss {
+                    let control = EvalControl {
+                        budget: req.budget.map(|b| b.saturating_sub(stats.edges_scanned)),
+                        cancel,
+                    };
+                    let (r, t) = eval_product_controlled_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        s,
+                        cap,
+                        mode,
+                        &control,
+                        &mut scratch,
+                    );
+                    stats.merge(&r.stats);
+                    per.push(r.answers);
+                    if !t.is_complete() {
+                        term = t;
+                        break;
+                    }
+                }
+                per.resize(ss.len(), Vec::new());
+                EvalResponse::from_batch(BatchResult::from_per_source(per, stats)).terminated(term)
+            }
+            SourceSpec::Targets(ts) => {
+                let mut stats = EvalStats::default();
+                let mut per = Vec::with_capacity(ts.len());
+                let mut term = Termination::Complete;
+                for &t in ts {
+                    let control = EvalControl {
+                        budget: req.budget.map(|b| b.saturating_sub(stats.edges_scanned)),
+                        cancel,
+                    };
+                    let (r, tt) = eval_product_backward_controlled_reversed_csr_with(
+                        &plan.reversed,
+                        graph,
+                        t,
+                        cap,
+                        mode,
+                        &control,
+                        &mut scratch,
+                    );
+                    stats.merge(&r.stats);
+                    per.push(r.answers);
+                    if !tt.is_complete() {
+                        term = tt;
+                        break;
+                    }
+                }
+                per.resize(ts.len(), Vec::new());
+                EvalResponse::from_batch(BatchResult::from_per_source(per, stats)).terminated(term)
+            }
+            SourceSpec::Pair { source, target } => {
+                let (pair, term) = eval_product_pair_controlled_csr_with(
+                    plan.query.nfa(),
+                    graph,
+                    *source,
+                    *target,
+                    mode,
+                    &req.control(),
+                    &mut scratch,
+                );
+                EvalResponse::from_pair(pair).terminated(term)
+            }
+            SourceSpec::Matrix { sources, targets } => {
+                let mut matrix = MatrixResult::new(sources.clone(), targets.clone());
+                let mut stats = EvalStats::default();
+                let mut term = Termination::Complete;
+                for (i, &s) in sources.iter().enumerate() {
+                    let control = EvalControl {
+                        budget: req.budget.map(|b| b.saturating_sub(stats.edges_scanned)),
+                        cancel,
+                    };
+                    let (r, t) = eval_product_controlled_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        s,
+                        cap,
+                        mode,
+                        &control,
+                        &mut scratch,
+                    );
+                    for (j, &tgt) in targets.iter().enumerate() {
+                        if r.answers.binary_search(&tgt).is_ok() {
+                            matrix.set(i, j);
+                        }
+                    }
+                    stats.merge(&r.stats);
+                    if !t.is_complete() {
+                        term = t;
+                        break;
+                    }
+                }
+                stats.answers = matrix.reachable_count();
+                matrix.stats = stats;
+                EvalResponse::from_matrix(matrix).terminated(term)
+            }
+        }
+    }
 }
 
 /// Pick the direction from the two entry-cost estimates: a decisive
@@ -528,6 +855,14 @@ fn within_factor(a: usize, b: usize, t: f64) -> bool {
 impl<E: Engine> Engine for PlannedEngine<E> {
     fn name(&self) -> &'static str {
         "planned"
+    }
+
+    /// The unified request entry point, planned: delegates to the
+    /// [`GraphView`]-generic [`PlannedEngine::run_view`] — one plan probe
+    /// per request, statically-empty and finite-language fast paths, and
+    /// budget/cancellation composed with the planned depth cap.
+    fn run(&self, query: &Query, graph: &CsrGraph, req: &EvalRequest) -> EvalResponse {
+        self.run_view(query, graph, req)
     }
 
     /// Rewrite (memoized), then delegate to the inner engine. The answer
@@ -1097,6 +1432,142 @@ mod tests {
         let mut ab3 = ab.clone();
         let ghost_only = Query::parse(&mut ab3, "ghost").unwrap();
         assert_eq!(planned.eval_view(&ghost_only, &dg, s).answers.len(), 1);
+    }
+
+    #[test]
+    fn run_view_agrees_with_legacy_entry_points_on_a_delta_view() {
+        let (mut ab, set, inst, v0) = cached_workload(4);
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let a = ab.get("a").unwrap();
+        assert!(dg.add_edge(v0, a, v0)); // a small overlay epoch on top
+        let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
+        let query = Query::parse(&mut ab, "(a.b)*").unwrap();
+        let all: Vec<Oid> = (0..dg.num_nodes()).map(|i| Oid(i as u32)).collect();
+        let t = all[all.len() / 2];
+
+        let single = planned.run_view(&query, &dg, &EvalRequest::source(v0));
+        assert_eq!(single.termination, Termination::Complete);
+        assert_eq!(
+            single.nodes().unwrap(),
+            planned.eval_view(&query, &dg, v0).answers
+        );
+        // exactly one plan probe per request, stamped into the response
+        assert_eq!(
+            single.stats.plan_cache_hits + single.stats.plan_cache_misses,
+            1
+        );
+
+        let to = planned.run_view(&query, &dg, &EvalRequest::target(t));
+        assert_eq!(to.nodes().unwrap(), planned.eval_to(&query, &dg, t).answers);
+
+        let batch = planned.run_view(&query, &dg, &EvalRequest::sources(all.clone()));
+        let per = batch.batch().unwrap().per_source().unwrap();
+        for (i, &s) in all.iter().enumerate() {
+            assert_eq!(per[i], planned.eval_view(&query, &dg, s).answers, "{s:?}");
+        }
+        assert_eq!(
+            batch.batch().unwrap().stats.plan_cache_hits
+                + batch.batch().unwrap().stats.plan_cache_misses,
+            1,
+            "payload stats carry the plan stamp too"
+        );
+
+        let to_batch = planned.run_view(&query, &dg, &EvalRequest::targets(all.clone()));
+        let per = to_batch.batch().unwrap().per_source().unwrap();
+        for (i, &tt) in all.iter().enumerate() {
+            assert_eq!(per[i], planned.eval_to(&query, &dg, tt).answers, "{tt:?}");
+        }
+
+        let pair = planned.run_view(&query, &dg, &EvalRequest::pair(v0, t));
+        assert_eq!(
+            pair.reachable().unwrap(),
+            planned.eval_pair(&query, &dg, v0, t).reachable
+        );
+
+        let m = planned.run_view(&query, &dg, &EvalRequest::matrix(all.clone(), all.clone()));
+        let m = m.matrix().unwrap();
+        for (i, &s) in all.iter().enumerate() {
+            let fwd = planned.eval_view(&query, &dg, s).answers;
+            for (j, &tt) in all.iter().enumerate() {
+                assert_eq!(m.reachable(i, j), fwd.contains(&tt), "{s:?}->{tt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_view_budget_composes_with_the_planned_depth_cap() {
+        let (mut ab, set, inst, v0) = cached_workload(4);
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::new(ProductEngine, set, ab.clone());
+        let query = Query::parse(&mut ab, "(a.b)*").unwrap();
+        let full = planned.eval_view(&query, &graph, v0).answers;
+        for budget in [0usize, 1, 3, 7, 100_000] {
+            let req = EvalRequest::source(v0).with_budget(budget);
+            let resp = planned.run_view(&query, &graph, &req);
+            assert!(
+                resp.stats.edges_scanned <= budget,
+                "scanned {} > budget {budget}",
+                resp.stats.edges_scanned
+            );
+            for n in resp.nodes().unwrap() {
+                assert!(full.contains(n), "budgeted answer must be sound");
+            }
+            if resp.termination == Termination::Complete {
+                assert_eq!(resp.nodes().unwrap(), &full[..]);
+            }
+            assert!(
+                resp.stats.plan_direction.is_some(),
+                "controlled paths stamp"
+            );
+        }
+        // a pre-raised cancel flag terminates immediately with sound output
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let req = EvalRequest::sources(vec![v0]).with_cancel(flag);
+        let resp = planned.run_view(&query, &graph, &req);
+        assert_eq!(resp.termination, Termination::Cancelled);
+    }
+
+    #[test]
+    fn run_view_statically_empty_answers_every_shape_without_scanning() {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("x", "a", "y");
+        let (inst, names) = b.finish();
+        let graph = CsrGraph::from(&inst);
+        let planned = PlannedEngine::unconstrained(ProductEngine, ab.clone());
+        let query = Query::parse(&mut ab, "a.ghost").unwrap();
+        let (x, y) = (names["x"], names["y"]);
+        let reqs = [
+            EvalRequest::source(x),
+            EvalRequest::sources(vec![x, y]),
+            EvalRequest::target(y),
+            EvalRequest::targets(vec![x, y]),
+            EvalRequest::pair(x, y),
+            EvalRequest::matrix(vec![x, y], vec![x, y]),
+            // controlled requests take the same zero-scan fast path
+            EvalRequest::pair(x, y).with_budget(10),
+        ];
+        for req in reqs {
+            let resp = planned.run_view(&query, &graph, &req);
+            assert_eq!(resp.stats.edges_scanned, 0, "{:?}", req.spec);
+            assert_eq!(resp.termination, Termination::Complete);
+            match (&req.spec, &resp.answers) {
+                (SourceSpec::Sources(ss), Answers::Batch(b)) => {
+                    assert_eq!(b.per_source().unwrap().len(), ss.len());
+                }
+                (SourceSpec::Targets(ts), Answers::Batch(b)) => {
+                    assert_eq!(b.per_source().unwrap().len(), ts.len());
+                }
+                (SourceSpec::Matrix { .. }, Answers::Matrix(m)) => {
+                    assert_eq!(m.reachable_count(), 0);
+                }
+                (_, Answers::Nodes(ns)) => assert!(ns.is_empty()),
+                (_, Answers::Reachable(r)) => assert!(!r),
+                other => panic!("unexpected payload shape: {other:?}"),
+            }
+        }
+        // emptiness is decided once per plan, then served from the memo
+        assert_eq!(planned.plan_cache_misses(), 1);
     }
 
     #[test]

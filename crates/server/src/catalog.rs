@@ -1,0 +1,255 @@
+//! [`Catalog`] — the MVCC heart of the serving layer: an `Arc`-swapped
+//! lineage of [`DeltaGraph`] epochs.
+//!
+//! One writer keeps absorbing [`EdgeDelta`] batches into a private
+//! **master** copy; after every commit it publishes an immutable
+//! `Arc<DeltaGraph>` snapshot. Readers [`Catalog::pin`] the published Arc
+//! and evaluate against it for as long as they like — the publish path
+//! never mutates a published snapshot, so a pinned reader is **never**
+//! blocked or disturbed, not even by compaction:
+//!
+//! ```text
+//!          writer                         readers
+//!   ┌──────────────────┐
+//!   │ master DeltaGraph │ apply_delta ──┐
+//!   └──────────────────┘               │ clone (cheap: Arc'd base +
+//!            │ maybe_compact(policy)    │  overlay logs only)
+//!            ▼                          ▼
+//!   published: RwLock<Arc<DeltaGraph>> ───► pin() ─► Arc<DeltaGraph>
+//!            │                                        (epoch e₇)
+//!            ▼ retained ring (≤ MAX_RETAINED_EPOCHS)
+//!   [e₄] [e₅] [e₆] [e₇]  ───► pin_at(e₅) for time travel
+//! ```
+//!
+//! The publish-time clone is copy-on-write in the load-bearing dimension:
+//! [`DeltaGraph`] holds its base CSR behind an `Arc`, so cloning copies
+//! only the overlay logs (`O(log_len)`), never the `O(V + E)` base.
+//! [`DeltaGraph::compact`] on the master installs a *fresh* base Arc with
+//! a fresh [`Epoch`] lineage — snapshots published earlier keep the old
+//! base alive until their last reader drops, which is exactly the
+//! epoch-pinning contract the planner's memo keys on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use rpq_graph::{CompactionPolicy, CsrGraph, DeltaGraph, EdgeDelta, Epoch, Instance};
+
+/// How many published epochs [`Catalog::pin_at`] can still reach. Older
+/// snapshots stay alive only while some reader holds their Arc.
+pub const MAX_RETAINED_EPOCHS: usize = 8;
+
+/// What one [`Catalog::commit`] did.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Commit {
+    /// The epoch the commit published.
+    pub epoch: Epoch,
+    /// Mutations that actually took effect (duplicates and misses skipped).
+    pub applied: usize,
+    /// Did the compaction policy fire, folding the overlay into a fresh
+    /// base lineage?
+    pub compacted: bool,
+}
+
+/// The epoch-pinned snapshot store: one writer, any number of readers.
+/// See the module docs for the lifecycle diagram.
+pub struct Catalog {
+    /// The writer's working copy. Only [`Catalog::commit`] locks it.
+    master: Mutex<DeltaGraph>,
+    /// The snapshot readers pin. Swapped whole on every commit.
+    published: RwLock<Arc<DeltaGraph>>,
+    /// Recent epochs for [`Catalog::pin_at`], newest last.
+    retained: Mutex<VecDeque<Arc<DeltaGraph>>>,
+    policy: CompactionPolicy,
+    commits: AtomicUsize,
+    compactions: AtomicUsize,
+}
+
+impl Catalog {
+    /// A catalog seeded from an immutable base snapshot, with the default
+    /// [`CompactionPolicy`].
+    pub fn new(base: CsrGraph) -> Catalog {
+        let master = DeltaGraph::from_shared(Arc::new(base));
+        let published = Arc::new(master.clone());
+        let mut retained = VecDeque::with_capacity(MAX_RETAINED_EPOCHS);
+        retained.push_back(published.clone());
+        Catalog {
+            master: Mutex::new(master),
+            published: RwLock::new(published),
+            retained: Mutex::new(retained),
+            policy: CompactionPolicy::default(),
+            commits: AtomicUsize::new(0),
+            compactions: AtomicUsize::new(0),
+        }
+    }
+
+    /// A catalog seeded by snapshotting `instance`.
+    pub fn from_instance(instance: &Instance) -> Catalog {
+        Catalog::new(CsrGraph::from(instance))
+    }
+
+    /// Replace the compaction policy (e.g. [`CompactionPolicy::NEVER`] to
+    /// pin the lineage for a test).
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> Catalog {
+        self.policy = policy;
+        self
+    }
+
+    /// The active compaction policy.
+    pub fn policy(&self) -> &CompactionPolicy {
+        &self.policy
+    }
+
+    /// Pin the latest published snapshot. The returned Arc stays valid —
+    /// and *bitwise unchanged* — no matter how many deltas or compactions
+    /// the writer commits afterwards.
+    pub fn pin(&self) -> Arc<DeltaGraph> {
+        self.published.read().clone()
+    }
+
+    /// Pin a specific retained epoch, if it is still within the
+    /// [`MAX_RETAINED_EPOCHS`] ring.
+    pub fn pin_at(&self, epoch: Epoch) -> Option<Arc<DeltaGraph>> {
+        self.retained
+            .lock()
+            .iter()
+            .rev()
+            .find(|s| s.epoch() == epoch)
+            .cloned()
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.published.read().epoch()
+    }
+
+    /// Apply one [`EdgeDelta`] batch and publish the resulting epoch:
+    /// mutate the master copy, let the policy decide whether to fold the
+    /// overlay down ([`DeltaGraph::maybe_compact`]), then swap in a fresh
+    /// snapshot. Readers pinned to earlier epochs are untouched.
+    pub fn commit(&self, delta: &EdgeDelta) -> Commit {
+        let mut master = self.master.lock();
+        let applied = master.apply_delta(delta);
+        let compacted = master.maybe_compact(&self.policy);
+        let snapshot = Arc::new(master.clone());
+        let epoch = snapshot.epoch();
+        // Publish while still holding the master lock so concurrent
+        // commits cannot publish out of order.
+        *self.published.write() = snapshot.clone();
+        drop(master);
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if compacted {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut retained = self.retained.lock();
+        if retained.len() == MAX_RETAINED_EPOCHS {
+            retained.pop_front();
+        }
+        retained.push_back(snapshot);
+        Commit {
+            epoch,
+            applied,
+            compacted,
+        }
+    }
+
+    /// Delta batches committed so far.
+    pub fn commits(&self) -> usize {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Commits on which the compaction policy fired.
+    pub fn compactions(&self) -> usize {
+        self.compactions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::Alphabet;
+    use rpq_graph::{InstanceBuilder, Oid};
+
+    fn seed() -> (Alphabet, Catalog, Oid, Oid) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..8 {
+            b.edge(&format!("n{i}"), "a", &format!("n{}", (i + 1) % 8));
+        }
+        let (inst, names) = b.finish();
+        let (n0, n1) = (names["n0"], names["n1"]);
+        (ab, Catalog::from_instance(&inst), n0, n1)
+    }
+
+    #[test]
+    fn pinned_snapshot_is_immutable_across_commits_and_compaction() {
+        let (ab, catalog, n0, n1) = seed();
+        let catalog = catalog.with_policy(CompactionPolicy {
+            min_log_len: 4,
+            max_log_ratio: 0.25,
+            ..CompactionPolicy::default()
+        });
+        let a = ab.get("a").unwrap();
+        let pinned = catalog.pin();
+        let epoch0 = pinned.epoch();
+        let edges0 = pinned.num_edges();
+
+        // Accumulating chord edges (the base is the +1 ring, these are +2)
+        // grow the log monotonically, so the ratio trigger must trip.
+        let mut compacted_some = false;
+        for round in 0..16u32 {
+            let mut d = EdgeDelta::new();
+            d.add(Oid(round % 8), a, Oid((round + 2) % 8));
+            compacted_some |= catalog.commit(&d).compacted;
+        }
+        assert!(compacted_some, "the policy must fire under this churn");
+        assert_eq!(pinned.epoch(), epoch0, "pinned epoch never moves");
+        assert_eq!(pinned.num_edges(), edges0, "pinned data never moves");
+        assert_ne!(catalog.epoch(), epoch0);
+        assert!(catalog.compactions() >= 1);
+        let fresh = catalog.pin();
+        assert!(
+            !fresh.shares_base_with(&pinned),
+            "compaction must have installed a fresh base lineage"
+        );
+        let _ = (n0, n1);
+    }
+
+    #[test]
+    fn pin_at_reaches_retained_epochs_only() {
+        let (ab, catalog, n0, _) = seed();
+        let catalog = catalog.with_policy(CompactionPolicy::NEVER);
+        let a = ab.get("a").unwrap();
+        let mut epochs = vec![catalog.epoch()];
+        for i in 0..MAX_RETAINED_EPOCHS + 3 {
+            let mut d = EdgeDelta::new();
+            d.add(n0, a, Oid((i % 8) as u32));
+            d.del(n0, a, Oid((i % 8) as u32));
+            epochs.push(catalog.commit(&d).epoch);
+        }
+        // the newest epochs are reachable, the oldest have been evicted
+        let newest = *epochs.last().unwrap();
+        assert_eq!(catalog.pin_at(newest).unwrap().epoch(), newest);
+        assert!(catalog.pin_at(epochs[0]).is_none(), "evicted from the ring");
+        let reachable = epochs
+            .iter()
+            .filter(|&&e| catalog.pin_at(e).is_some())
+            .count();
+        assert_eq!(reachable, MAX_RETAINED_EPOCHS);
+    }
+
+    #[test]
+    fn commit_reports_applied_mutations_and_epochs_advance() {
+        let (ab, catalog, n0, n1) = seed();
+        let a = ab.get("a").unwrap();
+        let mut d = EdgeDelta::new();
+        d.add(n0, a, n0); // new
+        d.add(n0, a, n1); // duplicate of a base edge
+        let c = catalog.commit(&d);
+        assert_eq!(c.applied, 1);
+        assert_eq!(c.epoch, catalog.epoch());
+        assert_eq!(catalog.commits(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! # rpq-server
+//!
+//! The concurrent serving layer: sessions evaluate regular path queries
+//! against **epoch-pinned snapshots** while a writer keeps absorbing edge
+//! deltas — the production shape of the paper's query processor, built
+//! entirely on the unified [`rpq_core::EvalRequest`] /
+//! [`rpq_core::EvalResponse`] convention.
+//!
+//! Three pieces:
+//!
+//! * [`Catalog`] — an `Arc`-swapped lineage of [`rpq_graph::DeltaGraph`]
+//!   epochs. The writer's [`Catalog::commit`] applies an
+//!   [`rpq_graph::EdgeDelta`], lets the [`rpq_graph::CompactionPolicy`]
+//!   decide whether to fold the overlay into a fresh base (measured
+//!   log/base edge ratio and overlay-row overhead, not a guess), and
+//!   publishes a new snapshot. Readers [`Catalog::pin`] an epoch and are
+//!   never blocked — compaction is copy-on-write, so a reader pinned to an
+//!   old epoch finishes undisturbed on the old base.
+//! * [`Server`] / [`Session`] / [`QueryHandle`] — the submission API. A
+//!   session pins an epoch; [`Session::submit`] runs the query on a worker
+//!   thread through the shared [`rpq_optimizer::PlannedEngine`] (one plan
+//!   memo and one `ScratchPool` across all workers), with per-query fetch
+//!   budgets, cooperative cancellation, and admission control
+//!   ([`SubmitError::Rejected`] above [`ServerConfig::max_concurrent`]).
+//!   Queries enter as text via [`Session::submit_text`]
+//!   (`parse("a.(b+c)*")` → constraints → analyze → plan → eval).
+//! * [`Metrics`] — per-[`QueryClass`] latency percentiles (p50/p99 over a
+//!   sliding window), `edges_scanned`, termination and rejection counts,
+//!   plus the push/pull level telemetry the `PULL_SWEEP_DISCOUNT`
+//!   calibration reads.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rpq_automata::Alphabet;
+//! use rpq_graph::{EdgeDelta, InstanceBuilder};
+//! use rpq_core::{EvalRequest, Termination};
+//! use rpq_server::{Catalog, Server};
+//!
+//! let mut ab = Alphabet::new();
+//! let mut b = InstanceBuilder::new(&mut ab);
+//! b.edge("o1", "a", "o2");
+//! b.edge("o2", "b", "o3");
+//! let (inst, names) = b.finish();
+//! let server = Server::new(Arc::new(Catalog::from_instance(&inst)), ab.clone());
+//!
+//! // A session pins the current epoch; queries enter as text.
+//! let session = server.session();
+//! let q = server.parse("a.b*").unwrap();
+//! let handle = session
+//!     .submit(&q, EvalRequest::source(names["o1"]))
+//!     .unwrap();
+//! let resp = handle.join();
+//! assert_eq!(resp.termination, Termination::Complete);
+//! assert_eq!(resp.nodes().unwrap().len(), 2); // {o2, o3}
+//!
+//! // The writer keeps going; the session's pin is unaffected until refresh.
+//! let a = ab.get("a").unwrap();
+//! let mut d = EdgeDelta::new();
+//! d.add(names["o2"], a, names["o1"]);
+//! server.catalog().commit(&d);
+//! assert_ne!(server.catalog().epoch(), session.epoch());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod metrics;
+pub mod session;
+
+pub use catalog::{Catalog, Commit, MAX_RETAINED_EPOCHS};
+pub use metrics::{ClassSnapshot, Metrics, QueryClass, LATENCY_WINDOW};
+pub use session::{QueryHandle, Server, ServerConfig, Session, SubmitError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use rpq_automata::Alphabet;
+    use rpq_core::{
+        eval_product_csr_with, EvalRequest, EvalScratch, FrontierMode, Query, SourceSpec,
+        Termination,
+    };
+    use rpq_graph::{CompactionPolicy, DeltaGraph, EdgeDelta, InstanceBuilder, Oid};
+
+    /// Exhaustive single-source answers over a pinned view, for soundness
+    /// oracles.
+    fn full_answers(q: &Query, view: &DeltaGraph, source: Oid) -> Vec<Oid> {
+        let mut scratch = EvalScratch::new();
+        eval_product_csr_with(q.nfa(), view, source, FrontierMode::Hybrid, &mut scratch).answers
+    }
+
+    /// A ring with a hub: n0 → n1 → … → n7 → n0 on `a`, hub edges on `b`.
+    fn workload() -> (Alphabet, Arc<Catalog>, Vec<Oid>) {
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..8 {
+            b.edge(&format!("n{i}"), "a", &format!("n{}", (i + 1) % 8));
+            b.edge("hub", "b", &format!("n{i}"));
+        }
+        let (inst, names) = b.finish();
+        let nodes = (0..8).map(|i| names[format!("n{i}").as_str()]).collect();
+        (ab, Arc::new(Catalog::from_instance(&inst)), nodes)
+    }
+
+    #[test]
+    fn text_query_flows_parse_plan_eval() {
+        let (ab, catalog, nodes) = workload();
+        let server = Server::new(catalog, ab);
+        let session = server.session();
+        let handle = session
+            .submit_text("a.a*", SourceSpec::Source(nodes[0]))
+            .unwrap();
+        assert_eq!(handle.class(), QueryClass::Single);
+        let resp = handle.join();
+        assert_eq!(resp.termination, Termination::Complete);
+        assert_eq!(resp.nodes().unwrap().len(), 8, "the whole ring");
+        // the planner stamped the response
+        assert_eq!(resp.stats.plan_cache_hits + resp.stats.plan_cache_misses, 1);
+        assert_eq!(server.metrics().class(QueryClass::Single).queries, 1);
+        // bad text is a parse error, not a panic
+        let err = session.submit_text("a.(b", SourceSpec::Source(nodes[0]));
+        assert!(matches!(err, Err(SubmitError::Parse(_))), "{err:?}");
+    }
+
+    #[test]
+    fn admission_rejects_above_cap_and_frees_on_join() {
+        let (ab, catalog, nodes) = workload();
+        let server = Server::new(catalog, ab).with_config(ServerConfig {
+            max_concurrent: 2,
+            default_budget: None,
+        });
+        let session = server.session();
+        let q = server.parse("a*").unwrap();
+        let h1 = session.submit(&q, EvalRequest::source(nodes[0])).unwrap();
+        let h2 = session.submit(&q, EvalRequest::source(nodes[1])).unwrap();
+        // Slots are held until handles are joined/dropped, so the third
+        // submission is rejected deterministically.
+        match session.submit(&q, EvalRequest::source(nodes[2])) {
+            Err(SubmitError::Rejected { active, cap }) => {
+                assert_eq!((active, cap), (2, 2));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(server.metrics().rejected(), 1);
+        assert_eq!(server.active_queries(), 2);
+        h1.join();
+        // the freed slot admits again
+        let h3 = session.submit(&q, EvalRequest::source(nodes[2])).unwrap();
+        h3.join();
+        h2.join();
+        assert_eq!(server.active_queries(), 0);
+    }
+
+    #[test]
+    fn default_budget_terminates_runaways_soundly() {
+        let (ab, catalog, nodes) = workload();
+        let server = Server::new(catalog, ab).with_config(ServerConfig {
+            max_concurrent: 4,
+            default_budget: Some(3),
+        });
+        let session = server.session();
+        let q = server.parse("(a+b)*").unwrap();
+        let resp = session
+            .submit(&q, EvalRequest::source(nodes[0]))
+            .unwrap()
+            .join();
+        assert_eq!(resp.termination, Termination::BudgetExhausted);
+        assert!(resp.stats.edges_scanned <= 3, "budget binds");
+        // answers are a sound subset of the exhaustive run
+        let full = full_answers(&q, session.snapshot(), nodes[0]);
+        for n in resp.nodes().unwrap() {
+            assert!(full.contains(n));
+        }
+        assert_eq!(
+            server.metrics().class(QueryClass::Single).budget_exhausted,
+            1
+        );
+        // an explicit request budget overrides the default
+        let resp = session
+            .submit(&q, EvalRequest::source(nodes[0]).with_budget(1_000_000))
+            .unwrap()
+            .join();
+        assert_eq!(resp.termination, Termination::Complete);
+        assert_eq!(resp.nodes().unwrap(), &full[..]);
+    }
+
+    #[test]
+    fn cancellation_yields_terminated_never_wrong() {
+        let (ab, catalog, nodes) = workload();
+        let server = Server::new(catalog, ab);
+        let session = server.session();
+        let q = server.parse("(a+b)*").unwrap();
+        let full = full_answers(&q, session.snapshot(), nodes[0]);
+        for _ in 0..8 {
+            let handle = session.submit(&q, EvalRequest::source(nodes[0])).unwrap();
+            handle.cancel();
+            let resp = handle.join();
+            // cancelled either before or after the search finished — both
+            // are fine, but the answers must always be sound
+            for n in resp.nodes().unwrap() {
+                assert!(full.contains(n));
+            }
+            if resp.termination == Termination::Complete {
+                assert_eq!(resp.nodes().unwrap(), &full[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_pin_epochs_and_refresh_moves_forward() {
+        let (ab, catalog, nodes) = workload();
+        let a = ab.get("a").unwrap();
+        let server = Server::new(catalog, ab).with_config(ServerConfig::default());
+        let mut session = server.session();
+        let q = server.parse("a").unwrap();
+        let e0 = session.epoch();
+        let before = session.run(&q, &EvalRequest::source(nodes[0]));
+
+        // writer commits a new a-edge from n0; the pinned session must
+        // not see it until refresh
+        let mut d = EdgeDelta::new();
+        d.add(nodes[0], a, nodes[4]);
+        let commit = server.catalog().commit(&d);
+        assert_eq!(commit.applied, 1);
+        assert_eq!(session.epoch(), e0, "pin holds");
+        let still = session.run(&q, &EvalRequest::source(nodes[0]));
+        assert_eq!(still.nodes().unwrap(), before.nodes().unwrap());
+
+        session.refresh();
+        assert_ne!(session.epoch(), e0);
+        let after = session.run(&q, &EvalRequest::source(nodes[0]));
+        assert_eq!(
+            after.nodes().unwrap().len(),
+            before.nodes().unwrap().len() + 1
+        );
+
+        // time travel back to the pinned epoch through the retained ring
+        let old = server.session_at(e0).unwrap();
+        let redo = old.run(&q, &EvalRequest::source(nodes[0]));
+        assert_eq!(redo.nodes().unwrap(), before.nodes().unwrap());
+    }
+
+    #[test]
+    fn workers_share_one_plan_memo_and_scratch_pool() {
+        let (ab, catalog, nodes) = workload();
+        let server = Server::new(catalog, ab);
+        let session = server.session();
+        let q = server.parse("a.a").unwrap();
+        let handles: Vec<_> = nodes
+            .iter()
+            .map(|&s| session.submit(&q, EvalRequest::source(s)).unwrap())
+            .collect();
+        for h in handles {
+            assert!(h.join().termination.is_complete());
+        }
+        assert_eq!(
+            server.engine().plan_cache_misses(),
+            1,
+            "one plan compiled, every other worker hit the memo"
+        );
+        assert!(server.engine().plan_cache_hits() >= nodes.len() - 1);
+        assert_eq!(server.metrics().class(QueryClass::Single).queries, 8);
+    }
+
+    #[test]
+    fn matrix_and_pair_classes_route_through_the_same_entry() {
+        let (ab, catalog, nodes) = workload();
+        let server = Server::new(catalog, ab);
+        let session = server.session();
+        let q = server.parse("a.a*").unwrap();
+        let m = session
+            .submit(&q, EvalRequest::matrix(nodes.clone(), nodes.clone()))
+            .unwrap();
+        assert_eq!(m.class(), QueryClass::Matrix);
+        let resp = m.join();
+        let matrix = resp.matrix().unwrap();
+        // the ring is strongly connected on `a`
+        assert_eq!(matrix.reachable_count(), nodes.len() * nodes.len());
+        let p = session
+            .submit(&q, EvalRequest::pair(nodes[0], nodes[5]))
+            .unwrap()
+            .join();
+        assert_eq!(p.reachable(), Some(true));
+        assert_eq!(server.metrics().class(QueryClass::Pair).queries, 1);
+    }
+
+    #[test]
+    fn reader_pinned_before_compaction_is_never_disturbed() {
+        let (ab, catalog, nodes) = workload();
+        let a = ab.get("a").unwrap();
+        let catalog = Arc::new(
+            Arc::try_unwrap(catalog)
+                .unwrap_or_else(|_| unreachable!("sole owner"))
+                .with_policy(CompactionPolicy {
+                    min_log_len: 2,
+                    max_log_ratio: 0.05,
+                    ..CompactionPolicy::default()
+                }),
+        );
+        let server = Server::new(catalog, ab);
+        let session = server.session();
+        let q = server.parse("a*").unwrap();
+        let baseline = session.run(&q, &EvalRequest::source(nodes[0]));
+
+        let mut compactions = 0;
+        for i in 0..16 {
+            let mut d = EdgeDelta::new();
+            d.add(nodes[i % 8], a, nodes[(i + 3) % 8]);
+            if server.catalog().commit(&d).compacted {
+                compactions += 1;
+            }
+        }
+        assert!(compactions >= 1, "the aggressive policy must fire");
+        // the pinned session still answers from its epoch, bit-for-bit
+        let again = session.run(&q, &EvalRequest::source(nodes[0]));
+        assert_eq!(again.nodes().unwrap(), baseline.nodes().unwrap());
+    }
+}

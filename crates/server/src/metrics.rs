@@ -1,0 +1,315 @@
+//! Per-query-class serving metrics: latency percentiles, work counters,
+//! termination outcomes, admission rejections.
+//!
+//! Every worker thread records into the shared [`Metrics`] after its
+//! evaluation finishes; [`Metrics::class`] folds a class's window into a
+//! [`ClassSnapshot`] on demand. Latencies are kept in a bounded sliding
+//! window per class (last [`LATENCY_WINDOW`] queries), so a long-lived
+//! server's percentiles track *recent* behavior and memory stays flat.
+//!
+//! The per-class `push_levels` / `pull_levels` sums are the calibration
+//! telemetry for the hybrid BFS's `PULL_SWEEP_DISCOUNT` (see the ROADMAP):
+//! aggregated across a real workload they say how often the
+//! direction-optimizing switch fires per class, which is the denominator
+//! the discount constant should be fit against.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use rpq_core::{EvalStats, SourceSpec, Termination};
+
+/// Sliding-window size for per-class latency percentiles.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// The request shapes the server accounts separately — one per
+/// [`SourceSpec`] arm.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Single-source (`SourceSpec::Source`).
+    Single,
+    /// Multi-source batch (`SourceSpec::Sources`).
+    Batch,
+    /// Target-bound (`SourceSpec::Target`).
+    TargetBound,
+    /// Multi-target batch (`SourceSpec::Targets`).
+    TargetBatch,
+    /// Pair reachability (`SourceSpec::Pair`).
+    Pair,
+    /// N×M reachability matrix (`SourceSpec::Matrix`).
+    Matrix,
+}
+
+impl QueryClass {
+    /// Every class, in display order.
+    pub const ALL: [QueryClass; 6] = [
+        QueryClass::Single,
+        QueryClass::Batch,
+        QueryClass::TargetBound,
+        QueryClass::TargetBatch,
+        QueryClass::Pair,
+        QueryClass::Matrix,
+    ];
+
+    /// The class a request shape belongs to.
+    pub fn of(spec: &SourceSpec) -> QueryClass {
+        match spec {
+            SourceSpec::Source(_) => QueryClass::Single,
+            SourceSpec::Sources(_) => QueryClass::Batch,
+            SourceSpec::Target(_) => QueryClass::TargetBound,
+            SourceSpec::Targets(_) => QueryClass::TargetBatch,
+            SourceSpec::Pair { .. } => QueryClass::Pair,
+            SourceSpec::Matrix { .. } => QueryClass::Matrix,
+        }
+    }
+
+    /// Stable display name (used by benches and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Single => "single",
+            QueryClass::Batch => "batch",
+            QueryClass::TargetBound => "target",
+            QueryClass::TargetBatch => "target-batch",
+            QueryClass::Pair => "pair",
+            QueryClass::Matrix => "matrix",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            QueryClass::Single => 0,
+            QueryClass::Batch => 1,
+            QueryClass::TargetBound => 2,
+            QueryClass::TargetBatch => 3,
+            QueryClass::Pair => 4,
+            QueryClass::Matrix => 5,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ClassAgg {
+    queries: usize,
+    edges_scanned: usize,
+    answers: usize,
+    push_levels: usize,
+    pull_levels: usize,
+    complete: usize,
+    budget_exhausted: usize,
+    cancelled: usize,
+    latencies_ns: VecDeque<u64>,
+}
+
+/// One class's folded metrics at a point in time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassSnapshot {
+    /// Queries recorded (lifetime of the server, not the window).
+    pub queries: usize,
+    /// Total `edges_scanned` across the class's queries.
+    pub edges_scanned: usize,
+    /// Total answers produced.
+    pub answers: usize,
+    /// Total sparse *push* BFS levels (PULL_SWEEP_DISCOUNT telemetry).
+    pub push_levels: usize,
+    /// Total dense *pull* BFS levels (PULL_SWEEP_DISCOUNT telemetry).
+    pub pull_levels: usize,
+    /// Runs that explored everything.
+    pub complete: usize,
+    /// Runs stopped by the fetch budget.
+    pub budget_exhausted: usize,
+    /// Runs stopped by cooperative cancellation.
+    pub cancelled: usize,
+    /// Median latency over the sliding window, nanoseconds (0 when empty).
+    pub p50_latency_ns: u64,
+    /// 99th-percentile latency over the sliding window, nanoseconds.
+    pub p99_latency_ns: u64,
+}
+
+/// Shared serving metrics: one aggregate per [`QueryClass`] plus the
+/// admission-rejection counter.
+#[derive(Default)]
+pub struct Metrics {
+    classes: [Mutex<ClassAgg>; 6],
+    rejected: AtomicUsize,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one finished query.
+    pub fn record(
+        &self,
+        class: QueryClass,
+        latency: Duration,
+        stats: &EvalStats,
+        termination: Termination,
+    ) {
+        let mut agg = self.classes[class.index()].lock();
+        agg.queries += 1;
+        agg.edges_scanned += stats.edges_scanned;
+        agg.answers += stats.answers;
+        agg.push_levels += stats.push_levels;
+        agg.pull_levels += stats.pull_levels;
+        match termination {
+            Termination::Complete => agg.complete += 1,
+            Termination::BudgetExhausted => agg.budget_exhausted += 1,
+            Termination::Cancelled => agg.cancelled += 1,
+        }
+        if agg.latencies_ns.len() == LATENCY_WINDOW {
+            agg.latencies_ns.pop_front();
+        }
+        agg.latencies_ns
+            .push_back(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Count one admission rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Submissions rejected by admission control so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Fold one class's aggregate into a snapshot (computes the window
+    /// percentiles).
+    pub fn class(&self, class: QueryClass) -> ClassSnapshot {
+        let agg = self.classes[class.index()].lock();
+        let mut window: Vec<u64> = agg.latencies_ns.iter().copied().collect();
+        window.sort_unstable();
+        ClassSnapshot {
+            queries: agg.queries,
+            edges_scanned: agg.edges_scanned,
+            answers: agg.answers,
+            push_levels: agg.push_levels,
+            pull_levels: agg.pull_levels,
+            complete: agg.complete,
+            budget_exhausted: agg.budget_exhausted,
+            cancelled: agg.cancelled,
+            p50_latency_ns: percentile(&window, 0.50),
+            p99_latency_ns: percentile(&window, 0.99),
+        }
+    }
+
+    /// Total queries recorded across every class.
+    pub fn total_queries(&self) -> usize {
+        QueryClass::ALL.iter().map(|&c| self.class(c).queries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(edges: usize) -> EvalStats {
+        EvalStats {
+            edges_scanned: edges,
+            answers: 1,
+            push_levels: 2,
+            pull_levels: 1,
+            ..EvalStats::default()
+        }
+    }
+
+    #[test]
+    fn records_aggregate_per_class() {
+        let m = Metrics::new();
+        m.record(
+            QueryClass::Single,
+            Duration::from_micros(10),
+            &stats(100),
+            Termination::Complete,
+        );
+        m.record(
+            QueryClass::Single,
+            Duration::from_micros(30),
+            &stats(50),
+            Termination::BudgetExhausted,
+        );
+        m.record(
+            QueryClass::Pair,
+            Duration::from_micros(5),
+            &stats(7),
+            Termination::Cancelled,
+        );
+        let s = m.class(QueryClass::Single);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.edges_scanned, 150);
+        assert_eq!(s.complete, 1);
+        assert_eq!(s.budget_exhausted, 1);
+        assert_eq!(s.push_levels, 4);
+        assert!(s.p50_latency_ns >= Duration::from_micros(10).as_nanos() as u64);
+        assert!(s.p99_latency_ns >= s.p50_latency_ns);
+        assert_eq!(m.class(QueryClass::Pair).cancelled, 1);
+        assert_eq!(m.class(QueryClass::Matrix), ClassSnapshot::default());
+        assert_eq!(m.total_queries(), 3);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..LATENCY_WINDOW + 100 {
+            m.record(
+                QueryClass::Batch,
+                Duration::from_nanos(i as u64),
+                &stats(0),
+                Termination::Complete,
+            );
+        }
+        let s = m.class(QueryClass::Batch);
+        assert_eq!(
+            s.queries,
+            LATENCY_WINDOW + 100,
+            "lifetime count keeps going"
+        );
+        // the window dropped the 100 oldest (smallest) samples
+        assert!(s.p50_latency_ns as usize >= 100 + LATENCY_WINDOW / 2 - 1);
+    }
+
+    #[test]
+    fn class_of_covers_every_spec() {
+        use rpq_graph::Oid;
+        let o = Oid(0);
+        assert_eq!(QueryClass::of(&SourceSpec::Source(o)), QueryClass::Single);
+        assert_eq!(
+            QueryClass::of(&SourceSpec::Sources(vec![o])),
+            QueryClass::Batch
+        );
+        assert_eq!(
+            QueryClass::of(&SourceSpec::Target(o)),
+            QueryClass::TargetBound
+        );
+        assert_eq!(
+            QueryClass::of(&SourceSpec::Targets(vec![o])),
+            QueryClass::TargetBatch
+        );
+        assert_eq!(
+            QueryClass::of(&SourceSpec::Pair {
+                source: o,
+                target: o
+            }),
+            QueryClass::Pair
+        );
+        assert_eq!(
+            QueryClass::of(&SourceSpec::Matrix {
+                sources: vec![o],
+                targets: vec![o]
+            }),
+            QueryClass::Matrix
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Sessions, query handles, and admission control — the client-facing
+//! surface of the serving layer.
+//!
+//! A [`Session`] pins one [`Catalog`] epoch; every query it submits
+//! evaluates against that pinned snapshot on a worker thread, through the
+//! shared [`PlannedEngine`] (one plan memo, one `ScratchPool`, reused
+//! across all workers). [`Session::refresh`] re-pins to the latest
+//! published epoch; the old snapshot lives on until its last handle
+//! finishes.
+//!
+//! A query enters as **text** ([`Session::submit_text`]) or as a prebuilt
+//! [`Query`] + [`EvalRequest`] ([`Session::submit`]); either way it flows
+//! parse → constraints → analyze → plan → eval, and the *only* evaluation
+//! entry point is the unified request form
+//! ([`PlannedEngine::run_view`]).
+//!
+//! Admission control counts **outstanding handles** (submitted, not yet
+//! joined or dropped) against [`ServerConfig::max_concurrent`]; a
+//! submission over the cap is rejected synchronously with
+//! [`SubmitError::Rejected`], carrying the observed occupancy. Every
+//! submission gets a cancellation flag ([`QueryHandle::cancel`]) and —
+//! unless the request carries its own — the server's default fetch
+//! budget, so a runaway query terminates with
+//! [`rpq_core::Termination::BudgetExhausted`] instead of monopolizing a
+//! worker.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use rpq_automata::{Alphabet, ParseError};
+use rpq_constraints::ConstraintSet;
+use rpq_core::{EvalRequest, EvalResponse, ProductEngine, Query, SourceSpec};
+use rpq_graph::{DeltaGraph, Epoch};
+use rpq_optimizer::PlannedEngine;
+
+use crate::catalog::Catalog;
+use crate::metrics::{Metrics, QueryClass};
+
+/// Serving knobs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Admission cap: maximum outstanding [`QueryHandle`]s. Submissions
+    /// over the cap are rejected with [`SubmitError::Rejected`].
+    pub max_concurrent: usize,
+    /// Fetch budget stamped onto requests that do not carry their own
+    /// (`None` = unlimited by default).
+    pub default_budget: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_concurrent: 64,
+            default_budget: None,
+        }
+    }
+}
+
+/// Why a submission did not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control: the server is at its concurrency cap.
+    Rejected {
+        /// Outstanding handles observed at rejection time.
+        active: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The query text did not parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Rejected { active, cap } => {
+                write!(f, "admission rejected: {active} of {cap} slots in use")
+            }
+            SubmitError::Parse(e) => write!(f, "query did not parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<ParseError> for SubmitError {
+    fn from(e: ParseError) -> SubmitError {
+        SubmitError::Parse(e)
+    }
+}
+
+/// Releases one admission slot when dropped (handle joined, dropped, or
+/// the submission path unwound).
+struct AdmissionSlot(Arc<AtomicUsize>);
+
+impl Drop for AdmissionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The serving front end: a shared planner over a [`Catalog`], sessions,
+/// admission control, and [`Metrics`].
+pub struct Server {
+    catalog: Arc<Catalog>,
+    engine: Arc<PlannedEngine<ProductEngine>>,
+    alphabet: Mutex<Alphabet>,
+    metrics: Arc<Metrics>,
+    active: Arc<AtomicUsize>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// A server over `catalog` with no path constraints.
+    pub fn new(catalog: Arc<Catalog>, alphabet: Alphabet) -> Server {
+        Server::with_constraints(catalog, ConstraintSet::default(), alphabet)
+    }
+
+    /// A server whose planner rewrites under `set` (the constraints known
+    /// to hold on the served data).
+    pub fn with_constraints(
+        catalog: Arc<Catalog>,
+        set: ConstraintSet,
+        alphabet: Alphabet,
+    ) -> Server {
+        Server {
+            catalog,
+            engine: Arc::new(PlannedEngine::new(ProductEngine, set, alphabet.clone())),
+            alphabet: Mutex::new(alphabet),
+            metrics: Arc::new(Metrics::new()),
+            active: Arc::new(AtomicUsize::new(0)),
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// Replace the serving knobs.
+    pub fn with_config(mut self, config: ServerConfig) -> Server {
+        self.config = config;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The snapshot store this server serves from.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The shared planner (plan memo + scratch pool, shared by every
+    /// worker thread).
+    pub fn engine(&self) -> &Arc<PlannedEngine<ProductEngine>> {
+        &self.engine
+    }
+
+    /// The shared serving metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Outstanding handles right now.
+    pub fn active_queries(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Parse query text against the server's shared alphabet (labels are
+    /// interned on first sight). This is the text front end: the returned
+    /// [`Query`] flows through constraints → analyze → plan → eval when
+    /// submitted.
+    pub fn parse(&self, text: &str) -> Result<Query, ParseError> {
+        let mut ab = self.alphabet.lock();
+        Query::parse(&mut ab, text)
+    }
+
+    /// Open a session pinned to the latest published epoch.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            server: self,
+            snapshot: self.catalog.pin(),
+        }
+    }
+
+    /// Open a session pinned to a specific retained epoch (time travel
+    /// within the catalog's ring).
+    pub fn session_at(&self, epoch: Epoch) -> Option<Session<'_>> {
+        Some(Session {
+            server: self,
+            snapshot: self.catalog.pin_at(epoch)?,
+        })
+    }
+}
+
+/// One client's view of the data: a pinned snapshot plus the submission
+/// API. Cheap to open; open as many as you like.
+pub struct Session<'s> {
+    server: &'s Server,
+    snapshot: Arc<DeltaGraph>,
+}
+
+impl Session<'_> {
+    /// The epoch this session is pinned to.
+    pub fn epoch(&self) -> Epoch {
+        self.snapshot.epoch()
+    }
+
+    /// The pinned snapshot itself.
+    pub fn snapshot(&self) -> &Arc<DeltaGraph> {
+        &self.snapshot
+    }
+
+    /// Re-pin to the latest published epoch. In-flight handles submitted
+    /// before the refresh keep their old snapshot.
+    pub fn refresh(&mut self) {
+        self.snapshot = self.server.catalog.pin();
+    }
+
+    /// Submit a parsed query. Returns a [`QueryHandle`] whose worker is
+    /// already running, or rejects synchronously (admission).
+    pub fn submit(&self, query: &Query, req: EvalRequest) -> Result<QueryHandle, SubmitError> {
+        let cap = self.server.config.max_concurrent;
+        let active = &self.server.active;
+        if active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_err()
+        {
+            self.server.metrics.record_rejected();
+            return Err(SubmitError::Rejected {
+                active: active.load(Ordering::SeqCst),
+                cap,
+            });
+        }
+        let slot = AdmissionSlot(active.clone());
+
+        let mut req = req;
+        if req.budget.is_none() {
+            if let Some(b) = self.server.config.default_budget {
+                req = req.with_budget(b);
+            }
+        }
+        let cancel = match &req.cancel {
+            Some(c) => c.clone(),
+            None => {
+                let c = Arc::new(AtomicBool::new(false));
+                req = req.with_cancel(c.clone());
+                c
+            }
+        };
+
+        let class = QueryClass::of(&req.spec);
+        let snapshot = self.snapshot.clone();
+        let epoch = snapshot.epoch();
+        let engine = self.server.engine.clone();
+        let metrics = self.server.metrics.clone();
+        let query = query.clone();
+        let join = std::thread::spawn(move || {
+            let start = Instant::now();
+            let resp = engine.run_view(&query, &*snapshot, &req);
+            metrics.record(class, start.elapsed(), &resp.stats, resp.termination);
+            resp
+        });
+        Ok(QueryHandle {
+            join,
+            cancel,
+            class,
+            epoch,
+            _slot: slot,
+        })
+    }
+
+    /// Submit query text: parse against the shared alphabet, then
+    /// [`Session::submit`] with the given request shape.
+    pub fn submit_text(&self, text: &str, spec: SourceSpec) -> Result<QueryHandle, SubmitError> {
+        let query = self.server.parse(text)?;
+        self.submit(&query, EvalRequest::new(spec))
+    }
+
+    /// Evaluate synchronously on the caller's thread against the pinned
+    /// snapshot (no admission slot, no worker thread; still recorded in
+    /// the metrics). The low-latency path for point queries.
+    pub fn run(&self, query: &Query, req: &EvalRequest) -> EvalResponse {
+        let class = QueryClass::of(&req.spec);
+        let start = Instant::now();
+        let resp = self.server.engine.run_view(query, &*self.snapshot, req);
+        self.server
+            .metrics
+            .record(class, start.elapsed(), &resp.stats, resp.termination);
+        resp
+    }
+}
+
+/// A running (or finished) submitted query. Holds its admission slot until
+/// joined or dropped; dropping without joining detaches the worker (it
+/// still finishes and records metrics).
+pub struct QueryHandle {
+    join: JoinHandle<EvalResponse>,
+    cancel: Arc<AtomicBool>,
+    class: QueryClass,
+    epoch: Epoch,
+    _slot: AdmissionSlot,
+}
+
+impl fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("class", &self.class)
+            .field("epoch", &self.epoch)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl QueryHandle {
+    /// Raise the cooperative cancellation flag. The worker stops at its
+    /// next BFS level boundary and returns the sound subset collected so
+    /// far with [`rpq_core::Termination::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the worker finished (successfully or not)?
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+
+    /// The metrics class this query is accounted under.
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// The epoch the query is evaluating against.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Block until the worker finishes and take its response.
+    pub fn join(self) -> EvalResponse {
+        self.join.join().expect("query worker panicked")
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`constraints`] | §4, §5 | rewrite systems, Theorems 4.2/4.3/4.10, Armstrong instances, the sound axiomatization, the deterministic special case |
 //! | [`distributed`] | §3.1, §5 | the subquery/answer/done/akn protocol, simulator, threaded runner (sites hold CSR shards), carrying agents, decomposition baseline, fault injection |
 //! | [`optimizer`] | §3.2, §5 | constraint-based rewriting, static + label-statistics cost models, per-site hooks, cached-view combination search |
+//! | [`server`] | — | the concurrent serving layer: epoch-pinned snapshot catalog, sessions with budgets/cancellation, admission control, per-class metrics |
 //!
 //! ## The two graph forms
 //!
@@ -77,3 +78,4 @@ pub use rpq_datalog as datalog;
 pub use rpq_distributed as distributed;
 pub use rpq_graph as graph;
 pub use rpq_optimizer as optimizer;
+pub use rpq_server as server;

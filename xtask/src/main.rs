@@ -21,6 +21,10 @@
 //!   allocator. Deliberate exceptions (result vectors, non-pooled
 //!   baseline arenas) carry an `// alloc-ok: <why>` comment on the same
 //!   line, which allowlists it.
+//! * **No blocking sleeps in the serving layer** — `thread::sleep` is
+//!   forbidden in `crates/server/src` outside `#[cfg(test)]` items. The
+//!   server coordinates with locks, atomics, and joins; a sleep in the
+//!   serving path is a latency bug (or a hidden race being papered over).
 //!
 //! The scanner blanks comments and string/char literals before matching,
 //! so prose like "never unwrap() here" or a format string containing
@@ -59,6 +63,12 @@ const NO_ALLOC_FILES: &[&str] = &[
 ];
 /// Forbidden tokens for the no-alloc rule.
 const ALLOC_TOKENS: &[&str] = &["vec![", "Vec::new()"];
+/// Crates whose non-test sources must never block on a timer.
+const NO_SLEEP_DIRS: &[&str] = &["crates/server/src"];
+/// Forbidden tokens for the no-sleep rule. `thread::sleep` catches both
+/// the `std::thread::sleep(..)` path form and a `use`d `thread::sleep`;
+/// `sleep(` alone would false-positive on unrelated identifiers.
+const SLEEP_TOKENS: &[&str] = &["thread::sleep", "sleep_ms"];
 /// Marker that allowlists one line for the no-alloc rule. Checked on the
 /// *original* line text, because the marker lives in a comment.
 const ALLOC_OK: &str = "alloc-ok:";
@@ -85,6 +95,11 @@ fn lint() -> ExitCode {
     }
     for file in NO_ALLOC_FILES {
         scan_file(&root.join(file), &mut violations, check_no_hot_path_allocs);
+    }
+    for dir in NO_SLEEP_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            scan_file(&file, &mut violations, check_no_sleeps);
+        }
     }
     if violations.is_empty() {
         println!("xtask lint: clean");
@@ -192,6 +207,31 @@ fn check_no_hot_path_allocs(
                     file: file.to_path_buf(),
                     line: i + 1,
                     rule: "hot-path-alloc",
+                    text: original[i].clone(),
+                });
+                break;
+            }
+        }
+    }
+}
+
+fn check_no_sleeps(
+    file: &Path,
+    original: &[String],
+    cleaned: &[String],
+    mask: &[bool],
+    violations: &mut Vec<Violation>,
+) {
+    for (i, line) in cleaned.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        for tok in SLEEP_TOKENS {
+            if line.contains(tok) {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: "no-sleep",
                     text: original[i].clone(),
                 });
                 break;
@@ -461,6 +501,24 @@ mod tests {
         assert_eq!(v.len(), 1, "only the untagged non-test alloc is flagged");
         assert_eq!(v[0].line, 3);
         assert_eq!(v[0].rule, "hot-path-alloc");
+    }
+
+    #[test]
+    fn sleeps_are_flagged_outside_tests_only() {
+        let src = "fn serve() {\n  std::thread::sleep(d);\n}\n#[cfg(test)]\nmod tests {\n  fn t() { std::thread::sleep(d); }\n}\n";
+        let c = lines(src);
+        let m = test_mask(&c);
+        let mut v = Vec::new();
+        check_no_sleeps(
+            Path::new("x.rs"),
+            &src.lines().map(str::to_string).collect::<Vec<_>>(),
+            &c,
+            &m,
+            &mut v,
+        );
+        assert_eq!(v.len(), 1, "only the non-test sleep is flagged");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, "no-sleep");
     }
 
     #[test]
