@@ -63,6 +63,6 @@ pub use elim::nfa_to_regex;
 pub use glushkov::glushkov;
 pub use growth::{classify_regex, Growth};
 pub use nfa::{Nfa, StateId};
-pub use parser::{parse_regex, parse_word, ParseError};
+pub use parser::{parse_regex, parse_regex_embedded, parse_word, ParseError};
 pub use regex::Regex;
 pub use simplify::{simplify, simplify_deep, simplify_with, SimplifyConfig};

@@ -418,6 +418,20 @@ pub fn parse_regex(alphabet: &mut Alphabet, src: &str) -> Result<Regex, ParseErr
     Ok(r)
 }
 
+/// Parse a path query that appears *embedded* in a larger source string
+/// (e.g. one atom body of a conjunctive query): parses `&src[range]` and
+/// shifts any error span by the slice's starting offset, so diagnostics
+/// point into the original text. The range must lie on character
+/// boundaries of `src`.
+pub fn parse_regex_embedded(
+    alphabet: &mut Alphabet,
+    src: &str,
+    range: std::ops::Range<usize>,
+) -> Result<Regex, ParseError> {
+    let start = range.start;
+    parse_regex(alphabet, &src[range]).map_err(|e| e.offset(start))
+}
+
 /// Parse a *word* (a label sequence such as `a.b.c` or `a b c`; `()` for ε).
 /// Errors if the expression denotes anything other than a single word.
 pub fn parse_word(alphabet: &mut Alphabet, src: &str) -> Result<Vec<crate::Symbol>, ParseError> {

@@ -33,22 +33,27 @@
 //!   aggregated per-class p50/p99 latency (asserting the admission cap
 //!   rejects above capacity and a budgeted query terminates early with
 //!   `edges_scanned <= budget`).
+//! * **T17 conjunctive join planning** — the cost-based atom order with
+//!   semijoin propagation against the worst static order and the naive
+//!   independent-atom evaluator on the hot/rare skew workload (asserting
+//!   the planned order scans strictly fewer edges than both, with
+//!   identical binding sets).
 //!
 //! ```text
 //! bench_baseline [--json PATH] [--repeats N]
 //! ```
 //!
 //! Without `--json` the tables go to stdout; with it, the T1 document is
-//! written to `PATH` and the T12/T13/T14/T15/T16 documents to siblings
+//! written to `PATH` and the T12/T13/T14/T15/T16/T17 documents to siblings
 //! `BENCH_t12.json` / `BENCH_t13.json` / `BENCH_t14.json` /
-//! `BENCH_t15.json` / `BENCH_t16.json` (CI uploads all six as the
-//! bench-regression artifacts).
+//! `BENCH_t15.json` / `BENCH_t16.json` / `BENCH_t17.json` (CI uploads all
+//! seven as the bench-regression artifacts).
 
 use std::time::Instant;
 
 use rpq_automata::parse_regex;
 use rpq_bench::{
-    direction_workload, distributed_workload, eval_workload, incremental_workload,
+    crpq_workload, direction_workload, distributed_workload, eval_workload, incremental_workload,
     multi_source_workload, multi_target_workload, pull_workload, skewed_workload,
 };
 use rpq_core::{
@@ -56,10 +61,13 @@ use rpq_core::{
     eval_product_pair_forward_csr, eval_product_to_batch_csr, Engine, EvalScratch, EvalStats,
     FrontierMode, ProductEngine, Query, ScratchPool,
 };
-use rpq_core::{EvalRequest, Termination};
+use rpq_core::{EvalControl, EvalRequest, Termination};
 use rpq_distributed::PartitionedBatchEngine;
 use rpq_graph::{CsrGraph, DeltaGraph};
-use rpq_optimizer::{Direction, PlannedEngine};
+use rpq_optimizer::{
+    execute_join, execute_naive, parse_crpq, plan_join, Direction, HeadBindings, PlannedEngine,
+    PlannerConfig,
+};
 use rpq_server::{Catalog, QueryClass, Server, ServerConfig, SubmitError};
 
 struct SeriesPoint {
@@ -572,6 +580,100 @@ fn main() {
         );
     }
 
+    // T17 conjunctive-join series: the cost-based atom order (rare
+    // bottleneck first, hot atom backward from the bound join variable)
+    // against the worst static order and the naive independent-atom
+    // evaluator. The assertions mirror the t17 bench's acceptance
+    // criteria, so a join-planning regression fails this job rather than
+    // shifting the baseline.
+    let mut t17_points: Vec<SeriesPoint> = Vec::new();
+    for &n_src in &[64usize, 256] {
+        let w = crpq_workload(n_src, 16);
+        let mut ab = w.alphabet.clone();
+        let crpq = parse_crpq(&mut ab, w.text).expect("workload text parses");
+        let graph = CsrGraph::from(&w.instance);
+        let plan = plan_join(
+            &crpq,
+            graph.stats(),
+            &PlannerConfig::default(),
+            false,
+            false,
+        );
+        let run = |order: &[usize]| {
+            let mut scratch = EvalScratch::new();
+            execute_join(
+                &crpq,
+                order,
+                &graph,
+                HeadBindings::default(),
+                FrontierMode::Hybrid,
+                &EvalControl::UNLIMITED,
+                &mut scratch,
+            )
+        };
+
+        let (t, stats) = measure(repeats, || run(&plan.order).stats);
+        t17_points.push(SeriesPoint {
+            name: "crpq_planned_order",
+            n: n_src,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        let planned_edges = stats.edges_scanned;
+        let planned_pairs = run(&plan.order).pairs;
+        assert_eq!(
+            planned_pairs.len(),
+            w.answers,
+            "every source must reach the sink at n_src={n_src}"
+        );
+
+        let worst_order = [vec![0usize, 1], vec![1, 0]]
+            .into_iter()
+            .max_by_key(|o| run(o).stats.edges_scanned)
+            .unwrap();
+        let (t, stats) = measure(repeats, || run(&worst_order).stats);
+        t17_points.push(SeriesPoint {
+            name: "crpq_worst_static_order",
+            n: n_src,
+            median_ns: t,
+            edges_scanned: stats.edges_scanned,
+        });
+        assert_eq!(
+            run(&worst_order).pairs,
+            planned_pairs,
+            "atom order must never change semantics at n_src={n_src}"
+        );
+        assert!(
+            planned_edges * 2 < stats.edges_scanned,
+            "planned order must scan strictly fewer edges than the worst \
+             static order (planned {planned_edges} vs worst {} at n_src={n_src})",
+            stats.edges_scanned
+        );
+
+        let (t, _) = measure(repeats, || {
+            let (pairs, edges) = execute_naive(&crpq, &graph, HeadBindings::default());
+            EvalStats {
+                edges_scanned: edges,
+                answers: pairs.len(),
+                ..Default::default()
+            }
+        });
+        let (naive_pairs, naive_edges) = execute_naive(&crpq, &graph, HeadBindings::default());
+        t17_points.push(SeriesPoint {
+            name: "crpq_naive_independent",
+            n: n_src,
+            median_ns: t,
+            edges_scanned: naive_edges,
+        });
+        assert_eq!(naive_pairs, planned_pairs);
+        assert!(
+            planned_edges < naive_edges,
+            "semijoin propagation must scan fewer edges than independent \
+             atom evaluation (planned {planned_edges} vs naive {naive_edges} \
+             at n_src={n_src})"
+        );
+    }
+
     for (title, pts) in [
         ("t1_multi_source", &points),
         ("t12_direction_choice", &t12_points),
@@ -579,6 +681,7 @@ fn main() {
         ("t14_static_analysis", &t14_points),
         ("t15_hot_path", &t15_points),
         ("t16_serving", &t16_points),
+        ("t17_crpq", &t17_points),
     ] {
         println!("\n[{title}]");
         println!(
@@ -633,6 +736,7 @@ fn main() {
             repeats,
             &t16_points,
         );
+        write_doc(&sibling("BENCH_t17.json"), "t17_crpq", repeats, &t17_points);
     }
 }
 

@@ -457,6 +457,53 @@ pub fn distributed_workload(depth: usize) -> DistributedWorkload {
     }
 }
 
+/// A join-order-skewed conjunctive workload (T17). `n_src` source nodes
+/// each fan out on `hot` across `spread` hub nodes, but only hub 0
+/// continues on `rare` to a single sink. For the CRPQ
+/// `ans(x, z) :- x -[hot]-> y, y -[rare]-> z` the cost-based planner
+/// must pick the rare atom first (one edge, binds `y = hub0`) and then
+/// run the hot atom *backward* from the bound hub — scanning `n_src + 1`
+/// edges total — while the worst static order (hot atom first, unbound)
+/// scans all `n_src × spread` hot edges before the join prunes anything.
+pub struct CrpqWorkload {
+    /// Shared alphabet (`hot`, `rare`).
+    pub alphabet: Alphabet,
+    /// The instance (snapshot with `CsrGraph::from`).
+    pub instance: Instance,
+    /// The conjunctive query text (parse with `rpq_optimizer::parse_crpq`
+    /// against [`CrpqWorkload::alphabet`]).
+    pub text: &'static str,
+    /// Total `hot` edges (`n_src × spread`) — the worst order's scan bill.
+    pub hot_edges: usize,
+    /// Expected answer count (`n_src`: every source reaches the sink via
+    /// hub 0).
+    pub answers: usize,
+}
+
+/// Build the T17 workload with `n_src` sources fanning over `spread` hubs.
+pub fn crpq_workload(n_src: usize, spread: usize) -> CrpqWorkload {
+    let mut alphabet = Alphabet::new();
+    let hot = alphabet.intern("hot");
+    let rare = alphabet.intern("rare");
+    let mut instance = Instance::new();
+    let hubs: Vec<Oid> = (0..spread).map(|_| instance.add_node()).collect();
+    for _ in 0..n_src {
+        let s = instance.add_node();
+        for &h in &hubs {
+            instance.add_edge(s, hot, h);
+        }
+    }
+    let sink = instance.add_node();
+    instance.add_edge(hubs[0], rare, sink);
+    CrpqWorkload {
+        alphabet,
+        instance,
+        text: "ans(x, z) :- x -[hot]-> y, y -[rare]-> z",
+        hot_edges: n_src * spread,
+        answers: n_src,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +611,16 @@ mod tests {
         // p ⊆ q by construction (b vs b+ε)
         assert!(rpq_automata::ops::regex_included(&p, &q));
         assert!(!rpq_automata::ops::regex_included(&q, &p));
+    }
+
+    #[test]
+    fn crpq_workload_shape() {
+        let w = crpq_workload(8, 4);
+        assert_eq!(w.hot_edges, 32);
+        assert_eq!(w.answers, 8);
+        // hot fan-out plus the single rare bottleneck edge
+        assert_eq!(w.instance.num_edges(), 33);
+        assert!(w.text.contains(":-"));
     }
 
     #[test]

@@ -189,9 +189,11 @@ fn batch_wave_kernel<G: GraphView>(
 /// bit `l` set ⟺ wave source `wave_start + l` answers `v`), the wave's
 /// starting index into `sources`, and the wave length. [`batch_wave_kernel`]
 /// collects per-source answer lists; the matrix pass fills
-/// [`MatrixResult`] rows directly from the same masks. The returned stats
-/// leave `answers` at 0 — the caller sets it from its own representation.
-fn batch_wave_kernel_sink<G: GraphView>(
+/// [`MatrixResult`] rows directly from the same masks, and the set-valued
+/// pair kernels ([`crate::pairset`]) turn them into (source, target)
+/// bindings. The returned stats leave `answers` at 0 — the caller sets it
+/// from its own representation.
+pub(crate) fn batch_wave_kernel_sink<G: GraphView>(
     nfa: &Nfa,
     graph: &G,
     sources: &[Oid],
@@ -436,7 +438,7 @@ pub fn eval_product_matrix_csr_with<G: GraphView>(
 
 /// Mask covering the first `wave_len` lanes (`wave_len ≤ 64`).
 #[inline]
-fn lane_mask(wave_len: usize) -> u64 {
+pub(crate) fn lane_mask(wave_len: usize) -> u64 {
     if wave_len >= 64 {
         u64::MAX
     } else {

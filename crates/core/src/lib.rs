@@ -33,6 +33,12 @@
 //!   backward, and meet-in-the-middle strategies ([`eval_pair`],
 //!   [`eval_to`]); `rpq-optimizer`'s `PlannedEngine` picks among them from
 //!   per-label statistics;
+//! * [`pairset`] — *set-valued* pair answers: the (source, target) binding
+//!   sets a conjunctive-query atom induces between bound endpoint sets,
+//!   computed on the bit-parallel lane kernels with forward / backward /
+//!   both-bound strategies ([`eval_pairs_from_sources_csr_with`] and
+//!   friends) — the per-atom machinery `rpq-optimizer`'s join planner
+//!   composes;
 //! * [`QuotientDfaEngine`] / [`eval_quotient_dfa_csr`] — explicit quotients
 //!   as lazily determinized state sets (the possibly-exponential
 //!   construction the paper warns about);
@@ -79,6 +85,7 @@ pub mod engine;
 pub mod general;
 pub mod oracle;
 pub mod pair;
+pub mod pairset;
 pub mod product;
 pub mod quotient;
 pub mod request;
@@ -102,12 +109,19 @@ pub use pair::{
     eval_product_pair_csr, eval_product_pair_csr_with, eval_product_pair_forward_csr,
     eval_product_pair_forward_csr_with, eval_product_pair_reversed_csr_with, eval_to, PairResult,
 };
+pub use pairset::{
+    eval_pairs_bound_controlled_csr_with, eval_pairs_bound_csr_with,
+    eval_pairs_from_sources_controlled_csr_with, eval_pairs_from_sources_csr_with,
+    eval_pairs_to_targets_controlled_csr_with, eval_pairs_to_targets_csr_with, seed_candidates,
+    PairSetResult,
+};
 pub use product::{
     eval_product, eval_product_backward_controlled_reversed_csr_with, eval_product_backward_csr,
     eval_product_backward_reversed_csr, eval_product_backward_reversed_csr_with,
     eval_product_bounded_backward_reversed_csr, eval_product_bounded_backward_reversed_csr_with,
     eval_product_bounded_csr, eval_product_bounded_csr_with, eval_product_controlled_csr_with,
     eval_product_csr, eval_product_csr_with, eval_product_scan, EvalResult, FrontierMode,
+    PULL_SWEEP_DISCOUNT,
 };
 pub use quotient::{
     eval_derivative, eval_derivative_csr, eval_quotient_dfa, eval_quotient_dfa_csr,
@@ -117,5 +131,5 @@ pub use request::{
 };
 pub use rpq_graph::CsrGraph;
 pub use scratch::{EvalScratch, PooledScratch, ScratchPool};
-pub use stats::{Direction, EvalStats};
+pub use stats::{AtomStats, Direction, EvalStats};
 pub use streaming::{StreamStatus, StreamingEval};

@@ -62,9 +62,20 @@ use crate::stats::EvalStats;
 /// How `product_search_with` expands each BFS level.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum FrontierMode {
-    /// Choose push or pull per level from measured costs (the default).
+    /// Choose push or pull per level from measured costs (the default),
+    /// pricing the dense sweep with the calibrated
+    /// [`PULL_SWEEP_DISCOUNT`].
     #[default]
     Hybrid,
+    /// [`FrontierMode::Hybrid`] with an explicit pull-sweep discount
+    /// divisor — the `rpq_optimizer::PlannerConfig::pull_sweep_discount`
+    /// knob threaded down to the level pricer. Built with
+    /// [`FrontierMode::hybrid_with_discount`].
+    HybridTuned {
+        /// Divisor for the dense sweep's O(|Q|·|V|) mark-table price
+        /// (clamped to ≥ 1); larger values make pull sweeps fire earlier.
+        pull_discount: usize,
+    },
     /// Always sparse push expansion — the pre-optimization behavior, kept
     /// as the baseline the hybrid is asserted against (bench
     /// `t15_hot_path`).
@@ -74,10 +85,38 @@ pub enum FrontierMode {
     ForcedDense,
 }
 
+impl FrontierMode {
+    /// Hybrid expansion with an explicit pull-sweep discount divisor.
+    /// `hybrid_with_discount(PULL_SWEEP_DISCOUNT)` prices levels exactly
+    /// like [`FrontierMode::Hybrid`].
+    pub fn hybrid_with_discount(pull_discount: usize) -> FrontierMode {
+        FrontierMode::HybridTuned {
+            pull_discount: pull_discount.max(1),
+        }
+    }
+
+    /// The pull-sweep discount divisor this mode prices dense sweeps with
+    /// (the calibrated [`PULL_SWEEP_DISCOUNT`] unless tuned).
+    pub fn pull_discount(self) -> usize {
+        match self {
+            FrontierMode::HybridTuned { pull_discount } => pull_discount.max(1),
+            _ => PULL_SWEEP_DISCOUNT,
+        }
+    }
+}
+
 /// Divisor discounting the pull sweep's O(|Q|·|V|) mark-table reads against
 /// edge probes when pricing a level: a contiguous `u32` read is far cheaper
 /// than a label-group probe, but not free.
-const PULL_SWEEP_DISCOUNT: usize = 16;
+///
+/// The default is *calibrated* against the per-class `push_levels` /
+/// `pull_levels` telemetry the server's `Metrics` aggregate (see
+/// `rpq_server::Metrics::suggest_pull_discount`): on the T15 saturating
+/// workloads a divisor of 16 makes the switch fire on every
+/// mostly-reached level while never pricing a sparse early level as
+/// dense. Tune per deployment via
+/// `rpq_optimizer::PlannerConfig::pull_sweep_discount`.
+pub const PULL_SWEEP_DISCOUNT: usize = 16;
 
 /// Result of an evaluation: sorted answers plus work counters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -378,7 +417,7 @@ pub(crate) fn product_search_with<G: GraphView>(
         active: mode != FrontierMode::ForcedSparse,
         remaining: 0,
     };
-    let sweep_cost = (nq * nv) / PULL_SWEEP_DISCOUNT;
+    let sweep_cost = (nq * nv) / mode.pull_discount();
     if bound.active {
         scratch.build_rev_trans(nfa);
         let gstats = graph.stats();
@@ -472,7 +511,7 @@ pub(crate) fn product_search_with<G: GraphView>(
         let use_pull = match mode {
             FrontierMode::ForcedSparse => false,
             FrontierMode::ForcedDense => true,
-            FrontierMode::Hybrid => {
+            FrontierMode::Hybrid | FrontierMode::HybridTuned { .. } => {
                 // Exact cost push would pay for this level: row lengths
                 // from the label index — no edge is scanned to price it.
                 let mut push_cost = 0usize;

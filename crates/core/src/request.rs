@@ -32,6 +32,12 @@ use rpq_graph::{CsrGraph, Oid};
 use crate::batch::{eval_product_matrix_csr_with, BatchResult, MatrixResult};
 use crate::engine::{Engine, Query};
 use crate::pair::{eval_product_pair_controlled_csr_with, PairResult};
+use crate::pairset::{
+    eval_pairs_bound_controlled_csr_with, eval_pairs_bound_csr_with,
+    eval_pairs_from_sources_controlled_csr_with, eval_pairs_from_sources_csr_with,
+    eval_pairs_to_targets_controlled_csr_with, eval_pairs_to_targets_csr_with, seed_candidates,
+    PairSetResult,
+};
 use crate::product::{
     eval_product_backward_controlled_reversed_csr_with, eval_product_controlled_csr_with,
     EvalResult, FrontierMode,
@@ -120,6 +126,21 @@ pub enum SourceSpec {
         /// Column objects (path ends).
         targets: Vec<Oid>,
     },
+    /// The *binding set* `{(s, t) | t ∈ p(s, I)}` restricted to optional
+    /// endpoint sets — the conjunctive-query form. On a single-atom query
+    /// this asks the atom's set-valued pair question directly
+    /// ([`crate::pairset`]); `rpq-optimizer` routes multi-atom CRPQs
+    /// through the same spec, with `sources` / `targets` restricting the
+    /// head variables. `None` means the endpoint is a free variable
+    /// (unrestricted).
+    Conjunctive {
+        /// Allowed left-endpoint (head source variable) bindings; `None` =
+        /// free.
+        sources: Option<Vec<Oid>>,
+        /// Allowed right-endpoint (head target variable) bindings; `None` =
+        /// free.
+        targets: Option<Vec<Oid>>,
+    },
 }
 
 /// One evaluation request: the question ([`SourceSpec`]) plus uniform
@@ -191,6 +212,12 @@ impl EvalRequest {
         EvalRequest::with_spec(SourceSpec::Matrix { sources, targets })
     }
 
+    /// Binding-set (conjunctive) request: all `(s, t)` pairs the query
+    /// relates, optionally restricted to endpoint sets (`None` = free).
+    pub fn conjunctive(sources: Option<Vec<Oid>>, targets: Option<Vec<Oid>>) -> EvalRequest {
+        EvalRequest::with_spec(SourceSpec::Conjunctive { sources, targets })
+    }
+
     /// Cap `edges_scanned` at `budget`.
     pub fn with_budget(mut self, budget: usize) -> EvalRequest {
         self.budget = Some(budget);
@@ -243,6 +270,8 @@ pub enum Answers {
     Reachable(bool),
     /// Bit-packed N×M matrix (`Matrix`).
     Matrix(MatrixResult),
+    /// Sorted, deduplicated (source, target) binding set (`Conjunctive`).
+    Bindings(Vec<(Oid, Oid)>),
 }
 
 /// The uniform evaluation response: answers, aggregated work counters, and
@@ -294,6 +323,15 @@ impl EvalResponse {
         }
     }
 
+    /// Wrap a binding-set result, carrying its own termination.
+    pub fn from_pairset(result: PairSetResult) -> EvalResponse {
+        EvalResponse {
+            stats: result.stats,
+            answers: Answers::Bindings(result.pairs),
+            termination: result.termination,
+        }
+    }
+
     /// Override the termination (builder for the controlled paths).
     pub fn terminated(mut self, termination: Termination) -> EvalResponse {
         self.termination = termination;
@@ -332,6 +370,14 @@ impl EvalResponse {
         }
     }
 
+    /// The (source, target) binding set, if the payload is binding-shaped.
+    pub fn bindings(&self) -> Option<&[(Oid, Oid)]> {
+        match &self.answers {
+            Answers::Bindings(bs) => Some(bs),
+            _ => None,
+        }
+    }
+
     /// Collapse into the legacy single-set form: node payloads directly,
     /// batch payloads as their union, anything else as an empty set.
     pub fn into_eval_result(self) -> EvalResult {
@@ -339,6 +385,14 @@ impl EvalResponse {
         let answers = match self.answers {
             Answers::Nodes(ns) => ns,
             Answers::Batch(b) => b.union().to_vec(),
+            Answers::Bindings(bs) => {
+                // The distinct right-hand endpoints — the "reachable set"
+                // reading of a binding set.
+                let mut ts: Vec<Oid> = bs.into_iter().map(|(_, t)| t).collect();
+                ts.sort_unstable();
+                ts.dedup();
+                ts
+            }
             Answers::Reachable(_) | Answers::Matrix(_) => Vec::new(),
         };
         EvalResult { answers, stats }
@@ -350,7 +404,7 @@ impl EvalResponse {
         match self.answers {
             Answers::Batch(b) => b,
             Answers::Nodes(ns) => BatchResult::union_only(ns, self.stats),
-            Answers::Reachable(_) | Answers::Matrix(_) => {
+            Answers::Reachable(_) | Answers::Matrix(_) | Answers::Bindings(_) => {
                 BatchResult::union_only(Vec::new(), self.stats)
             }
         }
@@ -420,6 +474,26 @@ pub fn run_default<E: Engine + ?Sized>(
                 targets,
                 &mut scratch,
             ))
+        }
+        SourceSpec::Conjunctive { sources, targets } => {
+            let mut scratch = EvalScratch::new();
+            let res = match (sources, targets) {
+                (Some(ss), Some(ts)) => {
+                    eval_pairs_bound_csr_with(query.nfa(), graph, ss, ts, &mut scratch)
+                }
+                (Some(ss), None) => {
+                    eval_pairs_from_sources_csr_with(query.nfa(), graph, ss, &mut scratch)
+                }
+                (None, Some(ts)) => {
+                    let reversed = query.nfa().reverse();
+                    eval_pairs_to_targets_csr_with(&reversed, graph, ts, &mut scratch)
+                }
+                (None, None) => {
+                    let seeds = seed_candidates(query.nfa(), graph, &mut scratch);
+                    eval_pairs_from_sources_csr_with(query.nfa(), graph, &seeds, &mut scratch)
+                }
+            };
+            EvalResponse::from_pairset(res)
         }
     }
 }
@@ -566,6 +640,51 @@ fn run_controlled(query: &Query, graph: &CsrGraph, req: &EvalRequest) -> EvalRes
             matrix.stats = stats;
             EvalResponse::from_matrix(matrix).terminated(term)
         }
+        SourceSpec::Conjunctive { sources, targets } => {
+            let control = req.control();
+            let res: PairSetResult = match (sources, targets) {
+                (Some(ss), Some(ts)) => eval_pairs_bound_controlled_csr_with(
+                    query.nfa(),
+                    graph,
+                    ss,
+                    ts,
+                    mode,
+                    &control,
+                    &mut scratch,
+                ),
+                (Some(ss), None) => eval_pairs_from_sources_controlled_csr_with(
+                    query.nfa(),
+                    graph,
+                    ss,
+                    mode,
+                    &control,
+                    &mut scratch,
+                ),
+                (None, Some(ts)) => {
+                    let reversed = query.nfa().reverse();
+                    eval_pairs_to_targets_controlled_csr_with(
+                        &reversed,
+                        graph,
+                        ts,
+                        mode,
+                        &control,
+                        &mut scratch,
+                    )
+                }
+                (None, None) => {
+                    let seeds = seed_candidates(query.nfa(), graph, &mut scratch);
+                    eval_pairs_from_sources_controlled_csr_with(
+                        query.nfa(),
+                        graph,
+                        &seeds,
+                        mode,
+                        &control,
+                        &mut scratch,
+                    )
+                }
+            };
+            EvalResponse::from_pairset(res)
+        }
     }
 }
 
@@ -710,6 +829,56 @@ mod tests {
         );
         assert_eq!(resp.reachable(), Some(true));
         assert_eq!(resp.termination, Termination::Complete);
+    }
+
+    #[test]
+    fn conjunctive_request_binds_pairs_under_every_restriction() {
+        let (mut ab, csr) = fig2ish();
+        let all: Vec<Oid> = csr.nodes().collect();
+        let q = Query::parse(&mut ab, "a.b*").unwrap();
+        // ground truth from per-source eval
+        let mut full: Vec<(Oid, Oid)> = Vec::new();
+        for &s in &all {
+            for t in ProductEngine.eval(&q, &csr, s).answers {
+                full.push((s, t));
+            }
+        }
+        full.sort_unstable();
+
+        let free = ProductEngine.run(&q, &csr, &EvalRequest::conjunctive(None, None));
+        assert_eq!(free.bindings().unwrap(), full);
+        assert_eq!(free.termination, Termination::Complete);
+
+        let fwd = ProductEngine.run(&q, &csr, &EvalRequest::conjunctive(Some(all.clone()), None));
+        assert_eq!(fwd.bindings().unwrap(), full);
+
+        let bwd = ProductEngine.run(&q, &csr, &EvalRequest::conjunctive(None, Some(all.clone())));
+        assert_eq!(bwd.bindings().unwrap(), full);
+
+        let restricted = ProductEngine.run(
+            &q,
+            &csr,
+            &EvalRequest::conjunctive(Some(vec![Oid(0)]), Some(vec![Oid(2)])),
+        );
+        let expect: Vec<(Oid, Oid)> = full
+            .iter()
+            .copied()
+            .filter(|&(s, t)| s == Oid(0) && t == Oid(2))
+            .collect();
+        assert_eq!(restricted.bindings().unwrap(), expect);
+
+        // controlled path: budget caps scans, bindings stay sound
+        for budget in [0, 1, 3, 100_000] {
+            let resp = ProductEngine.run(
+                &q,
+                &csr,
+                &EvalRequest::conjunctive(None, None).with_budget(budget),
+            );
+            assert!(resp.stats.edges_scanned <= budget);
+            for b in resp.bindings().unwrap() {
+                assert!(full.contains(b), "unsound binding {b:?}");
+            }
+        }
     }
 
     #[test]

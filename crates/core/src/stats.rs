@@ -16,6 +16,27 @@ pub enum Direction {
     Bidirectional,
 }
 
+/// Per-atom work record for conjunctive (multi-atom) evaluations: one
+/// entry per atom *in execution order*, so the sequence of `atom` indices
+/// IS the join order the planner chose — the join-order telemetry the
+/// server's `Metrics` aggregate.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomStats {
+    /// The atom's index in the query's textual atom list (not the
+    /// execution position — that is this entry's position in
+    /// [`EvalStats::atoms`]).
+    pub atom: usize,
+    /// The traversal direction this atom was evaluated in (`None` when the
+    /// atom was skipped, e.g. after budget exhaustion).
+    pub direction: Option<Direction>,
+    /// Graph edges scanned evaluating this atom.
+    pub edges_scanned: usize,
+    /// (source, target) bindings the atom contributed after semijoin
+    /// restriction — the intermediate-result size the join planner tries
+    /// to keep small.
+    pub bindings: usize,
+}
+
 /// Work counters reported by every evaluation engine, used by the Section 2
 /// complexity experiments (bench `t1_eval_scaling`) to compare engines on
 /// the same inputs.
@@ -79,6 +100,9 @@ pub struct EvalStats {
     /// already covered this query's |Q|·|V| shape (no fresh allocation on
     /// the hot path).
     pub scratch_reused: usize,
+    /// Per-atom records for conjunctive evaluations, in execution order
+    /// (see [`AtomStats`]). Empty for single-atom requests.
+    pub atoms: Vec<AtomStats>,
 }
 
 impl EvalStats {
@@ -118,5 +142,8 @@ impl EvalStats {
         self.pull_levels += other.pull_levels;
         self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
         self.scratch_reused += other.scratch_reused;
+        // Per-atom records concatenate in merge order, preserving each
+        // constituent's execution sequence.
+        self.atoms.extend(other.atoms.iter().cloned());
     }
 }

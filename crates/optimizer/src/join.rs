@@ -1,0 +1,991 @@
+//! Conjunctive regular path queries (CRPQs): plan-as-data IR, a
+//! cost-based join planner, and the semijoin-propagating executor.
+//!
+//! A CRPQ conjoins path-query atoms over shared variables:
+//!
+//! ```text
+//! ans(x, z) :- x -[r*]-> y, y -[s.t]-> z
+//! ```
+//!
+//! Each atom `u -[p]-> v` asserts that the path query `p` relates the
+//! bindings of `u` and `v`; the answer is the set of `(x, z)` bindings of
+//! the *head* variables under some binding of the rest. [`parse_crpq`]
+//! turns the text form into a [`Crpq`] (atom bodies are parsed by the
+//! shared regex grammar via [`rpq_automata::parse_regex_embedded`], so
+//! errors carry byte spans into the original query string).
+//!
+//! Evaluation order matters enormously: starting from a rare atom and
+//! walking the join graph lets every subsequent atom run with one side
+//! *bound* to the few values that survived so far (a semijoin), instead of
+//! binding against the whole graph. [`plan_join`] picks that order
+//! greedily from [`rpq_graph::LabelStats`] — cheapest atom first (by
+//! [`crate::estimated_cost`]), then always the cheapest atom *connected*
+//! to a bound variable — and assigns each atom the traversal direction its
+//! bound side dictates. [`execute_join`] runs any order through
+//! `rpq_core`'s set-valued pair kernels ([`rpq_core::pairset`]), threads
+//! one shared budget/cancellation control through every atom (a truncated
+//! atom contributes a sound subset, so the joined result is a sound subset
+//! of the CRPQ answer), and stamps one [`rpq_core::AtomStats`] record per
+//! atom in execution order — the join-order telemetry the serving layer
+//! aggregates.
+//!
+//! [`execute_naive`] is the deliberately-unoptimized reference: every atom
+//! evaluated independently with both sides free, then hash-joined. Tests
+//! and the `t17_crpq` bench gate use it as the oracle and as the
+//! no-semijoin baseline.
+//!
+//! Join graphs of any shape are accepted (path, tree, cyclic); cyclic
+//! graphs evaluate correctly via the residual filter step, though the
+//! planner's cost model currently treats closing atoms like any other (see
+//! ROADMAP).
+
+use std::collections::HashMap;
+
+use rpq_automata::{parse_regex_embedded, Alphabet, ParseError};
+use rpq_core::{
+    eval_pairs_bound_controlled_csr_with, eval_pairs_bound_csr_with,
+    eval_pairs_from_sources_controlled_csr_with, eval_pairs_from_sources_csr_with,
+    eval_pairs_to_targets_controlled_csr_with, eval_pairs_to_targets_csr_with, seed_candidates,
+    AtomStats, Direction, EvalControl, EvalScratch, EvalStats, FrontierMode, PairSetResult, Query,
+    Termination,
+};
+use rpq_graph::{GraphView, LabelStats, Oid};
+
+use crate::cost::estimated_cost;
+use crate::planned::PlannerConfig;
+
+/// A CRPQ variable, identified by its index into [`Crpq::var_names`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One atom `src -[query]-> dst` of a conjunctive query.
+#[derive(Clone, Debug)]
+pub struct CrpqAtom {
+    /// The atom's path query, compiled.
+    pub query: Query,
+    /// The variable bound to path starts.
+    pub src: Var,
+    /// The variable bound to path ends.
+    pub dst: Var,
+}
+
+/// A conjunctive regular path query as plan-ready data: atoms, the head
+/// variable pair, and the variable name table (for diagnostics and
+/// display).
+#[derive(Clone, Debug)]
+pub struct Crpq {
+    /// The conjoined atoms, in textual order.
+    pub atoms: Vec<CrpqAtom>,
+    /// The head variables `ans(head.0, head.1)`.
+    pub head: (Var, Var),
+    /// Variable names, indexed by [`Var`].
+    pub var_names: Vec<String>,
+}
+
+impl Crpq {
+    /// The name of `v`, as written in the query text.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// A canonical textual form of the query — variable names, atom order,
+    /// and each atom body rendered through the shared regex display. Equal
+    /// signatures mean equal queries, so this is the CRPQ join-plan memo
+    /// key in [`crate::PlannedEngine`].
+    pub fn signature(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "ans({}, {}) :- ",
+            self.var_name(self.head.0),
+            self.var_name(self.head.1)
+        );
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{} -[{}]-> {}",
+                self.var_name(a.src),
+                a.query.regex().display(a.query.alphabet()),
+                self.var_name(a.dst)
+            );
+        }
+        s
+    }
+
+    /// The variables of atom `i` as a two-element array (`src`, `dst`).
+    fn atom_vars(&self, i: usize) -> [Var; 2] {
+        [self.atoms[i].src, self.atoms[i].dst]
+    }
+}
+
+/// A planned atom evaluation order with the planner's per-step decisions —
+/// plan-as-data, inspectable and memoizable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// Atom indices in execution order.
+    pub order: Vec<usize>,
+    /// The traversal direction each step runs in (indexed by execution
+    /// position, not atom index): `Forward` when the source side is bound,
+    /// `Backward` when only the target side is, `Bidirectional` when both
+    /// are (the bound-bound semijoin form).
+    pub directions: Vec<Direction>,
+    /// The planner's estimated per-atom cost, by execution position.
+    pub est_costs: Vec<usize>,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parse the text form of a conjunctive query:
+///
+/// ```text
+/// ans(x, z) :- x -[r*]-> y, y -[s.t]-> z
+/// ```
+///
+/// Grammar: `IDENT '(' var ',' var ')' ':-' atom (',' atom)*` with
+/// `atom := var '-[' regex ']->' var`; atom bodies use the full path-query
+/// grammar of [`rpq_automata::parse_regex`]. Head variables must occur in
+/// at least one atom. Errors carry byte spans into `src` (atom bodies are
+/// parsed in place via [`parse_regex_embedded`], so their spans land
+/// inside the brackets).
+pub fn parse_crpq(alphabet: &mut Alphabet, src: &str) -> Result<Crpq, ParseError> {
+    let mut p = CrpqParser { src, pos: 0 };
+    p.skip_ws();
+    let _head_name = p.ident("a head predicate name (e.g. 'ans')")?;
+    p.expect("(")?;
+    let h0 = p.ident("a head variable")?;
+    p.expect(",")?;
+    let h1 = p.ident("a head variable")?;
+    p.expect(")")?;
+    p.expect(":-")?;
+
+    let mut var_names: Vec<String> = Vec::new();
+    let mut var_ids: HashMap<String, Var> = HashMap::new();
+    let mut intern = |name: &str| -> Var {
+        if let Some(&v) = var_ids.get(name) {
+            return v;
+        }
+        let v = Var(var_names.len() as u32);
+        var_names.push(name.to_string());
+        var_ids.insert(name.to_string(), v);
+        v
+    };
+    let head = (intern(&h0), intern(&h1));
+
+    let mut atoms = Vec::new();
+    loop {
+        let sv = p.ident("an atom source variable")?;
+        p.expect("-[")?;
+        let body_start = p.pos;
+        let body_end = match p.src[p.pos..].find("]->") {
+            Some(off) => p.pos + off,
+            None => {
+                let mut e = ParseError::new(body_start, "unterminated atom body: missing ']->'");
+                e.end = p.src.len();
+                return Err(e);
+            }
+        };
+        let regex = parse_regex_embedded(alphabet, p.src, body_start..body_end)?;
+        p.pos = body_end + "]->".len();
+        p.skip_ws();
+        let tv = p.ident("an atom target variable")?;
+        atoms.push(CrpqAtom {
+            query: Query::new(regex, alphabet),
+            src: intern(&sv),
+            dst: intern(&tv),
+        });
+        p.skip_ws();
+        if p.pos >= p.src.len() {
+            break;
+        }
+        p.expect(",")?;
+    }
+
+    let crpq = Crpq {
+        atoms,
+        head,
+        var_names,
+    };
+    for (pos, hv) in [crpq.head.0, crpq.head.1].into_iter().enumerate() {
+        let used = crpq.atoms.iter().any(|a| a.src == hv || a.dst == hv);
+        if !used {
+            return Err(ParseError::new(
+                0,
+                format!(
+                    "head variable '{}' (position {pos}) does not occur in any atom",
+                    crpq.var_name(hv)
+                ),
+            ));
+        }
+    }
+    Ok(crpq)
+}
+
+/// Hand-rolled scanner for the conjunctive skeleton (the atom bodies go
+/// through the shared regex parser).
+struct CrpqParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> CrpqParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src.as_bytes()[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Consume `token` (after whitespace), with a spanned error otherwise.
+    fn expect(&mut self, token: &'static str) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            return Ok(());
+        }
+        let mut e = ParseError::new(self.pos, format!("expected '{token}'"));
+        e.end = (self.pos + 1).min(self.src.len());
+        e.expected = vec![token];
+        e.found = self.src[self.pos..]
+            .chars()
+            .next()
+            .map(|c| format!("'{c}'"));
+        Err(e)
+    }
+
+    /// Consume an identifier (`[A-Za-z_][A-Za-z0-9_]*`).
+    fn ident(&mut self, what: &'static str) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start || bytes[start].is_ascii_digit() {
+            let mut e = ParseError::new(start, format!("expected {what}"));
+            e.end = (start + 1).min(self.src.len());
+            e.expected = vec![what];
+            e.found = self.src[start..].chars().next().map(|c| format!("'{c}'"));
+            return Err(e);
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+/// Pick an atom evaluation order from per-label statistics: cheapest atom
+/// first (by [`estimated_cost`] — edge counts over the atom automaton's
+/// labeled transitions with a recursion penalty), then repeatedly the
+/// cheapest remaining atom that shares a variable with the already-bound
+/// set (semijoin propagation); a disconnected join graph falls back to the
+/// cheapest remaining atom. `src_bound` / `dst_bound` say whether the
+/// request pre-binds the head variables (a bound head variable seeds the
+/// bound set before the first atom, which can flip both the starting atom
+/// and its direction).
+///
+/// The direction at each step follows the bound sides: source bound →
+/// `Forward`, target bound → `Backward`, both → `Bidirectional` (the
+/// bound-bound semijoin), neither → `Forward` from pruned seed candidates.
+pub fn plan_join(
+    crpq: &Crpq,
+    stats: &LabelStats,
+    _config: &PlannerConfig,
+    src_bound: bool,
+    dst_bound: bool,
+) -> JoinPlan {
+    let n = crpq.atoms.len();
+    let costs: Vec<usize> = crpq
+        .atoms
+        .iter()
+        .map(|a| estimated_cost(a.query.regex(), stats))
+        .collect();
+
+    let mut bound = vec![false; crpq.num_vars()];
+    if src_bound {
+        bound[crpq.head.0.index()] = true;
+    }
+    if dst_bound {
+        bound[crpq.head.1.index()] = true;
+    }
+
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut directions = Vec::with_capacity(n);
+    let mut est_costs = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        // Prefer connected atoms (any variable already bound); among the
+        // preferred set take the cheapest, ties to the lower atom index
+        // for determinism.
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| crpq.atom_vars(i).iter().any(|v| bound[v.index()]))
+            .collect();
+        let pool = if connected.is_empty() {
+            &remaining
+        } else {
+            &connected
+        };
+        let &pick = pool
+            .iter()
+            .min_by_key(|&&i| (costs[i], i))
+            .expect("pool is non-empty");
+        let a = &crpq.atoms[pick];
+        let dir = match (bound[a.src.index()], bound[a.dst.index()]) {
+            (true, true) => Direction::Bidirectional,
+            (true, false) => Direction::Forward,
+            (false, true) => Direction::Backward,
+            (false, false) => Direction::Forward,
+        };
+        bound[a.src.index()] = true;
+        bound[a.dst.index()] = true;
+        order.push(pick);
+        directions.push(dir);
+        est_costs.push(costs[pick]);
+        remaining.retain(|&i| i != pick);
+    }
+    JoinPlan {
+        order,
+        directions,
+        est_costs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// An intermediate join relation: named columns over [`Oid`] rows.
+/// `None` means "no atom executed yet" (the neutral element of the join) —
+/// distinct from an executed-but-empty relation, which annihilates.
+struct Relation {
+    vars: Vec<Var>,
+    rows: Vec<Vec<Oid>>,
+}
+
+impl Relation {
+    fn col(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+
+    /// Distinct values of column `v`, sorted.
+    fn distinct(&self, v: Var) -> Vec<Oid> {
+        let c = self.col(v).expect("column present");
+        let mut out: Vec<Oid> = self.rows.iter().map(|r| r[c]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Project onto `keep` (dropping dead columns) and dedup rows.
+    fn project(&mut self, keep: &[Var]) {
+        let cols: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| keep.contains(v))
+            .map(|(i, _)| i)
+            .collect();
+        if cols.len() == self.vars.len() {
+            return;
+        }
+        self.vars = cols.iter().map(|&i| self.vars[i]).collect();
+        for row in &mut self.rows {
+            *row = cols.iter().map(|&i| row[i]).collect();
+        }
+        self.rows.sort_unstable();
+        self.rows.dedup();
+    }
+}
+
+/// The endpoint restrictions a request may carry for the head variables.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeadBindings<'a> {
+    /// Allowed bindings for the first head variable (`None` = free).
+    pub sources: Option<&'a [Oid]>,
+    /// Allowed bindings for the second head variable (`None` = free).
+    pub targets: Option<&'a [Oid]>,
+}
+
+/// Execute a CRPQ in the given atom `order` over `graph`, with semijoin
+/// propagation: each atom evaluates with its bound side restricted to the
+/// distinct values surviving the join so far (or to the request's head
+/// bindings before the first atom touches that variable), through the
+/// set-valued pair kernels of [`rpq_core::pairset`].
+///
+/// `control` threads one shared `edges_scanned` budget and cancellation
+/// flag through every atom. A truncated atom contributes a sound *subset*
+/// of its binding relation, and a join of per-atom subsets is a subset of
+/// the join — so the returned bindings are always sound, and
+/// [`PairSetResult::termination`] reports the first non-complete atom
+/// outcome. One [`AtomStats`] record per atom lands in `stats.atoms` in
+/// execution order (atoms never started after a cancellation are recorded
+/// with `direction: None` and zero work).
+pub fn execute_join<G: GraphView>(
+    crpq: &Crpq,
+    order: &[usize],
+    graph: &G,
+    heads: HeadBindings<'_>,
+    mode: FrontierMode,
+    control: &EvalControl<'_>,
+    scratch: &mut EvalScratch,
+) -> PairSetResult {
+    assert_eq!(order.len(), crpq.atoms.len(), "order must cover every atom");
+    let mut rel: Option<Relation> = None;
+    let mut stats = EvalStats::default();
+    let mut term = Termination::Complete;
+    let controlled = control.budget.is_some() || control.cancel.is_some();
+
+    // Pre-bindings for head variables, consumed the first time the
+    // variable joins the relation.
+    let prebound = |v: Var| -> Option<&[Oid]> {
+        if v == crpq.head.0 {
+            heads.sources
+        } else if v == crpq.head.1 {
+            // When both head positions name one variable, `sources` (the
+            // arm above) wins; the executor filters `targets` at the end.
+            heads.targets
+        } else {
+            None
+        }
+    };
+
+    for (pos, &ai) in order.iter().enumerate() {
+        let atom = &crpq.atoms[ai];
+        let (u, v) = (atom.src, atom.dst);
+
+        // Bound candidate sets for each side, if any: relation column
+        // first (already join-restricted), else the request's head
+        // binding.
+        let u_vals: Option<Vec<Oid>> = match rel.as_ref().and_then(|r| r.col(u)) {
+            Some(_) => Some(rel.as_ref().expect("relation present").distinct(u)),
+            None => prebound(u).map(|s| s.to_vec()),
+        };
+        let v_vals: Option<Vec<Oid>> = if u == v {
+            None // a self-loop atom binds one variable; evaluate via `u`
+        } else {
+            match rel.as_ref().and_then(|r| r.col(v)) {
+                Some(_) => Some(rel.as_ref().expect("relation present").distinct(v)),
+                None => prebound(v).map(|s| s.to_vec()),
+            }
+        };
+
+        let per_atom = EvalControl {
+            budget: control
+                .budget
+                .map(|b| b.saturating_sub(stats.edges_scanned)),
+            cancel: control.cancel,
+        };
+        let (res, dir) = eval_atom(
+            atom,
+            graph,
+            u_vals.as_deref(),
+            v_vals.as_deref(),
+            mode,
+            controlled,
+            &per_atom,
+            scratch,
+        );
+        if !res.termination.is_complete() && term.is_complete() {
+            term = res.termination;
+        }
+
+        // Self-loop atoms keep only reflexive bindings.
+        let pairs: Vec<(Oid, Oid)> = if u == v {
+            res.pairs.iter().copied().filter(|(s, t)| s == t).collect()
+        } else {
+            res.pairs.clone()
+        };
+
+        stats.atoms.push(AtomStats {
+            atom: ai,
+            direction: Some(dir),
+            edges_scanned: res.stats.edges_scanned,
+            bindings: pairs.len(),
+        });
+        let mut atom_stats = res.stats;
+        atom_stats.atoms.clear();
+        atom_stats.answers = 0;
+        stats.merge(&atom_stats);
+
+        rel = Some(join_step(rel, &pairs, u, v));
+
+        // Keep the relation narrow: only head variables and variables of
+        // still-unexecuted atoms stay live.
+        if let Some(r) = rel.as_mut() {
+            let mut live: Vec<Var> = vec![crpq.head.0, crpq.head.1];
+            for &later in &order[pos + 1..] {
+                live.extend(crpq.atom_vars(later));
+            }
+            r.project(&live);
+            if r.rows.is_empty() {
+                // Annihilated: no binding can satisfy the query. Record
+                // the skipped atoms and finish.
+                for &skipped in &order[pos + 1..] {
+                    stats.atoms.push(AtomStats {
+                        atom: skipped,
+                        direction: None,
+                        edges_scanned: 0,
+                        bindings: 0,
+                    });
+                }
+                break;
+            }
+        }
+    }
+
+    // Project the final relation onto the head pair. A head column can be
+    // absent only after an early annihilation (the relation emptied before
+    // the atom binding it ran), in which case there are no rows anyway.
+    let mut pairs: Vec<(Oid, Oid)> = match rel {
+        Some(r) => match (r.col(crpq.head.0), r.col(crpq.head.1)) {
+            (Some(c0), Some(c1)) => r.rows.iter().map(|row| (row[c0], row[c1])).collect(),
+            _ => Vec::new(),
+        },
+        None => Vec::new(),
+    };
+    // Residual head filters (e.g. `ans(x, x)` with both sets given, or a
+    // head restriction on a variable whose first atom bound it through the
+    // relation instead).
+    if let Some(ss) = heads.sources {
+        pairs.retain(|(s, _)| ss.contains(s));
+    }
+    if let Some(ts) = heads.targets {
+        pairs.retain(|(_, t)| ts.contains(t));
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    stats.answers = pairs.len();
+    PairSetResult {
+        pairs,
+        stats,
+        termination: term,
+    }
+}
+
+/// Evaluate one atom with the given bound sides through the pair-set
+/// kernels, returning the binding relation and the direction actually run.
+#[allow(clippy::too_many_arguments)]
+fn eval_atom<G: GraphView>(
+    atom: &CrpqAtom,
+    graph: &G,
+    u_vals: Option<&[Oid]>,
+    v_vals: Option<&[Oid]>,
+    mode: FrontierMode,
+    controlled: bool,
+    control: &EvalControl<'_>,
+    scratch: &mut EvalScratch,
+) -> (PairSetResult, Direction) {
+    let nfa = atom.query.nfa();
+    match (u_vals, v_vals) {
+        (Some(ss), Some(ts)) => {
+            let r = if controlled {
+                eval_pairs_bound_controlled_csr_with(nfa, graph, ss, ts, mode, control, scratch)
+            } else {
+                eval_pairs_bound_csr_with(nfa, graph, ss, ts, scratch)
+            };
+            (r, Direction::Bidirectional)
+        }
+        (Some(ss), None) => {
+            let r = if controlled {
+                eval_pairs_from_sources_controlled_csr_with(nfa, graph, ss, mode, control, scratch)
+            } else {
+                eval_pairs_from_sources_csr_with(nfa, graph, ss, scratch)
+            };
+            (r, Direction::Forward)
+        }
+        (None, Some(ts)) => {
+            let reversed = nfa.reverse();
+            let r = if controlled {
+                eval_pairs_to_targets_controlled_csr_with(
+                    &reversed, graph, ts, mode, control, scratch,
+                )
+            } else {
+                eval_pairs_to_targets_csr_with(&reversed, graph, ts, scratch)
+            };
+            (r, Direction::Backward)
+        }
+        (None, None) => {
+            let seeds = seed_candidates(nfa, graph, scratch);
+            let r = if controlled {
+                eval_pairs_from_sources_controlled_csr_with(
+                    nfa, graph, &seeds, mode, control, scratch,
+                )
+            } else {
+                eval_pairs_from_sources_csr_with(nfa, graph, &seeds, scratch)
+            };
+            (r, Direction::Forward)
+        }
+    }
+}
+
+/// One hash-join step: extend `rel` by the atom relation `pairs` over
+/// columns `u` (pair sources) and `v` (pair targets). Handles every
+/// overlap shape: both columns new (cross product against the neutral
+/// relation or a genuine disconnected join), one shared column (indexed
+/// extension), both shared (filter).
+fn join_step(rel: Option<Relation>, pairs: &[(Oid, Oid)], u: Var, v: Var) -> Relation {
+    let self_loop = u == v;
+    let rel = match rel {
+        None => {
+            // First atom: the relation IS the atom's bindings.
+            let (vars, rows) = if self_loop {
+                (
+                    vec![u],
+                    pairs.iter().map(|&(s, _)| vec![s]).collect::<Vec<_>>(),
+                )
+            } else {
+                (
+                    vec![u, v],
+                    pairs.iter().map(|&(s, t)| vec![s, t]).collect::<Vec<_>>(),
+                )
+            };
+            let mut r = Relation { vars, rows };
+            r.rows.sort_unstable();
+            r.rows.dedup();
+            return r;
+        }
+        Some(r) => r,
+    };
+    let cu = rel.col(u);
+    let cv = if self_loop { cu } else { rel.col(v) };
+    match (cu, cv) {
+        (Some(cu), Some(cv)) => {
+            // Both bound: the atom is a filter over existing columns.
+            let mut set: Vec<(Oid, Oid)> = pairs.to_vec();
+            set.sort_unstable();
+            let rows = rel
+                .rows
+                .into_iter()
+                .filter(|row| set.binary_search(&(row[cu], row[cv])).is_ok())
+                .collect();
+            Relation {
+                vars: rel.vars,
+                rows,
+            }
+        }
+        (Some(cu), None) => {
+            // Extend each row by the targets its `u` value reaches.
+            let mut by_src: HashMap<Oid, Vec<Oid>> = HashMap::new();
+            for &(s, t) in pairs {
+                by_src.entry(s).or_default().push(t);
+            }
+            let mut vars = rel.vars;
+            vars.push(v);
+            let mut rows = Vec::new();
+            for row in rel.rows {
+                if let Some(ts) = by_src.get(&row[cu]) {
+                    for &t in ts {
+                        let mut r2 = row.clone();
+                        r2.push(t);
+                        rows.push(r2);
+                    }
+                }
+            }
+            Relation { vars, rows }
+        }
+        (None, Some(cv)) => {
+            let mut by_dst: HashMap<Oid, Vec<Oid>> = HashMap::new();
+            for &(s, t) in pairs {
+                by_dst.entry(t).or_default().push(s);
+            }
+            let mut vars = rel.vars;
+            vars.push(u);
+            let mut rows = Vec::new();
+            for row in rel.rows {
+                if let Some(ss) = by_dst.get(&row[cv]) {
+                    for &s in ss {
+                        let mut r2 = row.clone();
+                        r2.push(s);
+                        rows.push(r2);
+                    }
+                }
+            }
+            Relation { vars, rows }
+        }
+        (None, None) => {
+            // Disconnected: cross product (the planner avoids this shape
+            // when the join graph is connected).
+            let mut vars = rel.vars;
+            let mut rows = Vec::new();
+            if self_loop {
+                vars.push(u);
+                for row in &rel.rows {
+                    for &(s, _) in pairs {
+                        let mut r2 = row.clone();
+                        r2.push(s);
+                        rows.push(r2);
+                    }
+                }
+            } else {
+                vars.push(u);
+                vars.push(v);
+                for row in &rel.rows {
+                    for &(s, t) in pairs {
+                        let mut r2 = row.clone();
+                        r2.push(s);
+                        r2.push(t);
+                        rows.push(r2);
+                    }
+                }
+            }
+            Relation { vars, rows }
+        }
+    }
+}
+
+/// The deliberately-unoptimized reference evaluation: every atom computed
+/// independently with both variables free (no semijoin propagation, no
+/// cost-based order — textual order), then joined. Used as the correctness
+/// oracle by tests and as the no-propagation baseline by the `t17_crpq`
+/// bench gate; returns the binding set plus the total edges scanned.
+pub fn execute_naive<G: GraphView>(
+    crpq: &Crpq,
+    graph: &G,
+    heads: HeadBindings<'_>,
+) -> (Vec<(Oid, Oid)>, usize) {
+    let mut scratch = EvalScratch::new();
+    let mut edges = 0usize;
+    let mut rel: Option<Relation> = None;
+    for atom in &crpq.atoms {
+        let seeds = seed_candidates(atom.query.nfa(), graph, &mut scratch);
+        let res = eval_pairs_from_sources_csr_with(atom.query.nfa(), graph, &seeds, &mut scratch);
+        edges += res.stats.edges_scanned;
+        let pairs: Vec<(Oid, Oid)> = if atom.src == atom.dst {
+            res.pairs.iter().copied().filter(|(s, t)| s == t).collect()
+        } else {
+            res.pairs
+        };
+        rel = Some(join_step(rel, &pairs, atom.src, atom.dst));
+    }
+    let mut pairs: Vec<(Oid, Oid)> = match rel {
+        Some(r) => {
+            let c0 = r.col(crpq.head.0).expect("head var bound");
+            let c1 = r.col(crpq.head.1).expect("head var bound");
+            r.rows.iter().map(|row| (row[c0], row[c1])).collect()
+        }
+        None => Vec::new(),
+    };
+    if let Some(ss) = heads.sources {
+        pairs.retain(|(s, _)| ss.contains(s));
+    }
+    if let Some(ts) = heads.targets {
+        pairs.retain(|(_, t)| ts.contains(t));
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    (pairs, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::{CsrGraph, InstanceBuilder};
+
+    fn chain_graph() -> (Alphabet, CsrGraph, std::collections::HashMap<String, Oid>) {
+        // s -a-> m1 -b-> t1 ; s -a-> m2 -b-> t2 ; noise edges
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s", "a", "m1");
+        b.edge("s", "a", "m2");
+        b.edge("m1", "b", "t1");
+        b.edge("m2", "b", "t2");
+        b.edge("t1", "c", "s");
+        b.edge("x1", "a", "x2");
+        b.edge("x2", "c", "x3");
+        let (inst, names) = b.finish();
+        (ab, CsrGraph::from(&inst), names)
+    }
+
+    #[test]
+    fn parse_round_trips_structure() {
+        let mut ab = Alphabet::new();
+        let q = parse_crpq(&mut ab, "ans(x, z) :- x -[a]-> y, y -[b*]-> z").unwrap();
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.var_name(q.head.0), "x");
+        assert_eq!(q.var_name(q.head.1), "z");
+        assert_eq!(q.atoms[0].src, q.head.0);
+        assert_eq!(q.atoms[0].dst, q.atoms[1].src);
+        assert_eq!(q.atoms[1].dst, q.head.1);
+    }
+
+    #[test]
+    fn parse_errors_carry_spans_into_the_original_text() {
+        let mut ab = Alphabet::new();
+        // error inside the SECOND atom body: span must land there
+        let src = "ans(x, z) :- x -[a]-> y, y -[b**)]-> z";
+        let err = parse_crpq(&mut ab, src).unwrap_err();
+        let (start, _end) = err.span();
+        let body_two = src.find("b**").unwrap();
+        assert!(
+            start >= body_two,
+            "span {start} should point into the second atom body (≥ {body_two}): {err}"
+        );
+
+        let err = parse_crpq(&mut ab, "ans(x z) :- x -[a]-> z").unwrap_err();
+        assert_eq!(err.span().0, "ans(x ".len(), "{err}"); // points at 'z'
+
+        let err = parse_crpq(&mut ab, "ans(x, z) :- x -[a -> z").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+
+        let err = parse_crpq(&mut ab, "ans(x, w) :- x -[a]-> y").unwrap_err();
+        assert!(err.message.contains("head variable 'w'"), "{err}");
+    }
+
+    #[test]
+    fn two_atom_chain_joins_across_the_shared_variable() {
+        let (mut ab, csr, _) = chain_graph();
+        let q = parse_crpq(&mut ab, "ans(x, z) :- x -[a]-> y, y -[b]-> z").unwrap();
+        let plan = plan_join(&q, csr.stats(), &PlannerConfig::default(), false, false);
+        let mut scratch = EvalScratch::new();
+        let res = execute_join(
+            &q,
+            &plan.order,
+            &csr,
+            HeadBindings::default(),
+            FrontierMode::Hybrid,
+            &EvalControl::UNLIMITED,
+            &mut scratch,
+        );
+        // s -a-> m1 -b-> t1 and s -a-> m2 -b-> t2; x1 -a-> x2 has no b
+        assert_eq!(res.pairs.len(), 2);
+        assert_eq!(res.stats.atoms.len(), 2);
+        let (naive, _) = execute_naive(&q, &csr, HeadBindings::default());
+        assert_eq!(res.pairs, naive);
+    }
+
+    #[test]
+    fn every_order_agrees_with_the_naive_oracle() {
+        let (mut ab, csr, _) = chain_graph();
+        for text in [
+            "ans(x, z) :- x -[a]-> y, y -[b]-> z",
+            "ans(x, z) :- x -[a.b]-> y, y -[c]-> z",
+            "ans(x, z) :- x -[(a+b)*]-> y, y -[c]-> z, z -[a]-> w",
+            // cyclic join graph: z reaches back to x
+            "ans(x, z) :- x -[a]-> y, y -[b]-> z, z -[c]-> x",
+            // self-loop atom
+            "ans(x, y) :- x -[a.b.c]-> x, x -[a]-> y",
+        ] {
+            let q = parse_crpq(&mut ab, text).unwrap();
+            let (naive, _) = execute_naive(&q, &csr, HeadBindings::default());
+            let n = q.atoms.len();
+            let mut orders: Vec<Vec<usize>> = vec![(0..n).collect(), (0..n).rev().collect()];
+            if n >= 3 {
+                orders.push(vec![1, 0, 2]);
+                orders.push(vec![2, 0, 1]);
+            }
+            for order in orders {
+                let mut scratch = EvalScratch::new();
+                let res = execute_join(
+                    &q,
+                    &order,
+                    &csr,
+                    HeadBindings::default(),
+                    FrontierMode::Hybrid,
+                    &EvalControl::UNLIMITED,
+                    &mut scratch,
+                );
+                assert_eq!(res.pairs, naive, "{text} order {order:?}");
+                assert_eq!(res.stats.atoms.len(), n, "{text} order {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn head_bindings_restrict_and_seed_the_join() {
+        let (mut ab, csr, names) = chain_graph();
+        let s = names["s"];
+        let q = parse_crpq(&mut ab, "ans(x, z) :- x -[a]-> y, y -[b]-> z").unwrap();
+        let sources = [s];
+        let mut scratch = EvalScratch::new();
+        let plan = plan_join(&q, csr.stats(), &PlannerConfig::default(), true, false);
+        let res = execute_join(
+            &q,
+            &plan.order,
+            &csr,
+            HeadBindings {
+                sources: Some(&sources),
+                targets: None,
+            },
+            FrontierMode::Hybrid,
+            &EvalControl::UNLIMITED,
+            &mut scratch,
+        );
+        let (naive, _) = execute_naive(
+            &q,
+            &csr,
+            HeadBindings {
+                sources: Some(&sources),
+                targets: None,
+            },
+        );
+        assert_eq!(res.pairs, naive);
+        assert!(res.pairs.iter().all(|&(x, _)| x == s));
+        assert_eq!(res.pairs.len(), 2);
+    }
+
+    #[test]
+    fn planner_prefers_the_rare_atom_and_binds_forward_from_it() {
+        let (mut ab, csr, _) = chain_graph();
+        // 'c' has 2 edges, 'a' has 3: the planner should start at the
+        // c-atom and run the a-atom backward from its bound target side.
+        let q = parse_crpq(&mut ab, "ans(x, z) :- x -[a]-> y, y -[c]-> z").unwrap();
+        let plan = plan_join(&q, csr.stats(), &PlannerConfig::default(), false, false);
+        assert_eq!(plan.order, vec![1, 0], "rare atom first");
+        assert_eq!(plan.directions[1], Direction::Backward);
+        assert!(plan.est_costs[0] <= plan.est_costs[1]);
+    }
+
+    #[test]
+    fn budget_exhaustion_yields_a_sound_subset() {
+        let (mut ab, csr, _) = chain_graph();
+        let q = parse_crpq(&mut ab, "ans(x, z) :- x -[a]-> y, y -[b]-> z").unwrap();
+        let (full, _) = execute_naive(&q, &csr, HeadBindings::default());
+        let plan = plan_join(&q, csr.stats(), &PlannerConfig::default(), false, false);
+        for budget in 0..16 {
+            let mut scratch = EvalScratch::new();
+            let control = EvalControl {
+                budget: Some(budget),
+                cancel: None,
+            };
+            let res = execute_join(
+                &q,
+                &plan.order,
+                &csr,
+                HeadBindings::default(),
+                FrontierMode::Hybrid,
+                &control,
+                &mut scratch,
+            );
+            assert!(res.stats.edges_scanned <= budget, "budget {budget}");
+            for p in &res.pairs {
+                assert!(full.contains(p), "unsound binding {p:?} at budget {budget}");
+            }
+            if res.termination.is_complete() {
+                assert_eq!(res.pairs, full, "complete run must be exact");
+            }
+        }
+    }
+}

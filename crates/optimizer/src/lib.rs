@@ -22,7 +22,12 @@
 //! * [`planned`] — [`PlannedEngine`]: the optimizer as a first-class
 //!   `rpq_core::Engine` that rewrites (*what*), picks a traversal
 //!   direction from label statistics (*how*: forward / backward /
-//!   meet-in-the-middle), and memoizes compiled plans across threads.
+//!   meet-in-the-middle), and memoizes compiled plans across threads;
+//! * [`join`] — conjunctive RPQs: the [`Crpq`] plan-as-data IR and text
+//!   grammar (`ans(x,z) :- x -[r*]-> y, y -[s.t]-> z`), the cost-based
+//!   join planner (rarest atom first, semijoin propagation along shared
+//!   variables), and the budget-sound executor over `rpq_core`'s
+//!   set-valued pair kernels.
 //!
 //! ## Example (the paper's Example 2)
 //!
@@ -43,6 +48,7 @@
 
 pub mod analysis;
 pub mod cost;
+pub mod join;
 pub mod planned;
 pub mod planner;
 pub mod rewrites;
@@ -50,6 +56,9 @@ pub mod views;
 
 pub use analysis::{analyze, certify_rewrite, restrict_to_live_symbols, Analysis, AnalysisFacts};
 pub use cost::{estimated_cost, measured_cost, StaticCost};
+pub use join::{
+    execute_join, execute_naive, parse_crpq, plan_join, Crpq, CrpqAtom, HeadBindings, JoinPlan, Var,
+};
 pub use planned::{Direction, Plan, PlannedEngine, PlannerConfig};
 pub use planner::{optimize, optimize_with_stats, Optimized, RewriteCache};
 pub use rewrites::{candidates, Candidate, RewriteRule};

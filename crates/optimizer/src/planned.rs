@@ -60,18 +60,23 @@ use rpq_automata::{Alphabet, Nfa, Regex, Symbol};
 use rpq_constraints::general::Budget;
 use rpq_constraints::ConstraintSet;
 use rpq_core::{
+    eval_pairs_bound_controlled_csr_with, eval_pairs_bound_csr_with,
+    eval_pairs_from_sources_controlled_csr_with, eval_pairs_from_sources_csr_with,
+    eval_pairs_to_targets_controlled_csr_with, eval_pairs_to_targets_csr_with,
     eval_product_backward_controlled_reversed_csr_with, eval_product_backward_reversed_csr_with,
     eval_product_batch_csr_with, eval_product_bounded_backward_reversed_csr_with,
     eval_product_bounded_csr_with, eval_product_controlled_csr_with, eval_product_csr_with,
     eval_product_matrix_csr_with, eval_product_pair_backward_reversed_csr_with,
     eval_product_pair_controlled_csr_with, eval_product_pair_forward_csr_with,
-    eval_product_pair_reversed_csr_with, eval_product_to_batch_csr_with, Answers, BatchResult,
-    Engine, EvalControl, EvalRequest, EvalResponse, EvalResult, EvalStats, FrontierMode,
-    MatrixResult, PairResult, Query, ScratchPool, SourceSpec, Termination,
+    eval_product_pair_reversed_csr_with, eval_product_to_batch_csr_with, seed_candidates, Answers,
+    BatchResult, Engine, EvalControl, EvalRequest, EvalResponse, EvalResult, EvalStats,
+    FrontierMode, MatrixResult, PairResult, PairSetResult, Query, ScratchPool, SourceSpec,
+    Termination, PULL_SWEEP_DISCOUNT,
 };
 use rpq_graph::{CsrGraph, GraphView, LabelStats, Oid};
 
 use crate::analysis::{analyze, AnalysisFacts};
+use crate::join::{execute_join, plan_join, Crpq, HeadBindings, JoinPlan};
 use crate::planner::optimize_with_stats;
 
 pub use rpq_core::Direction;
@@ -86,11 +91,25 @@ pub struct PlannerConfig {
     /// hardcoded value was 2×, kept as the default pending calibration
     /// against measured `edges_scanned` (see the ROADMAP item).
     pub decisiveness: f64,
+    /// Pull-sweep pricing discount for the hybrid product BFS (≥ 1): one
+    /// pull sweep over `|Q|·|V|` candidate pairs is priced at
+    /// `|Q|·|V| / pull_sweep_discount` edge scans when deciding per level
+    /// between push and pull. Larger values switch to pull earlier. The
+    /// default is the calibrated [`PULL_SWEEP_DISCOUNT`]; live deployments
+    /// can re-derive it from per-class `push_levels` / `pull_levels`
+    /// telemetry (`rpq_server::Metrics::suggest_pull_discount`). Requests
+    /// that leave their frontier mode at the default hybrid get this value
+    /// via [`FrontierMode::hybrid_with_discount`]; explicit request modes
+    /// win.
+    pub pull_sweep_discount: usize,
 }
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { decisiveness: 2.0 }
+        PlannerConfig {
+            decisiveness: 2.0,
+            pull_sweep_discount: PULL_SWEEP_DISCOUNT,
+        }
     }
 }
 
@@ -148,6 +167,15 @@ struct MemoEntry {
     plan: Arc<Plan>,
 }
 
+/// CRPQ join-plan memo key: the query's canonical [`Crpq::signature`] plus
+/// the head-boundness flags the request carried (a bound head variable can
+/// flip both the starting atom and every direction downstream, so bound
+/// and free requests plan separately).
+type CrpqSig = (String, bool, bool);
+
+/// One snapshot-keyed entry in the CRPQ join-plan memo.
+type CrpqMemoEntry = (MemoKey, Arc<JoinPlan>);
+
 /// Bound on distinct snapshots the plan memo retains **per query**: a
 /// long-lived engine over a mutating graph sees a fresh [`MemoKey`] per
 /// rebuild (or per out-of-drift delta epoch), and each retired snapshot's
@@ -166,6 +194,7 @@ pub struct PlannedEngine<E> {
     budget: Budget,
     config: PlannerConfig,
     memo: Mutex<HashMap<Regex, Vec<MemoEntry>>>,
+    crpq_memo: Mutex<HashMap<CrpqSig, Vec<CrpqMemoEntry>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     scratch: ScratchPool,
@@ -182,6 +211,7 @@ impl<E> PlannedEngine<E> {
             budget: Budget::default(),
             config: PlannerConfig::default(),
             memo: Mutex::new(HashMap::new()),
+            crpq_memo: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             scratch: ScratchPool::new(),
@@ -203,8 +233,24 @@ impl<E> PlannedEngine<E> {
     /// Replace the planning thresholds.
     pub fn with_config(mut self, config: PlannerConfig) -> PlannedEngine<E> {
         assert!(config.decisiveness >= 1.0, "decisiveness must be ≥ 1.0");
+        assert!(
+            config.pull_sweep_discount >= 1,
+            "pull_sweep_discount must be ≥ 1"
+        );
         self.config = config;
         self
+    }
+
+    /// The frontier mode a request effectively runs under: an explicit
+    /// request mode wins; the default hybrid picks up the configured
+    /// pull-sweep discount.
+    fn effective_mode(&self, requested: FrontierMode) -> FrontierMode {
+        match requested {
+            FrontierMode::Hybrid => {
+                FrontierMode::hybrid_with_discount(self.config.pull_sweep_discount)
+            }
+            other => other,
+        }
     }
 
     /// The active planning thresholds.
@@ -510,7 +556,7 @@ impl<E> PlannedEngine<E> {
         match &mut resp.answers {
             Answers::Batch(b) => self.stamp(&mut b.stats, plan, hit),
             Answers::Matrix(m) => self.stamp(&mut m.stats, plan, hit),
-            Answers::Nodes(_) | Answers::Reachable(_) => {}
+            Answers::Nodes(_) | Answers::Reachable(_) | Answers::Bindings(_) => {}
         }
         resp
     }
@@ -555,6 +601,10 @@ impl<E> PlannedEngine<E> {
                 SourceSpec::Matrix { sources, targets } => {
                     EvalResponse::from_matrix(MatrixResult::new(sources.clone(), targets.clone()))
                 }
+                SourceSpec::Conjunctive { .. } => EvalResponse::from_pairset(PairSetResult::empty(
+                    EvalStats::default(),
+                    Termination::Complete,
+                )),
             };
             return self.stamped(resp, &plan, hit);
         }
@@ -575,7 +625,7 @@ impl<E> PlannedEngine<E> {
         graph: &G,
         req: &EvalRequest,
     ) -> EvalResponse {
-        let mode = req.frontier_mode;
+        let mode = self.effective_mode(req.frontier_mode);
         let cap = plan.facts.max_word_len;
         let mut scratch = self.scratch.checkout();
         match &req.spec {
@@ -678,6 +728,31 @@ impl<E> PlannedEngine<E> {
                     &mut scratch,
                 ))
             }
+            SourceSpec::Conjunctive { sources, targets } => {
+                let res = match (sources, targets) {
+                    (Some(ss), Some(ts)) => {
+                        eval_pairs_bound_csr_with(plan.query.nfa(), graph, ss, ts, &mut scratch)
+                    }
+                    (Some(ss), None) => {
+                        eval_pairs_from_sources_csr_with(plan.query.nfa(), graph, ss, &mut scratch)
+                    }
+                    // The plan's cached reversed automaton serves the
+                    // target-bound form — no per-request reversal.
+                    (None, Some(ts)) => {
+                        eval_pairs_to_targets_csr_with(&plan.reversed, graph, ts, &mut scratch)
+                    }
+                    (None, None) => {
+                        let seeds = seed_candidates(plan.query.nfa(), graph, &mut scratch);
+                        eval_pairs_from_sources_csr_with(
+                            plan.query.nfa(),
+                            graph,
+                            &seeds,
+                            &mut scratch,
+                        )
+                    }
+                };
+                EvalResponse::from_pairset(res)
+            }
         }
     }
 
@@ -692,7 +767,7 @@ impl<E> PlannedEngine<E> {
         graph: &G,
         req: &EvalRequest,
     ) -> EvalResponse {
-        let mode = req.frontier_mode;
+        let mode = self.effective_mode(req.frontier_mode);
         let cap = plan.facts.max_word_len;
         let cancel = req.cancel.as_deref();
         let mut scratch = self.scratch.checkout();
@@ -822,7 +897,165 @@ impl<E> PlannedEngine<E> {
                 matrix.stats = stats;
                 EvalResponse::from_matrix(matrix).terminated(term)
             }
+            SourceSpec::Conjunctive { sources, targets } => {
+                let control = req.control();
+                let res = match (sources, targets) {
+                    (Some(ss), Some(ts)) => eval_pairs_bound_controlled_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        ss,
+                        ts,
+                        mode,
+                        &control,
+                        &mut scratch,
+                    ),
+                    (Some(ss), None) => eval_pairs_from_sources_controlled_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        ss,
+                        mode,
+                        &control,
+                        &mut scratch,
+                    ),
+                    (None, Some(ts)) => eval_pairs_to_targets_controlled_csr_with(
+                        &plan.reversed,
+                        graph,
+                        ts,
+                        mode,
+                        &control,
+                        &mut scratch,
+                    ),
+                    (None, None) => {
+                        let seeds = seed_candidates(plan.query.nfa(), graph, &mut scratch);
+                        eval_pairs_from_sources_controlled_csr_with(
+                            plan.query.nfa(),
+                            graph,
+                            &seeds,
+                            mode,
+                            &control,
+                            &mut scratch,
+                        )
+                    }
+                };
+                EvalResponse::from_pairset(res)
+            }
         }
+    }
+
+    /// The memoized join plan for a conjunctive query over `graph`, plus
+    /// whether it was served from the memo. Keyed like [`Plan`]s — by
+    /// [`Crpq::signature`], the request's head-boundness flags (a bound
+    /// head variable can flip the whole order), and the snapshot's
+    /// `MemoKey` — with the same per-entry snapshot bound. Join plans
+    /// are rankings, never soundness inputs, so any cached order would be
+    /// *correct* on any snapshot; the epoch key only keeps the order in
+    /// step with the statistics that justified it.
+    pub fn crpq_plan<G: GraphView>(
+        &self,
+        crpq: &Crpq,
+        graph: &G,
+        src_bound: bool,
+        dst_bound: bool,
+    ) -> (Arc<JoinPlan>, bool) {
+        let sig = (crpq.signature(), src_bound, dst_bound);
+        let key = memo_key(graph);
+        {
+            let memo = self.crpq_memo.lock();
+            if let Some(entries) = memo.get(&sig) {
+                if let Some((_, plan)) = entries.iter().find(|(k, _)| *k == key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (plan.clone(), true);
+                }
+            }
+        }
+        let plan = Arc::new(plan_join(
+            crpq,
+            graph.stats(),
+            &self.config,
+            src_bound,
+            dst_bound,
+        ));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut memo = self.crpq_memo.lock();
+        let entries = memo.entry(sig).or_default();
+        if !entries.iter().any(|(k, _)| *k == key) {
+            if entries.len() >= MAX_MEMOIZED_SNAPSHOTS {
+                entries.remove(0);
+            }
+            entries.push((key, plan.clone()));
+        }
+        (plan, false)
+    }
+
+    /// Evaluate a conjunctive query end-to-end over any [`GraphView`]:
+    /// memoized join planning ([`PlannedEngine::crpq_plan`]), then the
+    /// semijoin-propagating executor ([`execute_join`]) under the
+    /// request's budget/cancellation controls and effective frontier mode.
+    ///
+    /// The request's [`SourceSpec`] restricts the *head* variables: source
+    /// forms bind the first head variable, target forms the second,
+    /// pair/matrix forms both, and [`SourceSpec::Conjunctive`] maps
+    /// directly; each side's `None` leaves that head variable free. The
+    /// response carries [`Answers::Bindings`] with per-atom
+    /// `stats.atoms` telemetry in execution order, and plan-memo
+    /// hit/miss counters stamped like every other planned evaluation.
+    pub fn run_crpq<G: GraphView>(
+        &self,
+        crpq: &Crpq,
+        graph: &G,
+        req: &EvalRequest,
+    ) -> EvalResponse {
+        let heads = match &req.spec {
+            SourceSpec::Source(s) => HeadBindings {
+                sources: Some(std::slice::from_ref(s)),
+                targets: None,
+            },
+            SourceSpec::Sources(ss) => HeadBindings {
+                sources: Some(ss),
+                targets: None,
+            },
+            SourceSpec::Target(t) => HeadBindings {
+                sources: None,
+                targets: Some(std::slice::from_ref(t)),
+            },
+            SourceSpec::Targets(ts) => HeadBindings {
+                sources: None,
+                targets: Some(ts),
+            },
+            SourceSpec::Pair { source, target } => HeadBindings {
+                sources: Some(std::slice::from_ref(source)),
+                targets: Some(std::slice::from_ref(target)),
+            },
+            SourceSpec::Matrix { sources, targets } => HeadBindings {
+                sources: Some(sources),
+                targets: Some(targets),
+            },
+            SourceSpec::Conjunctive { sources, targets } => HeadBindings {
+                sources: sources.as_deref(),
+                targets: targets.as_deref(),
+            },
+        };
+        let (plan, hit) = self.crpq_plan(
+            crpq,
+            graph,
+            heads.sources.is_some(),
+            heads.targets.is_some(),
+        );
+        let mode = self.effective_mode(req.frontier_mode);
+        let mut scratch = self.scratch.checkout();
+        let res = execute_join(
+            crpq,
+            &plan.order,
+            graph,
+            heads,
+            mode,
+            &req.control(),
+            &mut scratch,
+        );
+        let mut resp = EvalResponse::from_pairset(res);
+        resp.stats.plan_cache_hits += usize::from(hit);
+        resp.stats.plan_cache_misses += usize::from(!hit);
+        resp
     }
 }
 
@@ -986,6 +1219,44 @@ mod tests {
     }
 
     #[test]
+    fn run_crpq_joins_plans_and_memoizes() {
+        use crate::join::{execute_naive, parse_crpq, HeadBindings};
+
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        b.edge("s", "a", "m1");
+        b.edge("s", "a", "m2");
+        b.edge("m1", "b", "t1");
+        b.edge("m2", "b", "t2");
+        b.edge("t1", "c", "u1");
+        b.edge("x1", "a", "x2");
+        let (inst, names) = b.finish();
+        let graph = CsrGraph::from(&inst);
+        let crpq = parse_crpq(&mut ab, "ans(x, w) :- x -[a]-> y, y -[b]-> z, z -[c]-> w").unwrap();
+        let engine = PlannedEngine::unconstrained(ProductEngine, ab);
+
+        let req = EvalRequest::conjunctive(None, None);
+        let resp = engine.run_crpq(&crpq, &graph, &req);
+        let bindings = resp.bindings().expect("bindings payload").to_vec();
+        let (oracle, _) = execute_naive(&crpq, &graph, HeadBindings::default());
+        assert_eq!(bindings, oracle);
+        assert_eq!(bindings, vec![(names["s"], names["u1"])]);
+        assert_eq!(resp.stats.atoms.len(), 3, "one record per atom");
+        assert_eq!(resp.stats.plan_cache_misses, 1);
+
+        // Same signature + snapshot: the join plan is served from memo.
+        let resp2 = engine.run_crpq(&crpq, &graph, &req);
+        assert_eq!(resp2.bindings().unwrap(), &bindings[..]);
+        assert_eq!(resp2.stats.plan_cache_hits, 1);
+
+        // A head restriction changes the boundness flags → separate plan.
+        let bound = EvalRequest::conjunctive(Some(vec![names["s"]]), None);
+        let resp3 = engine.run_crpq(&crpq, &graph, &bound);
+        assert_eq!(resp3.stats.plan_cache_misses, 1);
+        assert_eq!(resp3.bindings().unwrap(), &bindings[..]);
+    }
+
+    #[test]
     fn planned_answers_match_inner_on_the_cached_workload() {
         let (mut ab, set, inst, v0) = cached_workload(6);
         let graph = CsrGraph::from(&inst);
@@ -1130,6 +1401,7 @@ mod tests {
         let strict =
             PlannedEngine::unconstrained(ProductEngine, ab.clone()).with_config(PlannerConfig {
                 decisiveness: 1000.0,
+                ..PlannerConfig::default()
             });
         assert_eq!(
             strict.plan(&query, &graph).direction,

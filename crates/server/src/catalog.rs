@@ -17,7 +17,7 @@
 //!            ▼                          ▼
 //!   published: RwLock<Arc<DeltaGraph>> ───► pin() ─► Arc<DeltaGraph>
 //!            │                                        (epoch e₇)
-//!            ▼ retained ring (≤ MAX_RETAINED_EPOCHS)
+//!            ▼ retained ring (≤ retention, default MAX_RETAINED_EPOCHS)
 //!   [e₄] [e₅] [e₆] [e₇]  ───► pin_at(e₅) for time travel
 //! ```
 //!
@@ -37,7 +37,8 @@ use parking_lot::{Mutex, RwLock};
 
 use rpq_graph::{CompactionPolicy, CsrGraph, DeltaGraph, EdgeDelta, Epoch, Instance};
 
-/// How many published epochs [`Catalog::pin_at`] can still reach. Older
+/// Default for how many published epochs [`Catalog::pin_at`] can still
+/// reach ([`Catalog::with_retention`] overrides it per catalog). Older
 /// snapshots stay alive only while some reader holds their Arc.
 pub const MAX_RETAINED_EPOCHS: usize = 8;
 
@@ -63,6 +64,8 @@ pub struct Catalog {
     /// Recent epochs for [`Catalog::pin_at`], newest last.
     retained: Mutex<VecDeque<Arc<DeltaGraph>>>,
     policy: CompactionPolicy,
+    /// Ring capacity for [`Catalog::pin_at`] time travel.
+    retention: usize,
     commits: AtomicUsize,
     compactions: AtomicUsize,
 }
@@ -80,6 +83,7 @@ impl Catalog {
             published: RwLock::new(published),
             retained: Mutex::new(retained),
             policy: CompactionPolicy::default(),
+            retention: MAX_RETAINED_EPOCHS,
             commits: AtomicUsize::new(0),
             compactions: AtomicUsize::new(0),
         }
@@ -100,6 +104,28 @@ impl Catalog {
     /// The active compaction policy.
     pub fn policy(&self) -> &CompactionPolicy {
         &self.policy
+    }
+
+    /// Replace the time-travel ring capacity (how many published epochs
+    /// [`Catalog::pin_at`] can reach; default [`MAX_RETAINED_EPOCHS`]).
+    /// Must be ≥ 1 — the latest epoch is always reachable. Shrinking below
+    /// the current ring occupancy evicts the oldest epochs immediately;
+    /// readers already pinned to them are unaffected (their Arcs keep the
+    /// snapshots alive).
+    pub fn with_retention(mut self, retention: usize) -> Catalog {
+        assert!(retention >= 1, "retention must be ≥ 1");
+        self.retention = retention;
+        let mut retained = self.retained.lock();
+        while retained.len() > retention {
+            retained.pop_front();
+        }
+        drop(retained);
+        self
+    }
+
+    /// The time-travel ring capacity.
+    pub fn retention(&self) -> usize {
+        self.retention
     }
 
     /// Pin the latest published snapshot. The returned Arc stays valid —
@@ -144,7 +170,7 @@ impl Catalog {
             self.compactions.fetch_add(1, Ordering::Relaxed);
         }
         let mut retained = self.retained.lock();
-        if retained.len() == MAX_RETAINED_EPOCHS {
+        while retained.len() >= self.retention {
             retained.pop_front();
         }
         retained.push_back(snapshot);
@@ -238,6 +264,54 @@ mod tests {
             .filter(|&&e| catalog.pin_at(e).is_some())
             .count();
         assert_eq!(reachable, MAX_RETAINED_EPOCHS);
+    }
+
+    #[test]
+    fn retention_is_configurable_and_shrinking_evicts_but_never_disturbs_pins() {
+        let (ab, catalog, n0, _) = seed();
+        let catalog = catalog
+            .with_policy(CompactionPolicy::NEVER)
+            .with_retention(3);
+        assert_eq!(catalog.retention(), 3);
+        let a = ab.get("a").unwrap();
+        let pinned = catalog.pin();
+        let e0 = pinned.epoch();
+        let mut epochs = vec![e0];
+        for i in 0..6 {
+            let mut d = EdgeDelta::new();
+            d.add(n0, a, Oid(i as u32 % 8));
+            d.del(n0, a, Oid(i as u32 % 8));
+            epochs.push(catalog.commit(&d).epoch);
+        }
+        // exactly the 3 newest epochs are reachable
+        let reachable: Vec<_> = epochs
+            .iter()
+            .filter(|&&e| catalog.pin_at(e).is_some())
+            .collect();
+        assert_eq!(
+            reachable,
+            epochs.iter().rev().take(3).rev().collect::<Vec<_>>()
+        );
+        // the evicted seed epoch is gone from the ring, but the held pin
+        // still serves it
+        assert!(catalog.pin_at(e0).is_none());
+        assert_eq!(pinned.epoch(), e0);
+
+        // retention 1: only the latest epoch ever survives
+        let (ab, catalog, n0, _) = seed();
+        let catalog = catalog
+            .with_policy(CompactionPolicy::NEVER)
+            .with_retention(1);
+        let a = ab.get("a").unwrap();
+        let mut d = EdgeDelta::new();
+        d.add(n0, a, n0);
+        let c = catalog.commit(&d);
+        assert_eq!(catalog.pin_at(c.epoch).unwrap().epoch(), c.epoch);
+        let mut d = EdgeDelta::new();
+        d.del(n0, a, n0);
+        let c2 = catalog.commit(&d);
+        assert!(catalog.pin_at(c.epoch).is_none());
+        assert_eq!(catalog.pin_at(c2.epoch).unwrap().epoch(), c2.epoch);
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub use catalog::{Catalog, Commit, MAX_RETAINED_EPOCHS};
 pub use metrics::{ClassSnapshot, Metrics, QueryClass, LATENCY_WINDOW};
 pub use session::{QueryHandle, Server, ServerConfig, Session, SubmitError};
 
+// The conjunctive-query surface served by `Session::submit_crpq` /
+// `submit_text`, re-exported so serving clients need no direct
+// `rpq_optimizer` dependency.
+pub use rpq_optimizer::{Crpq, JoinPlan};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +290,71 @@ mod tests {
             .join();
         assert_eq!(p.reachable(), Some(true));
         assert_eq!(server.metrics().class(QueryClass::Pair).queries, 1);
+    }
+
+    #[test]
+    fn conjunctive_text_flows_end_to_end() {
+        // A 3-atom chain query through the full serving path: text →
+        // parse_crpq → join planner → set-valued kernels → bindings.
+        let mut ab = Alphabet::new();
+        let mut b = InstanceBuilder::new(&mut ab);
+        for i in 0..4 {
+            b.edge(&format!("s{i}"), "a", &format!("m{i}"));
+            b.edge(&format!("m{i}"), "b", &format!("t{i}"));
+        }
+        b.edge("t0", "c", "end");
+        b.edge("t2", "c", "end");
+        b.edge("noise", "a", "noise2");
+        let (inst, names) = b.finish();
+        let server = Server::new(Arc::new(Catalog::from_instance(&inst)), ab);
+        let session = server.session();
+
+        let handle = session
+            .submit_text(
+                "ans(x, w) :- x -[a]-> y, y -[b*]-> z, z -[c]-> w",
+                SourceSpec::Conjunctive {
+                    sources: None,
+                    targets: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(handle.class(), QueryClass::Conjunctive);
+        let resp = handle.join();
+        assert_eq!(resp.termination, Termination::Complete);
+        let mut expected = [(names["s0"], names["end"]), (names["s2"], names["end"])];
+        expected.sort_unstable();
+        assert_eq!(resp.bindings().unwrap(), &expected[..]);
+        // per-atom telemetry in execution order, aggregated in metrics
+        assert_eq!(resp.stats.atoms.len(), 3);
+        let snap = server.metrics().class(QueryClass::Conjunctive);
+        assert_eq!(snap.queries, 1);
+        assert_eq!(snap.atoms_evaluated, 3);
+        assert!(snap.atom_edges_scanned > 0);
+
+        // head restriction through the request spec
+        let resp = session
+            .submit_text(
+                "ans(x, w) :- x -[a]-> y, y -[b*]-> z, z -[c]-> w",
+                SourceSpec::Conjunctive {
+                    sources: Some(vec![names["s2"]]),
+                    targets: None,
+                },
+            )
+            .unwrap()
+            .join();
+        assert_eq!(resp.bindings().unwrap(), &[(names["s2"], names["end"])][..]);
+        // second submission of the same signature hits the join-plan memo
+        assert_eq!(resp.stats.plan_cache_hits + resp.stats.plan_cache_misses, 1);
+
+        // conjunctive parse errors surface as SubmitError::Parse with spans
+        let err = session.submit_text(
+            "ans(x, w) :- x -[a]-> y, y -[b**)]-> w",
+            SourceSpec::Conjunctive {
+                sources: None,
+                targets: None,
+            },
+        );
+        assert!(matches!(err, Err(SubmitError::Parse(_))), "{err:?}");
     }
 
     #[test]

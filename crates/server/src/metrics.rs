@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use rpq_core::{EvalStats, SourceSpec, Termination};
+use rpq_core::{EvalStats, SourceSpec, Termination, PULL_SWEEP_DISCOUNT};
 
 /// Sliding-window size for per-class latency percentiles.
 pub const LATENCY_WINDOW: usize = 4096;
@@ -40,17 +40,21 @@ pub enum QueryClass {
     Pair,
     /// N×M reachability matrix (`SourceSpec::Matrix`).
     Matrix,
+    /// Binding-set / conjunctive (`SourceSpec::Conjunctive`), including
+    /// multi-atom CRPQs submitted as text.
+    Conjunctive,
 }
 
 impl QueryClass {
     /// Every class, in display order.
-    pub const ALL: [QueryClass; 6] = [
+    pub const ALL: [QueryClass; 7] = [
         QueryClass::Single,
         QueryClass::Batch,
         QueryClass::TargetBound,
         QueryClass::TargetBatch,
         QueryClass::Pair,
         QueryClass::Matrix,
+        QueryClass::Conjunctive,
     ];
 
     /// The class a request shape belongs to.
@@ -62,6 +66,7 @@ impl QueryClass {
             SourceSpec::Targets(_) => QueryClass::TargetBatch,
             SourceSpec::Pair { .. } => QueryClass::Pair,
             SourceSpec::Matrix { .. } => QueryClass::Matrix,
+            SourceSpec::Conjunctive { .. } => QueryClass::Conjunctive,
         }
     }
 
@@ -74,6 +79,7 @@ impl QueryClass {
             QueryClass::TargetBatch => "target-batch",
             QueryClass::Pair => "pair",
             QueryClass::Matrix => "matrix",
+            QueryClass::Conjunctive => "conjunctive",
         }
     }
 
@@ -85,6 +91,7 @@ impl QueryClass {
             QueryClass::TargetBatch => 3,
             QueryClass::Pair => 4,
             QueryClass::Matrix => 5,
+            QueryClass::Conjunctive => 6,
         }
     }
 }
@@ -99,6 +106,8 @@ struct ClassAgg {
     complete: usize,
     budget_exhausted: usize,
     cancelled: usize,
+    atoms_evaluated: usize,
+    atom_edges_scanned: usize,
     latencies_ns: VecDeque<u64>,
 }
 
@@ -121,6 +130,13 @@ pub struct ClassSnapshot {
     pub budget_exhausted: usize,
     /// Runs stopped by cooperative cancellation.
     pub cancelled: usize,
+    /// Conjunctive atoms evaluated (one per [`rpq_core::AtomStats`]
+    /// record) — together with `queries` this gives the average join size
+    /// the class serves.
+    pub atoms_evaluated: usize,
+    /// Edges scanned attributable to individual conjunctive atoms (the sum
+    /// of per-atom `edges_scanned`; join-order telemetry).
+    pub atom_edges_scanned: usize,
     /// Median latency over the sliding window, nanoseconds (0 when empty).
     pub p50_latency_ns: u64,
     /// 99th-percentile latency over the sliding window, nanoseconds.
@@ -131,7 +147,7 @@ pub struct ClassSnapshot {
 /// admission-rejection counter.
 #[derive(Default)]
 pub struct Metrics {
-    classes: [Mutex<ClassAgg>; 6],
+    classes: [Mutex<ClassAgg>; 7],
     rejected: AtomicUsize,
 }
 
@@ -163,6 +179,8 @@ impl Metrics {
         agg.answers += stats.answers;
         agg.push_levels += stats.push_levels;
         agg.pull_levels += stats.pull_levels;
+        agg.atoms_evaluated += stats.atoms.len();
+        agg.atom_edges_scanned += stats.atoms.iter().map(|a| a.edges_scanned).sum::<usize>();
         match termination {
             Termination::Complete => agg.complete += 1,
             Termination::BudgetExhausted => agg.budget_exhausted += 1,
@@ -200,6 +218,8 @@ impl Metrics {
             complete: agg.complete,
             budget_exhausted: agg.budget_exhausted,
             cancelled: agg.cancelled,
+            atoms_evaluated: agg.atoms_evaluated,
+            atom_edges_scanned: agg.atom_edges_scanned,
             p50_latency_ns: percentile(&window, 0.50),
             p99_latency_ns: percentile(&window, 0.99),
         }
@@ -208,6 +228,41 @@ impl Metrics {
     /// Total queries recorded across every class.
     pub fn total_queries(&self) -> usize {
         QueryClass::ALL.iter().map(|&c| self.class(c).queries).sum()
+    }
+
+    /// Calibrate the hybrid BFS's pull-sweep pricing discount from the
+    /// aggregated `push_levels` / `pull_levels` telemetry (feed the result
+    /// into `rpq_optimizer::PlannerConfig::pull_sweep_discount`).
+    ///
+    /// The hybrid search prices one dense pull sweep at
+    /// `|Q|·|V| / discount` edge scans; the discount therefore controls
+    /// how deep into a search the switch fires. On BFS-shaped workloads
+    /// the dense tail is roughly the deepest quarter of levels, so the
+    /// calibration steers the *observed* pull fraction toward 1/4: a
+    /// workload whose switch fires too rarely gets a larger discount
+    /// (sweeps priced cheaper, switch fires earlier), one that over-pulls
+    /// gets a smaller one. With no recorded levels the compiled-in
+    /// [`rpq_core::PULL_SWEEP_DISCOUNT`] default is returned unchanged;
+    /// the result is clamped to `[1, 4 × default]` so one skewed window
+    /// cannot push the switch into a degenerate regime.
+    pub fn suggest_pull_discount(&self) -> usize {
+        let mut push = 0usize;
+        let mut pull = 0usize;
+        for &c in QueryClass::ALL.iter() {
+            let s = self.class(c);
+            push += s.push_levels;
+            pull += s.pull_levels;
+        }
+        let total = push + pull;
+        if total == 0 {
+            return PULL_SWEEP_DISCOUNT;
+        }
+        const TARGET_PULL_FRACTION: f64 = 0.25;
+        // At least one virtual pull level keeps the ratio finite when the
+        // switch never fired in the window.
+        let observed = (pull.max(1)) as f64 / total as f64;
+        let scaled = (PULL_SWEEP_DISCOUNT as f64 * (TARGET_PULL_FRACTION / observed)).round();
+        (scaled as usize).clamp(1, PULL_SWEEP_DISCOUNT * 4)
     }
 }
 
@@ -311,5 +366,84 @@ mod tests {
             }),
             QueryClass::Matrix
         );
+        assert_eq!(
+            QueryClass::of(&SourceSpec::Conjunctive {
+                sources: Some(vec![o]),
+                targets: None
+            }),
+            QueryClass::Conjunctive
+        );
+    }
+
+    #[test]
+    fn atom_telemetry_aggregates() {
+        use rpq_core::AtomStats;
+        let m = Metrics::new();
+        let s = EvalStats {
+            edges_scanned: 30,
+            atoms: vec![
+                AtomStats {
+                    atom: 1,
+                    direction: None,
+                    edges_scanned: 20,
+                    bindings: 4,
+                },
+                AtomStats {
+                    atom: 0,
+                    direction: None,
+                    edges_scanned: 10,
+                    bindings: 2,
+                },
+            ],
+            ..EvalStats::default()
+        };
+        m.record(
+            QueryClass::Conjunctive,
+            Duration::from_micros(1),
+            &s,
+            Termination::Complete,
+        );
+        let snap = m.class(QueryClass::Conjunctive);
+        assert_eq!(snap.atoms_evaluated, 2);
+        assert_eq!(snap.atom_edges_scanned, 30);
+    }
+
+    #[test]
+    fn pull_discount_suggestion_tracks_the_level_mix() {
+        let m = Metrics::new();
+        assert_eq!(
+            m.suggest_pull_discount(),
+            PULL_SWEEP_DISCOUNT,
+            "no data keeps the compiled-in default"
+        );
+        // All-push workload: the switch never fires, so the suggestion
+        // rises (pull sweeps priced cheaper) up to the clamp.
+        for _ in 0..10 {
+            m.record(
+                QueryClass::Single,
+                Duration::from_micros(1),
+                &EvalStats {
+                    push_levels: 100,
+                    ..EvalStats::default()
+                },
+                Termination::Complete,
+            );
+        }
+        assert!(m.suggest_pull_discount() > PULL_SWEEP_DISCOUNT);
+        assert!(m.suggest_pull_discount() <= PULL_SWEEP_DISCOUNT * 4);
+        // Pull-heavy workload: the suggestion drops below the default.
+        let m2 = Metrics::new();
+        m2.record(
+            QueryClass::Single,
+            Duration::from_micros(1),
+            &EvalStats {
+                push_levels: 10,
+                pull_levels: 90,
+                ..EvalStats::default()
+            },
+            Termination::Complete,
+        );
+        assert!(m2.suggest_pull_discount() < PULL_SWEEP_DISCOUNT);
+        assert!(m2.suggest_pull_discount() >= 1);
     }
 }

@@ -36,7 +36,7 @@ use rpq_automata::{Alphabet, ParseError};
 use rpq_constraints::ConstraintSet;
 use rpq_core::{EvalRequest, EvalResponse, ProductEngine, Query, SourceSpec};
 use rpq_graph::{DeltaGraph, Epoch};
-use rpq_optimizer::PlannedEngine;
+use rpq_optimizer::{parse_crpq, Crpq, PlannedEngine};
 
 use crate::catalog::Catalog;
 use crate::metrics::{Metrics, QueryClass};
@@ -179,6 +179,15 @@ impl Server {
         Query::parse(&mut ab, text)
     }
 
+    /// Parse conjunctive query text (`ans(x,z) :- x -[r*]-> y, …`) against
+    /// the server's shared alphabet. Errors carry byte spans into `text`
+    /// (atom bodies included). [`Session::submit_text`] routes here
+    /// automatically when the text contains `:-`.
+    pub fn parse_crpq(&self, text: &str) -> Result<Crpq, ParseError> {
+        let mut ab = self.alphabet.lock();
+        parse_crpq(&mut ab, text)
+    }
+
     /// Open a session pinned to the latest published epoch.
     pub fn session(&self) -> Session<'_> {
         Session {
@@ -221,9 +230,8 @@ impl Session<'_> {
         self.snapshot = self.server.catalog.pin();
     }
 
-    /// Submit a parsed query. Returns a [`QueryHandle`] whose worker is
-    /// already running, or rejects synchronously (admission).
-    pub fn submit(&self, query: &Query, req: EvalRequest) -> Result<QueryHandle, SubmitError> {
+    /// Take an admission slot, or reject synchronously at the cap.
+    fn admit(&self) -> Result<AdmissionSlot, SubmitError> {
         let cap = self.server.config.max_concurrent;
         let active = &self.server.active;
         if active
@@ -238,9 +246,13 @@ impl Session<'_> {
                 cap,
             });
         }
-        let slot = AdmissionSlot(active.clone());
+        Ok(AdmissionSlot(active.clone()))
+    }
 
-        let mut req = req;
+    /// Stamp the server's default budget onto a request that carries none,
+    /// and ensure it has a cancellation flag; returns the flag for the
+    /// handle.
+    fn controls(&self, mut req: EvalRequest) -> (EvalRequest, Arc<AtomicBool>) {
         if req.budget.is_none() {
             if let Some(b) = self.server.config.default_budget {
                 req = req.with_budget(b);
@@ -254,7 +266,14 @@ impl Session<'_> {
                 c
             }
         };
+        (req, cancel)
+    }
 
+    /// Submit a parsed query. Returns a [`QueryHandle`] whose worker is
+    /// already running, or rejects synchronously (admission).
+    pub fn submit(&self, query: &Query, req: EvalRequest) -> Result<QueryHandle, SubmitError> {
+        let slot = self.admit()?;
+        let (req, cancel) = self.controls(req);
         let class = QueryClass::of(&req.spec);
         let snapshot = self.snapshot.clone();
         let epoch = snapshot.epoch();
@@ -276,11 +295,63 @@ impl Session<'_> {
         })
     }
 
-    /// Submit query text: parse against the shared alphabet, then
-    /// [`Session::submit`] with the given request shape.
+    /// Submit a conjunctive query: same admission, budget, cancellation,
+    /// and metrics seams as [`Session::submit`], but the worker runs the
+    /// cost-based join planner and semijoin executor
+    /// ([`PlannedEngine::run_crpq`]). The request's [`SourceSpec`]
+    /// restricts the *head* variables (source forms the first, target
+    /// forms the second, pair/matrix both); accounted under
+    /// [`QueryClass::Conjunctive`] with per-atom telemetry in the metrics.
+    pub fn submit_crpq(&self, crpq: &Crpq, req: EvalRequest) -> Result<QueryHandle, SubmitError> {
+        let slot = self.admit()?;
+        let (req, cancel) = self.controls(req);
+        let snapshot = self.snapshot.clone();
+        let epoch = snapshot.epoch();
+        let engine = self.server.engine.clone();
+        let metrics = self.server.metrics.clone();
+        let crpq = crpq.clone();
+        let class = QueryClass::Conjunctive;
+        let join = std::thread::spawn(move || {
+            let start = Instant::now();
+            let resp = engine.run_crpq(&crpq, &*snapshot, &req);
+            metrics.record(class, start.elapsed(), &resp.stats, resp.termination);
+            resp
+        });
+        Ok(QueryHandle {
+            join,
+            cancel,
+            class,
+            epoch,
+            _slot: slot,
+        })
+    }
+
+    /// Submit query text: parse against the shared alphabet, then submit
+    /// with the given request shape. Text containing `:-` is parsed as a
+    /// conjunctive query (`ans(x,z) :- x -[r*]-> y, …`) and routed through
+    /// [`Session::submit_crpq`]; anything else is a plain path query.
     pub fn submit_text(&self, text: &str, spec: SourceSpec) -> Result<QueryHandle, SubmitError> {
+        if text.contains(":-") {
+            let crpq = self.server.parse_crpq(text)?;
+            return self.submit_crpq(&crpq, EvalRequest::new(spec));
+        }
         let query = self.server.parse(text)?;
         self.submit(&query, EvalRequest::new(spec))
+    }
+
+    /// Evaluate a conjunctive query synchronously on the caller's thread
+    /// (no admission slot or worker; still recorded in the metrics under
+    /// [`QueryClass::Conjunctive`]).
+    pub fn run_crpq(&self, crpq: &Crpq, req: &EvalRequest) -> EvalResponse {
+        let start = Instant::now();
+        let resp = self.server.engine.run_crpq(crpq, &*self.snapshot, req);
+        self.server.metrics.record(
+            QueryClass::Conjunctive,
+            start.elapsed(),
+            &resp.stats,
+            resp.termination,
+        );
+        resp
     }
 
     /// Evaluate synchronously on the caller's thread against the pinned

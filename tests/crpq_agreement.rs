@@ -1,0 +1,184 @@
+//! CRPQ executor agreement: the cost-based join order, semijoin
+//! propagation, and per-atom direction choices are *optimizations*, never
+//! semantics changes. Every static atom order — and the planner's own —
+//! must return exactly the bindings of the naive nested-loop oracle
+//! ([`rpq::optimizer::execute_naive`]: every atom evaluated independently
+//! with both sides free, then hash-joined), on the immutable `CsrGraph`
+//! snapshot and on a post-delta `DeltaGraph` epoch. Budget and
+//! cancellation controls must yield sound *subsets* (a truncated atom
+//! relation joins to a subset of the full join), with complete
+//! terminations exact.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use rpq::automata::random::{random_regex, RegexGenConfig};
+use rpq::automata::{Alphabet, Symbol};
+use rpq::core::{EvalControl, EvalScratch, FrontierMode, Query};
+use rpq::graph::generators::random_graph;
+use rpq::graph::{CsrGraph, DeltaGraph, GraphView, Instance, Oid};
+use rpq::optimizer::{
+    execute_join, execute_naive, plan_join, Crpq, CrpqAtom, HeadBindings, PlannerConfig, Var,
+};
+
+/// A random chain-shaped CRPQ `ans(x0, xn) :- x0 -[r0]-> x1, …` with a
+/// coin-flip extra atom closing a cycle back to `x0` (so cyclic join
+/// graphs are exercised too).
+fn random_crpq(rng: &mut StdRng, ab: &Alphabet, atoms: usize, close_cycle: bool) -> Crpq {
+    let syms: Vec<Symbol> = ab.symbols().collect();
+    let cfg = RegexGenConfig::new(syms);
+    let mut crpq_atoms = Vec::new();
+    for i in 0..atoms {
+        crpq_atoms.push(CrpqAtom {
+            query: Query::new(random_regex(rng, &cfg), ab),
+            src: Var(i as u32),
+            dst: Var(i as u32 + 1),
+        });
+    }
+    if close_cycle {
+        crpq_atoms.push(CrpqAtom {
+            query: Query::new(random_regex(rng, &cfg), ab),
+            src: Var(atoms as u32),
+            dst: Var(0),
+        });
+    }
+    let var_names = (0..=atoms).map(|i| format!("x{i}")).collect();
+    Crpq {
+        atoms: crpq_atoms,
+        head: (Var(0), Var(atoms as u32)),
+        var_names,
+    }
+}
+
+/// All atom orders for `n ≤ 3` atoms (every permutation), a sample
+/// otherwise.
+fn orders(n: usize) -> Vec<Vec<usize>> {
+    match n {
+        1 => vec![vec![0]],
+        2 => vec![vec![0, 1], vec![1, 0]],
+        3 => vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ],
+        _ => vec![(0..n).collect(), (0..n).rev().collect()],
+    }
+}
+
+/// Assert `execute_join` under every order (and the planned one) matches
+/// the oracle on `graph`.
+fn assert_agreement<G: GraphView>(
+    crpq: &Crpq,
+    graph: &G,
+    heads: HeadBindings<'_>,
+) -> Result<Vec<(Oid, Oid)>, TestCaseError> {
+    let (oracle, _) = execute_naive(crpq, graph, heads);
+    let mut all = orders(crpq.atoms.len());
+    all.push(plan_join(crpq, graph.stats(), &PlannerConfig::default(), false, false).order);
+    for order in all {
+        let mut scratch = EvalScratch::new();
+        let res = execute_join(
+            crpq,
+            &order,
+            graph,
+            heads,
+            FrontierMode::Hybrid,
+            &EvalControl::UNLIMITED,
+            &mut scratch,
+        );
+        prop_assert_eq!(&res.pairs, &oracle, "order {:?}", order);
+        prop_assert!(res.termination.is_complete());
+        prop_assert_eq!(res.stats.atoms.len(), crpq.atoms.len());
+    }
+    Ok(oracle)
+}
+
+fn setup(seed: u64) -> (Alphabet, Instance, Crpq) {
+    let ab = Alphabet::from_names(["a", "b", "c"]);
+    let syms: Vec<Symbol> = ab.symbols().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (inst, _) = random_graph(&mut rng, 7, 16, &syms);
+    let atoms = 1 + (seed as usize % 2); // 1 or 2 chain atoms
+    let crpq = random_crpq(&mut rng, &ab, atoms, seed.is_multiple_of(3));
+    (ab, inst, crpq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every atom order (all permutations up to 3 atoms, plus the
+    /// cost-based plan) returns the oracle's bindings — on the CSR
+    /// snapshot, on a mutated `DeltaGraph` epoch, and under random head
+    /// restrictions.
+    #[test]
+    fn crpq_join_orders_agree_with_the_naive_oracle(seed in 0u64..5_000) {
+        let (ab, inst, crpq) = setup(seed);
+        let graph = CsrGraph::from(&inst);
+        let free = assert_agreement(&crpq, &graph, HeadBindings::default())?;
+
+        // A head restriction drawn from the free answers (plus a stray
+        // node) must restrict, not invent.
+        if let Some(&(s, _)) = free.first() {
+            let sources = [s];
+            let restricted =
+                assert_agreement(&crpq, &graph, HeadBindings { sources: Some(&sources), targets: None })?;
+            prop_assert!(restricted.iter().all(|&(x, _)| x == s));
+            prop_assert!(restricted.iter().all(|p| free.contains(p)));
+        }
+
+        // Post-delta epoch: mutate the view; both executors track the
+        // overlay identically.
+        let mut dg = DeltaGraph::from_instance(&inst);
+        let nodes: Vec<Oid> = graph.nodes().collect();
+        let syms: Vec<Symbol> = ab.symbols().collect();
+        dg.add_edge(nodes[seed as usize % nodes.len()], syms[0], nodes[0]);
+        dg.add_edge(nodes[0], syms[seed as usize % syms.len()], nodes[nodes.len() - 1]);
+        assert_agreement(&crpq, &dg, HeadBindings::default())?;
+    }
+
+    /// Early termination is *sound*: any budget yields a subset of the
+    /// full binding set with `edges_scanned` within budget, a pre-set
+    /// cancellation flag yields a subset, and a complete termination is
+    /// exact.
+    #[test]
+    fn crpq_budgets_and_cancellation_are_sound(seed in 0u64..5_000) {
+        let (_ab, inst, crpq) = setup(seed);
+        let graph = CsrGraph::from(&inst);
+        let (full, _) = execute_naive(&crpq, &graph, HeadBindings::default());
+        let plan = plan_join(&crpq, graph.stats(), &PlannerConfig::default(), false, false);
+
+        for budget in [0usize, 1, 2, 5, 17, 1_000_000] {
+            let mut scratch = EvalScratch::new();
+            let control = EvalControl { budget: Some(budget), cancel: None };
+            let res = execute_join(
+                &crpq, &plan.order, &graph, HeadBindings::default(),
+                FrontierMode::Hybrid, &control, &mut scratch,
+            );
+            prop_assert!(res.stats.edges_scanned <= budget, "budget {}", budget);
+            for p in &res.pairs {
+                prop_assert!(full.contains(p), "unsound {:?} at budget {}", p, budget);
+            }
+            if res.termination.is_complete() {
+                prop_assert_eq!(&res.pairs, &full, "complete at budget {}", budget);
+            }
+        }
+
+        let cancelled = Arc::new(AtomicBool::new(true));
+        let mut scratch = EvalScratch::new();
+        let control = EvalControl { budget: None, cancel: Some(&cancelled) };
+        let res = execute_join(
+            &crpq, &plan.order, &graph, HeadBindings::default(),
+            FrontierMode::Hybrid, &control, &mut scratch,
+        );
+        prop_assert!(!res.termination.is_complete());
+        for p in &res.pairs {
+            prop_assert!(full.contains(p), "unsound {:?} after cancel", p);
+        }
+    }
+}

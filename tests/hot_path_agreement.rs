@@ -25,10 +25,13 @@ use rpq::graph::generators::random_graph;
 use rpq::graph::{CsrGraph, DeltaGraph, GraphView, Instance, Oid};
 use rpq::optimizer::PlannedEngine;
 
-const MODES: [FrontierMode; 3] = [
+const MODES: [FrontierMode; 4] = [
     FrontierMode::ForcedSparse,
     FrontierMode::ForcedDense,
     FrontierMode::Hybrid,
+    // An aggressive tuned discount switches to pull much earlier than the
+    // default — answers must be unaffected.
+    FrontierMode::HybridTuned { pull_discount: 64 },
 ];
 
 fn random_setup(seed: u64, nodes: usize, edges: usize) -> (Alphabet, Instance, Oid, Regex) {
@@ -77,7 +80,7 @@ fn modes_forward<G: GraphView>(nfa: &Nfa, graph: &G, source: Oid) -> Vec<Oid> {
                 res.stats.edges_scanned,
                 sparse_edges
             ),
-            FrontierMode::ForcedDense => {}
+            FrontierMode::ForcedDense | FrontierMode::HybridTuned { .. } => {}
         }
         match &answers {
             None => answers = Some(res.answers),

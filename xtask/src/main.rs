@@ -60,6 +60,7 @@ const NO_ALLOC_FILES: &[&str] = &[
     "crates/core/src/product.rs",
     "crates/core/src/pair.rs",
     "crates/core/src/batch.rs",
+    "crates/core/src/pairset.rs",
 ];
 /// Forbidden tokens for the no-alloc rule.
 const ALLOC_TOKENS: &[&str] = &["vec![", "Vec::new()"];
