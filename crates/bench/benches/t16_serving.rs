@@ -49,6 +49,7 @@ fn bench(c: &mut Criterion) {
         let server = Server::new(catalog, w.alphabet.clone()).with_config(ServerConfig {
             max_concurrent: 2,
             default_budget: None,
+            ..ServerConfig::default()
         });
         let query = Query::new(w.query.clone(), &w.alphabet);
         let session = server.session();
@@ -84,6 +85,7 @@ fn bench(c: &mut Criterion) {
         let server = Server::new(catalog, w.alphabet.clone()).with_config(ServerConfig {
             max_concurrent: 8,
             default_budget: Some(8),
+            ..ServerConfig::default()
         });
         // Through the text front end: parse → analyze → plan → eval. The
         // broad closure reaches most of the web graph, so it cannot

@@ -1,0 +1,286 @@
+//! T18 — intra-query parallelism: the frontier-parallel hybrid product
+//! BFS and the wave-parallel batch kernel against their sequential
+//! siblings. Four claims, asserted at registration time so `--test` mode
+//! (the CI bench smoke) enforces the acceptance criteria without paying
+//! measurement time:
+//!
+//! * **Parallelism never changes answers** — at every DoP and every
+//!   frontier mode the parallel kernels return bit-for-bit the sequential
+//!   answer sets, with identical `edges_scanned` (set-identical levels
+//!   price identically, so the work counters are deterministic too).
+//! * **DoP = 1 is the PR 7 hot path** — the parallel entry at `dop = 1`
+//!   delegates to the unchanged sequential kernel: identical answers,
+//!   identical work counters, and min-of-N wall clock within noise of the
+//!   direct sequential call (a generous 2× bound on an identical code
+//!   path; the real gap is one function call).
+//! * **Four workers win at least 2×** — on a multi-wave batch workload
+//!   the wave-parallel kernel at `dop = 4` beats `dop = 1` by ≥ 2× on
+//!   min-of-N wall clock, with identical per-source answers. Gated on
+//!   `std::thread::available_parallelism() >= 4` so single-core smoke
+//!   runners skip the timing claim (the agreement claims still run).
+//! * **Hybrid stays ≤ sparse under parallelism** — the parallel hybrid
+//!   run never scans more edges than the parallel forced-sparse run; the
+//!   exact shrinking pull-bound accounting (summed per-worker debits)
+//!   preserves the PR 7 pricing under partitioned sweeps.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::Nfa;
+use rpq_bench::eval_workload;
+use rpq_core::{
+    eval_product_batch_csr_with, eval_product_batch_parallel_csr_with, eval_product_csr_with,
+    eval_product_parallel_csr_with, EvalControl, EvalScratch, FrontierMode, ScratchPool,
+};
+use rpq_graph::{CsrGraph, Oid};
+
+/// Minimum wall clock of `n` runs of `f` (the robust statistic for a
+/// speedup gate: load spikes only ever inflate samples).
+fn min_time_of(n: usize, mut f: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("n >= 1")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t18_parallel");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = ScratchPool::with_capacity(8);
+
+    // Acceptance 1 + 4: agreement across DoP and mode, hybrid <= sparse
+    // under parallelism. The web workload's broad closure saturates the
+    // graph, so levels are large enough to cross PAR_LEVEL_THRESHOLD and
+    // genuinely fan out.
+    let w = eval_workload(13, 8_000);
+    let graph = CsrGraph::from(&w.instance);
+    let broad = Nfa::thompson(&w.queries[3].1); // `(l0+l1+l2)*`
+    {
+        let mut scratch = EvalScratch::new();
+        for (name, q) in &w.queries {
+            let nfa = Nfa::thompson(q);
+            for mode in [
+                FrontierMode::ForcedSparse,
+                FrontierMode::ForcedDense,
+                FrontierMode::Hybrid,
+            ] {
+                let seq = eval_product_csr_with(&nfa, &graph, w.source, mode, &mut scratch);
+                for dop in [1usize, 2, 4] {
+                    let (par, _) = eval_product_parallel_csr_with(
+                        &nfa,
+                        &graph,
+                        w.source,
+                        None,
+                        mode,
+                        &EvalControl::UNLIMITED,
+                        dop,
+                        &pool,
+                        &mut scratch,
+                    );
+                    assert_eq!(
+                        par.answers, seq.answers,
+                        "{name} diverged ({mode:?} dop={dop})"
+                    );
+                    assert_eq!(
+                        par.stats.edges_scanned, seq.stats.edges_scanned,
+                        "{name} priced differently ({mode:?} dop={dop})"
+                    );
+                }
+            }
+        }
+        // hybrid <= sparse with the level sweeps actually partitioned
+        let (sparse, _) = eval_product_parallel_csr_with(
+            &broad,
+            &graph,
+            w.source,
+            None,
+            FrontierMode::ForcedSparse,
+            &EvalControl::UNLIMITED,
+            4,
+            &pool,
+            &mut scratch,
+        );
+        let (hybrid, _) = eval_product_parallel_csr_with(
+            &broad,
+            &graph,
+            w.source,
+            None,
+            FrontierMode::Hybrid,
+            &EvalControl::UNLIMITED,
+            4,
+            &pool,
+            &mut scratch,
+        );
+        assert_eq!(
+            sparse.answers, hybrid.answers,
+            "hybrid diverged under parallelism"
+        );
+        assert!(
+            hybrid.stats.edges_scanned <= sparse.stats.edges_scanned,
+            "parallel hybrid {} > parallel sparse {}",
+            hybrid.stats.edges_scanned,
+            sparse.stats.edges_scanned
+        );
+    }
+
+    // Acceptance 2: DoP = 1 is the sequential hot path. Counters are
+    // asserted exactly; wall clock gets a generous identical-code-path
+    // noise bound on the min of nine runs.
+    {
+        let mut scratch = EvalScratch::new();
+        let seq_time = min_time_of(9, || {
+            black_box(
+                eval_product_csr_with(&broad, &graph, w.source, FrontierMode::Hybrid, &mut scratch)
+                    .answers
+                    .len(),
+            );
+        });
+        let mut scratch2 = EvalScratch::new();
+        let dop1_time = min_time_of(9, || {
+            black_box(
+                eval_product_parallel_csr_with(
+                    &broad,
+                    &graph,
+                    w.source,
+                    None,
+                    FrontierMode::Hybrid,
+                    &EvalControl::UNLIMITED,
+                    1,
+                    &pool,
+                    &mut scratch2,
+                )
+                .0
+                .answers
+                .len(),
+            );
+        });
+        assert!(
+            dop1_time <= seq_time * 2 + Duration::from_micros(200),
+            "dop=1 ({dop1_time:?}) not within noise of the sequential hot path ({seq_time:?})"
+        );
+    }
+
+    // Acceptance 3: >= 2x speedup at 4 workers on the wave-parallel batch
+    // kernel, identical answers. Only meaningful with >= 4 cores; the CI
+    // bench runners have them, single-core smoke boxes skip the timing.
+    {
+        let sources: Vec<Oid> = (0..graph.num_nodes() as u32).step_by(16).map(Oid).collect();
+        assert!(sources.len() >= 256, "need multiple 64-lane waves");
+        let mut scratch = EvalScratch::new();
+        let seq = eval_product_batch_csr_with(&broad, &graph, &sources, &mut scratch);
+        let par =
+            eval_product_batch_parallel_csr_with(&broad, &graph, &sources, 4, &pool, &mut scratch);
+        assert_eq!(
+            par.per_source(),
+            seq.per_source(),
+            "wave fan-out changed the batch answers"
+        );
+        if cores >= 4 {
+            let dop1 = min_time_of(5, || {
+                black_box(
+                    eval_product_batch_parallel_csr_with(
+                        &broad,
+                        &graph,
+                        &sources,
+                        1,
+                        &pool,
+                        &mut scratch,
+                    )
+                    .stats
+                    .answers,
+                );
+            });
+            let dop4 = min_time_of(5, || {
+                black_box(
+                    eval_product_batch_parallel_csr_with(
+                        &broad,
+                        &graph,
+                        &sources,
+                        4,
+                        &pool,
+                        &mut scratch,
+                    )
+                    .stats
+                    .answers,
+                );
+            });
+            let speedup = dop1.as_secs_f64() / dop4.as_secs_f64().max(f64::MIN_POSITIVE);
+            assert!(
+                speedup >= 2.0,
+                "4 workers must win >= 2x on the wave batch (dop1 {dop1:?} / dop4 {dop4:?} = {speedup:.2}x)"
+            );
+        } else {
+            eprintln!("t18: {cores} core(s) available, skipping the 4-worker speedup gate");
+        }
+
+        // Measured series: the batch kernel by DoP (capped at the machine).
+        for &dop in &[1usize, 2, 4] {
+            if dop > 1 && dop > cores {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new("batch_waves", dop), &dop, |b, &dop| {
+                let mut scratch = EvalScratch::new();
+                b.iter(|| {
+                    black_box(
+                        eval_product_batch_parallel_csr_with(
+                            &broad,
+                            &graph,
+                            black_box(&sources),
+                            dop,
+                            &pool,
+                            &mut scratch,
+                        )
+                        .stats
+                        .answers,
+                    )
+                })
+            });
+        }
+    }
+
+    // Measured series: the frontier-parallel single-source kernel by DoP.
+    for &dop in &[1usize, 2, 4] {
+        if dop > 1 && dop > cores {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("product_frontier", dop),
+            &dop,
+            |b, &dop| {
+                let mut scratch = EvalScratch::new();
+                b.iter(|| {
+                    black_box(
+                        eval_product_parallel_csr_with(
+                            &broad,
+                            &graph,
+                            black_box(w.source),
+                            None,
+                            FrontierMode::Hybrid,
+                            &EvalControl::UNLIMITED,
+                            dop,
+                            &pool,
+                            &mut scratch,
+                        )
+                        .0
+                        .answers
+                        .len(),
+                    )
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

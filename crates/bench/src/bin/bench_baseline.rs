@@ -38,16 +38,20 @@
 //!   independent-atom evaluator on the hot/rare skew workload (asserting
 //!   the planned order scans strictly fewer edges than both, with
 //!   identical binding sets).
+//! * **T18 intra-query parallelism** — the frontier-parallel product
+//!   search and the wave-parallel batch kernel by degree of parallelism
+//!   (asserting identical answers and identical `edges_scanned` at every
+//!   DoP; the wall-clock speedup gate lives in the t18 bench, which can
+//!   check core count).
 //!
 //! ```text
 //! bench_baseline [--json PATH] [--repeats N]
 //! ```
 //!
 //! Without `--json` the tables go to stdout; with it, the T1 document is
-//! written to `PATH` and the T12/T13/T14/T15/T16/T17 documents to siblings
-//! `BENCH_t12.json` / `BENCH_t13.json` / `BENCH_t14.json` /
-//! `BENCH_t15.json` / `BENCH_t16.json` / `BENCH_t17.json` (CI uploads all
-//! seven as the bench-regression artifacts).
+//! written to `PATH` and the T12–T18 documents to siblings
+//! `BENCH_t12.json` … `BENCH_t18.json` (CI uploads all eight as the
+//! bench-regression artifacts).
 
 use std::time::Instant;
 
@@ -490,7 +494,7 @@ fn main() {
         let catalog = std::sync::Arc::new(Catalog::from_instance(&w.instance));
         let server = Server::new(catalog.clone(), w.alphabet.clone()).with_config(ServerConfig {
             max_concurrent: readers,
-            default_budget: None,
+            ..ServerConfig::default()
         });
         let query = Query::new(w.query.clone(), &w.alphabet);
         let inverse = w.delta.inverse();
@@ -674,6 +678,114 @@ fn main() {
         );
     }
 
+    // T18 intra-query parallelism series: the frontier-parallel product
+    // search and the wave-parallel batch kernel by degree of parallelism,
+    // against their sequential siblings on a broad-closure web workload.
+    // The assertions mirror the t18 bench's acceptance criteria (identical
+    // answers and identical edges_scanned at every DoP — set-identical
+    // levels price identically), so a parallel-soundness regression fails
+    // this job rather than shifting the baseline. Timing claims live in
+    // the t18 bench gate, not here: this job may run on loaded or
+    // single-core runners, where only the work counters are stable.
+    let mut t18_points: Vec<SeriesPoint> = Vec::new();
+    {
+        use rpq_core::{eval_product_batch_parallel_csr_with, eval_product_parallel_csr_with};
+        use rpq_graph::Oid;
+        let w = eval_workload(13, 4_000);
+        let graph = CsrGraph::from(&w.instance);
+        let broad = rpq_automata::Nfa::thompson(&w.queries[3].1);
+        let pool = ScratchPool::with_capacity(8);
+        let mut scratch = EvalScratch::new();
+        let seq =
+            eval_product_csr_with(&broad, &graph, w.source, FrontierMode::Hybrid, &mut scratch);
+        let sources: Vec<Oid> = (0..graph.num_nodes() as u32).step_by(16).map(Oid).collect();
+        let seq_batch = {
+            use rpq_core::eval_product_batch_csr_with;
+            eval_product_batch_csr_with(&broad, &graph, &sources, &mut scratch)
+        };
+        for &dop in &[1usize, 2, 4] {
+            let (t, stats) = measure(repeats, || {
+                eval_product_parallel_csr_with(
+                    &broad,
+                    &graph,
+                    w.source,
+                    None,
+                    FrontierMode::Hybrid,
+                    &EvalControl::UNLIMITED,
+                    dop,
+                    &pool,
+                    &mut scratch,
+                )
+                .0
+                .stats
+            });
+            t18_points.push(SeriesPoint {
+                name: match dop {
+                    1 => "par_product_dop1",
+                    2 => "par_product_dop2",
+                    _ => "par_product_dop4",
+                },
+                n: dop,
+                median_ns: t,
+                edges_scanned: stats.edges_scanned,
+            });
+            assert_eq!(
+                stats.edges_scanned, seq.stats.edges_scanned,
+                "parallel product search must price exactly like sequential at dop={dop}"
+            );
+            let (par, _) = eval_product_parallel_csr_with(
+                &broad,
+                &graph,
+                w.source,
+                None,
+                FrontierMode::Hybrid,
+                &EvalControl::UNLIMITED,
+                dop,
+                &pool,
+                &mut scratch,
+            );
+            assert_eq!(
+                par.answers, seq.answers,
+                "parallel product search diverged at dop={dop}"
+            );
+
+            let (t, stats) = measure(repeats, || {
+                eval_product_batch_parallel_csr_with(
+                    &broad,
+                    &graph,
+                    &sources,
+                    dop,
+                    &pool,
+                    &mut scratch,
+                )
+                .stats
+            });
+            t18_points.push(SeriesPoint {
+                name: match dop {
+                    1 => "par_batch_dop1",
+                    2 => "par_batch_dop2",
+                    _ => "par_batch_dop4",
+                },
+                n: dop,
+                median_ns: t,
+                edges_scanned: stats.edges_scanned,
+            });
+            let par_batch = eval_product_batch_parallel_csr_with(
+                &broad,
+                &graph,
+                &sources,
+                dop,
+                &pool,
+                &mut scratch,
+            );
+            assert_eq!(
+                par_batch.per_source(),
+                seq_batch.per_source(),
+                "wave-parallel batch diverged at dop={dop}"
+            );
+        }
+    }
+
     for (title, pts) in [
         ("t1_multi_source", &points),
         ("t12_direction_choice", &t12_points),
@@ -682,6 +794,7 @@ fn main() {
         ("t15_hot_path", &t15_points),
         ("t16_serving", &t16_points),
         ("t17_crpq", &t17_points),
+        ("t18_parallel", &t18_points),
     ] {
         println!("\n[{title}]");
         println!(
@@ -737,6 +850,12 @@ fn main() {
             &t16_points,
         );
         write_doc(&sibling("BENCH_t17.json"), "t17_crpq", repeats, &t17_points);
+        write_doc(
+            &sibling("BENCH_t18.json"),
+            "t18_parallel",
+            repeats,
+            &t18_points,
+        );
     }
 }
 

@@ -86,7 +86,7 @@ impl BatchResult {
 
 /// Answers for one wave: turn per-node lane masks into sorted per-source
 /// answer lists, appended to `out` in lane order.
-fn collect_wave_answers(answer_masks: &[u64], wave_len: usize, out: &mut Vec<Vec<Oid>>) {
+pub(crate) fn collect_wave_answers(answer_masks: &[u64], wave_len: usize, out: &mut Vec<Vec<Oid>>) {
     let base = out.len();
     for _ in 0..wave_len {
         out.push(Vec::new()); // alloc-ok: per-source result vectors are the return value

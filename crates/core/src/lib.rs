@@ -33,6 +33,11 @@
 //!   backward, and meet-in-the-middle strategies ([`eval_pair`],
 //!   [`eval_to`]); `rpq-optimizer`'s `PlannedEngine` picks among them from
 //!   per-label statistics;
+//! * [`parallel`] — intra-query parallelism: the frontier-parallel
+//!   product BFS ([`eval_product_parallel_csr_with`]) that chunks push
+//!   levels and slab-partitions pull sweeps across `std::thread::scope`
+//!   workers with budget-lease soundness, governed by a shared
+//!   [`WorkerPool`];
 //! * [`pairset`] — *set-valued* pair answers: the (source, target) binding
 //!   sets a conjunctive-query atom induces between bound endpoint sets,
 //!   computed on the bit-parallel lane kernels with forward / backward /
@@ -86,6 +91,7 @@ pub mod general;
 pub mod oracle;
 pub mod pair;
 pub mod pairset;
+pub mod parallel;
 pub mod product;
 pub mod quotient;
 pub mod request;
@@ -114,6 +120,12 @@ pub use pairset::{
     eval_pairs_from_sources_controlled_csr_with, eval_pairs_from_sources_csr_with,
     eval_pairs_to_targets_controlled_csr_with, eval_pairs_to_targets_csr_with, seed_candidates,
     PairSetResult,
+};
+pub use parallel::{
+    eval_pairs_bound_parallel_csr_with, eval_pairs_from_sources_parallel_csr_with,
+    eval_pairs_to_targets_parallel_csr_with, eval_product_backward_parallel_reversed_csr_with,
+    eval_product_batch_parallel_csr_with, eval_product_parallel_csr_with,
+    eval_product_to_batch_parallel_csr_with, WorkerLease, WorkerPool, PAR_LEVEL_THRESHOLD,
 };
 pub use product::{
     eval_product, eval_product_backward_controlled_reversed_csr_with, eval_product_backward_csr,

@@ -88,7 +88,7 @@ impl PairSetResult {
 
 /// Finalize a binding list: lexicographic order, dedup (duplicate seeds
 /// each get a lane, so their bindings repeat), answer count.
-fn finish_pairs(
+pub(crate) fn finish_pairs(
     mut pairs: Vec<(Oid, Oid)>,
     mut stats: EvalStats,
     termination: Termination,
@@ -188,7 +188,7 @@ pub fn eval_pairs_bound_csr_with<G: GraphView>(
 /// Turn one wave's accepting masks into bindings. Forward waves
 /// (`lanes_are_targets == false`) emit `(seed, v)`; backward waves emit
 /// `(v, seed)`.
-fn collect_mask_pairs(
+pub(crate) fn collect_mask_pairs(
     masks: &[u64],
     wave_start: usize,
     wave_len: usize,

@@ -174,16 +174,16 @@ fn push_sparse(
 /// newly reached pair's [`pair_pull_probes`] — a pull level only probes
 /// edges entering *unreached* pairs, so `remaining` always dominates its
 /// actual scans.
-struct PullBound {
+pub(crate) struct PullBound {
     /// Tracking enabled — any mode that may run a pull sweep.
-    active: bool,
+    pub(crate) active: bool,
     /// Probes remaining over unreached pairs.
-    remaining: usize,
+    pub(crate) remaining: usize,
 }
 
 impl PullBound {
     #[inline]
-    fn debit(&mut self, probes: usize) {
+    pub(crate) fn debit(&mut self, probes: usize) {
         if self.active {
             self.remaining = self.remaining.saturating_sub(probes);
         }
@@ -194,7 +194,7 @@ impl PullBound {
 /// per (incoming edge under the expansion adjacency, matching reverse
 /// transition). Priced from label-index row lengths — no edge is scanned.
 #[inline]
-fn pair_pull_probes<G: GraphView>(
+pub(crate) fn pair_pull_probes<G: GraphView>(
     graph: &G,
     reverse_adj: bool,
     rev_trans: &[(Symbol, StateId)],

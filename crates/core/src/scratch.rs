@@ -24,14 +24,18 @@
 //! claim, asserted by bench `t15_hot_path`.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use rpq_automata::{Nfa, StateId, Symbol};
 use rpq_graph::{FrontierArena, LaneMatrix, Oid};
 
-/// Upper bound on arenas parked in a [`ScratchPool`]; checkouts beyond this
-/// under contention allocate fresh arenas that are dropped on return.
+/// Default upper bound on arenas parked in a [`ScratchPool`]; checkouts
+/// beyond the bound under contention allocate fresh arenas that are dropped
+/// on return. Engines configured for intra-query parallelism scale the
+/// bound up with [`ScratchPool::with_capacity`] — a pool smaller than
+/// `workers × concurrent queries` thrashes (every checkout past the bound
+/// is a cold alloc).
 const MAX_POOLED: usize = 8;
 
 /// Reusable per-evaluation working memory for the product-BFS family
@@ -86,6 +90,17 @@ pub struct EvalScratch {
     pub(crate) answer_masks: Vec<u64>,
     /// Batch kernel: ε-closure worklist of (state, node-index) cells.
     pub(crate) worklist: Vec<(StateId, usize)>,
+    /// Atomic (state, node) seen marks for the frontier-parallel product
+    /// search, indexed `q * nv + v` like `seen`. Generation-stamped with
+    /// the *same* generation counter; a worker claims a pair with one
+    /// `swap(gen)` — first marker wins, losers see their own gen back.
+    /// Sized lazily by [`EvalScratch::begin_parallel`]; empty for
+    /// sequential-only arenas.
+    pub(crate) par_seen: Vec<AtomicU32>,
+    /// Parallel-section capacity (the atomic seen table).
+    par_nq: usize,
+    /// Parallel-section capacity (the atomic seen table).
+    par_nv: usize,
     /// Core-section capacity (mark tables, dense arenas).
     cap_nq: usize,
     /// Core-section capacity (mark tables, dense arenas).
@@ -162,6 +177,26 @@ impl EvalScratch {
         covered
     }
 
+    /// `EvalScratch::begin` for the frontier-parallel product search, which
+    /// additionally needs the atomic `par_seen` table sized. Returns `true`
+    /// when no allocation was needed (core *and* parallel capacity both
+    /// covered the shape).
+    pub(crate) fn begin_parallel(&mut self, nq: usize, nv: usize) -> bool {
+        let par_covered = nq <= self.par_nq && nv <= self.par_nv;
+        let covered = self.begin(nq, nv) & par_covered;
+        if !par_covered {
+            let new_nq = nq.max(self.par_nq);
+            let new_nv = nv.max(self.par_nv);
+            self.par_seen.clear();
+            // Fresh cells hold 0: never "set", the generation is >= 1.
+            self.par_seen
+                .resize_with(new_nq * new_nv, || AtomicU32::new(0));
+            self.par_nq = new_nq;
+            self.par_nv = new_nv;
+        }
+        covered
+    }
+
     fn grow_core(&mut self, nq: usize, nv: usize) {
         let new_nq = nq.max(self.cap_nq);
         let new_nv = nv.max(self.cap_nv);
@@ -187,6 +222,9 @@ impl EvalScratch {
             self.seen.fill(0);
             self.answer_marks.fill(0);
             self.state_marks.fill(0);
+            for cell in &self.par_seen {
+                cell.store(0, Ordering::Relaxed);
+            }
             self.gen = 0;
         }
         self.gen += 1;
@@ -232,17 +270,43 @@ impl EvalScratch {
 /// an arena out per evaluation and return it on drop; after warm-up every
 /// checkout reuses retained capacity, so the BFS inner loops never touch
 /// the allocator.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ScratchPool {
     pool: Mutex<Vec<EvalScratch>>,
+    max_pooled: usize,
     reuses: AtomicUsize,
     allocs: AtomicUsize,
 }
 
+impl Default for ScratchPool {
+    fn default() -> ScratchPool {
+        ScratchPool::with_capacity(MAX_POOLED)
+    }
+}
+
 impl ScratchPool {
-    /// An empty pool.
+    /// An empty pool with the default parking bound.
     pub fn new() -> ScratchPool {
         ScratchPool::default()
+    }
+
+    /// An empty pool that parks up to `capacity` warm arenas. Engines
+    /// running the frontier-parallel kernels size this as
+    /// `workers × expected concurrency` (never below the default bound):
+    /// every parallel worker checks out its own arena, so a pool sized for
+    /// sequential serving thrashes the moment big queries fan out.
+    pub fn with_capacity(capacity: usize) -> ScratchPool {
+        ScratchPool {
+            pool: Mutex::new(Vec::new()),
+            max_pooled: capacity.max(1),
+            reuses: AtomicUsize::new(0),
+            allocs: AtomicUsize::new(0),
+        }
+    }
+
+    /// The most arenas this pool will park.
+    pub fn capacity(&self) -> usize {
+        self.max_pooled
     }
 
     /// Check out an arena: a warm one if the pool has any, a fresh empty
@@ -282,7 +346,7 @@ impl ScratchPool {
 
     fn put(&self, scratch: EvalScratch) {
         let mut pool = self.pool.lock();
-        if pool.len() < MAX_POOLED {
+        if pool.len() < self.max_pooled {
             pool.push(scratch);
         }
     }

@@ -100,6 +100,20 @@ pub struct EvalStats {
     /// already covered this query's |Q|·|V| shape (no fresh allocation on
     /// the hot path).
     pub scratch_reused: usize,
+    /// Peak number of OS threads a single evaluation engaged (1 for a
+    /// purely sequential run, 0 for engines that predate the parallel
+    /// kernels). Set by the frontier-parallel product search and the
+    /// parallel wave fan-outs.
+    pub threads_used: usize,
+    /// Frontier chunks (or pull slabs / lane waves) a parallel worker
+    /// claimed *beyond* its fair share — the work-stealing signal: nonzero
+    /// means the static partition was skewed and the shared-cursor claims
+    /// rebalanced it.
+    pub steal_count: usize,
+    /// BFS levels (or wave batches) expanded with more than one worker.
+    /// `parallel_levels = 0` with `threads_used <= 1` certifies the
+    /// sequential fast path ran — the zero-regression observable.
+    pub parallel_levels: usize,
     /// Per-atom records for conjunctive evaluations, in execution order
     /// (see [`AtomStats`]). Empty for single-atom requests.
     pub atoms: Vec<AtomStats>,
@@ -142,6 +156,12 @@ impl EvalStats {
         self.pull_levels += other.pull_levels;
         self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
         self.scratch_reused += other.scratch_reused;
+        // Parallelism telemetry: the thread count is a high-water mark
+        // (constituent runs share one pool), steals and parallel levels sum
+        // like any work counter.
+        self.threads_used = self.threads_used.max(other.threads_used);
+        self.steal_count += other.steal_count;
+        self.parallel_levels += other.parallel_levels;
         // Per-atom records concatenate in merge order, preserving each
         // constituent's execution sequence.
         self.atoms.extend(other.atoms.iter().cloned());

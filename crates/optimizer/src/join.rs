@@ -44,10 +44,11 @@ use std::collections::HashMap;
 use rpq_automata::{parse_regex_embedded, Alphabet, ParseError};
 use rpq_core::{
     eval_pairs_bound_controlled_csr_with, eval_pairs_bound_csr_with,
-    eval_pairs_from_sources_controlled_csr_with, eval_pairs_from_sources_csr_with,
-    eval_pairs_to_targets_controlled_csr_with, eval_pairs_to_targets_csr_with, seed_candidates,
-    AtomStats, Direction, EvalControl, EvalScratch, EvalStats, FrontierMode, PairSetResult, Query,
-    Termination,
+    eval_pairs_bound_parallel_csr_with, eval_pairs_from_sources_controlled_csr_with,
+    eval_pairs_from_sources_csr_with, eval_pairs_from_sources_parallel_csr_with,
+    eval_pairs_to_targets_controlled_csr_with, eval_pairs_to_targets_csr_with,
+    eval_pairs_to_targets_parallel_csr_with, seed_candidates, AtomStats, Direction, EvalControl,
+    EvalScratch, EvalStats, FrontierMode, PairSetResult, Query, ScratchPool, Termination,
 };
 use rpq_graph::{GraphView, LabelStats, Oid};
 
@@ -442,13 +443,38 @@ pub struct HeadBindings<'a> {
 /// outcome. One [`AtomStats`] record per atom lands in `stats.atoms` in
 /// execution order (atoms never started after a cancellation are recorded
 /// with `direction: None` and zero work).
-pub fn execute_join<G: GraphView>(
+pub fn execute_join<G: GraphView + Sync>(
     crpq: &Crpq,
     order: &[usize],
     graph: &G,
     heads: HeadBindings<'_>,
     mode: FrontierMode,
     control: &EvalControl<'_>,
+    scratch: &mut EvalScratch,
+) -> PairSetResult {
+    let pool = ScratchPool::new();
+    execute_join_parallel(crpq, order, graph, heads, mode, control, 1, &pool, scratch)
+}
+
+/// [`execute_join`] with intra-query parallelism: uncontrolled atom
+/// evaluations fan their independent 64-lane seed waves across up to `dop`
+/// workers drawing per-worker arenas from `pool` (the engine's shared
+/// [`ScratchPool`]). Semijoin propagation is inherently sequential between
+/// atoms — each atom's bound side comes from the previous join step — so
+/// the parallelism lives *inside* each atom's pair-set kernel, where the
+/// waves are independent. `dop ≤ 1` is exactly [`execute_join`].
+/// Controlled atoms keep the shared-budget seed loop (its
+/// whatever-the-budget-has-left contract is order-dependent).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_join_parallel<G: GraphView + Sync>(
+    crpq: &Crpq,
+    order: &[usize],
+    graph: &G,
+    heads: HeadBindings<'_>,
+    mode: FrontierMode,
+    control: &EvalControl<'_>,
+    dop: usize,
+    pool: &ScratchPool,
     scratch: &mut EvalScratch,
 ) -> PairSetResult {
     assert_eq!(order.len(), crpq.atoms.len(), "order must cover every atom");
@@ -505,6 +531,8 @@ pub fn execute_join<G: GraphView>(
             mode,
             controlled,
             &per_atom,
+            dop,
+            pool,
             scratch,
         );
         if !res.termination.is_complete() && term.is_complete() {
@@ -587,7 +615,7 @@ pub fn execute_join<G: GraphView>(
 /// Evaluate one atom with the given bound sides through the pair-set
 /// kernels, returning the binding relation and the direction actually run.
 #[allow(clippy::too_many_arguments)]
-fn eval_atom<G: GraphView>(
+fn eval_atom<G: GraphView + Sync>(
     atom: &CrpqAtom,
     graph: &G,
     u_vals: Option<&[Oid]>,
@@ -595,6 +623,8 @@ fn eval_atom<G: GraphView>(
     mode: FrontierMode,
     controlled: bool,
     control: &EvalControl<'_>,
+    dop: usize,
+    pool: &ScratchPool,
     scratch: &mut EvalScratch,
 ) -> (PairSetResult, Direction) {
     let nfa = atom.query.nfa();
@@ -602,6 +632,8 @@ fn eval_atom<G: GraphView>(
         (Some(ss), Some(ts)) => {
             let r = if controlled {
                 eval_pairs_bound_controlled_csr_with(nfa, graph, ss, ts, mode, control, scratch)
+            } else if dop > 1 {
+                eval_pairs_bound_parallel_csr_with(nfa, graph, ss, ts, dop, pool, scratch)
             } else {
                 eval_pairs_bound_csr_with(nfa, graph, ss, ts, scratch)
             };
@@ -610,6 +642,8 @@ fn eval_atom<G: GraphView>(
         (Some(ss), None) => {
             let r = if controlled {
                 eval_pairs_from_sources_controlled_csr_with(nfa, graph, ss, mode, control, scratch)
+            } else if dop > 1 {
+                eval_pairs_from_sources_parallel_csr_with(nfa, graph, ss, dop, pool, scratch)
             } else {
                 eval_pairs_from_sources_csr_with(nfa, graph, ss, scratch)
             };
@@ -621,6 +655,8 @@ fn eval_atom<G: GraphView>(
                 eval_pairs_to_targets_controlled_csr_with(
                     &reversed, graph, ts, mode, control, scratch,
                 )
+            } else if dop > 1 {
+                eval_pairs_to_targets_parallel_csr_with(&reversed, graph, ts, dop, pool, scratch)
             } else {
                 eval_pairs_to_targets_csr_with(&reversed, graph, ts, scratch)
             };
@@ -632,6 +668,8 @@ fn eval_atom<G: GraphView>(
                 eval_pairs_from_sources_controlled_csr_with(
                     nfa, graph, &seeds, mode, control, scratch,
                 )
+            } else if dop > 1 {
+                eval_pairs_from_sources_parallel_csr_with(nfa, graph, &seeds, dop, pool, scratch)
             } else {
                 eval_pairs_from_sources_csr_with(nfa, graph, &seeds, scratch)
             };

@@ -56,27 +56,31 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use rpq_automata::{Alphabet, Nfa, Regex, Symbol};
+use rpq_automata::{Alphabet, Nfa, Regex, StateId, Symbol};
 use rpq_constraints::general::Budget;
 use rpq_constraints::ConstraintSet;
 use rpq_core::{
     eval_pairs_bound_controlled_csr_with, eval_pairs_bound_csr_with,
-    eval_pairs_from_sources_controlled_csr_with, eval_pairs_from_sources_csr_with,
+    eval_pairs_bound_parallel_csr_with, eval_pairs_from_sources_controlled_csr_with,
+    eval_pairs_from_sources_csr_with, eval_pairs_from_sources_parallel_csr_with,
     eval_pairs_to_targets_controlled_csr_with, eval_pairs_to_targets_csr_with,
-    eval_product_backward_controlled_reversed_csr_with, eval_product_backward_reversed_csr_with,
-    eval_product_batch_csr_with, eval_product_bounded_backward_reversed_csr_with,
-    eval_product_bounded_csr_with, eval_product_controlled_csr_with, eval_product_csr_with,
-    eval_product_matrix_csr_with, eval_product_pair_backward_reversed_csr_with,
-    eval_product_pair_controlled_csr_with, eval_product_pair_forward_csr_with,
-    eval_product_pair_reversed_csr_with, eval_product_to_batch_csr_with, seed_candidates, Answers,
-    BatchResult, Engine, EvalControl, EvalRequest, EvalResponse, EvalResult, EvalStats,
-    FrontierMode, MatrixResult, PairResult, PairSetResult, Query, ScratchPool, SourceSpec,
-    Termination, PULL_SWEEP_DISCOUNT,
+    eval_pairs_to_targets_parallel_csr_with, eval_product_backward_controlled_reversed_csr_with,
+    eval_product_backward_parallel_reversed_csr_with, eval_product_backward_reversed_csr_with,
+    eval_product_batch_csr_with, eval_product_batch_parallel_csr_with,
+    eval_product_bounded_backward_reversed_csr_with, eval_product_bounded_csr_with,
+    eval_product_controlled_csr_with, eval_product_csr_with, eval_product_matrix_csr_with,
+    eval_product_pair_backward_reversed_csr_with, eval_product_pair_controlled_csr_with,
+    eval_product_pair_forward_csr_with, eval_product_pair_reversed_csr_with,
+    eval_product_parallel_csr_with, eval_product_to_batch_csr_with,
+    eval_product_to_batch_parallel_csr_with, seed_candidates, Answers, BatchResult, Engine,
+    EvalControl, EvalRequest, EvalResponse, EvalResult, EvalStats, FrontierMode, MatrixResult,
+    PairResult, PairSetResult, Query, ScratchPool, SourceSpec, Termination, WorkerPool,
+    PAR_LEVEL_THRESHOLD, PULL_SWEEP_DISCOUNT,
 };
 use rpq_graph::{CsrGraph, GraphView, LabelStats, Oid};
 
 use crate::analysis::{analyze, AnalysisFacts};
-use crate::join::{execute_join, plan_join, Crpq, HeadBindings, JoinPlan};
+use crate::join::{execute_join_parallel, plan_join, Crpq, HeadBindings, JoinPlan};
 use crate::planner::optimize_with_stats;
 
 pub use rpq_core::Direction;
@@ -102,6 +106,13 @@ pub struct PlannerConfig {
     /// via [`FrontierMode::hybrid_with_discount`]; explicit request modes
     /// win.
     pub pull_sweep_discount: usize,
+    /// Intra-query degree-of-parallelism ceiling (≥ 1): the engine's
+    /// [`WorkerPool`] holds `parallelism − 1` extra-worker permits shared
+    /// by every concurrent query, and [`PlannedEngine::decide_dop`] asks
+    /// for up to this many threads when a query's estimated frontier work
+    /// clears [`PAR_LEVEL_THRESHOLD`]. The default 1 keeps every query on
+    /// the caller's thread — the pre-parallelism behavior, bit for bit.
+    pub parallelism: usize,
 }
 
 impl Default for PlannerConfig {
@@ -109,6 +120,7 @@ impl Default for PlannerConfig {
         PlannerConfig {
             decisiveness: 2.0,
             pull_sweep_discount: PULL_SWEEP_DISCOUNT,
+            parallelism: 1,
         }
     }
 }
@@ -198,6 +210,11 @@ pub struct PlannedEngine<E> {
     hits: AtomicUsize,
     misses: AtomicUsize,
     scratch: ScratchPool,
+    workers: WorkerPool,
+    /// Live pull-sweep discount: initialized from the config, re-tunable
+    /// at runtime (`set_pull_discount`) from serving telemetry without
+    /// touching in-flight queries — each request reads it once at start.
+    live_discount: AtomicUsize,
 }
 
 impl<E> PlannedEngine<E> {
@@ -215,6 +232,8 @@ impl<E> PlannedEngine<E> {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             scratch: ScratchPool::new(),
+            workers: WorkerPool::new(1),
+            live_discount: AtomicUsize::new(PULL_SWEEP_DISCOUNT),
         }
     }
 
@@ -237,7 +256,18 @@ impl<E> PlannedEngine<E> {
             config.pull_sweep_discount >= 1,
             "pull_sweep_discount must be ≥ 1"
         );
+        assert!(config.parallelism >= 1, "parallelism must be ≥ 1");
         self.config = config;
+        self.live_discount = AtomicUsize::new(config.pull_sweep_discount);
+        self.workers = WorkerPool::new(config.parallelism);
+        if config.parallelism > 1 {
+            // Parallel levels check out one arena per extra worker on top
+            // of the per-query arena; an undersized pool would thrash.
+            let wanted = config.parallelism * 2;
+            if self.scratch.capacity() < wanted {
+                self.scratch = ScratchPool::with_capacity(wanted);
+            }
+        }
         self
     }
 
@@ -247,9 +277,59 @@ impl<E> PlannedEngine<E> {
     fn effective_mode(&self, requested: FrontierMode) -> FrontierMode {
         match requested {
             FrontierMode::Hybrid => {
-                FrontierMode::hybrid_with_discount(self.config.pull_sweep_discount)
+                FrontierMode::hybrid_with_discount(self.live_discount.load(Ordering::Relaxed))
             }
             other => other,
+        }
+    }
+
+    /// The pull-sweep discount currently applied to default-hybrid
+    /// requests (the live, possibly re-tuned value — the config holds the
+    /// starting point).
+    pub fn pull_discount(&self) -> usize {
+        self.live_discount.load(Ordering::Relaxed)
+    }
+
+    /// Re-tune the live pull-sweep discount (clamped to ≥ 1). In-flight
+    /// queries are unaffected — the discount is read once per request when
+    /// its frontier mode resolves; only queries planned after this call
+    /// see the new pricing.
+    pub fn set_pull_discount(&self, discount: usize) {
+        self.live_discount.store(discount.max(1), Ordering::Relaxed);
+    }
+
+    /// The shared intra-query worker-permit pool (sized by
+    /// [`PlannerConfig::parallelism`]).
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.workers
+    }
+
+    /// The degree of parallelism worth *asking* for on this planned query:
+    /// the configured ceiling when the estimated total frontier work — the
+    /// label-statistics edge mass reachable through the planned automaton's
+    /// transitions — clears [`PAR_LEVEL_THRESHOLD`], and 1 (sequential, the
+    /// zero-regression path) for everything smaller, for statically empty
+    /// plans, and for finite languages too short to build a big frontier.
+    /// The [`WorkerPool`] lease may still grant less under load.
+    pub fn decide_dop<G: GraphView>(&self, plan: &Plan, graph: &G) -> usize {
+        if self.workers.parallelism() <= 1 || plan.facts.statically_empty {
+            return 1;
+        }
+        if plan.facts.max_word_len.is_some_and(|cap| cap <= 2) {
+            return 1;
+        }
+        let stats = graph.stats();
+        let nfa = plan.query.nfa();
+        let mut est = 0usize;
+        for q in 0..nfa.num_states() {
+            for &(sym, _) in nfa.transitions(q as StateId) {
+                est = est.saturating_add(stats.edge_count(sym));
+            }
+        }
+        if est >= PAR_LEVEL_THRESHOLD {
+            self.workers.parallelism()
+        } else {
+            1
         }
     }
 
@@ -575,7 +655,7 @@ impl<E> PlannedEngine<E> {
     /// direction hint over the planned direction when one is given.
     ///
     /// [`Engine::run`] on a `CsrGraph` delegates here.
-    pub fn run_view<G: GraphView>(
+    pub fn run_view<G: GraphView + Sync>(
         &self,
         query: &Query,
         graph: &G,
@@ -608,10 +688,15 @@ impl<E> PlannedEngine<E> {
             };
             return self.stamped(resp, &plan, hit);
         }
+        // One worker-pool lease per request: the permits granted here cap
+        // every parallel level/wave this request runs, and return to the
+        // pool when the response is built.
+        let lease = self.workers.lease(self.decide_dop(&plan, graph));
+        let dop = lease.dop();
         let resp = if req.is_controlled() {
-            self.run_view_controlled(&plan, graph, req)
+            self.run_view_controlled(&plan, graph, req, dop)
         } else {
-            self.run_view_uncontrolled(&plan, graph, req)
+            self.run_view_uncontrolled(&plan, graph, req, dop)
         };
         self.stamped(resp, &plan, hit)
     }
@@ -619,49 +704,86 @@ impl<E> PlannedEngine<E> {
     /// The uncontrolled arms of [`PlannedEngine::run_view`]: the planned
     /// query through the generic product kernels, bounded by the plan's
     /// finite-language depth cap where one exists.
-    fn run_view_uncontrolled<G: GraphView>(
+    fn run_view_uncontrolled<G: GraphView + Sync>(
         &self,
         plan: &Plan,
         graph: &G,
         req: &EvalRequest,
+        dop: usize,
     ) -> EvalResponse {
         let mode = self.effective_mode(req.frontier_mode);
         let cap = plan.facts.max_word_len;
         let mut scratch = self.scratch.checkout();
         match &req.spec {
-            SourceSpec::Source(s) => EvalResponse::from_nodes(match cap {
-                Some(cap) => eval_product_bounded_csr_with(
+            SourceSpec::Source(s) => EvalResponse::from_nodes(if dop > 1 {
+                let (res, _) = eval_product_parallel_csr_with(
                     plan.query.nfa(),
                     graph,
                     *s,
                     cap,
                     mode,
+                    &EvalControl::UNLIMITED,
+                    dop,
+                    &self.scratch,
                     &mut scratch,
-                ),
-                None => eval_product_csr_with(plan.query.nfa(), graph, *s, mode, &mut scratch),
+                );
+                res
+            } else {
+                match cap {
+                    Some(cap) => eval_product_bounded_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        *s,
+                        cap,
+                        mode,
+                        &mut scratch,
+                    ),
+                    None => eval_product_csr_with(plan.query.nfa(), graph, *s, mode, &mut scratch),
+                }
             }),
-            SourceSpec::Sources(ss) => EvalResponse::from_batch(eval_product_batch_csr_with(
-                plan.query.nfa(),
-                graph,
-                ss,
-                &mut scratch,
-            )),
-            SourceSpec::Target(t) => EvalResponse::from_nodes(match cap {
-                Some(cap) => eval_product_bounded_backward_reversed_csr_with(
+            SourceSpec::Sources(ss) => EvalResponse::from_batch(if dop > 1 {
+                eval_product_batch_parallel_csr_with(
+                    plan.query.nfa(),
+                    graph,
+                    ss,
+                    dop,
+                    &self.scratch,
+                    &mut scratch,
+                )
+            } else {
+                eval_product_batch_csr_with(plan.query.nfa(), graph, ss, &mut scratch)
+            }),
+            SourceSpec::Target(t) => EvalResponse::from_nodes(if dop > 1 {
+                let (res, _) = eval_product_backward_parallel_reversed_csr_with(
                     &plan.reversed,
                     graph,
                     *t,
                     cap,
                     mode,
+                    &EvalControl::UNLIMITED,
+                    dop,
+                    &self.scratch,
                     &mut scratch,
-                ),
-                None => eval_product_backward_reversed_csr_with(
-                    &plan.reversed,
-                    graph,
-                    *t,
-                    mode,
-                    &mut scratch,
-                ),
+                );
+                res
+            } else {
+                match cap {
+                    Some(cap) => eval_product_bounded_backward_reversed_csr_with(
+                        &plan.reversed,
+                        graph,
+                        *t,
+                        cap,
+                        mode,
+                        &mut scratch,
+                    ),
+                    None => eval_product_backward_reversed_csr_with(
+                        &plan.reversed,
+                        graph,
+                        *t,
+                        mode,
+                        &mut scratch,
+                    ),
+                }
             }),
             SourceSpec::Targets(ts) => match cap {
                 // Exact depth caps beat lane sharing on short words: keep
@@ -683,12 +805,18 @@ impl<E> PlannedEngine<E> {
                     }
                     EvalResponse::from_batch(BatchResult::from_per_source(per, stats))
                 }
-                None => EvalResponse::from_batch(eval_product_to_batch_csr_with(
-                    &plan.reversed,
-                    graph,
-                    ts,
-                    &mut scratch,
-                )),
+                None => EvalResponse::from_batch(if dop > 1 {
+                    eval_product_to_batch_parallel_csr_with(
+                        &plan.reversed,
+                        graph,
+                        ts,
+                        dop,
+                        &self.scratch,
+                        &mut scratch,
+                    )
+                } else {
+                    eval_product_to_batch_csr_with(&plan.reversed, graph, ts, &mut scratch)
+                }),
             },
             SourceSpec::Pair { source, target } => {
                 let direction = req.direction.unwrap_or(plan.direction);
@@ -730,25 +858,61 @@ impl<E> PlannedEngine<E> {
             }
             SourceSpec::Conjunctive { sources, targets } => {
                 let res = match (sources, targets) {
+                    (Some(ss), Some(ts)) if dop > 1 => eval_pairs_bound_parallel_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        ss,
+                        ts,
+                        dop,
+                        &self.scratch,
+                        &mut scratch,
+                    ),
                     (Some(ss), Some(ts)) => {
                         eval_pairs_bound_csr_with(plan.query.nfa(), graph, ss, ts, &mut scratch)
                     }
+                    (Some(ss), None) if dop > 1 => eval_pairs_from_sources_parallel_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        ss,
+                        dop,
+                        &self.scratch,
+                        &mut scratch,
+                    ),
                     (Some(ss), None) => {
                         eval_pairs_from_sources_csr_with(plan.query.nfa(), graph, ss, &mut scratch)
                     }
                     // The plan's cached reversed automaton serves the
                     // target-bound form — no per-request reversal.
+                    (None, Some(ts)) if dop > 1 => eval_pairs_to_targets_parallel_csr_with(
+                        &plan.reversed,
+                        graph,
+                        ts,
+                        dop,
+                        &self.scratch,
+                        &mut scratch,
+                    ),
                     (None, Some(ts)) => {
                         eval_pairs_to_targets_csr_with(&plan.reversed, graph, ts, &mut scratch)
                     }
                     (None, None) => {
                         let seeds = seed_candidates(plan.query.nfa(), graph, &mut scratch);
-                        eval_pairs_from_sources_csr_with(
-                            plan.query.nfa(),
-                            graph,
-                            &seeds,
-                            &mut scratch,
-                        )
+                        if dop > 1 {
+                            eval_pairs_from_sources_parallel_csr_with(
+                                plan.query.nfa(),
+                                graph,
+                                &seeds,
+                                dop,
+                                &self.scratch,
+                                &mut scratch,
+                            )
+                        } else {
+                            eval_pairs_from_sources_csr_with(
+                                plan.query.nfa(),
+                                graph,
+                                &seeds,
+                                &mut scratch,
+                            )
+                        }
                     }
                 };
                 EvalResponse::from_pairset(res)
@@ -761,11 +925,12 @@ impl<E> PlannedEngine<E> {
     /// finite-language depth cap composed into every search. Multi-item
     /// arms share one budget and stop at the first non-complete
     /// termination (unexplored items report empty sets — a sound subset).
-    fn run_view_controlled<G: GraphView>(
+    fn run_view_controlled<G: GraphView + Sync>(
         &self,
         plan: &Plan,
         graph: &G,
         req: &EvalRequest,
+        dop: usize,
     ) -> EvalResponse {
         let mode = self.effective_mode(req.frontier_mode);
         let cap = plan.facts.max_word_len;
@@ -773,27 +938,55 @@ impl<E> PlannedEngine<E> {
         let mut scratch = self.scratch.checkout();
         match &req.spec {
             SourceSpec::Source(s) => {
-                let (res, term) = eval_product_controlled_csr_with(
-                    plan.query.nfa(),
-                    graph,
-                    *s,
-                    cap,
-                    mode,
-                    &req.control(),
-                    &mut scratch,
-                );
+                let (res, term) = if dop > 1 {
+                    eval_product_parallel_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        *s,
+                        cap,
+                        mode,
+                        &req.control(),
+                        dop,
+                        &self.scratch,
+                        &mut scratch,
+                    )
+                } else {
+                    eval_product_controlled_csr_with(
+                        plan.query.nfa(),
+                        graph,
+                        *s,
+                        cap,
+                        mode,
+                        &req.control(),
+                        &mut scratch,
+                    )
+                };
                 EvalResponse::from_nodes(res).terminated(term)
             }
             SourceSpec::Target(t) => {
-                let (res, term) = eval_product_backward_controlled_reversed_csr_with(
-                    &plan.reversed,
-                    graph,
-                    *t,
-                    cap,
-                    mode,
-                    &req.control(),
-                    &mut scratch,
-                );
+                let (res, term) = if dop > 1 {
+                    eval_product_backward_parallel_reversed_csr_with(
+                        &plan.reversed,
+                        graph,
+                        *t,
+                        cap,
+                        mode,
+                        &req.control(),
+                        dop,
+                        &self.scratch,
+                        &mut scratch,
+                    )
+                } else {
+                    eval_product_backward_controlled_reversed_csr_with(
+                        &plan.reversed,
+                        graph,
+                        *t,
+                        cap,
+                        mode,
+                        &req.control(),
+                        &mut scratch,
+                    )
+                };
                 EvalResponse::from_nodes(res).terminated(term)
             }
             SourceSpec::Sources(ss) => {
@@ -805,15 +998,29 @@ impl<E> PlannedEngine<E> {
                         budget: req.budget.map(|b| b.saturating_sub(stats.edges_scanned)),
                         cancel,
                     };
-                    let (r, t) = eval_product_controlled_csr_with(
-                        plan.query.nfa(),
-                        graph,
-                        s,
-                        cap,
-                        mode,
-                        &control,
-                        &mut scratch,
-                    );
+                    let (r, t) = if dop > 1 {
+                        eval_product_parallel_csr_with(
+                            plan.query.nfa(),
+                            graph,
+                            s,
+                            cap,
+                            mode,
+                            &control,
+                            dop,
+                            &self.scratch,
+                            &mut scratch,
+                        )
+                    } else {
+                        eval_product_controlled_csr_with(
+                            plan.query.nfa(),
+                            graph,
+                            s,
+                            cap,
+                            mode,
+                            &control,
+                            &mut scratch,
+                        )
+                    };
                     stats.merge(&r.stats);
                     per.push(r.answers);
                     if !t.is_complete() {
@@ -833,15 +1040,29 @@ impl<E> PlannedEngine<E> {
                         budget: req.budget.map(|b| b.saturating_sub(stats.edges_scanned)),
                         cancel,
                     };
-                    let (r, tt) = eval_product_backward_controlled_reversed_csr_with(
-                        &plan.reversed,
-                        graph,
-                        t,
-                        cap,
-                        mode,
-                        &control,
-                        &mut scratch,
-                    );
+                    let (r, tt) = if dop > 1 {
+                        eval_product_backward_parallel_reversed_csr_with(
+                            &plan.reversed,
+                            graph,
+                            t,
+                            cap,
+                            mode,
+                            &control,
+                            dop,
+                            &self.scratch,
+                            &mut scratch,
+                        )
+                    } else {
+                        eval_product_backward_controlled_reversed_csr_with(
+                            &plan.reversed,
+                            graph,
+                            t,
+                            cap,
+                            mode,
+                            &control,
+                            &mut scratch,
+                        )
+                    };
                     stats.merge(&r.stats);
                     per.push(r.answers);
                     if !tt.is_complete() {
@@ -989,7 +1210,7 @@ impl<E> PlannedEngine<E> {
 
     /// Evaluate a conjunctive query end-to-end over any [`GraphView`]:
     /// memoized join planning ([`PlannedEngine::crpq_plan`]), then the
-    /// semijoin-propagating executor ([`execute_join`]) under the
+    /// semijoin-propagating executor ([`crate::join::execute_join`]) under the
     /// request's budget/cancellation controls and effective frontier mode.
     ///
     /// The request's [`SourceSpec`] restricts the *head* variables: source
@@ -999,7 +1220,7 @@ impl<E> PlannedEngine<E> {
     /// response carries [`Answers::Bindings`] with per-atom
     /// `stats.atoms` telemetry in execution order, and plan-memo
     /// hit/miss counters stamped like every other planned evaluation.
-    pub fn run_crpq<G: GraphView>(
+    pub fn run_crpq<G: GraphView + Sync>(
         &self,
         crpq: &Crpq,
         graph: &G,
@@ -1042,14 +1263,26 @@ impl<E> PlannedEngine<E> {
             heads.targets.is_some(),
         );
         let mode = self.effective_mode(req.frontier_mode);
+        // CRPQ DoP: atoms scan whole label classes, so the graph's total
+        // edge mass is the frontier-size proxy; small graphs stay on the
+        // sequential executor.
+        let target_dop =
+            if self.workers.parallelism() > 1 && graph.num_edges() >= PAR_LEVEL_THRESHOLD {
+                self.workers.parallelism()
+            } else {
+                1
+            };
+        let lease = self.workers.lease(target_dop);
         let mut scratch = self.scratch.checkout();
-        let res = execute_join(
+        let res = execute_join_parallel(
             crpq,
             &plan.order,
             graph,
             heads,
             mode,
             &req.control(),
+            lease.dop(),
+            &self.scratch,
             &mut scratch,
         );
         let mut resp = EvalResponse::from_pairset(res);

@@ -26,8 +26,18 @@
 //!   (`parse("a.(b+c)*")` → constraints → analyze → plan → eval).
 //! * [`Metrics`] — per-[`QueryClass`] latency percentiles (p50/p99 over a
 //!   sliding window), `edges_scanned`, termination and rejection counts,
-//!   plus the push/pull level telemetry the `PULL_SWEEP_DISCOUNT`
-//!   calibration reads.
+//!   parallel-evaluation telemetry (`threads_peak`, `steal_count`,
+//!   `parallel_levels`, scratch-pool alloc/reuse counters), plus the
+//!   push/pull level telemetry that drives the **live** pull-discount
+//!   calibration: every 256 recorded queries the record path nudges the
+//!   engine's discount a bounded step toward
+//!   [`Metrics::suggest_pull_discount`], never touching in-flight queries.
+//!
+//! Intra-query parallelism: the shared engine owns an
+//! [`rpq_core::WorkerPool`] sized by [`ServerConfig::parallelism`]; each
+//! query leases extra workers only when the planner's frontier estimate
+//! clears `rpq_core::PAR_LEVEL_THRESHOLD`, so small queries keep the
+//! sequential hot path.
 //!
 //! ## Example
 //!
@@ -135,7 +145,7 @@ mod tests {
         let (ab, catalog, nodes) = workload();
         let server = Server::new(catalog, ab).with_config(ServerConfig {
             max_concurrent: 2,
-            default_budget: None,
+            ..ServerConfig::default()
         });
         let session = server.session();
         let q = server.parse("a*").unwrap();
@@ -165,6 +175,7 @@ mod tests {
         let server = Server::new(catalog, ab).with_config(ServerConfig {
             max_concurrent: 4,
             default_budget: Some(3),
+            ..ServerConfig::default()
         });
         let session = server.session();
         let q = server.parse("(a+b)*").unwrap();
@@ -355,6 +366,70 @@ mod tests {
             },
         );
         assert!(matches!(err, Err(SubmitError::Parse(_))), "{err:?}");
+    }
+
+    #[test]
+    fn calibration_nudges_the_live_pull_discount_boundedly() {
+        let (ab, catalog, nodes) = workload();
+        let server = Server::new(catalog, ab);
+        let session = server.session();
+        let q = server.parse("(a+b)*").unwrap();
+        // A broad recursive query on a tiny graph runs push-only, so the
+        // suggestion moves away from the static default.
+        for _ in 0..4 {
+            session.run(&q, &EvalRequest::source(nodes[0]));
+        }
+        let before = server.engine().pull_discount();
+        let target = server.metrics().suggest_pull_discount();
+        server.calibrate();
+        let after = server.engine().pull_discount();
+        if target == before {
+            assert_eq!(after, before);
+        } else {
+            // bounded step: moved toward the suggestion, but by at most a
+            // quarter of the gap (or the minimum one unit)
+            let gap = target.abs_diff(before);
+            let step = after.abs_diff(before);
+            assert!(
+                step >= 1 && step <= (gap / 4).max(1),
+                "{before}->{after} vs {target}"
+            );
+            assert!(
+                (target > before && after > before) || (target < before && after < before),
+                "moved the wrong way: {before}->{after} vs {target}"
+            );
+        }
+        // convergence: repeated steps reach the suggestion exactly
+        for _ in 0..64 {
+            server.calibrate();
+        }
+        assert_eq!(server.engine().pull_discount(), target);
+        // the suggestion itself stays in the documented clamp
+        assert!(target >= 1);
+    }
+
+    #[test]
+    fn metrics_expose_parallel_and_scratch_telemetry() {
+        let (ab, catalog, nodes) = workload();
+        let server = Server::new(catalog, ab).with_config(ServerConfig {
+            parallelism: 4,
+            ..ServerConfig::default()
+        });
+        assert_eq!(server.engine().worker_pool().parallelism(), 4);
+        let session = server.session();
+        let q = server.parse("a.a*").unwrap();
+        let resp = session.run(&q, &EvalRequest::source(nodes[0]));
+        assert!(resp.termination.is_complete());
+        let snap = server.metrics().class(QueryClass::Single);
+        assert_eq!(snap.queries, 1);
+        // this graph is far below PAR_LEVEL_THRESHOLD: the DoP decision
+        // must keep it sequential (no extra threads, no parallel levels)
+        assert!(snap.threads_peak <= 1, "{}", snap.threads_peak);
+        assert_eq!(snap.parallel_levels, 0);
+        assert_eq!(snap.steal_count, 0);
+        // the record path refreshed the scratch-pool counters
+        assert_eq!(server.metrics().recorded(), 1);
+        assert!(server.metrics().scratch_allocs() + server.metrics().scratch_reuses() >= 1);
     }
 
     #[test]

@@ -108,6 +108,9 @@ struct ClassAgg {
     cancelled: usize,
     atoms_evaluated: usize,
     atom_edges_scanned: usize,
+    threads_peak: usize,
+    steal_count: usize,
+    parallel_levels: usize,
     latencies_ns: VecDeque<u64>,
 }
 
@@ -137,6 +140,15 @@ pub struct ClassSnapshot {
     /// Edges scanned attributable to individual conjunctive atoms (the sum
     /// of per-atom `edges_scanned`; join-order telemetry).
     pub atom_edges_scanned: usize,
+    /// Most OS threads any single query of this class engaged (1 =
+    /// everything ran sequentially; 0 = no query reported the counter).
+    pub threads_peak: usize,
+    /// Total chunk/wave claims beyond workers' static fair shares — the
+    /// intra-query work-stealing telemetry, summed across queries.
+    pub steal_count: usize,
+    /// Total BFS levels (or wave fan-outs) expanded with more than one
+    /// worker thread.
+    pub parallel_levels: usize,
     /// Median latency over the sliding window, nanoseconds (0 when empty).
     pub p50_latency_ns: u64,
     /// 99th-percentile latency over the sliding window, nanoseconds.
@@ -149,6 +161,14 @@ pub struct ClassSnapshot {
 pub struct Metrics {
     classes: [Mutex<ClassAgg>; 7],
     rejected: AtomicUsize,
+    /// Lifetime queries recorded, readable without taking a class lock
+    /// (the calibration pass keys its cadence off this).
+    recorded: AtomicUsize,
+    /// Latest observed [`rpq_core::ScratchPool`] arena-allocation count
+    /// (engine-global; refreshed at each record point).
+    scratch_allocs: AtomicUsize,
+    /// Latest observed [`rpq_core::ScratchPool`] warm-checkout count.
+    scratch_reuses: AtomicUsize,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -173,12 +193,16 @@ impl Metrics {
         stats: &EvalStats,
         termination: Termination,
     ) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut agg = self.classes[class.index()].lock();
         agg.queries += 1;
         agg.edges_scanned += stats.edges_scanned;
         agg.answers += stats.answers;
         agg.push_levels += stats.push_levels;
         agg.pull_levels += stats.pull_levels;
+        agg.threads_peak = agg.threads_peak.max(stats.threads_used);
+        agg.steal_count += stats.steal_count;
+        agg.parallel_levels += stats.parallel_levels;
         agg.atoms_evaluated += stats.atoms.len();
         agg.atom_edges_scanned += stats.atoms.iter().map(|a| a.edges_scanned).sum::<usize>();
         match termination {
@@ -220,9 +244,38 @@ impl Metrics {
             cancelled: agg.cancelled,
             atoms_evaluated: agg.atoms_evaluated,
             atom_edges_scanned: agg.atom_edges_scanned,
+            threads_peak: agg.threads_peak,
+            steal_count: agg.steal_count,
+            parallel_levels: agg.parallel_levels,
             p50_latency_ns: percentile(&window, 0.50),
             p99_latency_ns: percentile(&window, 0.99),
         }
+    }
+
+    /// Lifetime queries recorded across every class, without locking any
+    /// class aggregate (cheap enough to read on every record point).
+    pub fn recorded(&self) -> usize {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Refresh the engine-global scratch-pool counters (latest values win;
+    /// the pool counters are monotonic, so any record point's observation
+    /// is a valid snapshot).
+    pub fn observe_scratch(&self, allocs: usize, reuses: usize) {
+        self.scratch_allocs.store(allocs, Ordering::Relaxed);
+        self.scratch_reuses.store(reuses, Ordering::Relaxed);
+    }
+
+    /// Arena allocations the engine's [`rpq_core::ScratchPool`] has
+    /// performed (cold checkouts), as last observed at a record point.
+    pub fn scratch_allocs(&self) -> usize {
+        self.scratch_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Warm arena checkouts (reuses) of the engine's scratch pool, as last
+    /// observed at a record point.
+    pub fn scratch_reuses(&self) -> usize {
+        self.scratch_reuses.load(Ordering::Relaxed)
     }
 
     /// Total queries recorded across every class.

@@ -36,7 +36,7 @@ use rpq_automata::{Alphabet, ParseError};
 use rpq_constraints::ConstraintSet;
 use rpq_core::{EvalRequest, EvalResponse, ProductEngine, Query, SourceSpec};
 use rpq_graph::{DeltaGraph, Epoch};
-use rpq_optimizer::{parse_crpq, Crpq, PlannedEngine};
+use rpq_optimizer::{parse_crpq, Crpq, PlannedEngine, PlannerConfig};
 
 use crate::catalog::Catalog;
 use crate::metrics::{Metrics, QueryClass};
@@ -50,6 +50,12 @@ pub struct ServerConfig {
     /// Fetch budget stamped onto requests that do not carry their own
     /// (`None` = unlimited by default).
     pub default_budget: Option<usize>,
+    /// Intra-query parallelism ceiling: the engine's shared
+    /// [`rpq_core::WorkerPool`] holds `parallelism - 1` extra-worker
+    /// permits, leased per query by estimated frontier size. `1` keeps
+    /// every query on the fully sequential hot path. Defaults to the
+    /// machine's available parallelism.
+    pub parallelism: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +63,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_concurrent: 64,
             default_budget: None,
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -109,10 +116,46 @@ impl Drop for AdmissionSlot {
 pub struct Server {
     catalog: Arc<Catalog>,
     engine: Arc<PlannedEngine<ProductEngine>>,
+    set: ConstraintSet,
     alphabet: Mutex<Alphabet>,
     metrics: Arc<Metrics>,
     active: Arc<AtomicUsize>,
     config: ServerConfig,
+}
+
+/// How often the background calibration pass considers a pull-discount
+/// step, in recorded queries.
+const CALIBRATE_EVERY: usize = 256;
+
+/// Piggy-backed calibration: refresh the scratch-pool telemetry, and every
+/// [`CALIBRATE_EVERY`] recorded queries move the engine's **live** pull
+/// discount a bounded step toward [`Metrics::suggest_pull_discount`].
+///
+/// Runs on whichever worker thread just recorded a query — there is no
+/// sleeper thread. The step is at most a quarter of the gap (and at least
+/// one unit), so a burst of unrepresentative queries cannot yank the knob;
+/// in-flight queries are untouched because the engine reads the discount
+/// once per request.
+fn maybe_calibrate(engine: &PlannedEngine<ProductEngine>, metrics: &Metrics) {
+    let pool = engine.scratch_pool();
+    metrics.observe_scratch(pool.allocs(), pool.reuses());
+    if !metrics.recorded().is_multiple_of(CALIBRATE_EVERY) {
+        return;
+    }
+    calibrate_step(engine, metrics);
+}
+
+/// One bounded pull-discount step (the [`maybe_calibrate`] payload,
+/// callable unconditionally from [`Server::calibrate`]).
+fn calibrate_step(engine: &PlannedEngine<ProductEngine>, metrics: &Metrics) {
+    let current = engine.pull_discount() as isize;
+    let target = metrics.suggest_pull_discount() as isize;
+    let gap = target - current;
+    if gap == 0 {
+        return;
+    }
+    let step = if gap / 4 == 0 { gap.signum() } else { gap / 4 };
+    engine.set_pull_discount((current + step).max(1) as usize);
 }
 
 impl Server {
@@ -128,20 +171,50 @@ impl Server {
         set: ConstraintSet,
         alphabet: Alphabet,
     ) -> Server {
+        let config = ServerConfig::default();
+        let engine = PlannedEngine::new(ProductEngine, set.clone(), alphabet.clone()).with_config(
+            PlannerConfig {
+                parallelism: config.parallelism.max(1),
+                ..PlannerConfig::default()
+            },
+        );
         Server {
             catalog,
-            engine: Arc::new(PlannedEngine::new(ProductEngine, set, alphabet.clone())),
+            engine: Arc::new(engine),
+            set,
             alphabet: Mutex::new(alphabet),
             metrics: Arc::new(Metrics::new()),
             active: Arc::new(AtomicUsize::new(0)),
-            config: ServerConfig::default(),
+            config,
         }
     }
 
-    /// Replace the serving knobs.
+    /// Replace the serving knobs. Rebuilds the shared planner so its
+    /// worker pool and scratch pool match `config.parallelism` (call this
+    /// before serving traffic — the old engine's plan memo is discarded).
     pub fn with_config(mut self, config: ServerConfig) -> Server {
+        if config.parallelism != self.config.parallelism {
+            let alphabet = self.alphabet.lock().clone();
+            self.engine = Arc::new(
+                PlannedEngine::new(ProductEngine, self.set.clone(), alphabet).with_config(
+                    PlannerConfig {
+                        parallelism: config.parallelism.max(1),
+                        ..PlannerConfig::default()
+                    },
+                ),
+            );
+        }
         self.config = config;
         self
+    }
+
+    /// Force one bounded calibration step (the same move the background
+    /// pass makes every `CALIBRATE_EVERY` (256) recorded queries): nudge the
+    /// engine's live pull discount a quarter of the way toward
+    /// [`Metrics::suggest_pull_discount`]. Never touches in-flight
+    /// queries.
+    pub fn calibrate(&self) {
+        calibrate_step(&self.engine, &self.metrics);
     }
 
     /// The active configuration.
@@ -284,6 +357,7 @@ impl Session<'_> {
             let start = Instant::now();
             let resp = engine.run_view(&query, &*snapshot, &req);
             metrics.record(class, start.elapsed(), &resp.stats, resp.termination);
+            maybe_calibrate(&engine, &metrics);
             resp
         });
         Ok(QueryHandle {
@@ -315,6 +389,7 @@ impl Session<'_> {
             let start = Instant::now();
             let resp = engine.run_crpq(&crpq, &*snapshot, &req);
             metrics.record(class, start.elapsed(), &resp.stats, resp.termination);
+            maybe_calibrate(&engine, &metrics);
             resp
         });
         Ok(QueryHandle {
@@ -351,6 +426,7 @@ impl Session<'_> {
             &resp.stats,
             resp.termination,
         );
+        maybe_calibrate(&self.server.engine, &self.server.metrics);
         resp
     }
 
@@ -364,6 +440,7 @@ impl Session<'_> {
         self.server
             .metrics
             .record(class, start.elapsed(), &resp.stats, resp.termination);
+        maybe_calibrate(&self.server.engine, &self.server.metrics);
         resp
     }
 }

@@ -73,7 +73,7 @@ fn orders(n: usize) -> Vec<Vec<usize>> {
 
 /// Assert `execute_join` under every order (and the planned one) matches
 /// the oracle on `graph`.
-fn assert_agreement<G: GraphView>(
+fn assert_agreement<G: GraphView + Sync>(
     crpq: &Crpq,
     graph: &G,
     heads: HeadBindings<'_>,

@@ -216,6 +216,7 @@ fn budget_and_cancellation_terminate_soundly_under_churn() {
         ServerConfig {
             max_concurrent: 128,
             default_budget: None,
+            ..ServerConfig::default()
         },
     ));
     let query = server.parse("a.a*").unwrap();
